@@ -1,0 +1,64 @@
+//! Error type for the baseline learners.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the baseline learners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// An input vector length did not match the model's input size.
+    InputLengthMismatch {
+        /// Expected input length.
+        expected: usize,
+        /// Actual input length.
+        actual: usize,
+    },
+    /// A label was outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The number of classes.
+        num_classes: usize,
+    },
+    /// Training was invoked with no samples.
+    EmptyTrainingSet,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InputLengthMismatch { expected, actual } => {
+                write!(f, "input has {actual} values, model expects {expected}")
+            }
+            BaselineError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            BaselineError::EmptyTrainingSet => write!(f, "training requires at least one sample"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(BaselineError::InputLengthMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains('3'));
+        assert!(BaselineError::EmptyTrainingSet.to_string().contains("sample"));
+        assert!(BaselineError::LabelOutOfRange {
+            label: 4,
+            num_classes: 2
+        }
+        .to_string()
+        .contains('4'));
+    }
+}

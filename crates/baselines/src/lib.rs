@@ -1,0 +1,43 @@
+//! # hdface-baselines — the comparison learners
+//!
+//! The paper compares HDFace against a Deep Neural Network (a 4-layer
+//! MLP with two hidden layers, Fig. 5b sweeps their sizes) and a
+//! Support Vector Machine, both consuming the same HOG features. This
+//! crate implements both from scratch:
+//!
+//! * [`Mlp`] — ReLU hidden layers, softmax cross-entropy, SGD with
+//!   momentum, mini-batches; plus fixed-point weight quantization to
+//!   16/8/4 bits ([`QuantizedMlp`]) with random bit-error injection
+//!   for the Table 2 robustness study.
+//! * [`LinearSvm`] — one-vs-rest linear SVM trained with
+//!   Pegasos-style hinge-loss SGD.
+//!
+//! ```
+//! use hdface_baselines::{Mlp, MlpConfig};
+//!
+//! // XOR-ish toy problem.
+//! let data: Vec<(Vec<f64>, usize)> = vec![
+//!     (vec![0.0, 0.0], 0),
+//!     (vec![1.0, 1.0], 0),
+//!     (vec![0.0, 1.0], 1),
+//!     (vec![1.0, 0.0], 1),
+//! ];
+//! let cfg = MlpConfig { input: 2, hidden1: 16, hidden2: 16, output: 2,
+//!                       lr: 0.1, momentum: 0.9, epochs: 400, batch_size: 4, seed: 7 };
+//! let mut mlp = Mlp::new(&cfg);
+//! mlp.fit(&data).unwrap();
+//! assert!(mlp.accuracy(&data).unwrap() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mlp;
+mod quant;
+mod svm;
+
+pub use error::BaselineError;
+pub use mlp::{Mlp, MlpConfig};
+pub use quant::{QuantizedMlp, WeightPrecision};
+pub use svm::{LinearSvm, SvmConfig};

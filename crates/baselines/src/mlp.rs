@@ -1,0 +1,491 @@
+//! A from-scratch multilayer perceptron.
+
+use std::fmt;
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::error::BaselineError;
+
+/// MLP architecture and training hyperparameters.
+///
+/// The paper's DNN is "four layers … where two hidden layers can get
+/// different sizes"; its best configuration is 1024 × 1024.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Input feature length.
+    pub input: usize,
+    /// First hidden layer width.
+    pub hidden1: usize,
+    /// Second hidden layer width.
+    pub hidden2: usize,
+    /// Number of classes.
+    pub output: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Weight-initialization and shuffling seed.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// The paper's best configuration for `input` features and
+    /// `output` classes (1024×1024 hidden layers), with training
+    /// hyperparameters suitable for HOG-scale inputs.
+    #[must_use]
+    pub fn paper_best(input: usize, output: usize) -> Self {
+        MlpConfig {
+            input,
+            hidden1: 1024,
+            hidden2: 1024,
+            output,
+            lr: 0.05,
+            momentum: 0.9,
+            epochs: 30,
+            batch_size: 16,
+            seed: 0,
+        }
+    }
+
+    /// Same architecture family with custom hidden sizes (the Fig. 5b
+    /// sweep).
+    #[must_use]
+    pub fn with_hidden(mut self, h1: usize, h2: usize) -> Self {
+        self.hidden1 = h1;
+        self.hidden2 = h2;
+        self
+    }
+}
+
+/// One fully connected layer (row-major weights, `out × in`).
+#[derive(Debug, Clone)]
+pub(crate) struct Layer {
+    pub(crate) weights: Vec<f64>,
+    pub(crate) biases: Vec<f64>,
+    pub(crate) inputs: usize,
+    pub(crate) outputs: usize,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU layers.
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| (rng.random_range(-1.0..1.0)) * scale)
+            .collect();
+        Layer {
+            weights,
+            biases: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut sum = self.biases[o];
+            for (w, xi) in row.iter().zip(x) {
+                sum += w * xi;
+            }
+            out.push(sum);
+        }
+    }
+}
+
+fn relu_inplace(v: &mut [f64]) {
+    for x in v {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+fn softmax_inplace(v: &mut [f64]) {
+    let max = v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in v {
+        *x /= sum;
+    }
+}
+
+/// The 4-layer (2 hidden) MLP baseline: ReLU activations, softmax
+/// cross-entropy loss, SGD with momentum.
+pub struct Mlp {
+    pub(crate) layers: Vec<Layer>,
+    config: MlpConfig,
+    velocity: Vec<(Vec<f64>, Vec<f64>)>,
+    rng: StdRng,
+}
+
+impl Mlp {
+    /// Initializes the network with He-scaled random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any layer size is zero.
+    #[must_use]
+    pub fn new(config: &MlpConfig) -> Self {
+        assert!(
+            config.input > 0 && config.hidden1 > 0 && config.hidden2 > 0 && config.output > 0,
+            "layer sizes must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layers = vec![
+            Layer::new(config.input, config.hidden1, &mut rng),
+            Layer::new(config.hidden1, config.hidden2, &mut rng),
+            Layer::new(config.hidden2, config.output, &mut rng),
+        ];
+        let velocity = layers
+            .iter()
+            .map(|l| (vec![0.0; l.weights.len()], vec![0.0; l.biases.len()]))
+            .collect();
+        Mlp {
+            layers,
+            config: *config,
+            velocity,
+            rng,
+        }
+    }
+
+    /// The configuration the network was built with.
+    #[must_use]
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// Class probabilities for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        if x.len() != self.config.input {
+            return Err(BaselineError::InputLengthMismatch {
+                expected: self.config.input,
+                actual: x.len(),
+            });
+        }
+        let mut a = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&a, &mut next);
+            if i + 1 < self.layers.len() {
+                relu_inplace(&mut next);
+            } else {
+                softmax_inplace(&mut next);
+            }
+            std::mem::swap(&mut a, &mut next);
+        }
+        Ok(a)
+    }
+
+    /// Predicted class for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, BaselineError> {
+        let probs = self.forward(x)?;
+        Ok(argmax(&probs))
+    }
+
+    /// Fraction of correctly classified samples (`0.0` for an empty
+    /// slice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass validation errors.
+    pub fn accuracy(&self, data: &[(Vec<f64>, usize)]) -> Result<f64, BaselineError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0;
+        for (x, y) in data {
+            if self.predict(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Trains with mini-batch SGD + momentum for the configured number
+    /// of epochs; returns the final-epoch mean cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingSet`] for no samples and
+    /// the usual shape validation errors per sample.
+    pub fn fit(&mut self, data: &[(Vec<f64>, usize)]) -> Result<f64, BaselineError> {
+        if data.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        for (x, y) in data {
+            if x.len() != self.config.input {
+                return Err(BaselineError::InputLengthMismatch {
+                    expected: self.config.input,
+                    actual: x.len(),
+                });
+            }
+            if *y >= self.config.output {
+                return Err(BaselineError::LabelOutOfRange {
+                    label: *y,
+                    num_classes: self.config.output,
+                });
+            }
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let bs = self.config.batch_size.max(1);
+        let mut last_loss = 0.0;
+        for _ in 0..self.config.epochs {
+            // Shuffle.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            last_loss = 0.0;
+            for batch in order.chunks(bs) {
+                last_loss += self.train_batch(data, batch);
+            }
+            last_loss /= data.len() as f64;
+        }
+        Ok(last_loss)
+    }
+
+    /// Runs one mini-batch: accumulates gradients over the batch, then
+    /// applies a momentum update. Returns the summed sample losses.
+    fn train_batch(&mut self, data: &[(Vec<f64>, usize)], batch: &[usize]) -> f64 {
+        let n_layers = self.layers.len();
+        let mut grad_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        let mut total_loss = 0.0;
+
+        for &idx in batch {
+            let (x, y) = &data[idx];
+            // Forward pass retaining activations.
+            let mut activations: Vec<Vec<f64>> = vec![x.clone()];
+            let mut buf = Vec::new();
+            for (i, layer) in self.layers.iter().enumerate() {
+                layer.forward(activations.last().expect("non-empty"), &mut buf);
+                if i + 1 < n_layers {
+                    relu_inplace(&mut buf);
+                } else {
+                    softmax_inplace(&mut buf);
+                }
+                activations.push(buf.clone());
+            }
+            let probs = activations.last().expect("non-empty");
+            total_loss += -(probs[*y].max(1e-12)).ln();
+
+            // Backward: softmax+CE delta, then ReLU chain.
+            let mut delta: Vec<f64> = probs.clone();
+            delta[*y] -= 1.0;
+            for li in (0..n_layers).rev() {
+                let input = &activations[li];
+                let layer = &self.layers[li];
+                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                    grad_b[li][o] += d;
+                    let row = &mut grad_w[li][o * layer.inputs..(o + 1) * layer.inputs];
+                    for (g, xi) in row.iter_mut().zip(input) {
+                        *g += d * xi;
+                    }
+                }
+                if li > 0 {
+                    // Propagate delta through weights and the ReLU of
+                    // the previous layer.
+                    let mut prev = vec![0.0; layer.inputs];
+                    for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                        let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                        for (p, w) in prev.iter_mut().zip(row) {
+                            *p += d * w;
+                        }
+                    }
+                    for (p, a) in prev.iter_mut().zip(&activations[li]) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+
+        // Momentum update.
+        let scale = self.config.lr / batch.len() as f64;
+        for li in 0..n_layers {
+            let (vw, vb) = &mut self.velocity[li];
+            for (i, g) in grad_w[li].iter().enumerate() {
+                vw[i] = self.config.momentum * vw[i] - scale * g;
+                self.layers[li].weights[i] += vw[i];
+            }
+            for (i, g) in grad_b[li].iter().enumerate() {
+                vb[i] = self.config.momentum * vb[i] - scale * g;
+                self.layers[li].biases[i] += vb[i];
+            }
+        }
+        total_loss
+    }
+}
+
+pub(crate) fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl fmt::Debug for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mlp({}-{}-{}-{}, {} params)",
+            self.config.input,
+            self.config.hidden1,
+            self.config.hidden2,
+            self.config.output,
+            self.num_parameters()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(seed: u64, n_per: usize) -> Vec<(Vec<f64>, usize)> {
+        // Two Gaussian-ish blobs in 4-D.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for _ in 0..n_per {
+            let a: Vec<f64> = (0..4).map(|_| 0.3 + rng.random_range(-0.15..0.15)).collect();
+            data.push((a, 0));
+            let b: Vec<f64> = (0..4).map(|_| 0.7 + rng.random_range(-0.15..0.15)).collect();
+            data.push((b, 1));
+        }
+        data
+    }
+
+    fn small_cfg() -> MlpConfig {
+        MlpConfig {
+            input: 4,
+            hidden1: 16,
+            hidden2: 8,
+            output: 2,
+            lr: 0.1,
+            momentum: 0.9,
+            epochs: 60,
+            batch_size: 8,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn forward_outputs_probabilities() {
+        let mlp = Mlp::new(&small_cfg());
+        let p = mlp.forward(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let mut mlp = Mlp::new(&small_cfg());
+        let train = blob_data(1, 40);
+        let test = blob_data(2, 40);
+        let loss = mlp.fit(&train).unwrap();
+        assert!(loss < 0.3, "final loss {loss}");
+        let acc = mlp.accuracy(&test).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut mlp = Mlp::new(&small_cfg());
+        assert!(matches!(
+            mlp.fit(&[]),
+            Err(BaselineError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            mlp.forward(&[0.0; 3]),
+            Err(BaselineError::InputLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            mlp.fit(&[(vec![0.0; 4], 5)]),
+            Err(BaselineError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let mlp = Mlp::new(&small_cfg());
+        assert_eq!(mlp.accuracy(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let mlp = Mlp::new(&small_cfg());
+        // (4·16 + 16) + (16·8 + 8) + (8·2 + 2) = 80+136+18.
+        assert_eq!(mlp.num_parameters(), 80 + 136 + 18);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let train = blob_data(3, 20);
+        let mut a = Mlp::new(&small_cfg());
+        let mut b = Mlp::new(&small_cfg());
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        let x = vec![0.5; 4];
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn paper_best_config_shape() {
+        let c = MlpConfig::paper_best(288, 7);
+        assert_eq!((c.hidden1, c.hidden2), (1024, 1024));
+        let swept = c.with_hidden(128, 256);
+        assert_eq!((swept.hidden1, swept.hidden2), (128, 256));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let mlp = Mlp::new(&small_cfg());
+        assert!(format!("{mlp:?}").contains("4-16-8-2"));
+    }
+}

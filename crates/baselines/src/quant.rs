@@ -1,0 +1,373 @@
+//! Fixed-point weight quantization and bit-error injection for the
+//! DNN robustness study (Table 2).
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use crate::error::BaselineError;
+use crate::mlp::{argmax, Mlp};
+
+/// Model weight precision: the paper evaluates 16-, 8- and 4-bit DNN
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// 16-bit fixed point.
+    Bits16,
+    /// 8-bit fixed point.
+    Bits8,
+    /// 4-bit fixed point.
+    Bits4,
+}
+
+impl WeightPrecision {
+    /// All precisions studied by Table 2, in paper order.
+    pub const ALL: [WeightPrecision; 3] = [
+        WeightPrecision::Bits16,
+        WeightPrecision::Bits8,
+        WeightPrecision::Bits4,
+    ];
+
+    /// Number of bits per weight.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            WeightPrecision::Bits16 => 16,
+            WeightPrecision::Bits8 => 8,
+            WeightPrecision::Bits4 => 4,
+        }
+    }
+
+    /// Label used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightPrecision::Bits16 => "16-bit",
+            WeightPrecision::Bits8 => "8-bit",
+            WeightPrecision::Bits4 => "4-bit",
+        }
+    }
+}
+
+/// One quantized layer: signed fixed-point codes plus a scale such
+/// that `weight ≈ code · scale`.
+#[derive(Debug, Clone)]
+struct QuantLayer {
+    codes: Vec<i32>,
+    bias_codes: Vec<i32>,
+    scale: f64,
+    bias_scale: f64,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl QuantLayer {
+    fn quantize(weights: &[f64], biases: &[f64], inputs: usize, outputs: usize, bits: u32) -> Self {
+        let qmax = (1i64 << (bits - 1)) - 1;
+        let wmax = weights.iter().fold(0.0f64, |a, &w| a.max(w.abs())).max(1e-12);
+        let bmax = biases.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-12);
+        let scale = wmax / qmax as f64;
+        let bias_scale = bmax / qmax as f64;
+        QuantLayer {
+            codes: weights
+                .iter()
+                .map(|&w| (w / scale).round().clamp(-(qmax as f64) - 1.0, qmax as f64) as i32)
+                .collect(),
+            bias_codes: biases
+                .iter()
+                .map(|&b| (b / bias_scale).round().clamp(-(qmax as f64) - 1.0, qmax as f64) as i32)
+                .collect(),
+            scale,
+            bias_scale,
+            inputs,
+            outputs,
+        }
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        f64::from(self.codes[i]) * self.scale
+    }
+
+    fn bias(&self, o: usize) -> f64 {
+        f64::from(self.bias_codes[o]) * self.bias_scale
+    }
+}
+
+/// An [`Mlp`] whose weights are stored in signed fixed point at 16, 8
+/// or 4 bits.
+///
+/// Inference dequantizes on the fly (code × scale) — numerically
+/// identical to integer inference with a final rescale. Bit errors
+/// flip uniformly chosen bits *within the stored codes*, which is the
+/// fault model of the paper's Table 2: a flipped high-order bit in a
+/// high-precision weight moves the value a lot, which is exactly why
+/// the 16-bit model is the most fragile.
+pub struct QuantizedMlp {
+    layers: Vec<QuantLayer>,
+    precision: WeightPrecision,
+    input: usize,
+    output: usize,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained float model.
+    #[must_use]
+    pub fn from_mlp(mlp: &Mlp, precision: WeightPrecision) -> Self {
+        let layers = mlp
+            .layers
+            .iter()
+            .map(|l| {
+                QuantLayer::quantize(&l.weights, &l.biases, l.inputs, l.outputs, precision.bits())
+            })
+            .collect();
+        QuantizedMlp {
+            layers,
+            precision,
+            input: mlp.config().input,
+            output: mlp.config().output,
+        }
+    }
+
+    /// The stored precision.
+    #[must_use]
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// Total number of weight/bias codes (error-injection targets).
+    #[must_use]
+    pub fn num_codes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.codes.len() + l.bias_codes.len())
+            .sum()
+    }
+
+    /// Class scores for one input (ReLU hidden layers; the softmax is
+    /// monotone and skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        if x.len() != self.input {
+            return Err(BaselineError::InputLengthMismatch {
+                expected: self.input,
+                actual: x.len(),
+            });
+        }
+        let mut a = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut next = Vec::with_capacity(layer.outputs);
+            for o in 0..layer.outputs {
+                let mut sum = layer.bias(o);
+                for (i, ai) in a.iter().enumerate().take(layer.inputs) {
+                    sum += layer.weight(o * layer.inputs + i) * ai;
+                }
+                if li + 1 < self.layers.len() && sum < 0.0 {
+                    sum = 0.0;
+                }
+                next.push(sum);
+            }
+            a = next;
+        }
+        Ok(a)
+    }
+
+    /// Predicted class for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, BaselineError> {
+        Ok(argmax(&self.forward(x)?))
+    }
+
+    /// Fraction of correctly classified samples (`0.0` when empty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass validation errors.
+    pub fn accuracy(&self, data: &[(Vec<f64>, usize)]) -> Result<f64, BaselineError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0;
+        for (x, y) in data {
+            if self.predict(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Returns a copy in which every stored bit is flipped
+    /// independently with probability `rate` — random bit errors over
+    /// the weight memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_bit_errors<R: Rng>(&self, rate: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let bits = self.precision.bits();
+        let mut flip_code = |code: i32| -> i32 {
+            let mut c = code;
+            for b in 0..bits {
+                if rng.random_bool(rate) {
+                    c ^= 1 << b;
+                }
+            }
+            // Sign-extend back into the value range of `bits`-wide
+            // two's complement.
+            let shift = 32 - bits;
+            (c << shift) >> shift
+        };
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| QuantLayer {
+                codes: l.codes.iter().map(|&c| flip_code(c)).collect(),
+                bias_codes: l.bias_codes.iter().map(|&c| flip_code(c)).collect(),
+                scale: l.scale,
+                bias_scale: l.bias_scale,
+                inputs: l.inputs,
+                outputs: l.outputs,
+            })
+            .collect();
+        QuantizedMlp {
+            layers,
+            precision: self.precision,
+            input: self.input,
+            output: self.output,
+        }
+    }
+}
+
+impl fmt::Debug for QuantizedMlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantizedMlp({}, {} codes, {}→{})",
+            self.precision.name(),
+            self.num_codes(),
+            self.input,
+            self.output
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn trained_mlp() -> (Mlp, Vec<(Vec<f64>, usize)>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = Vec::new();
+        for _ in 0..60 {
+            let a: Vec<f64> = (0..4).map(|_| 0.25 + rng.random_range(-0.1..0.1)).collect();
+            data.push((a, 0));
+            let b: Vec<f64> = (0..4).map(|_| 0.75 + rng.random_range(-0.1..0.1)).collect();
+            data.push((b, 1));
+        }
+        let cfg = MlpConfig {
+            input: 4,
+            hidden1: 12,
+            hidden2: 8,
+            output: 2,
+            lr: 0.1,
+            momentum: 0.9,
+            epochs: 40,
+            batch_size: 8,
+            seed: 3,
+        };
+        let mut mlp = Mlp::new(&cfg);
+        mlp.fit(&data).unwrap();
+        (mlp, data)
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(WeightPrecision::Bits16.bits(), 16);
+        assert_eq!(WeightPrecision::Bits4.name(), "4-bit");
+        assert_eq!(WeightPrecision::ALL.len(), 3);
+    }
+
+    #[test]
+    fn sixteen_bit_quantization_is_nearly_lossless() {
+        let (mlp, data) = trained_mlp();
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits16);
+        let fa = mlp.accuracy(&data).unwrap();
+        let qa = q.accuracy(&data).unwrap();
+        assert!((fa - qa).abs() < 0.02, "float {fa} vs q16 {qa}");
+    }
+
+    #[test]
+    fn lower_precision_loses_some_accuracy_but_works() {
+        let (mlp, data) = trained_mlp();
+        let q4 = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits4);
+        let acc = q4.accuracy(&data).unwrap();
+        assert!(acc > 0.7, "4-bit accuracy {acc}");
+    }
+
+    #[test]
+    fn high_precision_is_more_fragile_under_bit_errors() {
+        // The paper's Table 2 trend: at equal bit-error rate, the
+        // 16-bit model degrades more than the 4-bit model because
+        // flipped high-order bits move values further.
+        let (mlp, data) = trained_mlp();
+        let rate = 0.08;
+        let trials = 12;
+        let mut loss16 = 0.0;
+        let mut loss4 = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let q16 = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits16);
+            let q4 = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits4);
+            let c16 = q16.accuracy(&data).unwrap();
+            let c4 = q4.accuracy(&data).unwrap();
+            loss16 += c16 - q16.with_bit_errors(rate, &mut rng).accuracy(&data).unwrap();
+            loss4 += c4 - q4.with_bit_errors(rate, &mut rng).accuracy(&data).unwrap();
+        }
+        assert!(
+            loss16 > loss4,
+            "16-bit mean loss {} should exceed 4-bit {}",
+            loss16 / trials as f64,
+            loss4 / trials as f64
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let (mlp, data) = trained_mlp();
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let same = q.with_bit_errors(0.0, &mut rng);
+        assert_eq!(q.accuracy(&data).unwrap(), same.accuracy(&data).unwrap());
+    }
+
+    #[test]
+    fn forward_validates_input_length() {
+        let (mlp, _) = trained_mlp();
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits8);
+        assert!(matches!(
+            q.forward(&[0.0; 3]),
+            Err(BaselineError::InputLengthMismatch { .. })
+        ));
+        assert_eq!(q.accuracy(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn debug_and_counts() {
+        let (mlp, _) = trained_mlp();
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits8);
+        assert_eq!(q.num_codes(), mlp.num_parameters());
+        assert!(format!("{q:?}").contains("8-bit"));
+        assert_eq!(q.precision(), WeightPrecision::Bits8);
+    }
+}

@@ -1,0 +1,267 @@
+//! One-vs-rest linear SVM (Pegasos-style hinge-loss SGD).
+
+use std::fmt;
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::error::BaselineError;
+use crate::mlp::argmax;
+
+/// Hyperparameters of the SVM baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmConfig {
+    /// Input feature length.
+    pub input: usize,
+    /// Number of classes (one binary machine per class).
+    pub classes: usize,
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl SvmConfig {
+    /// Defaults that work well on normalized HOG features.
+    #[must_use]
+    pub fn new(input: usize, classes: usize) -> Self {
+        SvmConfig {
+            input,
+            classes,
+            lambda: 1e-4,
+            epochs: 40,
+            seed: 0,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM trained with the Pegasos schedule
+/// (step size `1/(λ·t)`).
+pub struct LinearSvm {
+    config: SvmConfig,
+    /// Per-class weight vectors, row-major `classes × input`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    rng: StdRng,
+    step: usize,
+}
+
+impl LinearSvm {
+    /// Initializes a zero-weight machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `classes` is zero.
+    #[must_use]
+    pub fn new(config: &SvmConfig) -> Self {
+        assert!(config.input > 0 && config.classes > 0, "sizes must be positive");
+        LinearSvm {
+            config: *config,
+            weights: vec![0.0; config.input * config.classes],
+            biases: vec![0.0; config.classes],
+            rng: StdRng::seed_from_u64(config.seed),
+            step: 1,
+        }
+    }
+
+    /// The configuration the machine was built with.
+    #[must_use]
+    pub fn config(&self) -> &SvmConfig {
+        &self.config
+    }
+
+    /// Per-class decision margins for one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn margins(&self, x: &[f64]) -> Result<Vec<f64>, BaselineError> {
+        if x.len() != self.config.input {
+            return Err(BaselineError::InputLengthMismatch {
+                expected: self.config.input,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.config.classes)
+            .map(|c| {
+                let row = &self.weights[c * self.config.input..(c + 1) * self.config.input];
+                row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[c]
+            })
+            .collect())
+    }
+
+    /// Predicted class (largest margin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InputLengthMismatch`] for wrong input
+    /// sizes.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, BaselineError> {
+        Ok(argmax(&self.margins(x)?))
+    }
+
+    /// Fraction of correctly classified samples (`0.0` when empty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn accuracy(&self, data: &[(Vec<f64>, usize)]) -> Result<f64, BaselineError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0;
+        for (x, y) in data {
+            if self.predict(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Trains with the Pegasos schedule for the configured epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingSet`] for no samples,
+    /// plus the usual shape/label validation.
+    pub fn fit(&mut self, data: &[(Vec<f64>, usize)]) -> Result<(), BaselineError> {
+        if data.is_empty() {
+            return Err(BaselineError::EmptyTrainingSet);
+        }
+        for (x, y) in data {
+            if x.len() != self.config.input {
+                return Err(BaselineError::InputLengthMismatch {
+                    expected: self.config.input,
+                    actual: x.len(),
+                });
+            }
+            if *y >= self.config.classes {
+                return Err(BaselineError::LabelOutOfRange {
+                    label: *y,
+                    num_classes: self.config.classes,
+                });
+            }
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = self.rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (x, y) = &data[i];
+                self.pegasos_step(x, *y);
+            }
+        }
+        Ok(())
+    }
+
+    /// One Pegasos update: every class machine sees the sample with
+    /// target +1 (its class) or −1 (rest).
+    fn pegasos_step(&mut self, x: &[f64], label: usize) {
+        let eta = 1.0 / (self.config.lambda * self.step as f64);
+        let n = self.config.input;
+        for c in 0..self.config.classes {
+            let target = if c == label { 1.0 } else { -1.0 };
+            let row = &self.weights[c * n..(c + 1) * n];
+            let margin: f64 =
+                row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[c];
+            let shrink = 1.0 - eta * self.config.lambda;
+            let row = &mut self.weights[c * n..(c + 1) * n];
+            for w in row.iter_mut() {
+                *w *= shrink;
+            }
+            if target * margin < 1.0 {
+                let row = &mut self.weights[c * n..(c + 1) * n];
+                for (w, xi) in row.iter_mut().zip(x) {
+                    *w += eta * target * xi;
+                }
+                self.biases[c] += eta * target * 0.1;
+            }
+        }
+        self.step += 1;
+    }
+}
+
+impl fmt::Debug for LinearSvm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LinearSvm({} classes × {} features, λ={})",
+            self.config.classes, self.config.input, self.config.lambda
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(seed: u64, n_per: usize, k: usize) -> Vec<(Vec<f64>, usize)> {
+        // Class c's center is 0.8·e_c (orthogonal directions), so each
+        // one-vs-rest machine has a clean separating hyperplane.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for c in 0..k {
+            for _ in 0..n_per {
+                let x: Vec<f64> = (0..6)
+                    .map(|d| {
+                        let center = if d == c { 0.8 } else { 0.1 };
+                        center + rng.random_range(-0.12..0.12)
+                    })
+                    .collect();
+                data.push((x, c));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn learns_linearly_separable_blobs() {
+        let mut svm = LinearSvm::new(&SvmConfig::new(6, 3));
+        let train = blobs(1, 30, 3);
+        let test = blobs(2, 30, 3);
+        svm.fit(&train).unwrap();
+        let acc = svm.accuracy(&test).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn margins_have_one_entry_per_class() {
+        let svm = LinearSvm::new(&SvmConfig::new(6, 4));
+        let m = svm.margins(&[0.0; 6]).unwrap();
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut svm = LinearSvm::new(&SvmConfig::new(6, 2));
+        assert!(matches!(svm.fit(&[]), Err(BaselineError::EmptyTrainingSet)));
+        assert!(svm.margins(&[0.0; 5]).is_err());
+        assert!(matches!(
+            svm.fit(&[(vec![0.0; 6], 9)]),
+            Err(BaselineError::LabelOutOfRange { .. })
+        ));
+        assert_eq!(svm.accuracy(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let train = blobs(3, 20, 2);
+        let mut a = LinearSvm::new(&SvmConfig::new(6, 2));
+        let mut b = LinearSvm::new(&SvmConfig::new(6, 2));
+        a.fit(&train).unwrap();
+        b.fit(&train).unwrap();
+        let x = vec![0.4; 6];
+        assert_eq!(a.margins(&x).unwrap(), b.margins(&x).unwrap());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let svm = LinearSvm::new(&SvmConfig::new(6, 2));
+        assert!(format!("{svm:?}").contains("2 classes"));
+        assert_eq!(svm.config().classes, 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the baseline learners.
+
+use hdface_baselines::{LinearSvm, Mlp, MlpConfig, QuantizedMlp, SvmConfig, WeightPrecision};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_mlp(seed: u64) -> Mlp {
+    Mlp::new(&MlpConfig {
+        input: 6,
+        hidden1: 10,
+        hidden2: 8,
+        output: 3,
+        lr: 0.05,
+        momentum: 0.9,
+        epochs: 5,
+        batch_size: 4,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_outputs_a_probability_simplex(
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+        seed in any::<u64>(),
+    ) {
+        let mlp = small_mlp(seed);
+        let p = mlp.forward(&x).unwrap();
+        prop_assert_eq!(p.len(), 3);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn prediction_is_argmax_of_forward(
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+        seed in any::<u64>(),
+    ) {
+        let mlp = small_mlp(seed);
+        let p = mlp.forward(&x).unwrap();
+        let pred = mlp.predict(&x).unwrap();
+        for v in &p {
+            prop_assert!(p[pred] >= *v);
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_per_weight(seed in any::<u64>()) {
+        // 16-bit quantization must reproduce the float forward pass
+        // closely on any input.
+        let mlp = small_mlp(seed);
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Bits16);
+        let x = vec![0.3; 6];
+        let fp = mlp.forward(&x).unwrap();
+        let qp = q.forward(&x).unwrap();
+        // Compare argmax (scores are pre-softmax in the quantized
+        // path, so compare decisions).
+        let fa = fp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let qa = qp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        prop_assert_eq!(fa, qa);
+    }
+
+    #[test]
+    fn zero_rate_bit_errors_change_nothing(seed in any::<u64>(), prec in prop::sample::select(
+        vec![WeightPrecision::Bits16, WeightPrecision::Bits8, WeightPrecision::Bits4]
+    )) {
+        let mlp = small_mlp(seed);
+        let q = QuantizedMlp::from_mlp(&mlp, prec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let same = q.with_bit_errors(0.0, &mut rng);
+        let x = vec![0.5; 6];
+        prop_assert_eq!(q.forward(&x).unwrap(), same.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn svm_margins_are_linear_in_input_scale(
+        x in prop::collection::vec(0.0f64..1.0, 6),
+        k in 0.1f64..4.0,
+    ) {
+        // An untrained-then-fitted SVM is linear: margins(k·x) − b
+        // scales by k. Verify on a trained machine.
+        let mut svm = LinearSvm::new(&SvmConfig::new(6, 2));
+        let data = vec![
+            (vec![0.9, 0.9, 0.1, 0.1, 0.5, 0.5], 0),
+            (vec![0.1, 0.1, 0.9, 0.9, 0.5, 0.5], 1),
+        ];
+        svm.fit(&data).unwrap();
+        let m1 = svm.margins(&x).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        let m2 = svm.margins(&scaled).unwrap();
+        let zero = svm.margins(&[0.0; 6]).unwrap();
+        for i in 0..2 {
+            let lin = (m1[i] - zero[i]) * k + zero[i];
+            prop_assert!((m2[i] - lin).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_a_fraction(seed in any::<u64>()) {
+        let mlp = small_mlp(seed);
+        let data: Vec<(Vec<f64>, usize)> =
+            (0..7).map(|i| (vec![i as f64 / 7.0; 6], i % 3)).collect();
+        let acc = mlp.accuracy(&data).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the stochastic arithmetic primitives —
+//! the microarchitecture-level companion to Fig. 2 (how expensive each
+//! primitive is at the paper's dimensionalities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdface_stochastic::StochasticContext;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_primitives");
+    group.sample_size(20);
+    for dim in [1024usize, 4096, 10240] {
+        let mut ctx = StochasticContext::new(dim, 7);
+        let a = ctx.encode(0.6).unwrap();
+        let b = ctx.encode(-0.3).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("encode", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.encode(black_box(0.37)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decode", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.decode(black_box(&a)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("weighted_average", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.weighted_average(black_box(&a), black_box(&b), 0.5).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("multiply", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.mul(black_box(&a), black_box(&b)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("square", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.square(black_box(&a)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("sqrt", dim), &dim, |bch, _| {
+            bch.iter(|| ctx.sqrt(black_box(&a)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

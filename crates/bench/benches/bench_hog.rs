@@ -1,0 +1,36 @@
+//! Criterion benchmarks comparing the classic float HOG against the
+//! hyperdimensional HOG — the software-side cost of moving feature
+//! extraction into hyperspace (the hardware-side story is `exp_fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdface_hog::{ClassicHog, HogConfig, HyperHog, HyperHogConfig};
+use hdface_imaging::GrayImage;
+use std::hint::black_box;
+
+fn test_image(n: usize) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    })
+}
+
+fn bench_extractors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hog_extraction_32x32");
+    group.sample_size(10);
+    let img = test_image(32);
+
+    let classic = ClassicHog::new(HogConfig::paper());
+    group.bench_function("classic_float", |b| {
+        b.iter(|| classic.extract(black_box(&img)));
+    });
+
+    for dim in [1024usize, 4096] {
+        let mut hyper = HyperHog::new(HyperHogConfig::with_dim(dim), 3);
+        group.bench_with_input(BenchmarkId::new("hyperdimensional", dim), &dim, |b, _| {
+            b.iter(|| hyper.extract(black_box(&img)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extractors);
+criterion_main!(benches);

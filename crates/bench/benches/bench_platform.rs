@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the analytic platform models themselves —
+//! the cost-model evaluation is pure arithmetic and must stay cheap
+//! enough to sweep (Fig. 7 evaluates dozens of scenario × platform ×
+//! phase combinations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdface_hwsim::{CpuModel, FpgaModel, Phase, Platform, Scenario};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hwsim");
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kintex7();
+    let scenarios = Scenario::table1();
+
+    group.bench_function("fig7_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sc in &scenarios {
+                for phase in [
+                    Phase::Training,
+                    Phase::TrainingEpoch,
+                    Phase::Inference,
+                    Phase::InferenceCached,
+                ] {
+                    for p in [&cpu as &dyn Platform, &fpga] {
+                        let row = sc.compare(black_box(p), phase);
+                        acc += row.speedup + row.energy_gain;
+                    }
+                }
+            }
+            acc
+        });
+    });
+
+    group.bench_function("single_workload_ops", |b| {
+        let sc = scenarios[0];
+        let hd = sc.hdface_default();
+        b.iter(|| sc.ops(black_box(&hd), Phase::Training));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the learning stages: one adaptive HDC
+//! epoch versus one DNN epoch over identical sample counts — the
+//! software measurement behind the paper's per-epoch claim (0.9 s vs
+//! 5.4 s on the embedded CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdface_baselines::{Mlp, MlpConfig};
+use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+use hdface_learn::{HdClassifier, TrainConfig};
+use std::hint::black_box;
+
+const SAMPLES: usize = 64;
+const FEATURES: usize = 288; // 6x6 cells x 8 bins
+const CLASSES: usize = 7;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_training_epoch");
+    group.sample_size(10);
+
+    // HDC epoch at the paper's dimensionalities.
+    for dim in [1024usize, 4096] {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let samples: Vec<(BitVector, usize)> = (0..SAMPLES)
+            .map(|i| (BitVector::random(dim, &mut rng), i % CLASSES))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("hdc_epoch", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut clf = HdClassifier::new(CLASSES, dim);
+                clf.fit(
+                    black_box(&samples),
+                    &TrainConfig::single_pass(),
+                    &mut rng,
+                )
+                .unwrap();
+            });
+        });
+    }
+
+    // DNN epoch at two hidden sizes of the Fig. 5b sweep.
+    for hidden in [256usize, 1024] {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let data: Vec<(Vec<f64>, usize)> = (0..SAMPLES)
+            .map(|i| {
+                let x: Vec<f64> = (0..FEATURES)
+                    .map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0)
+                    .collect();
+                (x, i % CLASSES)
+            })
+            .collect();
+        let _ = &mut rng;
+        group.bench_with_input(BenchmarkId::new("dnn_epoch", hidden), &hidden, |b, &h| {
+            b.iter(|| {
+                let cfg = MlpConfig {
+                    input: FEATURES,
+                    hidden1: h,
+                    hidden2: h,
+                    output: CLASSES,
+                    lr: 0.02,
+                    momentum: 0.9,
+                    epochs: 1,
+                    batch_size: 16,
+                    seed: 3,
+                };
+                let mut mlp = Mlp::new(&cfg);
+                mlp.fit(black_box(&data)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

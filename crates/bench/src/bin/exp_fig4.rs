@@ -1,0 +1,112 @@
+//! **Fig. 4 reproduction** — classification accuracy of HDFace in its
+//! configurations against the DNN and SVM baselines, on all three
+//! (synthetic-substitute) datasets with identical HOG geometry.
+//!
+//! Columns follow the paper's bar groups:
+//! * `HDC+HOG(orig)` — classic float HOG + non-linear HDC encoder +
+//!   HDC learning (paper configuration 1);
+//! * `HDC+HOG(HD)` — the fully hyperdimensional pipeline (stochastic
+//!   HOG, no encoder; paper configuration 2);
+//! * `DNN` — 4-layer MLP (best 1024×1024-class architecture scaled to
+//!   the quick run);
+//! * `SVM` — one-vs-rest linear SVM.
+//!
+//! Paper claims to reproduce: HDC accuracy ≥ DNN > SVM on average, and
+//! the stochastic feature extraction matching original-space HOG
+//! quality.
+//!
+//! ```sh
+//! cargo run --release -p hdface-bench --bin exp_fig4 [-- --full]
+//! ```
+
+use hdface::datasets::{emotion_spec, face1_spec, face2_spec, DatasetSpec};
+use hdface::hog::HogConfig;
+use hdface::learn::TrainConfig;
+
+const HD_EPOCHS: usize = 10;
+use hdface::pipeline::{DnnPipeline, HdFeatureMode, HdPipeline, SvmPipeline};
+use hdface_bench::{pct, RunConfig, Table};
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    // Generation sizes: windows stay small so the stochastic pipeline
+    // runs in minutes; --full doubles data and window size.
+    let win = cfg.pick(32, 48);
+    let dim = 4096;
+    let specs: Vec<DatasetSpec> = vec![
+        // EMOTION stays at its native 48x48 (expression geometry does
+        // not survive harsher downscaling).
+        emotion_spec().scaled(cfg.pick(350, 560)),
+        face1_spec().at_size(win).scaled(cfg.pick(160, 320)),
+        face2_spec().at_size(win).scaled(cfg.pick(160, 320)),
+    ];
+
+    println!("== Fig. 4: accuracy vs state-of-the-art (D = {dim}) ==\n");
+    let mut table = Table::new(&[
+        "dataset",
+        "HDC+HOG(orig)",
+        "HDC+HOG(HD)",
+        "DNN",
+        "SVM",
+    ]);
+    let mut sums = [0.0f64; 4];
+
+    for spec in &specs {
+        let ds = spec.generate(cfg.seed);
+        let (train, test) = ds.split(0.75);
+
+        let hd_train = TrainConfig {
+            epochs: HD_EPOCHS,
+            ..TrainConfig::default()
+        };
+        let mut enc = HdPipeline::new(HdFeatureMode::encoded_classic(dim), cfg.seed);
+        enc.train(&train, &hd_train).expect("train");
+        let a_enc = enc.evaluate(&test).expect("eval");
+
+        let mut hd = HdPipeline::new(HdFeatureMode::hyper_hog(dim), cfg.seed);
+        hd.train(&train, &hd_train).expect("train");
+        let a_hd = hd.evaluate(&test).expect("eval");
+
+        let mut dnn = DnnPipeline::new(
+            HogConfig::paper(),
+            cfg.pick((256, 256), (1024, 1024)),
+            120,
+            cfg.seed,
+        );
+        dnn.train(&train).expect("train");
+        let a_dnn = dnn.evaluate(&test).expect("eval");
+
+        let mut svm = SvmPipeline::new(HogConfig::paper(), 40, cfg.seed);
+        svm.train(&train).expect("train");
+        let a_svm = svm.evaluate(&test).expect("eval");
+
+        for (s, a) in sums.iter_mut().zip([a_enc, a_hd, a_dnn, a_svm]) {
+            *s += a;
+        }
+        table.row(&[
+            &spec.name,
+            &pct(a_enc),
+            &pct(a_hd),
+            &pct(a_dnn),
+            &pct(a_svm),
+        ]);
+    }
+    let n = specs.len() as f64;
+    table.row(&[
+        &"average",
+        &pct(sums[0] / n),
+        &pct(sums[1] / n),
+        &pct(sums[2] / n),
+        &pct(sums[3] / n),
+    ]);
+    table.print();
+
+    println!(
+        "\nshape check (paper): HDC ≥ DNN on average (paper: +3.9%), DNN > SVM\n\
+         (paper: HDC +10.4% over SVM), and the HD-HOG column is within a few\n\
+         points of the original-space HOG column (paper: 'same quality').\n\
+         note: on these small synthetic sets the linear SVM is unusually\n\
+         strong because the classes are clean; the HDC-vs-DNN ordering is\n\
+         the paper-relevant comparison."
+    );
+}

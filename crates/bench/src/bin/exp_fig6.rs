@@ -1,0 +1,166 @@
+//! **Fig. 6 reproduction** — visualizing the impact of dimensionality:
+//! (a) sliding-window face detection maps over a scene at D = 1k vs
+//! D = 4k (detected windows painted blue, false alarms red);
+//! (b) emotion prediction on one face per class at several
+//! dimensionalities.
+//!
+//! Paper claims to reproduce: low-dimensional models mispredict a few
+//! windows / emotions; the mispredictions disappear (or shrink) as D
+//! grows.
+//!
+//! Outputs: `out/fig6_detection_d*.ppm` + console tables.
+//!
+//! ```sh
+//! cargo run --release -p hdface-bench --bin exp_fig6 [-- --full]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use hdface::datasets::{emotion_spec, face2_spec, render_face, Emotion, FaceParams};
+use hdface::hdc::{HdcRng, SeedableRng};
+use hdface::imaging::{
+    gaussian_noise, write_ppm_overlay, Canvas, GrayImage, Rgb, SlidingWindows,
+};
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface_bench::{RunConfig, Table};
+
+const WINDOW: usize = 32;
+
+/// A clutter scene with three embedded faces at known positions.
+fn build_scene(size: usize, rng: &mut HdcRng) -> (GrayImage, Vec<(usize, usize)>) {
+    let mut canvas = Canvas::new(GrayImage::filled(size, size, 0.4));
+    canvas.linear_gradient(0.25, 0.55, 1.1);
+    for i in 0..6 {
+        let t = i as f32 * size as f32 / 6.0;
+        canvas.line(t, 0.0, size as f32 - t, size as f32, 2.0, 0.2);
+        canvas.fill_rect(
+            (i * 31 % size) as isize,
+            ((i * 53 + 17) % size) as isize,
+            size / 8,
+            size / 10,
+            0.6,
+        );
+    }
+    let mut scene = canvas.into_image();
+    let margin = size - WINDOW;
+    let positions: Vec<(usize, usize)> = vec![
+        (margin / 8, margin / 6),
+        (margin * 3 / 4, margin / 3),
+        (margin / 3, margin * 4 / 5),
+    ];
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let emotion = Emotion::ALL[i * 2 % 7];
+        let face = render_face(WINDOW, &FaceParams::centered(WINDOW, emotion), rng);
+        for dy in 0..WINDOW {
+            for dx in 0..WINDOW {
+                scene.set(x + dx, y + dy, face.get(dx, dy));
+            }
+        }
+    }
+    (gaussian_noise(&scene, 0.02, rng), positions)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = RunConfig::from_args();
+    std::fs::create_dir_all("out")?;
+    let mut rng = HdcRng::seed_from_u64(cfg.seed);
+
+    // ------------------- (a) face detection maps -------------------
+    println!("== Fig. 6a: sliding-window detection maps ==\n");
+    let scene_size = cfg.pick(96, 128);
+    let (scene, truth) = build_scene(scene_size, &mut rng);
+    let train = face2_spec()
+        .scaled(cfg.pick(120, 240))
+        .at_size(WINDOW)
+        .generate(cfg.seed + 1);
+
+    let mut t6a = Table::new(&["D", "windows", "hits", "false alarms", "output"]);
+    for dim in [1024usize, 4096] {
+        let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(dim), cfg.seed);
+        pipeline.train(&train, &TrainConfig::default())?;
+        let mut marked = Vec::new();
+        let mut hits = 0usize;
+        let mut false_alarms = 0usize;
+        let windows: Vec<_> =
+            SlidingWindows::new(&scene, WINDOW, WINDOW, WINDOW / 2).collect();
+        for w in &windows {
+            let crop = scene.crop(w.x, w.y, w.width, w.height)?;
+            if pipeline.predict(&crop)? == 1 {
+                let is_true = truth.iter().any(|&(fx, fy)| {
+                    (w.x as isize - fx as isize).unsigned_abs() < WINDOW / 2
+                        && (w.y as isize - fy as isize).unsigned_abs() < WINDOW / 2
+                });
+                if is_true {
+                    hits += 1;
+                    marked.push((*w, Rgb::DETECTION_BLUE));
+                } else {
+                    false_alarms += 1;
+                    marked.push((*w, Rgb::ERROR_RED));
+                }
+            }
+        }
+        let path = format!("out/fig6_detection_d{dim}.ppm");
+        write_ppm_overlay(&scene, &marked, BufWriter::new(File::create(&path)?))?;
+        t6a.row(&[&dim, &windows.len(), &hits, &false_alarms, &path]);
+    }
+    t6a.print();
+    println!(
+        "shape check (paper Fig. 6a): D = 1k flags spurious windows; the\n\
+         mispredictions shrink or disappear at D = 4k.\n"
+    );
+
+    // ------------------- (b) emotion predictions --------------------
+    println!("== Fig. 6b: emotion prediction vs dimensionality ==\n");
+    let emotion_train = emotion_spec()
+        .scaled(cfg.pick(280, 490))
+        .generate(cfg.seed + 2);
+    let mut t6b = Table::new(&["emotion", "D=1k", "D=4k", "D=8k"]);
+    let mut pipes: Vec<(usize, HdPipeline)> = [1024usize, 4096, 8192]
+        .iter()
+        .map(|&d| {
+            let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(d), cfg.seed);
+            p.train(&emotion_train, &TrainConfig::default())
+                .expect("train");
+            (d, p)
+        })
+        .collect();
+    let mut correct = [0usize; 3];
+    for e in Emotion::ALL {
+        let img = render_face(
+            48,
+            &FaceParams::randomized_centered(48, e, &mut rng),
+            &mut rng,
+        );
+        let mut row: Vec<String> = vec![e.name().to_owned()];
+        for (i, (_, p)) in pipes.iter_mut().enumerate() {
+            let pred = Emotion::ALL[p.predict(&img)?];
+            if pred == e {
+                correct[i] += 1;
+            }
+            row.push(if pred == e {
+                format!("{} *", pred.name())
+            } else {
+                pred.name().to_owned()
+            });
+        }
+        let refs: Vec<&dyn std::fmt::Display> =
+            row.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        t6b.row(&refs);
+    }
+    t6b.row(&[
+        &"correct",
+        &format!("{}/7", correct[0]),
+        &format!("{}/7", correct[1]),
+        &format!("{}/7", correct[2]),
+    ]);
+    t6b.print();
+    println!(
+        "shape check (paper Fig. 6b): predictions improve with D (the paper\n\
+         shows an error at D = 1k resolved by D ≥ 4k). Fine-grained expression\n\
+         recognition through the stochastic extractor remains noise-limited —\n\
+         see EXPERIMENTS.md for the quantified SNR analysis."
+    );
+    Ok(())
+}

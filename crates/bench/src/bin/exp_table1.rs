@@ -1,0 +1,53 @@
+//! **Table 1 reproduction** — the three evaluation datasets. Prints
+//! the paper-nominal shapes next to the synthetic-substitute shapes
+//! actually generated (see `DESIGN.md` §2 for the substitution
+//! rationale), and verifies each generated set is balanced and
+//! class-complete.
+//!
+//! ```sh
+//! cargo run --release -p hdface-bench --bin exp_table1 [-- --full]
+//! ```
+
+use hdface_bench::{RunConfig, Table};
+use hdface_datasets::TABLE1;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    println!("== Table 1: datasets (paper-nominal vs generated substitute) ==\n");
+    let mut table = Table::new(&[
+        "dataset",
+        "n (paper)",
+        "k",
+        "train size (paper)",
+        "n (generated)",
+        "samples (generated)",
+        "balanced",
+    ]);
+    for spec_fn in TABLE1 {
+        let spec = spec_fn();
+        let spec = if cfg.full {
+            spec.scaled(spec.sample_count * 4)
+        } else {
+            spec
+        };
+        let ds = spec.generate(cfg.seed);
+        let counts = ds.class_counts();
+        let balanced = counts.iter().max() == counts.iter().min()
+            || counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1;
+        table.row(&[
+            &spec.name,
+            &format!("{0}x{0}", spec.nominal_image_size),
+            &spec.num_classes,
+            &spec.nominal_train_size,
+            &format!("{0}x{0}", spec.image_size),
+            &ds.len(),
+            &balanced,
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference (Table 1): EMOTION 48x48/7/36,685; FACE1 1024x1024/2/40,172;\n\
+         FACE2 512x512/2/522,441. Generated substitutes keep n and k semantics; sample\n\
+         counts are laptop-scale by default (procedural generators extrapolate freely)."
+    );
+}

@@ -1,0 +1,225 @@
+//! **Table 2 reproduction** — robustness to random bit errors.
+//!
+//! Fault model: memory faults — every *stored* artifact of the
+//! deployed classifier is corrupted once at the given bit-error rate:
+//!
+//! * `DNN 16/8/4-bit` — the fixed-point weight memory of the MLP
+//!   baseline;
+//! * `HDFace+HoG+Learn (D = 10k/4k/1k)` — the feature hypervectors
+//!   produced by the fully hyperdimensional HOG pipeline *and* the
+//!   binary class hypervectors (both are plain bit memories);
+//! * `HDFace+Learn (D = 10k/4k/1k)` — HOG on the original float
+//!   representation: the IEEE-754 feature words are corrupted before
+//!   HDC encoding, plus the same class-hypervector corruption.
+//!
+//! Entries are **quality loss** relative to the clean reference,
+//! matching the paper's table semantics.
+//!
+//! Paper claims to reproduce: DNN precision trades accuracy for
+//! robustness; full-HD HDFace absorbs several percent bit error with
+//! ≈0 loss at D ≥ 4k; HOG on the original representation "entirely
+//! removes the advantage".
+//!
+//! ```sh
+//! cargo run --release -p hdface-bench --bin exp_table2 [-- --full]
+//! ```
+
+use hdface::baselines::{QuantizedMlp, WeightPrecision};
+use hdface::hdc::{BitVector, HdcRng, SeedableRng};
+use hdface::hog::{ClassicHog, HogConfig, HyperHog, HyperHogConfig};
+use hdface::learn::{FeatureEncoder, HdClassifier, LevelIdEncoder, TrainConfig};
+use hdface::noise::BitErrorModel;
+use hdface::pipeline::DnnPipeline;
+use hdface_bench::{RunConfig, Table};
+
+const DIMS: [usize; 3] = [10_240, 4096, 1024];
+
+fn fmt_loss(reference: f64, acc: f64) -> String {
+    format!("{:.1}%", (reference - acc).max(0.0) * 100.0)
+}
+
+fn push_row(table: &mut Table, cells: &[String]) {
+    let refs: Vec<&dyn std::fmt::Display> =
+        cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+    table.row(&refs);
+}
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let rates: &[f64] = cfg.pick(
+        &[0.0, 0.02, 0.04, 0.08, 0.14][..],
+        &[0.0, 0.01, 0.02, 0.04, 0.08, 0.12, 0.14][..],
+    );
+    let trials = cfg.pick(4, 8);
+    // Hard-negative workload (see hdface_bench::hard_face_dataset):
+    // thin margins make fault sensitivity measurable.
+    let ds = hdface_bench::hard_face_dataset(32, cfg.pick(200, 320), cfg.seed);
+    let (train, test) = ds.split(0.7);
+    println!(
+        "workload: {} at 32x32, {} train / {} test, {} fault patterns per cell\n",
+        ds.name(),
+        train.len(),
+        test.len(),
+        trials
+    );
+
+    let mut header: Vec<String> = vec!["model".into()];
+    header.extend(rates.iter().map(|r| format!("{:.0}%", r * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    // ---------------- DNN with quantized weights --------------------
+    let mut dnn = DnnPipeline::new(HogConfig::paper(), (512, 512), 120, cfg.seed);
+    dnn.train(&train).expect("dnn train");
+    let dnn_test = dnn.extract_dataset(&test);
+    let float_ref = dnn.evaluate(&test).expect("dnn eval");
+
+    for precision in WeightPrecision::ALL {
+        let q = QuantizedMlp::from_mlp(dnn.mlp().expect("trained"), precision);
+        let mut cells: Vec<String> = vec![format!("DNN {}", precision.name())];
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..trials {
+                let mut rng =
+                    HdcRng::seed_from_u64(cfg.seed + 100 + (ri * 97 + t * 13) as u64);
+                acc += q
+                    .with_bit_errors(rate, &mut rng)
+                    .accuracy(&dnn_test)
+                    .expect("acc");
+            }
+            cells.push(fmt_loss(float_ref, acc / trials as f64));
+        }
+        push_row(&mut table, &cells);
+    }
+
+    // ------------- HDFace, fully hyperdimensional pipeline ----------
+    // Features and models are extracted/trained once per D (clean);
+    // faults then strike the stored bit memories.
+    let mut hd_reference = 0.0f64;
+    let mut hd_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for &dim in &DIMS {
+        let mut hog = HyperHog::new(HyperHogConfig::with_dim(dim), cfg.seed);
+        let train_feats: Vec<(BitVector, usize)> = train
+            .iter()
+            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .collect();
+        let test_feats: Vec<(BitVector, usize)> = test
+            .iter()
+            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .collect();
+        let mut clf = HdClassifier::new(ds.num_classes(), dim);
+        let mut rng = HdcRng::seed_from_u64(cfg.seed + 7);
+        clf.fit(&train_feats, &TrainConfig::default(), &mut rng)
+            .expect("fit");
+        let binary = clf.to_binary(&mut rng);
+
+        let mut accs = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..trials {
+                let mut mrng =
+                    HdcRng::seed_from_u64(cfg.seed + 300 + (ri * 89 + t * 17) as u64);
+                let noisy_model = binary.with_bit_errors(rate, &mut mrng);
+                let mut channel = BitErrorModel::new(
+                    rate,
+                    cfg.seed + 500 + (ri * 83 + t * 19) as u64,
+                )
+                .expect("rate");
+                let noisy_queries = channel.corrupt_hypervector_set(&test_feats);
+                acc += noisy_model.accuracy(&noisy_queries).expect("acc");
+            }
+            accs.push(acc / trials as f64);
+        }
+        hd_reference = hd_reference.max(accs[0]);
+        hd_rows.push((format!("HDFace+HoG+Learn D={}k", dim / 1024), accs));
+    }
+    for (name, accs) in hd_rows {
+        let mut cells = vec![name];
+        cells.extend(accs.iter().map(|&a| fmt_loss(hd_reference, a)));
+        push_row(&mut table, &cells);
+    }
+
+    // -------- HDFace learning on original-representation HOG --------
+    let hog = ClassicHog::new(HogConfig::paper());
+    let extract = |d: &hdface::datasets::Dataset| -> Vec<(Vec<f64>, usize)> {
+        d.iter()
+            .map(|s| {
+                let f: Vec<f64> = hog
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                (f, s.label)
+            })
+            .collect()
+    };
+    let train_float = extract(&train);
+    let test_float = extract(&test);
+
+    let mut float_hd_reference = 0.0f64;
+    let mut float_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for &dim in &DIMS {
+        // The record-based id x level encoder bounds each feature's
+        // influence to its own slot, so a corrupted float word cannot
+        // poison the whole encoding — the graceful-degradation regime
+        // the paper reports for this configuration.
+        let encoder =
+            LevelIdEncoder::new(train_float[0].0.len(), dim, 32, 0.0, 0.8, cfg.seed);
+        let train_enc: Vec<(BitVector, usize)> = train_float
+            .iter()
+            .map(|(x, y)| (encoder.encode(x).expect("encode"), *y))
+            .collect();
+        let mut clf = HdClassifier::new(ds.num_classes(), dim);
+        let mut rng = HdcRng::seed_from_u64(cfg.seed + 9);
+        clf.fit(&train_enc, &TrainConfig::default(), &mut rng)
+            .expect("fit");
+        let binary = clf.to_binary(&mut rng);
+
+        let mut accs = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut acc = 0.0;
+            for t in 0..trials {
+                let mut mrng =
+                    HdcRng::seed_from_u64(cfg.seed + 700 + (ri * 79 + t * 23) as u64);
+                let noisy_model = binary.with_bit_errors(rate, &mut mrng);
+                let mut channel = BitErrorModel::new(
+                    rate,
+                    cfg.seed + 900 + (ri * 73 + t * 29) as u64,
+                )
+                .expect("rate");
+                let mut correct = 0usize;
+                for (x, y) in &test_float {
+                    // The fault sits in the float feature words — the
+                    // original-representation memory.
+                    let noisy = channel.corrupt_f32_features(x);
+                    let feat = encoder.encode(&noisy).expect("encode");
+                    if noisy_model.predict(&feat).expect("predict") == *y {
+                        correct += 1;
+                    }
+                }
+                acc += correct as f64 / test_float.len() as f64;
+            }
+            accs.push(acc / trials as f64);
+        }
+        float_hd_reference = float_hd_reference.max(accs[0]);
+        float_rows.push((format!("HDFace+Learn D={}k", dim / 1024), accs));
+    }
+    for (name, accs) in float_rows {
+        let mut cells = vec![name];
+        cells.extend(accs.iter().map(|&a| fmt_loss(float_hd_reference, a)));
+        push_row(&mut table, &cells);
+    }
+
+    table.print();
+    println!(
+        "\n(entries are quality LOSS vs the clean reference, as in the paper)\n\
+         shape checks (paper Table 2):\n\
+         * DNN: higher precision = higher clean accuracy but steeper loss under\n\
+           errors (paper: 16-bit loses 39.8% at 14%).\n\
+         * HDFace+HoG+Learn: near-zero loss through 4-8% error at D ≥ 4k;\n\
+           smaller D trades accuracy and robustness (paper D=1k: 2.8% clean gap).\n\
+         * HDFace+Learn on original-representation HOG degrades steeply —\n\
+           'processing feature extraction on original data representation\n\
+           entirely removes the advantage'."
+    );
+}

@@ -1,0 +1,277 @@
+//! # hdface-bench — experiment harness
+//!
+//! Shared infrastructure for the experiment binaries that regenerate
+//! every table and figure of the HDFace paper (see `DESIGN.md` §4 for
+//! the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp_fig2` | Fig. 2 — stochastic-arithmetic error vs dimensionality |
+//! | `exp_table1` | Table 1 — dataset shapes |
+//! | `exp_fig4` | Fig. 4 — accuracy vs DNN / SVM |
+//! | `exp_fig5` | Fig. 5 — dimensionality & DNN-architecture sweeps |
+//! | `exp_fig6` | Fig. 6 — sliding-window detection maps |
+//! | `exp_fig7` | Fig. 7 — CPU/FPGA speedup & energy |
+//! | `exp_table2` | Table 2 — robustness to random bit errors |
+//! | `exp_motivation` | §2 — HOG cost share & float fragility |
+//! | `exp_ablation` | DESIGN.md §6 — design-choice ablations |
+//!
+//! Every binary accepts `--full` for a larger (slower) run and
+//! `--seed <n>`; defaults finish in seconds-to-minutes on a laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+use hdface::datasets::{face2_spec, render_scrambled_face, Dataset, LabeledImage};
+use hdface::hdc::{HdcRng, SeedableRng};
+
+/// The face-detection workload used by the robustness and sweep
+/// experiments: FACE2-style windows where **half the no-face class are
+/// scrambled faces** — hard negatives with face-like local statistics
+/// but the wrong global arrangement. Without them every learner on
+/// the clean synthetic task has margins so wide that neither bit
+/// faults nor architecture choices are visible.
+#[must_use]
+pub fn hard_face_dataset(win: usize, count: usize, seed: u64) -> Dataset {
+    let base = face2_spec().at_size(win).scaled(count).generate(seed);
+    let mut rng = HdcRng::seed_from_u64(seed ^ 0xface);
+    let samples: Vec<LabeledImage> = base
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.label == 0 && i % 4 < 2 {
+                LabeledImage {
+                    image: render_scrambled_face(win, &mut rng),
+                    label: 0,
+                }
+            } else {
+                s.clone()
+            }
+        })
+        .collect();
+    Dataset::new(
+        "FACE2+hard-negatives",
+        samples,
+        vec!["no-face".into(), "face".into()],
+    )
+}
+
+/// Run-scale options parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// `--full`: paper-leaning sizes instead of quick defaults.
+    pub full: bool,
+    /// `--seed <n>`: master seed (default 2022, the paper's year).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut cfg = RunConfig {
+            full: false,
+            seed: 2022,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => cfg.full = true,
+                "--seed" => {
+                    let v = args.next().expect("--seed requires a value");
+                    cfg.seed = v.parse().expect("--seed value must be an integer");
+                }
+                other => panic!("unknown argument {other}; supported: --full, --seed <n>"),
+            }
+        }
+        cfg
+    }
+
+    /// Picks `quick` or `full` depending on the flag.
+    #[must_use]
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// A minimal fixed-width table printer for experiment output.
+///
+/// ```
+/// use hdface_bench::Table;
+/// let mut t = Table::new(&["dataset", "accuracy"]);
+/// t.row(&[&"EMOTION", &0.93]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("EMOTION"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; values are rendered with `Display`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the header count.
+    pub fn row(&mut self, values: &[&dyn Display]) {
+        assert_eq!(
+            values.len(),
+            self.headers.len(),
+            "row length does not match header count"
+        );
+        self.rows
+            .push(values.iter().map(|v| format!("{v}")).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (w, h) in widths.iter().zip(&self.headers) {
+            out.push_str(&format!("| {h:>w$} "));
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &self.rows {
+            for (w, cell) in widths.iter().zip(row) {
+                out.push_str(&format!("| {cell:>w$} "));
+            }
+            out.push_str("|\n");
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a ratio as `N.N×`.
+#[must_use]
+pub fn times(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+/// Formats seconds adaptively (µs/ms/s).
+#[must_use]
+pub fn secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&100, &"yy"]);
+        let r = t.render();
+        assert!(r.contains("| 100 |"));
+        assert!(r.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.934), "93.4%");
+        assert_eq!(times(6.12), "6.1x");
+        assert_eq!(secs(0.0000005), "0.5us");
+        assert_eq!(secs(0.25), "250.0ms");
+        assert_eq!(secs(3.0), "3.00s");
+    }
+
+    #[test]
+    fn hard_face_dataset_mixes_scrambled_negatives() {
+        let ds = hard_face_dataset(24, 40, 1);
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.class_counts(), vec![20, 20]);
+        assert_eq!(ds.name(), "FACE2+hard-negatives");
+        // Half the negatives are replaced: positions 0 and 2 of every
+        // four-sample block were regenerated, so they must differ from
+        // the plain generator's output.
+        let plain = hdface::datasets::face2_spec()
+            .at_size(24)
+            .scaled(40)
+            .generate(1);
+        let replaced = ds
+            .iter()
+            .zip(plain.iter())
+            .filter(|(a, b)| a.image != b.image)
+            .count();
+        assert!(replaced >= 10, "only {replaced} samples replaced");
+        // Deterministic.
+        let again = hard_face_dataset(24, 40, 1);
+        assert_eq!(ds.samples()[0].image, again.samples()[0].image);
+    }
+
+    #[test]
+    fn pick_respects_flag() {
+        let quick = RunConfig {
+            full: false,
+            seed: 0,
+        };
+        let full = RunConfig {
+            full: true,
+            seed: 0,
+        };
+        assert_eq!(quick.pick(1, 2), 1);
+        assert_eq!(full.pick(1, 2), 2);
+    }
+}

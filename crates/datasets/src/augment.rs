@@ -1,0 +1,124 @@
+//! Dataset augmentation: geometric and photometric variants that
+//! multiply the effective training-set size — standard practice on
+//! the face corpora the paper's datasets substitute for.
+
+use hdface_imaging::gaussian_noise;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::dataset::{Dataset, LabeledImage};
+
+/// Augmentation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Add the horizontal mirror of every sample (faces are
+    /// left-right symmetric; expression labels are mirror-invariant).
+    pub mirror: bool,
+    /// Number of photometric jitter copies per sample (gain/bias
+    /// perturbation).
+    pub photometric_copies: usize,
+    /// Maximum |gain − 1| of a jitter copy.
+    pub gain_jitter: f32,
+    /// Maximum |bias| of a jitter copy.
+    pub bias_jitter: f32,
+    /// Extra Gaussian pixel noise applied to jitter copies.
+    pub noise_sigma: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            mirror: true,
+            photometric_copies: 1,
+            gain_jitter: 0.2,
+            bias_jitter: 0.1,
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+/// Expands a dataset according to the policy; originals always come
+/// first, then mirrors, then jitter copies, so a prefix of the result
+/// is the original data.
+#[must_use]
+pub fn augment(dataset: &Dataset, config: &AugmentConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples: Vec<LabeledImage> = dataset.samples().to_vec();
+
+    if config.mirror {
+        samples.extend(dataset.iter().map(|s| LabeledImage {
+            image: s.image.flipped_horizontal(),
+            label: s.label,
+        }));
+    }
+    for _ in 0..config.photometric_copies {
+        for s in dataset {
+            let gain = 1.0 + rng.random_range(-config.gain_jitter..=config.gain_jitter);
+            let bias = rng.random_range(-config.bias_jitter..=config.bias_jitter);
+            let adjusted = s.image.adjusted(gain, bias);
+            let image = if config.noise_sigma > 0.0 {
+                gaussian_noise(&adjusted, config.noise_sigma, &mut rng)
+            } else {
+                adjusted
+            };
+            samples.push(LabeledImage {
+                image,
+                label: s.label,
+            });
+        }
+    }
+
+    let names = (0..dataset.num_classes())
+        .map(|i| dataset.class_name(i).to_owned())
+        .collect();
+    Dataset::new(format!("{}-aug", dataset.name()), samples, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::face2_spec;
+
+    #[test]
+    fn augmentation_multiplies_counts_and_keeps_balance() {
+        let ds = face2_spec().at_size(24).scaled(20).generate(1);
+        let aug = augment(&ds, &AugmentConfig::default(), 2);
+        // mirror + 1 photometric copy = 3x.
+        assert_eq!(aug.len(), 60);
+        let counts = aug.class_counts();
+        assert_eq!(counts[0], counts[1]);
+        assert!(aug.name().ends_with("-aug"));
+    }
+
+    #[test]
+    fn originals_form_the_prefix() {
+        let ds = face2_spec().at_size(24).scaled(8).generate(3);
+        let aug = augment(&ds, &AugmentConfig::default(), 4);
+        for (orig, kept) in ds.iter().zip(aug.iter()) {
+            assert_eq!(orig.image, kept.image);
+            assert_eq!(orig.label, kept.label);
+        }
+    }
+
+    #[test]
+    fn mirror_only_doubles() {
+        let cfg = AugmentConfig {
+            mirror: true,
+            photometric_copies: 0,
+            ..AugmentConfig::default()
+        };
+        let ds = face2_spec().at_size(24).scaled(10).generate(5);
+        let aug = augment(&ds, &cfg, 6);
+        assert_eq!(aug.len(), 20);
+        // The second half is the mirror of the first.
+        let m = &aug.samples()[10].image;
+        assert_eq!(*m, ds.samples()[0].image.flipped_horizontal());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = face2_spec().at_size(24).scaled(6).generate(7);
+        let a = augment(&ds, &AugmentConfig::default(), 8);
+        let b = augment(&ds, &AugmentConfig::default(), 8);
+        assert_eq!(a.samples()[a.len() - 1].image, b.samples()[b.len() - 1].image);
+    }
+}

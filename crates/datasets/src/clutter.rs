@@ -1,0 +1,155 @@
+//! Structured non-face image generator (the negative class).
+
+use hdface_imaging::{box_blur, gaussian_noise, Canvas, GrayImage};
+use rand::{Rng, RngExt};
+
+/// The families of structured clutter used for "no-face" samples.
+///
+/// Pure white noise would be trivially separable from faces; these
+/// generators produce oriented edges, blobs and textures so the
+/// negative class overlaps faces in low-order statistics and the
+/// classifier must rely on HOG shape structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClutterKind {
+    /// Smooth linear intensity gradient at a random angle.
+    Gradient,
+    /// Horizontal/periodic stripes (fabric, blinds).
+    Stripes,
+    /// A handful of random discs/ellipses (bokeh, stones).
+    Blobs,
+    /// Random straight line segments (branches, scaffolding).
+    Lines,
+    /// Checkerboard-like rectangles (buildings, windows).
+    Rectangles,
+}
+
+impl ClutterKind {
+    /// All clutter families.
+    pub const ALL: [ClutterKind; 5] = [
+        ClutterKind::Gradient,
+        ClutterKind::Stripes,
+        ClutterKind::Blobs,
+        ClutterKind::Lines,
+        ClutterKind::Rectangles,
+    ];
+
+    /// Draws a uniformly random clutter kind.
+    #[must_use]
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        Self::ALL[rng.random_range(0..Self::ALL.len())]
+    }
+}
+
+/// Renders an `n × n` structured clutter image of the given kind.
+#[must_use]
+pub fn render_clutter<R: Rng>(n: usize, kind: ClutterKind, rng: &mut R) -> GrayImage {
+    let mut canvas = Canvas::new(GrayImage::filled(
+        n,
+        n,
+        rng.random_range(0.1..0.6),
+    ));
+    let nf = n as f32;
+    match kind {
+        ClutterKind::Gradient => {
+            let from = rng.random_range(0.0..0.45);
+            let to = rng.random_range(0.55..1.0);
+            let angle = rng.random_range(0.0..std::f32::consts::PI);
+            canvas.linear_gradient(from, to, angle);
+        }
+        ClutterKind::Stripes => {
+            let period = rng.random_range((n / 16).max(1)..(n / 4).max(2));
+            let low = rng.random_range(0.0..0.4);
+            let high = rng.random_range(0.6..1.0);
+            canvas.stripes(period, low, high);
+        }
+        ClutterKind::Blobs => {
+            for _ in 0..rng.random_range(3..9) {
+                canvas.fill_ellipse(
+                    rng.random_range(0.0..nf),
+                    rng.random_range(0.0..nf),
+                    rng.random_range(nf * 0.05..nf * 0.3),
+                    rng.random_range(nf * 0.05..nf * 0.3),
+                    rng.random_range(0.0..std::f32::consts::PI),
+                    rng.random_range(0.0..1.0),
+                );
+            }
+        }
+        ClutterKind::Lines => {
+            for _ in 0..rng.random_range(4..12) {
+                canvas.line(
+                    rng.random_range(0.0..nf),
+                    rng.random_range(0.0..nf),
+                    rng.random_range(0.0..nf),
+                    rng.random_range(0.0..nf),
+                    rng.random_range(1.0..nf * 0.04 + 1.5),
+                    rng.random_range(0.0..1.0),
+                );
+            }
+        }
+        ClutterKind::Rectangles => {
+            for _ in 0..rng.random_range(3..10) {
+                let w = rng.random_range(n / 8 + 1..n / 2 + 2);
+                let h = rng.random_range(n / 8 + 1..n / 2 + 2);
+                let x = rng.random_range(-(n as i64) / 4..n as i64) as isize;
+                let y = rng.random_range(-(n as i64) / 4..n as i64) as isize;
+                canvas.fill_rect(x, y, w, h, rng.random_range(0.0..1.0));
+            }
+        }
+    }
+    let img = box_blur(&canvas.into_image(), (n / 64).min(2));
+    gaussian_noise(&img, 0.035, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn every_kind_renders_at_size() {
+        let mut r = rng(1);
+        for kind in ClutterKind::ALL {
+            let img = render_clutter(32, kind, &mut r);
+            assert_eq!(img.width(), 32);
+            assert_eq!(img.height(), 32);
+        }
+    }
+
+    #[test]
+    fn clutter_is_not_constant() {
+        let mut r = rng(2);
+        for kind in ClutterKind::ALL {
+            let img = render_clutter(32, kind, &mut r);
+            let (lo, hi) = img.min_max().unwrap();
+            assert!(hi - lo > 0.1, "{kind:?} nearly constant");
+        }
+    }
+
+    #[test]
+    fn random_kind_covers_all_eventually() {
+        let mut r = rng(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(ClutterKind::random(&mut r));
+        }
+        assert_eq!(seen.len(), ClutterKind::ALL.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = render_clutter(24, ClutterKind::Blobs, &mut rng(4));
+        let b = render_clutter(24, ClutterKind::Blobs, &mut rng(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_images() {
+        let a = render_clutter(24, ClutterKind::Lines, &mut rng(5));
+        let b = render_clutter(24, ClutterKind::Lines, &mut rng(6));
+        assert_ne!(a, b);
+    }
+}

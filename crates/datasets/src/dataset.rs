@@ -1,0 +1,236 @@
+//! Labeled image collections with split/shuffle utilities.
+
+use hdface_imaging::GrayImage;
+use rand::{Rng, RngExt};
+
+/// One labeled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledImage {
+    /// The grayscale image.
+    pub image: GrayImage,
+    /// Class label in `0..num_classes`.
+    pub label: usize,
+}
+
+/// A labeled image dataset.
+///
+/// ```
+/// use hdface_datasets::{Dataset, LabeledImage};
+/// use hdface_imaging::GrayImage;
+///
+/// let samples = vec![
+///     LabeledImage { image: GrayImage::new(4, 4), label: 0 },
+///     LabeledImage { image: GrayImage::new(4, 4), label: 1 },
+/// ];
+/// let ds = Dataset::new("toy", samples, vec!["a".into(), "b".into()]);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.class_name(1), "b");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    samples: Vec<LabeledImage>,
+    class_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Bundles samples with class metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's label is out of range for
+    /// `class_names` — labels are produced by this workspace's
+    /// generators, so a violation is a programming error.
+    #[must_use]
+    pub fn new(name: impl Into<String>, samples: Vec<LabeledImage>, class_names: Vec<String>) -> Self {
+        let k = class_names.len();
+        assert!(
+            samples.iter().all(|s| s.label < k),
+            "sample label out of range for {k} classes"
+        );
+        Dataset {
+            name: name.into(),
+            samples,
+            class_names,
+        }
+    }
+
+    /// Dataset name (e.g. `"EMOTION"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class name for a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= num_classes()`.
+    #[must_use]
+    pub fn class_name(&self, label: usize) -> &str {
+        &self.class_names[label]
+    }
+
+    /// Slice of all samples.
+    #[must_use]
+    pub fn samples(&self) -> &[LabeledImage] {
+        &self.samples
+    }
+
+    /// Iterator over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledImage> {
+        self.samples.iter()
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes()];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Shuffles samples in place (Fisher–Yates with the given RNG).
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.samples.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.samples.swap(i, j);
+        }
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of every
+    /// class in the train part (stratified, preserving order within
+    /// class).
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        let frac = train_fraction.clamp(0.0, 1.0);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for label in 0..self.num_classes() {
+            let of_class: Vec<&LabeledImage> =
+                self.samples.iter().filter(|s| s.label == label).collect();
+            let n_train = (of_class.len() as f64 * frac).round() as usize;
+            for (i, s) in of_class.into_iter().enumerate() {
+                if i < n_train {
+                    train.push(s.clone());
+                } else {
+                    test.push(s.clone());
+                }
+            }
+        }
+        (
+            Dataset::new(format!("{}-train", self.name), train, self.class_names.clone()),
+            Dataset::new(format!("{}-test", self.name), test, self.class_names.clone()),
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a LabeledImage;
+    type IntoIter = std::slice::Iter<'a, LabeledImage>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy(n_per_class: usize, k: usize) -> Dataset {
+        let mut samples = Vec::new();
+        for label in 0..k {
+            for _ in 0..n_per_class {
+                samples.push(LabeledImage {
+                    image: GrayImage::filled(2, 2, label as f32 / k as f32),
+                    label,
+                });
+            }
+        }
+        Dataset::new("toy", samples, (0..k).map(|i| format!("c{i}")).collect())
+    }
+
+    #[test]
+    fn counts_and_metadata() {
+        let ds = toy(3, 4);
+        assert_eq!(ds.len(), 12);
+        assert_eq!(ds.num_classes(), 4);
+        assert_eq!(ds.class_counts(), vec![3, 3, 3, 3]);
+        assert_eq!(ds.class_name(2), "c2");
+        assert_eq!(ds.name(), "toy");
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = Dataset::new(
+            "bad",
+            vec![LabeledImage {
+                image: GrayImage::new(1, 1),
+                label: 5,
+            }],
+            vec!["only".into()],
+        );
+    }
+
+    #[test]
+    fn stratified_split_fractions() {
+        let ds = toy(10, 3);
+        let (train, test) = ds.split(0.8);
+        assert_eq!(train.len(), 24);
+        assert_eq!(test.len(), 6);
+        assert_eq!(train.class_counts(), vec![8, 8, 8]);
+        assert_eq!(test.class_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let ds = toy(4, 2);
+        let (train, test) = ds.split(1.0);
+        assert_eq!(train.len(), 8);
+        assert!(test.is_empty());
+        let (train0, test0) = ds.split(0.0);
+        assert!(train0.is_empty());
+        assert_eq!(test0.len(), 8);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut ds = toy(5, 2);
+        let before = ds.class_counts();
+        let mut rng = StdRng::seed_from_u64(1);
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.class_counts(), before);
+        assert_eq!(ds.len(), 10);
+    }
+
+    #[test]
+    fn iteration_visits_all() {
+        let ds = toy(2, 2);
+        assert_eq!(ds.iter().count(), 4);
+        assert_eq!((&ds).into_iter().count(), 4);
+    }
+}

@@ -1,0 +1,493 @@
+//! Parametric face renderer with expression geometry.
+
+use hdface_imaging::{box_blur, gaussian_noise, Canvas, GrayImage};
+use rand::{Rng, RngExt};
+
+/// The seven facial-expression classes of the EMOTION dataset (the
+/// FER-2013 label set the paper's Kaggle source uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Emotion {
+    /// Brows pulled steeply down and inward, flat-to-frowning mouth.
+    Angry,
+    /// Narrowed eyes, raised upper lip / nose wrinkle.
+    Disgust,
+    /// Raised, drawn-together brows, widened eyes, small open mouth.
+    Fear,
+    /// Upward-curved (smiling) mouth.
+    Happy,
+    /// Downward-curved mouth, inner brow ends raised.
+    Sad,
+    /// Wide-open eyes and mouth, raised brows.
+    Surprise,
+    /// Relaxed geometry; flat mouth, level brows.
+    Neutral,
+}
+
+impl Emotion {
+    /// All seven classes in label order (label = index).
+    pub const ALL: [Emotion; 7] = [
+        Emotion::Angry,
+        Emotion::Disgust,
+        Emotion::Fear,
+        Emotion::Happy,
+        Emotion::Sad,
+        Emotion::Surprise,
+        Emotion::Neutral,
+    ];
+
+    /// Class label (index into [`Emotion::ALL`]).
+    #[must_use]
+    pub fn label(self) -> usize {
+        Emotion::ALL.iter().position(|&e| e == self).expect("listed")
+    }
+
+    /// Class name used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Emotion::Angry => "angry",
+            Emotion::Disgust => "disgust",
+            Emotion::Fear => "fear",
+            Emotion::Happy => "happy",
+            Emotion::Sad => "sad",
+            Emotion::Surprise => "surprise",
+            Emotion::Neutral => "neutral",
+        }
+    }
+
+    /// Expression geometry: (mouth curvature, mouth openness,
+    /// brow slope, brow raise, eye openness).
+    ///
+    /// * curvature: +1 = full smile, −1 = full frown;
+    /// * openness: 0 = closed line, 1 = wide-open oval;
+    /// * brow slope: +1 = inner ends pulled down (anger), −1 = inner
+    ///   ends raised (sadness/fear);
+    /// * brow raise: vertical offset of both brows, in face units;
+    /// * eye openness: 1 = normal, >1 widened, <1 narrowed.
+    fn geometry(self) -> ExpressionGeometry {
+        match self {
+            Emotion::Angry => ExpressionGeometry {
+                mouth_curve: -0.45,
+                mouth_open: 0.05,
+                brow_slope: 0.9,
+                brow_raise: 0.35,
+                eye_open: 0.85,
+            },
+            Emotion::Disgust => ExpressionGeometry {
+                mouth_curve: -0.25,
+                mouth_open: 0.15,
+                brow_slope: 0.35,
+                brow_raise: 0.15,
+                eye_open: 0.55,
+            },
+            Emotion::Fear => ExpressionGeometry {
+                mouth_curve: -0.1,
+                mouth_open: 0.45,
+                brow_slope: -0.7,
+                brow_raise: -0.3,
+                eye_open: 1.35,
+            },
+            Emotion::Happy => ExpressionGeometry {
+                mouth_curve: 0.9,
+                mouth_open: 0.25,
+                brow_slope: 0.0,
+                brow_raise: 0.0,
+                eye_open: 1.0,
+            },
+            Emotion::Sad => ExpressionGeometry {
+                mouth_curve: -0.85,
+                mouth_open: 0.05,
+                brow_slope: -0.55,
+                brow_raise: 0.1,
+                eye_open: 0.8,
+            },
+            Emotion::Surprise => ExpressionGeometry {
+                mouth_curve: 0.0,
+                mouth_open: 1.0,
+                brow_slope: 0.0,
+                brow_raise: -0.5,
+                eye_open: 1.5,
+            },
+            Emotion::Neutral => ExpressionGeometry {
+                mouth_curve: 0.0,
+                mouth_open: 0.05,
+                brow_slope: 0.0,
+                brow_raise: 0.0,
+                eye_open: 1.0,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ExpressionGeometry {
+    mouth_curve: f32,
+    mouth_open: f32,
+    brow_slope: f32,
+    brow_raise: f32,
+    eye_open: f32,
+}
+
+/// Full parameter set for rendering one face.
+///
+/// Coordinates are in *face units*: the face is rendered inside a
+/// square of side `size` pixels centred at `(cx, cy)`, and all
+/// features scale with it.
+#[derive(Debug, Clone, Copy)]
+pub struct FaceParams {
+    /// Horizontal centre in pixels.
+    pub cx: f32,
+    /// Vertical centre in pixels.
+    pub cy: f32,
+    /// Face square side length in pixels.
+    pub size: f32,
+    /// Expression to render.
+    pub emotion: Emotion,
+    /// Skin intensity in `[0, 1]`.
+    pub skin: f32,
+    /// Background intensity in `[0, 1]`.
+    pub background: f32,
+    /// Head tilt in radians (small values only).
+    pub tilt: f32,
+    /// Aspect ratio jitter of the head oval (1.0 = canonical).
+    pub aspect: f32,
+}
+
+impl FaceParams {
+    /// Canonical parameters: centred face filling ~85% of an
+    /// `n × n` image.
+    #[must_use]
+    pub fn centered(n: usize, emotion: Emotion) -> Self {
+        FaceParams {
+            cx: n as f32 / 2.0,
+            cy: n as f32 / 2.0,
+            size: n as f32 * 0.85,
+            emotion,
+            skin: 0.75,
+            background: 0.25,
+            tilt: 0.0,
+            aspect: 1.0,
+        }
+    }
+
+    /// Draws randomized nuisance parameters (position, scale, tone,
+    /// tilt) while keeping the expression fixed — the intra-class
+    /// variation of the synthetic *detection* datasets.
+    #[must_use]
+    pub fn randomized<R: Rng>(n: usize, emotion: Emotion, rng: &mut R) -> Self {
+        let size = n as f32 * rng.random_range(0.62..0.92);
+        let margin = (n as f32 - size) / 2.0;
+        FaceParams {
+            cx: n as f32 / 2.0 + rng.random_range(-margin * 0.8..=margin * 0.8),
+            cy: n as f32 / 2.0 + rng.random_range(-margin * 0.8..=margin * 0.8),
+            size,
+            emotion,
+            skin: rng.random_range(0.55..0.9),
+            background: rng.random_range(0.05..0.4),
+            tilt: rng.random_range(-0.12..0.12),
+            aspect: rng.random_range(0.9..1.1),
+        }
+    }
+
+    /// Randomized nuisances for *expression recognition*: FER-style
+    /// tightly cropped, centred faces with mild jitter, so the
+    /// discriminative signal is the expression geometry rather than
+    /// the face placement.
+    #[must_use]
+    pub fn randomized_centered<R: Rng>(n: usize, emotion: Emotion, rng: &mut R) -> Self {
+        let size = n as f32 * rng.random_range(0.82..0.92);
+        FaceParams {
+            cx: n as f32 / 2.0 + rng.random_range(-1.5..=1.5),
+            cy: n as f32 / 2.0 + rng.random_range(-1.5..=1.5),
+            size,
+            emotion,
+            skin: rng.random_range(0.65..0.85),
+            background: rng.random_range(0.1..0.3),
+            tilt: rng.random_range(-0.04..0.04),
+            aspect: rng.random_range(0.96..1.04),
+        }
+    }
+}
+
+/// Renders a **scrambled face**: the same facial parts (head oval,
+/// eyes, brows, nose, mouth) drawn at randomized positions inside the
+/// head — a *hard negative* with face-like local statistics but the
+/// wrong global arrangement. Face detectors that only count local
+/// edge energy are fooled by these; discriminating them requires the
+/// spatial histogram structure, which thins decision margins the way
+/// real-world negatives do (used by the robustness experiments).
+#[must_use]
+pub fn render_scrambled_face<R: Rng>(n: usize, rng: &mut R) -> GrayImage {
+    let skin = rng.random_range(0.55..0.9);
+    let background = rng.random_range(0.05..0.4);
+    let feature = (skin - 0.45f32).max(0.05);
+    let s = n as f32 * rng.random_range(0.7..0.9);
+    let cx = n as f32 / 2.0;
+    let cy = n as f32 / 2.0;
+    let mut canvas = Canvas::new(GrayImage::filled(n, n, background));
+    canvas.fill_ellipse(cx, cy, s * 0.42, s * 0.5, 0.0, skin);
+
+    // Scatter the facial parts uniformly inside the head region.
+    let place = |rng: &mut R| -> (f32, f32) {
+        (
+            cx + s * rng.random_range(-0.28..0.28),
+            cy + s * rng.random_range(-0.35..0.35),
+        )
+    };
+    for _ in 0..2 {
+        let (ex, ey) = place(rng);
+        canvas.fill_ellipse(ex, ey, s * 0.075, s * 0.045, 0.0, feature);
+        canvas.fill_disc(ex, ey, (s * 0.018).max(0.6), 0.0);
+    }
+    for _ in 0..2 {
+        let (bx, by) = place(rng);
+        canvas.line(bx - s * 0.09, by, bx + s * 0.09, by, (s * 0.035).max(1.0), feature);
+    }
+    let (nx, ny) = place(rng);
+    canvas.line(nx, ny, nx, ny + s * 0.14, (s * 0.02).max(0.8), feature);
+    let (mx, my) = place(rng);
+    let curve = rng.random_range(-0.12f32..0.12);
+    canvas.quad_arc(
+        mx - s * 0.18,
+        my,
+        mx,
+        my + s * curve,
+        mx + s * 0.18,
+        my,
+        (s * 0.035).max(1.0),
+        feature,
+    );
+
+    let img = box_blur(&canvas.into_image(), (n / 48).clamp(0, 2));
+    gaussian_noise(&img, 0.035, rng)
+}
+
+/// Renders a face into a fresh `n × n` image, applying light blur and
+/// sensor-style Gaussian noise so gradients resemble photographs.
+///
+/// The renderer guarantees the facial features (eyes, brows, mouth)
+/// are darker than skin and the head outline contrasts with the
+/// background, so HOG cells see consistent oriented edges per
+/// expression class.
+#[must_use]
+pub fn render_face<R: Rng>(n: usize, params: &FaceParams, rng: &mut R) -> GrayImage {
+    let g = params.emotion.geometry();
+    let s = params.size;
+    let mut canvas = Canvas::new(GrayImage::filled(n, n, params.background));
+
+    let feature = (params.skin - 0.45).max(0.05); // dark features
+    let (tilt_sin, tilt_cos) = params.tilt.sin_cos();
+    // Face-local coordinates → image coordinates.
+    let place = |fx: f32, fy: f32| -> (f32, f32) {
+        let x = fx * tilt_cos - fy * tilt_sin;
+        let y = fx * tilt_sin + fy * tilt_cos;
+        (params.cx + x * s, params.cy + y * s)
+    };
+
+    // Head oval.
+    canvas.fill_ellipse(
+        params.cx,
+        params.cy,
+        s * 0.42 * params.aspect,
+        s * 0.5,
+        params.tilt,
+        params.skin,
+    );
+
+    // Eyes.
+    let eye_dx = 0.17;
+    let eye_y = -0.12;
+    let eye_rx = s * 0.075;
+    let eye_ry = s * 0.045 * g.eye_open;
+    for side in [-1.0f32, 1.0] {
+        let (ex, ey) = place(side * eye_dx, eye_y);
+        canvas.fill_ellipse(ex, ey, eye_rx, eye_ry.max(1.0), params.tilt, feature);
+        // Pupil only when the eye is reasonably open.
+        if g.eye_open > 0.7 {
+            canvas.fill_disc(ex, ey, (s * 0.018).max(0.6), 0.0);
+        }
+    }
+
+    // Eyebrows: line segments whose inner-end height encodes slope.
+    let brow_y = -0.22 - g.brow_raise * 0.05;
+    for side in [-1.0f32, 1.0] {
+        let inner = side * 0.08;
+        let outer = side * 0.26;
+        let inner_y = brow_y + g.brow_slope * 0.05;
+        let outer_y = brow_y - g.brow_slope * 0.02;
+        let (x0, y0) = place(inner, inner_y);
+        let (x1, y1) = place(outer, outer_y);
+        canvas.line(x0, y0, x1, y1, (s * 0.035).max(1.0), feature);
+    }
+
+    // Nose: short vertical line.
+    let (nx0, ny0) = place(0.0, -0.04);
+    let (nx1, ny1) = place(0.0, 0.1);
+    canvas.line(nx0, ny0, nx1, ny1, (s * 0.02).max(0.8), feature);
+
+    // Mouth.
+    let mouth_y = 0.27;
+    let mouth_w = 0.18;
+    if g.mouth_open > 0.3 {
+        // Open mouth: dark oval, taller with openness.
+        let (mx, my) = place(0.0, mouth_y);
+        canvas.fill_ellipse(
+            mx,
+            my,
+            s * mouth_w * 0.8,
+            s * 0.1 * g.mouth_open,
+            params.tilt,
+            feature * 0.5,
+        );
+    } else {
+        // Closed mouth: quadratic arc, curvature encodes valence.
+        let (x0, y0) = place(-mouth_w, mouth_y);
+        let (x1, y1) = place(mouth_w, mouth_y);
+        let (cx, cy) = place(0.0, mouth_y + g.mouth_curve * 0.12);
+        canvas.quad_arc(x0, y0, cx, cy, x1, y1, (s * 0.035).max(1.0), feature);
+    }
+
+    let img = box_blur(&canvas.into_image(), (n / 48).clamp(0, 2));
+    gaussian_noise(&img, 0.035, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn labels_are_stable_indices() {
+        for (i, e) in Emotion::ALL.iter().enumerate() {
+            assert_eq!(e.label(), i);
+        }
+        assert_eq!(Emotion::Happy.name(), "happy");
+    }
+
+    #[test]
+    fn face_is_brighter_than_background_in_center() {
+        let mut r = rng(1);
+        let img = render_face(48, &FaceParams::centered(48, Emotion::Neutral), &mut r);
+        let center = img.crop(18, 18, 12, 12).unwrap().mean();
+        let corner = img.crop(0, 0, 6, 6).unwrap().mean();
+        assert!(
+            center > corner + 0.2,
+            "center {center} should exceed corner {corner}"
+        );
+    }
+
+    #[test]
+    fn surprise_has_darker_mouth_region_than_neutral() {
+        let mut r = rng(2);
+        let sur = render_face(48, &FaceParams::centered(48, Emotion::Surprise), &mut r);
+        let neu = render_face(48, &FaceParams::centered(48, Emotion::Neutral), &mut r);
+        // Mouth region: centred horizontally, ~77% down the face.
+        let sm = sur.crop(18, 32, 12, 8).unwrap().mean();
+        let nm = neu.crop(18, 32, 12, 8).unwrap().mean();
+        assert!(sm < nm - 0.05, "surprise mouth {sm} vs neutral {nm}");
+    }
+
+    #[test]
+    fn happy_and_sad_differ_around_mouth_corners() {
+        let mut r = rng(3);
+        let happy = render_face(64, &FaceParams::centered(64, Emotion::Happy), &mut r);
+        let sad = render_face(64, &FaceParams::centered(64, Emotion::Sad), &mut r);
+        // The mouth arc bends opposite ways; compare the region just
+        // below the mouth line where the smile dips.
+        let below_h = happy.crop(24, 46, 16, 6).unwrap().mean();
+        let below_s = sad.crop(24, 46, 16, 6).unwrap().mean();
+        assert!(
+            (below_h - below_s).abs() > 0.02,
+            "happy {below_h} vs sad {below_s} should differ"
+        );
+    }
+
+    #[test]
+    fn randomized_faces_vary_but_stay_in_frame() {
+        let mut r = rng(4);
+        let p1 = FaceParams::randomized(48, Emotion::Fear, &mut r);
+        let p2 = FaceParams::randomized(48, Emotion::Fear, &mut r);
+        assert!(p1.cx != p2.cx || p1.size != p2.size);
+        for p in [p1, p2] {
+            assert!(p.size <= 48.0);
+            assert!(p.cx > 0.0 && p.cx < 48.0);
+            let img = render_face(48, &p, &mut r);
+            assert_eq!(img.width(), 48);
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_given_seed() {
+        let p = FaceParams::centered(32, Emotion::Angry);
+        let a = render_face(32, &p, &mut rng(7));
+        let b = render_face(32, &p, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_emotions_render_distinct_images() {
+        let mut imgs = Vec::new();
+        for e in Emotion::ALL {
+            let mut r = rng(9);
+            imgs.push(render_face(48, &FaceParams::centered(48, e), &mut r));
+        }
+        for i in 0..imgs.len() {
+            for j in (i + 1)..imgs.len() {
+                let diff: f32 = imgs[i]
+                    .pixels()
+                    .iter()
+                    .zip(imgs[j].pixels())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>()
+                    / imgs[i].pixels().len() as f32;
+                assert!(diff > 0.001, "{i} vs {j} look identical (diff {diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn scrambled_faces_differ_from_real_faces() {
+        let mut r = rng(12);
+        let real = render_face(32, &FaceParams::centered(32, Emotion::Neutral), &mut r);
+        let scrambled = render_scrambled_face(32, &mut r);
+        assert_eq!(scrambled.width(), 32);
+        let diff: f32 = real
+            .pixels()
+            .iter()
+            .zip(scrambled.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / real.pixels().len() as f32;
+        assert!(diff > 0.02, "scrambled face too close to a real face");
+        // Distinct draws are distinct.
+        let again = render_scrambled_face(32, &mut r);
+        assert_ne!(scrambled, again);
+    }
+
+    #[test]
+    fn centered_randomization_keeps_faces_central() {
+        let mut r = rng(13);
+        for _ in 0..20 {
+            let p = FaceParams::randomized_centered(48, Emotion::Happy, &mut r);
+            assert!((p.cx - 24.0).abs() <= 1.5);
+            assert!((p.cy - 24.0).abs() <= 1.5);
+            assert!(p.tilt.abs() <= 0.04);
+            assert!(p.size >= 48.0 * 0.8);
+        }
+    }
+
+    #[test]
+    fn large_faces_render_at_dataset_scales() {
+        let mut r = rng(5);
+        for n in [48usize, 128, 256] {
+            let img = render_face(n, &FaceParams::centered(n, Emotion::Happy), &mut r);
+            assert_eq!(img.width(), n);
+            assert!(img.mean() > 0.1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # hdface-datasets — synthetic datasets matching HDFace Table 1
+//!
+//! The paper evaluates on three image datasets: EMOTION (48×48 facial
+//! expressions, 7 classes), FACE1 (1024×1024 face/no-face) and FACE2
+//! (512×512 face/no-face). Those corpora are not redistributable, so
+//! this crate provides *procedural* substitutes with the same shapes:
+//! a parametric face renderer whose expression geometry separates the
+//! seven emotion classes through exactly the edge/shape statistics
+//! that HOG measures, and a structured-clutter generator for the
+//! negative class. See `DESIGN.md` §2 for the substitution rationale.
+//!
+//! ```
+//! use hdface_datasets::{emotion_spec, Dataset};
+//!
+//! let ds = emotion_spec().scaled(14).generate(42);
+//! assert_eq!(ds.len(), 14);
+//! assert_eq!(ds.num_classes(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod augment;
+mod clutter;
+mod dataset;
+mod face;
+mod spec;
+
+pub use augment::{augment, AugmentConfig};
+pub use clutter::{render_clutter, ClutterKind};
+pub use dataset::{Dataset, LabeledImage};
+pub use face::{render_face, render_scrambled_face, Emotion, FaceParams};
+pub use spec::{emotion_spec, face1_spec, face2_spec, DatasetSpec, TABLE1};

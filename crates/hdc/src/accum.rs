@@ -1,0 +1,377 @@
+//! Integer per-dimension accumulators for bundling and training.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use crate::bitvec::BitVector;
+use crate::error::{DimensionMismatchError, HdcError};
+
+/// A per-dimension signed integer accumulator.
+///
+/// HDC *bundling* memorizes a set of hypervectors by componentwise
+/// (weighted) addition of their bipolar values followed by a sign
+/// threshold. Class hypervectors in [`hdface-learn`] are held in this
+/// non-quantized form during training so that similarity-scaled
+/// updates do not saturate, and are thresholded back to a
+/// [`BitVector`] for the binary deployment model.
+///
+/// [`hdface-learn`]: https://example.invalid/hdface
+///
+/// ```
+/// use hdface_hdc::{Accumulator, BitVector};
+///
+/// let a = BitVector::from_bools(&[true, true, false]);
+/// let b = BitVector::from_bools(&[true, false, false]);
+/// let mut acc = Accumulator::new(3);
+/// acc.add(&a).unwrap();
+/// acc.add(&b).unwrap();
+/// // dim 0: +2, dim 1: 0 (tie), dim 2: −2
+/// assert_eq!(acc.component(0), 2.0);
+/// assert_eq!(acc.component(2), -2.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Accumulator {
+    values: Vec<f64>,
+    count: usize,
+}
+
+impl Accumulator {
+    /// Creates a zeroed accumulator of dimensionality `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Accumulator {
+            values: vec![0.0; dim],
+            count: 0,
+        }
+    }
+
+    /// Dimensionality of the accumulator.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of `add`-style calls applied so far.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The raw accumulated value of one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    #[must_use]
+    pub fn component(&self, index: usize) -> f64 {
+        self.values[index]
+    }
+
+    /// Read-only view of all accumulated components.
+    #[inline]
+    #[must_use]
+    pub fn components(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Adds a hypervector's bipolar values with weight `+1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn add(&mut self, v: &BitVector) -> Result<(), DimensionMismatchError> {
+        self.add_weighted(v, 1.0)
+    }
+
+    /// Subtracts a hypervector's bipolar values (weight `−1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn sub(&mut self, v: &BitVector) -> Result<(), DimensionMismatchError> {
+        self.add_weighted(v, -1.0)
+    }
+
+    /// Adds `weight · v` componentwise (bipolar view of `v`).
+    ///
+    /// This is the primitive behind the adaptive HDFace update rule
+    /// `C ← C + (1 − δ)·H`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn add_weighted(
+        &mut self,
+        v: &BitVector,
+        weight: f64,
+    ) -> Result<(), DimensionMismatchError> {
+        if v.dim() != self.dim() {
+            return Err(DimensionMismatchError {
+                left: self.dim(),
+                right: v.dim(),
+            });
+        }
+        // Walk word-by-word to avoid per-bit bounds checks.
+        for (i, val) in self.values.iter_mut().enumerate() {
+            *val += weight * f64::from(v.bipolar(i));
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator into this one componentwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn merge(&mut self, other: &Accumulator) -> Result<(), DimensionMismatchError> {
+        if other.dim() != self.dim() {
+            return Err(DimensionMismatchError {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += *b;
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Scales every component by `factor` (used for decay/regularized
+    /// training schedules).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Thresholds to a binary hypervector: bit `1` where the component
+    /// is positive, bit `0` where negative; exact zeros are broken by
+    /// the supplied RNG so the result stays unbiased.
+    #[must_use]
+    pub fn threshold<R: Rng>(&self, rng: &mut R) -> BitVector {
+        let mut out = BitVector::zeros(self.dim());
+        for (i, &v) in self.values.iter().enumerate() {
+            let bit = if v > 0.0 {
+                true
+            } else if v < 0.0 {
+                false
+            } else {
+                rng.random_bool(0.5)
+            };
+            out.set(i, bit);
+        }
+        out
+    }
+
+    /// Thresholds with deterministic tie-breaking (ties become `0`).
+    ///
+    /// Prefer [`Accumulator::threshold`] when statistical neutrality
+    /// matters; this variant exists for reproducible round-trips.
+    #[must_use]
+    pub fn threshold_deterministic(&self) -> BitVector {
+        let mut out = BitVector::zeros(self.dim());
+        for (i, &v) in self.values.iter().enumerate() {
+            out.set(i, v > 0.0);
+        }
+        out
+    }
+
+    /// Cosine similarity between the accumulator (as a real vector)
+    /// and a bipolar hypervector, in `[-1, 1]`.
+    ///
+    /// Returns `0.0` when the accumulator is all-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn cosine(&self, v: &BitVector) -> Result<f64, DimensionMismatchError> {
+        if v.dim() != self.dim() {
+            return Err(DimensionMismatchError {
+                left: self.dim(),
+                right: v.dim(),
+            });
+        }
+        let mut dot = 0.0;
+        let mut norm = 0.0;
+        for (i, &c) in self.values.iter().enumerate() {
+            dot += c * f64::from(v.bipolar(i));
+            norm += c * c;
+        }
+        if norm == 0.0 || self.dim() == 0 {
+            return Ok(0.0);
+        }
+        // ‖v‖ = sqrt(D) for a bipolar vector.
+        Ok(dot / (norm.sqrt() * (self.dim() as f64).sqrt()))
+    }
+
+    /// Euclidean norm of the accumulated components.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Bundles an iterator of hypervectors into a majority vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] when the iterator is empty and
+    /// [`HdcError::DimensionMismatch`] when inputs disagree in size.
+    pub fn bundle<'a, I, R>(vectors: I, rng: &mut R) -> Result<BitVector, HdcError>
+    where
+        I: IntoIterator<Item = &'a BitVector>,
+        R: Rng,
+    {
+        let mut iter = vectors.into_iter();
+        let first = iter.next().ok_or(HdcError::EmptyInput)?;
+        let mut acc = Accumulator::new(first.dim());
+        acc.add(first)?;
+        for v in iter {
+            acc.add(v)?;
+        }
+        Ok(acc.threshold(rng))
+    }
+}
+
+impl fmt::Debug for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Accumulator(D={}, count={}, norm={:.3})",
+            self.dim(),
+            self.count,
+            self.norm()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_sub_roundtrip_is_zero() {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let v = BitVector::random(100, &mut rng);
+        let mut acc = Accumulator::new(100);
+        acc.add(&v).unwrap();
+        acc.sub(&v).unwrap();
+        assert!(acc.components().iter().all(|&c| c == 0.0));
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn threshold_recovers_single_vector() {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let v = BitVector::random(512, &mut rng);
+        let mut acc = Accumulator::new(512);
+        acc.add(&v).unwrap();
+        assert_eq!(acc.threshold(&mut rng), v);
+        assert_eq!(acc.threshold_deterministic(), v);
+    }
+
+    #[test]
+    fn bundle_majority_preserves_similarity_to_members() {
+        let mut rng = HdcRng::seed_from_u64(3);
+        let vs: Vec<BitVector> = (0..5).map(|_| BitVector::random(8192, &mut rng)).collect();
+        let m = Accumulator::bundle(vs.iter(), &mut rng).unwrap();
+        for v in &vs {
+            // Each member of a 5-way majority has expected similarity
+            // ≈ 0.375 to the bundle; far above chance.
+            assert!(m.similarity(v).unwrap() > 0.2);
+        }
+        let outsider = BitVector::random(8192, &mut rng);
+        assert!(m.similarity(&outsider).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn bundle_empty_errors() {
+        let mut rng = HdcRng::seed_from_u64(4);
+        let vs: Vec<BitVector> = Vec::new();
+        assert!(matches!(
+            Accumulator::bundle(vs.iter(), &mut rng),
+            Err(HdcError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn bundle_dim_mismatch_errors() {
+        let mut rng = HdcRng::seed_from_u64(5);
+        let vs = [BitVector::zeros(8), BitVector::zeros(9)];
+        assert!(matches!(
+            Accumulator::bundle(vs.iter(), &mut rng),
+            Err(HdcError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_add_scales() {
+        let v = BitVector::from_bools(&[true, false]);
+        let mut acc = Accumulator::new(2);
+        acc.add_weighted(&v, 2.5).unwrap();
+        assert_eq!(acc.component(0), 2.5);
+        assert_eq!(acc.component(1), -2.5);
+    }
+
+    #[test]
+    fn cosine_of_own_threshold_is_high() {
+        let mut rng = HdcRng::seed_from_u64(6);
+        let v = BitVector::random(2048, &mut rng);
+        let mut acc = Accumulator::new(2048);
+        acc.add(&v).unwrap();
+        assert!((acc.cosine(&v).unwrap() - 1.0).abs() < 1e-12);
+        assert!((acc.cosine(&v.negated()).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_accumulator_is_zero() {
+        let acc = Accumulator::new(16);
+        let v = BitVector::zeros(16);
+        assert_eq!(acc.cosine(&v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let v = BitVector::from_bools(&[true, true]);
+        let mut a = Accumulator::new(2);
+        let mut b = Accumulator::new(2);
+        a.add(&v).unwrap();
+        b.add(&v).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.component(0), 2.0);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn scale_applies_factor() {
+        let v = BitVector::from_bools(&[true]);
+        let mut a = Accumulator::new(1);
+        a.add(&v).unwrap();
+        a.scale(0.5);
+        assert_eq!(a.component(0), 0.5);
+    }
+
+    #[test]
+    fn dim_mismatch_paths_error() {
+        let mut a = Accumulator::new(4);
+        let v = BitVector::zeros(5);
+        assert!(a.add(&v).is_err());
+        assert!(a.cosine(&v).is_err());
+        let b = Accumulator::new(5);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn debug_shows_stats() {
+        let acc = Accumulator::new(8);
+        let s = format!("{acc:?}");
+        assert!(s.contains("D=8") && s.contains("count=0"));
+    }
+}

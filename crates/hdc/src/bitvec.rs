@@ -1,0 +1,811 @@
+//! Bit-packed hypervector storage and elementary operations.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use crate::error::{DimensionMismatchError, HdcError};
+
+const WORD_BITS: usize = 64;
+
+/// A `D`-dimensional binary hypervector, bit-packed into `u64` words.
+///
+/// Under the **bipolar view** used by the HDFace stochastic arithmetic,
+/// a stored bit `1` denotes the component `+1` and a stored bit `0`
+/// denotes `-1`. With that convention
+///
+/// * `negated` (bitwise NOT) is elementwise negation,
+/// * the bipolar dot product is `D - 2 * hamming`,
+/// * XNOR (`a.xor(b).negated()`) is the elementwise bipolar product;
+///   plain `xor` is its negation and serves as the classic
+///   self-inverse HDC binding operator.
+///
+/// Unused bits of the final storage word are kept at zero as an
+/// internal invariant so that popcounts never over-count.
+///
+/// ```
+/// use hdface_hdc::BitVector;
+///
+/// let v = BitVector::from_bools(&[true, false, true, true]);
+/// assert_eq!(v.dim(), 4);
+/// assert_eq!(v.count_ones(), 3);
+/// assert_eq!(v.negated().count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl BitVector {
+    /// Number of `u64` words needed for `dim` bits.
+    #[inline]
+    fn words_for(dim: usize) -> usize {
+        dim.div_ceil(WORD_BITS)
+    }
+
+    /// Mask selecting the valid bits of the last storage word.
+    #[inline]
+    fn tail_mask(dim: usize) -> u64 {
+        let rem = dim % WORD_BITS;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// Clears the invalid (past-`dim`) bits of the final word,
+    /// restoring the storage invariant after whole-word operations.
+    #[inline]
+    fn clear_tail(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= Self::tail_mask(self.dim);
+        }
+    }
+
+    /// Creates the all-zeros (all `-1` bipolar) hypervector.
+    ///
+    /// ```
+    /// let v = hdface_hdc::BitVector::zeros(100);
+    /// assert_eq!(v.count_ones(), 0);
+    /// ```
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        BitVector {
+            dim,
+            words: vec![0; Self::words_for(dim)],
+        }
+    }
+
+    /// Creates the all-ones (all `+1` bipolar) hypervector.
+    ///
+    /// ```
+    /// let v = hdface_hdc::BitVector::ones(100);
+    /// assert_eq!(v.count_ones(), 100);
+    /// ```
+    #[must_use]
+    pub fn ones(dim: usize) -> Self {
+        let mut v = BitVector {
+            dim,
+            words: vec![u64::MAX; Self::words_for(dim)],
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Draws a uniformly random hypervector (each bit i.i.d. fair).
+    ///
+    /// ```
+    /// use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+    /// let mut rng = HdcRng::seed_from_u64(1);
+    /// let v = BitVector::random(4096, &mut rng);
+    /// let density = v.count_ones() as f64 / 4096.0;
+    /// assert!((density - 0.5).abs() < 0.05);
+    /// ```
+    #[must_use]
+    pub fn random<R: Rng>(dim: usize, rng: &mut R) -> Self {
+        let mut v = BitVector {
+            dim,
+            words: (0..Self::words_for(dim)).map(|_| rng.random()).collect(),
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Number of dyadic refinement rounds used by
+    /// [`random_with_density`](Self::random_with_density): the
+    /// probability is realized to `2⁻¹⁶` resolution, far below the
+    /// `1/√D` decode noise at any practical dimensionality.
+    const DENSITY_PRECISION_BITS: u32 = 16;
+
+    /// Draws a random hypervector whose bits are `1` independently with
+    /// probability `p` (bipolar `+1` with probability `p`).
+    ///
+    /// The generator is word-parallel: `p` is rounded to 16 binary
+    /// digits `0.b₁b₂…b₁₆` and realized with one random word per
+    /// digit through the recurrence `acc ← bᵢ ? (acc | r) : (acc & r)`
+    /// (LSB first), which sets each output bit with exactly the
+    /// rounded probability. This is ~64× faster than per-bit
+    /// sampling and is what keeps stochastic mask generation off the
+    /// critical path of the HD-HOG pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidProbability`] if `p` is not within
+    /// `[0, 1]` (NaN included).
+    pub fn random_with_density<R: Rng>(
+        dim: usize,
+        p: f64,
+        rng: &mut R,
+    ) -> Result<Self, HdcError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(HdcError::InvalidProbability(p));
+        }
+        // Fixed-point probability with DENSITY_PRECISION_BITS digits.
+        let scale = 1u32 << Self::DENSITY_PRECISION_BITS;
+        let q = (p * f64::from(scale)).round() as u32;
+        if q == 0 {
+            return Ok(BitVector::zeros(dim));
+        }
+        if q >= scale {
+            return Ok(BitVector::ones(dim));
+        }
+        let n_words = Self::words_for(dim);
+        let mut words = vec![0u64; n_words];
+        // Process digits LSB→MSB: P(bit = 1) converges to q / scale.
+        // Trailing zero digits leave the all-zeros accumulator
+        // unchanged, so start at the first set digit — this makes the
+        // ubiquitous p = 0.5 mask cost a single random word per
+        // 64 dimensions.
+        for digit in q.trailing_zeros()..Self::DENSITY_PRECISION_BITS {
+            let set = (q >> digit) & 1 == 1;
+            for w in &mut words {
+                let r: u64 = rng.random();
+                *w = if set { *w | r } else { *w & r };
+            }
+        }
+        let mut v = BitVector { dim, words };
+        v.clear_tail();
+        Ok(v)
+    }
+
+    /// Builds a hypervector from a slice of booleans (`true` ↦ bit 1).
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVector::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a hypervector of dimension `dim` from pre-packed words.
+    ///
+    /// Extra bits beyond `dim` in the final word are cleared; missing
+    /// words are zero-filled.
+    #[must_use]
+    pub fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
+        words.resize(Self::words_for(dim), 0);
+        let mut v = BitVector { dim, words };
+        v.clear_tail();
+        v
+    }
+
+    /// Dimensionality `D` of the hypervector.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` if the vector has zero dimensions.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// Read-only view of the packed storage words.
+    #[inline]
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.dim, "bit index {index} out of range {}", self.dim);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.dim, "bit index {index} out of range {}", self.dim);
+        let w = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    pub fn flip(&mut self, index: usize) -> bool {
+        let nv = !self.get(index);
+        self.set(index, nv);
+        nv
+    }
+
+    /// Reads the bit at `index` as a bipolar component (`+1` / `-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    #[must_use]
+    pub fn bipolar(&self, index: usize) -> i8 {
+        if self.get(index) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of cleared bits.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.dim - self.count_ones()
+    }
+
+    /// Elementwise XOR — the classic self-inverse HDC **binding**
+    /// operator. Under the bipolar view this equals the *negated*
+    /// elementwise product; the product itself is
+    /// `a.xor(b).negated()` (XNOR).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn xor(&self, other: &Self) -> Result<Self, DimensionMismatchError> {
+        self.check_dim(other)?;
+        Ok(BitVector {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        })
+    }
+
+    /// Elementwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn and(&self, other: &Self) -> Result<Self, DimensionMismatchError> {
+        self.check_dim(other)?;
+        Ok(BitVector {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        })
+    }
+
+    /// Elementwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn or(&self, other: &Self) -> Result<Self, DimensionMismatchError> {
+        self.check_dim(other)?;
+        Ok(BitVector {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        })
+    }
+
+    /// Bitwise NOT — bipolar **negation** (`V ↦ -V`).
+    ///
+    /// ```
+    /// use hdface_hdc::BitVector;
+    /// let v = BitVector::from_bools(&[true, false, true]);
+    /// assert_eq!(v.negated().to_bools(), vec![false, true, false]);
+    /// ```
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        let mut v = BitVector {
+            dim: self.dim,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Componentwise selection: takes this vector's bit where `mask`
+    /// has a `1`, and `other`'s bit where `mask` has a `0`.
+    ///
+    /// This is the hardware primitive behind the stochastic weighted
+    /// average `p·V_a ⊕ q·V_b` of the paper (§4.2): the mask is drawn
+    /// with density `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if any dimensionality
+    /// differs.
+    pub fn select(&self, other: &Self, mask: &Self) -> Result<Self, DimensionMismatchError> {
+        self.check_dim(other)?;
+        self.check_dim(mask)?;
+        Ok(BitVector {
+            dim: self.dim,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .zip(&mask.words)
+                .map(|((a, b), m)| (a & m) | (b & !m))
+                .collect(),
+        })
+    }
+
+    /// Hamming distance: number of positions at which the two vectors
+    /// differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn hamming(&self, other: &Self) -> Result<usize, DimensionMismatchError> {
+        self.check_dim(other)?;
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Bipolar dot product `Σᵢ aᵢ·bᵢ ∈ [-D, D]`, computed as
+    /// `D - 2·hamming`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn dot(&self, other: &Self) -> Result<i64, DimensionMismatchError> {
+        let h = self.hamming(other)? as i64;
+        Ok(self.dim as i64 - 2 * h)
+    }
+
+    /// The paper's similarity `δ(V₁, V₂) = (V₁·V₂)/D ∈ [-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ; zero-dimensional vectors yield `0.0`.
+    pub fn similarity(&self, other: &Self) -> Result<f64, DimensionMismatchError> {
+        if self.dim == 0 {
+            self.check_dim(other)?;
+            return Ok(0.0);
+        }
+        Ok(self.dot(other)? as f64 / self.dim as f64)
+    }
+
+    /// Normalized Hamming similarity: fraction of agreeing positions,
+    /// in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionalities
+    /// differ.
+    pub fn hamming_similarity(&self, other: &Self) -> Result<f64, DimensionMismatchError> {
+        if self.dim == 0 {
+            self.check_dim(other)?;
+            return Ok(1.0);
+        }
+        Ok(1.0 - self.hamming(other)? as f64 / self.dim as f64)
+    }
+
+    /// The permutation ρ: cyclic rotation of all components by `k`
+    /// positions towards higher indices (bit `i` moves to
+    /// `(i + k) mod D`).
+    ///
+    /// Permutation preserves pairwise distances and decorrelates a
+    /// vector from its unrotated self, which HDC uses to encode
+    /// position.
+    ///
+    /// ```
+    /// use hdface_hdc::BitVector;
+    /// let v = BitVector::from_bools(&[true, false, false, false]);
+    /// assert_eq!(v.rotated(1).to_bools(), vec![false, true, false, false]);
+    /// assert_eq!(v.rotated(4), v); // full cycle
+    /// ```
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> Self {
+        if self.dim == 0 {
+            return self.clone();
+        }
+        let k = k % self.dim;
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = BitVector::zeros(self.dim);
+        // Word-level rotate within the dim-bit ring.
+        for i in 0..self.dim {
+            if self.get(i) {
+                out.set((i + k) % self.dim, true);
+            }
+        }
+        out
+    }
+
+    /// Inverse permutation ρ⁻¹ (rotation towards lower indices).
+    #[must_use]
+    pub fn rotated_back(&self, k: usize) -> Self {
+        if self.dim == 0 {
+            return self.clone();
+        }
+        let k = k % self.dim;
+        self.rotated(self.dim - k)
+    }
+
+    /// Expands to one `bool` per dimension.
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.dim).map(|i| self.get(i)).collect()
+    }
+
+    /// Expands to one bipolar `i8` (±1) per dimension.
+    #[must_use]
+    pub fn to_bipolar(&self) -> Vec<i8> {
+        (0..self.dim).map(|i| self.bipolar(i)).collect()
+    }
+
+    /// Iterator over the bits, low index first.
+    pub fn bits(&self) -> Bits<'_> {
+        Bits { vec: self, idx: 0 }
+    }
+
+    /// Flips each bit independently with probability `p` — the random
+    /// bit-error channel used throughout the robustness experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidProbability`] if `p ∉ [0, 1]`.
+    pub fn with_bit_errors<R: Rng>(
+        &self,
+        p: f64,
+        rng: &mut R,
+    ) -> Result<Self, HdcError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(HdcError::InvalidProbability(p));
+        }
+        let noise = BitVector::random_with_density(self.dim, p, rng)?;
+        Ok(self.xor(&noise).expect("dims equal by construction"))
+    }
+
+    #[inline]
+    fn check_dim(&self, other: &Self) -> Result<(), DimensionMismatchError> {
+        if self.dim != other.dim {
+            Err(DimensionMismatchError {
+                left: self.dim,
+                right: other.dim,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitVector`], produced by
+/// [`BitVector::bits`].
+#[derive(Debug, Clone)]
+pub struct Bits<'a> {
+    vec: &'a BitVector,
+    idx: usize,
+}
+
+impl Iterator for Bits<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.idx >= self.vec.dim {
+            None
+        } else {
+            let b = self.vec.get(self.idx);
+            self.idx += 1;
+            Some(b)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.dim - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Bits<'_> {}
+
+impl fmt::Debug for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Show at most 64 leading bits to keep debug output usable.
+        let shown: String = self
+            .bits()
+            .take(64)
+            .map(|b| if b { '1' } else { '0' })
+            .collect();
+        let ellipsis = if self.dim > 64 { "…" } else { "" };
+        write!(f, "BitVector(D={}, {shown}{ellipsis})", self.dim)
+    }
+}
+
+impl fmt::Binary for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.bits() {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVector {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVector::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones_counts() {
+        for d in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            assert_eq!(BitVector::zeros(d).count_ones(), 0, "d={d}");
+            assert_eq!(BitVector::ones(d).count_ones(), d, "d={d}");
+        }
+    }
+
+    #[test]
+    fn tail_invariant_after_not() {
+        // NOT of zeros must not set the padding bits past dim.
+        let v = BitVector::zeros(65).negated();
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v.as_words().len(), 2);
+        assert_eq!(v.as_words()[1], 1); // only bit 64 valid
+    }
+
+    #[test]
+    fn get_set_flip_roundtrip() {
+        let mut v = BitVector::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        assert!(!v.flip(0));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVector::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn xor_truth_table_and_xnor_is_product() {
+        let a = BitVector::from_bools(&[true, true, false, false]);
+        let b = BitVector::from_bools(&[true, false, true, false]);
+        let x = a.xor(&b).unwrap();
+        assert_eq!(x.to_bools(), vec![false, true, true, false]);
+        // XNOR = bipolar elementwise product: (+1,+1)→+1, (+1,−1)→−1…
+        let prod = x.negated();
+        for i in 0..4 {
+            assert_eq!(
+                i32::from(prod.bipolar(i)),
+                i32::from(a.bipolar(i)) * i32::from(b.bipolar(i))
+            );
+        }
+    }
+
+    #[test]
+    fn xor_binding_is_self_inverse_and_distance_preserving() {
+        let mut rng = HdcRng::seed_from_u64(11);
+        let a = BitVector::random(4096, &mut rng);
+        let b = BitVector::random(4096, &mut rng);
+        let k = BitVector::random(4096, &mut rng);
+        assert_eq!(a.xor(&k).unwrap().xor(&k).unwrap(), a);
+        let h = a.hamming(&b).unwrap();
+        assert_eq!(
+            a.xor(&k).unwrap().hamming(&b.xor(&k).unwrap()).unwrap(),
+            h
+        );
+    }
+
+    #[test]
+    fn xor_dim_mismatch_errors() {
+        let a = BitVector::zeros(10);
+        let b = BitVector::zeros(11);
+        let err = a.xor(&b).unwrap_err();
+        assert_eq!(err, DimensionMismatchError { left: 10, right: 11 });
+    }
+
+    #[test]
+    fn select_takes_self_under_mask() {
+        let a = BitVector::from_bools(&[true, true, true, true]);
+        let b = BitVector::from_bools(&[false, false, false, false]);
+        let m = BitVector::from_bools(&[true, false, true, false]);
+        let s = a.select(&b, &m).unwrap();
+        assert_eq!(s.to_bools(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn hamming_and_dot() {
+        let a = BitVector::from_bools(&[true, true, false, false]);
+        let b = BitVector::from_bools(&[true, false, true, false]);
+        assert_eq!(a.hamming(&b).unwrap(), 2);
+        assert_eq!(a.dot(&b).unwrap(), 0);
+        assert_eq!(a.dot(&a).unwrap(), 4);
+        assert_eq!(a.dot(&a.negated()).unwrap(), -4);
+    }
+
+    #[test]
+    fn similarity_extremes() {
+        let mut rng = HdcRng::seed_from_u64(3);
+        let a = BitVector::random(2048, &mut rng);
+        assert_eq!(a.similarity(&a).unwrap(), 1.0);
+        assert_eq!(a.similarity(&a.negated()).unwrap(), -1.0);
+        assert_eq!(a.hamming_similarity(&a).unwrap(), 1.0);
+        assert_eq!(a.hamming_similarity(&a.negated()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn random_vectors_nearly_orthogonal() {
+        let mut rng = HdcRng::seed_from_u64(4);
+        let a = BitVector::random(16_384, &mut rng);
+        let b = BitVector::random(16_384, &mut rng);
+        assert!(a.similarity(&b).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn density_parameter_respected() {
+        let mut rng = HdcRng::seed_from_u64(5);
+        let v = BitVector::random_with_density(20_000, 0.3, &mut rng).unwrap();
+        let density = v.count_ones() as f64 / 20_000.0;
+        assert!((density - 0.3).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn density_rejects_bad_probability() {
+        let mut rng = HdcRng::seed_from_u64(5);
+        assert!(matches!(
+            BitVector::random_with_density(8, 1.5, &mut rng),
+            Err(HdcError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            BitVector::random_with_density(8, f64::NAN, &mut rng),
+            Err(HdcError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn rotation_is_cyclic_and_invertible() {
+        let mut rng = HdcRng::seed_from_u64(6);
+        let v = BitVector::random(257, &mut rng);
+        assert_eq!(v.rotated(257), v);
+        assert_eq!(v.rotated(300).rotated_back(300), v);
+        assert_eq!(v.rotated(0), v);
+        // A rotated random vector decorrelates from the original.
+        let big = BitVector::random(8192, &mut rng);
+        assert!(big.similarity(&big.rotated(1)).unwrap().abs() < 0.06);
+    }
+
+    #[test]
+    fn rotation_preserves_distance() {
+        let mut rng = HdcRng::seed_from_u64(7);
+        let a = BitVector::random(500, &mut rng);
+        let b = BitVector::random(500, &mut rng);
+        let h = a.hamming(&b).unwrap();
+        assert_eq!(a.rotated(13).hamming(&b.rotated(13)).unwrap(), h);
+    }
+
+    #[test]
+    fn bit_error_rate_matches_probability() {
+        let mut rng = HdcRng::seed_from_u64(8);
+        let v = BitVector::random(50_000, &mut rng);
+        let noisy = v.with_bit_errors(0.1, &mut rng).unwrap();
+        let flipped = v.hamming(&noisy).unwrap() as f64 / 50_000.0;
+        assert!((flipped - 0.1).abs() < 0.01, "flip rate {flipped}");
+        // p = 0 is the identity.
+        assert_eq!(v.with_bit_errors(0.0, &mut rng).unwrap(), v);
+    }
+
+    #[test]
+    fn bits_iterator_matches_get() {
+        let mut rng = HdcRng::seed_from_u64(9);
+        let v = BitVector::random(77, &mut rng);
+        let collected: Vec<bool> = v.bits().collect();
+        assert_eq!(collected, v.to_bools());
+        assert_eq!(v.bits().len(), 77);
+    }
+
+    #[test]
+    fn from_words_clears_excess() {
+        let v = BitVector::from_words(4, vec![u64::MAX]);
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: BitVector = [true, false, true].into_iter().collect();
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn binary_format_renders_bits() {
+        let v = BitVector::from_bools(&[true, false, true]);
+        assert_eq!(format!("{v:b}"), "101");
+    }
+
+    #[test]
+    fn debug_truncates_long_vectors() {
+        let v = BitVector::zeros(1000);
+        let s = format!("{v:?}");
+        assert!(s.contains("D=1000") && s.contains('…'));
+    }
+
+    #[test]
+    fn empty_vector_edge_cases() {
+        let a = BitVector::zeros(0);
+        let b = BitVector::zeros(0);
+        assert_eq!(a.similarity(&b).unwrap(), 0.0);
+        assert_eq!(a.hamming(&b).unwrap(), 0);
+        assert_eq!(a.rotated(5), a);
+        assert!(a.is_empty());
+    }
+}

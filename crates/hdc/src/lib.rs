@@ -1,0 +1,58 @@
+//! # hdface-hdc — hypervector substrate
+//!
+//! Bit-packed binary/bipolar hypervectors and the classic
+//! hyperdimensional-computing (HDC) operation set used throughout the
+//! HDFace reproduction: XOR *binding*, majority *bundling*, rotational
+//! *permutation*, componentwise *selection* (the stochastic ⊕
+//! primitive), Hamming / dot-product *similarity*, and integer
+//! *accumulators* for training.
+//!
+//! A [`BitVector`] stores `D` bits packed into `u64` words. Under the
+//! **bipolar view** a stored bit `1` reads as `+1` and a stored bit `0`
+//! reads as `-1`; all similarity math in this crate uses that
+//! convention, which makes XOR equal to elementwise bipolar
+//! multiplication and `NOT` equal to negation.
+//!
+//! ```
+//! use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+//!
+//! let mut rng = HdcRng::seed_from_u64(7);
+//! let a = BitVector::random(10_000, &mut rng);
+//! let b = BitVector::random(10_000, &mut rng);
+//! // Random hypervectors are nearly orthogonal:
+//! assert!(a.similarity(&b).unwrap().abs() < 0.05);
+//! // A vector is maximally similar to itself and anti-similar to its negation:
+//! assert_eq!(a.similarity(&a).unwrap(), 1.0);
+//! assert_eq!(a.similarity(&a.negated()).unwrap(), -1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod bitvec;
+mod error;
+mod memory;
+mod ops;
+mod sequence;
+mod serial;
+
+pub use accum::Accumulator;
+pub use bitvec::{BitVector, Bits};
+pub use error::{DimensionMismatchError, HdcError};
+pub use memory::{ItemMemory, Recall};
+pub use ops::{majority, majority_weighted, weighted_select};
+pub use sequence::{encode_sequence, ngram};
+pub use serial::SerialError;
+
+/// The random number generator used by every randomized routine in the
+/// HDFace workspace.
+///
+/// This is a re-export of [`rand::rngs::StdRng`] so that downstream
+/// crates agree on one seedable generator and experiments are
+/// reproducible bit-for-bit.
+pub type HdcRng = rand::rngs::StdRng;
+
+// Re-export the seeding trait so callers can write
+// `HdcRng::seed_from_u64(..)` without importing rand themselves.
+pub use rand::SeedableRng;

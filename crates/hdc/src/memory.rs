@@ -1,0 +1,224 @@
+//! Associative item memory — HDC's "cleanup" structure.
+//!
+//! HDC systems keep a table of known hypervectors (symbols, class
+//! prototypes, codebook levels) and recover the nearest stored item
+//! from a noisy query with a similarity search. The paper's
+//! classification stage *is* such a search over class hypervectors;
+//! [`ItemMemory`] generalizes it to arbitrary labeled items with
+//! top-k retrieval — useful for codebook lookups, nearest-level
+//! decoding and diagnostics.
+
+use std::fmt;
+
+use crate::bitvec::BitVector;
+use crate::error::{DimensionMismatchError, HdcError};
+
+/// One retrieval result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recall<L> {
+    /// Label of the stored item.
+    pub label: L,
+    /// Bipolar similarity `δ ∈ [-1, 1]` to the query.
+    pub similarity: f64,
+}
+
+/// An associative memory of labeled hypervectors with nearest-item
+/// retrieval.
+///
+/// ```
+/// use hdface_hdc::{BitVector, HdcRng, ItemMemory, SeedableRng};
+///
+/// # fn main() -> Result<(), hdface_hdc::HdcError> {
+/// let mut rng = HdcRng::seed_from_u64(1);
+/// let mut memory = ItemMemory::new(4096);
+/// let apple = BitVector::random(4096, &mut rng);
+/// let pear = BitVector::random(4096, &mut rng);
+/// memory.store("apple", apple.clone())?;
+/// memory.store("pear", pear)?;
+/// // A 20%-corrupted apple still recalls "apple".
+/// let noisy = apple.with_bit_errors(0.2, &mut rng)?;
+/// assert_eq!(memory.recall(&noisy)?.unwrap().label, "apple");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ItemMemory<L> {
+    dim: usize,
+    items: Vec<(L, BitVector)>,
+}
+
+impl<L: Clone> ItemMemory<L> {
+    /// Creates an empty memory for `dim`-bit items.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        ItemMemory {
+            dim,
+            items: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of stored items.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Stores a labeled hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] when the item's
+    /// dimensionality differs from the memory's.
+    pub fn store(&mut self, label: L, item: BitVector) -> Result<(), DimensionMismatchError> {
+        if item.dim() != self.dim {
+            return Err(DimensionMismatchError {
+                left: self.dim,
+                right: item.dim(),
+            });
+        }
+        self.items.push((label, item));
+        Ok(())
+    }
+
+    /// Iterator over the stored `(label, vector)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (L, BitVector)> {
+        self.items.iter()
+    }
+
+    /// The nearest stored item, or `None` when the memory is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a foreign query.
+    pub fn recall(&self, query: &BitVector) -> Result<Option<Recall<L>>, HdcError> {
+        Ok(self.recall_top(query, 1)?.into_iter().next())
+    }
+
+    /// The `k` nearest stored items, best first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a foreign query.
+    pub fn recall_top(&self, query: &BitVector, k: usize) -> Result<Vec<Recall<L>>, HdcError> {
+        let mut scored: Vec<Recall<L>> = self
+            .items
+            .iter()
+            .map(|(label, item)| {
+                Ok(Recall {
+                    label: label.clone(),
+                    similarity: item.similarity(query)?,
+                })
+            })
+            .collect::<Result<_, DimensionMismatchError>>()?;
+        scored.sort_by(|a, b| b.similarity.total_cmp(&a.similarity));
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// Recalls only when the best similarity clears `threshold`; the
+    /// standard *cleanup* operation (reject garbage queries instead of
+    /// snapping them to an arbitrary item).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a foreign query.
+    pub fn cleanup(
+        &self,
+        query: &BitVector,
+        threshold: f64,
+    ) -> Result<Option<Recall<L>>, HdcError> {
+        Ok(self
+            .recall(query)?
+            .filter(|r| r.similarity >= threshold))
+    }
+}
+
+impl<L> fmt::Debug for ItemMemory<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemMemory({} items, D={})", self.items.len(), self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    fn filled(n: usize, dim: usize) -> (ItemMemory<usize>, Vec<BitVector>, HdcRng) {
+        let mut rng = HdcRng::seed_from_u64(5);
+        let mut memory = ItemMemory::new(dim);
+        let items: Vec<BitVector> = (0..n)
+            .map(|i| {
+                let v = BitVector::random(dim, &mut rng);
+                memory.store(i, v.clone()).unwrap();
+                v
+            })
+            .collect();
+        (memory, items, rng)
+    }
+
+    #[test]
+    fn recalls_under_heavy_noise() {
+        let (memory, items, mut rng) = filled(20, 8192);
+        for (i, item) in items.iter().enumerate() {
+            let noisy = item.with_bit_errors(0.3, &mut rng).unwrap();
+            let r = memory.recall(&noisy).unwrap().unwrap();
+            assert_eq!(r.label, i, "item {i} misrecalled");
+            assert!(r.similarity > 0.2);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_truncated() {
+        let (memory, items, _) = filled(10, 2048);
+        let top = memory.recall_top(&items[3], 4).unwrap();
+        assert_eq!(top.len(), 4);
+        assert_eq!(top[0].label, 3);
+        assert_eq!(top[0].similarity, 1.0);
+        for pair in top.windows(2) {
+            assert!(pair[0].similarity >= pair[1].similarity);
+        }
+    }
+
+    #[test]
+    fn cleanup_rejects_garbage() {
+        let (memory, items, mut rng) = filled(8, 4096);
+        let garbage = BitVector::random(4096, &mut rng);
+        assert!(memory.cleanup(&garbage, 0.3).unwrap().is_none());
+        assert!(memory.cleanup(&items[0], 0.3).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_memory_and_dim_mismatch() {
+        let memory: ItemMemory<&str> = ItemMemory::new(64);
+        assert!(memory.is_empty());
+        assert_eq!(memory.len(), 0);
+        let q = BitVector::zeros(64);
+        assert!(memory.recall(&q).unwrap().is_none());
+        let mut memory = memory;
+        assert!(memory.store("x", BitVector::zeros(65)).is_err());
+        memory.store("x", BitVector::zeros(64)).unwrap();
+        assert!(memory.recall(&BitVector::zeros(65)).is_err());
+        assert_eq!(memory.iter().count(), 1);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let (memory, _, _) = filled(3, 128);
+        assert!(format!("{memory:?}").contains("3 items"));
+        assert_eq!(memory.dim(), 128);
+    }
+}

@@ -1,0 +1,145 @@
+//! Free-standing bundling / selection helpers.
+
+use rand::Rng;
+
+use crate::accum::Accumulator;
+use crate::bitvec::BitVector;
+use crate::error::HdcError;
+
+/// Majority bundling of a slice of hypervectors (unweighted).
+///
+/// Equivalent to [`Accumulator::bundle`]; provided as a free function
+/// because bundling is one of the three canonical HDC primitives.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyInput`] for an empty slice and
+/// [`HdcError::DimensionMismatch`] for ragged inputs.
+///
+/// ```
+/// use hdface_hdc::{majority, BitVector, HdcRng, SeedableRng};
+/// # fn main() -> Result<(), hdface_hdc::HdcError> {
+/// let mut rng = HdcRng::seed_from_u64(0);
+/// let vs: Vec<BitVector> = (0..3).map(|_| BitVector::random(1000, &mut rng)).collect();
+/// let bundle = majority(&vs, &mut rng)?;
+/// assert!(bundle.similarity(&vs[0])? > 0.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn majority<R: Rng>(vectors: &[BitVector], rng: &mut R) -> Result<BitVector, HdcError> {
+    Accumulator::bundle(vectors.iter(), rng)
+}
+
+/// Weighted majority bundling: each vector contributes with its paired
+/// (possibly negative) weight before thresholding.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyInput`] when `pairs` is empty and
+/// [`HdcError::DimensionMismatch`] for ragged inputs.
+pub fn majority_weighted<R: Rng>(
+    pairs: &[(BitVector, f64)],
+    rng: &mut R,
+) -> Result<BitVector, HdcError> {
+    let first = pairs.first().ok_or(HdcError::EmptyInput)?;
+    let mut acc = Accumulator::new(first.0.dim());
+    for (v, w) in pairs {
+        acc.add_weighted(v, *w)?;
+    }
+    Ok(acc.threshold(rng))
+}
+
+/// The stochastic weighted-selection primitive `p·A ⊕ (1−p)·B` of the
+/// paper (§4.2): each component is taken from `a` with probability `p`
+/// and from `b` otherwise, using a freshly drawn selection mask.
+///
+/// # Errors
+///
+/// Returns [`HdcError::InvalidProbability`] when `p ∉ [0, 1]` and
+/// [`HdcError::DimensionMismatch`] when the operand sizes differ.
+///
+/// ```
+/// use hdface_hdc::{weighted_select, BitVector, HdcRng, SeedableRng};
+/// # fn main() -> Result<(), hdface_hdc::HdcError> {
+/// let mut rng = HdcRng::seed_from_u64(0);
+/// let a = BitVector::ones(10_000);
+/// let b = BitVector::zeros(10_000);
+/// let c = weighted_select(&a, &b, 0.25, &mut rng)?;
+/// let density = c.count_ones() as f64 / 10_000.0;
+/// assert!((density - 0.25).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weighted_select<R: Rng>(
+    a: &BitVector,
+    b: &BitVector,
+    p: f64,
+    rng: &mut R,
+) -> Result<BitVector, HdcError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(HdcError::InvalidProbability(p));
+    }
+    let mask = BitVector::random_with_density(a.dim(), p, rng)?;
+    Ok(a.select(b, &mask)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn majority_of_one_is_identity() {
+        let mut rng = HdcRng::seed_from_u64(0);
+        let v = BitVector::random(333, &mut rng);
+        assert_eq!(majority(std::slice::from_ref(&v), &mut rng).unwrap(), v);
+    }
+
+    #[test]
+    fn weighted_majority_sign_matters() {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let v = BitVector::random(256, &mut rng);
+        let out = majority_weighted(&[(v.clone(), -2.0)], &mut rng).unwrap();
+        assert_eq!(out, v.negated());
+    }
+
+    #[test]
+    fn weighted_select_extremes() {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let a = BitVector::random(512, &mut rng);
+        let b = BitVector::random(512, &mut rng);
+        assert_eq!(weighted_select(&a, &b, 1.0, &mut rng).unwrap(), a);
+        assert_eq!(weighted_select(&a, &b, 0.0, &mut rng).unwrap(), b);
+    }
+
+    #[test]
+    fn weighted_select_interpolates_similarity() {
+        let mut rng = HdcRng::seed_from_u64(3);
+        let a = BitVector::random(20_000, &mut rng);
+        let b = BitVector::random(20_000, &mut rng);
+        let c = weighted_select(&a, &b, 0.7, &mut rng).unwrap();
+        // Agreement with `a` should be ≈ 0.7 + 0.3·0.5 = 0.85.
+        let agree = c.hamming_similarity(&a).unwrap();
+        assert!((agree - 0.85).abs() < 0.02, "agreement {agree}");
+    }
+
+    #[test]
+    fn weighted_select_rejects_bad_p() {
+        let mut rng = HdcRng::seed_from_u64(4);
+        let a = BitVector::zeros(8);
+        assert!(matches!(
+            weighted_select(&a, &a, -0.1, &mut rng),
+            Err(HdcError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn majority_weighted_empty_errors() {
+        let mut rng = HdcRng::seed_from_u64(5);
+        assert!(matches!(
+            majority_weighted(&[], &mut rng),
+            Err(HdcError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Sequence encoding with the permutation primitive.
+//!
+//! §4.1 of the paper lists permutation ρ among the three canonical
+//! HDC operations, "which preserves the position by performing a
+//! single rotational shift". Its standard use is order encoding:
+//! an n-gram `(v₁, …, vₙ)` becomes `ρⁿ⁻¹(v₁) ⊻ … ⊻ ρ⁰(vₙ)`, and a
+//! sequence is the bundle of its n-grams. Provided for substrate
+//! completeness (temporal face tracking, video extensions).
+
+use rand::Rng;
+
+use crate::accum::Accumulator;
+use crate::bitvec::BitVector;
+use crate::error::HdcError;
+
+/// Encodes one n-gram by position-permuted binding:
+/// `ρ^(n−1)(v₁) ⊻ ρ^(n−2)(v₂) ⊻ … ⊻ v_n`.
+///
+/// Earlier items receive more rotation, so the same multiset in a
+/// different order produces a (nearly) orthogonal vector.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyInput`] for an empty window and
+/// [`HdcError::DimensionMismatch`] for ragged inputs.
+///
+/// ```
+/// use hdface_hdc::{ngram, BitVector, HdcRng, SeedableRng};
+/// # fn main() -> Result<(), hdface_hdc::HdcError> {
+/// let mut rng = HdcRng::seed_from_u64(0);
+/// let a = BitVector::random(8192, &mut rng);
+/// let b = BitVector::random(8192, &mut rng);
+/// let ab = ngram(&[a.clone(), b.clone()])?;
+/// let ba = ngram(&[b, a])?;
+/// assert!(ab.similarity(&ba)?.abs() < 0.05); // order matters
+/// # Ok(())
+/// # }
+/// ```
+pub fn ngram(window: &[BitVector]) -> Result<BitVector, HdcError> {
+    let mut iter = window.iter();
+    let first = iter.next().ok_or(HdcError::EmptyInput)?;
+    let mut acc = first.rotated(window.len() - 1);
+    for (i, v) in iter.enumerate() {
+        let rotated = v.rotated(window.len() - 2 - i);
+        acc = acc.xor(&rotated)?;
+    }
+    Ok(acc)
+}
+
+/// Encodes a whole sequence as the majority bundle of its sliding
+/// `n`-grams — the standard HDC sequence memory.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyInput`] when the sequence is shorter than
+/// `n` or `n == 0`, and [`HdcError::DimensionMismatch`] for ragged
+/// inputs.
+pub fn encode_sequence<R: Rng>(
+    items: &[BitVector],
+    n: usize,
+    rng: &mut R,
+) -> Result<BitVector, HdcError> {
+    if n == 0 || items.len() < n {
+        return Err(HdcError::EmptyInput);
+    }
+    let first = ngram(&items[0..n])?;
+    let mut acc = Accumulator::new(first.dim());
+    acc.add(&first)?;
+    for start in 1..=items.len() - n {
+        acc.add(&ngram(&items[start..start + n])?)?;
+    }
+    Ok(acc.threshold(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    fn symbols(k: usize, dim: usize) -> (Vec<BitVector>, HdcRng) {
+        let mut rng = HdcRng::seed_from_u64(3);
+        let v = (0..k).map(|_| BitVector::random(dim, &mut rng)).collect();
+        (v, rng)
+    }
+
+    #[test]
+    fn ngram_of_one_is_identity() {
+        let (s, _) = symbols(1, 256);
+        assert_eq!(ngram(&s).unwrap(), s[0]);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let (s, _) = symbols(3, 8192);
+        let abc = ngram(&[s[0].clone(), s[1].clone(), s[2].clone()]).unwrap();
+        let cba = ngram(&[s[2].clone(), s[1].clone(), s[0].clone()]).unwrap();
+        assert!(abc.similarity(&cba).unwrap().abs() < 0.05);
+        // Deterministic: same order, same vector.
+        let again = ngram(&[s[0].clone(), s[1].clone(), s[2].clone()]).unwrap();
+        assert_eq!(abc, again);
+    }
+
+    #[test]
+    fn empty_ngram_errors() {
+        assert!(matches!(ngram(&[]), Err(HdcError::EmptyInput)));
+    }
+
+    #[test]
+    fn sequences_sharing_ngrams_are_similar() {
+        let (s, mut rng) = symbols(6, 8192);
+        // Two sequences sharing most trigrams vs a reversed one.
+        let seq1: Vec<BitVector> = s[0..5].to_vec();
+        let mut seq2 = seq1.clone();
+        seq2.push(s[5].clone()); // one extra item, same prefix
+        let reversed: Vec<BitVector> = seq1.iter().rev().cloned().collect();
+        let e1 = encode_sequence(&seq1, 3, &mut rng).unwrap();
+        let e2 = encode_sequence(&seq2, 3, &mut rng).unwrap();
+        let er = encode_sequence(&reversed, 3, &mut rng).unwrap();
+        let close = e1.similarity(&e2).unwrap();
+        let far = e1.similarity(&er).unwrap();
+        assert!(close > far + 0.1, "shared-prefix {close} vs reversed {far}");
+    }
+
+    #[test]
+    fn sequence_shorter_than_n_errors() {
+        let (s, mut rng) = symbols(2, 128);
+        assert!(matches!(
+            encode_sequence(&s, 3, &mut rng),
+            Err(HdcError::EmptyInput)
+        ));
+        assert!(matches!(
+            encode_sequence(&s, 0, &mut rng),
+            Err(HdcError::EmptyInput)
+        ));
+    }
+}

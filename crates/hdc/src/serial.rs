@@ -1,0 +1,174 @@
+//! Compact binary serialization for hypervectors.
+//!
+//! The format is deliberately trivial — a little-endian header plus
+//! the packed words — so FPGA loaders, C firmware, or other languages
+//! can consume exported models without a serialization library:
+//!
+//! ```text
+//! magic  "HDV1"           4 bytes
+//! dim    u64 LE           8 bytes
+//! words  dim.div_ceil(64) × u64 LE
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::bitvec::BitVector;
+
+const MAGIC: &[u8; 4] = b"HDV1";
+
+/// Errors raised when decoding serialized hypervectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SerialError {
+    /// The buffer does not start with the `HDV1` magic.
+    BadMagic,
+    /// The buffer ended before the declared payload.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Padding bits past the declared dimensionality were set,
+    /// indicating corruption.
+    DirtyPadding,
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::BadMagic => write!(f, "missing HDV1 magic header"),
+            SerialError::Truncated { expected, actual } => {
+                write!(f, "buffer holds {actual} bytes, header declares {expected}")
+            }
+            SerialError::DirtyPadding => write!(f, "padding bits past dim are set"),
+        }
+    }
+}
+
+impl Error for SerialError {}
+
+impl BitVector {
+    /// Serializes to the `HDV1` byte format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.as_words().len() * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.dim() as u64).to_le_bytes());
+        for w in self.as_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the `HDV1` byte format, returning the vector
+    /// and the number of bytes consumed (so buffers can carry several
+    /// vectors back-to-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SerialError`] for wrong magic, truncated payloads,
+    /// or set padding bits (a corruption canary).
+    pub fn from_bytes(bytes: &[u8]) -> Result<(Self, usize), SerialError> {
+        if bytes.len() < 12 || &bytes[..4] != MAGIC {
+            return Err(SerialError::BadMagic);
+        }
+        let dim = u64::from_le_bytes(bytes[4..12].try_into().expect("sized")) as usize;
+        let n_words = dim.div_ceil(64);
+        let expected = 12 + n_words * 8;
+        if bytes.len() < expected {
+            return Err(SerialError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        let words: Vec<u64> = (0..n_words)
+            .map(|i| {
+                let start = 12 + i * 8;
+                u64::from_le_bytes(bytes[start..start + 8].try_into().expect("sized"))
+            })
+            .collect();
+        // Verify the padding invariant instead of silently masking:
+        // set padding is a sign the payload is corrupt or misframed.
+        if let Some(&last) = words.last() {
+            let rem = dim % 64;
+            if rem != 0 && last >> rem != 0 {
+                return Err(SerialError::DirtyPadding);
+            }
+        }
+        Ok((BitVector::from_words(dim, words), expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_various_dims() {
+        let mut rng = HdcRng::seed_from_u64(1);
+        for dim in [0usize, 1, 63, 64, 65, 1000, 4096] {
+            let v = BitVector::random(dim, &mut rng);
+            let bytes = v.to_bytes();
+            let (back, consumed) = BitVector::from_bytes(&bytes).unwrap();
+            assert_eq!(back, v, "dim {dim}");
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_vectors_parse_sequentially() {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let a = BitVector::random(100, &mut rng);
+        let b = BitVector::random(4096, &mut rng);
+        let mut buf = a.to_bytes();
+        buf.extend(b.to_bytes());
+        let (pa, used) = BitVector::from_bytes(&buf).unwrap();
+        let (pb, _) = BitVector::from_bytes(&buf[used..]).unwrap();
+        assert_eq!(pa, a);
+        assert_eq!(pb, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(
+            BitVector::from_bytes(b"NOPE12345678").unwrap_err(),
+            SerialError::BadMagic
+        );
+        let mut rng = HdcRng::seed_from_u64(3);
+        let v = BitVector::random(128, &mut rng);
+        let bytes = v.to_bytes();
+        assert!(matches!(
+            BitVector::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            SerialError::Truncated { .. }
+        ));
+        assert!(BitVector::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_dirty_padding() {
+        let v = BitVector::zeros(4);
+        let mut bytes = v.to_bytes();
+        // Set a bit past dim 4 in the payload word.
+        bytes[12] |= 0b1_0000;
+        assert_eq!(
+            BitVector::from_bytes(&bytes).unwrap_err(),
+            SerialError::DirtyPadding
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SerialError::BadMagic.to_string().contains("HDV1"));
+        assert!(SerialError::Truncated {
+            expected: 20,
+            actual: 10
+        }
+        .to_string()
+        .contains("20"));
+        assert!(SerialError::DirtyPadding.to_string().contains("padding"));
+    }
+}

@@ -1,0 +1,245 @@
+//! HOG configuration.
+
+/// Geometry and binning parameters shared by the classic and
+/// hyperdimensional extractors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HogConfig {
+    /// Side length of a square cell in pixels.
+    pub cell_size: usize,
+    /// Number of signed orientation bins over the full circle.
+    /// Must be a positive multiple of 4 so quadrant boundaries
+    /// (π/2, π, 3π/2 — where tan is non-monotonic) coincide with bin
+    /// boundaries, as the paper's angle-bin scheme requires.
+    pub bins: usize,
+    /// Whether the classic extractor applies 2×2 block L2
+    /// normalization after building cell histograms. The
+    /// hyperdimensional pipeline stops at cell histograms (as in the
+    /// paper), so parity tests disable this.
+    pub block_normalize: bool,
+}
+
+impl HogConfig {
+    /// The paper's configuration: 8×8 cells, 8 signed bins (its bin
+    /// boundaries are indexed i = 1…8), no block normalization.
+    #[must_use]
+    pub fn paper() -> Self {
+        HogConfig {
+            cell_size: 8,
+            bins: 8,
+            block_normalize: false,
+        }
+    }
+
+    /// Validates the invariants documented on the fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size == 0` or `bins` is not a positive multiple
+    /// of 4.
+    pub fn validate(&self) {
+        assert!(self.cell_size > 0, "cell_size must be positive");
+        assert!(
+            self.bins > 0 && self.bins.is_multiple_of(4),
+            "bins must be a positive multiple of 4 (got {})",
+            self.bins
+        );
+    }
+
+    /// Number of whole cells that fit horizontally in a `width`-pixel
+    /// image.
+    #[must_use]
+    pub fn cells_for(&self, extent: usize) -> usize {
+        extent / self.cell_size
+    }
+
+    /// Total feature length for an image of the given size
+    /// (cells × bins; block normalization preserves length).
+    #[must_use]
+    pub fn feature_len(&self, width: usize, height: usize) -> usize {
+        self.cells_for(width) * self.cells_for(height) * self.bins
+    }
+}
+
+impl Default for HogConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// How per-(cell, bin) slot values are assembled into the final
+/// feature hypervector.
+///
+/// Two independently drawn stochastic encodings of the same value `a`
+/// agree only up to `δ = a²`, so bundling raw stochastic slot vectors
+/// yields a *linear kernel on histogram values with heavy
+/// attenuation*. The paper's §3 "base hypervector generation"
+/// describes correlative **vector quantization** — a deterministic
+/// level codebook where equal values map to identical hypervectors
+/// and nearby values stay similar — which is the representation the
+/// classifier wants. Both are provided; quantized is the default and
+/// the difference is measured by the `exp_ablation` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Assembly {
+    /// Quantize each slot's decoded value onto a correlative level
+    /// codebook (deterministic; strong kernel). One popcount + one
+    /// table lookup per slot — still all-HD machinery.
+    #[default]
+    Quantized,
+    /// Bind the raw stochastic slot vectors directly (pure §4
+    /// arithmetic end-to-end; weak linear kernel).
+    Stochastic,
+}
+
+/// How per-(cell, bin) histogram values are accumulated across the
+/// pixels of a cell.
+///
+/// The paper defines the per-pixel magnitude pipeline in HD terms but
+/// leaves histogram accumulation unspecified; its own comparison and
+/// binary-search machinery reads hypervectors out through popcounts,
+/// so popcount **read-out accumulation** — decode each pixel's
+/// magnitude (one XOR + popcount), sum the scalars per slot, encode
+/// the slot total once — is consistent HD practice and averages the
+/// per-pixel stochastic noise down by `√count`. The pure
+/// **running-average** alternative (`slotₖ = (k/(k+1))·slotₖ₋₁ ⊕
+/// (1/(k+1))·mag`) keeps everything as hypervector ops but its final
+/// noise stays at `1/√D` no matter how many pixels contribute; the
+/// `exp_ablation` experiment quantifies the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Accumulation {
+    /// Popcount read-out per pixel, scalar summation, single re-encode
+    /// (default; `√count` noise averaging).
+    #[default]
+    Readout,
+    /// Per-slot running weighted average with count-ratio correction
+    /// (pure ⊕/⊗ pipeline; noisier).
+    RunningAverage,
+}
+
+/// Additional parameters of the hyperdimensional extractor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperHogConfig {
+    /// Shared geometry/binning parameters.
+    pub hog: HogConfig,
+    /// Hypervector dimensionality `D` (the paper sweeps 1k–10k and
+    /// settles on 4k).
+    pub dim: usize,
+    /// Bisection iterations for the per-pixel magnitude square root.
+    /// Six halvings reach 1.6% resolution — at the decode noise floor
+    /// of D = 4k — at 40% less cost than the generic default of 10.
+    pub sqrt_iters: usize,
+    /// Random bit-error rate injected into every intermediate
+    /// hypervector (pixel encodings, magnitudes, slot values and the
+    /// bundled feature), used by the Table 2 robustness study.
+    /// `0.0` disables injection.
+    pub bit_error_rate: f64,
+    /// Slot-to-feature assembly mode.
+    pub assembly: Assembly,
+    /// Histogram accumulation mode.
+    pub accumulation: Accumulation,
+    /// Number of quantization levels of the correlative slot
+    /// codebook (ignored by [`Assembly::Stochastic`]).
+    pub levels: usize,
+}
+
+impl HyperHogConfig {
+    /// Paper defaults at the given dimensionality.
+    #[must_use]
+    pub fn with_dim(dim: usize) -> Self {
+        HyperHogConfig {
+            hog: HogConfig::paper(),
+            dim,
+            sqrt_iters: 6,
+            bit_error_rate: 0.0,
+            assembly: Assembly::Quantized,
+            accumulation: Accumulation::Readout,
+            levels: 32,
+        }
+    }
+
+    /// Returns a copy with the given accumulation mode.
+    #[must_use]
+    pub fn with_accumulation(mut self, accumulation: Accumulation) -> Self {
+        self.accumulation = accumulation;
+        self
+    }
+
+    /// Returns a copy with the given bit-error rate.
+    #[must_use]
+    pub fn with_bit_error_rate(mut self, rate: f64) -> Self {
+        self.bit_error_rate = rate;
+        self
+    }
+
+    /// Returns a copy with the given assembly mode.
+    #[must_use]
+    pub fn with_assembly(mut self, assembly: Assembly) -> Self {
+        self.assembly = assembly;
+        self
+    }
+}
+
+impl Default for HyperHogConfig {
+    fn default() -> Self {
+        Self::with_dim(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_values() {
+        let c = HogConfig::paper();
+        assert_eq!(c.cell_size, 8);
+        assert_eq!(c.bins, 8);
+        assert!(!c.block_normalize);
+        c.validate();
+        assert_eq!(HogConfig::default(), c);
+    }
+
+    #[test]
+    fn feature_len_matches_grid() {
+        let c = HogConfig::paper();
+        assert_eq!(c.cells_for(48), 6);
+        assert_eq!(c.feature_len(48, 48), 6 * 6 * 8);
+        // Non-multiple sizes truncate.
+        assert_eq!(c.cells_for(47), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn validate_rejects_odd_bins() {
+        let mut c = HogConfig::paper();
+        c.bins = 9;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn validate_rejects_zero_cell() {
+        let mut c = HogConfig::paper();
+        c.cell_size = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn hyper_defaults() {
+        let h = HyperHogConfig::default();
+        assert_eq!(h.dim, 4096);
+        assert_eq!(h.sqrt_iters, 6);
+        assert_eq!(h.bit_error_rate, 0.0);
+        assert_eq!(h.assembly, Assembly::Quantized);
+        assert_eq!(h.accumulation, Accumulation::Readout);
+        assert_eq!(h.levels, 32);
+        assert_eq!(
+            h.with_accumulation(Accumulation::RunningAverage).accumulation,
+            Accumulation::RunningAverage
+        );
+        let noisy = h.with_bit_error_rate(0.02);
+        assert_eq!(noisy.bit_error_rate, 0.02);
+        assert_eq!(HyperHogConfig::with_dim(1024).dim, 1024);
+        let st = h.with_assembly(Assembly::Stochastic);
+        assert_eq!(st.assembly, Assembly::Stochastic);
+    }
+}

@@ -1,0 +1,285 @@
+//! HAAR-like rectangular features — the third classic family of §2
+//! ("HOG, HAAR-like feature extraction, and convolution"), computed
+//! over integral images exactly as in the Viola–Jones detector the
+//! paper's related work compares against.
+
+use hdface_imaging::{GrayImage, IntegralImage};
+
+/// The rectangle arrangements of the classic HAAR set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HaarKind {
+    /// Two side-by-side rectangles (vertical edge detector).
+    TwoHorizontal,
+    /// Two stacked rectangles (horizontal edge detector).
+    TwoVertical,
+    /// Three side-by-side rectangles (vertical line detector).
+    ThreeHorizontal,
+    /// Three stacked rectangles (horizontal line detector).
+    ThreeVertical,
+    /// 2×2 checkerboard (diagonal detector).
+    Four,
+}
+
+impl HaarKind {
+    /// All five kinds.
+    pub const ALL: [HaarKind; 5] = [
+        HaarKind::TwoHorizontal,
+        HaarKind::TwoVertical,
+        HaarKind::ThreeHorizontal,
+        HaarKind::ThreeVertical,
+        HaarKind::Four,
+    ];
+
+    /// `(width, height)` granularity the feature footprint must be a
+    /// multiple of.
+    fn granularity(self) -> (usize, usize) {
+        match self {
+            HaarKind::TwoHorizontal => (2, 1),
+            HaarKind::TwoVertical => (1, 2),
+            HaarKind::ThreeHorizontal => (3, 1),
+            HaarKind::ThreeVertical => (1, 3),
+            HaarKind::Four => (2, 2),
+        }
+    }
+}
+
+/// One HAAR feature: a kind placed at `(x, y)` with footprint
+/// `w × h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HaarFeature {
+    /// Rectangle arrangement.
+    pub kind: HaarKind,
+    /// Left edge (pixels, window-relative).
+    pub x: usize,
+    /// Top edge (pixels, window-relative).
+    pub y: usize,
+    /// Footprint width (multiple of the kind's granularity).
+    pub w: usize,
+    /// Footprint height.
+    pub h: usize,
+}
+
+impl HaarFeature {
+    /// Evaluates the feature: (white − black) area sums, normalized by
+    /// the footprint area so values land in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the footprint exceeds the integral image.
+    #[must_use]
+    pub fn evaluate(&self, ii: &IntegralImage) -> f64 {
+        let (x, y, w, h) = (self.x, self.y, self.w, self.h);
+        let area = (w * h) as f64;
+        let v = match self.kind {
+            HaarKind::TwoHorizontal => {
+                let half = w / 2;
+                ii.box_sum(x, y, half, h) - ii.box_sum(x + half, y, half, h)
+            }
+            HaarKind::TwoVertical => {
+                let half = h / 2;
+                ii.box_sum(x, y, w, half) - ii.box_sum(x, y + half, w, half)
+            }
+            HaarKind::ThreeHorizontal => {
+                // Middle weighted x2 so the kernel is zero-mean
+                // (classic Viola-Jones area compensation).
+                let third = w / 3;
+                ii.box_sum(x, y, third, h) - 2.0 * ii.box_sum(x + third, y, third, h)
+                    + ii.box_sum(x + 2 * third, y, third, h)
+            }
+            HaarKind::ThreeVertical => {
+                let third = h / 3;
+                ii.box_sum(x, y, w, third) - 2.0 * ii.box_sum(x, y + third, w, third)
+                    + ii.box_sum(x, y + 2 * third, w, third)
+            }
+            HaarKind::Four => {
+                let hw = w / 2;
+                let hh = h / 2;
+                ii.box_sum(x, y, hw, hh) + ii.box_sum(x + hw, y + hh, hw, hh)
+                    - ii.box_sum(x + hw, y, hw, hh)
+                    - ii.box_sum(x, y + hh, hw, hh)
+            }
+        };
+        v / area
+    }
+}
+
+/// A fixed bank of HAAR features enumerated over a square window —
+/// the feature vector a HAAR-based face classifier consumes.
+#[derive(Debug, Clone)]
+pub struct HaarBank {
+    window: usize,
+    features: Vec<HaarFeature>,
+}
+
+impl HaarBank {
+    /// Enumerates features over a `window × window` frame: every kind,
+    /// footprints from `min_size` growing by doubling, positions on a
+    /// `stride` grid. The enumeration is deterministic, so banks built
+    /// with equal parameters are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`, `min_size` or `stride` is zero.
+    #[must_use]
+    pub fn new(window: usize, min_size: usize, stride: usize) -> Self {
+        assert!(window > 0 && min_size > 0 && stride > 0, "parameters must be positive");
+        let mut features = Vec::new();
+        for kind in HaarKind::ALL {
+            let (gx, gy) = kind.granularity();
+            let mut size = min_size;
+            while size <= window {
+                // Round the footprint up to the kind's granularity.
+                let w = size.div_ceil(gx) * gx;
+                let h = size.div_ceil(gy) * gy;
+                if w <= window && h <= window {
+                    let mut y = 0;
+                    while y + h <= window {
+                        let mut x = 0;
+                        while x + w <= window {
+                            features.push(HaarFeature { kind, x, y, w, h });
+                            x += stride;
+                        }
+                        y += stride;
+                    }
+                }
+                size *= 2;
+            }
+        }
+        HaarBank { window, features }
+    }
+
+    /// Number of features in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` when the bank is empty (window smaller than
+    /// `min_size`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The enumerated features.
+    #[must_use]
+    pub fn features(&self) -> &[HaarFeature] {
+        &self.features
+    }
+
+    /// Window side length the bank was enumerated for.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Evaluates the whole bank on a window-sized image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is smaller than the bank's window.
+    #[must_use]
+    pub fn extract(&self, image: &GrayImage) -> Vec<f64> {
+        assert!(
+            image.width() >= self.window && image.height() >= self.window,
+            "image {}x{} smaller than bank window {}",
+            image.width(),
+            image.height(),
+            self.window
+        );
+        let ii = IntegralImage::new(image);
+        self.features.iter().map(|f| f.evaluate(&ii)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_horizontal_detects_vertical_edge() {
+        // Left half dark, right half bright.
+        let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let ii = IntegralImage::new(&img);
+        let f = HaarFeature {
+            kind: HaarKind::TwoHorizontal,
+            x: 0,
+            y: 0,
+            w: 8,
+            h: 8,
+        };
+        // white(left)=0, black(right)=32 → (0−32)/64 = −0.5.
+        assert!((f.evaluate(&ii) + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_vertical_detects_horizontal_edge() {
+        let img = GrayImage::from_fn(8, 8, |_, y| if y < 4 { 1.0 } else { 0.0 });
+        let ii = IntegralImage::new(&img);
+        let f = HaarFeature {
+            kind: HaarKind::TwoVertical,
+            x: 0,
+            y: 0,
+            w: 8,
+            h: 8,
+        };
+        assert!((f.evaluate(&ii) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_rect_detects_checkerboard() {
+        let img = GrayImage::from_fn(8, 8, |x, y| {
+            if (x < 4) == (y < 4) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let ii = IntegralImage::new(&img);
+        let f = HaarFeature {
+            kind: HaarKind::Four,
+            x: 0,
+            y: 0,
+            w: 8,
+            h: 8,
+        };
+        // Diagonal quadrants bright: (16+16−0−0)/64 = 0.5.
+        assert!((f.evaluate(&ii) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_images_score_zero_everywhere() {
+        let bank = HaarBank::new(16, 4, 4);
+        let f = bank.extract(&GrayImage::filled(16, 16, 0.7));
+        assert!(f.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn bank_enumeration_is_deterministic_and_nonempty() {
+        let a = HaarBank::new(32, 8, 8);
+        let b = HaarBank::new(32, 8, 8);
+        assert_eq!(a.features(), b.features());
+        assert!(!a.is_empty());
+        assert_eq!(a.window(), 32);
+        // All five kinds appear.
+        for kind in HaarKind::ALL {
+            assert!(a.features().iter().any(|f| f.kind == kind), "{kind:?} missing");
+        }
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let bank = HaarBank::new(16, 4, 4);
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 7 + y * 3) % 10) as f32 / 9.0);
+        for v in bank.extract(&img) {
+            assert!((-1.0..=1.0).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than bank window")]
+    fn undersized_image_panics() {
+        let bank = HaarBank::new(16, 4, 4);
+        let _ = bank.extract(&GrayImage::new(8, 8));
+    }
+}

@@ -1,0 +1,810 @@
+//! The hyperdimensional HOG extractor (paper §4.3).
+//!
+//! Every stage runs on stochastic binary hypervectors:
+//!
+//! 1. **Pixel encoding** — each normalized pixel `v ∈ [0, 1]` becomes
+//!    `V_v` by vector quantization between the basis (white) and an
+//!    orthogonal vector (black) — exactly the stochastic construction,
+//!    since `δ(V_0, V₁) = 0` makes the two extremes nearly orthogonal
+//!    as §3 of the paper describes.
+//! 2. **Gradient** — `V_Gx = 0.5·V_C(x+1,y) ⊕ 0.5·(−V_C(x−1,y))` and
+//!    likewise for `Gy` (halved central differences).
+//! 3. **Magnitude** — `V_(Gx²+Gy²)/2` by stochastic squaring and a
+//!    halved addition, then a binary-search square root.
+//! 4. **Angle bin** — quadrant localization from the statistical signs
+//!    of `Gx`, `Gy`, then monotone-tan comparisons against precomputed
+//!    `V_tanθᵢ` / `V_cotθᵢ` hypervectors via the paper's
+//!    `α = (σ|G_y| − r|G_x|)/2` construction. No arctangent anywhere.
+//! 5. **Histogram accumulation** — per-(cell, bin) running weighted
+//!    averages, corrected by a precomputed `V_count/area` ratio
+//!    multiplication so slot values equal (sum of magnitudes ÷ cell
+//!    area), matching the classic extractor bit-for-bit in
+//!    expectation.
+//! 6. **Feature bundling** — each slot value is bound (XOR) to a
+//!    random slot key and the bound slots are majority-bundled into a
+//!    single feature hypervector ready for HDC learning — "there is no
+//!    need for HDC encoding to map data points into high-dimension".
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::{Accumulator, BitVector, HdcRng, SeedableRng};
+use hdface_imaging::GrayImage;
+use hdface_stochastic::{Shv, StochasticContext, StochasticError};
+
+use crate::binning::BinBoundaries;
+use crate::config::HyperHogConfig;
+use crate::features::HogFeatures;
+
+/// Errors raised by the hyperdimensional extractor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HyperHogError {
+    /// The image is smaller than one cell, so no features exist.
+    NoCells {
+        /// Image width supplied.
+        width: usize,
+        /// Image height supplied.
+        height: usize,
+        /// Configured cell size.
+        cell_size: usize,
+    },
+    /// An underlying stochastic arithmetic failure (indicates a bug:
+    /// all pipeline values are range-checked by construction).
+    Stochastic(StochasticError),
+}
+
+impl fmt::Display for HyperHogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperHogError::NoCells {
+                width,
+                height,
+                cell_size,
+            } => write!(
+                f,
+                "image {width}x{height} is smaller than one {cell_size}x{cell_size} cell"
+            ),
+            HyperHogError::Stochastic(e) => write!(f, "stochastic arithmetic failed: {e}"),
+        }
+    }
+}
+
+impl Error for HyperHogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HyperHogError::Stochastic(e) => Some(e),
+            HyperHogError::NoCells { .. } => None,
+        }
+    }
+}
+
+impl From<StochasticError> for HyperHogError {
+    fn from(e: StochasticError) -> Self {
+        HyperHogError::Stochastic(e)
+    }
+}
+
+/// One (cell, bin) histogram slot: the stochastic hypervector plus
+/// the scalar read-out that produced it (kept so downstream stages do
+/// not pay redundant decode noise).
+#[derive(Debug, Clone)]
+struct SlotValue {
+    shv: Shv,
+    value: f64,
+}
+
+/// A precomputed comparison hypervector for one bin boundary in one
+/// quadrant parity.
+#[derive(Debug, Clone)]
+struct BoundaryCode {
+    /// The boundary tangent value `t` being compared against.
+    t: f64,
+    /// Encodes `t` when `use_cot` is false, `1/t` otherwise (so the
+    /// encoded scalar always lies inside `[-1, 1]`).
+    shv: Shv,
+    use_cot: bool,
+}
+
+/// The hyperdimensional HOG extractor.
+///
+/// Construction precomputes the boundary-tangent codebook, the
+/// count-ratio codebook and nothing else; per-image work happens in
+/// [`extract`](Self::extract) and needs `&mut self` because stochastic
+/// masks are drawn from the context RNG.
+///
+/// ```
+/// use hdface_hog::{HyperHog, HyperHogConfig};
+/// use hdface_imaging::GrayImage;
+///
+/// # fn main() -> Result<(), hdface_hog::HyperHogError> {
+/// let mut hog = HyperHog::new(HyperHogConfig::with_dim(2048), 7);
+/// let img = GrayImage::from_fn(16, 16, |x, _| (x as f32) / 15.0);
+/// let feature = hog.extract(&img)?;
+/// assert_eq!(feature.dim(), 2048);
+/// # Ok(())
+/// # }
+/// ```
+pub struct HyperHog {
+    config: HyperHogConfig,
+    ctx: StochasticContext,
+    boundaries: BinBoundaries,
+    /// Boundary codes for even quadrants (0, 2), increasing angle.
+    even_codes: Vec<BoundaryCode>,
+    /// Boundary codes for odd quadrants (1, 3), increasing angle.
+    odd_codes: Vec<BoundaryCode>,
+    /// `V_{k/c²}` for `k = 0..=c²` (count-ratio correction).
+    ratio_codes: Vec<Shv>,
+    /// Correlative level codebook spanning the slot value range
+    /// `[0, 0.5]`: `δ(levelᵢ, levelⱼ) = 1 − |i−j|/(L−1)`.
+    level_codes: Vec<BitVector>,
+    /// Slot binding keys, grown on demand (each derived independently
+    /// from `key_seed` and its index, so key identity never depends on
+    /// generation order — parallel workers and the original extractor
+    /// always agree).
+    slot_keys: Vec<BitVector>,
+    key_seed: u64,
+    noise_rng: HdcRng,
+}
+
+/// Builds a correlative level codebook: a random low endpoint, a
+/// designated random half of the dimensions, and level `i` flips the
+/// first `i/(L−1)` fraction of that half — so similarity falls off
+/// linearly with level distance and equal values map to identical
+/// vectors.
+fn build_level_codes(dim: usize, levels: usize, rng: &mut HdcRng) -> Vec<BitVector> {
+    let levels = levels.max(2);
+    let lo = BitVector::random(dim, rng);
+    // Flip set: a fixed random half of the dimensions, in a fixed
+    // random order.
+    let mut order: Vec<usize> = (0..dim).collect();
+    for i in (1..dim).rev() {
+        let j = rand::RngExt::random_range(rng, 0..=i);
+        order.swap(i, j);
+    }
+    let flip_set = &order[..dim / 2];
+    (0..levels)
+        .map(|lvl| {
+            let frac = lvl as f64 / (levels - 1) as f64;
+            let n_flip = (frac * flip_set.len() as f64).round() as usize;
+            let mut v = lo.clone();
+            for &idx in &flip_set[..n_flip] {
+                v.flip(idx);
+            }
+            v
+        })
+        .collect()
+}
+
+impl Clone for HyperHog {
+    /// Clones the feature-space-defining state (basis, boundary and
+    /// ratio codebooks, level codes, already-generated slot keys).
+    /// RNG streams restart deterministically; see
+    /// [`HyperHog::clone_for_worker`] for per-worker streams.
+    fn clone(&self) -> Self {
+        HyperHog {
+            config: self.config,
+            ctx: self.ctx.clone(),
+            boundaries: self.boundaries.clone(),
+            even_codes: self.even_codes.clone(),
+            odd_codes: self.odd_codes.clone(),
+            ratio_codes: self.ratio_codes.clone(),
+            level_codes: self.level_codes.clone(),
+            slot_keys: self.slot_keys.clone(),
+            key_seed: self.key_seed,
+            noise_rng: HdcRng::seed_from_u64(0x6433_73e2_643c_9869),
+        }
+    }
+}
+
+impl HyperHog {
+    /// Creates an extractor; `seed` fixes the basis, every stochastic
+    /// mask, the slot keys and the error-injection stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`HogConfig::validate`])
+    /// or `dim == 0`.
+    ///
+    /// [`HogConfig::validate`]: crate::HogConfig::validate
+    #[must_use]
+    pub fn new(config: HyperHogConfig, seed: u64) -> Self {
+        config.hog.validate();
+        let mut ctx = StochasticContext::new(config.dim, seed);
+        let boundaries = BinBoundaries::new(config.hog.bins);
+
+        let mut make_code = |t: f64| -> BoundaryCode {
+            let use_cot = t.abs() > 1.0;
+            let value = if use_cot { 1.0 / t } else { t };
+            let shv = ctx.encode(value).expect("boundary value in range");
+            BoundaryCode { t, shv, use_cot }
+        };
+        let even_codes: Vec<BoundaryCode> = boundaries
+            .tangents()
+            .to_vec()
+            .iter()
+            .map(|&(r, _)| make_code(r))
+            .collect();
+        // Odd quadrants compare against tangents −1/r (the same
+        // boundary angles shifted by π/2).
+        let odd_codes: Vec<BoundaryCode> = boundaries
+            .tangents()
+            .to_vec()
+            .iter()
+            .map(|&(r, _)| make_code(-1.0 / r))
+            .collect();
+
+        let area = config.hog.cell_size * config.hog.cell_size;
+        let ratio_codes = (0..=area)
+            .map(|k| {
+                ctx.encode(k as f64 / area as f64)
+                    .expect("ratio in [0, 1]")
+            })
+            .collect();
+
+        let key_seed = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut code_rng = HdcRng::seed_from_u64(key_seed);
+        let level_codes = build_level_codes(config.dim, config.levels, &mut code_rng);
+
+        HyperHog {
+            config,
+            ctx,
+            boundaries,
+            even_codes,
+            odd_codes,
+            ratio_codes,
+            level_codes,
+            slot_keys: Vec::new(),
+            key_seed,
+            noise_rng: HdcRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c909),
+        }
+    }
+
+    /// Upper edge of the slot-value quantization range. Slot values
+    /// are magnitude sums divided by cell area; on natural-statistics
+    /// images they concentrate well below the theoretical 0.5 maximum,
+    /// so the codebook spans `[0, 0.25]` (values above saturate to the
+    /// top level) to spend its resolution where the data lives.
+    const LEVEL_RANGE_MAX: f64 = 0.25;
+
+    /// Maps a slot scalar to its correlative level vector (the scalar
+    /// is the popcount read-out produced during accumulation).
+    fn quantize_slot(&self, value: f64) -> BitVector {
+        let v = value.clamp(0.0, Self::LEVEL_RANGE_MAX);
+        let levels = self.level_codes.len();
+        let idx = ((v / Self::LEVEL_RANGE_MAX) * (levels - 1) as f64).round() as usize;
+        self.level_codes[idx.min(levels - 1)].clone()
+    }
+
+    /// The extractor configuration.
+    #[must_use]
+    pub fn config(&self) -> &HyperHogConfig {
+        &self.config
+    }
+
+    /// The stochastic context (exposes the basis for decoding
+    /// experiments).
+    #[must_use]
+    pub fn context(&self) -> &StochasticContext {
+        &self.ctx
+    }
+
+    /// Clones the extractor for a parallel worker: basis, codebooks
+    /// and slot keys are shared bit-for-bit (so features from all
+    /// workers live in the same space), while the stochastic-mask and
+    /// error-injection RNG streams are re-seeded per `stream` so
+    /// workers draw independent noise.
+    #[must_use]
+    pub fn clone_for_worker(&self, stream: u64) -> Self {
+        let mut worker = self.clone();
+        worker
+            .ctx
+            .reseed_masks(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635);
+        worker.noise_rng =
+            HdcRng::seed_from_u64(stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4);
+        worker
+    }
+
+    /// Injects the configured bit-error rate into a hypervector
+    /// (identity when the rate is zero).
+    fn corrupt(&mut self, v: Shv) -> Shv {
+        if self.config.bit_error_rate <= 0.0 {
+            return v;
+        }
+        let noisy = v
+            .as_bits()
+            .with_bit_errors(self.config.bit_error_rate, &mut self.noise_rng)
+            .expect("rate validated by config");
+        Shv::from_bits(noisy)
+    }
+
+    /// Encodes every pixel of the image as a stochastic hypervector
+    /// (the "base hypervector generation" stage).
+    fn encode_pixels(&mut self, image: &GrayImage) -> Result<Vec<Shv>, StochasticError> {
+        let mut out = Vec::with_capacity(image.width() * image.height());
+        for y in 0..image.height() {
+            for x in 0..image.width() {
+                let v = f64::from(image.get(x, y)).clamp(0.0, 1.0);
+                let enc = self.ctx.encode(v)?;
+                out.push(self.corrupt(enc));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decides `Gy/Gx > t` for one boundary code using only
+    /// hypervector operations plus sign popcounts.
+    fn tan_exceeds(
+        &mut self,
+        gx: &Shv,
+        gy: &Shv,
+        gx_non_neg: bool,
+        code_even: bool,
+        index: usize,
+    ) -> Result<bool, StochasticError> {
+        let code = if code_even {
+            self.even_codes[index].clone()
+        } else {
+            self.odd_codes[index].clone()
+        };
+        if code.use_cot {
+            // α = (Gy·(1/t) − Gx)/2 ; sign(Gy − t·Gx) = sign(t)·sign(α).
+            let prod = self.ctx.mul(&code.shv, gy)?;
+            let alpha = self.ctx.weighted_average(&prod, &gx.negated(), 0.5)?;
+            let alpha_pos = self.ctx.is_non_negative(&alpha)?;
+            Ok((alpha_pos == (code.t >= 0.0)) == gx_non_neg)
+        } else {
+            // α = (Gy − t·Gx)/2 ; Gy/Gx > t ⟺ sign(α) = sign(Gx).
+            let prod = self.ctx.mul(&code.shv, gx)?;
+            let alpha = self.ctx.weighted_average(gy, &prod.negated(), 0.5)?;
+            let alpha_pos = self.ctx.is_non_negative(&alpha)?;
+            Ok(alpha_pos == gx_non_neg)
+        }
+    }
+
+    /// Runs the full per-pixel pipeline and accumulates per-slot
+    /// histogram values; returns the slot values along with the grid
+    /// shape.
+    fn extract_slots(
+        &mut self,
+        image: &GrayImage,
+    ) -> Result<(Vec<SlotValue>, usize, usize), HyperHogError> {
+        let c = self.config.hog.cell_size;
+        let cells_x = self.config.hog.cells_for(image.width());
+        let cells_y = self.config.hog.cells_for(image.height());
+        if cells_x == 0 || cells_y == 0 {
+            return Err(HyperHogError::NoCells {
+                width: image.width(),
+                height: image.height(),
+                cell_size: c,
+            });
+        }
+        let bins = self.config.hog.bins;
+        let pixels = self.encode_pixels(image)?;
+        let w = image.width();
+        let h = image.height();
+        let at = |x: isize, y: isize| -> &Shv {
+            let cx = x.clamp(0, w as isize - 1) as usize;
+            let cy = y.clamp(0, h as isize - 1) as usize;
+            &pixels[cy * w + cx]
+        };
+
+        // Per-slot accumulation state: running hypervector mean (for
+        // the RunningAverage mode) and scalar magnitude sum (for the
+        // Readout mode).
+        let mut means: Vec<Option<Shv>> = vec![None; cells_x * cells_y * bins];
+        let mut sums: Vec<f64> = vec![0.0; cells_x * cells_y * bins];
+        let mut counts: Vec<usize> = vec![0; cells_x * cells_y * bins];
+        let readout = self.config.accumulation == crate::config::Accumulation::Readout;
+
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                for py in 0..c {
+                    for px in 0..c {
+                        let x = (cx * c + px) as isize;
+                        let y = (cy * c + py) as isize;
+
+                        // Gradient: halved central differences.
+                        let right = at(x + 1, y).clone();
+                        let left = at(x - 1, y).clone();
+                        let down = at(x, y + 1).clone();
+                        let up = at(x, y - 1).clone();
+                        let gx = self.ctx.sub_halved(&right, &left)?;
+                        let gy = self.ctx.sub_halved(&down, &up)?;
+
+                        // Magnitude: √((Gx² + Gy²)/2).
+                        let gx2 = self.ctx.square(&gx)?;
+                        let gy2 = self.ctx.square(&gy)?;
+                        let msq = self.ctx.add_halved(&gx2, &gy2)?;
+                        let mag = self.ctx.sqrt_with_iters(&msq, self.config.sqrt_iters)?;
+                        let mag = self.corrupt(mag);
+
+                        // Angle bin: quadrant + tan comparisons.
+                        let gx_pos = self.ctx.is_non_negative(&gx)?;
+                        let gy_pos = self.ctx.is_non_negative(&gy)?;
+                        let quadrant = crate::binning::quadrant_of(gx_pos, gy_pos);
+                        let even = quadrant.is_multiple_of(2);
+                        let n_bounds = self.boundaries.tangents().len();
+                        let mut in_q = 0;
+                        for i in 0..n_bounds {
+                            if self.tan_exceeds(&gx, &gy, gx_pos, even, i)? {
+                                in_q = i + 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        let bin = self.boundaries.global_bin(quadrant, in_q);
+
+                        // Histogram accumulation.
+                        let slot = (cy * cells_x + cx) * bins + bin;
+                        let count = counts[slot];
+                        if readout {
+                            // Popcount read-out: one decode per pixel,
+                            // scalar summation.
+                            sums[slot] += self.ctx.decode(&mag)?.max(0.0);
+                        } else {
+                            let new_mean = match &means[slot] {
+                                None => mag,
+                                Some(prev) => {
+                                    let wprev = count as f64 / (count + 1) as f64;
+                                    self.ctx.weighted_average(prev, &mag, wprev)?
+                                }
+                            };
+                            means[slot] = Some(new_mean);
+                        }
+                        counts[slot] = count + 1;
+                    }
+                }
+            }
+        }
+
+        let area = (c * c) as f64;
+        let mut slots = Vec::with_capacity(means.len());
+        if readout {
+            // Slot value = Σ magnitudes / cell area, encoded once. The
+            // already-known scalar rides along so later stages do not
+            // pay a redundant decode's worth of noise.
+            for sum in sums {
+                let value = (sum / area).clamp(0.0, 1.0);
+                let encoded = self.encode_slot(value)?;
+                let shv = self.corrupt(encoded);
+                slots.push(SlotValue { shv, value });
+            }
+        } else {
+            // Count-ratio correction: slot value = mean ⊗ V_{count/area}.
+            let zero = self.ctx.encode(0.0)?;
+            for (mean, count) in means.into_iter().zip(counts) {
+                let shv = match mean {
+                    None => zero.clone(),
+                    Some(m) => {
+                        let ratio = self.ratio_codes[count].clone();
+                        self.ctx.mul(&m, &ratio)?
+                    }
+                };
+                let shv = self.corrupt(shv);
+                // Pure-HD mode: the value is only accessible through a
+                // decode.
+                let value = self.ctx.decode(&shv)?;
+                slots.push(SlotValue { shv, value });
+            }
+        }
+        Ok((slots, cells_x, cells_y))
+    }
+
+    /// Encodes a slot scalar (separated out so `extract_slots` can
+    /// borrow `self.ctx` mutably in one expression).
+    fn encode_slot(&mut self, value: f64) -> Result<Shv, StochasticError> {
+        self.ctx.encode(value)
+    }
+
+    /// Extracts the decoded per-(cell, bin) histogram — the parity
+    /// view used to compare against [`ClassicHog`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the image is smaller
+    /// than one cell.
+    ///
+    /// [`ClassicHog`]: crate::ClassicHog
+    pub fn extract_histogram(&mut self, image: &GrayImage) -> Result<HogFeatures, HyperHogError> {
+        let (slots, cells_x, cells_y) = self.extract_slots(image)?;
+        let bins = self.config.hog.bins;
+        let mut feats = HogFeatures::zeroed(cells_x, cells_y, bins);
+        for (i, slot) in slots.iter().enumerate() {
+            let bin = i % bins;
+            let cell = i / bins;
+            feats.set(cell % cells_x, cell / cells_x, bin, slot.value);
+        }
+        Ok(feats)
+    }
+
+    /// Binding key for one slot index (cached; each key derives
+    /// independently from the extractor seed and its index).
+    fn slot_key(&mut self, slot: usize) -> BitVector {
+        while self.slot_keys.len() <= slot {
+            let i = self.slot_keys.len() as u64;
+            let mut rng = HdcRng::seed_from_u64(
+                self.key_seed ^ i.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(1),
+            );
+            self.slot_keys
+                .push(BitVector::random(self.config.dim, &mut rng));
+        }
+        self.slot_keys[slot].clone()
+    }
+
+    /// Extracts the bundled feature hypervector: every slot value
+    /// bound to its slot key, majority-bundled — the input the HDC
+    /// classifier consumes directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the image is smaller
+    /// than one cell.
+    pub fn extract(&mut self, image: &GrayImage) -> Result<BitVector, HyperHogError> {
+        let (slots, _, _) = self.extract_slots(image)?;
+        let mut acc = Accumulator::new(self.config.dim);
+        for (i, slot) in slots.iter().enumerate() {
+            let value_bits = match self.config.assembly {
+                crate::config::Assembly::Quantized => self.quantize_slot(slot.value),
+                crate::config::Assembly::Stochastic => slot.shv.as_bits().clone(),
+            };
+            let key = self.slot_key(i);
+            let bound = value_bits.xor(&key).expect("dims equal");
+            acc.add(&bound).expect("dims equal");
+        }
+        let bundled = acc.threshold(self.ctx.rng_mut());
+        Ok(self.corrupt(Shv::from_bits(bundled)).into_bits())
+    }
+}
+
+impl fmt::Debug for HyperHog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HyperHog(D={}, cell={}, bins={}, sqrt_iters={}, ber={})",
+            self.config.dim,
+            self.config.hog.cell_size,
+            self.config.hog.bins,
+            self.config.sqrt_iters,
+            self.config.bit_error_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicHog;
+    use crate::config::HogConfig;
+
+    fn small_config(dim: usize) -> HyperHogConfig {
+        let mut c = HyperHogConfig::with_dim(dim.max(64));
+        c.hog = HogConfig {
+            cell_size: 8,
+            bins: 8,
+            block_normalize: false,
+        };
+        c
+    }
+
+    #[test]
+    fn rejects_images_smaller_than_a_cell() {
+        let mut hog = HyperHog::new(small_config(512), 1);
+        let img = GrayImage::new(4, 4);
+        assert!(matches!(
+            hog.extract(&img),
+            Err(HyperHogError::NoCells { .. })
+        ));
+        let e = hog.extract_histogram(&img).unwrap_err();
+        assert!(e.to_string().contains("4x4"));
+    }
+
+    #[test]
+    fn flat_image_histogram_is_near_zero() {
+        let mut hog = HyperHog::new(small_config(4096), 2);
+        let img = GrayImage::filled(16, 16, 0.5);
+        let f = hog.extract_histogram(&img).unwrap();
+        for &v in f.as_slice() {
+            assert!(v.abs() < 0.08, "slot value {v} should be ≈ 0");
+        }
+    }
+
+    #[test]
+    fn ramp_histogram_matches_classic_direction() {
+        let mut hog = HyperHog::new(small_config(8192), 3);
+        // Gradient direction θ = atan(1/2) ≈ 26.6° sits mid-bin; a
+        // pure horizontal ramp would land exactly on the bin-7/bin-0
+        // boundary, where sign noise legitimately splits the mass.
+        let img = GrayImage::from_fn(16, 16, |x, y| (2 * x + y) as f32 / 45.0);
+        let hd = hog.extract_histogram(&img).unwrap();
+        let classic = ClassicHog::new(small_config(0x0).hog).extract(&img);
+        // East bin (0) dominates in both; compare cell (1, 1).
+        let hd_hist = hd.cell_histogram(1, 1);
+        let cl_hist = classic.cell_histogram(1, 1);
+        let hd_max = hd_hist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let cl_max = cl_hist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(hd_max, cl_max, "dominant bin differs: hd {hd_hist:?} vs classic {cl_hist:?}");
+    }
+
+    #[test]
+    fn histogram_parity_with_classic_within_noise() {
+        let mut hog = HyperHog::new(small_config(8192), 4);
+        let img = GrayImage::from_fn(16, 16, |x, y| {
+            0.5 + 0.4 * ((x as f32 * 0.7).sin() * (y as f32 * 0.5).cos())
+        });
+        let hd = hog.extract_histogram(&img).unwrap();
+        let classic = ClassicHog::new(small_config(0).hog).extract(&img);
+        let diff = hd.mean_abs_diff(&classic);
+        assert!(diff < 0.05, "mean abs diff {diff} too large");
+    }
+
+    #[test]
+    fn feature_vector_has_context_dimension() {
+        let mut hog = HyperHog::new(small_config(1024), 5);
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x + y) % 3) as f32 / 2.0);
+        let f = hog.extract(&img).unwrap();
+        assert_eq!(f.dim(), 1024);
+    }
+
+    #[test]
+    fn similar_images_produce_similar_features() {
+        let mut hog = HyperHog::new(small_config(4096), 6);
+        // Horizontal sawtooth: strong, consistently east-oriented
+        // gradients in every cell (period 8 avoids the aliasing that
+        // zeroes central differences on period-2 patterns).
+        let saw_h = GrayImage::from_fn(32, 32, |x, _| (x % 8) as f32 / 7.0);
+        // Same orientations, slightly weaker magnitudes — close.
+        let saw_h_scaled = GrayImage::from_fn(32, 32, |x, _| 0.05 + 0.8 * (x % 8) as f32 / 7.0);
+        // Vertical sawtooth: the same magnitudes in orthogonal bins —
+        // far.
+        let saw_v = GrayImage::from_fn(32, 32, |_, y| (y % 8) as f32 / 7.0);
+        let fa = hog.extract(&saw_h).unwrap();
+        let fb = hog.extract(&saw_h_scaled).unwrap();
+        let fc = hog.extract(&saw_v).unwrap();
+        let sim_close = fa.similarity(&fb).unwrap();
+        let sim_far = fa.similarity(&fc).unwrap();
+        assert!(
+            sim_close > sim_far,
+            "close {sim_close} should exceed far {sim_far}"
+        );
+    }
+
+    #[test]
+    fn extraction_is_reproducible_per_seed() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * y) % 5) as f32 / 4.0);
+        let a = HyperHog::new(small_config(1024), 9).extract(&img).unwrap();
+        let b = HyperHog::new(small_config(1024), 9).extract(&img).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_errors_perturb_but_do_not_destroy() {
+        // Robustness is a property of the *decoded values*: 2% random
+        // bit errors on every intermediate hypervector shift slot
+        // values only at the noise-floor scale, so the quantized
+        // feature stays close to the clean one.
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        let clean_hist = HyperHog::new(small_config(4096), 10)
+            .extract_histogram(&img)
+            .unwrap();
+        let noisy_hist = HyperHog::new(small_config(4096).with_bit_error_rate(0.02), 10)
+            .extract_histogram(&img)
+            .unwrap();
+        let diff = clean_hist.mean_abs_diff(&noisy_hist);
+        assert!(diff < 0.06, "2% bit error moved histograms by {diff}");
+
+        let clean = HyperHog::new(small_config(4096), 10)
+            .extract(&img)
+            .unwrap();
+        let noisy = HyperHog::new(small_config(4096).with_bit_error_rate(0.02), 10)
+            .extract(&img)
+            .unwrap();
+        let sim = clean.similarity(&noisy).unwrap();
+        assert!(
+            sim > 0.4,
+            "2% bit error should keep quantized features similar, got {sim}"
+        );
+    }
+
+    #[test]
+    fn level_codebook_similarity_is_linear_in_distance() {
+        let mut rng = HdcRng::seed_from_u64(3);
+        let codes = build_level_codes(8192, 9, &mut rng);
+        assert_eq!(codes.len(), 9);
+        for i in 0..9 {
+            for j in 0..9 {
+                let want = 1.0 - (i as f64 - j as f64).abs() / 8.0;
+                let got = codes[i].similarity(&codes[j]).unwrap();
+                assert!(
+                    (got - want).abs() < 0.05,
+                    "levels {i},{j}: sim {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_features_of_same_image_are_nearly_identical() {
+        // The deterministic codebook makes repeated extraction of the
+        // same image agree strongly despite fresh stochastic masks.
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        let mut hog = HyperHog::new(small_config(4096), 11);
+        let a = hog.extract(&img).unwrap();
+        let b = hog.extract(&img).unwrap();
+        let sim = a.similarity(&b).unwrap();
+        assert!(sim > 0.7, "repeat extraction similarity {sim}");
+    }
+
+    #[test]
+    fn stochastic_assembly_gives_weaker_kernel_than_quantized() {
+        // The documented ablation: pure stochastic slot binding keeps
+        // only a weak value-product kernel across independent runs.
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        let mut q = HyperHog::new(small_config(4096), 12);
+        let qa = q.extract(&img).unwrap();
+        let qb = q.extract(&img).unwrap();
+        let mut s = HyperHog::new(
+            small_config(4096).with_assembly(crate::config::Assembly::Stochastic),
+            12,
+        );
+        let sa = s.extract(&img).unwrap();
+        let sb = s.extract(&img).unwrap();
+        let q_sim = qa.similarity(&qb).unwrap();
+        let s_sim = sa.similarity(&sb).unwrap();
+        assert!(
+            q_sim > s_sim + 0.2,
+            "quantized {q_sim} should beat stochastic {s_sim}"
+        );
+    }
+
+    #[test]
+    fn debug_formats() {
+        let hog = HyperHog::new(small_config(256), 0);
+        let s = format!("{hog:?}");
+        assert!(s.contains("D=256"));
+    }
+
+    #[test]
+    fn worker_clones_share_the_feature_space() {
+        // A worker clone must produce features comparable to the
+        // original's: same basis, same codebooks and — critically —
+        // the same slot keys even when the two instances grow their
+        // key caches in different orders.
+        let img = GrayImage::from_fn(32, 32, |x, _| (x % 8) as f32 / 7.0);
+        let small = GrayImage::from_fn(16, 16, |x, _| (x % 8) as f32 / 7.0);
+        let mut original = HyperHog::new(small_config(4096), 5);
+        let mut worker = original.clone_for_worker(2);
+        // Worker grows keys for the 32x32 grid first; original starts
+        // with the smaller grid, then the large one.
+        let fw = worker.extract(&img).unwrap();
+        let _ = original.extract(&small).unwrap();
+        let fo = original.extract(&img).unwrap();
+        let sim = fo.similarity(&fw).unwrap();
+        assert!(
+            sim > 0.5,
+            "original and worker features diverged (sim {sim}) — slot keys differ"
+        );
+    }
+
+    #[test]
+    fn worker_streams_are_independent() {
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        let base = HyperHog::new(small_config(1024), 6);
+        let fa = base.clone_for_worker(1).extract(&img).unwrap();
+        let fb = base.clone_for_worker(2).extract(&img).unwrap();
+        // Same space (similar) but not bit-identical (different mask
+        // streams).
+        assert_ne!(fa, fb);
+        assert!(fa.similarity(&fb).unwrap() > 0.3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Local Binary Patterns — the second classic feature family the
+//! paper's §2 lists next to HOG ("Popular feature extractions are …
+//! Histograms of Oriented Gradients (HOGs), … Local Binary Patterns
+//! (LBPs)"). Provided so the reproduction covers the same extractor
+//! design space the paper situates itself in.
+//!
+//! LBP is *naturally binary*: each pixel's 8-neighbor comparison
+//! pattern is already a bit string, which is why the family composes
+//! well with hyperdimensional encodings downstream.
+
+use hdface_imaging::GrayImage;
+
+/// Configuration of the LBP extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbpConfig {
+    /// Side length of a square histogram cell in pixels.
+    pub cell_size: usize,
+    /// Use the 59-bin *uniform pattern* histogram (patterns with at
+    /// most two 0↔1 transitions keep their own bin, the rest share
+    /// one) instead of the raw 256-bin histogram.
+    pub uniform: bool,
+}
+
+impl Default for LbpConfig {
+    fn default() -> Self {
+        LbpConfig {
+            cell_size: 8,
+            uniform: true,
+        }
+    }
+}
+
+/// Number of circular 0↔1 transitions in an 8-bit pattern.
+fn transitions(pattern: u8) -> u32 {
+    let rotated = pattern.rotate_left(1);
+    (pattern ^ rotated).count_ones()
+}
+
+/// The Local Binary Patterns extractor.
+///
+/// ```
+/// use hdface_hog::{Lbp, LbpConfig};
+/// use hdface_imaging::GrayImage;
+///
+/// let lbp = Lbp::new(LbpConfig::default());
+/// let img = GrayImage::from_fn(16, 16, |x, y| ((x + y) % 3) as f32 / 2.0);
+/// let features = lbp.extract(&img);
+/// assert_eq!(features.len(), 2 * 2 * 59); // 2x2 cells, uniform bins
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lbp {
+    config: LbpConfig,
+    /// Pattern → bin mapping (identity for raw; uniform-collapsed
+    /// otherwise).
+    bin_of: Vec<usize>,
+    bins: usize,
+}
+
+impl Lbp {
+    /// Creates an extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size == 0`.
+    #[must_use]
+    pub fn new(config: LbpConfig) -> Self {
+        assert!(config.cell_size > 0, "cell_size must be positive");
+        let (bin_of, bins) = if config.uniform {
+            // Uniform patterns (≤2 transitions) each get a bin; all
+            // non-uniform patterns share the last bin → 58 + 1.
+            let mut map = vec![0usize; 256];
+            let mut next = 0usize;
+            for (p, slot) in map.iter_mut().enumerate() {
+                if transitions(p as u8) <= 2 {
+                    *slot = next;
+                    next += 1;
+                }
+            }
+            let shared = next;
+            for (p, slot) in map.iter_mut().enumerate() {
+                if transitions(p as u8) > 2 {
+                    *slot = shared;
+                }
+            }
+            (map, shared + 1)
+        } else {
+            ((0..256usize).collect(), 256)
+        };
+        Lbp {
+            config,
+            bin_of,
+            bins,
+        }
+    }
+
+    /// Histogram bins per cell (59 uniform / 256 raw).
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The extractor configuration.
+    #[must_use]
+    pub fn config(&self) -> &LbpConfig {
+        &self.config
+    }
+
+    /// The 8-bit neighbor-comparison pattern at `(x, y)` (clamped
+    /// borders), clockwise from the top-left neighbor.
+    #[must_use]
+    pub fn pattern_at(image: &GrayImage, x: usize, y: usize) -> u8 {
+        let c = image.get_clamped(x as isize, y as isize);
+        const OFFSETS: [(isize, isize); 8] = [
+            (-1, -1),
+            (0, -1),
+            (1, -1),
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (-1, 1),
+            (-1, 0),
+        ];
+        let mut pattern = 0u8;
+        for (i, (dx, dy)) in OFFSETS.iter().enumerate() {
+            if image.get_clamped(x as isize + dx, y as isize + dy) >= c {
+                pattern |= 1 << i;
+            }
+        }
+        pattern
+    }
+
+    /// Extracts per-cell pattern histograms, flattened row-major by
+    /// cell then bin, each normalized by cell area (values in
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn extract(&self, image: &GrayImage) -> Vec<f64> {
+        let c = self.config.cell_size;
+        let cells_x = image.width() / c;
+        let cells_y = image.height() / c;
+        let mut out = vec![0.0f64; cells_x * cells_y * self.bins];
+        let area = (c * c) as f64;
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                let base = (cy * cells_x + cx) * self.bins;
+                for py in 0..c {
+                    for px in 0..c {
+                        let pattern = Self::pattern_at(image, cx * c + px, cy * c + py);
+                        out[base + self.bin_of[pattern as usize]] += 1.0 / area;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Feature length for an image of the given size.
+    #[must_use]
+    pub fn feature_len(&self, width: usize, height: usize) -> usize {
+        (width / self.config.cell_size) * (height / self.config.cell_size) * self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_counts() {
+        assert_eq!(transitions(0b0000_0000), 0);
+        assert_eq!(transitions(0b1111_1111), 0);
+        assert_eq!(transitions(0b0000_1111), 2);
+        assert_eq!(transitions(0b0101_0101), 8);
+    }
+
+    #[test]
+    fn uniform_mapping_has_59_bins() {
+        let lbp = Lbp::new(LbpConfig {
+            cell_size: 8,
+            uniform: true,
+        });
+        assert_eq!(lbp.bins(), 59);
+        let raw = Lbp::new(LbpConfig {
+            cell_size: 8,
+            uniform: false,
+        });
+        assert_eq!(raw.bins(), 256);
+    }
+
+    #[test]
+    fn flat_image_pattern_is_all_ones() {
+        // With >= comparisons, equal neighbors set every bit.
+        let img = GrayImage::filled(5, 5, 0.5);
+        assert_eq!(Lbp::pattern_at(&img, 2, 2), 0xFF);
+    }
+
+    #[test]
+    fn bright_center_pattern_is_zero() {
+        let mut img = GrayImage::filled(3, 3, 0.2);
+        img.set(1, 1, 0.9);
+        assert_eq!(Lbp::pattern_at(&img, 1, 1), 0);
+    }
+
+    #[test]
+    fn histograms_are_normalized() {
+        let lbp = Lbp::new(LbpConfig::default());
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * y) % 7) as f32 / 6.0);
+        let f = lbp.extract(&img);
+        assert_eq!(f.len(), lbp.feature_len(16, 16));
+        // Each cell histogram sums to 1.
+        for cell in f.chunks(lbp.bins()) {
+            let sum: f64 = cell.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "cell sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_textures() {
+        let lbp = Lbp::new(LbpConfig::default());
+        let stripes = GrayImage::from_fn(16, 16, |_, y| (y % 2) as f32);
+        let flat = GrayImage::filled(16, 16, 0.5);
+        let fs = lbp.extract(&stripes);
+        let ff = lbp.extract(&flat);
+        let diff: f64 = fs.iter().zip(&ff).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.5, "stripes vs flat LBP differ by only {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_panics() {
+        let _ = Lbp::new(LbpConfig {
+            cell_size: 0,
+            uniform: true,
+        });
+    }
+}

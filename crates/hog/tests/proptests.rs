@@ -1,0 +1,100 @@
+//! Property-based tests for the HOG extractors.
+
+use hdface_hog::{bin_of_angle, gradient_at, BinBoundaries, ClassicHog, HogConfig};
+use hdface_imaging::GrayImage;
+use proptest::prelude::*;
+
+/// Strategy: a random image with dimensions that hold at least one
+/// 8×8 cell.
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (8usize..=24, 8usize..=24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(0.0f32..=1.0, w * h)
+            .prop_map(move |px| GrayImage::from_pixels(w, h, px).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gradients_are_bounded_by_half(img in arb_image(), x in 0usize..24, y in 0usize..24) {
+        prop_assume!(x < img.width() && y < img.height());
+        let (gx, gy) = gradient_at(&img, x, y);
+        prop_assert!(gx.abs() <= 0.5 + 1e-9);
+        prop_assert!(gy.abs() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_values_stay_in_stochastic_range(img in arb_image()) {
+        let hog = ClassicHog::new(HogConfig::paper());
+        let f = hog.extract(&img);
+        for &v in f.as_slice() {
+            prop_assert!((0.0..=0.5).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn feature_length_matches_config(img in arb_image()) {
+        let cfg = HogConfig::paper();
+        let hog = ClassicHog::new(cfg);
+        let f = hog.extract(&img);
+        prop_assert_eq!(f.len(), cfg.feature_len(img.width(), img.height()));
+    }
+
+    #[test]
+    fn constant_images_have_zero_features(c in 0.0f32..=1.0) {
+        let hog = ClassicHog::new(HogConfig::paper());
+        let f = hog.extract(&GrayImage::filled(16, 16, c));
+        prop_assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn intensity_inversion_rotates_bins_half_turn(img in arb_image()) {
+        // I ↦ 1−I negates every gradient, so each magnitude moves to
+        // the opposite bin (a half rotation of the signed histogram).
+        let hog = ClassicHog::new(HogConfig::paper());
+        let f = hog.extract(&img);
+        let inverted = GrayImage::from_fn(img.width(), img.height(), |x, y| 1.0 - img.get(x, y));
+        let g = hog.extract(&inverted);
+        let bins = 8;
+        for cy in 0..f.cells_y() {
+            for cx in 0..f.cells_x() {
+                for b in 0..bins {
+                    let a = f.get(cx, cy, b);
+                    let bb = g.get(cx, cy, (b + bins / 2) % bins);
+                    prop_assert!((a - bb).abs() < 1e-6,
+                        "cell ({cx},{cy}) bin {b}: {a} vs opposite {bb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_binning_agrees_with_atan2(theta in 0.0f64..std::f64::consts::TAU, bins in prop::sample::select(vec![8usize, 16, 32])) {
+        // Skip angles within a hair of a bin boundary where float
+        // rounding legitimately flips the bin.
+        let width = std::f64::consts::TAU / bins as f64;
+        let frac = (theta / width).fract();
+        prop_assume!(frac > 1e-6 && frac < 1.0 - 1e-6);
+        let (gy, gx) = theta.sin_cos();
+        let b = BinBoundaries::new(bins);
+        prop_assert_eq!(b.bin_by_comparisons(gx, gy), bin_of_angle(gx, gy, bins));
+    }
+
+    #[test]
+    fn magnitude_scaling_preserves_bins_and_scales_histogram(img in arb_image(), k in 0.2f32..=0.9) {
+        // Scaling image contrast scales every histogram value by the
+        // same factor without moving mass between bins.
+        let hog = ClassicHog::new(HogConfig::paper());
+        let f = hog.extract(&img);
+        let mean = img.mean();
+        let scaled = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+            mean + (img.get(x, y) - mean) * k
+        });
+        let g = hog.extract(&scaled);
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            // f32 pixel clamping introduces small deviations.
+            prop_assert!((a * f64::from(k) - b).abs() < 0.02, "{a} * {k} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Operation-count builders for every algorithm stage in HDFace's
+//! evaluation, derived from the exact algorithmic parameters.
+
+use crate::counts::OpCounts;
+
+/// MLP architecture shape used by the DNN cost builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpShape {
+    /// Input feature length.
+    pub input: usize,
+    /// First hidden layer width.
+    pub hidden1: usize,
+    /// Second hidden layer width.
+    pub hidden2: usize,
+    /// Output classes.
+    pub output: usize,
+}
+
+impl MlpShape {
+    /// Multiply-accumulates of one forward pass.
+    #[must_use]
+    pub fn forward_macs(&self) -> f64 {
+        (self.input * self.hidden1 + self.hidden1 * self.hidden2 + self.hidden2 * self.output)
+            as f64
+    }
+}
+
+/// Words per hypervector at 64-bit packing.
+fn words(dim: usize) -> f64 {
+    dim.div_ceil(64) as f64
+}
+
+/// Cost of drawing one stochastic selection mask.
+///
+/// Hardware implementations stream biased masks from free-running
+/// LFSR lanes with a comparator per lane — one random word plus one
+/// combining word op per 64 dimensions. (The software reference
+/// implementation in `hdface-hdc` uses a 16-round dyadic sampler
+/// instead, which is ~8× more work; the cost model describes the
+/// platforms the paper measures, not our x86 testbed.)
+fn mask_ops(dim: usize) -> OpCounts {
+    OpCounts {
+        rng_words: words(dim),
+        bitwise_words: words(dim),
+        ..OpCounts::default()
+    }
+}
+
+/// Cost of one ⊕ (weighted average): a mask plus a 3-word-op select.
+fn wavg_ops(dim: usize) -> OpCounts {
+    mask_ops(dim)
+        + OpCounts {
+            bitwise_words: 3.0 * words(dim),
+            ..OpCounts::default()
+        }
+}
+
+/// Cost of one ⊗ (multiplication): two XORs.
+fn mul_ops(dim: usize) -> OpCounts {
+    OpCounts {
+        bitwise_words: 2.0 * words(dim),
+        ..OpCounts::default()
+    }
+}
+
+/// Cost of one decode: XOR against the basis plus popcount.
+fn decode_ops(dim: usize) -> OpCounts {
+    OpCounts {
+        bitwise_words: words(dim),
+        popcount_words: words(dim),
+        ..OpCounts::default()
+    }
+}
+
+/// Cost of one stochastic encode: a mask plus a select.
+fn encode_ops(dim: usize) -> OpCounts {
+    wavg_ops(dim)
+}
+
+/// Classic (float) HOG over one `width × height` image.
+///
+/// Per pixel: two halved central differences (2 sub + 2 halvings),
+/// squared magnitude (2 MAC + 1 add + 1 div), one square root, one
+/// `atan2`, a bin compare-and-add. Histogram values then stream to
+/// memory.
+#[must_use]
+pub fn classic_hog_ops(width: usize, height: usize, bins: usize) -> OpCounts {
+    let px = (width * height) as f64;
+    OpCounts {
+        float_adds: px * (2.0 + 1.0 + 2.0), // diffs, sum, bin compare/add
+        float_macs: px * 2.0,               // Gx², Gy²
+        float_divs: px * 3.0,               // two halvings + /2 in magnitude
+        float_sqrts: px,
+        float_atan2s: px,
+        mem_bytes: px * 4.0 + (bins as f64) * 4.0,
+        ..OpCounts::default()
+    }
+}
+
+/// Hyperdimensional HOG (§4.3) over one image.
+///
+/// Per pixel of every covered cell: one pixel encode (amortized one
+/// per pixel), two gradient ⊕, two squarings (resample = decode +
+/// encode, then ⊗), one magnitude ⊕, `sqrt_iters` bisection steps
+/// (each one ⊕ + one squaring + two decodes), one boundary comparison
+/// per interior quadrant boundary (⊗ + ⊕ + decode), two sign decodes,
+/// and one accumulation ⊕. Slot finalization adds one ⊗ + decode per
+/// slot.
+#[must_use]
+pub fn hyper_hog_ops(
+    width: usize,
+    height: usize,
+    bins: usize,
+    dim: usize,
+    sqrt_iters: usize,
+    cell_size: usize,
+) -> OpCounts {
+    let cells_x = width / cell_size;
+    let cells_y = height / cell_size;
+    let px = (cells_x * cells_y * cell_size * cell_size) as f64;
+    let boundaries = (bins / 4).saturating_sub(1).max(1) as f64;
+
+    let square = decode_ops(dim) + encode_ops(dim) + mul_ops(dim);
+    let per_pixel = encode_ops(dim)                       // pixel encoding
+        + wavg_ops(dim) * 2.0                             // Gx, Gy
+        + square * 2.0                                    // Gx², Gy²
+        + wavg_ops(dim)                                   // (Gx²+Gy²)/2
+        + (wavg_ops(dim) + square + decode_ops(dim) * 2.0) * sqrt_iters as f64
+        + decode_ops(dim) * 2.0                           // sign(Gx), sign(Gy)
+        + (mul_ops(dim) + wavg_ops(dim) + decode_ops(dim)) * boundaries
+        + wavg_ops(dim); // histogram running average
+
+    let slots = (cells_x * cells_y * bins) as f64;
+    let per_slot = mul_ops(dim) + decode_ops(dim);
+
+    per_pixel * px + per_slot * slots
+        + OpCounts {
+            mem_bytes: px * words(dim) * 8.0,
+            ..OpCounts::default()
+        }
+}
+
+/// Classic LBP over one image: per pixel, 8 neighbor comparisons and
+/// one histogram increment; histograms stream to memory.
+#[must_use]
+pub fn lbp_ops(width: usize, height: usize, bins: usize) -> OpCounts {
+    let px = (width * height) as f64;
+    OpCounts {
+        float_adds: px * 9.0, // 8 compares + 1 bin add
+        int_ops: px * 2.0,    // pattern assembly shifts/ors
+        mem_bytes: px * 4.0 + bins as f64 * 4.0,
+        ..OpCounts::default()
+    }
+}
+
+/// HAAR bank over one window: one integral-image pass (2 adds/pixel)
+/// plus ~9 lookups/adds per feature.
+#[must_use]
+pub fn haar_ops(width: usize, height: usize, features: usize) -> OpCounts {
+    let px = (width * height) as f64;
+    OpCounts {
+        float_adds: px * 2.0 + features as f64 * 9.0,
+        float_divs: features as f64, // area normalization
+        mem_bytes: px * 8.0 + features as f64 * 4.0,
+        ..OpCounts::default()
+    }
+}
+
+/// One epoch of adaptive HDC training over pre-extracted feature
+/// hypervectors: per sample, similarity against every class
+/// accumulator (integer dot products over `D` dimensions) plus up to
+/// two weighted accumulator updates.
+#[must_use]
+pub fn hd_train_epoch_ops(samples: usize, dim: usize, classes: usize) -> OpCounts {
+    let n = samples as f64;
+    let d = dim as f64;
+    OpCounts {
+        int_ops: n * (classes as f64 * d + 2.0 * d),
+        mem_bytes: n * d * (classes as f64 + 2.0),
+        ..OpCounts::default()
+    }
+}
+
+/// Binary HDC inference per `samples` queries: Hamming similarity
+/// against each class hypervector — XOR plus popcount per class.
+#[must_use]
+pub fn hd_infer_ops(samples: usize, dim: usize, classes: usize) -> OpCounts {
+    let n = samples as f64;
+    let k = classes as f64;
+    OpCounts {
+        bitwise_words: n * k * words(dim),
+        popcount_words: n * k * words(dim),
+        int_ops: n * k,
+        mem_bytes: n * (k + 1.0) * words(dim) * 8.0,
+        ..OpCounts::default()
+    }
+}
+
+/// One epoch of DNN mini-batch SGD training: forward + backward ≈ 3×
+/// the forward MACs, plus softmax transcendentals.
+#[must_use]
+pub fn dnn_train_epoch_ops(samples: usize, shape: &MlpShape) -> OpCounts {
+    let n = samples as f64;
+    let macs = shape.forward_macs();
+    OpCounts {
+        float_macs: n * macs * 3.0,
+        float_adds: n * (shape.hidden1 + shape.hidden2 + shape.output) as f64 * 3.0,
+        float_exps: n * shape.output as f64,
+        mem_bytes: n * macs * 4.0 * 0.1, // weight traffic amortized over batches
+        ..OpCounts::default()
+    }
+}
+
+/// DNN inference for `samples` queries: one forward pass each.
+#[must_use]
+pub fn dnn_infer_ops(samples: usize, shape: &MlpShape) -> OpCounts {
+    let n = samples as f64;
+    OpCounts {
+        float_macs: n * shape.forward_macs(),
+        float_adds: n * (shape.hidden1 + shape.hidden2 + shape.output) as f64,
+        float_exps: n * shape.output as f64,
+        mem_bytes: n * shape.forward_macs() * 4.0 * 0.1,
+        ..OpCounts::default()
+    }
+}
+
+/// One epoch of one-vs-rest Pegasos SVM training.
+#[must_use]
+pub fn svm_train_epoch_ops(samples: usize, features: usize, classes: usize) -> OpCounts {
+    let n = samples as f64;
+    let work = (features * classes) as f64;
+    OpCounts {
+        float_macs: n * work * 2.0, // margin + update
+        float_adds: n * classes as f64,
+        mem_bytes: n * work * 4.0 * 0.1,
+        ..OpCounts::default()
+    }
+}
+
+/// SVM inference for `samples` queries.
+#[must_use]
+pub fn svm_infer_ops(samples: usize, features: usize, classes: usize) -> OpCounts {
+    let n = samples as f64;
+    OpCounts {
+        float_macs: n * (features * classes) as f64,
+        float_adds: n * classes as f64,
+        mem_bytes: n * (features * classes) as f64 * 4.0 * 0.1,
+        ..OpCounts::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shape_macs() {
+        let s = MlpShape {
+            input: 10,
+            hidden1: 20,
+            hidden2: 30,
+            output: 5,
+        };
+        assert_eq!(s.forward_macs(), (200 + 600 + 150) as f64);
+    }
+
+    #[test]
+    fn classic_hog_scales_with_pixels() {
+        let small = classic_hog_ops(48, 48, 8);
+        let large = classic_hog_ops(96, 96, 8);
+        assert!((large.float_sqrts / small.float_sqrts - 4.0).abs() < 1e-9);
+        assert_eq!(small.float_atan2s, 48.0 * 48.0);
+    }
+
+    #[test]
+    fn hyper_hog_scales_with_dim_and_pixels() {
+        let d1 = hyper_hog_ops(48, 48, 8, 1024, 6, 8);
+        let d4 = hyper_hog_ops(48, 48, 8, 4096, 6, 8);
+        let ratio = d4.total_words() / d1.total_words();
+        assert!((ratio - 4.0).abs() < 0.1, "dim scaling ratio {ratio}");
+        // No float sqrt/atan2 anywhere in hyperspace.
+        assert_eq!(d1.float_sqrts, 0.0);
+        assert_eq!(d1.float_atan2s, 0.0);
+    }
+
+    #[test]
+    fn lbp_is_cheaper_than_classic_hog_per_pixel() {
+        // No sqrt/atan2 anywhere in LBP — it should be far cheaper on
+        // a transcendental-taxed CPU.
+        let lbp = lbp_ops(48, 48, 59);
+        let hog = classic_hog_ops(48, 48, 8);
+        assert_eq!(lbp.float_sqrts, 0.0);
+        assert_eq!(lbp.float_atan2s, 0.0);
+        assert!(lbp.total_float() < hog.total_float());
+    }
+
+    #[test]
+    fn haar_cost_scales_with_bank_size() {
+        let small = haar_ops(32, 32, 100);
+        let large = haar_ops(32, 32, 1000);
+        assert!(large.float_adds > small.float_adds);
+        assert_eq!(large.float_atan2s, 0.0);
+    }
+
+    #[test]
+    fn hd_training_is_integer_only() {
+        let ops = hd_train_epoch_ops(100, 4096, 7);
+        assert_eq!(ops.total_float(), 0.0);
+        assert!(ops.int_ops > 0.0);
+    }
+
+    #[test]
+    fn hd_inference_is_bitwise_only() {
+        let ops = hd_infer_ops(10, 4096, 2);
+        assert_eq!(ops.total_float(), 0.0);
+        assert_eq!(ops.bitwise_words, 10.0 * 2.0 * 64.0);
+        assert_eq!(ops.popcount_words, ops.bitwise_words);
+    }
+
+    #[test]
+    fn dnn_training_is_three_forwards() {
+        let shape = MlpShape {
+            input: 288,
+            hidden1: 1024,
+            hidden2: 1024,
+            output: 7,
+        };
+        let t = dnn_train_epoch_ops(50, &shape);
+        let i = dnn_infer_ops(50, &shape);
+        assert!((t.float_macs / i.float_macs - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svm_costs_scale_with_classes() {
+        let two = svm_infer_ops(10, 288, 2);
+        let seven = svm_infer_ops(10, 288, 7);
+        assert!(seven.float_macs > two.float_macs * 3.0);
+        assert!(svm_train_epoch_ops(10, 288, 2).float_macs > two.float_macs);
+    }
+}

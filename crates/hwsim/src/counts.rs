@@ -1,0 +1,148 @@
+//! The operation-count record.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// Architecture-neutral operation counts for one workload.
+///
+/// Word-granular fields count 64-bit words (the natural unit of the
+/// bit-packed hypervector substrate); scalar fields count individual
+/// arithmetic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCounts {
+    /// 64-bit bitwise word operations (AND/OR/XOR/NOT/select).
+    pub bitwise_words: f64,
+    /// 64-bit popcount words (similarity / decode).
+    pub popcount_words: f64,
+    /// 64-bit pseudo-random words drawn (stochastic masks; LFSR lanes
+    /// on hardware).
+    pub rng_words: f64,
+    /// Integer add/sub/compare operations (accumulators, counters).
+    pub int_ops: f64,
+    /// Single-precision multiply-accumulate pairs.
+    pub float_macs: f64,
+    /// Single-precision add/sub/compare.
+    pub float_adds: f64,
+    /// Single-precision divide.
+    pub float_divs: f64,
+    /// Single-precision square root.
+    pub float_sqrts: f64,
+    /// Two-argument arctangent (libm / CORDIC).
+    pub float_atan2s: f64,
+    /// Transcendental calls (exp/ln for softmax).
+    pub float_exps: f64,
+    /// Bytes moved to/from main memory (beyond caches).
+    pub mem_bytes: f64,
+}
+
+impl OpCounts {
+    /// The all-zero record.
+    #[must_use]
+    pub fn zero() -> Self {
+        OpCounts::default()
+    }
+
+    /// Total scalar float operations (for quick sanity inspection).
+    #[must_use]
+    pub fn total_float(&self) -> f64 {
+        self.float_macs + self.float_adds + self.float_divs + self.float_sqrts
+            + self.float_atan2s
+            + self.float_exps
+    }
+
+    /// Total word-granular operations.
+    #[must_use]
+    pub fn total_words(&self) -> f64 {
+        self.bitwise_words + self.popcount_words + self.rng_words
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(mut self, rhs: OpCounts) -> OpCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.bitwise_words += rhs.bitwise_words;
+        self.popcount_words += rhs.popcount_words;
+        self.rng_words += rhs.rng_words;
+        self.int_ops += rhs.int_ops;
+        self.float_macs += rhs.float_macs;
+        self.float_adds += rhs.float_adds;
+        self.float_divs += rhs.float_divs;
+        self.float_sqrts += rhs.float_sqrts;
+        self.float_atan2s += rhs.float_atan2s;
+        self.float_exps += rhs.float_exps;
+        self.mem_bytes += rhs.mem_bytes;
+    }
+}
+
+impl Mul<f64> for OpCounts {
+    type Output = OpCounts;
+
+    fn mul(self, k: f64) -> OpCounts {
+        OpCounts {
+            bitwise_words: self.bitwise_words * k,
+            popcount_words: self.popcount_words * k,
+            rng_words: self.rng_words * k,
+            int_ops: self.int_ops * k,
+            float_macs: self.float_macs * k,
+            float_adds: self.float_adds * k,
+            float_divs: self.float_divs * k,
+            float_sqrts: self.float_sqrts * k,
+            float_atan2s: self.float_atan2s * k,
+            float_exps: self.float_exps * k,
+            mem_bytes: self.mem_bytes * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(OpCounts::zero(), OpCounts::default());
+        assert_eq!(OpCounts::zero().total_float(), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = OpCounts {
+            bitwise_words: 10.0,
+            float_macs: 5.0,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            bitwise_words: 2.0,
+            popcount_words: 3.0,
+            ..OpCounts::default()
+        };
+        let s = a + b;
+        assert_eq!(s.bitwise_words, 12.0);
+        assert_eq!(s.popcount_words, 3.0);
+        assert_eq!(s.total_words(), 15.0);
+        let d = s * 2.0;
+        assert_eq!(d.bitwise_words, 24.0);
+        assert_eq!(d.float_macs, 10.0);
+    }
+
+    #[test]
+    fn totals_cover_all_float_classes() {
+        let c = OpCounts {
+            float_macs: 1.0,
+            float_adds: 1.0,
+            float_divs: 1.0,
+            float_sqrts: 1.0,
+            float_atan2s: 1.0,
+            float_exps: 1.0,
+            ..OpCounts::default()
+        };
+        assert_eq!(c.total_float(), 6.0);
+    }
+}

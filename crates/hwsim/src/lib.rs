@@ -1,0 +1,49 @@
+//! # hdface-hwsim — analytic CPU / FPGA performance and energy models
+//!
+//! The paper measures HDFace and a DNN baseline on an ARM Cortex-A53
+//! (Raspberry Pi 3B+) and a Kintex-7 KC705 FPGA with a power meter.
+//! Neither platform is available here, so this crate replaces the
+//! testbed with an *operation-count* model:
+//!
+//! 1. each algorithm stage (classic HOG, HD-HOG, HDC learning/
+//!    inference, DNN training/inference, SVM) is compiled to an
+//!    [`OpCounts`] record from its exact algorithmic parameters
+//!    (image size, cell grid, hypervector dimensionality, layer
+//!    widths, epochs);
+//! 2. a platform model ([`CpuModel`] / [`FpgaModel`]) maps the counts
+//!    to seconds and joules using datasheet-level throughput and
+//!    per-operation energy numbers.
+//!
+//! The paper's Fig. 7 reports *relative* speedup and energy-efficiency
+//! between the two pipelines on the same platform; those ratios are
+//! driven by the operation mixes — bitwise/popcount (LUT-friendly,
+//! SIMD-friendly) versus float MAC / sqrt / atan2 (DSP-bound,
+//! libm-bound) — which this model captures mechanically. Absolute
+//! seconds are indicative only.
+//!
+//! ```
+//! use hdface_hwsim::{CpuModel, Platform, hyper_hog_ops};
+//!
+//! let cpu = CpuModel::cortex_a53();
+//! let ops = hyper_hog_ops(48, 48, 8, 4096, 6, 8);
+//! let m = cpu.execute(&ops);
+//! assert!(m.seconds > 0.0 && m.joules > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithms;
+mod counts;
+mod platform;
+mod resource;
+mod scenario;
+
+pub use algorithms::{
+    classic_hog_ops, dnn_infer_ops, dnn_train_epoch_ops, haar_ops, hd_infer_ops,
+    hd_train_epoch_ops, hyper_hog_ops, lbp_ops, svm_infer_ops, svm_train_epoch_ops, MlpShape,
+};
+pub use counts::OpCounts;
+pub use resource::{AcceleratorConfig, DeviceBudget, ResourceEstimate};
+pub use platform::{CpuModel, FpgaModel, Measurement, Platform};
+pub use scenario::{EfficiencyRow, Phase, PipelineKind, Scenario};

@@ -1,0 +1,371 @@
+//! Platform throughput / energy models.
+
+use std::fmt;
+
+use crate::counts::OpCounts;
+
+/// A simulated execution result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Total energy in joules (dynamic + static leakage over the
+    /// run).
+    pub joules: f64,
+}
+
+impl Measurement {
+    /// Speedup of `self` relative to `other` (>1 means `self` is
+    /// faster).
+    #[must_use]
+    pub fn speedup_vs(&self, other: &Measurement) -> f64 {
+        other.seconds / self.seconds
+    }
+
+    /// Energy-efficiency gain of `self` relative to `other` (>1 means
+    /// `self` uses less energy).
+    #[must_use]
+    pub fn efficiency_vs(&self, other: &Measurement) -> f64 {
+        other.joules / self.joules
+    }
+}
+
+/// Common interface of the platform models.
+pub trait Platform {
+    /// Simulates a workload, returning time and energy.
+    fn execute(&self, ops: &OpCounts) -> Measurement;
+
+    /// Human-readable platform name.
+    fn name(&self) -> &str;
+}
+
+/// An in-order embedded CPU model in the style of the ARM Cortex-A53
+/// (Raspberry Pi 3B+), with NEON SIMD for word-granular operations.
+///
+/// Throughputs are per cycle; energies are per operation in
+/// picojoules. Values are datasheet-scale estimates: an A53 at 1.4 GHz
+/// dual-issues simple integer/NEON ops, does ~2 fp32 MACs/cycle
+/// through NEON, and pays tens of cycles for divide/sqrt and ~100 for
+/// a libm `atan2`.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    name: String,
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+    /// 64-bit bitwise word ops per cycle (NEON 128-bit datapath).
+    pub bitwise_words_per_cycle: f64,
+    /// Popcount words per cycle (`cnt` + horizontal add).
+    pub popcount_words_per_cycle: f64,
+    /// PRNG words per cycle (vectorized xorshift).
+    pub rng_words_per_cycle: f64,
+    /// Scalar/NEON integer ops per cycle.
+    pub int_ops_per_cycle: f64,
+    /// fp32 MACs per cycle.
+    pub float_macs_per_cycle: f64,
+    /// fp32 adds per cycle.
+    pub float_adds_per_cycle: f64,
+    /// Cycles per fp32 divide.
+    pub cycles_per_div: f64,
+    /// Cycles per fp32 sqrt.
+    pub cycles_per_sqrt: f64,
+    /// Cycles per `atan2` (libm).
+    pub cycles_per_atan2: f64,
+    /// Cycles per `exp`/`ln`.
+    pub cycles_per_exp: f64,
+    /// Memory bandwidth in bytes/second.
+    pub mem_bytes_per_sec: f64,
+    /// Dynamic energy per 64-bit word op (pJ).
+    pub pj_per_word_op: f64,
+    /// Dynamic energy per scalar int op (pJ).
+    pub pj_per_int_op: f64,
+    /// Dynamic energy per fp32 op (pJ).
+    pub pj_per_float_op: f64,
+    /// DRAM energy per byte (pJ).
+    pub pj_per_mem_byte: f64,
+    /// Static/idle platform power in watts.
+    pub static_watts: f64,
+}
+
+impl CpuModel {
+    /// The Raspberry Pi 3B+ class Cortex-A53 model the paper measures.
+    #[must_use]
+    pub fn cortex_a53() -> Self {
+        CpuModel {
+            name: "ARM Cortex-A53 @1.4GHz".to_owned(),
+            freq_hz: 1.4e9,
+            bitwise_words_per_cycle: 2.0,
+            popcount_words_per_cycle: 1.0,
+            rng_words_per_cycle: 1.0,
+            int_ops_per_cycle: 2.0,
+            float_macs_per_cycle: 2.0,
+            float_adds_per_cycle: 2.0,
+            cycles_per_div: 12.0,
+            cycles_per_sqrt: 18.0,
+            cycles_per_atan2: 90.0,
+            cycles_per_exp: 60.0,
+            mem_bytes_per_sec: 2.5e9,
+            pj_per_word_op: 35.0,
+            pj_per_int_op: 25.0,
+            pj_per_float_op: 60.0,
+            pj_per_mem_byte: 120.0,
+            static_watts: 1.2,
+        }
+    }
+}
+
+impl Platform for CpuModel {
+    fn execute(&self, ops: &OpCounts) -> Measurement {
+        let compute_cycles = ops.bitwise_words / self.bitwise_words_per_cycle
+            + ops.popcount_words / self.popcount_words_per_cycle
+            + ops.rng_words / self.rng_words_per_cycle
+            + ops.int_ops / self.int_ops_per_cycle
+            + ops.float_macs / self.float_macs_per_cycle
+            + ops.float_adds / self.float_adds_per_cycle
+            + ops.float_divs * self.cycles_per_div
+            + ops.float_sqrts * self.cycles_per_sqrt
+            + ops.float_atan2s * self.cycles_per_atan2
+            + ops.float_exps * self.cycles_per_exp;
+        let compute_secs = compute_cycles / self.freq_hz;
+        let mem_secs = ops.mem_bytes / self.mem_bytes_per_sec;
+        // In-order core: modest overlap between compute and memory.
+        let seconds = compute_secs.max(mem_secs) + 0.3 * compute_secs.min(mem_secs);
+
+        let word_ops = ops.bitwise_words + ops.popcount_words + ops.rng_words;
+        // Long-latency float ops burn roughly energy ∝ cycles.
+        let float_ops = ops.float_macs * 2.0
+            + ops.float_adds
+            + ops.float_divs * self.cycles_per_div
+            + ops.float_sqrts * self.cycles_per_sqrt
+            + ops.float_atan2s * self.cycles_per_atan2
+            + ops.float_exps * self.cycles_per_exp;
+        let dynamic_pj = word_ops * self.pj_per_word_op
+            + ops.int_ops * self.pj_per_int_op
+            + float_ops * self.pj_per_float_op
+            + ops.mem_bytes * self.pj_per_mem_byte;
+        Measurement {
+            seconds,
+            joules: dynamic_pj * 1e-12 + self.static_watts * seconds,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A mid-range FPGA model in the style of the Kintex-7 325T (KC705
+/// board the paper uses).
+///
+/// The defining asymmetry: bitwise/popcount datapaths synthesize to
+/// the sea of LUTs (hundreds of word-ops per cycle, femtojoule-scale
+/// energy), random masks come from free-running LFSR lanes, while
+/// float MACs are bound to the 840 DSP slices and elementary
+/// functions occupy long CORDIC pipelines. That asymmetry is what
+/// produces the paper's larger FPGA-side energy gap (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct FpgaModel {
+    name: String,
+    /// Fabric clock in Hz.
+    pub freq_hz: f64,
+    /// 64-bit bitwise word ops per cycle (LUT-parallel datapath).
+    pub bitwise_words_per_cycle: f64,
+    /// Popcount words per cycle (adder trees).
+    pub popcount_words_per_cycle: f64,
+    /// LFSR random words per cycle.
+    pub rng_words_per_cycle: f64,
+    /// Integer ops per cycle (LUT adders).
+    pub int_ops_per_cycle: f64,
+    /// fp32 MACs per cycle (DSP slices).
+    pub float_macs_per_cycle: f64,
+    /// fp32 adds per cycle.
+    pub float_adds_per_cycle: f64,
+    /// Divide units' aggregate throughput (ops per cycle).
+    pub divs_per_cycle: f64,
+    /// Sqrt pipelines' aggregate throughput.
+    pub sqrts_per_cycle: f64,
+    /// CORDIC atan2 pipelines' aggregate throughput.
+    pub atan2s_per_cycle: f64,
+    /// exp/ln pipelines' aggregate throughput.
+    pub exps_per_cycle: f64,
+    /// DDR bandwidth (bytes/second).
+    pub mem_bytes_per_sec: f64,
+    /// Energy per word op (pJ) — LUT switching.
+    pub pj_per_word_op: f64,
+    /// Energy per int op (pJ).
+    pub pj_per_int_op: f64,
+    /// Energy per DSP float op (pJ).
+    pub pj_per_float_op: f64,
+    /// DDR energy per byte (pJ).
+    pub pj_per_mem_byte: f64,
+    /// Static power in watts.
+    pub static_watts: f64,
+}
+
+impl FpgaModel {
+    /// The Kintex-7 KC705-class model.
+    #[must_use]
+    pub fn kintex7() -> Self {
+        FpgaModel {
+            name: "Kintex-7 KC705 @200MHz".to_owned(),
+            freq_hz: 200e6,
+            // ~200k LUTs; a 64-bit bitwise lane costs ~64 LUTs, so a
+            // datapath of ~512 word-lanes is comfortably routable.
+            bitwise_words_per_cycle: 512.0,
+            popcount_words_per_cycle: 256.0,
+            rng_words_per_cycle: 512.0,
+            int_ops_per_cycle: 256.0,
+            // 840 DSP48 slices, fp32 MAC ≈ 3 DSPs → ~280/cycle.
+            float_macs_per_cycle: 280.0,
+            float_adds_per_cycle: 280.0,
+            divs_per_cycle: 8.0,
+            sqrts_per_cycle: 8.0,
+            atan2s_per_cycle: 4.0,
+            exps_per_cycle: 4.0,
+            mem_bytes_per_sec: 6.4e9,
+            pj_per_word_op: 5.0,
+            pj_per_int_op: 4.0,
+            pj_per_float_op: 25.0,
+            pj_per_mem_byte: 80.0,
+            static_watts: 1.0,
+        }
+    }
+}
+
+impl Platform for FpgaModel {
+    fn execute(&self, ops: &OpCounts) -> Measurement {
+        let compute_cycles = ops.bitwise_words / self.bitwise_words_per_cycle
+            + ops.popcount_words / self.popcount_words_per_cycle
+            + ops.rng_words / self.rng_words_per_cycle
+            + ops.int_ops / self.int_ops_per_cycle
+            + ops.float_macs / self.float_macs_per_cycle
+            + ops.float_adds / self.float_adds_per_cycle
+            + ops.float_divs / self.divs_per_cycle
+            + ops.float_sqrts / self.sqrts_per_cycle
+            + ops.float_atan2s / self.atan2s_per_cycle
+            + ops.float_exps / self.exps_per_cycle;
+        let compute_secs = compute_cycles / self.freq_hz;
+        let mem_secs = ops.mem_bytes / self.mem_bytes_per_sec;
+        // Deep pipelining overlaps memory well.
+        let seconds = compute_secs.max(mem_secs);
+
+        let word_ops = ops.bitwise_words + ops.popcount_words + ops.rng_words;
+        let float_ops = ops.float_macs * 2.0
+            + ops.float_adds
+            + (ops.float_divs + ops.float_sqrts) * 16.0
+            + (ops.float_atan2s + ops.float_exps) * 24.0;
+        let dynamic_pj = word_ops * self.pj_per_word_op
+            + ops.int_ops * self.pj_per_int_op
+            + float_ops * self.pj_per_float_op
+            + ops.mem_bytes * self.pj_per_mem_byte;
+        Measurement {
+            seconds,
+            joules: dynamic_pj * 1e-12 + self.static_watts * seconds,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}s / {:.4}J", self.seconds, self.joules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitwise_heavy() -> OpCounts {
+        OpCounts {
+            bitwise_words: 1e9,
+            popcount_words: 2e8,
+            rng_words: 5e8,
+            ..OpCounts::default()
+        }
+    }
+
+    fn float_heavy() -> OpCounts {
+        OpCounts {
+            float_macs: 1e9,
+            float_adds: 1e8,
+            float_sqrts: 1e7,
+            float_atan2s: 1e7,
+            ..OpCounts::default()
+        }
+    }
+
+    #[test]
+    fn measurements_are_positive() {
+        for p in [&CpuModel::cortex_a53() as &dyn Platform, &FpgaModel::kintex7()] {
+            let m = p.execute(&bitwise_heavy());
+            assert!(m.seconds > 0.0 && m.joules > 0.0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn fpga_advantage_is_larger_for_bitwise_work() {
+        // The core asymmetry behind Fig. 7: moving bitwise work from
+        // CPU to FPGA helps far more than moving float work.
+        let cpu = CpuModel::cortex_a53();
+        let fpga = FpgaModel::kintex7();
+        let bit_gain = cpu.execute(&bitwise_heavy()).seconds
+            / fpga.execute(&bitwise_heavy()).seconds;
+        let float_gain =
+            cpu.execute(&float_heavy()).seconds / fpga.execute(&float_heavy()).seconds;
+        assert!(
+            bit_gain > float_gain,
+            "bitwise gain {bit_gain} should exceed float gain {float_gain}"
+        );
+    }
+
+    #[test]
+    fn transcendentals_dominate_cpu_float_time() {
+        let cpu = CpuModel::cortex_a53();
+        let n = 1e6;
+        let atan_ops = OpCounts {
+            float_atan2s: n,
+            ..OpCounts::default()
+        };
+        let mac_ops = OpCounts {
+            float_macs: n,
+            ..OpCounts::default()
+        };
+        assert!(cpu.execute(&atan_ops).seconds > 50.0 * cpu.execute(&mac_ops).seconds);
+    }
+
+    #[test]
+    fn speedup_and_efficiency_helpers() {
+        let a = Measurement {
+            seconds: 1.0,
+            joules: 2.0,
+        };
+        let b = Measurement {
+            seconds: 4.0,
+            joules: 4.0,
+        };
+        assert_eq!(a.speedup_vs(&b), 4.0);
+        assert_eq!(a.efficiency_vs(&b), 2.0);
+        assert!(format!("{a}").contains('J'));
+    }
+
+    #[test]
+    fn static_power_floors_energy() {
+        let cpu = CpuModel::cortex_a53();
+        let tiny = OpCounts {
+            float_adds: 1.0,
+            ..OpCounts::default()
+        };
+        let m = cpu.execute(&tiny);
+        // Energy ≈ static_watts × seconds for trivial workloads.
+        assert!(m.joules >= cpu.static_watts * m.seconds * 0.99);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(CpuModel::cortex_a53().name().contains("A53"));
+        assert!(FpgaModel::kintex7().name().contains("Kintex"));
+    }
+}

@@ -1,0 +1,225 @@
+//! FPGA resource estimation for an HDFace accelerator instance —
+//! the reproduction's stand-in for the paper's Vivado synthesis
+//! reports ("we design the HDFace functionality using Verilog and
+//! synthesize it using Xilinx Vivado").
+//!
+//! The estimator prices the blocks of the §4 datapath in LUT/FF/BRAM
+//! terms from first principles (a 6-input LUT implements any 6-ary
+//! boolean function; popcounts are compressor trees; masks come from
+//! per-lane LFSRs) and checks the instance against a device budget.
+
+use std::fmt;
+
+/// An FPGA device budget (the denominators of a utilization report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBudget {
+    /// Device name.
+    pub name: &'static str,
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kib block RAMs.
+    pub bram36: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl DeviceBudget {
+    /// The Kintex-7 325T on the KC705 board the paper uses.
+    #[must_use]
+    pub fn kintex7_325t() -> Self {
+        DeviceBudget {
+            name: "Kintex-7 XC7K325T (KC705)",
+            luts: 203_800,
+            ffs: 407_600,
+            bram36: 445,
+            dsps: 840,
+        }
+    }
+}
+
+/// Configuration of one HDFace accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceleratorConfig {
+    /// Hypervector dimensionality `D`.
+    pub dim: usize,
+    /// Physical datapath lanes: how many of the `D` dimensions are
+    /// processed per cycle (the rest time-multiplex). `lanes == dim`
+    /// is the fully parallel paper-style design.
+    pub lanes: usize,
+    /// Number of classes held in the similarity-search stage.
+    pub classes: usize,
+    /// Orientation bins of the HOG stage.
+    pub bins: usize,
+}
+
+impl AcceleratorConfig {
+    /// The paper's default: fully parallel at D = 4k, 2 classes,
+    /// 8 bins.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        AcceleratorConfig {
+            dim: 4096,
+            lanes: 4096,
+            classes: 2,
+            bins: 8,
+        }
+    }
+}
+
+/// Estimated resource usage of one accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEstimate {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kib BRAMs.
+    pub bram36: u64,
+    /// DSP slices (the HD datapath needs none — the point of the
+    /// paper's efficiency argument).
+    pub dsps: u64,
+}
+
+impl ResourceEstimate {
+    /// Estimates the §4 datapath for a configuration.
+    ///
+    /// Block prices per lane (one lane = one bit of `D`):
+    /// * ⊕ select mux + LFSR mask lane: ~2 LUTs + 2 FFs;
+    /// * ⊗ XNOR against the basis: ~0.5 LUT (packs with neighbors);
+    /// * sign/decode popcount: a 6:3 compressor tree costs ~1 LUT per
+    ///   input bit amortized, plus `log2(D)`-deep registers;
+    /// * per-slot accumulate/select control: amortized ~0.5 LUT.
+    ///
+    /// Storage: the basis, boundary codes, level codebook and class
+    /// hypervectors live in BRAM at `D` bits each.
+    #[must_use]
+    pub fn for_config(cfg: &AcceleratorConfig) -> Self {
+        let lanes = cfg.lanes.max(1) as u64;
+        let dim_bits = cfg.dim as u64;
+
+        // Datapath (per physical lane).
+        let avg_lut_per_lane = 2.0 + 0.5 + 1.0 + 0.5;
+        let luts_datapath = (avg_lut_per_lane * lanes as f64).ceil() as u64;
+        let ffs_datapath = 3 * lanes; // pipeline + LFSR state
+
+        // Popcount tree depth registers.
+        let depth = (cfg.dim.max(2) as f64).log2().ceil() as u64;
+        let ffs_popcount = depth * 64;
+
+        // Time-multiplex control when lanes < dim.
+        let mux_factor = dim_bits.div_ceil(lanes);
+        let luts_control = 200 + 32 * mux_factor;
+
+        // Stored hypervectors: basis, −basis is free, bins/4 boundary
+        // codes × 2 parities, 32 levels, classes, plus working set ≈ 8.
+        let stored_vectors =
+            1 + 2 * (cfg.bins as u64 / 4) + 32 + cfg.classes as u64 + 8;
+        let bits = stored_vectors * dim_bits;
+        let bram36 = bits.div_ceil(36 * 1024);
+
+        ResourceEstimate {
+            luts: luts_datapath + luts_control,
+            ffs: ffs_datapath + ffs_popcount,
+            bram36,
+            dsps: 0,
+        }
+    }
+
+    /// Utilization fractions against a device budget
+    /// (LUT, FF, BRAM, DSP).
+    #[must_use]
+    pub fn utilization(&self, device: &DeviceBudget) -> (f64, f64, f64, f64) {
+        (
+            self.luts as f64 / device.luts as f64,
+            self.ffs as f64 / device.ffs as f64,
+            self.bram36 as f64 / device.bram36 as f64,
+            if device.dsps == 0 {
+                0.0
+            } else {
+                self.dsps as f64 / device.dsps as f64
+            },
+        )
+    }
+
+    /// `true` when the instance fits within the device.
+    #[must_use]
+    pub fn fits(&self, device: &DeviceBudget) -> bool {
+        self.luts <= device.luts
+            && self.ffs <= device.ffs
+            && self.bram36 <= device.bram36
+            && self.dsps <= device.dsps
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} BRAM36 / {} DSP",
+            self.luts, self.ffs, self.bram36, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_fits_the_kc705() {
+        let est = ResourceEstimate::for_config(&AcceleratorConfig::paper_default());
+        let dev = DeviceBudget::kintex7_325t();
+        assert!(est.fits(&dev), "estimate {est} exceeds {dev:?}");
+        // The HD datapath uses zero DSPs — the core of the paper's
+        // FPGA-efficiency argument.
+        assert_eq!(est.dsps, 0);
+        let (lut, _, bram, _) = est.utilization(&dev);
+        assert!(lut > 0.01 && lut < 0.5, "LUT utilization {lut}");
+        assert!(bram < 0.5, "BRAM utilization {bram}");
+    }
+
+    #[test]
+    fn fully_parallel_10k_overflows_luts_but_multiplexing_fits() {
+        let dev = DeviceBudget::kintex7_325t();
+        let wide = AcceleratorConfig {
+            dim: 65_536,
+            lanes: 65_536,
+            classes: 2,
+            bins: 8,
+        };
+        assert!(!ResourceEstimate::for_config(&wide).fits(&dev));
+        let folded = AcceleratorConfig {
+            lanes: 4096,
+            ..wide
+        };
+        assert!(ResourceEstimate::for_config(&folded).fits(&dev));
+    }
+
+    #[test]
+    fn resources_scale_with_lanes_not_dim() {
+        let a = ResourceEstimate::for_config(&AcceleratorConfig {
+            dim: 4096,
+            lanes: 1024,
+            classes: 2,
+            bins: 8,
+        });
+        let b = ResourceEstimate::for_config(&AcceleratorConfig {
+            dim: 16_384,
+            lanes: 1024,
+            classes: 2,
+            bins: 8,
+        });
+        // Same lane count → similar LUTs; more dim → more BRAM.
+        assert!(b.luts < a.luts * 2);
+        assert!(b.bram36 > a.bram36);
+    }
+
+    #[test]
+    fn display_formats() {
+        let est = ResourceEstimate::for_config(&AcceleratorConfig::paper_default());
+        let s = format!("{est}");
+        assert!(s.contains("LUT") && s.contains("DSP"));
+    }
+}

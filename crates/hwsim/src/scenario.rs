@@ -1,0 +1,380 @@
+//! End-to-end workload composition: dataset shape × pipeline × phase
+//! → operation counts → platform measurements (the machinery behind
+//! Fig. 7).
+
+use crate::algorithms::{
+    classic_hog_ops, dnn_infer_ops, dnn_train_epoch_ops, hd_infer_ops, hd_train_epoch_ops,
+    hyper_hog_ops, svm_infer_ops, svm_train_epoch_ops, MlpShape,
+};
+use crate::counts::OpCounts;
+use crate::platform::{Measurement, Platform};
+
+/// Which learning pipeline a workload runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineKind {
+    /// HDFace: hyperdimensional HOG + adaptive HDC learning.
+    HdFace {
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Bisection iterations in the magnitude square root.
+        sqrt_iters: usize,
+        /// Learning epochs (single pass + adaptive refinement).
+        epochs: usize,
+    },
+    /// Baseline: classic float HOG + MLP.
+    Dnn {
+        /// Network shape.
+        shape: MlpShape,
+        /// Training epochs.
+        epochs: usize,
+    },
+    /// Baseline: classic float HOG + one-vs-rest linear SVM.
+    Svm {
+        /// Feature length consumed (HOG output).
+        features: usize,
+        /// Training epochs.
+        epochs: usize,
+    },
+}
+
+/// Workload phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Full training: per-sample feature extraction plus all learning
+    /// epochs.
+    Training,
+    /// One learning epoch over cached (pre-extracted) features — the
+    /// paper's "training a single epoch" metric.
+    TrainingEpoch,
+    /// Per-sample inference: feature extraction plus model query.
+    Inference,
+    /// Per-sample inference over cached/pre-extracted features: the
+    /// model query alone (similarity search vs DNN forward pass).
+    InferenceCached,
+}
+
+/// One evaluation scenario: a dataset shape at paper-nominal scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Square image side length (paper-nominal).
+    pub image_size: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training-set size (paper-nominal).
+    pub train_size: usize,
+    /// HOG cell size.
+    pub cell_size: usize,
+    /// Orientation bins.
+    pub bins: usize,
+}
+
+impl Scenario {
+    /// HOG feature length for this scenario's geometry.
+    #[must_use]
+    pub fn hog_features(&self) -> usize {
+        let cells = self.image_size / self.cell_size;
+        cells * cells * self.bins
+    }
+
+    /// The three Table 1 scenarios at paper-nominal scale.
+    #[must_use]
+    pub fn table1() -> [Scenario; 3] {
+        [
+            Scenario {
+                name: "EMOTION",
+                image_size: 48,
+                classes: 7,
+                train_size: 36_685,
+                cell_size: 8,
+                bins: 8,
+            },
+            Scenario {
+                name: "FACE1",
+                image_size: 1024,
+                classes: 2,
+                train_size: 40_172,
+                cell_size: 8,
+                bins: 8,
+            },
+            Scenario {
+                name: "FACE2",
+                image_size: 512,
+                classes: 2,
+                train_size: 522_441,
+                cell_size: 8,
+                bins: 8,
+            },
+        ]
+    }
+
+    /// Operation counts for one pipeline/phase on this scenario.
+    ///
+    /// `Inference` counts are per single query; training phases cover
+    /// the whole nominal training set.
+    #[must_use]
+    pub fn ops(&self, pipeline: &PipelineKind, phase: Phase) -> OpCounts {
+        let n = self.train_size;
+        match (pipeline, phase) {
+            (
+                PipelineKind::HdFace {
+                    dim,
+                    sqrt_iters,
+                    epochs,
+                },
+                Phase::Training,
+            ) => {
+                hyper_hog_ops(
+                    self.image_size,
+                    self.image_size,
+                    self.bins,
+                    *dim,
+                    *sqrt_iters,
+                    self.cell_size,
+                ) * n as f64
+                    + hd_train_epoch_ops(n, *dim, self.classes) * *epochs as f64
+            }
+            (PipelineKind::HdFace { dim, .. }, Phase::TrainingEpoch) => {
+                hd_train_epoch_ops(n, *dim, self.classes)
+            }
+            (
+                PipelineKind::HdFace {
+                    dim, sqrt_iters, ..
+                },
+                Phase::Inference,
+            ) => {
+                hyper_hog_ops(
+                    self.image_size,
+                    self.image_size,
+                    self.bins,
+                    *dim,
+                    *sqrt_iters,
+                    self.cell_size,
+                ) + hd_infer_ops(1, *dim, self.classes)
+            }
+            (PipelineKind::HdFace { dim, .. }, Phase::InferenceCached) => {
+                hd_infer_ops(1, *dim, self.classes)
+            }
+            (PipelineKind::Dnn { shape, epochs }, Phase::Training) => {
+                classic_hog_ops(self.image_size, self.image_size, self.bins) * n as f64
+                    + dnn_train_epoch_ops(n, shape) * *epochs as f64
+            }
+            (PipelineKind::Dnn { shape, .. }, Phase::TrainingEpoch) => {
+                dnn_train_epoch_ops(n, shape)
+            }
+            (PipelineKind::Dnn { shape, .. }, Phase::Inference) => {
+                classic_hog_ops(self.image_size, self.image_size, self.bins)
+                    + dnn_infer_ops(1, shape)
+            }
+            (PipelineKind::Dnn { shape, .. }, Phase::InferenceCached) => {
+                dnn_infer_ops(1, shape)
+            }
+            (PipelineKind::Svm { features, epochs }, Phase::Training) => {
+                classic_hog_ops(self.image_size, self.image_size, self.bins) * n as f64
+                    + svm_train_epoch_ops(n, *features, self.classes) * *epochs as f64
+            }
+            (PipelineKind::Svm { features, .. }, Phase::TrainingEpoch) => {
+                svm_train_epoch_ops(n, *features, self.classes)
+            }
+            (PipelineKind::Svm { features, .. }, Phase::Inference) => {
+                classic_hog_ops(self.image_size, self.image_size, self.bins)
+                    + svm_infer_ops(1, *features, self.classes)
+            }
+            (PipelineKind::Svm { features, .. }, Phase::InferenceCached) => {
+                svm_infer_ops(1, *features, self.classes)
+            }
+        }
+    }
+
+    /// The paper's default HDFace pipeline for this scenario.
+    #[must_use]
+    pub fn hdface_default(&self) -> PipelineKind {
+        PipelineKind::HdFace {
+            dim: 4096,
+            sqrt_iters: 6,
+            epochs: 4,
+        }
+    }
+
+    /// The paper's best DNN baseline for this scenario (1024 × 1024
+    /// hidden layers on this scenario's HOG feature length).
+    #[must_use]
+    pub fn dnn_default(&self) -> PipelineKind {
+        PipelineKind::Dnn {
+            shape: MlpShape {
+                input: self.hog_features(),
+                hidden1: 1024,
+                hidden2: 1024,
+                output: self.classes,
+            },
+            // MLPs on HOG features need tens of epochs to converge at
+            // paper-scale datasets, versus HDC's single pass plus a
+            // few adaptive refinements — the paper's core training
+            // efficiency mechanism.
+            epochs: 50,
+        }
+    }
+
+    /// Measures one pipeline/phase on a platform.
+    #[must_use]
+    pub fn measure(
+        &self,
+        platform: &dyn Platform,
+        pipeline: &PipelineKind,
+        phase: Phase,
+    ) -> Measurement {
+        platform.execute(&self.ops(pipeline, phase))
+    }
+
+    /// HDFace-vs-DNN comparison row for one platform and phase — one
+    /// bar pair of Fig. 7.
+    #[must_use]
+    pub fn compare(&self, platform: &dyn Platform, phase: Phase) -> EfficiencyRow {
+        let hd = self.measure(platform, &self.hdface_default(), phase);
+        let dnn = self.measure(platform, &self.dnn_default(), phase);
+        EfficiencyRow {
+            dataset: self.name,
+            platform: platform.name().to_owned(),
+            phase,
+            hdface: hd,
+            dnn,
+            speedup: hd.speedup_vs(&dnn),
+            energy_gain: hd.efficiency_vs(&dnn),
+        }
+    }
+}
+
+/// One row of the Fig. 7 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Platform name.
+    pub platform: String,
+    /// Phase measured.
+    pub phase: Phase,
+    /// HDFace measurement.
+    pub hdface: Measurement,
+    /// DNN measurement.
+    pub dnn: Measurement,
+    /// HDFace speedup over DNN (>1 = HDFace faster).
+    pub speedup: f64,
+    /// HDFace energy gain over DNN (>1 = HDFace more efficient).
+    pub energy_gain: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{CpuModel, FpgaModel};
+
+    #[test]
+    fn table1_shapes() {
+        let t = Scenario::table1();
+        assert_eq!(t[0].hog_features(), 6 * 6 * 8);
+        assert_eq!(t[1].image_size, 1024);
+        assert_eq!(t[2].train_size, 522_441);
+    }
+
+    #[test]
+    fn hdface_trains_faster_than_dnn_on_both_platforms() {
+        // The headline of Fig. 7a: who wins at full training.
+        let cpu = CpuModel::cortex_a53();
+        let fpga = FpgaModel::kintex7();
+        for sc in Scenario::table1() {
+            for p in [&cpu as &dyn Platform, &fpga] {
+                let row = sc.compare(p, Phase::Training);
+                assert!(
+                    row.speedup > 1.0,
+                    "{} on {}: training speedup {} ≤ 1",
+                    sc.name,
+                    p.name(),
+                    row.speedup
+                );
+                assert!(
+                    row.energy_gain > 1.0,
+                    "{} on {}: energy gain {} ≤ 1",
+                    sc.name,
+                    p.name(),
+                    row.energy_gain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fpga_energy_gap_exceeds_cpu_energy_gap() {
+        // Fig. 7 shape: 12.1× on FPGA vs 3.0× on CPU for training.
+        let cpu = CpuModel::cortex_a53();
+        let fpga = FpgaModel::kintex7();
+        let mut cpu_gain = 1.0;
+        let mut fpga_gain = 1.0;
+        for sc in Scenario::table1() {
+            cpu_gain *= sc.compare(&cpu, Phase::Training).energy_gain;
+            fpga_gain *= sc.compare(&fpga, Phase::Training).energy_gain;
+        }
+        assert!(
+            fpga_gain > cpu_gain,
+            "fpga {} should exceed cpu {}",
+            fpga_gain.cbrt(),
+            cpu_gain.cbrt()
+        );
+    }
+
+    #[test]
+    fn cached_epoch_gap_is_large() {
+        // With features cached, an HDC epoch is integer work over D
+        // dimensions while the DNN does millions of MACs.
+        let cpu = CpuModel::cortex_a53();
+        let sc = Scenario::table1()[0];
+        let row = sc.compare(&cpu, Phase::TrainingEpoch);
+        assert!(row.speedup > 5.0, "epoch speedup {}", row.speedup);
+    }
+
+    #[test]
+    fn training_advantage_exceeds_inference_advantage() {
+        // Fig. 7b: "HDFace's inference efficiency has a closer margin
+        // to DNN" than training.
+        let fpga = FpgaModel::kintex7();
+        for sc in Scenario::table1() {
+            let train = sc.compare(&fpga, Phase::Training);
+            let infer = sc.compare(&fpga, Phase::Inference);
+            assert!(
+                train.speedup > infer.speedup,
+                "{}: train {} vs infer {}",
+                sc.name,
+                train.speedup,
+                infer.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn svm_pipeline_measures() {
+        let cpu = CpuModel::cortex_a53();
+        let sc = Scenario::table1()[0];
+        let svm = PipelineKind::Svm {
+            features: sc.hog_features(),
+            epochs: 40,
+        };
+        for phase in [Phase::Training, Phase::TrainingEpoch, Phase::Inference] {
+            let m = sc.measure(&cpu, &svm, phase);
+            assert!(m.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn inference_ops_are_per_query() {
+        let sc = Scenario::table1()[0];
+        let hd = sc.hdface_default();
+        let one = sc.ops(&hd, Phase::Inference);
+        // Per-query work must not scale with the training-set size.
+        let big = Scenario {
+            train_size: sc.train_size * 10,
+            ..sc
+        };
+        let one_big = big.ops(&hd, Phase::Inference);
+        assert_eq!(one.total_words(), one_big.total_words());
+    }
+}

@@ -1,0 +1,286 @@
+//! Drawing primitives used by the synthetic dataset generators.
+
+use crate::image::GrayImage;
+
+/// A mutable drawing surface over a [`GrayImage`].
+///
+/// All primitives clip silently at the image borders and clamp
+/// intensities to `[0, 1]`, so generators can scatter shapes without
+/// bounds bookkeeping.
+///
+/// ```
+/// use hdface_imaging::{Canvas, GrayImage};
+///
+/// let mut canvas = Canvas::new(GrayImage::new(16, 16));
+/// canvas.fill_disc(8.0, 8.0, 4.0, 1.0);
+/// let img = canvas.into_image();
+/// assert_eq!(img.get(8, 8), 1.0);
+/// assert_eq!(img.get(0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    image: GrayImage,
+}
+
+impl Canvas {
+    /// Wraps an image for drawing.
+    #[must_use]
+    pub fn new(image: GrayImage) -> Self {
+        Canvas { image }
+    }
+
+    /// Finishes drawing and returns the image.
+    #[must_use]
+    pub fn into_image(self) -> GrayImage {
+        self.image
+    }
+
+    /// Read-only access to the image being drawn.
+    #[must_use]
+    pub fn image(&self) -> &GrayImage {
+        &self.image
+    }
+
+    fn width(&self) -> usize {
+        self.image.width()
+    }
+
+    fn height(&self) -> usize {
+        self.image.height()
+    }
+
+    fn put(&mut self, x: isize, y: isize, value: f32) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width() && (y as usize) < self.height() {
+            self.image.set(x as usize, y as usize, value);
+        }
+    }
+
+    /// Fills the whole surface with one intensity.
+    pub fn fill(&mut self, value: f32) {
+        for y in 0..self.height() {
+            for x in 0..self.width() {
+                self.image.set(x, y, value);
+            }
+        }
+    }
+
+    /// Fills an axis-aligned rectangle (clipped).
+    pub fn fill_rect(&mut self, x: isize, y: isize, w: usize, h: usize, value: f32) {
+        for dy in 0..h as isize {
+            for dx in 0..w as isize {
+                self.put(x + dx, y + dy, value);
+            }
+        }
+    }
+
+    /// Fills a disc of radius `r` centred at `(cx, cy)`.
+    pub fn fill_disc(&mut self, cx: f32, cy: f32, r: f32, value: f32) {
+        self.fill_ellipse(cx, cy, r, r, 0.0, value);
+    }
+
+    /// Fills a rotated ellipse with semi-axes `(rx, ry)` and rotation
+    /// `angle` (radians, counter-clockwise).
+    pub fn fill_ellipse(&mut self, cx: f32, cy: f32, rx: f32, ry: f32, angle: f32, value: f32) {
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        let bound = rx.max(ry).ceil() as isize + 1;
+        let (sin, cos) = angle.sin_cos();
+        let x0 = cx.round() as isize;
+        let y0 = cy.round() as isize;
+        for dy in -bound..=bound {
+            for dx in -bound..=bound {
+                let px = (x0 + dx) as f32 - cx;
+                let py = (y0 + dy) as f32 - cy;
+                // Rotate the sample into the ellipse frame.
+                let ex = px * cos + py * sin;
+                let ey = -px * sin + py * cos;
+                if (ex / rx).powi(2) + (ey / ry).powi(2) <= 1.0 {
+                    self.put(x0 + dx, y0 + dy, value);
+                }
+            }
+        }
+    }
+
+    /// Draws a straight line from `(x0, y0)` to `(x1, y1)` of the
+    /// given thickness.
+    pub fn line(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, thickness: f32, value: f32) {
+        let dx = x1 - x0;
+        let dy = y1 - y0;
+        let len = (dx * dx + dy * dy).sqrt();
+        let steps = (len.ceil() as usize).max(1) * 2;
+        let half = (thickness / 2.0).max(0.5);
+        for i in 0..=steps {
+            let t = i as f32 / steps as f32;
+            let x = x0 + t * dx;
+            let y = y0 + t * dy;
+            self.fill_disc(x, y, half, value);
+        }
+    }
+
+    /// Draws a quadratic Bézier arc (used for mouths / eyebrows) from
+    /// `(x0, y0)` to `(x1, y1)` with control point `(cx, cy)`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Bézier parameter list
+    pub fn quad_arc(
+        &mut self,
+        x0: f32,
+        y0: f32,
+        cx: f32,
+        cy: f32,
+        x1: f32,
+        y1: f32,
+        thickness: f32,
+        value: f32,
+    ) {
+        let steps = 64;
+        let half = (thickness / 2.0).max(0.5);
+        for i in 0..=steps {
+            let t = i as f32 / steps as f32;
+            let mt = 1.0 - t;
+            let x = mt * mt * x0 + 2.0 * mt * t * cx + t * t * x1;
+            let y = mt * mt * y0 + 2.0 * mt * t * cy + t * t * y1;
+            self.fill_disc(x, y, half, value);
+        }
+    }
+
+    /// Fills the surface with a linear intensity gradient between
+    /// `from` and `to` along direction `angle` (radians).
+    pub fn linear_gradient(&mut self, from: f32, to: f32, angle: f32) {
+        let (sin, cos) = angle.sin_cos();
+        let w = self.width() as f32;
+        let h = self.height() as f32;
+        let span = (w * cos.abs() + h * sin.abs()).max(1.0);
+        for y in 0..self.height() {
+            for x in 0..self.width() {
+                let proj = (x as f32 * cos + y as f32 * sin).rem_euclid(span) / span;
+                self.image.set(x, y, from + (to - from) * proj);
+            }
+        }
+    }
+
+    /// Fills the surface with horizontal stripes of the given period.
+    pub fn stripes(&mut self, period: usize, low: f32, high: f32) {
+        let period = period.max(1);
+        for y in 0..self.height() {
+            let v = if (y / period).is_multiple_of(2) { low } else { high };
+            for x in 0..self.width() {
+                self.image.set(x, y, v);
+            }
+        }
+    }
+}
+
+impl From<GrayImage> for Canvas {
+    fn from(image: GrayImage) -> Self {
+        Canvas::new(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank(n: usize) -> Canvas {
+        Canvas::new(GrayImage::new(n, n))
+    }
+
+    #[test]
+    fn fill_rect_clips_at_borders() {
+        let mut c = blank(4);
+        c.fill_rect(-2, -2, 4, 4, 1.0);
+        let img = c.into_image();
+        assert_eq!(img.get(0, 0), 1.0);
+        assert_eq!(img.get(1, 1), 1.0);
+        assert_eq!(img.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn disc_is_round() {
+        let mut c = blank(21);
+        c.fill_disc(10.0, 10.0, 5.0, 1.0);
+        let img = c.into_image();
+        assert_eq!(img.get(10, 10), 1.0);
+        assert_eq!(img.get(10, 5), 1.0); // on the radius
+        assert_eq!(img.get(14, 14), 0.0); // corner of bounding box
+    }
+
+    #[test]
+    fn ellipse_rotation_changes_orientation() {
+        let mut a = blank(31);
+        a.fill_ellipse(15.0, 15.0, 12.0, 3.0, 0.0, 1.0);
+        let ia = a.into_image();
+        // Horizontal ellipse covers (27,15) but not (15,27).
+        assert_eq!(ia.get(26, 15), 1.0);
+        assert_eq!(ia.get(15, 26), 0.0);
+
+        let mut b = blank(31);
+        b.fill_ellipse(15.0, 15.0, 12.0, 3.0, std::f32::consts::FRAC_PI_2, 1.0);
+        let ib = b.into_image();
+        assert_eq!(ib.get(15, 26), 1.0);
+        assert_eq!(ib.get(26, 15), 0.0);
+    }
+
+    #[test]
+    fn degenerate_ellipse_draws_nothing() {
+        let mut c = blank(8);
+        c.fill_ellipse(4.0, 4.0, 0.0, 3.0, 0.0, 1.0);
+        assert_eq!(c.image().mean(), 0.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = blank(16);
+        c.line(1.0, 1.0, 14.0, 14.0, 1.0, 1.0);
+        let img = c.into_image();
+        assert_eq!(img.get(1, 1), 1.0);
+        assert_eq!(img.get(14, 14), 1.0);
+        assert_eq!(img.get(7, 7), 1.0);
+        assert_eq!(img.get(14, 1), 0.0);
+    }
+
+    #[test]
+    fn quad_arc_bends_toward_control_point() {
+        let mut c = blank(32);
+        // Smile: endpoints level, control point below.
+        c.quad_arc(6.0, 10.0, 16.0, 24.0, 26.0, 10.0, 1.5, 1.0);
+        let img = c.into_image();
+        assert_eq!(img.get(6, 10), 1.0);
+        assert_eq!(img.get(26, 10), 1.0);
+        // Midpoint of the curve sits at y = (10 + 2*24 + 10)/4 = 17.
+        assert_eq!(img.get(16, 17), 1.0);
+        assert_eq!(img.get(16, 10), 0.0);
+    }
+
+    #[test]
+    fn gradient_is_monotone_horizontally() {
+        let mut c = blank(16);
+        c.linear_gradient(0.0, 1.0, 0.0);
+        let img = c.into_image();
+        assert!(img.get(15, 8) > img.get(8, 8));
+        assert!(img.get(8, 8) > img.get(1, 8));
+    }
+
+    #[test]
+    fn stripes_alternate() {
+        let mut c = blank(8);
+        c.stripes(2, 0.1, 0.9);
+        let img = c.into_image();
+        assert!((img.get(0, 0) - 0.1).abs() < 1e-6);
+        assert!((img.get(0, 2) - 0.9).abs() < 1e-6);
+        assert!((img.get(0, 4) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fill_covers_everything() {
+        let mut c = blank(5);
+        c.fill(0.6);
+        assert!((c.image().mean() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn canvas_from_image_conversion() {
+        let img = GrayImage::filled(2, 2, 0.5);
+        let c: Canvas = img.clone().into();
+        assert_eq!(c.into_image(), img);
+    }
+}

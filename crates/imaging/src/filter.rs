@@ -1,0 +1,110 @@
+//! Image filters: blur and noise.
+
+use rand::{Rng, RngExt};
+
+use crate::image::GrayImage;
+
+/// Box blur with an odd-sided square kernel (`radius` pixels each
+/// side of the centre). Used to soften synthetic shapes so gradients
+/// resemble natural images rather than step edges.
+///
+/// A radius of 0 returns the image unchanged.
+#[must_use]
+pub fn box_blur(image: &GrayImage, radius: usize) -> GrayImage {
+    if radius == 0 || image.is_empty() {
+        return image.clone();
+    }
+    let r = radius as isize;
+    let norm = ((2 * r + 1) * (2 * r + 1)) as f32;
+    GrayImage::from_fn(image.width(), image.height(), |x, y| {
+        let mut sum = 0.0;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                sum += image.get_clamped(x as isize + dx, y as isize + dy);
+            }
+        }
+        sum / norm
+    })
+}
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma` to every
+/// pixel (clamped back into `[0, 1]`).
+///
+/// Uses the Box–Muller transform so only `rand`'s uniform generator is
+/// required.
+#[must_use]
+pub fn gaussian_noise<R: Rng>(image: &GrayImage, sigma: f32, rng: &mut R) -> GrayImage {
+    if sigma <= 0.0 {
+        return image.clone();
+    }
+    GrayImage::from_fn(image.width(), image.height(), |x, y| {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        image.get(x, y) + sigma * z
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_hdc_test_rng::rng;
+
+    /// Local helper module so the tests have a seeded RNG without
+    /// depending on hdface-hdc.
+    mod hdface_hdc_test_rng {
+        use rand::{rngs::StdRng, SeedableRng};
+        pub fn rng(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = GrayImage::filled(8, 8, 0.4);
+        let b = box_blur(&img, 2);
+        for &p in b.pixels() {
+            assert!((p - 0.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn blur_radius_zero_is_identity() {
+        let img = GrayImage::from_fn(4, 4, |x, _| x as f32 / 3.0);
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn blur_smooths_step_edge() {
+        let img = GrayImage::from_fn(10, 10, |x, _| if x < 5 { 0.0 } else { 1.0 });
+        let b = box_blur(&img, 1);
+        let edge = b.get(5, 5);
+        assert!(edge > 0.0 && edge < 1.0, "edge pixel {edge}");
+        // Mean intensity is conserved away from asymmetric borders.
+        assert!((b.mean() - img.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_changes_pixels_but_keeps_mean() {
+        let img = GrayImage::filled(40, 40, 0.5);
+        let mut r = rng(1);
+        let n = gaussian_noise(&img, 0.1, &mut r);
+        assert_ne!(n, img);
+        assert!((n.mean() - 0.5).abs() < 0.02);
+        // Empirical standard deviation close to requested sigma.
+        let var: f32 = n
+            .pixels()
+            .iter()
+            .map(|&p| (p - n.mean()).powi(2))
+            .sum::<f32>()
+            / n.pixels().len() as f32;
+        assert!((var.sqrt() - 0.1).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_noise_is_identity() {
+        let img = GrayImage::filled(4, 4, 0.3);
+        let mut r = rng(2);
+        assert_eq!(gaussian_noise(&img, 0.0, &mut r), img);
+    }
+}

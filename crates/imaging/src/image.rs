@@ -1,0 +1,482 @@
+//! The grayscale image type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by image construction and geometry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The pixel buffer length does not equal `width * height`.
+    BufferSizeMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Actual buffer length supplied.
+        actual: usize,
+    },
+    /// A crop rectangle extends outside the image bounds.
+    CropOutOfBounds,
+    /// A zero width or height was supplied where a non-empty image is
+    /// required.
+    EmptyImage,
+    /// PNM parsing failed.
+    Parse(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer holds {actual} values, expected {expected}")
+            }
+            ImageError::CropOutOfBounds => write!(f, "crop rectangle exceeds image bounds"),
+            ImageError::EmptyImage => write!(f, "image dimensions must be non-zero"),
+            ImageError::Parse(msg) => write!(f, "invalid PNM data: {msg}"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// A grayscale image with `f32` pixels in `[0, 1]`, row-major.
+///
+/// `0.0` is black and `1.0` is white, matching the normalization the
+/// paper applies before hyperdimensional encoding ("we first normalize
+/// the image feature vector so that each value is between 0 and 1",
+/// §4.3).
+#[derive(Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image filled with a constant intensity (clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn filled(width: usize, height: usize, value: f32) -> Self {
+        GrayImage {
+            width,
+            height,
+            pixels: vec![value.clamp(0.0, 1.0); width * height],
+        }
+    }
+
+    /// Creates a black image.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 0.0)
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel; values
+    /// are clamped to `[0, 1]`.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(width: usize, height: usize, mut f: F) -> Self {
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y).clamp(0.0, 1.0));
+            }
+        }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BufferSizeMismatch`] when the buffer
+    /// length is not `width * height`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f32>) -> Result<Self, ImageError> {
+        if pixels.len() != width * height {
+            return Err(ImageError::BufferSizeMismatch {
+                expected: width * height,
+                actual: pixels.len(),
+            });
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            pixels: pixels.into_iter().map(|p| p.clamp(0.0, 1.0)).collect(),
+        })
+    }
+
+    /// Converts an 8-bit buffer (0–255) to the float representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::BufferSizeMismatch`] when the buffer
+    /// length is not `width * height`.
+    pub fn from_u8(width: usize, height: usize, bytes: &[u8]) -> Result<Self, ImageError> {
+        if bytes.len() != width * height {
+            return Err(ImageError::BufferSizeMismatch {
+                expected: width * height,
+                actual: bytes.len(),
+            });
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            pixels: bytes.iter().map(|&b| f32::from(b) / 255.0).collect(),
+        })
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `true` when either dimension is zero.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Reads a pixel with edge clamping (out-of-range coordinates are
+    /// clamped to the border) — the boundary policy of the HOG
+    /// gradient operator.
+    #[must_use]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[cy * self.width + cx]
+    }
+
+    /// Writes the pixel at `(x, y)` (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
+    }
+
+    /// Read-only view of the row-major pixel buffer.
+    #[inline]
+    #[must_use]
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Converts to an 8-bit buffer (`round(p * 255)`).
+    #[must_use]
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.pixels
+            .iter()
+            .map(|&p| (p * 255.0).round().clamp(0.0, 255.0) as u8)
+            .collect()
+    }
+
+    /// Mean intensity of the image (`0.0` for an empty image).
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+    }
+
+    /// Minimum and maximum intensity, or `None` for an empty image.
+    #[must_use]
+    pub fn min_max(&self) -> Option<(f32, f32)> {
+        if self.pixels.is_empty() {
+            return None;
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &p in &self.pixels {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Some((lo, hi))
+    }
+
+    /// Linearly rescales intensities so the darkest pixel maps to 0
+    /// and the brightest to 1; a constant image is left unchanged.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        match self.min_max() {
+            Some((lo, hi)) if hi > lo => {
+                let scale = 1.0 / (hi - lo);
+                GrayImage {
+                    width: self.width,
+                    height: self.height,
+                    pixels: self.pixels.iter().map(|&p| (p - lo) * scale).collect(),
+                }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Extracts the rectangle at `(x, y)` of size `w × h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::CropOutOfBounds`] when the rectangle does
+    /// not fit inside the image.
+    pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Result<Self, ImageError> {
+        if x + w > self.width || y + h > self.height {
+            return Err(ImageError::CropOutOfBounds);
+        }
+        let mut pixels = Vec::with_capacity(w * h);
+        for row in y..y + h {
+            let start = row * self.width + x;
+            pixels.extend_from_slice(&self.pixels[start..start + w]);
+        }
+        Ok(GrayImage {
+            width: w,
+            height: h,
+            pixels,
+        })
+    }
+
+    /// Bilinear resize to `new_w × new_h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EmptyImage`] when either target dimension
+    /// is zero or the source is empty.
+    pub fn resized(&self, new_w: usize, new_h: usize) -> Result<Self, ImageError> {
+        if new_w == 0 || new_h == 0 || self.is_empty() {
+            return Err(ImageError::EmptyImage);
+        }
+        let sx = self.width as f32 / new_w as f32;
+        let sy = self.height as f32 / new_h as f32;
+        Ok(GrayImage::from_fn(new_w, new_h, |x, y| {
+            let fx = (x as f32 + 0.5) * sx - 0.5;
+            let fy = (y as f32 + 0.5) * sy - 0.5;
+            let x0 = fx.floor();
+            let y0 = fy.floor();
+            let tx = fx - x0;
+            let ty = fy - y0;
+            let p00 = self.get_clamped(x0 as isize, y0 as isize);
+            let p10 = self.get_clamped(x0 as isize + 1, y0 as isize);
+            let p01 = self.get_clamped(x0 as isize, y0 as isize + 1);
+            let p11 = self.get_clamped(x0 as isize + 1, y0 as isize + 1);
+            p00 * (1.0 - tx) * (1.0 - ty)
+                + p10 * tx * (1.0 - ty)
+                + p01 * (1.0 - tx) * ty
+                + p11 * tx * ty
+        }))
+    }
+
+    /// Flattens the image into a feature vector of `f64` values
+    /// (row-major), the input format of the float baselines.
+    #[must_use]
+    pub fn to_feature_vec(&self) -> Vec<f64> {
+        self.pixels.iter().map(|&p| f64::from(p)).collect()
+    }
+
+    /// Horizontal mirror (left↔right) — the canonical face-data
+    /// augmentation, since faces are left-right symmetric.
+    #[must_use]
+    pub fn flipped_horizontal(&self) -> Self {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            self.get(self.width - 1 - x, y)
+        })
+    }
+
+    /// Vertical mirror (top↔bottom).
+    #[must_use]
+    pub fn flipped_vertical(&self) -> Self {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            self.get(x, self.height - 1 - y)
+        })
+    }
+
+    /// Brightness/contrast adjustment: `p ↦ gain·(p − 0.5) + 0.5 +
+    /// bias`, clamped — photometric augmentation.
+    #[must_use]
+    pub fn adjusted(&self, gain: f32, bias: f32) -> Self {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            gain * (self.get(x, y) - 0.5) + 0.5 + bias
+        })
+    }
+}
+
+impl fmt::Debug for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GrayImage({}x{}, mean={:.3})",
+            self.width,
+            self.height,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut img = GrayImage::filled(3, 2, 0.5);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.get(2, 1), 0.5);
+        img.set(0, 0, 2.0); // clamps
+        assert_eq!(img.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (x + 2 * y) as f32 / 3.0);
+        assert_eq!(img.pixels(), &[0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn from_pixels_validates_length() {
+        assert!(GrayImage::from_pixels(2, 2, vec![0.0; 3]).is_err());
+        assert!(GrayImage::from_pixels(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn u8_roundtrip() {
+        let img = GrayImage::from_u8(2, 1, &[0, 255]).unwrap();
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 0), 1.0);
+        assert_eq!(img.to_u8(), vec![0, 255]);
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let img = GrayImage::from_fn(2, 2, |x, _| x as f32);
+        assert_eq!(img.get_clamped(-5, 0), 0.0);
+        assert_eq!(img.get_clamped(7, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = GrayImage::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn mean_and_min_max() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.25, 0.75]).unwrap();
+        assert_eq!(img.mean(), 0.5);
+        assert_eq!(img.min_max(), Some((0.25, 0.75)));
+        assert!(GrayImage::new(0, 0).min_max().is_none());
+        assert_eq!(GrayImage::new(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    fn normalized_stretches_range() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.4, 0.6]).unwrap();
+        let n = img.normalized();
+        assert_eq!(n.min_max(), Some((0.0, 1.0)));
+        // Constant image unchanged.
+        let c = GrayImage::filled(2, 2, 0.3).normalized();
+        assert_eq!(c.get(0, 0), 0.3);
+    }
+
+    #[test]
+    fn crop_extracts_subrect() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x == 2 && y == 1) as i32 as f32);
+        let c = img.crop(1, 1, 2, 2).unwrap();
+        assert_eq!(c.get(1, 0), 1.0);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert!(img.crop(3, 3, 2, 2).is_err());
+    }
+
+    #[test]
+    fn resize_preserves_constant_images() {
+        let img = GrayImage::filled(8, 8, 0.7);
+        let r = img.resized(3, 5).unwrap();
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 5);
+        for &p in r.pixels() {
+            assert!((p - 0.7).abs() < 1e-6);
+        }
+        assert!(img.resized(0, 5).is_err());
+    }
+
+    #[test]
+    fn resize_identity_is_near_exact() {
+        let img = GrayImage::from_fn(6, 6, |x, y| ((x * y) % 5) as f32 / 4.0);
+        let r = img.resized(6, 6).unwrap();
+        for (a, b) in img.pixels().iter().zip(r.pixels()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn feature_vec_matches_pixels() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.5, 1.0]).unwrap();
+        assert_eq!(img.to_feature_vec(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn debug_output() {
+        let img = GrayImage::filled(2, 2, 0.5);
+        assert!(format!("{img:?}").contains("2x2"));
+    }
+
+    #[test]
+    fn flips_mirror_correctly() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x + 3 * y) as f32 / 5.0);
+        let h = img.flipped_horizontal();
+        assert_eq!(h.get(0, 0), img.get(2, 0));
+        assert_eq!(h.get(2, 1), img.get(0, 1));
+        // Double flip is identity.
+        assert_eq!(h.flipped_horizontal(), img);
+        let v = img.flipped_vertical();
+        assert_eq!(v.get(0, 0), img.get(0, 1));
+        assert_eq!(v.flipped_vertical(), img);
+    }
+
+    #[test]
+    fn adjustment_scales_and_clamps() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.25, 0.75]).unwrap();
+        let a = img.adjusted(2.0, 0.0);
+        assert_eq!(a.get(0, 0), 0.0); // 2·(−0.25)+0.5 = 0.0
+        assert_eq!(a.get(1, 0), 1.0);
+        let b = img.adjusted(1.0, 0.5);
+        assert_eq!(b.get(1, 0), 1.0); // clamped
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ImageError::BufferSizeMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(ImageError::CropOutOfBounds.to_string().contains("crop"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Integral images (summed-area tables) — the substrate of HAAR-like
+//! feature extraction (§2 of the paper lists HAAR among the standard
+//! face-detection feature families).
+
+use crate::image::GrayImage;
+
+/// A summed-area table: `sum(x, y)` is the sum of all pixels in the
+/// rectangle `[0, x) × [0, y)`, so any axis-aligned box sum costs
+/// four lookups.
+///
+/// ```
+/// use hdface_imaging::{GrayImage, IntegralImage};
+///
+/// let img = GrayImage::filled(4, 4, 0.5);
+/// let ii = IntegralImage::new(&img);
+/// assert!((ii.box_sum(0, 0, 4, 4) - 8.0).abs() < 1e-6);
+/// assert!((ii.box_sum(1, 1, 2, 2) - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// (width+1) × (height+1) table, row-major, `f64` to avoid
+    /// cancellation on large images.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the table in one pass.
+    #[must_use]
+    pub fn new(image: &GrayImage) -> Self {
+        let w = image.width();
+        let h = image.height();
+        let stride = w + 1;
+        let mut table = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += f64::from(image.get(x, y));
+                table[(y + 1) * stride + (x + 1)] = table[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Source image width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Prefix sum over `[0, x) × [0, y)` (`x ≤ width`, `y ≤ height`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the corner lies outside the table.
+    #[must_use]
+    pub fn prefix(&self, x: usize, y: usize) -> f64 {
+        assert!(
+            x <= self.width && y <= self.height,
+            "prefix corner ({x},{y}) outside {}x{}",
+            self.width,
+            self.height
+        );
+        self.table[y * (self.width + 1) + x]
+    }
+
+    /// Sum of the `w × h` box with top-left corner `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box exceeds the image bounds.
+    #[must_use]
+    pub fn box_sum(&self, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "box ({x},{y},{w},{h}) outside {}x{}",
+            self.width,
+            self.height
+        );
+        self.prefix(x + w, y + h) + self.prefix(x, y)
+            - self.prefix(x + w, y)
+            - self.prefix(x, y + h)
+    }
+
+    /// Mean intensity of a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the box exceeds the image bounds or is empty.
+    #[must_use]
+    pub fn box_mean(&self, x: usize, y: usize, w: usize, h: usize) -> f64 {
+        assert!(w > 0 && h > 0, "box must be non-empty");
+        self.box_sum(x, y, w, h) / (w * h) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_summation() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 3 + y * 5) % 11) as f32 / 10.0);
+        let ii = IntegralImage::new(&img);
+        for (x, y, w, h) in [(0, 0, 7, 5), (1, 1, 3, 2), (4, 0, 3, 5), (6, 4, 1, 1)] {
+            let naive: f64 = (y..y + h)
+                .flat_map(|yy| (x..x + w).map(move |xx| (xx, yy)))
+                .map(|(xx, yy)| f64::from(img.get(xx, yy)))
+                .sum();
+            assert!(
+                (ii.box_sum(x, y, w, h) - naive).abs() < 1e-6,
+                "box ({x},{y},{w},{h})"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_of_constant_image() {
+        let img = GrayImage::filled(6, 6, 0.25);
+        let ii = IntegralImage::new(&img);
+        assert!((ii.box_mean(2, 3, 3, 2) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_image_has_zero_prefix() {
+        let ii = IntegralImage::new(&GrayImage::new(0, 0));
+        assert_eq!(ii.prefix(0, 0), 0.0);
+        assert_eq!(ii.width(), 0);
+        assert_eq!(ii.height(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_box_panics() {
+        let ii = IntegralImage::new(&GrayImage::new(4, 4));
+        let _ = ii.box_sum(2, 2, 3, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hdface-imaging — grayscale image substrate
+//!
+//! Minimal image infrastructure used by the HDFace reproduction:
+//! a float grayscale [`GrayImage`] (values in `[0, 1]`), drawing
+//! primitives for the synthetic dataset generators, Gaussian blur and
+//! noise, bilinear resizing, sliding-window iteration for the
+//! detection experiments, and PGM/PPM serialization for the visual
+//! artifacts of Fig. 6.
+//!
+//! ```
+//! use hdface_imaging::GrayImage;
+//!
+//! let img = GrayImage::from_fn(4, 4, |x, y| if x == y { 1.0 } else { 0.0 });
+//! assert_eq!(img.get(2, 2), 1.0);
+//! assert_eq!(img.mean(), 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod draw;
+mod filter;
+mod image;
+mod integral;
+mod pnm;
+mod pyramid;
+mod window;
+
+pub use draw::Canvas;
+pub use filter::{box_blur, gaussian_noise};
+pub use image::{GrayImage, ImageError};
+pub use integral::IntegralImage;
+pub use pnm::{read_pgm, write_pgm, write_ppm_overlay, Rgb};
+pub use pyramid::{ImagePyramid, PyramidLevel};
+pub use window::{SlidingWindows, Window};

@@ -1,0 +1,214 @@
+//! PGM / PPM serialization for visual experiment artifacts.
+//!
+//! Binary PGM (P5) carries grayscale images; PPM (P6) is used by the
+//! Fig. 6 reproduction to paint detection windows in color on top of
+//! a grayscale base image.
+
+use std::io::{BufRead, Write};
+
+use crate::image::{GrayImage, ImageError};
+use crate::window::Window;
+
+/// An 8-bit RGB color for overlay rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rgb(
+    /// Red channel.
+    pub u8,
+    /// Green channel.
+    pub u8,
+    /// Blue channel.
+    pub u8,
+);
+
+impl Rgb {
+    /// The translucent-looking blue the paper uses to mark detected
+    /// face windows in Fig. 6.
+    pub const DETECTION_BLUE: Rgb = Rgb(60, 90, 230);
+    /// Red marker for mispredicted windows.
+    pub const ERROR_RED: Rgb = Rgb(230, 60, 60);
+}
+
+/// Writes a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_pgm<W: Write>(image: &GrayImage, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "P5")?;
+    writeln!(w, "{} {}", image.width(), image.height())?;
+    writeln!(w, "255")?;
+    w.write_all(&image.to_u8())
+}
+
+/// Reads a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Parse`] for malformed headers or truncated
+/// pixel data; I/O errors are folded into the parse error.
+pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageError> {
+    let mut header: Vec<String> = Vec::new();
+    let mut line = String::new();
+    // Collect 3 whitespace-separated header tokens groups: magic,
+    // dimensions, maxval (comments skipped).
+    while header.len() < 4 {
+        line.clear();
+        let n = r
+            .read_line(&mut line)
+            .map_err(|e| ImageError::Parse(e.to_string()))?;
+        if n == 0 {
+            return Err(ImageError::Parse("unexpected end of header".into()));
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        header.extend(trimmed.split_whitespace().map(str::to_owned));
+    }
+    if header[0] != "P5" {
+        return Err(ImageError::Parse(format!("unsupported magic {}", header[0])));
+    }
+    let width: usize = header[1]
+        .parse()
+        .map_err(|_| ImageError::Parse("bad width".into()))?;
+    let height: usize = header[2]
+        .parse()
+        .map_err(|_| ImageError::Parse("bad height".into()))?;
+    let maxval: u32 = header[3]
+        .parse()
+        .map_err(|_| ImageError::Parse("bad maxval".into()))?;
+    if maxval != 255 {
+        return Err(ImageError::Parse(format!("unsupported maxval {maxval}")));
+    }
+    let mut bytes = vec![0u8; width * height];
+    r.read_exact(&mut bytes)
+        .map_err(|e| ImageError::Parse(format!("truncated pixel data: {e}")))?;
+    GrayImage::from_u8(width, height, &bytes)
+}
+
+/// Writes a binary PPM (P6) rendering of `image` with each window in
+/// `marked` tinted by its paired color (alpha-blended at 45%) — the
+/// Fig. 6 detection-map artifact.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_ppm_overlay<W: Write>(
+    image: &GrayImage,
+    marked: &[(Window, Rgb)],
+    mut w: W,
+) -> std::io::Result<()> {
+    writeln!(w, "P6")?;
+    writeln!(w, "{} {}", image.width(), image.height())?;
+    writeln!(w, "255")?;
+    const ALPHA: f32 = 0.45;
+    let mut row = Vec::with_capacity(image.width() * 3);
+    for y in 0..image.height() {
+        row.clear();
+        for x in 0..image.width() {
+            let g = image.get(x, y);
+            let base = (g * 255.0).round().clamp(0.0, 255.0);
+            // Blend every overlay covering this pixel, in order.
+            let (mut rr, mut gg, mut bb) = (base, base, base);
+            for (win, color) in marked {
+                if win.contains(x, y) {
+                    rr = rr * (1.0 - ALPHA) + f32::from(color.0) * ALPHA;
+                    gg = gg * (1.0 - ALPHA) + f32::from(color.1) * ALPHA;
+                    bb = bb * (1.0 - ALPHA) + f32::from(color.2) * ALPHA;
+                }
+            }
+            row.push(rr.round() as u8);
+            row.push(gg.round() as u8);
+            row.push(bb.round() as u8);
+        }
+        w.write_all(&row)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| (x as f32 + y as f32) / 6.0);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(Cursor::new(buf)).unwrap();
+        assert_eq!(back.width(), 5);
+        assert_eq!(back.height(), 3);
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pgm_rejects_wrong_magic() {
+        let data = b"P2\n2 2\n255\n0 0 0 0".to_vec();
+        assert!(matches!(
+            read_pgm(Cursor::new(data)),
+            Err(ImageError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn pgm_rejects_truncated_pixels() {
+        let data = b"P5\n4 4\n255\nab".to_vec();
+        assert!(matches!(
+            read_pgm(Cursor::new(data)),
+            Err(ImageError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn pgm_skips_comments() {
+        let mut data = b"P5\n# a comment\n2 1\n255\n".to_vec();
+        data.extend_from_slice(&[0u8, 255u8]);
+        let img = read_pgm(Cursor::new(data)).unwrap();
+        assert_eq!(img.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn overlay_tints_window_pixels() {
+        let img = GrayImage::filled(4, 4, 0.0);
+        let win = Window {
+            x: 0,
+            y: 0,
+            width: 2,
+            height: 2,
+        };
+        let mut buf = Vec::new();
+        write_ppm_overlay(&img, &[(win, Rgb::DETECTION_BLUE)], &mut buf).unwrap();
+        // Header "P6\n4 4\n255\n" = 11 bytes, then RGB triplets.
+        let body = &buf[11..];
+        assert_eq!(body.len(), 4 * 4 * 3);
+        // Pixel (0,0) tinted blue: blue channel > red channel.
+        assert!(body[2] > body[0]);
+        // Pixel (3,3) untouched black.
+        let last = &body[(3 * 4 + 3) * 3..];
+        assert_eq!(last, &[0, 0, 0]);
+    }
+
+    #[test]
+    fn overlay_blends_multiple_windows() {
+        let img = GrayImage::filled(2, 1, 0.5);
+        let w1 = Window {
+            x: 0,
+            y: 0,
+            width: 1,
+            height: 1,
+        };
+        let mut buf = Vec::new();
+        write_ppm_overlay(
+            &img,
+            &[(w1, Rgb::ERROR_RED), (w1, Rgb::ERROR_RED)],
+            &mut buf,
+        )
+        .unwrap();
+        let body = &buf[11..];
+        // Double-blended red is redder than single blend of the other pixel.
+        assert!(body[0] > body[3]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Image pyramids for multi-scale detection.
+//!
+//! A fixed-size classification window detects faces of one apparent
+//! size; scanning a geometric pyramid of downscaled copies finds
+//! faces at every size. Coordinates found on a pyramid level map back
+//! to the original image through the level's scale factor.
+
+use crate::image::{GrayImage, ImageError};
+use crate::window::Window;
+
+/// One level of an [`ImagePyramid`].
+#[derive(Debug, Clone)]
+pub struct PyramidLevel {
+    /// The downscaled image.
+    pub image: GrayImage,
+    /// Scale factor relative to the original (`1.0` = full size;
+    /// level images have `original_dim × scale` pixels).
+    pub scale: f64,
+}
+
+impl PyramidLevel {
+    /// Maps a window found on this level back into original-image
+    /// coordinates.
+    #[must_use]
+    pub fn to_original(&self, w: Window) -> Window {
+        let inv = 1.0 / self.scale;
+        Window {
+            x: (w.x as f64 * inv).round() as usize,
+            y: (w.y as f64 * inv).round() as usize,
+            width: (w.width as f64 * inv).round() as usize,
+            height: (w.height as f64 * inv).round() as usize,
+        }
+    }
+}
+
+/// A geometric image pyramid.
+///
+/// ```
+/// use hdface_imaging::{GrayImage, ImagePyramid};
+///
+/// let img = GrayImage::new(64, 64);
+/// let pyr = ImagePyramid::new(&img, 1.5, 16).unwrap();
+/// // 64 → 42 → 28 → 18 (then 12 < 16 stops).
+/// assert_eq!(pyr.levels().len(), 4);
+/// assert_eq!(pyr.levels()[0].scale, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImagePyramid {
+    levels: Vec<PyramidLevel>,
+}
+
+impl ImagePyramid {
+    /// Builds a pyramid by repeatedly dividing dimensions by
+    /// `step` (> 1) until either side would fall below `min_side`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EmptyImage`] when the source is empty or
+    /// `step <= 1` / `min_side == 0` make the pyramid ill-defined.
+    pub fn new(image: &GrayImage, step: f64, min_side: usize) -> Result<Self, ImageError> {
+        if image.is_empty() || step <= 1.0 || !step.is_finite() || min_side == 0 {
+            return Err(ImageError::EmptyImage);
+        }
+        let mut levels = vec![PyramidLevel {
+            image: image.clone(),
+            scale: 1.0,
+        }];
+        let mut scale = 1.0;
+        loop {
+            scale /= step;
+            let w = (image.width() as f64 * scale).round() as usize;
+            let h = (image.height() as f64 * scale).round() as usize;
+            if w < min_side || h < min_side {
+                break;
+            }
+            levels.push(PyramidLevel {
+                image: image.resized(w, h)?,
+                scale,
+            });
+        }
+        Ok(ImagePyramid { levels })
+    }
+
+    /// The pyramid levels, largest (scale 1.0) first.
+    #[must_use]
+    pub fn levels(&self) -> &[PyramidLevel] {
+        &self.levels
+    }
+
+    /// Iterator over the levels.
+    pub fn iter(&self) -> std::slice::Iter<'_, PyramidLevel> {
+        self.levels.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ImagePyramid {
+    type Item = &'a PyramidLevel;
+    type IntoIter = std::slice::Iter<'a, PyramidLevel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.levels.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_geometric_levels() {
+        let img = GrayImage::new(100, 80);
+        let pyr = ImagePyramid::new(&img, 2.0, 20).unwrap();
+        let sizes: Vec<(usize, usize)> = pyr
+            .iter()
+            .map(|l| (l.image.width(), l.image.height()))
+            .collect();
+        assert_eq!(sizes, vec![(100, 80), (50, 40), (25, 20)]);
+        assert!((pyr.levels()[1].scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let img = GrayImage::new(10, 10);
+        assert!(ImagePyramid::new(&img, 1.0, 4).is_err());
+        assert!(ImagePyramid::new(&img, 0.5, 4).is_err());
+        assert!(ImagePyramid::new(&img, 2.0, 0).is_err());
+        assert!(ImagePyramid::new(&GrayImage::new(0, 0), 2.0, 4).is_err());
+    }
+
+    #[test]
+    fn single_level_when_already_at_min() {
+        let img = GrayImage::new(16, 16);
+        let pyr = ImagePyramid::new(&img, 2.0, 16).unwrap();
+        assert_eq!(pyr.levels().len(), 1);
+    }
+
+    #[test]
+    fn windows_map_back_to_original_coordinates() {
+        let img = GrayImage::new(64, 64);
+        let pyr = ImagePyramid::new(&img, 2.0, 16).unwrap();
+        let level = &pyr.levels()[1]; // scale 0.5
+        let w = Window {
+            x: 8,
+            y: 4,
+            width: 16,
+            height: 16,
+        };
+        let orig = level.to_original(w);
+        assert_eq!(
+            (orig.x, orig.y, orig.width, orig.height),
+            (16, 8, 32, 32)
+        );
+    }
+
+    #[test]
+    fn into_iterator_visits_all_levels() {
+        let img = GrayImage::new(64, 64);
+        let pyr = ImagePyramid::new(&img, 1.5, 16).unwrap();
+        assert_eq!((&pyr).into_iter().count(), pyr.levels().len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Sliding-window iteration for detection experiments (Fig. 6).
+
+use crate::image::GrayImage;
+
+/// One placement of a sliding window inside a larger image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Left edge (pixels).
+    pub x: usize,
+    /// Top edge (pixels).
+    pub y: usize,
+    /// Window width (pixels).
+    pub width: usize,
+    /// Window height (pixels).
+    pub height: usize,
+}
+
+impl Window {
+    /// `true` if the pixel `(px, py)` lies inside the window.
+    #[must_use]
+    pub fn contains(&self, px: usize, py: usize) -> bool {
+        px >= self.x && px < self.x + self.width && py >= self.y && py < self.y + self.height
+    }
+}
+
+/// Iterator over overlapping window placements, scanning left-to-right
+/// then top-to-bottom with a fixed stride — the "window moves across
+/// an image in an overlapping manner" protocol of Fig. 6a.
+///
+/// ```
+/// use hdface_imaging::{GrayImage, SlidingWindows};
+///
+/// let img = GrayImage::new(10, 10);
+/// let wins: Vec<_> = SlidingWindows::new(&img, 4, 4, 3).collect();
+/// // x ∈ {0, 3, 6}, y ∈ {0, 3, 6}
+/// assert_eq!(wins.len(), 9);
+/// assert_eq!(wins[0].x, 0);
+/// assert_eq!(wins[8].x, 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<'a> {
+    image: &'a GrayImage,
+    win_w: usize,
+    win_h: usize,
+    stride: usize,
+    next_x: usize,
+    next_y: usize,
+    done: bool,
+}
+
+impl<'a> SlidingWindows<'a> {
+    /// Creates the iterator; `stride` is clamped to at least 1.
+    ///
+    /// Yields nothing when the window does not fit in the image.
+    #[must_use]
+    pub fn new(image: &'a GrayImage, win_w: usize, win_h: usize, stride: usize) -> Self {
+        let done =
+            win_w == 0 || win_h == 0 || win_w > image.width() || win_h > image.height();
+        SlidingWindows {
+            image,
+            win_w,
+            win_h,
+            stride: stride.max(1),
+            next_x: 0,
+            next_y: 0,
+            done,
+        }
+    }
+
+    /// Extracts the pixels of a window as an owned image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window was not produced by this iterator (out of
+    /// bounds).
+    #[must_use]
+    pub fn extract(&self, w: Window) -> GrayImage {
+        self.image
+            .crop(w.x, w.y, w.width, w.height)
+            .expect("window within bounds")
+    }
+}
+
+impl Iterator for SlidingWindows<'_> {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        if self.done {
+            return None;
+        }
+        let w = Window {
+            x: self.next_x,
+            y: self.next_y,
+            width: self.win_w,
+            height: self.win_h,
+        };
+        // Advance in raster order.
+        if self.next_x + self.stride + self.win_w <= self.image.width() {
+            self.next_x += self.stride;
+        } else {
+            self.next_x = 0;
+            if self.next_y + self.stride + self.win_h <= self.image.height() {
+                self.next_y += self.stride;
+            } else {
+                self.done = true;
+            }
+        }
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_expected_grid() {
+        let img = GrayImage::new(8, 8);
+        let wins: Vec<_> = SlidingWindows::new(&img, 4, 4, 2).collect();
+        // x, y ∈ {0, 2, 4} → 9 windows.
+        assert_eq!(wins.len(), 9);
+        assert!(wins.contains(&Window {
+            x: 4,
+            y: 4,
+            width: 4,
+            height: 4
+        }));
+    }
+
+    #[test]
+    fn oversized_window_yields_nothing() {
+        let img = GrayImage::new(4, 4);
+        assert_eq!(SlidingWindows::new(&img, 5, 5, 1).count(), 0);
+        assert_eq!(SlidingWindows::new(&img, 0, 4, 1).count(), 0);
+    }
+
+    #[test]
+    fn exact_fit_single_window() {
+        let img = GrayImage::new(4, 4);
+        let wins: Vec<_> = SlidingWindows::new(&img, 4, 4, 1).collect();
+        assert_eq!(wins.len(), 1);
+        assert_eq!(wins[0].x, 0);
+    }
+
+    #[test]
+    fn stride_zero_treated_as_one() {
+        let img = GrayImage::new(5, 4);
+        let count = SlidingWindows::new(&img, 4, 4, 0).count();
+        assert_eq!(count, 2); // x ∈ {0, 1}
+    }
+
+    #[test]
+    fn extract_pulls_correct_pixels() {
+        let img = GrayImage::from_fn(6, 6, |x, y| ((x + y) % 2) as f32);
+        let it = SlidingWindows::new(&img, 2, 2, 2);
+        let w = Window {
+            x: 2,
+            y: 2,
+            width: 2,
+            height: 2,
+        };
+        let sub = it.extract(w);
+        assert_eq!(sub.get(0, 0), img.get(2, 2));
+        assert_eq!(sub.get(1, 1), img.get(3, 3));
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let w = Window {
+            x: 2,
+            y: 2,
+            width: 3,
+            height: 3,
+        };
+        assert!(w.contains(2, 2));
+        assert!(w.contains(4, 4));
+        assert!(!w.contains(5, 2));
+        assert!(!w.contains(1, 2));
+    }
+
+    #[test]
+    fn windows_stay_inside_image() {
+        let img = GrayImage::new(13, 9);
+        for w in SlidingWindows::new(&img, 4, 3, 3) {
+            assert!(w.x + w.width <= 13);
+            assert!(w.y + w.height <= 9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the image substrate.
+
+use hdface_imaging::{box_blur, read_pgm, write_pgm, GrayImage, SlidingWindows};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (1usize..=24, 1usize..=24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(0.0f32..=1.0, w * h)
+            .prop_map(move |px| GrayImage::from_pixels(w, h, px).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pixels_stay_clamped(img in arb_image()) {
+        for &p in img.pixels() {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent(img in arb_image()) {
+        let once = img.normalized();
+        let twice = once.normalized();
+        for (a, b) in once.pixels().iter().zip(twice.pixels()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_produces_requested_dims(img in arb_image(), w in 1usize..=32, h in 1usize..=32) {
+        let r = img.resized(w, h).unwrap();
+        prop_assert_eq!(r.width(), w);
+        prop_assert_eq!(r.height(), h);
+    }
+
+    #[test]
+    fn resize_preserves_value_range(img in arb_image()) {
+        let r = img.resized(5, 7).unwrap();
+        let (lo0, hi0) = img.min_max().unwrap();
+        for &p in r.pixels() {
+            prop_assert!(p >= lo0 - 1e-5 && p <= hi0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn crop_matches_source(img in arb_image()) {
+        let w = img.width().div_ceil(2);
+        let h = img.height().div_ceil(2);
+        let c = img.crop(0, 0, w, h).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(c.get(x, y), img.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn pgm_roundtrip_within_quantization(img in arb_image()) {
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.width(), img.width());
+        for (a, b) in img.pixels().iter().zip(back.pixels()) {
+            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn blur_stays_in_range_and_commutes_with_constant_shift(img in arb_image(), r in 0usize..=2) {
+        let b = box_blur(&img, r);
+        prop_assert_eq!(b.width(), img.width());
+        for &p in b.pixels() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sliding_windows_tile_within_bounds(img in arb_image(), stride in 1usize..=8) {
+        let win = img.width().min(img.height()).min(8);
+        prop_assume!(win >= 1);
+        let mut count = 0;
+        for w in SlidingWindows::new(&img, win, win, stride) {
+            prop_assert!(w.x + w.width <= img.width());
+            prop_assert!(w.y + w.height <= img.height());
+            count += 1;
+        }
+        // At least the origin placement exists whenever the window fits.
+        prop_assert!(count >= 1);
+    }
+}

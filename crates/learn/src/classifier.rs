@@ -1,0 +1,568 @@
+//! The adaptive hyperdimensional classifier (§5).
+
+use std::fmt;
+
+use hdface_hdc::{Accumulator, BitVector, HdcRng};
+use rand::Rng;
+
+use crate::error::LearnError;
+
+/// Training schedule for [`HdClassifier::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set. HDFace is a
+    /// single-pass learner by design; additional epochs run the
+    /// adaptive (mispredict-driven) refinement the paper calls
+    /// "adaptive training".
+    pub epochs: usize,
+    /// When `true` (the default, matching the paper), updates are
+    /// scaled by `1 − δ`, the distance of the sample to its class
+    /// hypervector — samples the model already memorized contribute
+    /// almost nothing, which "eliminates redundant information
+    /// memorization … to eliminate overfitting". When `false`,
+    /// training degenerates to naive bundling (the ablation case).
+    pub adaptive: bool,
+    /// Shuffle the training order each epoch.
+    pub shuffle: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            adaptive: true,
+            shuffle: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's single-pass configuration.
+    #[must_use]
+    pub fn single_pass() -> Self {
+        TrainConfig {
+            epochs: 1,
+            adaptive: true,
+            shuffle: false,
+        }
+    }
+
+    /// Naive bundling (no adaptive scaling) — the ablation baseline.
+    #[must_use]
+    pub fn naive() -> Self {
+        TrainConfig {
+            epochs: 1,
+            adaptive: false,
+            shuffle: false,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Training-set errors observed in the final epoch.
+    pub last_epoch_errors: usize,
+    /// Samples seen per epoch.
+    pub samples: usize,
+}
+
+/// The HDFace classifier: one real-valued class accumulator per class,
+/// cosine-similarity inference, adaptive updates.
+///
+/// Class hypervectors are kept as non-quantized accumulators during
+/// training (saturation-free) and can be exported as a
+/// [`BinaryHdModel`] for bitwise deployment — the form whose
+/// robustness Table 2 studies.
+pub struct HdClassifier {
+    classes: Vec<Accumulator>,
+    dim: usize,
+}
+
+impl HdClassifier {
+    /// Creates an untrained classifier.
+    #[must_use]
+    pub fn new(num_classes: usize, dim: usize) -> Self {
+        HdClassifier {
+            classes: (0..num_classes).map(|_| Accumulator::new(dim)).collect(),
+            dim,
+        }
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Read-only view of a class accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    #[must_use]
+    pub fn class(&self, label: usize) -> &Accumulator {
+        &self.classes[label]
+    }
+
+    /// Cosine similarities of a query against every class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn similarities(&self, query: &BitVector) -> Result<Vec<f64>, LearnError> {
+        self.classes
+            .iter()
+            .map(|c| c.cosine(query).map_err(LearnError::from))
+            .collect()
+    }
+
+    /// Predicts the class with maximal similarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoClasses`] on an empty model and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn predict(&self, query: &BitVector) -> Result<usize, LearnError> {
+        let sims = self.similarities(query)?;
+        sims.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .ok_or(LearnError::NoClasses)
+    }
+
+    /// One adaptive update with a single sample:
+    /// `C_label += (1 − δ_label)·H`, and on misprediction
+    /// `C_pred −= (1 − δ_pred)·H` (the OnlineHD-style rule the paper's
+    /// adaptive training implements).
+    ///
+    /// Returns `true` when the sample was mispredicted before the
+    /// update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::LabelOutOfRange`] /
+    /// [`LearnError::DimensionMismatch`] for invalid samples.
+    pub fn update(
+        &mut self,
+        sample: &BitVector,
+        label: usize,
+        adaptive: bool,
+    ) -> Result<bool, LearnError> {
+        if label >= self.classes.len() {
+            return Err(LearnError::LabelOutOfRange {
+                label,
+                num_classes: self.classes.len(),
+            });
+        }
+        let sims = self.similarities(sample)?;
+        let predicted = sims
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .ok_or(LearnError::NoClasses)?;
+        let mispredicted = predicted != label;
+
+        let lr_pos = if adaptive { 1.0 - sims[label] } else { 1.0 };
+        self.classes[label].add_weighted(sample, lr_pos)?;
+        if mispredicted {
+            let lr_neg = if adaptive { 1.0 - sims[predicted] } else { 1.0 };
+            self.classes[predicted].add_weighted(sample, -lr_neg)?;
+        }
+        Ok(mispredicted)
+    }
+
+    /// Trains on labeled hypervectors according to the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::EmptyTrainingSet`] when `samples` is
+    /// empty, plus any per-sample validation error.
+    pub fn fit<R: Rng>(
+        &mut self,
+        samples: &[(BitVector, usize)],
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Result<TrainReport, LearnError> {
+        if samples.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_errors = 0;
+        for _ in 0..config.epochs.max(1) {
+            if config.shuffle {
+                for i in (1..order.len()).rev() {
+                    let j = rand::RngExt::random_range(rng, 0..=i);
+                    order.swap(i, j);
+                }
+            }
+            last_errors = 0;
+            for &i in &order {
+                let (sample, label) = &samples[i];
+                if self.update(sample, *label, config.adaptive)? {
+                    last_errors += 1;
+                }
+            }
+        }
+        Ok(TrainReport {
+            epochs: config.epochs.max(1),
+            last_epoch_errors: last_errors,
+            samples: samples.len(),
+        })
+    }
+
+    /// Fraction of correctly classified samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors; an empty slice scores `0.0`.
+    pub fn accuracy(&self, samples: &[(BitVector, usize)]) -> Result<f64, LearnError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (s, l) in samples {
+            if self.predict(s)? == *l {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Rebuilds a classifier from a binary deployment model: each
+    /// class accumulator holds the bipolar (±1) values of the stored
+    /// hypervector, so cosine inference ranks classes exactly like the
+    /// binary model's Hamming inference.
+    #[must_use]
+    pub fn from_binary(model: &BinaryHdModel) -> Self {
+        let mut clf = HdClassifier::new(model.num_classes(), model.dim());
+        for (acc, bits) in clf.classes.iter_mut().zip(model.classes()) {
+            acc.add(bits).expect("dims equal by construction");
+        }
+        clf
+    }
+
+    /// Exports the sign-quantized binary deployment model.
+    #[must_use]
+    pub fn to_binary(&self, rng: &mut HdcRng) -> BinaryHdModel {
+        BinaryHdModel {
+            classes: self.classes.iter().map(|c| c.threshold(rng)).collect(),
+            dim: self.dim,
+        }
+    }
+}
+
+impl fmt::Debug for HdClassifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HdClassifier({} classes, D={})", self.classes.len(), self.dim)
+    }
+}
+
+/// The binary (1-bit-per-dimension) deployment model: class
+/// hypervectors are plain bit vectors and inference is Hamming
+/// similarity — pure popcounts, the form the FPGA implementation
+/// accelerates and the robustness study corrupts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryHdModel {
+    classes: Vec<BitVector>,
+    dim: usize,
+}
+
+impl BinaryHdModel {
+    /// Builds a model directly from class hypervectors (e.g. loaded
+    /// from the `HDM1` byte format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoClasses`] for an empty set and
+    /// [`LearnError::DimensionMismatch`] for ragged dimensionalities.
+    pub fn from_classes(classes: Vec<BitVector>) -> Result<Self, LearnError> {
+        let first = classes.first().ok_or(LearnError::NoClasses)?;
+        let dim = first.dim();
+        for c in &classes {
+            if c.dim() != dim {
+                return Err(LearnError::DimensionMismatch(
+                    hdface_hdc::DimensionMismatchError {
+                        left: dim,
+                        right: c.dim(),
+                    },
+                ));
+            }
+        }
+        Ok(BinaryHdModel { classes, dim })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Read-only view of the class hypervectors.
+    #[must_use]
+    pub fn classes(&self) -> &[BitVector] {
+        &self.classes
+    }
+
+    /// Predicts by maximal Hamming similarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoClasses`] on an empty model and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn predict(&self, query: &BitVector) -> Result<usize, LearnError> {
+        let mut best = None;
+        for (i, c) in self.classes.iter().enumerate() {
+            let sim = c.hamming_similarity(query)?;
+            match best {
+                None => best = Some((i, sim)),
+                Some((_, b)) if sim > b => best = Some((i, sim)),
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i).ok_or(LearnError::NoClasses)
+    }
+
+    /// Fraction of correctly classified samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors; an empty slice scores `0.0`.
+    pub fn accuracy(&self, samples: &[(BitVector, usize)]) -> Result<f64, LearnError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (s, l) in samples {
+            if self.predict(s)? == *l {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Returns a copy whose class hypervectors have random bit errors
+    /// at the given rate — the model-corruption arm of Table 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] never in practice;
+    /// the rate is validated by the underlying flip routine and an
+    /// invalid rate is reported as a dimension-preserving clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_bit_errors<R: Rng>(&self, rate: f64, rng: &mut R) -> Self {
+        BinaryHdModel {
+            classes: self
+                .classes
+                .iter()
+                .map(|c| c.with_bit_errors(rate, rng).expect("rate validated by caller"))
+                .collect(),
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_hdc::SeedableRng;
+
+    const D: usize = 4096;
+
+    /// Builds a toy dataset: `k` random prototypes, samples are
+    /// prototypes with `flip` fraction of bits flipped.
+    fn toy(
+        k: usize,
+        per_class: usize,
+        flip: f64,
+        rng: &mut HdcRng,
+    ) -> (Vec<BitVector>, Vec<(BitVector, usize)>) {
+        let protos: Vec<BitVector> = (0..k).map(|_| BitVector::random(D, rng)).collect();
+        let mut samples = Vec::new();
+        for (label, proto) in protos.iter().enumerate() {
+            for _ in 0..per_class {
+                samples.push((proto.with_bit_errors(flip, rng).unwrap(), label));
+            }
+        }
+        (protos, samples)
+    }
+
+    #[test]
+    fn learns_separable_prototypes() {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let (_, train) = toy(4, 16, 0.25, &mut rng);
+        let (_, test) = toy(4, 16, 0.25, &mut HdcRng::seed_from_u64(1));
+        let mut clf = HdClassifier::new(4, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let acc = clf.accuracy(&test).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn single_pass_already_learns() {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let (_, train) = toy(3, 12, 0.2, &mut rng);
+        let mut clf = HdClassifier::new(3, D);
+        let report = clf
+            .fit(&train, &TrainConfig::single_pass(), &mut rng)
+            .unwrap();
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.samples, 36);
+        let acc = clf.accuracy(&train).unwrap();
+        assert!(acc > 0.9, "single-pass accuracy {acc}");
+    }
+
+    #[test]
+    fn adaptive_beats_naive_on_imbalanced_difficulty() {
+        // Mix one tight class with one noisy class: naive bundling
+        // lets the tight class dominate while adaptive scaling keeps
+        // updates proportional to novelty.
+        let mut rng = HdcRng::seed_from_u64(3);
+        let proto_a = BitVector::random(D, &mut rng);
+        let proto_b = BitVector::random(D, &mut rng);
+        let mut train = Vec::new();
+        for i in 0..60 {
+            // Class 0 oversampled and tight; class 1 rare and noisy.
+            if i % 3 != 0 {
+                train.push((proto_a.with_bit_errors(0.05, &mut rng).unwrap(), 0));
+            } else {
+                train.push((proto_b.with_bit_errors(0.35, &mut rng).unwrap(), 1));
+            }
+        }
+        let mut test = Vec::new();
+        for _ in 0..40 {
+            test.push((proto_a.with_bit_errors(0.05, &mut rng).unwrap(), 0));
+            test.push((proto_b.with_bit_errors(0.35, &mut rng).unwrap(), 1));
+        }
+        let mut adaptive = HdClassifier::new(2, D);
+        adaptive
+            .fit(&train, &TrainConfig::default(), &mut rng)
+            .unwrap();
+        let mut naive = HdClassifier::new(2, D);
+        naive.fit(&train, &TrainConfig::naive(), &mut rng).unwrap();
+        let a = adaptive.accuracy(&test).unwrap();
+        let n = naive.accuracy(&test).unwrap();
+        assert!(a >= n, "adaptive {a} should be at least naive {n}");
+        assert!(a > 0.9, "adaptive accuracy {a}");
+    }
+
+    #[test]
+    fn update_reports_mispredictions() {
+        let mut rng = HdcRng::seed_from_u64(4);
+        let v = BitVector::random(D, &mut rng);
+        let mut clf = HdClassifier::new(2, D);
+        // Empty model: prediction is arbitrary but updates proceed.
+        let _ = clf.update(&v, 0, true).unwrap();
+        // Now a sample equal to class 0's content labeled 1 must
+        // mispredict.
+        assert!(clf.update(&v, 1, true).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut rng = HdcRng::seed_from_u64(5);
+        let mut clf = HdClassifier::new(2, 64);
+        assert!(matches!(
+            clf.fit(&[], &TrainConfig::default(), &mut rng),
+            Err(LearnError::EmptyTrainingSet)
+        ));
+        let v = BitVector::zeros(64);
+        assert!(matches!(
+            clf.update(&v, 7, true),
+            Err(LearnError::LabelOutOfRange { .. })
+        ));
+        let alien = BitVector::zeros(65);
+        assert!(clf.predict(&alien).is_err());
+        let empty = HdClassifier::new(0, 64);
+        assert!(matches!(empty.predict(&v), Err(LearnError::NoClasses)));
+    }
+
+    #[test]
+    fn from_binary_ranks_like_hamming() {
+        let mut rng = HdcRng::seed_from_u64(21);
+        let (_, train) = toy(3, 10, 0.2, &mut rng);
+        let mut clf = HdClassifier::new(3, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let binary = clf.to_binary(&mut rng);
+        let rebuilt = HdClassifier::from_binary(&binary);
+        for (s, _) in &train {
+            assert_eq!(
+                rebuilt.predict(s).unwrap(),
+                binary.predict(s).unwrap(),
+                "cosine-on-bipolar must agree with Hamming"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_model_matches_float_model_closely() {
+        let mut rng = HdcRng::seed_from_u64(6);
+        let (_, train) = toy(3, 20, 0.2, &mut rng);
+        let (_, test) = toy(3, 20, 0.2, &mut HdcRng::seed_from_u64(6));
+        let mut clf = HdClassifier::new(3, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let bin = clf.to_binary(&mut rng);
+        let fa = clf.accuracy(&test).unwrap();
+        let ba = bin.accuracy(&test).unwrap();
+        assert!(ba > fa - 0.1, "binary {ba} vs float {fa}");
+        assert_eq!(bin.num_classes(), 3);
+        assert_eq!(bin.dim(), D);
+        assert_eq!(bin.classes().len(), 3);
+    }
+
+    #[test]
+    fn binary_model_degrades_gracefully_with_bit_errors() {
+        let mut rng = HdcRng::seed_from_u64(7);
+        let (_, train) = toy(2, 24, 0.2, &mut rng);
+        let (_, test) = toy(2, 24, 0.2, &mut HdcRng::seed_from_u64(7));
+        let mut clf = HdClassifier::new(2, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let bin = clf.to_binary(&mut rng);
+        let clean = bin.accuracy(&test).unwrap();
+        let noisy = bin.with_bit_errors(0.1, &mut rng).accuracy(&test).unwrap();
+        // The holographic claim: 10% model bit errors barely move
+        // accuracy.
+        assert!(
+            noisy > clean - 0.1,
+            "noisy {noisy} collapsed from clean {clean}"
+        );
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let clf = HdClassifier::new(2, 16);
+        assert_eq!(clf.accuracy(&[]).unwrap(), 0.0);
+        let mut rng = HdcRng::seed_from_u64(0);
+        let bin = clf.to_binary(&mut rng);
+        assert_eq!(bin.accuracy(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let clf = HdClassifier::new(3, 128);
+        assert!(format!("{clf:?}").contains("3 classes"));
+        assert_eq!(clf.num_classes(), 3);
+        assert_eq!(clf.dim(), 128);
+        assert_eq!(clf.class(0).dim(), 128);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the learning crate.
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::DimensionMismatchError;
+
+/// Errors raised by classifiers and encoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// A hypervector did not match the model dimensionality.
+    DimensionMismatch(DimensionMismatchError),
+    /// A sample label was outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The number of classes in the model.
+        num_classes: usize,
+    },
+    /// A feature vector's length did not match the encoder's
+    /// configured input length.
+    FeatureLengthMismatch {
+        /// Expected input length.
+        expected: usize,
+        /// Actual input length.
+        actual: usize,
+    },
+    /// Training was invoked with an empty sample set.
+    EmptyTrainingSet,
+    /// The model has zero classes and cannot predict.
+    NoClasses,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::DimensionMismatch(e) => e.fmt(f),
+            LearnError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            LearnError::FeatureLengthMismatch { expected, actual } => {
+                write!(f, "feature vector has {actual} values, encoder expects {expected}")
+            }
+            LearnError::EmptyTrainingSet => write!(f, "training requires at least one sample"),
+            LearnError::NoClasses => write!(f, "model has no classes"),
+        }
+    }
+}
+
+impl Error for LearnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LearnError::DimensionMismatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DimensionMismatchError> for LearnError {
+    fn from(e: DimensionMismatchError) -> Self {
+        LearnError::DimensionMismatch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(LearnError::LabelOutOfRange {
+            label: 9,
+            num_classes: 2
+        }
+        .to_string()
+        .contains('9'));
+        assert!(LearnError::EmptyTrainingSet.to_string().contains("sample"));
+        assert!(LearnError::FeatureLengthMismatch {
+            expected: 4,
+            actual: 5
+        }
+        .to_string()
+        .contains('5'));
+    }
+
+    #[test]
+    fn source_chain() {
+        let e: LearnError = DimensionMismatchError { left: 1, right: 2 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&LearnError::NoClasses).is_none());
+    }
+}

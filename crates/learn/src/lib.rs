@@ -1,0 +1,50 @@
+//! # hdface-learn — adaptive hyperdimensional classification
+//!
+//! The learning stage of HDFace (§5): one class hypervector per class,
+//! trained with similarity-scaled adaptive updates that avoid the
+//! saturation/overfitting of naive bundling, and inference by maximum
+//! similarity between the query hypervector and the class set.
+//!
+//! Two front doors:
+//!
+//! * features that are **already hypervectors** (the HD-HOG pipeline)
+//!   go straight into [`HdClassifier`] — "there is no need for HDC
+//!   encoding";
+//! * float feature vectors (classic HOG) are first mapped to
+//!   hyperspace by an encoder: [`LevelIdEncoder`] (record-based
+//!   id×level binding) or [`ProjectionEncoder`] (random-projection
+//!   sign nonlinearity) — the paper's configuration (1).
+//!
+//! ```
+//! use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+//! use hdface_learn::{HdClassifier, TrainConfig};
+//!
+//! let mut rng = HdcRng::seed_from_u64(0);
+//! let proto_a = BitVector::random(2048, &mut rng);
+//! let proto_b = BitVector::random(2048, &mut rng);
+//! let samples: Vec<(BitVector, usize)> = (0..20)
+//!     .map(|i| {
+//!         let proto = if i % 2 == 0 { &proto_a } else { &proto_b };
+//!         (proto.with_bit_errors(0.2, &mut rng).unwrap(), i % 2)
+//!     })
+//!     .collect();
+//! let mut clf = HdClassifier::new(2, 2048);
+//! clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+//! let query = proto_a.with_bit_errors(0.2, &mut rng).unwrap();
+//! assert_eq!(clf.predict(&query).unwrap(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod encoder;
+mod error;
+mod metrics;
+mod model_io;
+
+pub use classifier::{BinaryHdModel, HdClassifier, TrainConfig, TrainReport};
+pub use encoder::{FeatureEncoder, LevelIdEncoder, ProjectionEncoder};
+pub use error::LearnError;
+pub use metrics::ConfusionMatrix;
+pub use model_io::ModelIoError;

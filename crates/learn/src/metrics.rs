@@ -1,0 +1,213 @@
+//! Evaluation metrics: confusion matrices and per-class statistics.
+
+use std::fmt;
+
+use crate::error::LearnError;
+
+/// A `k × k` confusion matrix (rows = truth, columns = prediction).
+///
+/// ```
+/// use hdface_learn::ConfusionMatrix;
+///
+/// let mut m = ConfusionMatrix::new(2);
+/// m.record(0, 0).unwrap();
+/// m.record(0, 1).unwrap();
+/// m.record(1, 1).unwrap();
+/// assert_eq!(m.total(), 3);
+/// assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `k` classes.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Records one (truth, prediction) observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::LabelOutOfRange`] when either index is
+    /// out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) -> Result<(), LearnError> {
+        if truth >= self.k {
+            return Err(LearnError::LabelOutOfRange {
+                label: truth,
+                num_classes: self.k,
+            });
+        }
+        if predicted >= self.k {
+            return Err(LearnError::LabelOutOfRange {
+                label: predicted,
+                num_classes: self.k,
+            });
+        }
+        self.counts[truth * self.k + predicted] += 1;
+        Ok(())
+    }
+
+    /// The count at (truth, prediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    #[must_use]
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        assert!(truth < self.k && predicted < self.k, "index out of range");
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (`0.0` when empty).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.counts[i * self.k + i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal / row sum; `None` for unseen
+    /// classes).
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = (0..self.k).map(|j| self.count(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision (diagonal / column sum; `None` for
+    /// never-predicted classes).
+    #[must_use]
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: usize = (0..self.k).map(|i| self.count(i, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+
+    /// Macro-averaged F1 score over the classes that appear.
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.k {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    sum += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion ({} classes, {} samples):", self.k, self.total())?;
+        for i in 0..self.k {
+            for j in 0..self.k {
+                write!(f, "{:>6}", self.count(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(3);
+        // truth 0: 3 correct, 1 as class 1
+        for _ in 0..3 {
+            m.record(0, 0).unwrap();
+        }
+        m.record(0, 1).unwrap();
+        // truth 1: 2 correct
+        m.record(1, 1).unwrap();
+        m.record(1, 1).unwrap();
+        // truth 2: never predicted correctly
+        m.record(2, 0).unwrap();
+        m
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let m = sample();
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.count(0, 0), 3);
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.num_classes(), 3);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let m = sample();
+        assert!((m.recall(0).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(m.recall(1).unwrap(), 1.0);
+        assert_eq!(m.recall(2).unwrap(), 0.0);
+        // Class 0 predicted 4 times, 3 correct.
+        assert!((m.precision(0).unwrap() - 0.75).abs() < 1e-12);
+        // Class 2 never predicted.
+        assert_eq!(m.precision(2), None);
+    }
+
+    #[test]
+    fn macro_f1_is_bounded() {
+        let m = sample();
+        let f1 = m.macro_f1();
+        assert!((0.0..=1.0).contains(&f1));
+        assert_eq!(ConfusionMatrix::new(2).macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut m = ConfusionMatrix::new(2);
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record(0, 5).is_err());
+        assert_eq!(ConfusionMatrix::new(2).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = sample();
+        let s = format!("{m}");
+        assert!(s.contains("3 classes"));
+        assert!(s.lines().count() >= 4);
+    }
+}

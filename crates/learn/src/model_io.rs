@@ -1,0 +1,193 @@
+//! Binary model import/export.
+//!
+//! Deployed HDFace models are a handful of class hypervectors; the
+//! `HDM1` container stores them as a count followed by back-to-back
+//! `HDV1` vectors (see `hdface-hdc`'s serialization module), so a
+//! firmware loader needs ~20 lines of C to consume one.
+//!
+//! ```text
+//! magic   "HDM1"      4 bytes
+//! classes u32 LE      4 bytes
+//! class hypervectors  classes × HDV1
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::{BitVector, SerialError};
+
+use crate::classifier::BinaryHdModel;
+
+const MAGIC: &[u8; 4] = b"HDM1";
+
+/// Errors raised when decoding a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelIoError {
+    /// The buffer does not start with the `HDM1` magic.
+    BadMagic,
+    /// The header or a vector payload was cut short.
+    Truncated,
+    /// A class hypervector failed to decode.
+    Vector(SerialError),
+    /// Class hypervectors disagree in dimensionality.
+    MixedDimensions {
+        /// Dimensionality of the first class.
+        first: usize,
+        /// The offending dimensionality.
+        other: usize,
+    },
+    /// The model declares zero classes.
+    Empty,
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::BadMagic => write!(f, "missing HDM1 magic header"),
+            ModelIoError::Truncated => write!(f, "model buffer is truncated"),
+            ModelIoError::Vector(e) => write!(f, "class hypervector is invalid: {e}"),
+            ModelIoError::MixedDimensions { first, other } => {
+                write!(f, "class dimensionalities disagree: {first} vs {other}")
+            }
+            ModelIoError::Empty => write!(f, "model declares zero classes"),
+        }
+    }
+}
+
+impl Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelIoError::Vector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SerialError> for ModelIoError {
+    fn from(e: SerialError) -> Self {
+        ModelIoError::Vector(e)
+    }
+}
+
+impl BinaryHdModel {
+    /// Serializes to the `HDM1` byte format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.num_classes() as u32).to_le_bytes());
+        for c in self.classes() {
+            out.extend(c.to_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the `HDM1` byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelIoError`] for malformed buffers; trailing
+    /// bytes after the declared classes are tolerated (containers may
+    /// pad).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        if bytes.len() < 8 || &bytes[..4] != MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let n = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
+        if n == 0 {
+            return Err(ModelIoError::Empty);
+        }
+        let mut classes = Vec::with_capacity(n);
+        let mut offset = 8;
+        for _ in 0..n {
+            if offset >= bytes.len() {
+                return Err(ModelIoError::Truncated);
+            }
+            let (v, used) = BitVector::from_bytes(&bytes[offset..])?;
+            if let Some(first) = classes.first() {
+                let first: &BitVector = first;
+                if first.dim() != v.dim() {
+                    return Err(ModelIoError::MixedDimensions {
+                        first: first.dim(),
+                        other: v.dim(),
+                    });
+                }
+            }
+            classes.push(v);
+            offset += used;
+        }
+        Ok(BinaryHdModel::from_classes(classes).expect("validated non-empty, equal dims"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{HdClassifier, TrainConfig};
+    use hdface_hdc::{HdcRng, SeedableRng};
+
+    fn trained_model(dim: usize, k: usize) -> BinaryHdModel {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let samples: Vec<(BitVector, usize)> = (0..4 * k)
+            .map(|i| (BitVector::random(dim, &mut rng), i % k))
+            .collect();
+        let mut clf = HdClassifier::new(k, dim);
+        clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+        clf.to_binary(&mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let model = trained_model(2048, 3);
+        let bytes = model.to_bytes();
+        let back = BinaryHdModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back, model);
+        let mut rng = HdcRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let q = BitVector::random(2048, &mut rng);
+            assert_eq!(model.predict(&q).unwrap(), back.predict(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_buffers() {
+        assert_eq!(
+            BinaryHdModel::from_bytes(b"NOPE0000").unwrap_err(),
+            ModelIoError::BadMagic
+        );
+        let model = trained_model(256, 2);
+        let bytes = model.to_bytes();
+        // A truncated buffer surfaces either as the container-level
+        // Truncated or as a vector-level decode failure, depending on
+        // where the cut falls.
+        assert!(matches!(
+            BinaryHdModel::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err(),
+            ModelIoError::Truncated | ModelIoError::Vector(_)
+        ));
+        // Zero classes.
+        let mut empty = Vec::new();
+        empty.extend_from_slice(b"HDM1");
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            BinaryHdModel::from_bytes(&empty).unwrap_err(),
+            ModelIoError::Empty
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_tolerated() {
+        let model = trained_model(128, 2);
+        let mut bytes = model.to_bytes();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(BinaryHdModel::from_bytes(&bytes).unwrap(), model);
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(ModelIoError::BadMagic.to_string().contains("HDM1"));
+        assert!(ModelIoError::MixedDimensions { first: 1, other: 2 }
+            .to_string()
+            .contains('2'));
+    }
+}

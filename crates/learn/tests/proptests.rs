@@ -1,0 +1,111 @@
+//! Property-based tests for the hyperdimensional learner and
+//! encoders.
+
+use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+use hdface_learn::{
+    FeatureEncoder, HdClassifier, LevelIdEncoder, ProjectionEncoder, TrainConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn predictions_are_valid_class_indices(
+        seed in any::<u64>(),
+        k in 2usize..6,
+    ) {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let samples: Vec<(BitVector, usize)> = (0..3 * k)
+            .map(|i| (BitVector::random(512, &mut rng), i % k))
+            .collect();
+        let mut clf = HdClassifier::new(k, 512);
+        clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+        for (s, _) in &samples {
+            prop_assert!(clf.predict(s).unwrap() < k);
+        }
+    }
+
+    #[test]
+    fn training_memorizes_well_separated_prototypes(seed in any::<u64>()) {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let protos: Vec<BitVector> =
+            (0..3).map(|_| BitVector::random(4096, &mut rng)).collect();
+        let samples: Vec<(BitVector, usize)> = (0..30)
+            .map(|i| {
+                let l = i % 3;
+                (protos[l].with_bit_errors(0.15, &mut rng).unwrap(), l)
+            })
+            .collect();
+        let mut clf = HdClassifier::new(3, 4096);
+        clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+        prop_assert!(clf.accuracy(&samples).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn binary_export_preserves_most_predictions(seed in any::<u64>()) {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let protos: Vec<BitVector> =
+            (0..2).map(|_| BitVector::random(2048, &mut rng)).collect();
+        let samples: Vec<(BitVector, usize)> = (0..20)
+            .map(|i| {
+                let l = i % 2;
+                (protos[l].with_bit_errors(0.2, &mut rng).unwrap(), l)
+            })
+            .collect();
+        let mut clf = HdClassifier::new(2, 2048);
+        clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+        let binary = clf.to_binary(&mut rng);
+        let mut agree = 0;
+        for (s, _) in &samples {
+            if clf.predict(s).unwrap() == binary.predict(s).unwrap() {
+                agree += 1;
+            }
+        }
+        prop_assert!(agree >= 17, "float/binary agreement {agree}/20");
+    }
+
+    #[test]
+    fn encoders_are_pure_functions(
+        x in prop::collection::vec(0.0f64..1.0, 8),
+        seed in any::<u64>(),
+    ) {
+        let lid = LevelIdEncoder::new(8, 1024, 8, 0.0, 1.0, seed);
+        let proj = ProjectionEncoder::new(8, 1024, seed);
+        prop_assert_eq!(lid.encode(&x).unwrap(), lid.encode(&x).unwrap());
+        prop_assert_eq!(proj.encode(&x).unwrap(), proj.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn level_encoder_similarity_decreases_with_distance(
+        base in 0.2f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let lid = LevelIdEncoder::new(4, 4096, 16, 0.0, 1.0, seed);
+        let x = vec![base; 4];
+        let near: Vec<f64> = x.iter().map(|v| v + 0.08).collect();
+        let far: Vec<f64> = x.iter().map(|v| v + 0.55).collect();
+        let ex = lid.encode(&x).unwrap();
+        let s_near = ex.similarity(&lid.encode(&near).unwrap()).unwrap();
+        let s_far = ex.similarity(&lid.encode(&far).unwrap()).unwrap();
+        prop_assert!(s_near > s_far, "near {s_near} vs far {s_far}");
+    }
+
+    #[test]
+    fn update_learning_rate_shrinks_with_familiarity(seed in any::<u64>()) {
+        // After repeatedly seeing one vector, its class similarity
+        // approaches 1 and further adaptive updates have little
+        // effect (the anti-saturation property).
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let v = BitVector::random(1024, &mut rng);
+        let mut clf = HdClassifier::new(1, 1024);
+        for _ in 0..5 {
+            clf.update(&v, 0, true).unwrap();
+        }
+        let before = clf.class(0).norm();
+        clf.update(&v, 0, true).unwrap();
+        let after = clf.class(0).norm();
+        prop_assert!(after - before < 0.2 * before + 1e-9,
+            "familiar sample moved the class from {before} to {after}");
+    }
+}

@@ -1,0 +1,382 @@
+//! # hdface-noise — random bit-error fault injection
+//!
+//! The robustness study of the paper (§2 motivation and Table 2)
+//! injects random bit errors into three kinds of state:
+//!
+//! * **hypervectors** — handled by
+//!   [`BitVector::with_bit_errors`](hdface_hdc::BitVector::with_bit_errors)
+//!   and re-exported here through [`BitErrorModel::corrupt_hypervector`];
+//! * **float feature words** — IEEE-754 bit flips in the classic HOG
+//!   output ([`BitErrorModel::corrupt_f32_features`]), the fault model
+//!   behind "2% random bit error on HoG feature extraction causes 12%
+//!   quality loss";
+//! * **quantized DNN weights** — implemented next to the DNN in
+//!   `hdface-baselines` (`QuantizedMlp::with_bit_errors`).
+//!
+//! A flipped exponent bit in a float word changes the value by orders
+//! of magnitude, which is exactly why the original-space pipeline is
+//! fragile while the holographic representation shrugs off the same
+//! flip rate.
+//!
+//! ```
+//! use hdface_noise::BitErrorModel;
+//!
+//! let mut model = BitErrorModel::new(0.02, 42).unwrap();
+//! let clean = vec![0.5f64; 100];
+//! let noisy = model.corrupt_f32_features(&clean);
+//! assert_eq!(noisy.len(), 100);
+//! assert!(noisy.iter().zip(&clean).any(|(a, b)| a != b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+use rand::RngExt;
+
+/// Error raised when a bit-error rate lies outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidRateError(
+    /// The offending rate.
+    pub f64,
+);
+
+impl fmt::Display for InvalidRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit-error rate {} is outside [0, 1]", self.0)
+    }
+}
+
+impl Error for InvalidRateError {}
+
+/// A seeded random bit-error channel.
+///
+/// One model instance owns its RNG stream, so repeated corruption
+/// calls draw fresh (but reproducible) error patterns.
+#[derive(Debug)]
+pub struct BitErrorModel {
+    rate: f64,
+    rng: HdcRng,
+}
+
+impl BitErrorModel {
+    /// Creates a channel flipping each bit independently with
+    /// probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `rate ∉ [0, 1]`.
+    pub fn new(rate: f64, seed: u64) -> Result<Self, InvalidRateError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(InvalidRateError(rate));
+        }
+        Ok(BitErrorModel {
+            rate,
+            rng: HdcRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The configured flip probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Flips bits of a hypervector (fresh error pattern per call).
+    #[must_use]
+    pub fn corrupt_hypervector(&mut self, v: &BitVector) -> BitVector {
+        v.with_bit_errors(self.rate, &mut self.rng)
+            .expect("rate validated at construction")
+    }
+
+    /// Flips bits in the IEEE-754 **f32** representation of each
+    /// feature value (features are stored as `f64` for API uniformity
+    /// but transported/processed at single precision, as on the
+    /// embedded targets the paper measures).
+    ///
+    /// Non-finite results of a flip (NaN, ±∞) are sanitized to `0.0` /
+    /// `±f32::MAX` so downstream float pipelines degrade instead of
+    /// poisoning every subsequent value — matching the graceful-
+    /// degradation numbers the paper reports for the float pipeline.
+    #[must_use]
+    pub fn corrupt_f32_features(&mut self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .map(|&v| {
+                let mut bits = (v as f32).to_bits();
+                for b in 0..32 {
+                    if self.rng.random_bool(self.rate) {
+                        bits ^= 1 << b;
+                    }
+                }
+                let f = f32::from_bits(bits);
+                if f.is_nan() {
+                    0.0
+                } else if f.is_infinite() {
+                    f64::from(f32::MAX.copysign(f))
+                } else {
+                    f64::from(f)
+                }
+            })
+            .collect()
+    }
+
+    /// Corrupts a whole labeled feature set (labels untouched).
+    #[must_use]
+    pub fn corrupt_feature_set(
+        &mut self,
+        data: &[(Vec<f64>, usize)],
+    ) -> Vec<(Vec<f64>, usize)> {
+        data.iter()
+            .map(|(x, y)| (self.corrupt_f32_features(x), *y))
+            .collect()
+    }
+
+    /// Corrupts a whole labeled hypervector set (labels untouched).
+    #[must_use]
+    pub fn corrupt_hypervector_set(
+        &mut self,
+        data: &[(BitVector, usize)],
+    ) -> Vec<(BitVector, usize)> {
+        data.iter()
+            .map(|(v, y)| (self.corrupt_hypervector(v), *y))
+            .collect()
+    }
+}
+
+/// Which way a stuck-at fault forces its bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckPolarity {
+    /// Faulty cells read 0 regardless of the stored value.
+    StuckAtZero,
+    /// Faulty cells read 1 regardless of the stored value.
+    StuckAtOne,
+}
+
+/// A **stuck-at** fault channel: a fixed random subset of bit
+/// positions is permanently forced to 0 or 1 — the manufacturing-
+/// defect model, complementary to the transient flips of
+/// [`BitErrorModel`]. The faulty positions are drawn once at
+/// construction for a given dimensionality, so repeated reads of the
+/// same memory see the *same* defects, as real hardware would.
+#[derive(Debug)]
+pub struct StuckAtModel {
+    rate: f64,
+    polarity: StuckPolarity,
+    seed: u64,
+    /// Cached fault masks per dimensionality.
+    masks: std::collections::HashMap<usize, BitVector>,
+}
+
+impl StuckAtModel {
+    /// Creates a channel where each bit position is defective
+    /// independently with probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `rate ∉ [0, 1]`.
+    pub fn new(rate: f64, polarity: StuckPolarity, seed: u64) -> Result<Self, InvalidRateError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(InvalidRateError(rate));
+        }
+        Ok(StuckAtModel {
+            rate,
+            polarity,
+            seed,
+            masks: std::collections::HashMap::new(),
+        })
+    }
+
+    /// The defect mask for a dimensionality (stable across calls).
+    fn mask(&mut self, dim: usize) -> &BitVector {
+        let (rate, seed) = (self.rate, self.seed);
+        self.masks.entry(dim).or_insert_with(|| {
+            let mut rng = HdcRng::seed_from_u64(seed ^ dim as u64);
+            BitVector::random_with_density(dim, rate, &mut rng)
+                .expect("rate validated at construction")
+        })
+    }
+
+    /// Applies the defects to a stored hypervector.
+    #[must_use]
+    pub fn corrupt_hypervector(&mut self, v: &BitVector) -> BitVector {
+        let polarity = self.polarity;
+        let mask = self.mask(v.dim()).clone();
+        match polarity {
+            StuckPolarity::StuckAtOne => v.or(&mask).expect("dims equal"),
+            StuckPolarity::StuckAtZero => {
+                v.and(&mask.negated()).expect("dims equal")
+            }
+        }
+    }
+}
+
+/// A **burst** error channel: errors arrive in contiguous runs (as
+/// from a row/word-line failure or a noisy transfer) rather than
+/// independently. `rate` is the expected fraction of corrupted bits;
+/// `burst_len` the length of each run.
+#[derive(Debug)]
+pub struct BurstErrorModel {
+    rate: f64,
+    burst_len: usize,
+    rng: HdcRng,
+}
+
+impl BurstErrorModel {
+    /// Creates a channel with the given aggregate corruption rate and
+    /// burst length (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `rate ∉ [0, 1]`.
+    pub fn new(rate: f64, burst_len: usize, seed: u64) -> Result<Self, InvalidRateError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(InvalidRateError(rate));
+        }
+        Ok(BurstErrorModel {
+            rate,
+            burst_len: burst_len.max(1),
+            rng: HdcRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Flips bursts of bits so that on average `rate · dim` bits flip.
+    #[must_use]
+    pub fn corrupt_hypervector(&mut self, v: &BitVector) -> BitVector {
+        let dim = v.dim();
+        if dim == 0 || self.rate == 0.0 {
+            return v.clone();
+        }
+        let n_bursts =
+            ((self.rate * dim as f64 / self.burst_len as f64).round() as usize).max(
+                usize::from(self.rate > 0.0),
+            );
+        let mut out = v.clone();
+        for _ in 0..n_bursts {
+            let start = self.rng.random_range(0..dim);
+            for k in 0..self.burst_len {
+                let idx = (start + k) % dim;
+                out.flip(idx);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_rates() {
+        assert!(BitErrorModel::new(-0.1, 0).is_err());
+        assert!(BitErrorModel::new(1.1, 0).is_err());
+        assert!(BitErrorModel::new(f64::NAN, 0).is_err());
+        let e = BitErrorModel::new(2.0, 0).unwrap_err();
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut m = BitErrorModel::new(0.0, 1).unwrap();
+        let x = vec![0.25, -1.5, 3.0];
+        assert_eq!(m.corrupt_f32_features(&x), x);
+        let v = BitVector::ones(64);
+        assert_eq!(m.corrupt_hypervector(&v), v);
+    }
+
+    #[test]
+    fn hypervector_flip_rate_matches() {
+        let mut m = BitErrorModel::new(0.1, 2).unwrap();
+        let v = BitVector::zeros(50_000);
+        let noisy = m.corrupt_hypervector(&v);
+        let rate = noisy.count_ones() as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn float_corruption_produces_large_excursions() {
+        // Exponent-bit flips should occasionally move a value by
+        // orders of magnitude — the fragility mechanism.
+        let mut m = BitErrorModel::new(0.05, 3).unwrap();
+        let clean = vec![0.5f64; 2000];
+        let noisy = m.corrupt_f32_features(&clean);
+        let big = noisy.iter().filter(|&&v| v.abs() > 10.0).count();
+        assert!(big > 0, "no large excursions in {} values", noisy.len());
+        // And everything stays finite.
+        assert!(noisy.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fresh_pattern_per_call() {
+        let mut m = BitErrorModel::new(0.2, 4).unwrap();
+        let v = BitVector::zeros(4096);
+        assert_ne!(m.corrupt_hypervector(&v), m.corrupt_hypervector(&v));
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut a = BitErrorModel::new(0.1, 5).unwrap();
+        let mut b = BitErrorModel::new(0.1, 5).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(a.corrupt_f32_features(&x), b.corrupt_f32_features(&x));
+    }
+
+    #[test]
+    fn set_corruption_preserves_labels_and_shapes() {
+        let mut m = BitErrorModel::new(0.05, 6).unwrap();
+        let feats = vec![(vec![0.1, 0.2], 1), (vec![0.3, 0.4], 0)];
+        let noisy = m.corrupt_feature_set(&feats);
+        assert_eq!(noisy.len(), 2);
+        assert_eq!(noisy[0].1, 1);
+        assert_eq!(noisy[1].1, 0);
+        let hvs = vec![(BitVector::zeros(128), 1)];
+        let noisy_h = m.corrupt_hypervector_set(&hvs);
+        assert_eq!(noisy_h[0].0.dim(), 128);
+        assert_eq!(noisy_h[0].1, 1);
+    }
+
+    #[test]
+    fn rate_accessor() {
+        let m = BitErrorModel::new(0.42, 0).unwrap();
+        assert_eq!(m.rate(), 0.42);
+    }
+
+    #[test]
+    fn stuck_at_faults_are_stable_across_reads() {
+        let mut m = StuckAtModel::new(0.1, StuckPolarity::StuckAtOne, 7).unwrap();
+        let v = BitVector::zeros(10_000);
+        let a = m.corrupt_hypervector(&v);
+        let b = m.corrupt_hypervector(&v);
+        assert_eq!(a, b, "defect positions must not move between reads");
+        let rate = a.count_ones() as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "stuck-at-1 density {rate}");
+    }
+
+    #[test]
+    fn stuck_at_zero_clears_bits() {
+        let mut m = StuckAtModel::new(0.25, StuckPolarity::StuckAtZero, 8).unwrap();
+        let v = BitVector::ones(10_000);
+        let faulty = m.corrupt_hypervector(&v);
+        let cleared = faulty.count_zeros() as f64 / 10_000.0;
+        assert!((cleared - 0.25).abs() < 0.03, "stuck-at-0 density {cleared}");
+        assert!(StuckAtModel::new(1.5, StuckPolarity::StuckAtZero, 0).is_err());
+    }
+
+    #[test]
+    fn burst_errors_flip_expected_fraction_in_runs() {
+        let mut m = BurstErrorModel::new(0.1, 16, 9).unwrap();
+        let v = BitVector::zeros(50_000);
+        let noisy = m.corrupt_hypervector(&v);
+        let flipped = noisy.count_ones() as f64 / 50_000.0;
+        // Bursts may overlap (double flips cancel), so allow slack.
+        assert!(flipped > 0.05 && flipped < 0.12, "burst flip rate {flipped}");
+        // Zero rate is identity.
+        let mut z = BurstErrorModel::new(0.0, 16, 9).unwrap();
+        assert_eq!(z.corrupt_hypervector(&v), v);
+        assert!(BurstErrorModel::new(-0.1, 4, 0).is_err());
+    }
+}

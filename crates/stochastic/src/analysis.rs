@@ -1,0 +1,189 @@
+//! Empirical error analysis of the stochastic primitives (paper
+//! Fig. 2).
+//!
+//! The figure reports the relative error of *construction*, *average*
+//! and *multiplication* as a function of hypervector dimensionality;
+//! [`measure_errors`] reproduces exactly that measurement and
+//! [`expected_sigma`] gives the analytic prediction the measurements
+//! should track (`σ ∝ 1/√D`).
+
+use crate::context::StochasticContext;
+use crate::error::StochasticError;
+
+/// Which stochastic primitive an error measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Encode a value and decode it back (Fig. 2a).
+    Construction,
+    /// `0.5·a ⊕ 0.5·b` against the exact mean (Fig. 2b).
+    Average,
+    /// `a ⊗ b` against the exact product (Fig. 2c).
+    Multiplication,
+}
+
+impl OpKind {
+    /// All three primitives measured by Fig. 2, in figure order.
+    pub const ALL: [OpKind; 3] = [OpKind::Construction, OpKind::Average, OpKind::Multiplication];
+
+    /// Human-readable name used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Construction => "construction",
+            OpKind::Average => "average",
+            OpKind::Multiplication => "multiplication",
+        }
+    }
+}
+
+/// Aggregated error statistics for one primitive at one
+/// dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpErrorStats {
+    /// The primitive measured.
+    pub op: OpKind,
+    /// Hypervector dimensionality used.
+    pub dim: usize,
+    /// Number of (value-pair, trial) samples aggregated.
+    pub samples: usize,
+    /// Mean absolute error of the decoded result.
+    pub mean_abs_error: f64,
+    /// Root-mean-square error.
+    pub rms_error: f64,
+    /// Worst-case absolute error observed.
+    pub max_abs_error: f64,
+}
+
+/// Analytic standard deviation of the decode noise when encoding the
+/// value `a` with dimensionality `dim`: `√((1 − a²)/D)`.
+///
+/// Each dimension is an independent ±1 Bernoulli contribution with
+/// mean `a`, so the decoded mean of `D` of them concentrates at rate
+/// `1/√D`.
+#[must_use]
+pub fn expected_sigma(dim: usize, a: f64) -> f64 {
+    if dim == 0 {
+        return f64::INFINITY;
+    }
+    ((1.0 - a * a).max(0.0) / dim as f64).sqrt()
+}
+
+/// Measures the empirical absolute error of one primitive over a grid
+/// of operand values in `[-1, 1]`, repeated `trials` times per grid
+/// point — the data series behind Fig. 2.
+///
+/// # Errors
+///
+/// Returns [`StochasticError::EmptyDimension`] when `dim == 0`;
+/// propagates internal arithmetic errors (which indicate a bug rather
+/// than bad input, as the grid is always in range).
+pub fn measure_errors(
+    op: OpKind,
+    dim: usize,
+    grid_points: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<OpErrorStats, StochasticError> {
+    let mut ctx = StochasticContext::try_new(dim, seed)?;
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let mut n = 0usize;
+
+    let grid: Vec<f64> = (0..grid_points.max(2))
+        .map(|i| -1.0 + 2.0 * i as f64 / (grid_points.max(2) - 1) as f64)
+        .collect();
+
+    for &x in &grid {
+        for &y in &grid {
+            for _ in 0..trials.max(1) {
+                let err = match op {
+                    OpKind::Construction => {
+                        let v = ctx.encode(x)?;
+                        (ctx.decode(&v)? - x).abs()
+                    }
+                    OpKind::Average => {
+                        let a = ctx.encode(x)?;
+                        let b = ctx.encode(y)?;
+                        let c = ctx.add_halved(&a, &b)?;
+                        (ctx.decode(&c)? - (x + y) / 2.0).abs()
+                    }
+                    OpKind::Multiplication => {
+                        let a = ctx.encode(x)?;
+                        let b = ctx.encode(y)?;
+                        let c = ctx.mul(&a, &b)?;
+                        (ctx.decode(&c)? - x * y).abs()
+                    }
+                };
+                sum_abs += err;
+                sum_sq += err * err;
+                max_abs = max_abs.max(err);
+                n += 1;
+            }
+        }
+    }
+
+    Ok(OpErrorStats {
+        op,
+        dim,
+        samples: n,
+        mean_abs_error: sum_abs / n as f64,
+        rms_error: (sum_sq / n as f64).sqrt(),
+        max_abs_error: max_abs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_formula() {
+        assert!((expected_sigma(10_000, 0.0) - 0.01).abs() < 1e-12);
+        assert_eq!(expected_sigma(10_000, 1.0), 0.0);
+        assert_eq!(expected_sigma(0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn error_decreases_with_dimensionality() {
+        // The headline claim of Fig. 2: error rate shrinks as D grows.
+        let small = measure_errors(OpKind::Construction, 512, 5, 3, 1).unwrap();
+        let large = measure_errors(OpKind::Construction, 8192, 5, 3, 1).unwrap();
+        assert!(
+            large.rms_error < small.rms_error,
+            "rms at 8k ({}) should beat 512 ({})",
+            large.rms_error,
+            small.rms_error
+        );
+    }
+
+    #[test]
+    fn construction_error_tracks_analytic_sigma() {
+        let stats = measure_errors(OpKind::Construction, 4096, 7, 4, 2).unwrap();
+        // Mean |N(0,σ)| = σ·√(2/π) ≈ 0.8·σ; the grid mixes values of a
+        // so just check the right order of magnitude.
+        let sigma0 = expected_sigma(4096, 0.0);
+        assert!(stats.mean_abs_error < 2.0 * sigma0);
+        assert!(stats.mean_abs_error > 0.05 * sigma0);
+    }
+
+    #[test]
+    fn all_ops_produce_finite_stats() {
+        for op in OpKind::ALL {
+            let s = measure_errors(op, 1024, 4, 2, 3).unwrap();
+            assert!(s.mean_abs_error.is_finite());
+            assert!(s.rms_error >= s.mean_abs_error * 0.5);
+            assert!(s.max_abs_error >= s.rms_error);
+            assert_eq!(s.samples, 4 * 4 * 2);
+            assert!(!s.op.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(matches!(
+            measure_errors(OpKind::Average, 0, 3, 1, 0),
+            Err(StochasticError::EmptyDimension)
+        ));
+    }
+}

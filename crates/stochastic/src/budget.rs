@@ -1,0 +1,282 @@
+//! Analytic error-budget propagation — the paper's §4.3 closing
+//! remark made executable: "These error rates can be easily expanded
+//! to analyze the error rate of different feature extraction methods
+//! using stochastic arithmetic operations. For example, the HOG error
+//! rate can be estimated in each dimensionality."
+//!
+//! An [`ErrorBudget`] carries a value estimate and a variance through
+//! the stochastic primitives, using the independence assumptions each
+//! primitive documents, so a pipeline's end-to-end standard deviation
+//! can be predicted *without running it* and compared against the
+//! empirical Fig. 2 measurements.
+
+/// A (value, variance) pair propagated through stochastic operations
+/// at a fixed dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Expected decoded value.
+    pub value: f64,
+    /// Variance of the decoded value.
+    pub variance: f64,
+    /// Dimensionality the budget is computed for.
+    pub dim: usize,
+}
+
+impl ErrorBudget {
+    /// The budget of a fresh encoding of `a`: mean `a`, variance
+    /// `(1 − a²)/D` (a mean of `D` i.i.d. ±1 components).
+    #[must_use]
+    pub fn encode(a: f64, dim: usize) -> Self {
+        let d = dim.max(1) as f64;
+        ErrorBudget {
+            value: a,
+            variance: (1.0 - a * a).max(0.0) / d,
+            dim: dim.max(1),
+        }
+    }
+
+    /// An exact (noise-free) constant, e.g. the basis itself.
+    #[must_use]
+    pub fn exact(a: f64, dim: usize) -> Self {
+        ErrorBudget {
+            value: a,
+            variance: 0.0,
+            dim: dim.max(1),
+        }
+    }
+
+    /// Standard deviation of the decoded value.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Negation is a deterministic complement: the value flips, the
+    /// variance is unchanged.
+    #[must_use]
+    pub fn negate(&self) -> Self {
+        ErrorBudget {
+            value: -self.value,
+            variance: self.variance,
+            dim: self.dim,
+        }
+    }
+
+    /// Weighted average `p·a ⊕ (1−p)·b`: each output component is an
+    /// independent Bernoulli pick, so
+    /// `Var = p²·Var(a) + q²·Var(b) + fresh selection noise`, where
+    /// the selection noise is `(p·q·(a − b)² + …)/D` from the
+    /// per-component choice between the two operands.
+    #[must_use]
+    pub fn average(&self, other: &ErrorBudget, p: f64) -> Self {
+        let q = 1.0 - p;
+        let d = self.dim as f64;
+        let value = p * self.value + q * other.value;
+        // Per-component: X = A_i w.p. p else B_i, E[X] = p·a + q·b,
+        // Var(X_i) ≤ 1 − value²; the dominant fresh term is the
+        // Bernoulli mixing variance p·q·(a − b)².
+        let mixing = p * q * (self.value - other.value).powi(2) / d;
+        ErrorBudget {
+            value,
+            variance: p * p * self.variance + q * q * other.variance + mixing,
+            dim: self.dim,
+        }
+    }
+
+    /// Halved addition `(a + b)/2`.
+    #[must_use]
+    pub fn add_halved(&self, other: &ErrorBudget) -> Self {
+        self.average(other, 0.5)
+    }
+
+    /// Halved subtraction `(a − b)/2`.
+    #[must_use]
+    pub fn sub_halved(&self, other: &ErrorBudget) -> Self {
+        self.average(&other.negate(), 0.5)
+    }
+
+    /// Multiplication of *independent* operands: `E = a·b`,
+    /// `Var ≈ a²·Var(b) + b²·Var(a) + (1 − (ab)²)/D` (input noise
+    /// propagated through the product plus the fresh XNOR-decode
+    /// term).
+    #[must_use]
+    pub fn multiply(&self, other: &ErrorBudget) -> Self {
+        let d = self.dim as f64;
+        let value = self.value * other.value;
+        let fresh = (1.0 - value * value).max(0.0) / d;
+        ErrorBudget {
+            value,
+            variance: self.value * self.value * other.variance
+                + other.value * other.value * self.variance
+                + fresh,
+            dim: self.dim,
+        }
+    }
+
+    /// Squaring via resample-then-multiply: the two instances carry
+    /// independent noise of the input's variance plus a fresh
+    /// re-encode term.
+    #[must_use]
+    pub fn square(&self) -> Self {
+        let resampled = ErrorBudget {
+            value: self.value,
+            variance: self.variance + (1.0 - self.value * self.value).max(0.0) / self.dim as f64,
+            dim: self.dim,
+        };
+        self.multiply(&resampled)
+    }
+
+    /// Square root via `iters` bisection steps: the output value is
+    /// `√a`; the variance combines the bisection's resolution floor
+    /// `2^(−iters)` with the comparison noise of the final steps
+    /// (≈ the square's sigma mapped through the local slope
+    /// `1/(2√a)`).
+    #[must_use]
+    pub fn sqrt(&self, iters: usize) -> Self {
+        let root = self.value.max(0.0).sqrt();
+        let resolution = 0.25f64.powi(1) / 2.0f64.powi(iters as i32); // interval after iters halvings
+        let slope = 1.0 / (2.0 * root.max(0.05)); // d√a/da, floored near 0
+        let mapped = self.square_test_variance() * slope * slope;
+        ErrorBudget {
+            value: root,
+            variance: resolution * resolution + mapped,
+            dim: self.dim,
+        }
+    }
+
+    /// Variance of the bisection's midpoint-squared test (one square
+    /// plus one comparison against the target).
+    fn square_test_variance(&self) -> f64 {
+        let d = self.dim as f64;
+        self.variance + 2.0 * (1.0 - self.value * self.value).max(0.0) / d
+    }
+}
+
+/// Predicts the end-to-end standard deviation of the §4.3 HOG
+/// magnitude pipeline (`√((Gx² + Gy²)/2)`) for pixels of typical
+/// gradient `g` at dimensionality `dim` — the paper's "HOG error rate
+/// can be estimated in each dimensionality".
+#[must_use]
+pub fn hog_magnitude_sigma(g: f64, dim: usize, sqrt_iters: usize) -> f64 {
+    let pixel = ErrorBudget::encode(g, dim);
+    let gx = pixel.sub_halved(&ErrorBudget::encode(-g, dim)); // (g −(−g))/2 = g
+    let gx2 = gx.square();
+    let gy2 = gx2; // symmetric axis
+    let msq = gx2.add_halved(&gy2);
+    msq.sqrt(sqrt_iters).sigma()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::StochasticContext;
+
+    const D: usize = 8192;
+    const TRIALS: usize = 400;
+
+    /// Empirical sigma of a closure's decoded output.
+    fn empirical<F: FnMut(&mut StochasticContext) -> f64>(mut f: F) -> f64 {
+        let mut ctx = StochasticContext::new(D, 77);
+        let samples: Vec<f64> = (0..TRIALS).map(|_| f(&mut ctx)).collect();
+        let mean = samples.iter().sum::<f64>() / TRIALS as f64;
+        (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / TRIALS as f64).sqrt()
+    }
+
+    #[test]
+    fn encode_budget_matches_empirical_sigma() {
+        let predicted = ErrorBudget::encode(0.4, D).sigma();
+        let measured = empirical(|ctx| {
+            let v = ctx.encode(0.4).unwrap();
+            ctx.decode(&v).unwrap()
+        });
+        assert!(
+            (measured - predicted).abs() < 0.35 * predicted,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn average_budget_matches_empirical_sigma() {
+        let a = ErrorBudget::encode(0.8, D);
+        let b = ErrorBudget::encode(-0.2, D);
+        let predicted = a.add_halved(&b).sigma();
+        let measured = empirical(|ctx| {
+            let va = ctx.encode(0.8).unwrap();
+            let vb = ctx.encode(-0.2).unwrap();
+            let c = ctx.add_halved(&va, &vb).unwrap();
+            ctx.decode(&c).unwrap()
+        });
+        assert!(
+            (measured - predicted).abs() < 0.4 * predicted.max(1e-4),
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn multiply_budget_matches_empirical_sigma() {
+        let a = ErrorBudget::encode(0.6, D);
+        let b = ErrorBudget::encode(0.5, D);
+        let predicted = a.multiply(&b).sigma();
+        let measured = empirical(|ctx| {
+            let va = ctx.encode(0.6).unwrap();
+            let vb = ctx.encode(0.5).unwrap();
+            let c = ctx.mul(&va, &vb).unwrap();
+            ctx.decode(&c).unwrap()
+        });
+        assert!(
+            (measured - predicted).abs() < 0.4 * predicted,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn square_budget_matches_empirical_sigma() {
+        let predicted = ErrorBudget::encode(0.5, D).square().sigma();
+        let measured = empirical(|ctx| {
+            let v = ctx.encode(0.5).unwrap();
+            let s = ctx.square(&v).unwrap();
+            ctx.decode(&s).unwrap()
+        });
+        assert!(
+            (measured - predicted).abs() < 0.5 * predicted,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn budgets_shrink_with_dimensionality() {
+        for f in [
+            |d: usize| ErrorBudget::encode(0.3, d).sigma(),
+            |d: usize| ErrorBudget::encode(0.3, d).square().sigma(),
+            |d: usize| hog_magnitude_sigma(0.1, d, 6),
+        ] {
+            assert!(f(16_384) < f(1024), "sigma must fall with D");
+        }
+    }
+
+    #[test]
+    fn hog_magnitude_prediction_is_same_order_as_measurement() {
+        let predicted = hog_magnitude_sigma(0.1, D, 6);
+        let measured = empirical(|ctx| {
+            let a = ctx.encode(0.3).unwrap();
+            let b = ctx.encode(0.1).unwrap();
+            let gx = ctx.sub_halved(&a, &b).unwrap(); // 0.1
+            let gx2 = ctx.square(&gx).unwrap();
+            let gy2 = ctx.square(&gx).unwrap();
+            let msq = ctx.add_halved(&gx2, &gy2).unwrap();
+            let m = ctx.sqrt_with_iters(&msq, 6).unwrap();
+            ctx.decode(&m).unwrap()
+        });
+        assert!(
+            measured < predicted * 4.0 && measured > predicted / 4.0,
+            "measured {measured} vs predicted {predicted} (order-of-magnitude check)"
+        );
+    }
+
+    #[test]
+    fn exact_constants_carry_no_variance() {
+        let one = ErrorBudget::exact(1.0, D);
+        assert_eq!(one.sigma(), 0.0);
+        assert_eq!(one.negate().value, -1.0);
+    }
+}

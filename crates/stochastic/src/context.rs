@@ -1,0 +1,628 @@
+//! The stochastic arithmetic context: basis vector, encoding, and the
+//! elementary operations of HDFace §4.2.
+
+use std::fmt;
+
+use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+
+use crate::error::StochasticError;
+
+/// A **s**tochastic **h**yper**v**ector: a bipolar hypervector that
+/// represents a scalar in `[-1, 1]` relative to a context's basis.
+///
+/// `Shv` is a thin newtype over [`BitVector`]; it exists so that the
+/// type system distinguishes *value-carrying* vectors (which only make
+/// sense together with the basis that encoded them) from plain
+/// symbolic hypervectors.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shv(BitVector);
+
+impl Shv {
+    /// Wraps a raw hypervector that is known to encode a value against
+    /// some context's basis.
+    #[must_use]
+    pub fn from_bits(bits: BitVector) -> Self {
+        Shv(bits)
+    }
+
+    /// Dimensionality of the underlying hypervector.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    /// Read-only view of the underlying hypervector.
+    #[inline]
+    #[must_use]
+    pub fn as_bits(&self) -> &BitVector {
+        &self.0
+    }
+
+    /// Unwraps into the underlying hypervector.
+    #[must_use]
+    pub fn into_bits(self) -> BitVector {
+        self.0
+    }
+
+    /// Bipolar negation: `V_a ↦ V_{-a}` (paper: `V_{-a} = -V_a`).
+    ///
+    /// This is exact — no stochastic noise is added.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        Shv(self.0.negated())
+    }
+}
+
+impl fmt::Debug for Shv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shv(D={})", self.dim())
+    }
+}
+
+impl From<BitVector> for Shv {
+    fn from(bits: BitVector) -> Self {
+        Shv(bits)
+    }
+}
+
+impl AsRef<BitVector> for Shv {
+    fn as_ref(&self) -> &BitVector {
+        &self.0
+    }
+}
+
+/// Outcome of a statistical comparison between two stochastic values.
+///
+/// Decoded values carry sampling noise of magnitude `≈ 1/√D`, so a
+/// three-way comparison must admit an "indistinguishable" band; the
+/// binary-search routines terminate on it (the paper's "up to
+/// statistical margins of error").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparison {
+    /// Left decodes significantly below right.
+    Less,
+    /// The two values are within the statistical margin.
+    ApproxEqual,
+    /// Left decodes significantly above right.
+    Greater,
+}
+
+/// The arithmetic context of §4: dimensionality `D`, the random basis
+/// `V₁`, and the RNG that draws selection masks.
+///
+/// All values produced by one context share its basis; mixing vectors
+/// from different contexts is not detected (they are just bits) and
+/// yields garbage values, so keep one context per experiment.
+///
+/// ```
+/// use hdface_stochastic::StochasticContext;
+/// # fn main() -> Result<(), hdface_stochastic::StochasticError> {
+/// let mut ctx = StochasticContext::new(8192, 1);
+/// let half = ctx.encode(0.5)?;
+/// assert!((ctx.decode(&half)? - 0.5).abs() < 0.06);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StochasticContext {
+    dim: usize,
+    basis: Shv,
+    rng: HdcRng,
+    /// Multiplier on `1/√D` used as the comparison margin.
+    margin_sigmas: f64,
+}
+
+impl Clone for StochasticContext {
+    /// Clones the value-defining state (dimensionality, basis,
+    /// margin). The mask RNG is *not* clonable
+    /// ([`HdcRng`] deliberately hides its state), so the clone starts
+    /// a fresh deterministic stream — callers that need distinct
+    /// streams per clone (e.g. parallel workers) should follow up
+    /// with [`StochasticContext::reseed_masks`].
+    fn clone(&self) -> Self {
+        StochasticContext {
+            dim: self.dim,
+            basis: self.basis.clone(),
+            rng: HdcRng::seed_from_u64(0x5707_ca57_0c10_4e5d_u64 ^ self.dim as u64),
+            margin_sigmas: self.margin_sigmas,
+        }
+    }
+}
+
+impl StochasticContext {
+    /// Default number of binary-search iterations for
+    /// [`sqrt`](Self::sqrt) / [`div`](Self::div). Ten halvings reach a
+    /// `2⁻¹⁰ ≈ 0.001` interval, already below the decode noise at any
+    /// practical `D`.
+    pub const DEFAULT_SEARCH_ITERS: usize = 10;
+
+    /// Creates a context with dimensionality `dim` and a deterministic
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`; use [`StochasticContext::try_new`] to
+    /// handle that case as an error.
+    #[must_use]
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self::try_new(dim, seed).expect("dimensionality must be non-zero")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::EmptyDimension`] if `dim == 0`.
+    pub fn try_new(dim: usize, seed: u64) -> Result<Self, StochasticError> {
+        if dim == 0 {
+            return Err(StochasticError::EmptyDimension);
+        }
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let basis = Shv(BitVector::random(dim, &mut rng));
+        Ok(StochasticContext {
+            dim,
+            basis,
+            rng,
+            margin_sigmas: 2.0,
+        })
+    }
+
+    /// Dimensionality `D` of the context.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The basis hypervector `V₁` (representing the number 1).
+    #[inline]
+    #[must_use]
+    pub fn basis(&self) -> &Shv {
+        &self.basis
+    }
+
+    /// The hypervector representing `-1` (the basis negated).
+    #[must_use]
+    pub fn neg_basis(&self) -> Shv {
+        self.basis.negated()
+    }
+
+    /// One standard deviation of decode noise for a value near zero:
+    /// `1/√D`.
+    #[inline]
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        1.0 / (self.dim as f64).sqrt()
+    }
+
+    /// The statistical margin used by [`compare`](Self::compare), in
+    /// absolute decoded-value units.
+    #[inline]
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.margin_sigmas * self.sigma()
+    }
+
+    /// Overrides the comparison margin (in multiples of `1/√D`).
+    pub fn set_margin_sigmas(&mut self, sigmas: f64) {
+        self.margin_sigmas = sigmas;
+    }
+
+    /// **Construction** (paper §4.2): encodes `a ∈ [-1, 1]` as
+    /// `V_a = ((a+1)/2)·V₁ ⊕ ((1−a)/2)·(−V₁)`.
+    ///
+    /// Each component is taken from the basis with probability
+    /// `(1+a)/2` and from its negation otherwise, so
+    /// `E[δ(V_a, V₁)] = a` with standard deviation `√((1−a²)/D)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::ValueOutOfRange`] if `a ∉ [-1, 1]`.
+    pub fn encode(&mut self, a: f64) -> Result<Shv, StochasticError> {
+        if !(-1.0..=1.0).contains(&a) {
+            return Err(StochasticError::ValueOutOfRange(a));
+        }
+        let p = (1.0 + a) / 2.0;
+        let mask = BitVector::random_with_density(self.dim, p, &mut self.rng)
+            .map_err(|_| StochasticError::ValueOutOfRange(a))?;
+        let neg = self.basis.0.negated();
+        let bits = self
+            .basis
+            .0
+            .select(&neg, &mask)
+            .expect("dims equal by construction");
+        Ok(Shv(bits))
+    }
+
+    /// **Decoding**: recovers the scalar as `δ(V, V₁)` — one XOR and
+    /// one popcount in hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context dimensionality.
+    pub fn decode(&self, v: &Shv) -> Result<f64, StochasticError> {
+        Ok(v.0.similarity(&self.basis.0)?)
+    }
+
+    /// **Weighted average** (⊕): constructs `p·V_a + (1−p)·V_b` by
+    /// componentwise random selection with a fresh mask of density
+    /// `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::InvalidWeight`] if `p ∉ [0, 1]` and
+    /// [`StochasticError::DimensionMismatch`] for ragged operands.
+    pub fn weighted_average(
+        &mut self,
+        a: &Shv,
+        b: &Shv,
+        p: f64,
+    ) -> Result<Shv, StochasticError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StochasticError::InvalidWeight(p));
+        }
+        let mask = BitVector::random_with_density(a.dim(), p, &mut self.rng)
+            .map_err(|_| StochasticError::InvalidWeight(p))?;
+        Ok(Shv(a.0.select(&b.0, &mask)?))
+    }
+
+    /// Halved addition `(a+b)/2 = 0.5·V_a ⊕ 0.5·V_b`.
+    ///
+    /// The paper keeps every intermediate inside `[-1, 1]` by folding
+    /// the ½ factor of averages into later rescaling; sums therefore
+    /// always appear in halved form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StochasticError::DimensionMismatch`].
+    pub fn add_halved(&mut self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        self.weighted_average(a, b, 0.5)
+    }
+
+    /// Halved subtraction `(a−b)/2 = 0.5·V_a ⊕ 0.5·(−V_b)` — exactly
+    /// the gradient construction of §4.3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StochasticError::DimensionMismatch`].
+    pub fn sub_halved(&mut self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        let nb = b.negated();
+        self.weighted_average(a, &nb, 0.5)
+    }
+
+    /// **Multiplication** (⊗): `V_ab[i] = V₁[i]` where the operands
+    /// agree and `−V₁[i]` where they differ, i.e. bitwise
+    /// `V_a XOR V_b XOR V₁`. Decodes to `a·b`.
+    ///
+    /// The operands must carry **independent** encoding noise; see the
+    /// crate-level *Independence discipline* notes. For squaring use
+    /// [`square`](Self::square).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] for ragged
+    /// operands.
+    pub fn mul(&self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        let x = a.0.xor(&b.0)?;
+        Ok(Shv(x.xor(&self.basis.0)?))
+    }
+
+    /// Draws a fresh hypervector encoding the same value as `v` but
+    /// with independent noise: a popcount (decode) followed by a fresh
+    /// construction.
+    ///
+    /// The decoded value is clamped to `[-1, 1]` so that decode noise
+    /// on extreme values cannot produce an out-of-range error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn resample(&mut self, v: &Shv) -> Result<Shv, StochasticError> {
+        let value = self.decode(v)?.clamp(-1.0, 1.0);
+        self.encode(value)
+    }
+
+    /// Squares a value: `V_a ↦ V_{a²}`, resampling first so that the
+    /// two multiplication operands carry independent noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn square(&mut self, v: &Shv) -> Result<Shv, StochasticError> {
+        let independent = self.resample(v)?;
+        self.mul(v, &independent)
+    }
+
+    /// Statistical sign of a value: `true` if it decodes non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn is_non_negative(&self, v: &Shv) -> Result<bool, StochasticError> {
+        Ok(self.decode(v)? >= 0.0)
+    }
+
+    /// Absolute value: negates the vector when it decodes negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn abs(&self, v: &Shv) -> Result<Shv, StochasticError> {
+        if self.is_non_negative(v)? {
+            Ok(v.clone())
+        } else {
+            Ok(v.negated())
+        }
+    }
+
+    /// Three-way comparison of two stochastic values with the
+    /// context's statistical margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] for ragged
+    /// operands.
+    pub fn compare(&self, a: &Shv, b: &Shv) -> Result<Comparison, StochasticError> {
+        let da = self.decode(a)?;
+        let db = self.decode(b)?;
+        Ok(self.compare_values(da, db))
+    }
+
+    /// Comparison of already-decoded values under the context margin.
+    #[must_use]
+    pub fn compare_values(&self, a: f64, b: f64) -> Comparison {
+        let m = self.margin();
+        if a - b > m {
+            Comparison::Greater
+        } else if b - a > m {
+            Comparison::Less
+        } else {
+            Comparison::ApproxEqual
+        }
+    }
+
+    /// Exclusive access to the context RNG, for callers that need to
+    /// draw auxiliary randomness from the same deterministic stream.
+    pub fn rng_mut(&mut self) -> &mut HdcRng {
+        &mut self.rng
+    }
+
+    /// Replaces the mask RNG stream (basis and codebook state are
+    /// untouched, so values stay decodable). Used to give cloned
+    /// contexts independent noise streams for parallel extraction.
+    pub fn reseed_masks(&mut self, seed: u64) {
+        self.rng = HdcRng::seed_from_u64(seed);
+    }
+}
+
+impl fmt::Debug for StochasticContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StochasticContext(D={}, margin={:.4})",
+            self.dim,
+            self.margin()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: usize = 32_768;
+    const TOL: f64 = 0.04;
+
+    #[test]
+    fn encode_decode_roundtrip_across_range() {
+        let mut ctx = StochasticContext::new(D, 1);
+        for &a in &[-1.0, -0.75, -0.5, -0.1, 0.0, 0.3, 0.5, 0.9, 1.0] {
+            let v = ctx.encode(a).unwrap();
+            let d = ctx.decode(&v).unwrap();
+            assert!((d - a).abs() < TOL, "a={a} decoded {d}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut ctx = StochasticContext::new(2048, 2);
+        let one = ctx.encode(1.0).unwrap();
+        let neg = ctx.encode(-1.0).unwrap();
+        assert_eq!(ctx.decode(&one).unwrap(), 1.0);
+        assert_eq!(ctx.decode(&neg).unwrap(), -1.0);
+        assert_eq!(one, *ctx.basis());
+        assert_eq!(neg, ctx.neg_basis());
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let mut ctx = StochasticContext::new(64, 3);
+        assert!(matches!(
+            ctx.encode(1.5),
+            Err(StochasticError::ValueOutOfRange(_))
+        ));
+        assert!(matches!(
+            ctx.encode(f64::NAN),
+            Err(StochasticError::ValueOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn negation_negates_value() {
+        let mut ctx = StochasticContext::new(D, 4);
+        let v = ctx.encode(0.4).unwrap();
+        let d = ctx.decode(&v.negated()).unwrap();
+        assert!((d + 0.4).abs() < TOL);
+    }
+
+    #[test]
+    fn weighted_average_matches_formula() {
+        let mut ctx = StochasticContext::new(D, 5);
+        let a = ctx.encode(0.8).unwrap();
+        let b = ctx.encode(-0.6).unwrap();
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let c = ctx.weighted_average(&a, &b, p).unwrap();
+            let expected = p * 0.8 + (1.0 - p) * (-0.6);
+            let d = ctx.decode(&c).unwrap();
+            assert!((d - expected).abs() < TOL, "p={p} got {d} want {expected}");
+        }
+    }
+
+    #[test]
+    fn sub_halved_computes_half_difference() {
+        let mut ctx = StochasticContext::new(D, 6);
+        let a = ctx.encode(0.9).unwrap();
+        let b = ctx.encode(0.3).unwrap();
+        let c = ctx.sub_halved(&a, &b).unwrap();
+        assert!((ctx.decode(&c).unwrap() - 0.3).abs() < TOL);
+    }
+
+    #[test]
+    fn add_halved_computes_half_sum() {
+        let mut ctx = StochasticContext::new(D, 7);
+        let a = ctx.encode(0.5).unwrap();
+        let b = ctx.encode(0.1).unwrap();
+        let c = ctx.add_halved(&a, &b).unwrap();
+        assert!((ctx.decode(&c).unwrap() - 0.3).abs() < TOL);
+    }
+
+    #[test]
+    fn multiplication_decodes_to_product() {
+        let mut ctx = StochasticContext::new(D, 8);
+        for &(x, y) in &[(0.5, 0.5), (0.9, -0.7), (-0.4, -0.6), (0.0, 0.8), (1.0, 0.3)] {
+            let a = ctx.encode(x).unwrap();
+            let b = ctx.encode(y).unwrap();
+            let p = ctx.mul(&a, &b).unwrap();
+            let d = ctx.decode(&p).unwrap();
+            assert!((d - x * y).abs() < TOL, "{x}*{y} got {d}");
+        }
+    }
+
+    #[test]
+    fn mul_by_basis_is_identity_value() {
+        let mut ctx = StochasticContext::new(D, 9);
+        let a = ctx.encode(0.35).unwrap();
+        let basis = ctx.basis().clone();
+        let p = ctx.mul(&a, &basis).unwrap();
+        // V_a ⊗ V₁ = V_a exactly (XOR with V₁ twice cancels).
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn naive_self_multiplication_collapses_to_one() {
+        // The documented failure mode: V ⊗ V decodes to 1, not a².
+        let mut ctx = StochasticContext::new(D, 10);
+        let a = ctx.encode(0.3).unwrap();
+        let naive = ctx.mul(&a, &a).unwrap();
+        assert_eq!(ctx.decode(&naive).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn square_with_resampling_is_correct() {
+        let mut ctx = StochasticContext::new(D, 11);
+        for &x in &[-0.9, -0.5, 0.0, 0.4, 0.8] {
+            let a = ctx.encode(x).unwrap();
+            let sq = ctx.square(&a).unwrap();
+            let d = ctx.decode(&sq).unwrap();
+            assert!((d - x * x).abs() < TOL, "sq({x}) got {d}");
+        }
+    }
+
+    #[test]
+    fn resample_preserves_value_and_decorrelates() {
+        let mut ctx = StochasticContext::new(D, 12);
+        let a = ctx.encode(0.5).unwrap();
+        let b = ctx.resample(&a).unwrap();
+        assert!((ctx.decode(&b).unwrap() - 0.5).abs() < TOL);
+        // Agreement between two independent 0.5-encodings should be
+        // well below 1 (they differ in many bits).
+        assert!(a.as_bits().hamming(b.as_bits()).unwrap() > D / 10);
+    }
+
+    #[test]
+    fn abs_and_sign() {
+        let mut ctx = StochasticContext::new(D, 13);
+        let neg = ctx.encode(-0.6).unwrap();
+        let pos = ctx.encode(0.6).unwrap();
+        assert!(!ctx.is_non_negative(&neg).unwrap());
+        assert!(ctx.is_non_negative(&pos).unwrap());
+        let a = ctx.abs(&neg).unwrap();
+        assert!((ctx.decode(&a).unwrap() - 0.6).abs() < TOL);
+    }
+
+    #[test]
+    fn comparison_with_margin() {
+        let mut ctx = StochasticContext::new(D, 14);
+        let lo = ctx.encode(-0.5).unwrap();
+        let hi = ctx.encode(0.5).unwrap();
+        assert_eq!(ctx.compare(&lo, &hi).unwrap(), Comparison::Less);
+        assert_eq!(ctx.compare(&hi, &lo).unwrap(), Comparison::Greater);
+        assert_eq!(ctx.compare(&hi, &hi).unwrap(), Comparison::ApproxEqual);
+        let hi2 = ctx.resample(&hi).unwrap();
+        assert_eq!(ctx.compare(&hi, &hi2).unwrap(), Comparison::ApproxEqual);
+    }
+
+    #[test]
+    fn margin_scales_with_sigmas() {
+        let mut ctx = StochasticContext::new(10_000, 15);
+        assert!((ctx.sigma() - 0.01).abs() < 1e-12);
+        ctx.set_margin_sigmas(3.0);
+        assert!((ctx.margin() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_dim() {
+        assert!(matches!(
+            StochasticContext::try_new(0, 1),
+            Err(StochasticError::EmptyDimension)
+        ));
+    }
+
+    #[test]
+    fn weighted_average_rejects_bad_weight() {
+        let mut ctx = StochasticContext::new(64, 16);
+        let a = ctx.encode(0.0).unwrap();
+        assert!(matches!(
+            ctx.weighted_average(&a, &a, 1.2),
+            Err(StochasticError::InvalidWeight(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut ctx = StochasticContext::new(64, 17);
+        let a = ctx.encode(0.0).unwrap();
+        let alien = Shv::from_bits(BitVector::zeros(65));
+        assert!(matches!(
+            ctx.decode(&alien),
+            Err(StochasticError::DimensionMismatch(_))
+        ));
+        assert!(ctx.mul(&a, &alien).is_err());
+        assert!(ctx.weighted_average(&a, &alien, 0.5).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut c1 = StochasticContext::new(1024, 99);
+        let mut c2 = StochasticContext::new(1024, 99);
+        assert_eq!(c1.encode(0.33).unwrap(), c2.encode(0.33).unwrap());
+    }
+
+    #[test]
+    fn shv_conversions() {
+        let bits = BitVector::zeros(8);
+        let shv = Shv::from_bits(bits.clone());
+        assert_eq!(shv.as_bits(), &bits);
+        assert_eq!(shv.as_ref(), &bits);
+        let back: BitVector = shv.clone().into_bits();
+        assert_eq!(back, bits);
+        let via_from: Shv = bits.clone().into();
+        assert_eq!(via_from, shv);
+        assert_eq!(format!("{shv:?}"), "Shv(D=8)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for stochastic hyperdimensional arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::DimensionMismatchError;
+
+/// Errors raised by [`StochasticContext`](crate::StochasticContext)
+/// operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StochasticError {
+    /// A scalar to encode fell outside the representable range
+    /// `[-1, 1]` (NaN included).
+    ValueOutOfRange(f64),
+    /// A weight/probability parameter fell outside `[0, 1]`.
+    InvalidWeight(f64),
+    /// Operand hypervectors have different dimensionalities.
+    DimensionMismatch(DimensionMismatchError),
+    /// Square root was requested of a hypervector whose decoded value
+    /// is significantly negative.
+    NegativeSqrt(f64),
+    /// Division was requested by a hypervector whose decoded magnitude
+    /// is below the statistical noise floor, so the quotient is
+    /// meaningless.
+    DivisorTooSmall(f64),
+    /// The quotient `a/b` would fall outside the representable range
+    /// `[-1, 1]`.
+    QuotientOutOfRange {
+        /// Decoded numerator.
+        numerator: f64,
+        /// Decoded denominator.
+        denominator: f64,
+    },
+    /// Zero-dimensional contexts cannot represent values.
+    EmptyDimension,
+}
+
+impl fmt::Display for StochasticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StochasticError::ValueOutOfRange(v) => {
+                write!(f, "value {v} is outside the representable range [-1, 1]")
+            }
+            StochasticError::InvalidWeight(w) => {
+                write!(f, "weight {w} is outside the closed interval [0, 1]")
+            }
+            StochasticError::DimensionMismatch(e) => e.fmt(f),
+            StochasticError::NegativeSqrt(v) => {
+                write!(f, "square root of hypervector decoding to negative value {v}")
+            }
+            StochasticError::DivisorTooSmall(v) => write!(
+                f,
+                "divisor decodes to {v}, below the statistical noise floor"
+            ),
+            StochasticError::QuotientOutOfRange {
+                numerator,
+                denominator,
+            } => write!(
+                f,
+                "quotient {numerator}/{denominator} falls outside [-1, 1]"
+            ),
+            StochasticError::EmptyDimension => {
+                write!(f, "stochastic context requires at least one dimension")
+            }
+        }
+    }
+}
+
+impl Error for StochasticError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StochasticError::DimensionMismatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DimensionMismatchError> for StochasticError {
+    fn from(e: DimensionMismatchError) -> Self {
+        StochasticError::DimensionMismatch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(StochasticError::ValueOutOfRange(2.0)
+            .to_string()
+            .contains("2"));
+        assert!(StochasticError::DivisorTooSmall(0.001)
+            .to_string()
+            .contains("noise floor"));
+        assert!(StochasticError::QuotientOutOfRange {
+            numerator: 0.9,
+            denominator: 0.1
+        }
+        .to_string()
+        .contains("0.9"));
+    }
+
+    #[test]
+    fn source_chains_dimension_mismatch() {
+        let e: StochasticError = DimensionMismatchError { left: 1, right: 2 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&StochasticError::EmptyDimension).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StochasticError>();
+    }
+}

@@ -1,0 +1,217 @@
+//! Extended stochastic operations: min/max selection, clamping,
+//! fused average-of-products, and batch encode/decode.
+//!
+//! These compose the §4.2 primitives into the forms feature-extraction
+//! kernels actually consume; everything stays bitwise + popcount.
+
+use crate::context::{Comparison, Shv, StochasticContext};
+use crate::error::StochasticError;
+
+impl StochasticContext {
+    /// Returns (a copy of) the operand with the larger decoded value —
+    /// a compare-and-select, the stochastic `max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] for foreign
+    /// vectors.
+    pub fn max(&self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        Ok(match self.compare(a, b)? {
+            Comparison::Less => b.clone(),
+            _ => a.clone(),
+        })
+    }
+
+    /// Returns the operand with the smaller decoded value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] for foreign
+    /// vectors.
+    pub fn min(&self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        Ok(match self.compare(a, b)? {
+            Comparison::Greater => b.clone(),
+            _ => a.clone(),
+        })
+    }
+
+    /// Clamps a value into `[lo, hi]` (by decoded comparison against
+    /// freshly encoded bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::ValueOutOfRange`] when the bounds
+    /// are not inside `[-1, 1]` or `lo > hi`.
+    pub fn clamp(&mut self, v: &Shv, lo: f64, hi: f64) -> Result<Shv, StochasticError> {
+        if lo > hi {
+            return Err(StochasticError::ValueOutOfRange(lo));
+        }
+        let d = self.decode(v)?;
+        if d < lo {
+            self.encode(lo)
+        } else if d > hi {
+            self.encode(hi)
+        } else {
+            Ok(v.clone())
+        }
+    }
+
+    /// Fused halved dot step: `(a·b + c·d) / 2` — the inner pattern of
+    /// the HOG magnitude (`(Gx² + Gy²)/2`) generalized to any two
+    /// products. One ⊗ each plus a single ⊕.
+    ///
+    /// The usual independence discipline applies to each product's
+    /// operand pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] for foreign
+    /// vectors.
+    pub fn fused_mul_avg(
+        &mut self,
+        a: &Shv,
+        b: &Shv,
+        c: &Shv,
+        d: &Shv,
+    ) -> Result<Shv, StochasticError> {
+        let ab = self.mul(a, b)?;
+        let cd = self.mul(c, d)?;
+        self.add_halved(&ab, &cd)
+    }
+
+    /// Encodes a slice of values in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::ValueOutOfRange`] on the first value
+    /// outside `[-1, 1]`.
+    pub fn encode_batch(&mut self, values: &[f64]) -> Result<Vec<Shv>, StochasticError> {
+        values.iter().map(|&v| self.encode(v)).collect()
+    }
+
+    /// Decodes a slice of hypervectors in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] on the first
+    /// foreign vector.
+    pub fn decode_batch(&self, vs: &[Shv]) -> Result<Vec<f64>, StochasticError> {
+        vs.iter().map(|v| self.decode(v)).collect()
+    }
+
+    /// The mean of `n` values as a balanced ⊕ reduction tree:
+    /// pairwise halved additions, so every input contributes weight
+    /// `1/n` (up to the padding of non-power-of-two counts with the
+    /// running partial).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::ValueOutOfRange`]-family errors only
+    /// on internal bugs; [`StochasticError::EmptyDimension`] when
+    /// `vs` is empty.
+    pub fn mean(&mut self, vs: &[Shv]) -> Result<Shv, StochasticError> {
+        match vs.len() {
+            0 => Err(StochasticError::EmptyDimension),
+            1 => Ok(vs[0].clone()),
+            _ => {
+                // Reduce adjacent pairs; odd element passes through
+                // with appropriate weight at the next level.
+                let mut layer: Vec<(Shv, usize)> =
+                    vs.iter().map(|v| (v.clone(), 1usize)).collect();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    let mut it = layer.into_iter();
+                    while let Some((a, wa)) = it.next() {
+                        if let Some((b, wb)) = it.next() {
+                            let p = wa as f64 / (wa + wb) as f64;
+                            let merged = self.weighted_average(&a, &b, p)?;
+                            next.push((merged, wa + wb));
+                        } else {
+                            next.push((a, wa));
+                        }
+                    }
+                    layer = next;
+                }
+                Ok(layer.pop().expect("non-empty").0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: usize = 32_768;
+    const TOL: f64 = 0.05;
+
+    #[test]
+    fn max_and_min_pick_correctly() {
+        let mut ctx = StochasticContext::new(D, 40);
+        let a = ctx.encode(0.7).unwrap();
+        let b = ctx.encode(-0.2).unwrap();
+        assert_eq!(ctx.max(&a, &b).unwrap(), a);
+        assert_eq!(ctx.min(&a, &b).unwrap(), b);
+        assert_eq!(ctx.max(&b, &a).unwrap(), a);
+        // Ties (within margin) keep the left operand.
+        let a2 = ctx.resample(&a).unwrap();
+        assert_eq!(ctx.max(&a, &a2).unwrap(), a);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let mut ctx = StochasticContext::new(D, 41);
+        let v = ctx.encode(0.9).unwrap();
+        let c = ctx.clamp(&v, -0.5, 0.5).unwrap();
+        assert!((ctx.decode(&c).unwrap() - 0.5).abs() < TOL);
+        let inside = ctx.encode(0.1).unwrap();
+        assert_eq!(ctx.clamp(&inside, -0.5, 0.5).unwrap(), inside);
+        assert!(ctx.clamp(&v, 0.5, -0.5).is_err());
+    }
+
+    #[test]
+    fn fused_mul_avg_matches_formula() {
+        let mut ctx = StochasticContext::new(D, 42);
+        let (a, b, c, d) = (0.6, 0.5, -0.4, 0.8);
+        let va = ctx.encode(a).unwrap();
+        let vb = ctx.encode(b).unwrap();
+        let vc = ctx.encode(c).unwrap();
+        let vd = ctx.encode(d).unwrap();
+        let r = ctx.fused_mul_avg(&va, &vb, &vc, &vd).unwrap();
+        let want = (a * b + c * d) / 2.0;
+        assert!((ctx.decode(&r).unwrap() - want).abs() < TOL);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut ctx = StochasticContext::new(D, 43);
+        let values = [-0.9, -0.1, 0.0, 0.4, 1.0];
+        let encoded = ctx.encode_batch(&values).unwrap();
+        let decoded = ctx.decode_batch(&encoded).unwrap();
+        for (v, d) in values.iter().zip(&decoded) {
+            assert!((v - d).abs() < TOL);
+        }
+        assert!(ctx.encode_batch(&[0.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mean_of_tree_matches_arithmetic_mean() {
+        let mut ctx = StochasticContext::new(D, 44);
+        for values in [
+            vec![0.8],
+            vec![0.8, -0.4],
+            vec![0.9, 0.3, -0.6],
+            vec![0.2, 0.4, 0.6, 0.8, -1.0],
+        ] {
+            let encoded = ctx.encode_batch(&values).unwrap();
+            let m = ctx.mean(&encoded).unwrap();
+            let want = values.iter().sum::<f64>() / values.len() as f64;
+            let got = ctx.decode(&m).unwrap();
+            assert!(
+                (got - want).abs() < TOL,
+                "mean{values:?} got {got} want {want}"
+            );
+        }
+        assert!(ctx.mean(&[]).is_err());
+    }
+}

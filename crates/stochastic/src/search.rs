@@ -1,0 +1,241 @@
+//! Noisy binary-search routines: square root and division (§4.2).
+//!
+//! Both follow the paper's scheme: maintain `V_low`/`V_high`
+//! hypervectors, take the midpoint with a 0.5/0.5 weighted average,
+//! test it with stochastic multiplication, and narrow until the test
+//! agrees with the target "up to statistical margins of error".
+
+use crate::context::{Shv, StochasticContext};
+use crate::error::StochasticError;
+
+impl StochasticContext {
+    /// **Square root** of a non-negative stochastic value:
+    /// `V_a ↦ V_√a`.
+    ///
+    /// Runs [`StochasticContext::DEFAULT_SEARCH_ITERS`] bisection
+    /// steps; each step squares the midpoint (with resampling, see the
+    /// crate-level independence notes) and compares it to the target.
+    ///
+    /// # Errors
+    ///
+    /// * [`StochasticError::NegativeSqrt`] if the operand decodes
+    ///   below the statistical margin of zero.
+    /// * [`StochasticError::DimensionMismatch`] for foreign vectors.
+    ///
+    /// ```
+    /// use hdface_stochastic::StochasticContext;
+    /// # fn main() -> Result<(), hdface_stochastic::StochasticError> {
+    /// let mut ctx = StochasticContext::new(16_384, 5);
+    /// let a = ctx.encode(0.25)?;
+    /// let r = ctx.sqrt(&a)?;
+    /// assert!((ctx.decode(&r)? - 0.5).abs() < 0.08);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sqrt(&mut self, a: &Shv) -> Result<Shv, StochasticError> {
+        self.sqrt_with_iters(a, Self::DEFAULT_SEARCH_ITERS)
+    }
+
+    /// [`sqrt`](Self::sqrt) with an explicit bisection-iteration
+    /// budget (exposed for the accuracy-vs-iterations ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sqrt`](Self::sqrt).
+    pub fn sqrt_with_iters(&mut self, a: &Shv, iters: usize) -> Result<Shv, StochasticError> {
+        let target = self.decode(a)?;
+        // Inputs that are true zeros can decode a few sigmas negative
+        // when they carry compounded noise from upstream stochastic
+        // stages (e.g. the squared-gradient sum in HD-HOG), so the
+        // rejection threshold is three margins (6σ); genuinely
+        // negative values sit tens of sigmas below zero at practical
+        // dimensionalities. Slightly-negative targets converge to V₀
+        // through the ordinary bisection.
+        if target < -3.0 * self.margin() {
+            return Err(StochasticError::NegativeSqrt(target));
+        }
+        let mut low = self.encode(0.0)?;
+        let mut high = self.basis().clone();
+        let mut mid = self.weighted_average(&low, &high, 0.5)?;
+        for _ in 0..iters {
+            // Direction from the raw decoded comparison: an early
+            // "approximately equal" exit is tempting but fragile near
+            // zero, where the interval must keep shrinking for the
+            // absolute error to fall below the noise floor.
+            let mid_sq = self.square(&mid)?;
+            if self.decode(&mid_sq)? > self.decode(a)? {
+                high = mid;
+            } else {
+                low = mid;
+            }
+            mid = self.weighted_average(&low, &high, 0.5)?;
+        }
+        Ok(mid)
+    }
+
+    /// **Division** `V_a, V_b ↦ V_{a/b}` via binary search on the
+    /// quotient: find `c` such that `c·|b|` matches `|a|`, then apply
+    /// the sign `sign(a)·sign(b)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StochasticError::DivisorTooSmall`] when `|b|` decodes below
+    ///   the statistical margin (the quotient would be pure noise).
+    /// * [`StochasticError::QuotientOutOfRange`] when `|a| > |b|`
+    ///   beyond the margin, since results must lie in `[-1, 1]`.
+    /// * [`StochasticError::DimensionMismatch`] for foreign vectors.
+    ///
+    /// ```
+    /// use hdface_stochastic::StochasticContext;
+    /// # fn main() -> Result<(), hdface_stochastic::StochasticError> {
+    /// let mut ctx = StochasticContext::new(16_384, 6);
+    /// let a = ctx.encode(0.3)?;
+    /// let b = ctx.encode(-0.6)?;
+    /// let q = ctx.div(&a, &b)?;
+    /// assert!((ctx.decode(&q)? - (-0.5)).abs() < 0.08);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn div(&mut self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
+        self.div_with_iters(a, b, Self::DEFAULT_SEARCH_ITERS)
+    }
+
+    /// [`div`](Self::div) with an explicit bisection-iteration budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`div`](Self::div).
+    pub fn div_with_iters(
+        &mut self,
+        a: &Shv,
+        b: &Shv,
+        iters: usize,
+    ) -> Result<Shv, StochasticError> {
+        let da = self.decode(a)?;
+        let db = self.decode(b)?;
+        if db.abs() <= self.margin() {
+            return Err(StochasticError::DivisorTooSmall(db));
+        }
+        if da.abs() > db.abs() + self.margin() {
+            return Err(StochasticError::QuotientOutOfRange {
+                numerator: da,
+                denominator: db,
+            });
+        }
+        let negative = (da < 0.0) != (db < 0.0);
+        let abs_a = self.abs(a)?;
+        let abs_b = self.abs(b)?;
+
+        let mut low = self.encode(0.0)?;
+        let mut high = self.basis().clone();
+        let mut mid = self.weighted_average(&low, &high, 0.5)?;
+        for _ in 0..iters {
+            // prod = mid · |b|, with an independent instance of |b|.
+            let b_inst = self.resample(&abs_b)?;
+            let prod = self.mul(&mid, &b_inst)?;
+            if self.decode(&prod)? > self.decode(&abs_a)? {
+                high = mid;
+            } else {
+                low = mid;
+            }
+            mid = self.weighted_average(&low, &high, 0.5)?;
+        }
+        Ok(if negative { mid.negated() } else { mid })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: usize = 32_768;
+    // Binary search stacks decode noise over iterations; allow a
+    // looser tolerance than single ops.
+    const TOL: f64 = 0.08;
+
+    #[test]
+    fn sqrt_of_grid_values() {
+        let mut ctx = StochasticContext::new(D, 20);
+        for &x in &[0.0, 0.04, 0.25, 0.5, 0.81, 1.0] {
+            let a = ctx.encode(x).unwrap();
+            let r = ctx.sqrt(&a).unwrap();
+            let d = ctx.decode(&r).unwrap();
+            assert!((d - x.sqrt()).abs() < TOL, "sqrt({x}) got {d}");
+        }
+    }
+
+    #[test]
+    fn sqrt_rejects_clearly_negative() {
+        let mut ctx = StochasticContext::new(D, 21);
+        let a = ctx.encode(-0.5).unwrap();
+        assert!(matches!(
+            ctx.sqrt(&a),
+            Err(StochasticError::NegativeSqrt(_))
+        ));
+    }
+
+    #[test]
+    fn sqrt_tolerates_noise_level_negative() {
+        // A true zero decodes slightly negative half the time; sqrt
+        // must not error on that.
+        let mut ctx = StochasticContext::new(D, 22);
+        let zero = ctx.encode(0.0).unwrap();
+        let r = ctx.sqrt(&zero).unwrap();
+        assert!(ctx.decode(&r).unwrap().abs() < 2.0 * TOL);
+    }
+
+    #[test]
+    fn sqrt_accuracy_improves_with_iterations() {
+        let mut ctx = StochasticContext::new(D, 23);
+        let a = ctx.encode(0.49).unwrap();
+        let crude = ctx.sqrt_with_iters(&a, 1).unwrap();
+        // One iteration can only land on 0.25 or 0.75-ish midpoints.
+        let _ = crude;
+        let fine = ctx.sqrt_with_iters(&a, 12).unwrap();
+        let d = ctx.decode(&fine).unwrap();
+        assert!((d - 0.7).abs() < TOL, "got {d}");
+    }
+
+    #[test]
+    fn div_quadrant_signs() {
+        let mut ctx = StochasticContext::new(D, 24);
+        for &(x, y) in &[(0.3f64, 0.6f64), (-0.3, 0.6), (0.3, -0.6), (-0.3, -0.6)] {
+            let a = ctx.encode(x).unwrap();
+            let b = ctx.encode(y).unwrap();
+            let q = ctx.div(&a, &b).unwrap();
+            let d = ctx.decode(&q).unwrap();
+            assert!((d - x / y).abs() < TOL, "{x}/{y} got {d}");
+        }
+    }
+
+    #[test]
+    fn div_by_noise_floor_errors() {
+        let mut ctx = StochasticContext::new(D, 25);
+        let a = ctx.encode(0.1).unwrap();
+        let z = ctx.encode(0.0).unwrap();
+        assert!(matches!(
+            ctx.div(&a, &z),
+            Err(StochasticError::DivisorTooSmall(_))
+        ));
+    }
+
+    #[test]
+    fn div_out_of_range_errors() {
+        let mut ctx = StochasticContext::new(D, 26);
+        let a = ctx.encode(0.9).unwrap();
+        let b = ctx.encode(0.2).unwrap();
+        assert!(matches!(
+            ctx.div(&a, &b),
+            Err(StochasticError::QuotientOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn div_of_equal_values_is_one() {
+        let mut ctx = StochasticContext::new(D, 27);
+        let a = ctx.encode(0.5).unwrap();
+        let a2 = ctx.resample(&a).unwrap();
+        let q = ctx.div(&a, &a2).unwrap();
+        assert!((ctx.decode(&q).unwrap() - 1.0).abs() < 1.5 * TOL);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the stochastic arithmetic invariants.
+//!
+//! These run at moderate dimensionality (D = 8192) with tolerances
+//! derived from the analytic noise bound `σ = 1/√D ≈ 0.011`; six
+//! sigmas keeps the false-failure probability negligible across the
+//! proptest case count.
+
+use hdface_stochastic::{expected_sigma, StochasticContext};
+use proptest::prelude::*;
+
+const D: usize = 8192;
+const SIGMAS: f64 = 6.0;
+
+fn tol() -> f64 {
+    SIGMAS * expected_sigma(D, 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_within_bound(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let v = ctx.encode(a).unwrap();
+        let d = ctx.decode(&v).unwrap();
+        prop_assert!((d - a).abs() < tol(), "a={a} d={d}");
+    }
+
+    #[test]
+    fn decode_is_always_in_range(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let v = ctx.encode(a).unwrap();
+        let d = ctx.decode(&v).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn negation_is_exactly_antisymmetric(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let v = ctx.encode(a).unwrap();
+        let d = ctx.decode(&v).unwrap();
+        let dn = ctx.decode(&v.negated()).unwrap();
+        // Negation is deterministic bit-complement: exact relation.
+        prop_assert!((d + dn).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_linearity(
+        a in -1.0f64..=1.0,
+        b in -1.0f64..=1.0,
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let vb = ctx.encode(b).unwrap();
+        let c = ctx.weighted_average(&va, &vb, p).unwrap();
+        let d = ctx.decode(&c).unwrap();
+        prop_assert!((d - (p * a + (1.0 - p) * b)).abs() < tol());
+    }
+
+    #[test]
+    fn multiplication_commutes_in_value(
+        a in -1.0f64..=1.0,
+        b in -1.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let vb = ctx.encode(b).unwrap();
+        let ab = ctx.mul(&va, &vb).unwrap();
+        let ba = ctx.mul(&vb, &va).unwrap();
+        // ⊗ is bitwise XOR-based: exactly commutative.
+        prop_assert_eq!(ab.clone(), ba);
+        let d = ctx.decode(&ab).unwrap();
+        prop_assert!((d - a * b).abs() < tol(), "{a}*{b} got {d}");
+    }
+
+    #[test]
+    fn multiplication_by_basis_is_exact_identity(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let basis = ctx.basis().clone();
+        prop_assert_eq!(ctx.mul(&va, &basis).unwrap(), va.clone());
+        // And by −V₁ is exact negation.
+        prop_assert_eq!(ctx.mul(&va, &basis.negated()).unwrap(), va.negated());
+    }
+
+    #[test]
+    fn square_matches_value(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let sq = ctx.square(&va).unwrap();
+        let d = ctx.decode(&sq).unwrap();
+        // Two noisy stages: allow double tolerance.
+        prop_assert!((d - a * a).abs() < 2.0 * tol(), "sq({a}) got {d}");
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let r = ctx.sqrt(&va).unwrap();
+        let d = ctx.decode(&r).unwrap();
+        // Bisection noise stacks; compare in the squared domain with a
+        // generous bound (d² vs a).
+        prop_assert!((d * d - a).abs() < 4.0 * tol(), "sqrt({a}) got {d}");
+    }
+
+    #[test]
+    fn abs_is_non_negative_within_noise(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let ab = ctx.abs(&va).unwrap();
+        let d = ctx.decode(&ab).unwrap();
+        prop_assert!(d >= -tol());
+        prop_assert!((d - a.abs()).abs() < tol());
+    }
+
+    #[test]
+    fn resample_preserves_value(a in -1.0f64..=1.0, seed in any::<u64>()) {
+        let mut ctx = StochasticContext::new(D, seed);
+        let va = ctx.encode(a).unwrap();
+        let rv = ctx.resample(&va).unwrap();
+        let d = ctx.decode(&rv).unwrap();
+        prop_assert!((d - a).abs() < 2.0 * tol());
+    }
+
+    #[test]
+    fn encode_rejects_all_out_of_range(a in prop::num::f64::ANY) {
+        prop_assume!(!(-1.0..=1.0).contains(&a));
+        let mut ctx = StochasticContext::new(64, 0);
+        prop_assert!(ctx.encode(a).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Seven-class emotion recognition (the EMOTION benchmark of
+//! Table 1) with a per-class confusion matrix — paper Fig. 6b's
+//! workload.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example emotion_recognition
+//! ```
+
+use hdface::datasets::{emotion_spec, Emotion};
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = emotion_spec().scaled(210).generate(3);
+    let (train, test) = dataset.split(0.8);
+    println!(
+        "EMOTION (synthetic): {} train / {} test images of 48x48, 7 classes",
+        train.len(),
+        test.len()
+    );
+
+    // Expression recognition is the fine-grained task where the
+    // encoded-classic configuration (float HOG + projection encoder +
+    // HDC learning — the paper's configuration 1) is the strong one;
+    // the fully stochastic extractor is noise-limited here (see
+    // EXPERIMENTS.md).
+    let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 1);
+    let config = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
+    let report = pipeline.train(&train, &config)?;
+    println!(
+        "trained {} epochs ({} final-epoch errors / {} samples)",
+        report.epochs, report.last_epoch_errors, report.samples
+    );
+
+    // Confusion matrix.
+    let k = dataset.num_classes();
+    let mut confusion = vec![vec![0usize; k]; k];
+    for sample in &test {
+        let predicted = pipeline.predict(&sample.image)?;
+        confusion[sample.label][predicted] += 1;
+    }
+
+    println!("\nconfusion matrix (rows = truth, cols = prediction):");
+    print!("{:>10}", "");
+    for e in Emotion::ALL {
+        print!("{:>9}", e.name());
+    }
+    println!();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (row, e) in Emotion::ALL.iter().enumerate() {
+        print!("{:>10}", e.name());
+        for (col, &n) in confusion[row].iter().enumerate() {
+            print!("{n:>9}");
+            if row == col {
+                correct += n;
+            }
+            total += n;
+        }
+        println!();
+    }
+    println!(
+        "\noverall accuracy: {:.1}% ({correct}/{total})",
+        100.0 * correct as f64 / total.max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Predicting stochastic-pipeline error *analytically* — the paper's
+//! §4.3 remark ("the HOG error rate can be estimated in each
+//! dimensionality") in action: the [`ErrorBudget`] propagates a
+//! (value, variance) pair through each primitive and its predictions
+//! are compared against live measurements.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example error_budget
+//! ```
+
+use hdface::stochastic::{hog_magnitude_sigma, ErrorBudget, StochasticContext};
+
+fn measure<F: FnMut(&mut StochasticContext) -> f64>(dim: usize, mut f: F) -> f64 {
+    let mut ctx = StochasticContext::new(dim, 123);
+    let trials = 300;
+    let samples: Vec<f64> = (0..trials).map(|_| f(&mut ctx)).collect();
+    let mean = samples.iter().sum::<f64>() / trials as f64;
+    (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / trials as f64).sqrt()
+}
+
+fn main() {
+    println!("analytic error budget vs live measurement (sigma of the decoded value)\n");
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>22}",
+        "D", "encode(0.4)", "0.6 x 0.5", "square(0.5)"
+    );
+    println!("{}", "-".repeat(82));
+    for dim in [1024usize, 4096, 16384] {
+        let p_enc = ErrorBudget::encode(0.4, dim).sigma();
+        let m_enc = measure(dim, |ctx| {
+            let v = ctx.encode(0.4).unwrap();
+            ctx.decode(&v).unwrap()
+        });
+        let p_mul = ErrorBudget::encode(0.6, dim)
+            .multiply(&ErrorBudget::encode(0.5, dim))
+            .sigma();
+        let m_mul = measure(dim, |ctx| {
+            let a = ctx.encode(0.6).unwrap();
+            let b = ctx.encode(0.5).unwrap();
+            ctx.decode(&ctx.mul(&a, &b).unwrap()).unwrap()
+        });
+        let p_sq = ErrorBudget::encode(0.5, dim).square().sigma();
+        let m_sq = measure(dim, |ctx| {
+            let v = ctx.encode(0.5).unwrap();
+            let s = ctx.square(&v).unwrap();
+            ctx.decode(&s).unwrap()
+        });
+        println!(
+            "{dim:>6} | pred {p_enc:.5} meas {m_enc:.5} | pred {p_mul:.5} meas {m_mul:.5} | pred {p_sq:.5} meas {m_sq:.5}"
+        );
+    }
+
+    println!("\nHOG magnitude pipeline sigma (gradient 0.1, 6 sqrt iterations):");
+    for dim in [1024usize, 4096, 10240] {
+        println!(
+            "  D = {dim:>6}: predicted sigma {:.5}",
+            hog_magnitude_sigma(0.1, dim, 6)
+        );
+    }
+    println!(
+        "\nuse the budget to size D for a target feature accuracy before\n\
+         running a single hypervector operation."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the three layers of HDFace in one minute.
+//!
+//! 1. stochastic arithmetic on binary hypervectors,
+//! 2. hyperdimensional HOG feature extraction,
+//! 3. adaptive HDC classification of faces vs clutter.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdface::datasets::face2_spec;
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::stochastic::StochasticContext;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Stochastic arithmetic ------------------------------------
+    println!("== stochastic arithmetic (D = 8192) ==");
+    let mut ctx = StochasticContext::new(8192, 42);
+    let a = ctx.encode(0.6)?;
+    let b = ctx.encode(-0.3)?;
+    println!("encode(0.6)          decodes to {:+.4}", ctx.decode(&a)?);
+    println!("encode(-0.3)         decodes to {:+.4}", ctx.decode(&b)?);
+    let avg = ctx.add_halved(&a, &b)?;
+    println!("(0.6 + -0.3)/2       decodes to {:+.4}", ctx.decode(&avg)?);
+    let prod = ctx.mul(&a, &b)?;
+    println!("0.6 × -0.3           decodes to {:+.4}", ctx.decode(&prod)?);
+    let quarter = ctx.encode(0.25)?;
+    let root = ctx.sqrt(&quarter)?;
+    println!("sqrt(0.25)           decodes to {:+.4}", ctx.decode(&root)?);
+    let q = ctx.div(&b, &a)?;
+    println!("-0.3 / 0.6           decodes to {:+.4}", ctx.decode(&q)?);
+
+    // --- 2 & 3. End-to-end face detection ----------------------------
+    println!("\n== face vs clutter with the HD pipeline ==");
+    let dataset = face2_spec().scaled(80).at_size(32).generate(7);
+    let (train, test) = dataset.split(0.75);
+    println!(
+        "dataset: {} train / {} test images of {}x{}",
+        train.len(),
+        test.len(),
+        32,
+        32
+    );
+
+    let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(4096), 7);
+    let report = pipeline.train(&train, &TrainConfig::default())?;
+    println!(
+        "trained {} epochs over {} samples ({} final-epoch errors)",
+        report.epochs, report.samples, report.last_epoch_errors
+    );
+    let accuracy = pipeline.evaluate(&test)?;
+    println!("test accuracy: {:.1}%", accuracy * 100.0);
+
+    Ok(())
+}

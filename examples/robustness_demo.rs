@@ -1,0 +1,129 @@
+//! Robustness face-off: where do random bit errors hurt?
+//!
+//! Three fault sites at the same error rates, on the same face
+//! detection task (with scrambled-face hard negatives so margins are
+//! realistic):
+//!
+//! 1. the **HDC model + query hypervectors** (holographic memory),
+//! 2. the **quantized DNN weight memory**,
+//! 3. the **float HOG feature words** (original representation).
+//!
+//! This is the paper's §2 motivation and Table 2 in one table.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example robustness_demo
+//! ```
+
+use hdface::baselines::{QuantizedMlp, WeightPrecision};
+use hdface::datasets::{face2_spec, render_scrambled_face, Dataset, LabeledImage};
+use hdface::hdc::{BitVector, HdcRng, SeedableRng};
+use hdface::hog::HogConfig;
+use hdface::learn::TrainConfig;
+use hdface::noise::BitErrorModel;
+use hdface::pipeline::{DnnPipeline, HdFeatureMode, HdPipeline};
+
+fn hard_dataset(seed: u64) -> Dataset {
+    let base = face2_spec().at_size(32).scaled(160).generate(seed);
+    let mut rng = HdcRng::seed_from_u64(seed ^ 0xface);
+    let samples: Vec<LabeledImage> = base
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.label == 0 && i % 4 < 2 {
+                LabeledImage {
+                    image: render_scrambled_face(32, &mut rng),
+                    label: 0,
+                }
+            } else {
+                s.clone()
+            }
+        })
+        .collect();
+    Dataset::new(
+        "faces+hard-negatives",
+        samples,
+        vec!["no-face".into(), "face".into()],
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = hard_dataset(5);
+    let (train, test) = dataset.split(0.7);
+    let rates = [0.0, 0.01, 0.02, 0.04, 0.08, 0.14];
+    let trials = 4u64;
+
+    // --- HDC side: encoded features + binary model ------------------
+    let mut hd = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 2);
+    hd.train(&train, &TrainConfig::default())?;
+    let mut rng = HdcRng::seed_from_u64(77);
+    let clf = hd.classifier().expect("trained").to_binary(&mut rng);
+    let test_features = hd.extract_dataset(&test)?;
+
+    // --- DNN side: 16-bit quantized model ----------------------------
+    let mut dnn = DnnPipeline::new(HogConfig::paper(), (256, 256), 120, 2);
+    dnn.train(&train)?;
+    let dnn_test = dnn.extract_dataset(&test);
+    let q16 = QuantizedMlp::from_mlp(dnn.mlp().expect("trained"), WeightPrecision::Bits16);
+
+    println!("fault site vs bit-error rate (accuracy):");
+    println!("rate | HDC model+queries | DNN 16-bit weights | float HOG features");
+    println!("-----+-------------------+--------------------+-------------------");
+    for (ri, &rate) in rates.iter().enumerate() {
+        // (1) hypervector memory faults.
+        let mut hd_acc = 0.0;
+        for t in 0..trials {
+            let mut mrng = HdcRng::seed_from_u64(1000 + ri as u64 * 31 + t);
+            let noisy_model = clf.with_bit_errors(rate, &mut mrng);
+            let mut channel = BitErrorModel::new(rate, 2000 + ri as u64 * 37 + t).unwrap();
+            let noisy_queries = channel.corrupt_hypervector_set(&test_features);
+            hd_acc += noisy_model.accuracy(&noisy_queries)?;
+        }
+
+        // (2) DNN weight faults.
+        let mut dnn_acc = 0.0;
+        for t in 0..trials {
+            let mut wrng = HdcRng::seed_from_u64(3000 + ri as u64 * 41 + t);
+            dnn_acc += q16.with_bit_errors(rate, &mut wrng).accuracy(&dnn_test)?;
+        }
+
+        // (3) float feature-word faults feeding the SAME HDC model.
+        let mut float_acc = 0.0;
+        for t in 0..trials {
+            let mut channel = BitErrorModel::new(rate, 4000 + ri as u64 * 43 + t).unwrap();
+            let mut correct = 0usize;
+            for (s, (_, label)) in test.iter().zip(&test_features) {
+                // Corrupt the float HOG words, re-encode, classify.
+                let feats: Vec<f64> = hdface::hog::ClassicHog::new(HogConfig::paper())
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                let noisy = channel.corrupt_f32_features(&feats);
+                // Reuse the pipeline's encoder by re-extracting via a
+                // fresh feature path: encode with an equivalent
+                // projection encoder seeded like the pipeline's.
+                let enc = hdface::learn::ProjectionEncoder::new(noisy.len(), 4096, 2);
+                let q: BitVector =
+                    hdface::learn::FeatureEncoder::encode(&enc, &noisy).unwrap();
+                if clf.predict(&q)? == *label {
+                    correct += 1;
+                }
+            }
+            float_acc += correct as f64 / test.len() as f64;
+        }
+
+        println!(
+            "{:3.0}% | {:16.1}% | {:17.1}% | {:17.1}%",
+            rate * 100.0,
+            hd_acc / trials as f64 * 100.0,
+            dnn_acc / trials as f64 * 100.0,
+            float_acc / trials as f64 * 100.0
+        );
+    }
+    println!(
+        "\nholographic memory degrades gracefully; positional float words do not\n\
+         (one flipped exponent bit can move a feature by orders of magnitude)."
+    );
+    Ok(())
+}

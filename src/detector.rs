@@ -1,0 +1,333 @@
+//! Multi-scale face detection: scan an image pyramid with a trained
+//! pipeline, score every window, and merge overlapping hits with
+//! non-maximum suppression — the application layer the paper's
+//! introduction motivates (surveillance, tagging, embedded cameras).
+
+use hdface_imaging::{GrayImage, ImageError, ImagePyramid, SlidingWindows, Window};
+
+use crate::pipeline::{HdPipeline, PipelineError};
+
+/// One detection in original-image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Bounding box in original-image pixels.
+    pub window: Window,
+    /// Detection confidence: the similarity margin between the face
+    /// class and the best non-face class, in `[-2, 2]` (higher is
+    /// more face-like).
+    pub score: f64,
+    /// Pyramid scale the hit was found at.
+    pub scale: f64,
+}
+
+/// Intersection-over-union of two windows.
+#[must_use]
+pub fn iou(a: Window, b: Window) -> f64 {
+    let x1 = a.x.max(b.x);
+    let y1 = a.y.max(b.y);
+    let x2 = (a.x + a.width).min(b.x + b.width);
+    let y2 = (a.y + a.height).min(b.y + b.height);
+    if x2 <= x1 || y2 <= y1 {
+        return 0.0;
+    }
+    let inter = ((x2 - x1) * (y2 - y1)) as f64;
+    let union = (a.width * a.height + b.width * b.height) as f64 - inter;
+    inter / union
+}
+
+/// Greedy non-maximum suppression: keep the highest-scoring
+/// detections, dropping any later detection whose IoU with a kept one
+/// exceeds `iou_threshold`.
+#[must_use]
+pub fn non_maximum_suppression(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut kept: Vec<Detection> = Vec::new();
+    for d in detections {
+        if kept.iter().all(|k| iou(k.window, d.window) <= iou_threshold) {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+/// Configuration of the multi-scale detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Classification window side length (the size the pipeline was
+    /// trained at).
+    pub window: usize,
+    /// Sliding stride as a fraction of the window (0.5 = half
+    /// overlap).
+    pub stride_fraction: f64,
+    /// Geometric pyramid step (>1; 1.25–2.0 typical).
+    pub pyramid_step: f64,
+    /// Minimum similarity margin for a window to count as a face.
+    pub score_threshold: f64,
+    /// IoU above which overlapping detections merge in NMS.
+    pub iou_threshold: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            window: 32,
+            stride_fraction: 0.5,
+            pyramid_step: 1.5,
+            score_threshold: 0.0,
+            iou_threshold: 0.3,
+        }
+    }
+}
+
+/// Errors raised by the detector.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DetectorError {
+    /// The underlying pipeline failed (usually: not trained yet).
+    Pipeline(PipelineError),
+    /// Pyramid construction failed (empty image or bad parameters).
+    Image(ImageError),
+    /// The pipeline's classifier does not have the face/no-face
+    /// binary shape.
+    NotBinary {
+        /// Number of classes the classifier actually has.
+        classes: usize,
+    },
+}
+
+impl std::fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorError::Pipeline(e) => write!(f, "pipeline failed: {e}"),
+            DetectorError::Image(e) => write!(f, "pyramid construction failed: {e}"),
+            DetectorError::NotBinary { classes } => {
+                write!(f, "detector needs a 2-class pipeline, got {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectorError::Pipeline(e) => Some(e),
+            DetectorError::Image(e) => Some(e),
+            DetectorError::NotBinary { .. } => None,
+        }
+    }
+}
+
+impl From<PipelineError> for DetectorError {
+    fn from(e: PipelineError) -> Self {
+        DetectorError::Pipeline(e)
+    }
+}
+
+impl From<ImageError> for DetectorError {
+    fn from(e: ImageError) -> Self {
+        DetectorError::Image(e)
+    }
+}
+
+/// A multi-scale sliding-window face detector over a trained
+/// [`HdPipeline`].
+///
+/// The pipeline must be a binary face/no-face classifier (label 1 =
+/// face) trained at `config.window` resolution.
+pub struct FaceDetector {
+    pipeline: HdPipeline,
+    config: DetectorConfig,
+}
+
+impl FaceDetector {
+    /// Wraps a trained pipeline.
+    #[must_use]
+    pub fn new(pipeline: HdPipeline, config: DetectorConfig) -> Self {
+        FaceDetector { pipeline, config }
+    }
+
+    /// The detector configuration.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Access to the wrapped pipeline.
+    #[must_use]
+    pub fn pipeline(&self) -> &HdPipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the wrapped pipeline (feature extraction
+    /// draws stochastic masks, so it needs `&mut`).
+    pub fn pipeline_mut(&mut self) -> &mut HdPipeline {
+        &mut self.pipeline
+    }
+
+    /// Scores one window crop: `δ(face) − δ(best other class)`.
+    fn score(&mut self, crop: &GrayImage) -> Result<f64, DetectorError> {
+        let feature = self.pipeline.extract(crop)?;
+        let clf = self
+            .pipeline
+            .classifier()
+            .ok_or(DetectorError::Pipeline(PipelineError::NotTrained))?;
+        if clf.num_classes() != 2 {
+            return Err(DetectorError::NotBinary {
+                classes: clf.num_classes(),
+            });
+        }
+        let sims = clf.similarities(&feature).map_err(PipelineError::from)?;
+        Ok(sims[1] - sims[0])
+    }
+
+    /// Runs the full multi-scale scan and returns NMS-merged
+    /// detections in original-image coordinates, best first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pipeline is untrained, not binary, or the image
+    /// is smaller than one window.
+    pub fn detect(&mut self, image: &GrayImage) -> Result<Vec<Detection>, DetectorError> {
+        let win = self.config.window;
+        let stride = ((win as f64 * self.config.stride_fraction).round() as usize).max(1);
+        let pyramid = ImagePyramid::new(image, self.config.pyramid_step, win)?;
+
+        let mut detections = Vec::new();
+        for level in &pyramid {
+            let windows: Vec<Window> =
+                SlidingWindows::new(&level.image, win, win, stride).collect();
+            for w in windows {
+                let crop = level
+                    .image
+                    .crop(w.x, w.y, w.width, w.height)
+                    .expect("window within level bounds");
+                let score = self.score(&crop)?;
+                if score > self.config.score_threshold {
+                    detections.push(Detection {
+                        window: level.to_original(w),
+                        score,
+                        scale: level.scale,
+                    });
+                }
+            }
+        }
+        Ok(non_maximum_suppression(detections, self.config.iou_threshold))
+    }
+}
+
+impl std::fmt::Debug for FaceDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaceDetector(window={}, step={}, thr={})",
+            self.config.window, self.config.pyramid_step, self.config.score_threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::HdFeatureMode;
+    use hdface_datasets::{face2_spec, render_face, Emotion, FaceParams};
+    use hdface_hdc::{HdcRng, SeedableRng};
+    use hdface_learn::TrainConfig;
+
+    fn win(x: usize, y: usize, s: usize) -> Window {
+        Window {
+            x,
+            y,
+            width: s,
+            height: s,
+        }
+    }
+
+    #[test]
+    fn iou_basics() {
+        assert_eq!(iou(win(0, 0, 10), win(0, 0, 10)), 1.0);
+        assert_eq!(iou(win(0, 0, 10), win(20, 20, 10)), 0.0);
+        // Half-overlapping horizontally: inter 50, union 150.
+        let v = iou(win(0, 0, 10), win(5, 0, 10));
+        assert!((v - 50.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nms_keeps_best_of_overlapping_cluster() {
+        let cluster = vec![
+            Detection {
+                window: win(0, 0, 10),
+                score: 0.5,
+                scale: 1.0,
+            },
+            Detection {
+                window: win(1, 1, 10),
+                score: 0.9,
+                scale: 1.0,
+            },
+            Detection {
+                window: win(40, 40, 10),
+                score: 0.3,
+                scale: 1.0,
+            },
+        ];
+        let kept = non_maximum_suppression(cluster, 0.3);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.9);
+        assert_eq!(kept[1].window.x, 40);
+    }
+
+    #[test]
+    fn nms_of_empty_is_empty() {
+        assert!(non_maximum_suppression(Vec::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn detector_finds_embedded_face_and_rejects_untrained() {
+        // Untrained pipeline errors cleanly.
+        let raw = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 3);
+        let mut det = FaceDetector::new(raw, DetectorConfig::default());
+        let scene = GrayImage::filled(64, 64, 0.4);
+        assert!(matches!(
+            det.detect(&scene),
+            Err(DetectorError::Pipeline(PipelineError::NotTrained))
+        ));
+
+        // Train a small binary pipeline (classic+encoder: fast) and
+        // detect a face pasted into a flat scene.
+        let data = face2_spec().at_size(32).scaled(80).generate(3);
+        let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 3);
+        pipeline.train(&data, &TrainConfig::default()).unwrap();
+        let mut det = FaceDetector::new(pipeline, DetectorConfig::default());
+
+        let mut rng = HdcRng::seed_from_u64(4);
+        let face = render_face(32, &FaceParams::centered(32, Emotion::Neutral), &mut rng);
+        let mut scene = GrayImage::filled(64, 64, 0.3);
+        for y in 0..32 {
+            for x in 0..32 {
+                scene.set(16 + x, 16 + y, face.get(x, y));
+            }
+        }
+        let hits = det.detect(&scene).unwrap();
+        assert!(!hits.is_empty(), "no detections at all");
+        // The best hit overlaps the true face location.
+        let best = hits[0];
+        let overlap = iou(best.window, win(16, 16, 32));
+        assert!(overlap > 0.2, "best hit {best:?} misses the face");
+    }
+
+    #[test]
+    fn detector_rejects_multiclass_pipelines() {
+        let data = hdface_datasets::emotion_spec()
+            .at_size(32)
+            .scaled(21)
+            .generate(1);
+        let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(1024), 5);
+        pipeline.train(&data, &TrainConfig::default()).unwrap();
+        let mut det = FaceDetector::new(pipeline, DetectorConfig::default());
+        let scene = GrayImage::filled(64, 64, 0.4);
+        assert!(matches!(
+            det.detect(&scene),
+            Err(DetectorError::NotBinary { classes: 7 })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hdface — end-to-end hyperdimensional face detection
+//!
+//! A from-scratch Rust reproduction of *"Neural Computation for Robust
+//! and Holographic Face Detection"* (HDFace, DAC 2022): stochastic
+//! arithmetic over binary hypervectors, a fully hyperdimensional HOG
+//! feature extractor, adaptive HDC classification, DNN/SVM baselines,
+//! synthetic dataset generators, fault injection and CPU/FPGA cost
+//! models.
+//!
+//! This umbrella crate re-exports every subsystem and adds the
+//! [`pipeline`] module: ready-made end-to-end train/evaluate pipelines
+//! in the three configurations the paper compares —
+//!
+//! 1. **HD end-to-end** — hyperdimensional HOG feeding the HDC
+//!    classifier directly ([`pipeline::HdPipeline`] with
+//!    [`pipeline::HdFeatureMode::HyperHog`]);
+//! 2. **Classic HOG + HDC encoder + HDC learning**
+//!    ([`pipeline::HdFeatureMode::EncodedClassicHog`]);
+//! 3. **Classic HOG + DNN / SVM baselines**
+//!    ([`pipeline::DnnPipeline`], [`pipeline::SvmPipeline`]).
+//!
+//! The [`detector`] module layers multi-scale sliding-window scanning
+//! (image pyramid + non-maximum suppression) on top of a trained
+//! binary pipeline.
+//!
+//! ```no_run
+//! use hdface::pipeline::{HdFeatureMode, HdPipeline};
+//! use hdface::datasets::emotion_spec;
+//! use hdface::learn::TrainConfig;
+//!
+//! # fn main() -> Result<(), hdface::pipeline::PipelineError> {
+//! let dataset = emotion_spec().scaled(70).at_size(24).generate(1);
+//! let (train, test) = dataset.split(0.8);
+//! let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(2048), 7);
+//! p.train(&train, &TrainConfig::default())?;
+//! println!("accuracy: {:.3}", p.evaluate(&test)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod persist;
+pub mod pipeline;
+
+pub use hdface_baselines as baselines;
+pub use hdface_datasets as datasets;
+pub use hdface_hdc as hdc;
+pub use hdface_hog as hog;
+pub use hdface_hwsim as hwsim;
+pub use hdface_imaging as imaging;
+pub use hdface_learn as learn;
+pub use hdface_noise as noise;
+pub use hdface_stochastic as stochastic;

@@ -1,0 +1,208 @@
+//! Whole-pipeline persistence.
+//!
+//! An [`HdPipeline`]'s extractor state (basis, codebooks, slot keys,
+//! encoder matrices) is fully determined by its feature mode, its
+//! dimensionality and its seed, so a trained pipeline serializes as a
+//! small header plus the class accumulators' binary model:
+//!
+//! ```text
+//! magic   "HDP1"        4 bytes
+//! mode    u8            1 = hyper-hog, 2 = encoded(projection), 3 = encoded(level-id)
+//! dim     u32 LE
+//! seed    u64 LE
+//! model   HDM1 container (see hdface-learn)
+//! ```
+//!
+//! Loading reconstructs the extractor from the header and installs the
+//! classes — predictions after a round-trip are identical up to the
+//! stochastic masks drawn during feature extraction.
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_hdc::SeedableRng;
+use hdface_learn::{BinaryHdModel, ModelIoError};
+
+use crate::pipeline::{HdFeatureMode, HdPipeline, PipelineError};
+
+const MAGIC: &[u8; 4] = b"HDP1";
+
+/// Errors raised when decoding a serialized pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Missing `HDP1` magic or truncated header.
+    BadHeader,
+    /// Unknown feature-mode tag.
+    UnknownMode(u8),
+    /// The embedded model failed to decode.
+    Model(ModelIoError),
+    /// The embedded model's dimensionality disagrees with the header.
+    DimMismatch {
+        /// Dimensionality from the header.
+        header: usize,
+        /// Dimensionality of the embedded model.
+        model: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "missing or truncated HDP1 header"),
+            PersistError::UnknownMode(m) => write!(f, "unknown feature-mode tag {m}"),
+            PersistError::Model(e) => write!(f, "embedded model is invalid: {e}"),
+            PersistError::DimMismatch { header, model } => {
+                write!(f, "header says D={header} but the model is D={model}")
+            }
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelIoError> for PersistError {
+    fn from(e: ModelIoError) -> Self {
+        PersistError::Model(e)
+    }
+}
+
+impl HdPipeline {
+    /// Serializes the trained pipeline to the `HDP1` byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] when no classifier has
+    /// been fit yet.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, PipelineError> {
+        let clf = self.classifier().ok_or(PipelineError::NotTrained)?;
+        // The binary model must be derived deterministically: use a
+        // seed-fixed RNG for threshold tie-breaks.
+        let mut rng = hdface_hdc::HdcRng::seed_from_u64(self.seed() ^ 0x7e57_ab1e);
+        let model = clf.to_binary(&mut rng);
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(self.mode_tag());
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        out.extend_from_slice(&self.seed().to_le_bytes());
+        out.extend(model.to_bytes());
+        Ok(out)
+    }
+
+    /// Reconstructs a pipeline from the `HDP1` byte format: the
+    /// extractor is rebuilt from (mode, dim, seed) and the binary
+    /// model is installed as the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PersistError`] for malformed buffers.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        if bytes.len() < 17 || &bytes[..4] != MAGIC {
+            return Err(PersistError::BadHeader);
+        }
+        let mode_tag = bytes[4];
+        let dim = u32::from_le_bytes(bytes[5..9].try_into().expect("sized")) as usize;
+        let seed = u64::from_le_bytes(bytes[9..17].try_into().expect("sized"));
+        let mode = match mode_tag {
+            1 => HdFeatureMode::hyper_hog(dim),
+            2 => HdFeatureMode::encoded_classic(dim),
+            3 => HdFeatureMode::encoded_classic_level_id(dim),
+            other => return Err(PersistError::UnknownMode(other)),
+        };
+        let model = BinaryHdModel::from_bytes(&bytes[17..])?;
+        if model.dim() != dim {
+            return Err(PersistError::DimMismatch {
+                header: dim,
+                model: model.dim(),
+            });
+        }
+        let mut pipeline = HdPipeline::new(mode, seed);
+        pipeline.install_binary_model(model);
+        Ok(pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_datasets::face2_spec;
+    use hdface_learn::TrainConfig;
+
+    fn trained(mode: HdFeatureMode, seed: u64) -> (HdPipeline, hdface_datasets::Dataset) {
+        let ds = face2_spec().at_size(32).scaled(64).generate(seed);
+        let mut p = HdPipeline::new(mode, seed);
+        let (train, _) = ds.split(0.75);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        (p, ds)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_for_every_mode() {
+        for (mode, tag_seed) in [
+            (HdFeatureMode::hyper_hog(2048), 41u64),
+            (HdFeatureMode::encoded_classic(2048), 42),
+            (HdFeatureMode::encoded_classic_level_id(2048), 43),
+        ] {
+            let (mut original, ds) = trained(mode, tag_seed);
+            let bytes = original.save_bytes().unwrap();
+            let mut reloaded = HdPipeline::load_bytes(&bytes).unwrap();
+
+            // Deterministic encoders (encoded modes) must agree
+            // exactly; the stochastic mode agrees up to mask noise, so
+            // compare accuracy.
+            let (_, test) = ds.split(0.75);
+            let a = original.evaluate(&test).unwrap();
+            let b = reloaded.evaluate(&test).unwrap();
+            assert!(
+                (a - b).abs() <= 0.25,
+                "mode seed {tag_seed}: accuracies diverged {a} vs {b}"
+            );
+            assert!(b >= 0.55, "reloaded pipeline lost the model ({b})");
+        }
+    }
+
+    #[test]
+    fn untrained_pipelines_do_not_save() {
+        let p = HdPipeline::new(HdFeatureMode::encoded_classic(512), 1);
+        assert!(matches!(
+            p.save_bytes(),
+            Err(PipelineError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn malformed_buffers_are_rejected() {
+        assert!(matches!(
+            HdPipeline::load_bytes(b"NOPE"),
+            Err(PersistError::BadHeader)
+        ));
+        let (p, _) = trained(HdFeatureMode::encoded_classic(512), 44);
+        let mut bytes = p.save_bytes().unwrap();
+        bytes[4] = 99; // unknown mode tag
+        assert!(matches!(
+            HdPipeline::load_bytes(&bytes),
+            Err(PersistError::UnknownMode(99))
+        ));
+        let bytes = p.save_bytes().unwrap();
+        assert!(HdPipeline::load_bytes(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PersistError::DimMismatch {
+            header: 512,
+            model: 256,
+        };
+        assert!(e.to_string().contains("512"));
+        assert!(e.source().is_none());
+        let m: PersistError = ModelIoError::BadMagic.into();
+        assert!(m.source().is_some());
+    }
+}

@@ -1,0 +1,742 @@
+//! End-to-end train / evaluate pipelines in the paper's three
+//! configurations.
+
+use std::error::Error;
+use std::fmt;
+
+use hdface_baselines::{BaselineError, LinearSvm, Mlp, MlpConfig, SvmConfig};
+use hdface_datasets::Dataset;
+use hdface_hdc::{BitVector, HdcRng, SeedableRng};
+use hdface_hog::{ClassicHog, HogConfig, HyperHog, HyperHogConfig, HyperHogError};
+use hdface_imaging::GrayImage;
+use hdface_learn::{
+    FeatureEncoder, HdClassifier, LearnError, LevelIdEncoder, ProjectionEncoder, TrainConfig,
+    TrainReport,
+};
+
+/// Errors raised by the end-to-end pipelines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Hyperdimensional feature extraction failed.
+    Feature(HyperHogError),
+    /// HDC learning failed.
+    Learn(LearnError),
+    /// A float baseline failed.
+    Baseline(BaselineError),
+    /// The pipeline was asked to predict/evaluate before training.
+    NotTrained,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Feature(e) => write!(f, "feature extraction failed: {e}"),
+            PipelineError::Learn(e) => write!(f, "hdc learning failed: {e}"),
+            PipelineError::Baseline(e) => write!(f, "baseline failed: {e}"),
+            PipelineError::NotTrained => write!(f, "pipeline has not been trained yet"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Feature(e) => Some(e),
+            PipelineError::Learn(e) => Some(e),
+            PipelineError::Baseline(e) => Some(e),
+            PipelineError::NotTrained => None,
+        }
+    }
+}
+
+impl From<HyperHogError> for PipelineError {
+    fn from(e: HyperHogError) -> Self {
+        PipelineError::Feature(e)
+    }
+}
+
+impl From<LearnError> for PipelineError {
+    fn from(e: LearnError) -> Self {
+        PipelineError::Learn(e)
+    }
+}
+
+impl From<BaselineError> for PipelineError {
+    fn from(e: BaselineError) -> Self {
+        PipelineError::Baseline(e)
+    }
+}
+
+/// How an [`HdPipeline`] turns images into hypervectors.
+#[derive(Debug, Clone)]
+pub enum HdFeatureMode {
+    /// The paper's contribution: HOG computed entirely in hyperspace.
+    HyperHog(
+        /// Extractor configuration.
+        HyperHogConfig,
+    ),
+    /// Configuration (1): classic float HOG followed by a non-linear
+    /// HDC encoder.
+    EncodedClassicHog {
+        /// HOG geometry.
+        hog: HogConfig,
+        /// Hypervector dimensionality.
+        dim: usize,
+        /// Quantization levels (used by the level-id encoder).
+        levels: usize,
+        /// Which encoder maps float features to hyperspace.
+        encoder: EncoderChoice,
+    },
+}
+
+/// The non-linear encoder used by
+/// [`HdFeatureMode::EncodedClassicHog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncoderChoice {
+    /// Random-projection sign encoding (denser information capture;
+    /// the default).
+    #[default]
+    Projection,
+    /// Record-based id×level binding with a correlative level
+    /// codebook.
+    LevelId,
+}
+
+impl HdFeatureMode {
+    /// Shorthand for the default HD-HOG mode at dimensionality `dim`.
+    #[must_use]
+    pub fn hyper_hog(dim: usize) -> Self {
+        HdFeatureMode::HyperHog(HyperHogConfig::with_dim(dim))
+    }
+
+    /// Shorthand for the encoded-classic mode at dimensionality `dim`
+    /// (projection encoder).
+    #[must_use]
+    pub fn encoded_classic(dim: usize) -> Self {
+        HdFeatureMode::EncodedClassicHog {
+            hog: HogConfig::paper(),
+            dim,
+            levels: 32,
+            encoder: EncoderChoice::Projection,
+        }
+    }
+
+    /// The encoded-classic mode with the id×level encoder.
+    #[must_use]
+    pub fn encoded_classic_level_id(dim: usize) -> Self {
+        HdFeatureMode::EncodedClassicHog {
+            hog: HogConfig::paper(),
+            dim,
+            levels: 32,
+            encoder: EncoderChoice::LevelId,
+        }
+    }
+
+    /// Hypervector dimensionality this mode produces.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            HdFeatureMode::HyperHog(c) => c.dim,
+            HdFeatureMode::EncodedClassicHog { dim, .. } => *dim,
+        }
+    }
+}
+
+enum HdExtractor {
+    Hyper(Box<HyperHog>),
+    /// Classic HOG plus a lazily built encoder (its input length is
+    /// only known once the first image fixes the cell grid).
+    Encoded {
+        hog: ClassicHog,
+        dim: usize,
+        levels: usize,
+        choice: EncoderChoice,
+        seed: u64,
+        encoder: Option<Box<dyn FeatureEncoder>>,
+    },
+}
+
+/// An end-to-end hyperdimensional pipeline: image → feature
+/// hypervector → HDC classifier.
+pub struct HdPipeline {
+    extractor: HdExtractor,
+    classifier: Option<HdClassifier>,
+    num_classes: usize,
+    dim: usize,
+    seed: u64,
+    rng: HdcRng,
+}
+
+impl HdPipeline {
+    /// Creates an untrained pipeline; `seed` drives every random
+    /// choice (basis, masks, codebooks, training shuffles).
+    #[must_use]
+    pub fn new(mode: HdFeatureMode, seed: u64) -> Self {
+        let dim = mode.dim();
+        let extractor = match mode {
+            HdFeatureMode::HyperHog(config) => {
+                HdExtractor::Hyper(Box::new(HyperHog::new(config, seed)))
+            }
+            HdFeatureMode::EncodedClassicHog {
+                hog,
+                dim,
+                levels,
+                encoder,
+            } => HdExtractor::Encoded {
+                hog: ClassicHog::new(hog),
+                dim,
+                levels,
+                choice: encoder,
+                seed,
+                encoder: None,
+            },
+        };
+        HdPipeline {
+            extractor,
+            classifier: None,
+            num_classes: 0,
+            dim,
+            seed,
+            rng: HdcRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0),
+        }
+    }
+
+    /// The seed the pipeline was created with (reconstructs the whole
+    /// extractor state; see the persistence module).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Byte tag of the feature mode (`HDP1` header field).
+    #[must_use]
+    pub(crate) fn mode_tag(&self) -> u8 {
+        match &self.extractor {
+            HdExtractor::Hyper(_) => 1,
+            HdExtractor::Encoded { choice, .. } => match choice {
+                EncoderChoice::Projection => 2,
+                EncoderChoice::LevelId => 3,
+            },
+        }
+    }
+
+    /// Installs a deployed binary model as the classifier (used when
+    /// loading a persisted pipeline).
+    pub fn install_binary_model(&mut self, model: hdface_learn::BinaryHdModel) {
+        self.num_classes = model.num_classes();
+        self.classifier = Some(HdClassifier::from_binary(&model));
+    }
+
+    /// Hypervector dimensionality of the pipeline.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Extracts the feature hypervector of one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures (e.g. an image smaller than one
+    /// HOG cell).
+    pub fn extract(&mut self, image: &GrayImage) -> Result<BitVector, PipelineError> {
+        // Per-window contrast normalization (every pipeline applies
+        // it, keeping the comparison fair): gradients of low-contrast
+        // windows would otherwise sit below the stochastic noise
+        // floor.
+        let image = image.normalized();
+        match &mut self.extractor {
+            HdExtractor::Hyper(h) => Ok(h.extract(&image)?),
+            HdExtractor::Encoded {
+                hog,
+                dim,
+                levels,
+                choice,
+                seed,
+                encoder,
+            } => {
+                // The same O(1) rescaling the float baselines use (the
+                // projection encoder's bias spread assumes it).
+                let features: Vec<f64> = hog
+                    .extract_vec(&image)
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                let enc = encoder.get_or_insert_with(|| match choice {
+                    EncoderChoice::Projection => {
+                        Box::new(ProjectionEncoder::new(features.len(), *dim, *seed))
+                    }
+                    EncoderChoice::LevelId => Box::new(LevelIdEncoder::new(
+                        features.len(),
+                        *dim,
+                        *levels,
+                        0.0,
+                        // Scaled histogram values concentrate in
+                        // [0, 0.8].
+                        0.8,
+                        *seed,
+                    )),
+                });
+                Ok(enc.encode(&features)?)
+            }
+        }
+    }
+
+    /// Extracts features for a whole dataset as `(hypervector, label)`
+    /// pairs.
+    ///
+    /// Hyperdimensional extraction fans out across CPU cores for
+    /// larger datasets: every worker shares the same basis, codebooks
+    /// and slot keys (features stay in one space) but draws an
+    /// independent stochastic-mask stream. The chunk assignment is
+    /// deterministic, so results are reproducible run-to-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn extract_dataset(
+        &mut self,
+        dataset: &Dataset,
+    ) -> Result<Vec<(BitVector, usize)>, PipelineError> {
+        const PARALLEL_THRESHOLD: usize = 16;
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8);
+        if let (HdExtractor::Hyper(h), true) = (
+            &self.extractor,
+            threads > 1 && dataset.len() >= PARALLEL_THRESHOLD,
+        ) {
+            let samples = dataset.samples();
+            let chunk_len = samples.len().div_ceil(threads);
+            let results: Vec<Result<Vec<(BitVector, usize)>, PipelineError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = samples
+                        .chunks(chunk_len)
+                        .enumerate()
+                        .map(|(i, chunk)| {
+                            let mut worker = h.clone_for_worker(i as u64 + 1);
+                            scope.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|s| {
+                                        Ok((
+                                            worker.extract(&s.image.normalized())?,
+                                            s.label,
+                                        ))
+                                    })
+                                    .collect::<Result<Vec<_>, PipelineError>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|jh| jh.join().expect("worker panicked"))
+                        .collect()
+                });
+            let mut out = Vec::with_capacity(samples.len());
+            for r in results {
+                out.extend(r?);
+            }
+            return Ok(out);
+        }
+        dataset
+            .iter()
+            .map(|s| Ok((self.extract(&s.image)?, s.label)))
+            .collect()
+    }
+
+    /// Trains the classifier on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and learning failures.
+    pub fn train(
+        &mut self,
+        dataset: &Dataset,
+        config: &TrainConfig,
+    ) -> Result<TrainReport, PipelineError> {
+        let samples = self.extract_dataset(dataset)?;
+        let mut clf = HdClassifier::new(dataset.num_classes(), self.dim);
+        let report = clf.fit(&samples, config, &mut self.rng)?;
+        self.classifier = Some(clf);
+        self.num_classes = dataset.num_classes();
+        Ok(report)
+    }
+
+    /// Trains directly on pre-extracted feature hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning failures.
+    pub fn train_on_features(
+        &mut self,
+        samples: &[(BitVector, usize)],
+        num_classes: usize,
+        config: &TrainConfig,
+    ) -> Result<TrainReport, PipelineError> {
+        let mut clf = HdClassifier::new(num_classes, self.dim);
+        let report = clf.fit(samples, config, &mut self.rng)?;
+        self.classifier = Some(clf);
+        self.num_classes = num_classes;
+        Ok(report)
+    }
+
+    /// Predicts the class of one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] before training;
+    /// propagates extraction failures.
+    pub fn predict(&mut self, image: &GrayImage) -> Result<usize, PipelineError> {
+        let feature = self.extract(image)?;
+        let clf = self.classifier.as_ref().ok_or(PipelineError::NotTrained)?;
+        Ok(clf.predict(&feature)?)
+    }
+
+    /// Classification accuracy on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] before training;
+    /// propagates extraction failures.
+    pub fn evaluate(&mut self, dataset: &Dataset) -> Result<f64, PipelineError> {
+        if self.classifier.is_none() {
+            return Err(PipelineError::NotTrained);
+        }
+        if dataset.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for s in dataset {
+            if self.predict(&s.image)? == s.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / dataset.len() as f64)
+    }
+
+    /// The trained classifier, if any.
+    #[must_use]
+    pub fn classifier(&self) -> Option<&HdClassifier> {
+        self.classifier.as_ref()
+    }
+}
+
+impl fmt::Debug for HdPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match &self.extractor {
+            HdExtractor::Hyper(_) => "hyper-hog",
+            HdExtractor::Encoded { .. } => "classic-hog+encoder",
+        };
+        write!(
+            f,
+            "HdPipeline({mode}, D={}, trained={})",
+            self.dim,
+            self.classifier.is_some()
+        )
+    }
+}
+
+/// The DNN baseline pipeline: classic HOG → MLP.
+pub struct DnnPipeline {
+    hog: ClassicHog,
+    hidden: (usize, usize),
+    epochs: usize,
+    seed: u64,
+    mlp: Option<Mlp>,
+}
+
+impl DnnPipeline {
+    /// Creates an untrained pipeline with the given hidden-layer
+    /// sizes.
+    #[must_use]
+    pub fn new(hog: HogConfig, hidden: (usize, usize), epochs: usize, seed: u64) -> Self {
+        DnnPipeline {
+            hog: ClassicHog::new(hog),
+            hidden,
+            epochs,
+            seed,
+            mlp: None,
+        }
+    }
+
+    /// Extracts the float features of a dataset.
+    #[must_use]
+    pub fn extract_dataset(&self, dataset: &Dataset) -> Vec<(Vec<f64>, usize)> {
+        dataset
+            .iter()
+            .map(|s| {
+                // HOG histogram values are O(0.01-0.1); rescaling to an
+                // O(1) dynamic range is standard input conditioning for
+                // gradient-trained models (it changes nothing for the
+                // scale-free HDC encoders).
+                let features = self
+                    .hog
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                (features, s.label)
+            })
+            .collect()
+    }
+
+    /// Trains the MLP; returns the final-epoch mean loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline training failures.
+    pub fn train(&mut self, dataset: &Dataset) -> Result<f64, PipelineError> {
+        let data = self.extract_dataset(dataset);
+        let input = data.first().map_or(0, |(x, _)| x.len());
+        let cfg = MlpConfig {
+            input,
+            hidden1: self.hidden.0,
+            hidden2: self.hidden.1,
+            output: dataset.num_classes(),
+            lr: 0.02,
+            momentum: 0.9,
+            epochs: self.epochs,
+            batch_size: 16,
+            seed: self.seed,
+        };
+        let mut mlp = Mlp::new(&cfg);
+        let loss = mlp.fit(&data)?;
+        self.mlp = Some(mlp);
+        Ok(loss)
+    }
+
+    /// Classification accuracy on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] before training.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<f64, PipelineError> {
+        let mlp = self.mlp.as_ref().ok_or(PipelineError::NotTrained)?;
+        let data = self.extract_dataset(dataset);
+        Ok(mlp.accuracy(&data)?)
+    }
+
+    /// The trained network, if any.
+    #[must_use]
+    pub fn mlp(&self) -> Option<&Mlp> {
+        self.mlp.as_ref()
+    }
+}
+
+/// The SVM baseline pipeline: classic HOG → one-vs-rest linear SVM.
+pub struct SvmPipeline {
+    hog: ClassicHog,
+    epochs: usize,
+    seed: u64,
+    svm: Option<LinearSvm>,
+}
+
+impl SvmPipeline {
+    /// Creates an untrained pipeline.
+    #[must_use]
+    pub fn new(hog: HogConfig, epochs: usize, seed: u64) -> Self {
+        SvmPipeline {
+            hog: ClassicHog::new(hog),
+            epochs,
+            seed,
+            svm: None,
+        }
+    }
+
+    /// Extracts the float features of a dataset.
+    #[must_use]
+    pub fn extract_dataset(&self, dataset: &Dataset) -> Vec<(Vec<f64>, usize)> {
+        dataset
+            .iter()
+            .map(|s| {
+                // HOG histogram values are O(0.01-0.1); rescaling to an
+                // O(1) dynamic range is standard input conditioning for
+                // gradient-trained models (it changes nothing for the
+                // scale-free HDC encoders).
+                let features = self
+                    .hog
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                (features, s.label)
+            })
+            .collect()
+    }
+
+    /// Trains the SVM, selecting the regularization strength on a
+    /// held-out fifth of the training set (the paper's baselines are
+    /// "optimized to provide their maximum accuracy").
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline training failures.
+    pub fn train(&mut self, dataset: &Dataset) -> Result<(), PipelineError> {
+        let data = self.extract_dataset(dataset);
+        let input = data.first().map_or(0, |(x, _)| x.len());
+        let holdout = (data.len() / 5).max(1).min(data.len().saturating_sub(1));
+        let (fit_part, val_part) = data.split_at(data.len() - holdout);
+
+        let mut best: Option<(f64, f64)> = None; // (accuracy, lambda)
+        for &lambda in &[1e-4, 1e-3, 1e-2, 3e-2] {
+            let mut cfg = SvmConfig::new(input, dataset.num_classes());
+            cfg.epochs = self.epochs;
+            cfg.seed = self.seed;
+            cfg.lambda = lambda;
+            let mut svm = LinearSvm::new(&cfg);
+            if fit_part.is_empty() {
+                continue;
+            }
+            svm.fit(fit_part)?;
+            let acc = svm.accuracy(val_part)?;
+            if best.is_none_or(|(b, _)| acc > b) {
+                best = Some((acc, lambda));
+            }
+        }
+
+        let mut cfg = SvmConfig::new(input, dataset.num_classes());
+        cfg.epochs = self.epochs;
+        cfg.seed = self.seed;
+        cfg.lambda = best.map_or(1e-3, |(_, l)| l);
+        let mut svm = LinearSvm::new(&cfg);
+        svm.fit(&data)?;
+        self.svm = Some(svm);
+        Ok(())
+    }
+
+    /// Classification accuracy on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] before training.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<f64, PipelineError> {
+        let svm = self.svm.as_ref().ok_or(PipelineError::NotTrained)?;
+        let data = self.extract_dataset(dataset);
+        Ok(svm.accuracy(&data)?)
+    }
+
+    /// The trained machine, if any.
+    #[must_use]
+    pub fn svm(&self) -> Option<&LinearSvm> {
+        self.svm.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_datasets::face2_spec;
+
+    fn tiny_dataset() -> Dataset {
+        face2_spec().scaled(80).at_size(32).generate(3)
+    }
+
+    #[test]
+    fn hd_hyper_pipeline_learns_face_vs_clutter() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(4096), 1);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc >= 0.6, "hd pipeline accuracy {acc}");
+    }
+
+    #[test]
+    fn encoded_pipeline_learns_face_vs_clutter() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 2);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc >= 0.6, "encoded pipeline accuracy {acc}");
+    }
+
+    #[test]
+    fn dnn_pipeline_learns() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = DnnPipeline::new(HogConfig::paper(), (64, 32), 40, 3);
+        p.train(&train).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc > 0.6, "dnn accuracy {acc}");
+        assert!(p.mlp().is_some());
+    }
+
+    #[test]
+    fn svm_pipeline_learns() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = SvmPipeline::new(HogConfig::paper(), 40, 4);
+        p.train(&train).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc > 0.6, "svm accuracy {acc}");
+        assert!(p.svm().is_some());
+    }
+
+    #[test]
+    fn untrained_pipelines_error() {
+        let ds = tiny_dataset();
+        let mut hd = HdPipeline::new(HdFeatureMode::hyper_hog(512), 0);
+        assert!(matches!(
+            hd.evaluate(&ds),
+            Err(PipelineError::NotTrained)
+        ));
+        assert!(matches!(
+            hd.predict(&ds.samples()[0].image),
+            Err(PipelineError::NotTrained)
+        ));
+        let dnn = DnnPipeline::new(HogConfig::paper(), (8, 8), 1, 0);
+        assert!(matches!(dnn.evaluate(&ds), Err(PipelineError::NotTrained)));
+        let svm = SvmPipeline::new(HogConfig::paper(), 1, 0);
+        assert!(matches!(svm.evaluate(&ds), Err(PipelineError::NotTrained)));
+    }
+
+    #[test]
+    fn level_id_encoded_pipeline_learns() {
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic_level_id(4096), 8);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc >= 0.6, "level-id pipeline accuracy {acc}");
+    }
+
+    #[test]
+    fn parallel_and_serial_extraction_share_feature_space() {
+        // Train via the (potentially parallel) dataset path, then
+        // evaluate through serial per-image prediction: accuracy must
+        // be far above chance, which fails if worker slot keys ever
+        // diverge from the original extractor's.
+        let ds = face2_spec().scaled(64).at_size(32).generate(9);
+        let (train, test) = ds.split(0.75);
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(4096), 9);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        let acc = p.evaluate(&test).unwrap();
+        assert!(acc >= 0.6, "cross-path accuracy {acc}");
+    }
+
+    #[test]
+    fn feature_mode_dims() {
+        assert_eq!(HdFeatureMode::hyper_hog(1024).dim(), 1024);
+        assert_eq!(HdFeatureMode::encoded_classic(2048).dim(), 2048);
+    }
+
+    #[test]
+    fn pipeline_debug() {
+        let p = HdPipeline::new(HdFeatureMode::hyper_hog(256), 0);
+        let s = format!("{p:?}");
+        assert!(s.contains("hyper-hog") && s.contains("trained=false"));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PipelineError::NotTrained;
+        assert!(e.to_string().contains("trained"));
+        assert!(e.source().is_none());
+        let e2: PipelineError = LearnError::NoClasses.into();
+        assert!(e2.source().is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the deployment-side machinery: model
+//! serialization through the pipeline, the multi-scale detector, the
+//! cleanup memory as a slot codebook, and the analytic error budget
+//! against the live pipeline.
+
+use hdface::datasets::face2_spec;
+use hdface::detector::{iou, non_maximum_suppression, Detection};
+use hdface::hdc::{BitVector, HdcRng, ItemMemory, SeedableRng};
+use hdface::imaging::Window;
+use hdface::learn::{BinaryHdModel, ConfusionMatrix, TrainConfig};
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::stochastic::{hog_magnitude_sigma, ErrorBudget, StochasticContext};
+
+#[test]
+fn pipeline_model_survives_serialization_roundtrip() {
+    let ds = face2_spec().at_size(32).scaled(80).generate(17);
+    let (train, test) = ds.split(0.75);
+    let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 17);
+    p.train(&train, &TrainConfig::default()).unwrap();
+    let mut rng = HdcRng::seed_from_u64(1);
+    let model = p.classifier().unwrap().to_binary(&mut rng);
+
+    let bytes = model.to_bytes();
+    let reloaded = BinaryHdModel::from_bytes(&bytes).unwrap();
+    let features = p.extract_dataset(&test).unwrap();
+    assert_eq!(
+        model.accuracy(&features).unwrap(),
+        reloaded.accuracy(&features).unwrap()
+    );
+    for (f, _) in &features {
+        assert_eq!(model.predict(f).unwrap(), reloaded.predict(f).unwrap());
+    }
+}
+
+#[test]
+fn confusion_matrix_tracks_pipeline_evaluation() {
+    let ds = face2_spec().at_size(32).scaled(64).generate(23);
+    let (train, test) = ds.split(0.75);
+    let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 23);
+    p.train(&train, &TrainConfig::default()).unwrap();
+
+    let mut cm = ConfusionMatrix::new(ds.num_classes());
+    for s in &test {
+        let pred = p.predict(&s.image).unwrap();
+        cm.record(s.label, pred).unwrap();
+    }
+    assert_eq!(cm.total(), test.len());
+    let direct = p.evaluate(&test).unwrap();
+    assert!((cm.accuracy() - direct).abs() < 1e-12);
+    assert!(cm.macro_f1() > 0.0);
+}
+
+#[test]
+fn item_memory_recovers_level_codebook_entries() {
+    // Use the cleanup memory the way the quantized assembly would: a
+    // correlative level codebook queried with noisy slot vectors.
+    let dim = 4096;
+    let mut ctx = StochasticContext::new(dim, 3);
+    let mut memory = ItemMemory::new(dim);
+    let levels = 9;
+    let originals: Vec<_> = (0..levels)
+        .map(|i| {
+            let value = i as f64 / (levels - 1) as f64;
+            let v = ctx.encode(value).unwrap();
+            memory.store(i, v.as_bits().clone()).unwrap();
+            v
+        })
+        .collect();
+    let mut rng = HdcRng::seed_from_u64(5);
+    for (i, v) in originals.iter().enumerate() {
+        let noisy = v.as_bits().with_bit_errors(0.05, &mut rng).unwrap();
+        let recalled = memory.recall(&noisy).unwrap().unwrap();
+        // Stochastic encodings of nearby values are themselves close;
+        // accept recall within one level.
+        assert!(
+            (recalled.label as isize - i as isize).abs() <= 1,
+            "level {i} recalled as {}",
+            recalled.label
+        );
+    }
+}
+
+#[test]
+fn error_budget_brackets_live_pipeline_noise() {
+    // The analytic σ of the HOG magnitude pipeline must land within a
+    // small factor of the live measurement at two dimensionalities.
+    for dim in [2048usize, 8192] {
+        let predicted = hog_magnitude_sigma(0.1, dim, 6);
+        let mut ctx = StochasticContext::new(dim, 9);
+        let trials = 120;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| {
+                let a = ctx.encode(0.3).unwrap();
+                let b = ctx.encode(0.1).unwrap();
+                let gx = ctx.sub_halved(&a, &b).unwrap();
+                let gx2 = ctx.square(&gx).unwrap();
+                let gy2 = ctx.square(&gx).unwrap();
+                let msq = ctx.add_halved(&gx2, &gy2).unwrap();
+                let m = ctx.sqrt_with_iters(&msq, 6).unwrap();
+                ctx.decode(&m).unwrap()
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let measured = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / trials as f64)
+            .sqrt();
+        assert!(
+            measured < predicted * 5.0 && measured > predicted / 5.0,
+            "D={dim}: measured {measured} vs predicted {predicted}"
+        );
+    }
+}
+
+#[test]
+fn budget_sigma_falls_with_dimensionality_like_fig2() {
+    let sigmas: Vec<f64> = [512usize, 2048, 8192, 32768]
+        .iter()
+        .map(|&d| ErrorBudget::encode(0.3, d).square().sigma())
+        .collect();
+    for pair in sigmas.windows(2) {
+        assert!(pair[1] < pair[0], "sigma must fall monotonically: {sigmas:?}");
+    }
+}
+
+#[test]
+fn nms_pipeline_types_compose() {
+    // Detector plumbing sanity: windows from the imaging crate flow
+    // through detector NMS unchanged.
+    let d = |x: usize, s: f64| Detection {
+        window: Window {
+            x,
+            y: 0,
+            width: 10,
+            height: 10,
+        },
+        score: s,
+        scale: 1.0,
+    };
+    let kept = non_maximum_suppression(vec![d(0, 0.2), d(2, 0.9), d(30, 0.5)], 0.3);
+    assert_eq!(kept.len(), 2);
+    assert_eq!(kept[0].window.x, 2);
+    assert!(iou(kept[0].window, kept[1].window) < 0.3);
+}
+
+#[test]
+fn hypervector_bytes_cross_crate_roundtrip() {
+    // hdc serialization carries stochastic-crate values faithfully.
+    let mut ctx = StochasticContext::new(4096, 31);
+    let v = ctx.encode(0.42).unwrap();
+    let bytes = v.as_bits().to_bytes();
+    let (back, _) = BitVector::from_bytes(&bytes).unwrap();
+    let restored = hdface::stochastic::Shv::from_bits(back);
+    assert!((ctx.decode(&restored).unwrap() - ctx.decode(&v).unwrap()).abs() < 1e-12);
+}

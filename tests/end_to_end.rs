@@ -1,0 +1,98 @@
+//! End-to-end integration tests spanning the whole workspace: dataset
+//! generation → feature extraction (both worlds) → learning →
+//! evaluation, plus cross-pipeline consistency properties.
+
+use hdface::datasets::{emotion_spec, face2_spec};
+use hdface::hog::HogConfig;
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{DnnPipeline, HdFeatureMode, HdPipeline, PipelineError, SvmPipeline};
+
+fn face_dataset() -> hdface::datasets::Dataset {
+    face2_spec().at_size(32).scaled(96).generate(11)
+}
+
+#[test]
+fn hyper_hog_pipeline_end_to_end() {
+    let ds = face_dataset();
+    let (train, test) = ds.split(0.75);
+    let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(4096), 1);
+    let report = p.train(&train, &TrainConfig::default()).unwrap();
+    assert_eq!(report.samples, train.len());
+    let acc = p.evaluate(&test).unwrap();
+    assert!(acc >= 0.65, "hyper-hog end-to-end accuracy {acc}");
+}
+
+#[test]
+fn encoded_pipeline_end_to_end() {
+    let ds = face_dataset();
+    let (train, test) = ds.split(0.75);
+    let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 2);
+    p.train(&train, &TrainConfig::default()).unwrap();
+    let acc = p.evaluate(&test).unwrap();
+    assert!(acc >= 0.8, "encoded end-to-end accuracy {acc}");
+}
+
+#[test]
+fn float_baselines_end_to_end() {
+    let ds = face_dataset();
+    let (train, test) = ds.split(0.75);
+    let mut dnn = DnnPipeline::new(HogConfig::paper(), (128, 128), 80, 3);
+    dnn.train(&train).unwrap();
+    assert!(dnn.evaluate(&test).unwrap() >= 0.75);
+
+    let mut svm = SvmPipeline::new(HogConfig::paper(), 40, 3);
+    svm.train(&train).unwrap();
+    assert!(svm.evaluate(&test).unwrap() >= 0.7);
+}
+
+#[test]
+fn pipelines_are_deterministic_per_seed() {
+    let ds = face2_spec().at_size(32).scaled(24).generate(5);
+    let accuracy = |seed: u64| {
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(1024), seed);
+        let (train, test) = ds.split(0.75);
+        p.train(&train, &TrainConfig::default()).unwrap();
+        p.evaluate(&test).unwrap()
+    };
+    assert_eq!(accuracy(9), accuracy(9));
+}
+
+#[test]
+fn seven_class_emotion_pipeline_learns_above_chance() {
+    let ds = emotion_spec().scaled(140).generate(7);
+    let (train, test) = ds.split(0.75);
+    // The encoded configuration is the strong one for fine-grained
+    // expressions (see EXPERIMENTS.md).
+    let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 4);
+    p.train(&train, &TrainConfig::default()).unwrap();
+    let acc = p.evaluate(&test).unwrap();
+    assert!(acc > 2.0 / 7.0, "emotion accuracy {acc} not above chance");
+}
+
+#[test]
+fn extract_dataset_feature_shapes_are_consistent() {
+    let ds = face2_spec().at_size(32).scaled(8).generate(3);
+    let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(2048), 5);
+    let feats = p.extract_dataset(&ds).unwrap();
+    assert_eq!(feats.len(), ds.len());
+    for (v, label) in &feats {
+        assert_eq!(v.dim(), 2048);
+        assert!(*label < ds.num_classes());
+    }
+}
+
+#[test]
+fn pipeline_errors_are_reportable() {
+    // An image smaller than one HOG cell must surface as a typed,
+    // printable error all the way through the pipeline API.
+    let tiny = hdface::datasets::LabeledImage {
+        image: hdface::imaging::GrayImage::new(4, 4),
+        label: 0,
+    };
+    let ds = hdface::datasets::Dataset::new("tiny", vec![tiny], vec!["a".into()]);
+    let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(512), 6);
+    let err = p.train(&ds, &TrainConfig::default()).unwrap_err();
+    assert!(matches!(err, PipelineError::Feature(_)));
+    assert!(err.to_string().contains("feature extraction"));
+    assert!(std::error::Error::source(&err).is_some());
+}

@@ -1,0 +1,204 @@
+//! Integration tests asserting the *paper-shape* properties that the
+//! experiment binaries report — kept small enough for CI, so every
+//! headline trend of the reproduction is guarded by a test.
+
+use hdface::baselines::{QuantizedMlp, WeightPrecision};
+use hdface::datasets::face2_spec;
+use hdface::hdc::{BitVector, HdcRng, SeedableRng};
+use hdface::hog::{ClassicHog, HogConfig, HyperHog, HyperHogConfig};
+use hdface::learn::{FeatureEncoder, HdClassifier, ProjectionEncoder, TrainConfig};
+use hdface::noise::BitErrorModel;
+use hdface::pipeline::DnnPipeline;
+use hdface::stochastic::{measure_errors, OpKind};
+use hdface_hwsim::{CpuModel, FpgaModel, Phase, Platform, Scenario};
+
+#[test]
+fn fig2_shape_error_falls_with_dimensionality() {
+    for op in OpKind::ALL {
+        let small = measure_errors(op, 1024, 5, 2, 0).unwrap();
+        let large = measure_errors(op, 16_384, 5, 2, 0).unwrap();
+        assert!(
+            large.rms_error < small.rms_error,
+            "{op:?}: rms {} at 16k should beat {} at 1k",
+            large.rms_error,
+            small.rms_error
+        );
+    }
+}
+
+#[test]
+fn fig5a_shape_accuracy_saturates_with_dimensionality() {
+    let ds = face2_spec().at_size(32).scaled(120).generate(2022);
+    let (train, test) = ds.split(0.75);
+    let acc_at = |dim: usize| {
+        let mut hog = HyperHog::new(HyperHogConfig::with_dim(dim), 2022);
+        let tr: Vec<(BitVector, usize)> = train
+            .iter()
+            .map(|s| (hog.extract(&s.image.normalized()).unwrap(), s.label))
+            .collect();
+        let te: Vec<(BitVector, usize)> = test
+            .iter()
+            .map(|s| (hog.extract(&s.image.normalized()).unwrap(), s.label))
+            .collect();
+        let mut clf = HdClassifier::new(2, dim);
+        let mut rng = HdcRng::seed_from_u64(1);
+        clf.fit(&tr, &TrainConfig::default(), &mut rng).unwrap();
+        clf.accuracy(&te).unwrap()
+    };
+    let low = acc_at(256);
+    let high = acc_at(4096);
+    assert!(
+        high > low,
+        "accuracy should grow with dimensionality: D=256 {low} vs D=4k {high}"
+    );
+    assert!(high > 0.7, "saturated accuracy {high}");
+}
+
+#[test]
+fn table2_shape_hd_model_absorbs_errors_float_features_do_not() {
+    let ds = face2_spec().at_size(32).scaled(120).generate(3);
+    let (train, test) = ds.split(0.7);
+    let hog = ClassicHog::new(HogConfig::paper());
+    let feats = |d: &hdface::datasets::Dataset| -> Vec<(Vec<f64>, usize)> {
+        d.iter()
+            .map(|s| {
+                let f: Vec<f64> = hog
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                (f, s.label)
+            })
+            .collect()
+    };
+    let train_f = feats(&train);
+    let test_f = feats(&test);
+    let dim = 4096;
+    let encoder = ProjectionEncoder::new(train_f[0].0.len(), dim, 0);
+    let train_enc: Vec<(BitVector, usize)> = train_f
+        .iter()
+        .map(|(x, y)| (encoder.encode(x).unwrap(), *y))
+        .collect();
+    let test_enc: Vec<(BitVector, usize)> = test_f
+        .iter()
+        .map(|(x, y)| (encoder.encode(x).unwrap(), *y))
+        .collect();
+    let mut clf = HdClassifier::new(2, dim);
+    let mut rng = HdcRng::seed_from_u64(2);
+    clf.fit(&train_enc, &TrainConfig::default(), &mut rng).unwrap();
+    let binary = clf.to_binary(&mut rng);
+    let clean = binary.accuracy(&test_enc).unwrap();
+
+    // 4% errors on the hypervector memory: harmless.
+    let mut hd_loss = 0.0;
+    // 4% errors on the float feature words: harmful.
+    let mut float_loss = 0.0;
+    for t in 0..4 {
+        let mut mrng = HdcRng::seed_from_u64(100 + t);
+        let noisy_model = binary.with_bit_errors(0.04, &mut mrng);
+        let mut channel = BitErrorModel::new(0.04, 200 + t).unwrap();
+        let noisy_queries = channel.corrupt_hypervector_set(&test_enc);
+        hd_loss += clean - noisy_model.accuracy(&noisy_queries).unwrap();
+
+        let mut fchannel = BitErrorModel::new(0.04, 300 + t).unwrap();
+        let mut correct = 0;
+        for (x, y) in &test_f {
+            let noisy = fchannel.corrupt_f32_features(x);
+            if binary.predict(&encoder.encode(&noisy).unwrap()).unwrap() == *y {
+                correct += 1;
+            }
+        }
+        float_loss += clean - correct as f64 / test_f.len() as f64;
+    }
+    hd_loss /= 4.0;
+    float_loss /= 4.0;
+    assert!(
+        hd_loss < 0.05,
+        "hypervector memory loss {hd_loss} should be negligible"
+    );
+    assert!(
+        float_loss > hd_loss + 0.05,
+        "float features (loss {float_loss}) should be far more fragile than \
+         hypervectors (loss {hd_loss})"
+    );
+}
+
+#[test]
+fn table2_shape_dnn_16bit_less_robust_than_4bit_at_high_rates() {
+    let ds = face2_spec().at_size(32).scaled(120).generate(5);
+    let (train, test) = ds.split(0.7);
+    let mut dnn = DnnPipeline::new(HogConfig::paper(), (128, 128), 80, 1);
+    dnn.train(&train).unwrap();
+    let data = dnn.extract_dataset(&test);
+    let q16 = QuantizedMlp::from_mlp(dnn.mlp().unwrap(), WeightPrecision::Bits16);
+    let q4 = QuantizedMlp::from_mlp(dnn.mlp().unwrap(), WeightPrecision::Bits4);
+    let mut loss16 = 0.0;
+    let mut loss4 = 0.0;
+    for t in 0..8 {
+        let mut rng = HdcRng::seed_from_u64(400 + t);
+        loss16 += q16.accuracy(&data).unwrap()
+            - q16.with_bit_errors(0.12, &mut rng).accuracy(&data).unwrap();
+        loss4 += q4.accuracy(&data).unwrap()
+            - q4.with_bit_errors(0.12, &mut rng).accuracy(&data).unwrap();
+    }
+    assert!(
+        loss16 >= loss4,
+        "16-bit total loss {loss16} should be at least 4-bit {loss4}"
+    );
+}
+
+#[test]
+fn fig7_shape_training_wins_and_fpga_energy_gap_dominates() {
+    let cpu = CpuModel::cortex_a53();
+    let fpga = FpgaModel::kintex7();
+    let mut cpu_gain = 1.0f64;
+    let mut fpga_gain = 1.0f64;
+    for sc in Scenario::table1() {
+        let c = sc.compare(&cpu, Phase::Training);
+        let f = sc.compare(&fpga, Phase::Training);
+        assert!(c.speedup > 1.0, "{}: cpu speedup {}", sc.name, c.speedup);
+        assert!(f.speedup > 1.0, "{}: fpga speedup {}", sc.name, f.speedup);
+        cpu_gain *= c.energy_gain;
+        fpga_gain *= f.energy_gain;
+    }
+    assert!(
+        fpga_gain > cpu_gain,
+        "fpga energy gains {fpga_gain} should exceed cpu {cpu_gain}"
+    );
+}
+
+#[test]
+fn fig7_shape_cached_inference_favors_hdc() {
+    let fpga = FpgaModel::kintex7();
+    for sc in Scenario::table1() {
+        let row = sc.compare(&fpga, Phase::InferenceCached);
+        assert!(
+            row.speedup > 1.0,
+            "{}: cached-inference speedup {}",
+            sc.name,
+            row.speedup
+        );
+    }
+}
+
+#[test]
+fn motivation_shape_hog_dominates_single_epoch_training_on_cpu() {
+    use hdface_hwsim::{classic_hog_ops, dnn_train_epoch_ops, MlpShape};
+    let cpu = CpuModel::cortex_a53();
+    // FACE1 at nominal scale: 1024x1024 images.
+    let sc = Scenario::table1()[1];
+    let hog = cpu.execute(&(classic_hog_ops(sc.image_size, sc.image_size, sc.bins)
+        * sc.train_size as f64));
+    let shape = MlpShape {
+        input: sc.hog_features(),
+        hidden1: 1024,
+        hidden2: 1024,
+        output: sc.classes,
+    };
+    let learn = cpu.execute(&dnn_train_epoch_ops(sc.train_size, &shape));
+    let share = hog.seconds / (hog.seconds + learn.seconds);
+    assert!(
+        share > 0.2,
+        "HOG share {share} should be a substantial fraction of epoch time"
+    );
+}

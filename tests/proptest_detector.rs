@@ -1,0 +1,105 @@
+//! Property-based tests for the detector geometry and the
+//! serialization formats — the parts of the deployment path where a
+//! silent invariant break would corrupt results downstream.
+
+use hdface::detector::{iou, non_maximum_suppression, Detection};
+use hdface::hdc::BitVector;
+use hdface::imaging::Window;
+use hdface::learn::BinaryHdModel;
+use proptest::prelude::*;
+
+fn arb_window() -> impl Strategy<Value = Window> {
+    (0usize..100, 0usize..100, 1usize..40, 1usize..40).prop_map(|(x, y, w, h)| Window {
+        x,
+        y,
+        width: w,
+        height: h,
+    })
+}
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (arb_window(), -1.0f64..1.0).prop_map(|(window, score)| Detection {
+        window,
+        score,
+        scale: 1.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_window(), b in arb_window()) {
+        let ab = iou(a, b);
+        let ba = iou(b, a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn iou_with_self_is_one(a in arb_window()) {
+        prop_assert!((iou(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_windows_have_zero_iou(a in arb_window()) {
+        let b = Window {
+            x: a.x + a.width + 1,
+            y: a.y,
+            width: a.width,
+            height: a.height,
+        };
+        prop_assert_eq!(iou(a, b), 0.0);
+    }
+
+    #[test]
+    fn nms_output_is_sorted_and_conflict_free(
+        dets in prop::collection::vec(arb_detection(), 0..30),
+        thr in 0.05f64..0.9,
+    ) {
+        let kept = non_maximum_suppression(dets.clone(), thr);
+        prop_assert!(kept.len() <= dets.len());
+        // Sorted by descending score.
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score);
+        }
+        // No two kept detections overlap beyond the threshold.
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                prop_assert!(iou(kept[i].window, kept[j].window) <= thr + 1e-12);
+            }
+        }
+        // The best detection always survives.
+        if let Some(best) = dets
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+        {
+            prop_assert!(kept.iter().any(|k| k.score == best.score));
+        }
+    }
+
+    #[test]
+    fn hypervector_bytes_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let v = BitVector::from_bools(&bits);
+        let bytes = v.to_bytes();
+        let (back, used) = BitVector::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn model_bytes_roundtrip(
+        dim_words in 1usize..8,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use hdface::hdc::{HdcRng, SeedableRng};
+        let dim = dim_words * 64;
+        let mut rng = HdcRng::seed_from_u64(seed);
+        let classes: Vec<BitVector> =
+            (0..k).map(|_| BitVector::random(dim, &mut rng)).collect();
+        let model = BinaryHdModel::from_classes(classes).unwrap();
+        let back = BinaryHdModel::from_bytes(&model.to_bytes()).unwrap();
+        prop_assert_eq!(back, model);
+    }
+}
