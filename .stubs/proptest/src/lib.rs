@@ -1,0 +1,541 @@
+//! Offline stub of the `proptest` crate (see `.stubs/README.md`).
+//!
+//! Runs each property over `cases` random inputs drawn from the
+//! strategies. No shrinking, no persistence — just coverage. The RNG
+//! is seeded from the test's module path + name, so runs are
+//! deterministic per test.
+
+/// Runner configuration and RNG.
+pub mod test_runner {
+    /// Subset of proptest's `Config`: only the case count matters here.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 stream for value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (FNV-1a hash).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = u128::from(rng.next_u64()) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.unit() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + rng.unit() as $t * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy over a type's full domain.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy selecting one of a fixed set of options.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly selects one element of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+/// Numeric full-domain strategies (`prop::num::f64::ANY`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Every representable `f64`, specials included.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Every representable `f64` (NaN, infinities, subnormals…).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn gen_value(&self, rng: &mut TestRng) -> f64 {
+                const SPECIALS: [f64; 10] = [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    ::core::f64::consts::PI,
+                    ::core::primitive::f64::INFINITY,
+                    ::core::primitive::f64::NEG_INFINITY,
+                    ::core::primitive::f64::NAN,
+                    ::core::primitive::f64::MAX,
+                    ::core::primitive::f64::MIN_POSITIVE,
+                ];
+                if rng.below(5) == 0 {
+                    SPECIALS[rng.below(SPECIALS.len())]
+                } else {
+                    ::core::primitive::f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-style access (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests over strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __msg,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), __l,
+            ));
+        }
+    }};
+}
+
+/// Skips the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1usize..10, v in prop::collection::vec(0.0f64..1.0, 0..8)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 8);
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e), "element {e} out of range");
+            }
+        }
+
+        #[test]
+        fn tuples_map_and_select(
+            (a, b) in (0u64..5, 0u64..5).prop_map(|(a, b)| (a * 2, b)),
+            pick in prop::sample::select(vec![8usize, 16, 32]),
+        ) {
+            prop_assert!(a % 2 == 0);
+            prop_assert!(b < 5);
+            prop_assert!(pick == 8 || pick == 16 || pick == 32);
+        }
+
+        #[test]
+        fn flat_map_dependent_lengths(v in (1usize..6).prop_flat_map(|n| {
+            prop::collection::vec(any::<bool>(), n)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn runs_the_generated_tests() {
+        ranges_and_vecs();
+        tuples_map_and_select();
+        flat_map_dependent_lengths();
+        assume_skips();
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the parallel sliding-window detection
+//! engine: windows/second at D = 1k / 4k / 8k, scanning with one
+//! worker vs all available cores. The two configurations return
+//! bit-identical detections (asserted in the setup), so the only
+//! thing being compared is wall-clock throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdface::datasets::face2_spec;
+use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::Engine;
+use hdface::imaging::GrayImage;
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use std::hint::black_box;
+
+const WINDOW: usize = 32;
+
+fn test_scene(n: usize) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    })
+}
+
+fn trained_detector(dim: usize) -> FaceDetector {
+    let data = face2_spec().at_size(WINDOW).scaled(12).generate(3);
+    let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(dim), 3);
+    pipeline
+        .train(&data, &TrainConfig::single_pass())
+        .expect("training the bench pipeline");
+    FaceDetector::new(
+        pipeline,
+        DetectorConfig {
+            window: WINDOW,
+            stride_fraction: 0.25,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let scene = test_scene(80);
+    let serial = Engine::serial();
+    let parallel = Engine::from_env();
+
+    let mut group = c.benchmark_group("detect_80x80");
+    group.sample_size(10);
+    for dim in [1024usize, 4096, 8192] {
+        let det = trained_detector(dim);
+        // The engine's contract, checked where a violation would
+        // silently invalidate the comparison:
+        assert_eq!(
+            det.detect_with(&scene, &serial).unwrap(),
+            det.detect_with(&scene, &parallel).unwrap(),
+            "parallel scan diverged from serial at D={dim}"
+        );
+        group.bench_with_input(BenchmarkId::new("serial", dim), &dim, |b, _| {
+            b.iter(|| det.detect_with(black_box(&scene), &serial).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads_{}", parallel.threads()), dim),
+            &dim,
+            |b, _| {
+                b.iter(|| det.detect_with(black_box(&scene), &parallel).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

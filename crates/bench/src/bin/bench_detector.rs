@@ -1,0 +1,118 @@
+//! Detection-engine throughput report: scans one scene serially and
+//! on all cores at D = 1k / 4k / 8k, verifies the two scans return
+//! bit-identical detections, and writes the measured windows/second
+//! (plus speedup) to `BENCH_detector.json`.
+//!
+//! ```sh
+//! cargo run --release -p hdface-bench --bin bench_detector [-- --full]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hdface::datasets::face2_spec;
+use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::Engine;
+use hdface::imaging::{GrayImage, ImagePyramid, SlidingWindows};
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface_bench::{RunConfig, Table};
+
+const WINDOW: usize = 32;
+const STRIDE_FRACTION: f64 = 0.25;
+
+fn test_scene(n: usize) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    })
+}
+
+/// Number of windows one detect() call scores over `scene`.
+fn count_windows(scene: &GrayImage, config: &DetectorConfig) -> usize {
+    let stride = ((config.window as f64 * config.stride_fraction).round() as usize).max(1);
+    let pyramid =
+        ImagePyramid::new(scene, config.pyramid_step, config.window).expect("scene fits a window");
+    pyramid
+        .iter()
+        .map(|l| SlidingWindows::new(&l.image, config.window, config.window, stride).count())
+        .sum()
+}
+
+/// Best-of-`reps` throughput of one engine, in windows/second.
+fn measure(det: &FaceDetector, scene: &GrayImage, engine: &Engine, windows: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        det.detect_with(scene, engine).expect("detection succeeds");
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    windows as f64 / best
+}
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let scene = test_scene(cfg.pick(80, 128));
+    let reps = cfg.pick(2, 3);
+    let config = DetectorConfig {
+        window: WINDOW,
+        stride_fraction: STRIDE_FRACTION,
+        ..DetectorConfig::default()
+    };
+    let windows = count_windows(&scene, &config);
+    let serial = Engine::serial();
+    let parallel = Engine::from_env();
+
+    println!(
+        "== detection engine throughput ({}x{} scene, {} windows, {} threads) ==\n",
+        scene.width(),
+        scene.height(),
+        windows,
+        parallel.threads()
+    );
+    let mut table = Table::new(&["D", "serial win/s", "parallel win/s", "speedup", "identical"]);
+    let mut entries = String::new();
+
+    for dim in [1024usize, 4096, 8192] {
+        let data = face2_spec().at_size(WINDOW).scaled(12).generate(cfg.seed);
+        let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(dim), cfg.seed);
+        pipeline
+            .train(&data, &TrainConfig::single_pass())
+            .expect("training");
+        let det = FaceDetector::new(pipeline, config);
+
+        let identical = det.detect_with(&scene, &serial).expect("serial scan")
+            == det.detect_with(&scene, &parallel).expect("parallel scan");
+        let s = measure(&det, &scene, &serial, windows, reps);
+        let p = measure(&det, &scene, &parallel, windows, reps);
+        let speedup = p / s;
+        table.row(&[
+            &dim,
+            &format!("{s:.1}"),
+            &format!("{p:.1}"),
+            &format!("{speedup:.2}x"),
+            &identical,
+        ]);
+
+        if !entries.is_empty() {
+            entries.push(',');
+        }
+        write!(
+            entries,
+            "\n    {{\"dim\": {dim}, \"serial_windows_per_sec\": {s:.2}, \
+             \"parallel_windows_per_sec\": {p:.2}, \"speedup\": {speedup:.3}, \
+             \"bit_identical\": {identical}}}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+    table.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"detector\",\n  \"scene\": {{\"width\": {}, \"height\": {}, \
+         \"windows\": {windows}}},\n  \"threads\": {},\n  \"results\": [{entries}\n  ]\n}}\n",
+        scene.width(),
+        scene.height(),
+        parallel.threads()
+    );
+    std::fs::write("BENCH_detector.json", &json).expect("writing BENCH_detector.json");
+    println!("\nwrote BENCH_detector.json");
+}

@@ -115,9 +115,13 @@ impl Accumulator {
                 right: v.dim(),
             });
         }
-        // Walk word-by-word to avoid per-bit bounds checks.
-        for (i, val) in self.values.iter_mut().enumerate() {
-            *val += weight * f64::from(v.bipolar(i));
+        // Walk word-by-word: one packed-word load per 64 dimensions,
+        // sign-selecting ±weight per bit (bit-identical to the scalar
+        // `weight * f64::from(bipolar)` since `w * ±1.0 == ±w`).
+        for (chunk, &word) in self.values.chunks_mut(64).zip(v.as_words()) {
+            for (j, val) in chunk.iter_mut().enumerate() {
+                *val += if (word >> j) & 1 == 1 { weight } else { -weight };
+            }
         }
         self.count += 1;
         Ok(())
@@ -199,9 +203,13 @@ impl Accumulator {
         }
         let mut dot = 0.0;
         let mut norm = 0.0;
-        for (i, &c) in self.values.iter().enumerate() {
-            dot += c * f64::from(v.bipolar(i));
-            norm += c * c;
+        // Word-level walk (see `add_weighted`): same FP accumulation
+        // order as the per-bit loop, so results are bit-identical.
+        for (chunk, &word) in self.values.chunks(64).zip(v.as_words()) {
+            for (j, &c) in chunk.iter().enumerate() {
+                dot += if (word >> j) & 1 == 1 { c } else { -c };
+                norm += c * c;
+            }
         }
         if norm == 0.0 || self.dim() == 0 {
             return Ok(0.0);

@@ -1,0 +1,288 @@
+//! Fused word-level similarity kernels.
+//!
+//! Nearest-neighbour queries against a handful of class hypervectors
+//! dominate both training and sliding-window detection. The naive
+//! shape — materialize a `Vec<f64>` of similarities, then argmax — is
+//! wasteful in exactly the place the profile cares about, so these
+//! kernels stream the packed `u64` words once and keep only the
+//! running top-2 state.
+//!
+//! Tie-breaking is part of each caller's observable behaviour and is
+//! therefore explicit here: [`hamming_top2`] keeps the **first**
+//! minimum (matching a `sim > best` scan over similarities), while
+//! [`top2_scores`] keeps the **last** maximum (matching
+//! `Iterator::max_by`, which `HdClassifier::predict` historically
+//! used).
+
+use crate::bitvec::BitVector;
+use crate::error::DimensionMismatchError;
+
+/// Result of a fused nearest/runner-up Hamming query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammingTop2 {
+    /// Index of the closest candidate (ties keep the earliest).
+    pub best: usize,
+    /// Hamming distance to the closest candidate.
+    pub best_distance: usize,
+    /// Index and distance of the runner-up, if a second candidate
+    /// exists (ties keep the earliest).
+    pub second: Option<(usize, usize)>,
+}
+
+/// Finds the closest and second-closest candidates to `query` by
+/// Hamming distance in one pass, streaming each candidate's packed
+/// words once with no intermediate distance buffer.
+///
+/// Returns `None` when `candidates` is empty. Ties keep the earliest
+/// candidate, which matches a strict `distance < best` scan (and thus
+/// the historical first-wins argmax over Hamming *similarities*).
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if any candidate's
+/// dimensionality differs from the query's.
+pub fn hamming_top2(
+    query: &BitVector,
+    candidates: &[BitVector],
+) -> Result<Option<HammingTop2>, DimensionMismatchError> {
+    let qwords = query.as_words();
+    let mut top: Option<HammingTop2> = None;
+    for (i, cand) in candidates.iter().enumerate() {
+        if cand.dim() != query.dim() {
+            return Err(DimensionMismatchError {
+                left: query.dim(),
+                right: cand.dim(),
+            });
+        }
+        let dist: usize = qwords
+            .iter()
+            .zip(cand.as_words())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        match &mut top {
+            None => {
+                top = Some(HammingTop2 {
+                    best: i,
+                    best_distance: dist,
+                    second: None,
+                });
+            }
+            Some(t) => {
+                if dist < t.best_distance {
+                    t.second = Some((t.best, t.best_distance));
+                    t.best = i;
+                    t.best_distance = dist;
+                } else {
+                    match t.second {
+                        Some((_, sd)) if dist >= sd => {}
+                        _ => t.second = Some((i, dist)),
+                    }
+                }
+            }
+        }
+    }
+    Ok(top)
+}
+
+/// Batched form of [`hamming_top2`]: resolves every query against the
+/// same candidate set, walking the candidate list in the outer loop so
+/// each candidate's words stay hot in cache across all queries.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] on the first dimensionality
+/// mismatch between any query and any candidate.
+pub fn hamming_top2_batch(
+    queries: &[BitVector],
+    candidates: &[BitVector],
+) -> Result<Vec<Option<HammingTop2>>, DimensionMismatchError> {
+    let mut tops: Vec<Option<HammingTop2>> = vec![None; queries.len()];
+    for (i, cand) in candidates.iter().enumerate() {
+        for (q, top) in queries.iter().zip(&mut tops) {
+            if cand.dim() != q.dim() {
+                return Err(DimensionMismatchError {
+                    left: q.dim(),
+                    right: cand.dim(),
+                });
+            }
+            let dist: usize = q
+                .as_words()
+                .iter()
+                .zip(cand.as_words())
+                .map(|(a, b)| (a ^ b).count_ones() as usize)
+                .sum();
+            match top {
+                None => {
+                    *top = Some(HammingTop2 {
+                        best: i,
+                        best_distance: dist,
+                        second: None,
+                    });
+                }
+                Some(t) => {
+                    if dist < t.best_distance {
+                        t.second = Some((t.best, t.best_distance));
+                        t.best = i;
+                        t.best_distance = dist;
+                    } else {
+                        match t.second {
+                            Some((_, sd)) if dist >= sd => {}
+                            _ => t.second = Some((i, dist)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(tops)
+}
+
+/// Result of a fused top-2 scan over real-valued scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreTop2 {
+    /// Index of the highest score (ties keep the latest, matching
+    /// `Iterator::max_by` with `f64::total_cmp`).
+    pub best: usize,
+    /// The highest score.
+    pub best_score: f64,
+    /// Index and score of the runner-up, if at least two scores were
+    /// supplied.
+    pub second: Option<(usize, f64)>,
+}
+
+/// Single-pass top-2 over a score stream without materializing a
+/// `Vec<f64>`. Ordering uses [`f64::total_cmp`]; ties keep the
+/// **latest** index, which is exactly what
+/// `iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))` returns.
+pub fn top2_scores<I: IntoIterator<Item = f64>>(scores: I) -> Option<ScoreTop2> {
+    let mut top: Option<ScoreTop2> = None;
+    for (i, s) in scores.into_iter().enumerate() {
+        match &mut top {
+            None => {
+                top = Some(ScoreTop2 {
+                    best: i,
+                    best_score: s,
+                    second: None,
+                });
+            }
+            Some(t) => {
+                if s.total_cmp(&t.best_score) != std::cmp::Ordering::Less {
+                    t.second = Some((t.best, t.best_score));
+                    t.best = i;
+                    t.best_score = s;
+                } else {
+                    match t.second {
+                        Some((_, ss)) if s.total_cmp(&ss) == std::cmp::Ordering::Less => {}
+                        _ => t.second = Some((i, s)),
+                    }
+                }
+            }
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HdcRng, SeedableRng};
+
+    fn naive_argmin_first(query: &BitVector, cands: &[BitVector]) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, c) in cands.iter().enumerate() {
+            let d = query.hamming(c).unwrap();
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    #[test]
+    fn top2_matches_naive_scan() {
+        let mut rng = HdcRng::seed_from_u64(1);
+        let query = BitVector::random(512, &mut rng);
+        let cands: Vec<BitVector> = (0..7).map(|_| BitVector::random(512, &mut rng)).collect();
+        let top = hamming_top2(&query, &cands).unwrap().unwrap();
+        assert_eq!(Some(top.best), naive_argmin_first(&query, &cands));
+        assert_eq!(top.best_distance, query.hamming(&cands[top.best]).unwrap());
+        let (si, sd) = top.second.unwrap();
+        assert_eq!(sd, query.hamming(&cands[si]).unwrap());
+        // Runner-up really is the second-smallest distance.
+        let mut dists: Vec<usize> = cands.iter().map(|c| query.hamming(c).unwrap()).collect();
+        dists.sort_unstable();
+        assert_eq!(top.best_distance, dists[0]);
+        assert_eq!(sd, dists[1]);
+    }
+
+    #[test]
+    fn ties_keep_the_first_candidate() {
+        let query = BitVector::zeros(64);
+        // Candidates 1 and 2 are identical: both at distance 1.
+        let mut near = BitVector::zeros(64);
+        near.set(0, true);
+        let cands = vec![near.clone(), near.clone(), BitVector::ones(64)];
+        let top = hamming_top2(&query, &cands).unwrap().unwrap();
+        assert_eq!(top.best, 0);
+        assert_eq!(top.second, Some((1, 1)));
+    }
+
+    #[test]
+    fn empty_and_singleton_candidate_sets() {
+        let q = BitVector::zeros(8);
+        assert_eq!(hamming_top2(&q, &[]).unwrap(), None);
+        let top = hamming_top2(&q, &[BitVector::ones(8)]).unwrap().unwrap();
+        assert_eq!(top.best, 0);
+        assert_eq!(top.best_distance, 8);
+        assert_eq!(top.second, None);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let q = BitVector::zeros(8);
+        assert!(hamming_top2(&q, &[BitVector::zeros(9)]).is_err());
+        assert!(hamming_top2_batch(&[q], &[BitVector::zeros(9)]).is_err());
+    }
+
+    #[test]
+    fn batch_agrees_with_single_query_kernel() {
+        let mut rng = HdcRng::seed_from_u64(2);
+        let queries: Vec<BitVector> = (0..5).map(|_| BitVector::random(256, &mut rng)).collect();
+        let cands: Vec<BitVector> = (0..4).map(|_| BitVector::random(256, &mut rng)).collect();
+        let batch = hamming_top2_batch(&queries, &cands).unwrap();
+        for (q, b) in queries.iter().zip(batch) {
+            assert_eq!(b, hamming_top2(q, &cands).unwrap());
+        }
+    }
+
+    #[test]
+    fn score_top2_matches_max_by_last_wins() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.3, 0.9, 0.9, -0.2],
+            vec![1.0],
+            vec![-0.5, -0.5],
+            vec![0.0, 0.0, 0.0],
+            vec![f64::NEG_INFINITY, 2.0, 2.0],
+        ];
+        for scores in cases {
+            let top = top2_scores(scores.iter().copied()).unwrap();
+            let expected = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(top.best, expected, "scores {scores:?}");
+            if scores.len() >= 2 {
+                let (_, ss) = top.second.unwrap();
+                let mut sorted = scores.clone();
+                sorted.sort_by(f64::total_cmp);
+                assert_eq!(ss.total_cmp(&sorted[sorted.len() - 2]), std::cmp::Ordering::Equal);
+            } else {
+                assert_eq!(top.second, None);
+            }
+        }
+        assert_eq!(top2_scores(std::iter::empty()), None);
+    }
+}

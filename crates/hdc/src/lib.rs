@@ -32,6 +32,7 @@
 mod accum;
 mod bitvec;
 mod error;
+mod kernels;
 mod memory;
 mod ops;
 mod sequence;
@@ -40,6 +41,7 @@ mod serial;
 pub use accum::Accumulator;
 pub use bitvec::{BitVector, Bits};
 pub use error::{DimensionMismatchError, HdcError};
+pub use kernels::{hamming_top2, hamming_top2_batch, top2_scores, HammingTop2, ScoreTop2};
 pub use memory::{ItemMemory, Recall};
 pub use ops::{majority, majority_weighted, weighted_select};
 pub use sequence::{encode_sequence, ngram};

@@ -94,6 +94,22 @@ struct SlotValue {
     value: f64,
 }
 
+/// Per-worker mutable extraction state: the stochastic-mask and
+/// error-injection RNG streams.
+///
+/// Everything value-defining (basis, codebooks, slot keys) lives in
+/// the shared, read-only [`HyperHog`]; a `HogScratch` is the only
+/// state a worker mutates while scoring, so one extractor can serve
+/// any number of threads through
+/// [`HyperHog::extract_with`]. Build one per work item with
+/// [`HyperHog::scratch_for_stream`] — the resulting feature depends
+/// only on the stream number, never on which thread ran it.
+#[derive(Debug)]
+pub struct HogScratch {
+    mask_rng: HdcRng,
+    noise_rng: HdcRng,
+}
+
 /// A precomputed comparison hypervector for one bin boundary in one
 /// quadrant parity.
 #[derive(Debug, Clone)]
@@ -305,28 +321,54 @@ impl HyperHog {
         worker
     }
 
+    /// Builds per-worker scratch state for `stream` without cloning
+    /// the extractor. The RNG streams match
+    /// [`clone_for_worker`](Self::clone_for_worker) with the same
+    /// `stream`, so `hog.scratch_for_stream(s)` +
+    /// [`extract_with`](Self::extract_with) reproduces
+    /// `hog.clone_for_worker(s).extract(..)` bit-for-bit (provided the
+    /// shared extractor's slot-key cache covers the image, which
+    /// [`prepare_for_image`](Self::prepare_for_image) guarantees; an
+    /// uncached key is derived on the fly to the same bits).
+    #[must_use]
+    pub fn scratch_for_stream(&self, stream: u64) -> HogScratch {
+        HogScratch {
+            mask_rng: HdcRng::seed_from_u64(
+                stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635,
+            ),
+            noise_rng: HdcRng::seed_from_u64(
+                stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4,
+            ),
+        }
+    }
+
     /// Injects the configured bit-error rate into a hypervector
-    /// (identity when the rate is zero).
-    fn corrupt(&mut self, v: Shv) -> Shv {
+    /// (identity when the rate is zero), drawing noise from the
+    /// scratch stream.
+    fn corrupt_with(&self, v: Shv, noise_rng: &mut HdcRng) -> Shv {
         if self.config.bit_error_rate <= 0.0 {
             return v;
         }
         let noisy = v
             .as_bits()
-            .with_bit_errors(self.config.bit_error_rate, &mut self.noise_rng)
+            .with_bit_errors(self.config.bit_error_rate, noise_rng)
             .expect("rate validated by config");
         Shv::from_bits(noisy)
     }
 
     /// Encodes every pixel of the image as a stochastic hypervector
     /// (the "base hypervector generation" stage).
-    fn encode_pixels(&mut self, image: &GrayImage) -> Result<Vec<Shv>, StochasticError> {
+    fn encode_pixels_with(
+        &self,
+        image: &GrayImage,
+        scratch: &mut HogScratch,
+    ) -> Result<Vec<Shv>, StochasticError> {
         let mut out = Vec::with_capacity(image.width() * image.height());
         for y in 0..image.height() {
             for x in 0..image.width() {
                 let v = f64::from(image.get(x, y)).clamp(0.0, 1.0);
-                let enc = self.ctx.encode(v)?;
-                out.push(self.corrupt(enc));
+                let enc = self.ctx.encode_with(v, &mut scratch.mask_rng)?;
+                out.push(self.corrupt_with(enc, &mut scratch.noise_rng));
             }
         }
         Ok(out)
@@ -334,29 +376,34 @@ impl HyperHog {
 
     /// Decides `Gy/Gx > t` for one boundary code using only
     /// hypervector operations plus sign popcounts.
-    fn tan_exceeds(
-        &mut self,
+    fn tan_exceeds_with(
+        &self,
         gx: &Shv,
         gy: &Shv,
         gx_non_neg: bool,
         code_even: bool,
         index: usize,
+        scratch: &mut HogScratch,
     ) -> Result<bool, StochasticError> {
         let code = if code_even {
-            self.even_codes[index].clone()
+            &self.even_codes[index]
         } else {
-            self.odd_codes[index].clone()
+            &self.odd_codes[index]
         };
         if code.use_cot {
             // α = (Gy·(1/t) − Gx)/2 ; sign(Gy − t·Gx) = sign(t)·sign(α).
             let prod = self.ctx.mul(&code.shv, gy)?;
-            let alpha = self.ctx.weighted_average(&prod, &gx.negated(), 0.5)?;
+            let alpha =
+                self.ctx
+                    .weighted_average_with(&prod, &gx.negated(), 0.5, &mut scratch.mask_rng)?;
             let alpha_pos = self.ctx.is_non_negative(&alpha)?;
             Ok((alpha_pos == (code.t >= 0.0)) == gx_non_neg)
         } else {
             // α = (Gy − t·Gx)/2 ; Gy/Gx > t ⟺ sign(α) = sign(Gx).
             let prod = self.ctx.mul(&code.shv, gx)?;
-            let alpha = self.ctx.weighted_average(gy, &prod.negated(), 0.5)?;
+            let alpha =
+                self.ctx
+                    .weighted_average_with(gy, &prod.negated(), 0.5, &mut scratch.mask_rng)?;
             let alpha_pos = self.ctx.is_non_negative(&alpha)?;
             Ok(alpha_pos == gx_non_neg)
         }
@@ -365,9 +412,10 @@ impl HyperHog {
     /// Runs the full per-pixel pipeline and accumulates per-slot
     /// histogram values; returns the slot values along with the grid
     /// shape.
-    fn extract_slots(
-        &mut self,
+    fn extract_slots_with(
+        &self,
         image: &GrayImage,
+        scratch: &mut HogScratch,
     ) -> Result<(Vec<SlotValue>, usize, usize), HyperHogError> {
         let c = self.config.hog.cell_size;
         let cells_x = self.config.hog.cells_for(image.width());
@@ -380,7 +428,7 @@ impl HyperHog {
             });
         }
         let bins = self.config.hog.bins;
-        let pixels = self.encode_pixels(image)?;
+        let pixels = self.encode_pixels_with(image, scratch)?;
         let w = image.width();
         let h = image.height();
         let at = |x: isize, y: isize| -> &Shv {
@@ -405,19 +453,25 @@ impl HyperHog {
                         let y = (cy * c + py) as isize;
 
                         // Gradient: halved central differences.
-                        let right = at(x + 1, y).clone();
-                        let left = at(x - 1, y).clone();
-                        let down = at(x, y + 1).clone();
-                        let up = at(x, y - 1).clone();
-                        let gx = self.ctx.sub_halved(&right, &left)?;
-                        let gy = self.ctx.sub_halved(&down, &up)?;
+                        let right = at(x + 1, y);
+                        let left = at(x - 1, y);
+                        let down = at(x, y + 1);
+                        let up = at(x, y - 1);
+                        let gx = self
+                            .ctx
+                            .sub_halved_with(right, left, &mut scratch.mask_rng)?;
+                        let gy = self.ctx.sub_halved_with(down, up, &mut scratch.mask_rng)?;
 
                         // Magnitude: √((Gx² + Gy²)/2).
-                        let gx2 = self.ctx.square(&gx)?;
-                        let gy2 = self.ctx.square(&gy)?;
-                        let msq = self.ctx.add_halved(&gx2, &gy2)?;
-                        let mag = self.ctx.sqrt_with_iters(&msq, self.config.sqrt_iters)?;
-                        let mag = self.corrupt(mag);
+                        let gx2 = self.ctx.square_with(&gx, &mut scratch.mask_rng)?;
+                        let gy2 = self.ctx.square_with(&gy, &mut scratch.mask_rng)?;
+                        let msq = self.ctx.add_halved_with(&gx2, &gy2, &mut scratch.mask_rng)?;
+                        let mag = self.ctx.sqrt_with_iters_rng(
+                            &msq,
+                            self.config.sqrt_iters,
+                            &mut scratch.mask_rng,
+                        )?;
+                        let mag = self.corrupt_with(mag, &mut scratch.noise_rng);
 
                         // Angle bin: quadrant + tan comparisons.
                         let gx_pos = self.ctx.is_non_negative(&gx)?;
@@ -427,7 +481,7 @@ impl HyperHog {
                         let n_bounds = self.boundaries.tangents().len();
                         let mut in_q = 0;
                         for i in 0..n_bounds {
-                            if self.tan_exceeds(&gx, &gy, gx_pos, even, i)? {
+                            if self.tan_exceeds_with(&gx, &gy, gx_pos, even, i, scratch)? {
                                 in_q = i + 1;
                             } else {
                                 break;
@@ -447,7 +501,12 @@ impl HyperHog {
                                 None => mag,
                                 Some(prev) => {
                                     let wprev = count as f64 / (count + 1) as f64;
-                                    self.ctx.weighted_average(prev, &mag, wprev)?
+                                    self.ctx.weighted_average_with(
+                                        prev,
+                                        &mag,
+                                        wprev,
+                                        &mut scratch.mask_rng,
+                                    )?
                                 }
                             };
                             means[slot] = Some(new_mean);
@@ -466,22 +525,19 @@ impl HyperHog {
             // pay a redundant decode's worth of noise.
             for sum in sums {
                 let value = (sum / area).clamp(0.0, 1.0);
-                let encoded = self.encode_slot(value)?;
-                let shv = self.corrupt(encoded);
+                let encoded = self.ctx.encode_with(value, &mut scratch.mask_rng)?;
+                let shv = self.corrupt_with(encoded, &mut scratch.noise_rng);
                 slots.push(SlotValue { shv, value });
             }
         } else {
             // Count-ratio correction: slot value = mean ⊗ V_{count/area}.
-            let zero = self.ctx.encode(0.0)?;
+            let zero = self.ctx.encode_with(0.0, &mut scratch.mask_rng)?;
             for (mean, count) in means.into_iter().zip(counts) {
                 let shv = match mean {
                     None => zero.clone(),
-                    Some(m) => {
-                        let ratio = self.ratio_codes[count].clone();
-                        self.ctx.mul(&m, &ratio)?
-                    }
+                    Some(m) => self.ctx.mul(&m, &self.ratio_codes[count])?,
                 };
-                let shv = self.corrupt(shv);
+                let shv = self.corrupt_with(shv, &mut scratch.noise_rng);
                 // Pure-HD mode: the value is only accessible through a
                 // decode.
                 let value = self.ctx.decode(&shv)?;
@@ -491,10 +547,35 @@ impl HyperHog {
         Ok((slots, cells_x, cells_y))
     }
 
-    /// Encodes a slot scalar (separated out so `extract_slots` can
-    /// borrow `self.ctx` mutably in one expression).
-    fn encode_slot(&mut self, value: f64) -> Result<Shv, StochasticError> {
-        self.ctx.encode(value)
+    /// Number of histogram slots an image of the given size produces
+    /// (zero when the image is smaller than one cell).
+    #[must_use]
+    pub fn slots_for(&self, width: usize, height: usize) -> usize {
+        self.config.hog.cells_for(width) * self.config.hog.cells_for(height) * self.config.hog.bins
+    }
+
+    /// Pre-generates the slot-key cache for images up to the given
+    /// size, so subsequent shared-state extraction
+    /// ([`extract_with`](Self::extract_with)) never has to re-derive a
+    /// key. Idempotent; keys are identity-stable regardless of
+    /// generation order.
+    pub fn prepare_for_image(&mut self, width: usize, height: usize) {
+        let n = self.slots_for(width, height);
+        while self.slot_keys.len() < n {
+            let i = self.slot_keys.len() as u64;
+            self.slot_keys
+                .push(Self::derive_slot_key(self.key_seed, i, self.config.dim));
+        }
+    }
+
+    /// Derives the binding key of slot `i` from the extractor seed.
+    /// Each key depends only on `(key_seed, i)`, never on generation
+    /// order, so cached and freshly-derived keys always agree.
+    fn derive_slot_key(key_seed: u64, i: u64, dim: usize) -> BitVector {
+        let mut rng = HdcRng::seed_from_u64(
+            key_seed ^ i.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(1),
+        );
+        BitVector::random(dim, &mut rng)
     }
 
     /// Extracts the decoded per-(cell, bin) histogram — the parity
@@ -507,7 +588,26 @@ impl HyperHog {
     ///
     /// [`ClassicHog`]: crate::ClassicHog
     pub fn extract_histogram(&mut self, image: &GrayImage) -> Result<HogFeatures, HyperHogError> {
-        let (slots, cells_x, cells_y) = self.extract_slots(image)?;
+        let mut scratch = self.take_own_scratch();
+        let result = self.extract_histogram_with(image, &mut scratch);
+        self.restore_own_scratch(scratch);
+        result
+    }
+
+    /// [`extract_histogram`](Self::extract_histogram) against the
+    /// shared read-only extractor state, drawing all randomness from
+    /// `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the image is smaller
+    /// than one cell.
+    pub fn extract_histogram_with(
+        &self,
+        image: &GrayImage,
+        scratch: &mut HogScratch,
+    ) -> Result<HogFeatures, HyperHogError> {
+        let (slots, cells_x, cells_y) = self.extract_slots_with(image, scratch)?;
         let bins = self.config.hog.bins;
         let mut feats = HogFeatures::zeroed(cells_x, cells_y, bins);
         for (i, slot) in slots.iter().enumerate() {
@@ -518,18 +618,20 @@ impl HyperHog {
         Ok(feats)
     }
 
-    /// Binding key for one slot index (cached; each key derives
-    /// independently from the extractor seed and its index).
-    fn slot_key(&mut self, slot: usize) -> BitVector {
-        while self.slot_keys.len() <= slot {
-            let i = self.slot_keys.len() as u64;
-            let mut rng = HdcRng::seed_from_u64(
-                self.key_seed ^ i.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(1),
-            );
-            self.slot_keys
-                .push(BitVector::random(self.config.dim, &mut rng));
+    /// Moves the extractor-owned RNG streams out into a scratch so the
+    /// legacy `&mut self` entry points can delegate to the shared-state
+    /// implementations while consuming the exact same streams.
+    fn take_own_scratch(&mut self) -> HogScratch {
+        HogScratch {
+            mask_rng: std::mem::replace(self.ctx.rng_mut(), HdcRng::seed_from_u64(0)),
+            noise_rng: std::mem::replace(&mut self.noise_rng, HdcRng::seed_from_u64(0)),
         }
-        self.slot_keys[slot].clone()
+    }
+
+    /// Puts the extractor-owned RNG streams back after delegation.
+    fn restore_own_scratch(&mut self, scratch: HogScratch) {
+        *self.ctx.rng_mut() = scratch.mask_rng;
+        self.noise_rng = scratch.noise_rng;
     }
 
     /// Extracts the bundled feature hypervector: every slot value
@@ -541,19 +643,57 @@ impl HyperHog {
     /// Returns [`HyperHogError::NoCells`] when the image is smaller
     /// than one cell.
     pub fn extract(&mut self, image: &GrayImage) -> Result<BitVector, HyperHogError> {
-        let (slots, _, _) = self.extract_slots(image)?;
+        // Grow the key cache up front (the shared-state path cannot),
+        // then delegate on the extractor's own RNG streams.
+        self.prepare_for_image(image.width(), image.height());
+        let mut scratch = self.take_own_scratch();
+        let result = self.extract_with(image, &mut scratch);
+        self.restore_own_scratch(scratch);
+        result
+    }
+
+    /// [`extract`](Self::extract) against the shared read-only
+    /// extractor state: all mutation happens in `scratch`, so any
+    /// number of workers can extract concurrently from one `&HyperHog`.
+    /// The result is a pure function of `(extractor, image, scratch
+    /// streams)` — identical no matter which thread runs it.
+    ///
+    /// Slot keys missing from the cache (see
+    /// [`prepare_for_image`](Self::prepare_for_image)) are re-derived
+    /// on the fly to identical bits, trading speed for correctness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the image is smaller
+    /// than one cell.
+    pub fn extract_with(
+        &self,
+        image: &GrayImage,
+        scratch: &mut HogScratch,
+    ) -> Result<BitVector, HyperHogError> {
+        let (slots, _, _) = self.extract_slots_with(image, scratch)?;
         let mut acc = Accumulator::new(self.config.dim);
+        let mut derived_key;
         for (i, slot) in slots.iter().enumerate() {
             let value_bits = match self.config.assembly {
                 crate::config::Assembly::Quantized => self.quantize_slot(slot.value),
                 crate::config::Assembly::Stochastic => slot.shv.as_bits().clone(),
             };
-            let key = self.slot_key(i);
-            let bound = value_bits.xor(&key).expect("dims equal");
+            let key = match self.slot_keys.get(i) {
+                Some(key) => key,
+                None => {
+                    derived_key =
+                        Self::derive_slot_key(self.key_seed, i as u64, self.config.dim);
+                    &derived_key
+                }
+            };
+            let bound = value_bits.xor(key).expect("dims equal");
             acc.add(&bound).expect("dims equal");
         }
-        let bundled = acc.threshold(self.ctx.rng_mut());
-        Ok(self.corrupt(Shv::from_bits(bundled)).into_bits())
+        let bundled = acc.threshold(&mut scratch.mask_rng);
+        Ok(self
+            .corrupt_with(Shv::from_bits(bundled), &mut scratch.noise_rng)
+            .into_bits())
     }
 }
 
@@ -794,6 +934,25 @@ mod tests {
             sim > 0.5,
             "original and worker features diverged (sim {sim}) — slot keys differ"
         );
+    }
+
+    #[test]
+    fn shared_state_extraction_matches_worker_clone() {
+        // scratch_for_stream + extract_with over one shared extractor
+        // must reproduce the legacy clone_for_worker path bit-for-bit,
+        // with or without a warm slot-key cache.
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 3 + y) % 7) as f32 / 6.0);
+        let mut prepared = HyperHog::new(small_config(2048), 7);
+        prepared.prepare_for_image(16, 16);
+        let expect = prepared.clone_for_worker(3).extract(&img).unwrap();
+
+        let mut scratch = prepared.scratch_for_stream(3);
+        assert_eq!(prepared.extract_with(&img, &mut scratch).unwrap(), expect);
+
+        // Cold cache: keys derive on the fly to the same bits.
+        let cold = HyperHog::new(small_config(2048), 7);
+        let mut scratch = cold.scratch_for_stream(3);
+        assert_eq!(cold.extract_with(&img, &mut scratch).unwrap(), expect);
     }
 
     #[test]

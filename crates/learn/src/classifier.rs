@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use hdface_hdc::{Accumulator, BitVector, HdcRng};
+use hdface_hdc::{hamming_top2, top2_scores, Accumulator, BitVector, HdcRng, ScoreTop2};
 use rand::Rng;
 
 use crate::error::LearnError;
@@ -125,6 +125,31 @@ impl HdClassifier {
             .collect()
     }
 
+    /// Fused top-2 similarity scan: streams the per-class cosines
+    /// straight into running best/runner-up state, never materializing
+    /// the full similarity vector. Tie-breaking keeps the **latest**
+    /// class, matching the historical `max_by(f64::total_cmp)` argmax.
+    ///
+    /// Returns `None` on an empty model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn top2(&self, query: &BitVector) -> Result<Option<ScoreTop2>, LearnError> {
+        let mut err = None;
+        let top = top2_scores(self.classes.iter().map(|c| match c.cosine(query) {
+            Ok(s) => s,
+            Err(e) => {
+                err.get_or_insert(e);
+                f64::NAN
+            }
+        }));
+        match err {
+            Some(e) => Err(LearnError::from(e)),
+            None => Ok(top),
+        }
+    }
+
     /// Predicts the class with maximal similarity.
     ///
     /// # Errors
@@ -132,12 +157,56 @@ impl HdClassifier {
     /// Returns [`LearnError::NoClasses`] on an empty model and
     /// [`LearnError::DimensionMismatch`] for foreign queries.
     pub fn predict(&self, query: &BitVector) -> Result<usize, LearnError> {
-        let sims = self.similarities(query)?;
-        sims.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
+        self.top2(query)?
+            .map(|t| t.best)
             .ok_or(LearnError::NoClasses)
+    }
+
+    /// Margin of the `positive` class over its strongest rival:
+    /// `cos(query, C_positive) − max_{i ≠ positive} cos(query, C_i)`.
+    ///
+    /// Positive margins mean the positive class wins; the magnitude is
+    /// the detection confidence used by the sliding-window detector.
+    /// Computed in one fused pass over the class list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::LabelOutOfRange`] for a bad `positive`
+    /// index, [`LearnError::NoClasses`] when no rival class exists and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn margin(&self, query: &BitVector, positive: usize) -> Result<f64, LearnError> {
+        if positive >= self.classes.len() {
+            return Err(LearnError::LabelOutOfRange {
+                label: positive,
+                num_classes: self.classes.len(),
+            });
+        }
+        let mut pos_score = f64::NAN;
+        let mut err = None;
+        let top = top2_scores(self.classes.iter().enumerate().map(|(i, c)| {
+            let s = match c.cosine(query) {
+                Ok(s) => s,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    f64::NAN
+                }
+            };
+            if i == positive {
+                pos_score = s;
+            }
+            s
+        }));
+        if let Some(e) = err {
+            return Err(LearnError::from(e));
+        }
+        let top = top.ok_or(LearnError::NoClasses)?;
+        let rival = if top.best == positive {
+            top.second.map(|(_, s)| s)
+        } else {
+            Some(top.best_score)
+        };
+        let rival = rival.ok_or(LearnError::NoClasses)?;
+        Ok(pos_score - rival)
     }
 
     /// One adaptive update with a single sample:
@@ -164,19 +233,35 @@ impl HdClassifier {
                 num_classes: self.classes.len(),
             });
         }
-        let sims = self.similarities(sample)?;
-        let predicted = sims
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .ok_or(LearnError::NoClasses)?;
+        // One fused pass yields the argmax (last-wins, as before), the
+        // winner's similarity and the label's similarity — the only
+        // three values the update rule reads.
+        let mut label_sim = f64::NAN;
+        let mut err = None;
+        let top = top2_scores(self.classes.iter().enumerate().map(|(i, c)| {
+            let s = match c.cosine(sample) {
+                Ok(s) => s,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    f64::NAN
+                }
+            };
+            if i == label {
+                label_sim = s;
+            }
+            s
+        }));
+        if let Some(e) = err {
+            return Err(LearnError::from(e));
+        }
+        let top = top.ok_or(LearnError::NoClasses)?;
+        let predicted = top.best;
         let mispredicted = predicted != label;
 
-        let lr_pos = if adaptive { 1.0 - sims[label] } else { 1.0 };
+        let lr_pos = if adaptive { 1.0 - label_sim } else { 1.0 };
         self.classes[label].add_weighted(sample, lr_pos)?;
         if mispredicted {
-            let lr_neg = if adaptive { 1.0 - sims[predicted] } else { 1.0 };
+            let lr_neg = if adaptive { 1.0 - top.best_score } else { 1.0 };
             self.classes[predicted].add_weighted(sample, -lr_neg)?;
         }
         Ok(mispredicted)
@@ -322,21 +407,19 @@ impl BinaryHdModel {
 
     /// Predicts by maximal Hamming similarity.
     ///
+    /// The scan runs on the fused word-level [`hamming_top2`] kernel:
+    /// maximal Hamming similarity is minimal Hamming distance, and the
+    /// kernel's first-wins tie-breaking matches the historical strict
+    /// `sim > best` scan.
+    ///
     /// # Errors
     ///
     /// Returns [`LearnError::NoClasses`] on an empty model and
     /// [`LearnError::DimensionMismatch`] for foreign queries.
     pub fn predict(&self, query: &BitVector) -> Result<usize, LearnError> {
-        let mut best = None;
-        for (i, c) in self.classes.iter().enumerate() {
-            let sim = c.hamming_similarity(query)?;
-            match best {
-                None => best = Some((i, sim)),
-                Some((_, b)) if sim > b => best = Some((i, sim)),
-                _ => {}
-            }
-        }
-        best.map(|(i, _)| i).ok_or(LearnError::NoClasses)
+        hamming_top2(query, &self.classes)?
+            .map(|t| t.best)
+            .ok_or(LearnError::NoClasses)
     }
 
     /// Fraction of correctly classified samples.

@@ -7,7 +7,12 @@ use hdface_hdc::{Accumulator, BitVector, HdcRng, SeedableRng};
 use crate::error::LearnError;
 
 /// Common interface of the float-to-hypervector encoders.
-pub trait FeatureEncoder {
+///
+/// Encoders are immutable after construction, and the `Send + Sync`
+/// bound makes that contract explicit so a boxed encoder can be shared
+/// by reference across the scoped worker threads of the parallel
+/// extraction engine.
+pub trait FeatureEncoder: Send + Sync {
     /// Hypervector dimensionality produced.
     fn dim(&self) -> usize;
 

@@ -219,11 +219,26 @@ impl StochasticContext {
     ///
     /// Returns [`StochasticError::ValueOutOfRange`] if `a ∉ [-1, 1]`.
     pub fn encode(&mut self, a: f64) -> Result<Shv, StochasticError> {
+        let mut rng = std::mem::replace(&mut self.rng, HdcRng::seed_from_u64(0));
+        let result = self.encode_with(a, &mut rng);
+        self.rng = rng;
+        result
+    }
+
+    /// [`encode`](Self::encode) drawing its selection mask from a
+    /// caller-supplied RNG instead of the context stream. Shared-state
+    /// (`&self`) variant for parallel workers that hold per-worker
+    /// scratch RNGs over one read-only context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::ValueOutOfRange`] if `a ∉ [-1, 1]`.
+    pub fn encode_with(&self, a: f64, rng: &mut HdcRng) -> Result<Shv, StochasticError> {
         if !(-1.0..=1.0).contains(&a) {
             return Err(StochasticError::ValueOutOfRange(a));
         }
         let p = (1.0 + a) / 2.0;
-        let mask = BitVector::random_with_density(self.dim, p, &mut self.rng)
+        let mask = BitVector::random_with_density(self.dim, p, rng)
             .map_err(|_| StochasticError::ValueOutOfRange(a))?;
         let neg = self.basis.0.negated();
         let bits = self
@@ -259,10 +274,30 @@ impl StochasticContext {
         b: &Shv,
         p: f64,
     ) -> Result<Shv, StochasticError> {
+        let mut rng = std::mem::replace(&mut self.rng, HdcRng::seed_from_u64(0));
+        let result = self.weighted_average_with(a, b, p, &mut rng);
+        self.rng = rng;
+        result
+    }
+
+    /// [`weighted_average`](Self::weighted_average) drawing its
+    /// selection mask from a caller-supplied RNG (`&self` variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::InvalidWeight`] if `p ∉ [0, 1]` and
+    /// [`StochasticError::DimensionMismatch`] for ragged operands.
+    pub fn weighted_average_with(
+        &self,
+        a: &Shv,
+        b: &Shv,
+        p: f64,
+        rng: &mut HdcRng,
+    ) -> Result<Shv, StochasticError> {
         if !(0.0..=1.0).contains(&p) {
             return Err(StochasticError::InvalidWeight(p));
         }
-        let mask = BitVector::random_with_density(a.dim(), p, &mut self.rng)
+        let mask = BitVector::random_with_density(a.dim(), p, rng)
             .map_err(|_| StochasticError::InvalidWeight(p))?;
         Ok(Shv(a.0.select(&b.0, &mask)?))
     }
@@ -280,6 +315,21 @@ impl StochasticContext {
         self.weighted_average(a, b, 0.5)
     }
 
+    /// [`add_halved`](Self::add_halved) with a caller-supplied RNG
+    /// (`&self` variant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StochasticError::DimensionMismatch`].
+    pub fn add_halved_with(
+        &self,
+        a: &Shv,
+        b: &Shv,
+        rng: &mut HdcRng,
+    ) -> Result<Shv, StochasticError> {
+        self.weighted_average_with(a, b, 0.5, rng)
+    }
+
     /// Halved subtraction `(a−b)/2 = 0.5·V_a ⊕ 0.5·(−V_b)` — exactly
     /// the gradient construction of §4.3.
     ///
@@ -289,6 +339,22 @@ impl StochasticContext {
     pub fn sub_halved(&mut self, a: &Shv, b: &Shv) -> Result<Shv, StochasticError> {
         let nb = b.negated();
         self.weighted_average(a, &nb, 0.5)
+    }
+
+    /// [`sub_halved`](Self::sub_halved) with a caller-supplied RNG
+    /// (`&self` variant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StochasticError::DimensionMismatch`].
+    pub fn sub_halved_with(
+        &self,
+        a: &Shv,
+        b: &Shv,
+        rng: &mut HdcRng,
+    ) -> Result<Shv, StochasticError> {
+        let nb = b.negated();
+        self.weighted_average_with(a, &nb, 0.5, rng)
     }
 
     /// **Multiplication** (⊗): `V_ab[i] = V₁[i]` where the operands
@@ -324,6 +390,18 @@ impl StochasticContext {
         self.encode(value)
     }
 
+    /// [`resample`](Self::resample) with a caller-supplied RNG
+    /// (`&self` variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn resample_with(&self, v: &Shv, rng: &mut HdcRng) -> Result<Shv, StochasticError> {
+        let value = self.decode(v)?.clamp(-1.0, 1.0);
+        self.encode_with(value, rng)
+    }
+
     /// Squares a value: `V_a ↦ V_{a²}`, resampling first so that the
     /// two multiplication operands carry independent noise.
     ///
@@ -333,6 +411,18 @@ impl StochasticContext {
     /// match the context.
     pub fn square(&mut self, v: &Shv) -> Result<Shv, StochasticError> {
         let independent = self.resample(v)?;
+        self.mul(v, &independent)
+    }
+
+    /// [`square`](Self::square) with a caller-supplied RNG (`&self`
+    /// variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StochasticError::DimensionMismatch`] if `v` does not
+    /// match the context.
+    pub fn square_with(&self, v: &Shv, rng: &mut HdcRng) -> Result<Shv, StochasticError> {
+        let independent = self.resample_with(v, rng)?;
         self.mul(v, &independent)
     }
 

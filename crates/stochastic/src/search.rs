@@ -5,6 +5,8 @@
 //! test it with stochastic multiplication, and narrow until the test
 //! agrees with the target "up to statistical margins of error".
 
+use hdface_hdc::{HdcRng, SeedableRng};
+
 use crate::context::{Shv, StochasticContext};
 use crate::error::StochasticError;
 
@@ -43,6 +45,25 @@ impl StochasticContext {
     ///
     /// Same as [`sqrt`](Self::sqrt).
     pub fn sqrt_with_iters(&mut self, a: &Shv, iters: usize) -> Result<Shv, StochasticError> {
+        let mut rng = std::mem::replace(self.rng_mut(), HdcRng::seed_from_u64(0));
+        let result = self.sqrt_with_iters_rng(a, iters, &mut rng);
+        *self.rng_mut() = rng;
+        result
+    }
+
+    /// [`sqrt_with_iters`](Self::sqrt_with_iters) drawing all masks
+    /// from a caller-supplied RNG (`&self` variant for parallel
+    /// workers sharing one read-only context).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`sqrt`](Self::sqrt).
+    pub fn sqrt_with_iters_rng(
+        &self,
+        a: &Shv,
+        iters: usize,
+        rng: &mut HdcRng,
+    ) -> Result<Shv, StochasticError> {
         let target = self.decode(a)?;
         // Inputs that are true zeros can decode a few sigmas negative
         // when they carry compounded noise from upstream stochastic
@@ -54,21 +75,21 @@ impl StochasticContext {
         if target < -3.0 * self.margin() {
             return Err(StochasticError::NegativeSqrt(target));
         }
-        let mut low = self.encode(0.0)?;
+        let mut low = self.encode_with(0.0, rng)?;
         let mut high = self.basis().clone();
-        let mut mid = self.weighted_average(&low, &high, 0.5)?;
+        let mut mid = self.weighted_average_with(&low, &high, 0.5, rng)?;
         for _ in 0..iters {
             // Direction from the raw decoded comparison: an early
             // "approximately equal" exit is tempting but fragile near
             // zero, where the interval must keep shrinking for the
             // absolute error to fall below the noise floor.
-            let mid_sq = self.square(&mid)?;
+            let mid_sq = self.square_with(&mid, rng)?;
             if self.decode(&mid_sq)? > self.decode(a)? {
                 high = mid;
             } else {
                 low = mid;
             }
-            mid = self.weighted_average(&low, &high, 0.5)?;
+            mid = self.weighted_average_with(&low, &high, 0.5, rng)?;
         }
         Ok(mid)
     }

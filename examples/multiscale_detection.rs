@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(4096), 4);
     pipeline.train(&data, &TrainConfig::default())?;
 
-    let mut detector = FaceDetector::new(
+    let detector = FaceDetector::new(
         pipeline,
         DetectorConfig {
             window: WINDOW,

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Cargo wrapper for network-less containers: patches the three external
+# dependencies (rand, proptest, criterion) to the local API stubs under
+# .stubs/ without touching any Cargo.toml. See .stubs/README.md.
+#
+# Usage: ./scripts/cargo-offline.sh <cargo args...>
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo \
+    --offline \
+    --config 'patch.crates-io.rand.path=".stubs/rand"' \
+    --config 'patch.crates-io.proptest.path=".stubs/proptest"' \
+    --config 'patch.crates-io.criterion.path=".stubs/criterion"' \
+    "$@"

@@ -5,7 +5,12 @@
 
 use hdface_imaging::{GrayImage, ImageError, ImagePyramid, SlidingWindows, Window};
 
+use crate::engine::{derive_seed, Engine};
 use crate::pipeline::{HdPipeline, PipelineError};
+
+/// Salt separating detection-scan mask streams from every other use
+/// of the pipeline seed.
+const DETECT_STREAM_SALT: u64 = 0xdef0_1c7e_55ca_4b1d;
 
 /// One detection in original-image coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -140,9 +145,12 @@ pub struct FaceDetector {
 }
 
 impl FaceDetector {
-    /// Wraps a trained pipeline.
+    /// Wraps a trained pipeline, pre-sizing its shared slot-key cache
+    /// for the configured window geometry so the scan threads never
+    /// re-derive keys.
     #[must_use]
-    pub fn new(pipeline: HdPipeline, config: DetectorConfig) -> Self {
+    pub fn new(mut pipeline: HdPipeline, config: DetectorConfig) -> Self {
+        pipeline.prepare(config.window, config.window);
         FaceDetector { pipeline, config }
     }
 
@@ -158,15 +166,16 @@ impl FaceDetector {
         &self.pipeline
     }
 
-    /// Mutable access to the wrapped pipeline (feature extraction
-    /// draws stochastic masks, so it needs `&mut`).
+    /// Mutable access to the wrapped pipeline (e.g. for retraining, or
+    /// for history-dependent per-image extraction).
     pub fn pipeline_mut(&mut self) -> &mut HdPipeline {
         &mut self.pipeline
     }
 
-    /// Scores one window crop: `δ(face) − δ(best other class)`.
-    fn score(&mut self, crop: &GrayImage) -> Result<f64, DetectorError> {
-        let feature = self.pipeline.extract(crop)?;
+    /// Scores one window crop: `δ(face) − δ(best other class)`, with
+    /// the crop's stochastic masks drawn from `stream`.
+    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<f64, DetectorError> {
+        let feature = self.pipeline.extract_seeded(crop, stream)?;
         let clf = self
             .pipeline
             .classifier()
@@ -176,39 +185,82 @@ impl FaceDetector {
                 classes: clf.num_classes(),
             });
         }
-        let sims = clf.similarities(&feature).map_err(PipelineError::from)?;
-        Ok(sims[1] - sims[0])
+        Ok(clf.margin(&feature, 1).map_err(PipelineError::from)?)
     }
 
-    /// Runs the full multi-scale scan and returns NMS-merged
-    /// detections in original-image coordinates, best first.
+    /// Runs the full multi-scale scan on the default [`Engine`] and
+    /// returns NMS-merged detections in original-image coordinates,
+    /// best first.
+    ///
+    /// Windows from **all** pyramid levels are flattened into one task
+    /// list and scored concurrently; each window's stochastic masks
+    /// come from a stream derived from the pipeline seed and the
+    /// window's position in that list, so the detections are
+    /// bit-identical at any thread count.
     ///
     /// # Errors
     ///
     /// Fails when the pipeline is untrained, not binary, or the image
     /// is smaller than one window.
-    pub fn detect(&mut self, image: &GrayImage) -> Result<Vec<Detection>, DetectorError> {
+    pub fn detect(&self, image: &GrayImage) -> Result<Vec<Detection>, DetectorError> {
+        self.detect_with(image, &Engine::from_env())
+    }
+
+    /// [`detect`](FaceDetector::detect) on an explicit engine (e.g.
+    /// [`Engine::serial`] — the detections are the same either way).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pipeline is untrained, not binary, or the image
+    /// is smaller than one window.
+    pub fn detect_with(
+        &self,
+        image: &GrayImage,
+        engine: &Engine,
+    ) -> Result<Vec<Detection>, DetectorError> {
         let win = self.config.window;
         let stride = ((win as f64 * self.config.stride_fraction).round() as usize).max(1);
         let pyramid = ImagePyramid::new(image, self.config.pyramid_step, win)?;
 
+        // Fail fast on an unusable classifier before scoring thousands
+        // of windows (per-window scoring re-checks for robustness).
+        let clf = self
+            .pipeline
+            .classifier()
+            .ok_or(DetectorError::Pipeline(PipelineError::NotTrained))?;
+        if clf.num_classes() != 2 {
+            return Err(DetectorError::NotBinary {
+                classes: clf.num_classes(),
+            });
+        }
+
+        let levels: Vec<_> = pyramid.iter().collect();
+        let mut tasks: Vec<(usize, Window)> = Vec::new();
+        for (li, level) in levels.iter().enumerate() {
+            for w in SlidingWindows::new(&level.image, win, win, stride) {
+                tasks.push((li, w));
+            }
+        }
+
+        let base = derive_seed(self.pipeline.seed(), DETECT_STREAM_SALT);
+        let scored = engine.run(tasks.len(), |i| {
+            let (li, w) = tasks[i];
+            let crop = levels[li]
+                .image
+                .crop(w.x, w.y, w.width, w.height)
+                .expect("window within level bounds");
+            self.score_window(&crop, derive_seed(base, i as u64))
+        });
+
         let mut detections = Vec::new();
-        for level in &pyramid {
-            let windows: Vec<Window> =
-                SlidingWindows::new(&level.image, win, win, stride).collect();
-            for w in windows {
-                let crop = level
-                    .image
-                    .crop(w.x, w.y, w.width, w.height)
-                    .expect("window within level bounds");
-                let score = self.score(&crop)?;
-                if score > self.config.score_threshold {
-                    detections.push(Detection {
-                        window: level.to_original(w),
-                        score,
-                        scale: level.scale,
-                    });
-                }
+        for ((li, w), score) in tasks.into_iter().zip(scored) {
+            let score = score?;
+            if score > self.config.score_threshold {
+                detections.push(Detection {
+                    window: levels[li].to_original(w),
+                    score,
+                    scale: levels[li].scale,
+                });
             }
         }
         Ok(non_maximum_suppression(detections, self.config.iou_threshold))
@@ -285,7 +337,7 @@ mod tests {
     fn detector_finds_embedded_face_and_rejects_untrained() {
         // Untrained pipeline errors cleanly.
         let raw = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 3);
-        let mut det = FaceDetector::new(raw, DetectorConfig::default());
+        let det = FaceDetector::new(raw, DetectorConfig::default());
         let scene = GrayImage::filled(64, 64, 0.4);
         assert!(matches!(
             det.detect(&scene),
@@ -297,7 +349,7 @@ mod tests {
         let data = face2_spec().at_size(32).scaled(80).generate(3);
         let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 3);
         pipeline.train(&data, &TrainConfig::default()).unwrap();
-        let mut det = FaceDetector::new(pipeline, DetectorConfig::default());
+        let det = FaceDetector::new(pipeline, DetectorConfig::default());
 
         let mut rng = HdcRng::seed_from_u64(4);
         let face = render_face(32, &FaceParams::centered(32, Emotion::Neutral), &mut rng);
@@ -323,7 +375,7 @@ mod tests {
             .generate(1);
         let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(1024), 5);
         pipeline.train(&data, &TrainConfig::default()).unwrap();
-        let mut det = FaceDetector::new(pipeline, DetectorConfig::default());
+        let det = FaceDetector::new(pipeline, DetectorConfig::default());
         let scene = GrayImage::filled(64, 64, 0.4);
         assert!(matches!(
             det.detect(&scene),

@@ -1,0 +1,205 @@
+//! The work-stealing task engine behind every parallel scan in the
+//! crate: dataset extraction and sliding-window detection both reduce
+//! to "run `n` independent tasks, keep the results in task order".
+//!
+//! # Threading model
+//!
+//! Workers are plain scoped threads pulling task indices from one
+//! shared atomic counter — a work-stealing queue degenerated to its
+//! simplest correct form. Because every task is identified by its
+//! index and carries no mutable shared state, *which* worker runs a
+//! task can never influence the result; ordering is restored by
+//! scattering each worker's `(index, value)` pairs back into a slot
+//! vector. Combined with per-task seeding ([`derive_seed`]) this makes
+//! parallel runs bit-identical to serial ones at any thread count.
+//!
+//! The thread count comes from the `HDFACE_THREADS` environment
+//! variable when set (any value ≥ 1, no upper cap), otherwise from
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives a per-task seed from a base seed and a task index with a
+/// splitmix64-style finalizer, so neighbouring indices land in
+/// statistically unrelated stream positions.
+///
+/// The mapping is pure: the same `(base, index)` pair always yields
+/// the same seed, which is what makes parallel scans reproducible —
+/// a task's random stream depends only on its identity, never on
+/// which worker ran it or what ran before it.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Parses a thread-count override; `None` for absent/invalid values.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// A fixed-width pool of scoped worker threads executing indexed task
+/// sets in work-stealing order while returning results in task order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded engine: tasks run inline on the caller's
+    /// thread, in index order.
+    #[must_use]
+    pub fn serial() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// The default engine: honours the `HDFACE_THREADS` environment
+    /// variable (any positive integer — deliberately uncapped so large
+    /// machines are fully usable), falling back to the detected
+    /// hardware parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = parse_threads(std::env::var("HDFACE_THREADS").ok().as_deref())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Engine::new(threads)
+    }
+
+    /// Number of worker threads this engine runs.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `tasks` independent jobs, calling `f(index)` once for each
+    /// `index ∈ 0..tasks`, and returns the results **in index order**.
+    ///
+    /// Workers steal the next unclaimed index from a shared counter,
+    /// so load imbalance between tasks (e.g. pyramid levels of very
+    /// different sizes) self-levels without any static partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` (a panicking task aborts the scan).
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || tasks <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let workers = self.threads.min(tasks);
+        let next = AtomicUsize::new(0);
+        let gathered: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
+        slots.resize_with(tasks, || None);
+        for (i, value) in gathered.into_iter().flatten() {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index yields exactly one result"))
+            .collect()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let engine = Engine::new(4);
+        let out = engine.run(97, |i| i * 3);
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = Engine::serial().run(40, |i| derive_seed(7, i as u64));
+        for threads in [2, 3, 8] {
+            let parallel = Engine::new(threads).run(40, |i| derive_seed(7, i as u64));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = Engine::new(8).run(250, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 250);
+        assert_eq!(out.len(), 250);
+    }
+
+    #[test]
+    fn zero_and_single_task_edge_cases() {
+        let engine = Engine::new(4);
+        assert!(engine.run(0, |i| i).is_empty());
+        assert_eq!(engine.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(parse_threads(Some("6")), Some(6));
+        assert_eq!(parse_threads(Some(" 12 ")), Some(12));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(Engine::new(0).threads(), 1);
+        assert!(Engine::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn derive_seed_is_pure_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+        // Neighbouring indices should differ in many bits, not one.
+        let d = derive_seed(0, 5) ^ derive_seed(0, 6);
+        assert!(d.count_ones() > 8, "weak diffusion: {d:b}");
+    }
+}

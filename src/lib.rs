@@ -21,7 +21,10 @@
 //!
 //! The [`detector`] module layers multi-scale sliding-window scanning
 //! (image pyramid + non-maximum suppression) on top of a trained
-//! binary pipeline.
+//! binary pipeline. Dataset extraction and window scanning fan out
+//! over the [`engine`] module's work-stealing thread pool; every
+//! parallel scan is bit-identical to its serial run (set
+//! `HDFACE_THREADS` to control the worker count).
 //!
 //! ```no_run
 //! use hdface::pipeline::{HdFeatureMode, HdPipeline};
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod engine;
 pub mod persist;
 pub mod pipeline;
 

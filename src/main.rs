@@ -112,7 +112,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     let reader = BufReader::new(File::open(image_path).map_err(|e| format!("{image_path}: {e}"))?);
     let scene = read_pgm(reader).map_err(|e| e.to_string())?;
 
-    let mut detector = FaceDetector::new(
+    let detector = FaceDetector::new(
         pipeline,
         DetectorConfig {
             score_threshold: threshold,

@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use hdface_baselines::{BaselineError, LinearSvm, Mlp, MlpConfig, SvmConfig};
 use hdface_datasets::Dataset;
@@ -13,6 +14,14 @@ use hdface_learn::{
     FeatureEncoder, HdClassifier, LearnError, LevelIdEncoder, ProjectionEncoder, TrainConfig,
     TrainReport,
 };
+
+use crate::engine::{derive_seed, Engine};
+
+/// Salts separating the per-sample stochastic streams of the dataset
+/// extraction and evaluation scans (so a sample extracted during
+/// training never shares a mask stream with its evaluation pass).
+const EXTRACT_STREAM_SALT: u64 = 0x7d0f_66ae_f2c1_3b55;
+const EVAL_STREAM_SALT: u64 = 0x3ac9_55e1_90d7_421b;
 
 /// Errors raised by the end-to-end pipelines.
 #[derive(Debug)]
@@ -146,14 +155,18 @@ impl HdFeatureMode {
 enum HdExtractor {
     Hyper(Box<HyperHog>),
     /// Classic HOG plus a lazily built encoder (its input length is
-    /// only known once the first image fixes the cell grid).
+    /// only known once the first image fixes the cell grid). The
+    /// `OnceLock` lets concurrent workers race to initialize it: the
+    /// construction is deterministic in `(input_len, dim, seed)`, so
+    /// whichever worker wins installs the same encoder any other
+    /// would have.
     Encoded {
         hog: ClassicHog,
         dim: usize,
         levels: usize,
         choice: EncoderChoice,
         seed: u64,
-        encoder: Option<Box<dyn FeatureEncoder>>,
+        encoder: OnceLock<Box<dyn FeatureEncoder>>,
     },
 }
 
@@ -189,7 +202,7 @@ impl HdPipeline {
                 levels,
                 choice: encoder,
                 seed,
-                encoder: None,
+                encoder: OnceLock::new(),
             },
         };
         HdPipeline {
@@ -236,18 +249,53 @@ impl HdPipeline {
 
     /// Extracts the feature hypervector of one image.
     ///
+    /// Hyperdimensional extraction advances the pipeline's own
+    /// stochastic-mask stream, hence `&mut`; for reproducible
+    /// extraction independent of call history use [`extract_seeded`].
+    ///
     /// # Errors
     ///
     /// Propagates extraction failures (e.g. an image smaller than one
     /// HOG cell).
+    ///
+    /// [`extract_seeded`]: HdPipeline::extract_seeded
     pub fn extract(&mut self, image: &GrayImage) -> Result<BitVector, PipelineError> {
         // Per-window contrast normalization (every pipeline applies
         // it, keeping the comparison fair): gradients of low-contrast
         // windows would otherwise sit below the stochastic noise
         // floor.
         let image = image.normalized();
-        match &mut self.extractor {
-            HdExtractor::Hyper(h) => Ok(h.extract(&image)?),
+        if let HdExtractor::Hyper(h) = &mut self.extractor {
+            return Ok(h.extract(&image)?);
+        }
+        self.extract_shared(&image, 0)
+    }
+
+    /// Extracts the feature hypervector of one image through shared
+    /// read-only state, drawing stochastic masks from the dedicated
+    /// stream `stream` instead of the pipeline's own generator.
+    ///
+    /// The same `(image, stream)` pair always produces the same bits,
+    /// no matter how many times the pipeline was used before or how
+    /// many threads call this concurrently — the determinism contract
+    /// the parallel scans are built on. Features live in the same
+    /// space as [`extract`](HdPipeline::extract)'s: basis, codebooks
+    /// and slot keys are shared; only the mask stream differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn extract_seeded(&self, image: &GrayImage, stream: u64) -> Result<BitVector, PipelineError> {
+        self.extract_shared(&image.normalized(), stream)
+    }
+
+    /// Shared-state extraction over an already normalized image.
+    fn extract_shared(&self, image: &GrayImage, stream: u64) -> Result<BitVector, PipelineError> {
+        match &self.extractor {
+            HdExtractor::Hyper(h) => {
+                let mut scratch = h.scratch_for_stream(stream);
+                Ok(h.extract_with(image, &mut scratch)?)
+            }
             HdExtractor::Encoded {
                 hog,
                 dim,
@@ -259,13 +307,14 @@ impl HdPipeline {
                 // The same O(1) rescaling the float baselines use (the
                 // projection encoder's bias spread assumes it).
                 let features: Vec<f64> = hog
-                    .extract_vec(&image)
+                    .extract_vec(image)
                     .iter()
                     .map(|v| v * 8.0)
                     .collect();
-                let enc = encoder.get_or_insert_with(|| match choice {
+                let enc = encoder.get_or_init(|| match choice {
                     EncoderChoice::Projection => {
                         Box::new(ProjectionEncoder::new(features.len(), *dim, *seed))
+                            as Box<dyn FeatureEncoder>
                     }
                     EncoderChoice::LevelId => Box::new(LevelIdEncoder::new(
                         features.len(),
@@ -283,14 +332,26 @@ impl HdPipeline {
         }
     }
 
-    /// Extracts features for a whole dataset as `(hypervector, label)`
-    /// pairs.
+    /// Pre-sizes the shared slot-key cache for images of the given
+    /// geometry so subsequent [`extract_seeded`] calls (from any
+    /// thread) never have to re-derive slot keys. Purely a warm-up:
+    /// extraction is correct — and bit-identical — without it.
     ///
-    /// Hyperdimensional extraction fans out across CPU cores for
-    /// larger datasets: every worker shares the same basis, codebooks
-    /// and slot keys (features stay in one space) but draws an
-    /// independent stochastic-mask stream. The chunk assignment is
-    /// deterministic, so results are reproducible run-to-run.
+    /// [`extract_seeded`]: HdPipeline::extract_seeded
+    pub fn prepare(&mut self, width: usize, height: usize) {
+        if let HdExtractor::Hyper(h) = &mut self.extractor {
+            h.prepare_for_image(width, height);
+        }
+    }
+
+    /// Extracts features for a whole dataset as `(hypervector, label)`
+    /// pairs, fanning out across the default [`Engine`].
+    ///
+    /// Every worker reads the same shared extraction context (basis,
+    /// codebooks, slot keys — features stay in one space) and each
+    /// *sample* draws its masks from a stream derived from the
+    /// pipeline seed and the sample index, so the output is
+    /// bit-identical at any thread count, including 1.
     ///
     /// # Errors
     ///
@@ -299,51 +360,34 @@ impl HdPipeline {
         &mut self,
         dataset: &Dataset,
     ) -> Result<Vec<(BitVector, usize)>, PipelineError> {
-        const PARALLEL_THRESHOLD: usize = 16;
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(8);
-        if let (HdExtractor::Hyper(h), true) = (
-            &self.extractor,
-            threads > 1 && dataset.len() >= PARALLEL_THRESHOLD,
-        ) {
-            let samples = dataset.samples();
-            let chunk_len = samples.len().div_ceil(threads);
-            let results: Vec<Result<Vec<(BitVector, usize)>, PipelineError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = samples
-                        .chunks(chunk_len)
-                        .enumerate()
-                        .map(|(i, chunk)| {
-                            let mut worker = h.clone_for_worker(i as u64 + 1);
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|s| {
-                                        Ok((
-                                            worker.extract(&s.image.normalized())?,
-                                            s.label,
-                                        ))
-                                    })
-                                    .collect::<Result<Vec<_>, PipelineError>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|jh| jh.join().expect("worker panicked"))
-                        .collect()
-                });
-            let mut out = Vec::with_capacity(samples.len());
-            for r in results {
-                out.extend(r?);
-            }
-            return Ok(out);
+        self.extract_dataset_with(dataset, &Engine::from_env())
+    }
+
+    /// [`extract_dataset`](HdPipeline::extract_dataset) on an explicit
+    /// engine (e.g. [`Engine::serial`] to pin the scan to one thread —
+    /// the results are the same either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn extract_dataset_with(
+        &mut self,
+        dataset: &Dataset,
+        engine: &Engine,
+    ) -> Result<Vec<(BitVector, usize)>, PipelineError> {
+        let base = derive_seed(self.seed, EXTRACT_STREAM_SALT);
+        for s in dataset.samples() {
+            self.prepare(s.image.width(), s.image.height());
         }
-        dataset
-            .iter()
-            .map(|s| Ok((self.extract(&s.image)?, s.label)))
+        let samples = dataset.samples();
+        let this: &Self = self;
+        engine
+            .run(samples.len(), |i| {
+                let s = &samples[i];
+                let feature = this.extract_seeded(&s.image, derive_seed(base, i as u64))?;
+                Ok((feature, s.label))
+            })
+            .into_iter()
             .collect()
     }
 
@@ -395,26 +439,48 @@ impl HdPipeline {
         Ok(clf.predict(&feature)?)
     }
 
-    /// Classification accuracy on a dataset.
+    /// Classification accuracy on a dataset, scanned on the default
+    /// [`Engine`]. Like every parallel path in the crate the result is
+    /// bit-identical at any thread count.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::NotTrained`] before training;
     /// propagates extraction failures.
     pub fn evaluate(&mut self, dataset: &Dataset) -> Result<f64, PipelineError> {
+        self.evaluate_with(dataset, &Engine::from_env())
+    }
+
+    /// [`evaluate`](HdPipeline::evaluate) on an explicit engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::NotTrained`] before training;
+    /// propagates extraction failures.
+    pub fn evaluate_with(&mut self, dataset: &Dataset, engine: &Engine) -> Result<f64, PipelineError> {
         if self.classifier.is_none() {
             return Err(PipelineError::NotTrained);
         }
         if dataset.is_empty() {
             return Ok(0.0);
         }
-        let mut correct = 0usize;
-        for s in dataset {
-            if self.predict(&s.image)? == s.label {
-                correct += 1;
-            }
+        let base = derive_seed(self.seed, EVAL_STREAM_SALT);
+        for s in dataset.samples() {
+            self.prepare(s.image.width(), s.image.height());
         }
-        Ok(correct as f64 / dataset.len() as f64)
+        let samples = dataset.samples();
+        let this: &Self = self;
+        let verdicts: Result<Vec<bool>, PipelineError> = engine
+            .run(samples.len(), |i| {
+                let s = &samples[i];
+                let feature = this.extract_seeded(&s.image, derive_seed(base, i as u64))?;
+                let clf = this.classifier.as_ref().ok_or(PipelineError::NotTrained)?;
+                Ok(clf.predict(&feature)? == s.label)
+            })
+            .into_iter()
+            .collect();
+        let correct = verdicts?.into_iter().filter(|&c| c).count();
+        Ok(correct as f64 / samples.len() as f64)
     }
 
     /// The trained classifier, if any.
