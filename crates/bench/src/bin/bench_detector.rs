@@ -38,8 +38,13 @@ fn count_windows(scene: &GrayImage, config: &DetectorConfig) -> usize {
         .sum()
 }
 
-/// Best-of-`reps` throughput of one engine, in windows/second.
+/// Best-of-`reps` throughput of one engine, in windows/second. One
+/// untimed warmup scan first: the initial run pays cache/page-fault
+/// noise that would otherwise skew whichever engine is measured
+/// first (the source of a phantom sub-1.0 "speedup" at one thread,
+/// where both engines run the identical inline path).
 fn measure(det: &FaceDetector, scene: &GrayImage, engine: &Engine, windows: usize, reps: usize) -> f64 {
+    det.detect_with(scene, engine).expect("warmup detection succeeds");
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();

@@ -98,7 +98,11 @@ impl BinaryHdModel {
         if n == 0 {
             return Err(ModelIoError::Empty);
         }
-        let mut classes = Vec::with_capacity(n);
+        // The class count is untrusted input: cap the pre-allocation
+        // by what the buffer could possibly hold (every class costs
+        // at least one byte), so a corrupted count is a Truncated
+        // error below instead of an allocation abort here.
+        let mut classes = Vec::with_capacity(n.min(bytes.len() - 8));
         let mut offset = 8;
         for _ in 0..n {
             if offset >= bytes.len() {

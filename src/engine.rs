@@ -176,6 +176,20 @@ mod tests {
     }
 
     #[test]
+    fn single_thread_engine_runs_inline_on_the_caller() {
+        // A one-thread engine must never pay spawn/scatter overhead:
+        // every task runs on the calling thread itself. This pins the
+        // serial fast path the `threads: 1` bench regression pointed
+        // at.
+        let caller = std::thread::current().id();
+        let ids = Engine::new(1).run(16, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+        // A single task stays inline even on a wide engine.
+        let ids = Engine::new(8).run(1, |_| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+    }
+
+    #[test]
     fn zero_and_single_task_edge_cases() {
         let engine = Engine::new(4);
         assert!(engine.run(0, |i| i).is_empty());

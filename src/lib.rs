@@ -24,7 +24,10 @@
 //! binary pipeline. Dataset extraction and window scanning fan out
 //! over the [`engine`] module's work-stealing thread pool; every
 //! parallel scan is bit-identical to its serial run (set
-//! `HDFACE_THREADS` to control the worker count).
+//! `HDFACE_THREADS` to control the worker count). The [`serve`]
+//! module keeps a loaded model resident behind a std-only HTTP
+//! server (`hdface serve`) with bounded-queue backpressure, load
+//! shedding and live metrics.
 //!
 //! ```no_run
 //! use hdface::pipeline::{HdFeatureMode, HdPipeline};
@@ -48,6 +51,7 @@ pub mod detector;
 pub mod engine;
 pub mod persist;
 pub mod pipeline;
+pub mod serve;
 
 pub use hdface_baselines as baselines;
 pub use hdface_datasets as datasets;

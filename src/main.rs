@@ -2,14 +2,17 @@
 //! computing.
 //!
 //! ```text
-//! hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded]
-//! hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25]
-//! hdface eval   --model model.hdp [--samples 80] [--seed 9]
+//! hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]
+//! hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--threads N]
+//! hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]
+//! hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers N] [--queue-depth N]
 //! hdface demo
 //! ```
 //!
 //! Models are `HDP1` files (see `hdface::persist`); images are binary
-//! PGM in, PPM overlays out.
+//! PGM in, PPM overlays out. `--threads` overrides the
+//! `HDFACE_THREADS` environment variable for the scan engine; results
+//! are bit-identical at any thread count.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -17,9 +20,11 @@ use std::process::ExitCode;
 
 use hdface::datasets::face2_spec;
 use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::Engine;
 use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
 use hdface::learn::TrainConfig;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::serve::{ServeConfig, Server};
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -65,11 +70,26 @@ impl Args {
 
 fn usage() -> String {
     "usage:\n  \
-     hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded]\n  \
-     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25]\n  \
-     hdface eval   --model model.hdp [--samples 80] [--seed 9]\n  \
+     hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]\n  \
+     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--threads N]\n  \
+     hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
+     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64]\n  \
      hdface demo"
         .to_owned()
+}
+
+/// The scan engine every subcommand shares: `--threads N` wins over
+/// the `HDFACE_THREADS` environment variable, which wins over the
+/// detected hardware parallelism. Scans are bit-identical at any
+/// setting.
+fn engine_from_args(args: &Args) -> Result<Engine, String> {
+    match args.get("threads") {
+        None => Ok(Engine::from_env()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Engine::new(n)),
+            _ => Err(format!("--threads: expected a positive integer, got {v:?}")),
+        },
+    }
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
@@ -83,12 +103,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         other => return Err(format!("--mode must be hyper or encoded, got {other}")),
     };
 
+    let engine = engine_from_args(args)?;
     eprintln!("generating {samples} synthetic face/no-face windows (seed {seed})…");
     let data = face2_spec().at_size(32).scaled(samples).generate(seed);
     let mut pipeline = HdPipeline::new(mode, seed);
-    eprintln!("training (D = {dim})…");
+    eprintln!("training (D = {dim}, {} threads)…", engine.threads());
     pipeline
-        .train(&data, &TrainConfig::default())
+        .train_with(&data, &TrainConfig::default(), &engine)
         .map_err(|e| e.to_string())?;
     let bytes = pipeline.save_bytes().map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
@@ -108,6 +129,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
+    let engine = engine_from_args(args)?;
 
     let reader = BufReader::new(File::open(image_path).map_err(|e| format!("{image_path}: {e}"))?);
     let scene = read_pgm(reader).map_err(|e| e.to_string())?;
@@ -120,7 +142,9 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
             ..DetectorConfig::default()
         },
     );
-    let detections = detector.detect(&scene).map_err(|e| e.to_string())?;
+    let detections = detector
+        .detect_with(&scene, &engine)
+        .map_err(|e| e.to_string())?;
     println!("{} detections:", detections.len());
     let mut marked = Vec::new();
     for d in &detections {
@@ -140,13 +164,62 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let mut pipeline = load_pipeline(args)?;
     let samples: usize = args.get_or("samples", 80)?;
     let seed: u64 = args.get_or("seed", 9)?;
+    let engine = engine_from_args(args)?;
     let data = face2_spec().at_size(32).scaled(samples).generate(seed);
-    let acc = pipeline.evaluate(&data).map_err(|e| e.to_string())?;
+    let acc = pipeline
+        .evaluate_with(&data, &engine)
+        .map_err(|e| e.to_string())?;
     println!(
         "accuracy on {} fresh synthetic windows: {:.1}%",
         data.len(),
         acc * 100.0
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let pipeline = load_pipeline(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_owned();
+    let workers: usize = args.get_or("workers", 2)?;
+    let queue_depth: usize = args.get_or("queue-depth", 64)?;
+    let threshold: f64 = args.get_or("threshold", 0.0)?;
+    let stride: f64 = args.get_or("stride", 0.25)?;
+    let engine = engine_from_args(args)?;
+
+    let detector = FaceDetector::new(
+        pipeline,
+        DetectorConfig {
+            score_threshold: threshold,
+            stride_fraction: stride,
+            ..DetectorConfig::default()
+        },
+    );
+    let handle = Server::start(
+        detector,
+        ServeConfig {
+            addr,
+            workers,
+            queue_depth,
+            engine,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving on http://{} ({workers} workers, queue depth {queue_depth}, {} scan threads)",
+        handle.addr(),
+        engine.threads(),
+    );
+    eprintln!(
+        "endpoints: POST /detect  POST /classify  GET /healthz  GET /metrics  POST /shutdown"
+    );
+    // Foreground until a POST /shutdown arrives, then drain in-flight
+    // requests before exiting (std cannot install a SIGTERM handler
+    // without new dependencies; see DESIGN.md §8).
+    handle.wait();
+    eprintln!("shutdown requested; draining…");
+    handle.shutdown();
+    eprintln!("drained, exiting");
     Ok(())
 }
 
@@ -179,11 +252,12 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "demo" => cmd_demo(),
-        "train" | "detect" | "eval" => match Args::parse(rest) {
+        "train" | "detect" | "eval" | "serve" => match Args::parse(rest) {
             Err(e) => Err(e),
             Ok(args) => match cmd {
                 "train" => cmd_train(&args),
                 "detect" => cmd_detect(&args),
+                "serve" => cmd_serve(&args),
                 _ => cmd_eval(&args),
             },
         },

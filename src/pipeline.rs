@@ -401,7 +401,24 @@ impl HdPipeline {
         dataset: &Dataset,
         config: &TrainConfig,
     ) -> Result<TrainReport, PipelineError> {
-        let samples = self.extract_dataset(dataset)?;
+        self.train_with(dataset, config, &Engine::from_env())
+    }
+
+    /// [`train`](HdPipeline::train) with the extraction scan on an
+    /// explicit engine (e.g. [`Engine::serial`], or an
+    /// [`Engine::new`] built from a CLI `--threads` flag — the
+    /// trained model is the same either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and learning failures.
+    pub fn train_with(
+        &mut self,
+        dataset: &Dataset,
+        config: &TrainConfig,
+        engine: &Engine,
+    ) -> Result<TrainReport, PipelineError> {
+        let samples = self.extract_dataset_with(dataset, engine)?;
         let mut clf = HdClassifier::new(dataset.num_classes(), self.dim);
         let report = clf.fit(&samples, config, &mut self.rng)?;
         self.classifier = Some(clf);

@@ -1,0 +1,425 @@
+//! A minimal HTTP/1.1 request parser and response writer — just
+//! enough protocol for the four inference endpoints, with hard limits
+//! on header and body sizes so a misbehaving client cannot balloon a
+//! worker's memory.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Longest accepted request head (request line + headers), bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (a 2048×2048 PGM with header), bytes.
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024 + 64;
+
+/// Errors raised while reading one request off a connection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The request line or headers were malformed.
+    Malformed(String),
+    /// Head or body exceeded the hard size limits.
+    TooLarge {
+        /// What overflowed: `"head"` or `"body"`.
+        what: &'static str,
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// The socket failed mid-request.
+    Io(std::io::Error),
+    /// The connection closed before a full request arrived.
+    Closed,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "request {what} exceeds {limit} bytes")
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Closed => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and parses one request from a connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Closed`] on a clean EOF before any bytes,
+    /// [`HttpError::Malformed`]/[`HttpError::TooLarge`] for protocol
+    /// violations and [`HttpError::Io`] for socket failures.
+    pub fn read_from<R: Read>(stream: &mut R) -> Result<Self, HttpError> {
+        let head = read_head(stream)?;
+        let text = std::str::from_utf8(&head.bytes)
+            .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_owned();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("unsupported version {version}")));
+        }
+        let path = target.split('?').next().unwrap_or(target).to_owned();
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        let mut request = Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+        };
+        let length = match request.header("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        };
+        if length > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge {
+                what: "body",
+                limit: MAX_BODY_BYTES,
+            });
+        }
+        let mut body = head.overflow;
+        if body.len() > length {
+            return Err(HttpError::Malformed("body longer than content-length".into()));
+        }
+        let missing = length - body.len();
+        if missing > 0 {
+            let start = body.len();
+            body.resize(length, 0);
+            stream.read_exact(&mut body[start..]).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    HttpError::Closed
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+        }
+        request.body = body;
+        Ok(request)
+    }
+}
+
+/// The request head plus any body bytes that arrived in the same read.
+struct Head {
+    bytes: Vec<u8>,
+    overflow: Vec<u8>,
+}
+
+/// Reads until the `\r\n\r\n` head terminator (bounded).
+fn read_head<R: Read>(stream: &mut R) -> Result<Head, HttpError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let overflow = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok(Head {
+                bytes: buf,
+                overflow,
+            });
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge {
+                what: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::Malformed("EOF inside request head".into()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra header `(name, value)` pairs (`Content-Length`,
+    /// `Content-Type` and `Connection: close` are always emitted).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text error response; `message` becomes a JSON error
+    /// body so every endpoint speaks JSON.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\":{}}}", json_string(message)),
+        )
+    }
+
+    /// The `503 Service Unavailable` load-shedding response.
+    #[must_use]
+    pub fn overloaded(retry_after_secs: u64) -> Self {
+        let mut r = Response::error(503, "server overloaded, request shed");
+        r.headers
+            .push(("Retry-After".into(), retry_after_secs.to_string()));
+        r
+    }
+
+    /// Adds a header pair, builder style.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes status line, headers and body onto a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a string as a JSON string literal (quotes included).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /detect?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let r = Request::read_from(&mut &raw[..]).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/detect");
+        assert_eq!(r.header("host"), Some("h"));
+        assert_eq!(r.header("HOST"), Some("h"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let r = Request::read_from(&mut &raw[..]).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // `read_from` must tolerate the head read swallowing part of
+        // the body and the rest arriving later: a Read over a slice
+        // returns everything at once, which already exercises the
+        // overflow path.
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let r = Request::read_from(&mut &raw[..]).unwrap();
+        assert_eq!(r.body, b"abc");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let cases: &[&[u8]] = &[
+            b"\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET /p\r\n\r\n",
+            b"GET /p SPDY/9\r\n\r\n",
+            b"GET /p HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ];
+        for raw in cases {
+            assert!(
+                matches!(Request::read_from(&mut &raw[..]), Err(HttpError::Malformed(_))),
+                "case {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn eof_and_truncation_are_distinguished() {
+        assert!(matches!(
+            Request::read_from(&mut &b""[..]),
+            Err(HttpError::Closed)
+        ));
+        assert!(matches!(
+            Request::read_from(&mut &b"GET /p HT"[..]),
+            Err(HttpError::Malformed(_))
+        ));
+        // Declared body never arrives.
+        let raw = b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            Request::read_from(&mut &raw[..]),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let mut huge = b"GET /p HTTP/1.1\r\n".to_vec();
+        huge.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 8));
+        assert!(matches!(
+            Request::read_from(&mut &huge[..]),
+            Err(HttpError::TooLarge { what: "head", .. })
+        ));
+        let raw = format!(
+            "POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            Request::read_from(&mut raw.as_bytes()),
+            Err(HttpError::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into()).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let mut out = Vec::new();
+        Response::overloaded(2).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+}

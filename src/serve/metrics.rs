@@ -1,0 +1,228 @@
+//! Lock-free serving metrics: per-endpoint request/error counters and
+//! log-scale latency histograms, rendered as one JSON document by
+//! `GET /metrics`.
+//!
+//! Recording sits on the request hot path, so everything is plain
+//! relaxed atomics — no locks, no allocation. Percentiles are read
+//! from power-of-two latency buckets (bucket *i* covers
+//! `[2^i, 2^(i+1))` microseconds), which bounds the p50/p99 error to
+//! 2× while keeping the histogram 32 words wide.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket 31 absorbs
+/// everything ≥ ~35 minutes, far beyond any sane request.
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket, power-of-two latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Index of the bucket covering `micros`.
+    fn bucket(micros: u64) -> usize {
+        let bits = 64 - micros.max(1).leading_zeros() as usize;
+        (bits - 1).min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        self.counts[Self::bucket(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q` quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` while empty.
+    #[must_use]
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in snapshot.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i = 2^(i+1).
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(1u64 << BUCKETS)
+    }
+}
+
+/// Counters and latency for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests that reached the handler (any status).
+    pub requests: AtomicU64,
+    /// Requests answered with a non-2xx status.
+    pub errors: AtomicU64,
+    /// Handler latency (parse → response written).
+    pub latency: LatencyHistogram,
+}
+
+impl EndpointMetrics {
+    /// Records one handled request.
+    pub fn record(&self, status: u16, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !(200..300).contains(&status) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(micros);
+    }
+
+    fn json(&self, name: &str) -> String {
+        let p50 = self.latency.quantile_micros(0.50);
+        let p99 = self.latency.quantile_micros(0.99);
+        let fmt = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
+        format!(
+            "\"{name}\":{{\"requests\":{},\"errors\":{},\"p50_micros\":{},\"p99_micros\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            fmt(p50),
+            fmt(p99),
+        )
+    }
+}
+
+/// The full serving-metrics surface, shared across all workers.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// `POST /detect`.
+    pub detect: EndpointMetrics,
+    /// `POST /classify`.
+    pub classify: EndpointMetrics,
+    /// `GET /healthz`.
+    pub healthz: EndpointMetrics,
+    /// `GET /metrics`.
+    pub metrics: EndpointMetrics,
+    /// Requests answered by a handler but not matching any route
+    /// (404/405) or unparseable (400).
+    pub other: EndpointMetrics,
+    /// Connections shed with `503` because the queue was full.
+    pub rejected: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A fresh metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// Total requests that reached any handler.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        [
+            &self.detect,
+            &self.classify,
+            &self.healthz,
+            &self.metrics,
+            &self.other,
+        ]
+        .iter()
+        .map(|e| e.requests.load(Ordering::Relaxed))
+        .sum()
+    }
+
+    /// Renders the whole surface as one JSON object; `queue_depth` and
+    /// `workers` are gauges sampled by the caller.
+    #[must_use]
+    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, workers: usize) -> String {
+        format!(
+            "{{\"requests_total\":{},\"rejected_total\":{},\"queue_depth\":{queue_depth},\
+             \"queue_capacity\":{queue_capacity},\"workers\":{workers},\"endpoints\":{{{},{},{},{},{}}}}}",
+            self.total_requests(),
+            self.rejected.load(Ordering::Relaxed),
+            self.detect.json("detect"),
+            self.classify.json("classify"),
+            self.healthz.json("healthz"),
+            self.metrics.json("metrics"),
+            self.other.json("other"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1023), 9);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_micros(0.5), None);
+        // 99 fast requests at ~8µs, one slow at ~65ms.
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(65_000);
+        assert_eq!(h.count(), 100);
+        // 8µs lives in bucket [8, 16); quantiles report the upper
+        // bound.
+        assert_eq!(h.quantile_micros(0.50), Some(16));
+        // p99 rank = ceil(0.99*100) = 99 → still the fast bucket;
+        // p100 lands on the slow one (65000µs → bucket [32768, 65536)).
+        assert_eq!(h.quantile_micros(0.99), Some(16));
+        assert_eq!(h.quantile_micros(1.0), Some(65_536));
+    }
+
+    #[test]
+    fn endpoint_counts_errors_separately() {
+        let e = EndpointMetrics::default();
+        e.record(200, 10);
+        e.record(200, 12);
+        e.record(500, 1000);
+        assert_eq!(e.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(e.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(e.latency.count(), 3);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let m = ServerMetrics::new();
+        m.detect.record(200, 1500);
+        m.rejected.fetch_add(2, Ordering::Relaxed);
+        let json = m.to_json(3, 64, 4);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests_total\":1"));
+        assert!(json.contains("\"rejected_total\":2"));
+        assert!(json.contains("\"queue_depth\":3"));
+        assert!(json.contains("\"queue_capacity\":64"));
+        assert!(json.contains("\"workers\":4"));
+        assert!(json.contains("\"detect\":{\"requests\":1"));
+        assert!(json.contains("\"p50_micros\":2048"));
+        assert!(json.contains("\"healthz\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"));
+    }
+}

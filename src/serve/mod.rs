@@ -1,0 +1,51 @@
+//! `hdface serve` — a std-only HTTP/1.1 inference server.
+//!
+//! The serving layer keeps one trained [`FaceDetector`] resident and
+//! shares it, read-only, across a fixed pool of worker threads, so the
+//! extraction context (basis, codebooks, slot keys) is paid for once
+//! per process instead of once per request. Four endpoints:
+//!
+//! | endpoint         | body          | response                                  |
+//! |------------------|---------------|-------------------------------------------|
+//! | `POST /detect`   | binary PGM    | JSON detections (boxes, margins, timing)  |
+//! | `POST /classify` | binary PGM    | JSON class + per-class similarity scores  |
+//! | `GET /healthz`   | —             | readiness: model loaded, workers alive    |
+//! | `GET /metrics`   | —             | counters, latency percentiles, queue depth|
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──► bounded queue ──► worker 0..N ──► FaceDetector (shared, &self)
+//!      │              │                                  │
+//!      │ full?        │ depth gauge                      └─► Engine (per-request scan)
+//!      └─► 503 + Retry-After                     metrics: atomic counters + histograms
+//! ```
+//!
+//! * **Backpressure** — the acceptor pushes raw connections into a
+//!   bounded queue ([`queue::BoundedQueue`]); when it is full the
+//!   connection is shed immediately with `503` + `Retry-After`
+//!   instead of stacking unbounded work ([`server`]).
+//! * **Determinism** — `/detect` dispatches through
+//!   [`FaceDetector::detect_with`], whose per-window mask streams
+//!   depend only on the pipeline seed and the window index, so a
+//!   served response is bit-identical to an in-process run at any
+//!   thread count. `/classify` extracts with a fixed dedicated stream
+//!   salt for the same reason.
+//! * **Shutdown** — [`server::ServerHandle::shutdown`] stops the
+//!   acceptor first, then closes the queue; workers drain every
+//!   already-accepted request before exiting. `POST /shutdown`
+//!   triggers the same drain remotely (std cannot install a SIGTERM
+//!   handler without new dependencies; see DESIGN.md §8).
+//!
+//! [`FaceDetector`]: crate::detector::FaceDetector
+//! [`FaceDetector::detect_with`]: crate::detector::FaceDetector::detect_with
+
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use http::{HttpError, Request, Response};
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use queue::BoundedQueue;
+pub use server::{detections_to_json, Server, ServeConfig, ServeError, ServerHandle};

@@ -1,0 +1,524 @@
+//! The accept loop, worker pool and request handlers behind
+//! `hdface serve`.
+//!
+//! One acceptor thread pushes raw connections into a
+//! [`BoundedQueue`]; `workers` threads pop, parse, route and respond.
+//! The trained [`FaceDetector`] is shared read-only (window scoring
+//! needs only `&self`), and every scan dispatches through one
+//! configured [`Engine`], so a served `/detect` response carries
+//! exactly the bits an in-process [`FaceDetector::detect_with`] run
+//! would produce for the same model, image and seed.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hdface_imaging::{read_pgm, GrayImage};
+
+use crate::detector::{Detection, FaceDetector};
+use crate::engine::{derive_seed, Engine};
+use crate::serve::http::{json_string, HttpError, Request, Response};
+use crate::serve::metrics::{EndpointMetrics, ServerMetrics};
+use crate::serve::queue::{BoundedQueue, PushError};
+
+/// Salt separating `/classify` mask streams from every other use of
+/// the pipeline seed (the detect path reuses the detector's own
+/// per-window streams unchanged).
+const CLASSIFY_STREAM_SALT: u64 = 0x5e7c_1a55_1f1e_d001;
+
+/// Per-connection socket read/write timeout: a stalled client must
+/// not pin a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:8080`; port 0 picks an ephemeral
+    /// port, reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-handling worker threads (clamped ≥ 1).
+    pub workers: usize,
+    /// Bounded request-queue depth; connections beyond it are shed
+    /// with `503` (clamped ≥ 1).
+    pub queue_depth: usize,
+    /// Engine every request's window scan runs on.
+    pub engine: Engine,
+    /// `Retry-After` seconds advertised when shedding load.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 2,
+            queue_depth: 64,
+            engine: Engine::from_env(),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Errors raised while bringing the server up.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The model has no trained classifier to serve.
+    ModelNotTrained,
+    /// Binding or configuring the listener failed.
+    Bind(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ModelNotTrained => {
+                write!(f, "refusing to serve an untrained model")
+            }
+            ServeError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind(e) => Some(e),
+            ServeError::ModelNotTrained => None,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Inner {
+    detector: FaceDetector,
+    engine: Engine,
+    metrics: ServerMetrics,
+    queue: BoundedQueue<TcpStream>,
+    /// Set once; acceptor stops admitting new connections.
+    stopping: AtomicBool,
+    /// Workers currently alive (readiness signal for `/healthz`).
+    workers_alive: AtomicUsize,
+    workers_configured: usize,
+    retry_after_secs: u64,
+    /// `POST /shutdown` arrival flag, for [`ServerHandle::wait`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// The serving subsystem: call [`Server::start`] to bring it up.
+#[derive(Debug)]
+pub struct Server;
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`shutdown`](ServerHandle::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots the server: binds, spawns the acceptor and the worker
+    /// pool, and returns a handle once all of them are running.
+    ///
+    /// # Errors
+    ///
+    /// Refuses untrained models ([`ServeError::ModelNotTrained`]) and
+    /// propagates bind failures.
+    pub fn start(detector: FaceDetector, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        if detector.pipeline().classifier().is_none() {
+            return Err(ServeError::ModelNotTrained);
+        }
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let workers_configured = config.workers.max(1);
+
+        let inner = Arc::new(Inner {
+            detector,
+            engine: config.engine,
+            metrics: ServerMetrics::new(),
+            queue: BoundedQueue::new(config.queue_depth),
+            stopping: AtomicBool::new(false),
+            workers_alive: AtomicUsize::new(0),
+            workers_configured,
+            retry_after_secs: config.retry_after_secs,
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+
+        let workers = (0..workers_configured)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hdface-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hdface-acceptor".into())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawning acceptor thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.inner.metrics
+    }
+
+    /// Blocks until a `POST /shutdown` arrives (the CLI's foreground
+    /// wait; pair with [`shutdown`](ServerHandle::shutdown)).
+    pub fn wait(&self) {
+        let mut requested = self
+            .inner
+            .shutdown_requested
+            .lock()
+            .expect("shutdown lock poisoned");
+        while !*requested {
+            requested = self
+                .inner
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown lock poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stops admitting connections, drains every
+    /// already-accepted request, then joins all threads.
+    pub fn shutdown(mut self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // With the acceptor gone, closing the queue lets the workers
+        // finish the backlog and exit.
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServerHandle({}, workers={}, {:?})",
+            self.addr, self.inner.workers_configured, self.inner.queue
+        )
+    }
+}
+
+/// Accepts connections and enqueues them, shedding with `503` when
+/// the queue is full.
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    for conn in listener.incoming() {
+        if inner.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = match conn {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        match inner.queue.try_push(conn) {
+            Ok(()) => {}
+            Err(PushError::Full(conn) | PushError::Closed(conn)) => {
+                inner.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                shed(conn, inner.retry_after_secs);
+            }
+        }
+    }
+}
+
+/// Writes the load-shedding `503` and closes the connection without
+/// reading the request (the client may still be sending its body —
+/// HTTP permits an early response).
+fn shed(mut conn: TcpStream, retry_after_secs: u64) {
+    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = Response::overloaded(retry_after_secs).write_to(&mut conn);
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+}
+
+/// Pops connections until the queue closes and drains.
+fn worker_loop(inner: &Inner) {
+    inner.workers_alive.fetch_add(1, Ordering::SeqCst);
+    while let Some(conn) = inner.queue.pop() {
+        handle_connection(inner, conn);
+    }
+    inner.workers_alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Which metrics bucket a request lands in.
+fn endpoint_of<'a>(inner: &'a Inner, method: &str, path: &str) -> &'a EndpointMetrics {
+    match (method, path) {
+        ("POST", "/detect") => &inner.metrics.detect,
+        ("POST", "/classify") => &inner.metrics.classify,
+        ("GET", "/healthz") => &inner.metrics.healthz,
+        ("GET", "/metrics") => &inner.metrics.metrics,
+        _ => &inner.metrics.other,
+    }
+}
+
+/// Reads one request, routes it, writes the response, records
+/// metrics.
+fn handle_connection(inner: &Inner, mut conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let start = Instant::now();
+    let (response, endpoint) = match Request::read_from(&mut conn) {
+        // The client connected and went away: nothing to answer.
+        Err(HttpError::Closed) => return,
+        Err(e @ HttpError::TooLarge { .. }) => {
+            (Response::error(413, &e.to_string()), &inner.metrics.other)
+        }
+        Err(e) => (Response::error(400, &e.to_string()), &inner.metrics.other),
+        Ok(req) => (
+            route(inner, &req),
+            endpoint_of(inner, &req.method, &req.path),
+        ),
+    };
+    let status = response.status;
+    let _ = response.write_to(&mut conn);
+    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    endpoint.record(status, micros);
+}
+
+/// Dispatches a parsed request to its handler.
+fn route(inner: &Inner, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/detect") => handle_detect(inner, &req.body),
+        ("POST", "/classify") => handle_classify(inner, &req.body),
+        ("GET", "/healthz") => handle_healthz(inner),
+        ("GET", "/metrics") => handle_metrics(inner),
+        ("POST", "/shutdown") => handle_shutdown(inner),
+        (_, "/detect" | "/classify" | "/shutdown") => {
+            Response::error(405, "use POST")
+        }
+        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
+        (_, path) => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+/// Parses a binary PGM request body.
+fn parse_scene(body: &[u8]) -> Result<GrayImage, Response> {
+    if body.is_empty() {
+        return Err(Response::error(400, "empty body: expected a binary PGM image"));
+    }
+    read_pgm(body).map_err(|e| Response::error(400, &format!("bad PGM body: {e}")))
+}
+
+/// `POST /detect`: PGM in, NMS-merged detections out.
+fn handle_detect(inner: &Inner, body: &[u8]) -> Response {
+    let scene = match parse_scene(body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let scan = Instant::now();
+    match inner.detector.detect_with(&scene, &inner.engine) {
+        Ok(detections) => {
+            let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
+            Response::json(
+                200,
+                format!(
+                    "{{\"count\":{},\"scan_micros\":{micros},\"detections\":{}}}",
+                    detections.len(),
+                    detections_to_json(&detections),
+                ),
+            )
+        }
+        Err(e) => Response::error(500, &format!("detection failed: {e}")),
+    }
+}
+
+/// `POST /classify`: PGM in, predicted class + per-class similarity
+/// scores out. Masks come from a dedicated fixed stream, so the same
+/// image always yields the same scores.
+fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
+    let image = match parse_scene(body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let pipeline = inner.detector.pipeline();
+    let scan = Instant::now();
+    let stream = derive_seed(pipeline.seed(), CLASSIFY_STREAM_SALT);
+    let feature = match pipeline.extract_seeded(&image, stream) {
+        Ok(f) => f,
+        Err(e) => return Response::error(500, &format!("extraction failed: {e}")),
+    };
+    let Some(clf) = pipeline.classifier() else {
+        return Response::error(500, "model has no classifier");
+    };
+    let (class, scores) = match (clf.predict(&feature), clf.similarities(&feature)) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(e), _) | (_, Err(e)) => {
+            return Response::error(500, &format!("classification failed: {e}"))
+        }
+    };
+    let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let scores = scores
+        .iter()
+        .map(|s| format!("{s}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    Response::json(
+        200,
+        format!("{{\"class\":{class},\"scores\":[{scores}],\"scan_micros\":{micros}}}"),
+    )
+}
+
+/// `GET /healthz`: readiness — model resident, workers alive.
+fn handle_healthz(inner: &Inner) -> Response {
+    let pipeline = inner.detector.pipeline();
+    let model_loaded = pipeline.classifier().is_some();
+    let alive = inner.workers_alive.load(Ordering::SeqCst);
+    let ready = model_loaded && alive > 0;
+    let status = if ready { 200 } else { 503 };
+    let classes = pipeline.classifier().map_or(0, |c| c.num_classes());
+    Response::json(
+        status,
+        format!(
+            "{{\"status\":{},\"model_loaded\":{model_loaded},\"dim\":{},\"classes\":{classes},\
+             \"workers_alive\":{alive},\"workers_configured\":{}}}",
+            json_string(if ready { "ok" } else { "unavailable" }),
+            pipeline.dim(),
+            inner.workers_configured,
+        ),
+    )
+}
+
+/// `GET /metrics`: the counters plus live queue-depth gauge.
+fn handle_metrics(inner: &Inner) -> Response {
+    Response::json(
+        200,
+        inner.metrics.to_json(
+            inner.queue.len(),
+            inner.queue.capacity(),
+            inner.workers_alive.load(Ordering::SeqCst),
+        ),
+    )
+}
+
+/// `POST /shutdown`: flags the foreground waiter (see
+/// [`ServerHandle::wait`]); the in-flight response still goes out
+/// because draining happens in [`ServerHandle::shutdown`].
+fn handle_shutdown(inner: &Inner) -> Response {
+    let mut requested = inner
+        .shutdown_requested
+        .lock()
+        .expect("shutdown lock poisoned");
+    *requested = true;
+    inner.shutdown_cv.notify_all();
+    Response::json(200, "{\"status\":\"draining\"}".into())
+}
+
+/// Serializes detections as a JSON array — the exact body embedded in
+/// a `/detect` response, exposed so integration tests (and clients)
+/// can reproduce a served payload bit-for-bit from an in-process
+/// [`FaceDetector::detect_with`] run.
+#[must_use]
+pub fn detections_to_json(detections: &[Detection]) -> String {
+    let mut out = String::with_capacity(detections.len() * 64 + 2);
+    out.push('[');
+    for (i, d) in detections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"x\":{},\"y\":{},\"width\":{},\"height\":{},\"score\":{},\"scale\":{}}}",
+            d.window.x, d.window.y, d.window.width, d.window.height, d.score, d.scale
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_imaging::Window;
+
+    #[test]
+    fn detections_json_is_exact_and_stable() {
+        assert_eq!(detections_to_json(&[]), "[]");
+        let dets = vec![
+            Detection {
+                window: Window {
+                    x: 4,
+                    y: 8,
+                    width: 32,
+                    height: 32,
+                },
+                score: 0.5,
+                scale: 1.0,
+            },
+            Detection {
+                window: Window {
+                    x: 0,
+                    y: 0,
+                    width: 48,
+                    height: 48,
+                },
+                score: 0.123456789012345,
+                scale: 1.5,
+            },
+        ];
+        assert_eq!(
+            detections_to_json(&dets),
+            "[{\"x\":4,\"y\":8,\"width\":32,\"height\":32,\"score\":0.5,\"scale\":1},\
+             {\"x\":0,\"y\":0,\"width\":48,\"height\":48,\"score\":0.123456789012345,\"scale\":1.5}]"
+        );
+    }
+
+    #[test]
+    fn serve_config_defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= 1);
+        assert!(c.retry_after_secs >= 1);
+        assert_eq!(c.addr, "127.0.0.1:8080");
+    }
+
+    #[test]
+    fn untrained_model_is_refused_at_startup() {
+        use crate::detector::DetectorConfig;
+        use crate::pipeline::{HdFeatureMode, HdPipeline};
+        let raw = HdPipeline::new(HdFeatureMode::encoded_classic(512), 1);
+        let det = FaceDetector::new(raw, DetectorConfig::default());
+        let err = Server::start(
+            det,
+            ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..ServeConfig::default()
+            },
+        )
+        .err()
+        .expect("untrained model must not serve");
+        assert!(matches!(err, ServeError::ModelNotTrained));
+    }
+}

@@ -1,0 +1,139 @@
+//! Error-path coverage for `HDP1` model loading: every malformed
+//! buffer must come back as a typed [`PersistError`] — truncated
+//! headers, wrong magic, unknown modes, corrupted payload lengths,
+//! dimensionality lies — and never a panic. The serving layer loads
+//! untrusted model files at boot, so these paths are load-bearing.
+
+use std::sync::OnceLock;
+
+use hdface::datasets::face2_spec;
+use hdface::learn::TrainConfig;
+use hdface::persist::PersistError;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+
+/// One trained, serialized pipeline shared by every corruption test.
+fn model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = face2_spec().at_size(32).scaled(48).generate(29);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(512), 29);
+        p.train(&ds, &TrainConfig::default()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+#[test]
+fn empty_and_short_buffers_are_bad_headers() {
+    for len in 0..17 {
+        let buf = &model_bytes()[..len];
+        assert!(
+            matches!(HdPipeline::load_bytes(buf), Err(PersistError::BadHeader)),
+            "prefix of {len} bytes must be a BadHeader"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = model_bytes().to_vec();
+    for (i, wrong) in [b"HDM1", b"hdp1", b"HDP2", b"\0\0\0\0"].iter().enumerate() {
+        bytes[..4].copy_from_slice(&wrong[..]);
+        assert!(
+            matches!(HdPipeline::load_bytes(&bytes), Err(PersistError::BadHeader)),
+            "case {i}"
+        );
+    }
+}
+
+#[test]
+fn unknown_mode_tag_is_typed() {
+    let mut bytes = model_bytes().to_vec();
+    bytes[4] = 0;
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes),
+        Err(PersistError::UnknownMode(0))
+    ));
+    bytes[4] = 77;
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes),
+        Err(PersistError::UnknownMode(77))
+    ));
+}
+
+#[test]
+fn truncated_model_payload_is_a_model_error() {
+    let bytes = model_bytes();
+    // Cut inside the embedded HDM1 container at several depths: right
+    // after the pipeline header, mid-magic, and mid-class-vector.
+    for cut in [17, 19, 25, bytes.len() / 2, bytes.len() - 1] {
+        match HdPipeline::load_bytes(&bytes[..cut]) {
+            Err(PersistError::Model(_)) => {}
+            other => panic!("cut at {cut}: expected Model error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_class_count_is_a_model_error_not_a_panic() {
+    let mut bytes = model_bytes().to_vec();
+    // The embedded HDM1 container declares its class count at offset
+    // 17+4; claiming far more classes than the payload holds must
+    // surface as a typed truncation error.
+    bytes[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes),
+        Err(PersistError::Model(_))
+    ));
+    // Zero classes is equally malformed.
+    bytes[21..25].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes),
+        Err(PersistError::Model(_))
+    ));
+}
+
+#[test]
+fn header_dim_must_match_the_embedded_model() {
+    let mut bytes = model_bytes().to_vec();
+    bytes[5..9].copy_from_slice(&1024u32.to_le_bytes());
+    match HdPipeline::load_bytes(&bytes) {
+        Err(PersistError::DimMismatch { header, model }) => {
+            assert_eq!(header, 1024);
+            assert_eq!(model, 512);
+        }
+        other => panic!("expected DimMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_error_variant_displays_and_sources() {
+    let errors = [
+        HdPipeline::load_bytes(b"ZZZZ").unwrap_err(),
+        {
+            let mut b = model_bytes().to_vec();
+            b[4] = 9;
+            HdPipeline::load_bytes(&b).unwrap_err()
+        },
+        HdPipeline::load_bytes(&model_bytes()[..20]).unwrap_err(),
+        {
+            let mut b = model_bytes().to_vec();
+            b[5..9].copy_from_slice(&2048u32.to_le_bytes());
+            HdPipeline::load_bytes(&b).unwrap_err()
+        },
+    ];
+    for e in &errors {
+        assert!(!e.to_string().is_empty());
+    }
+    // Only the Model variant carries a source.
+    use std::error::Error as _;
+    assert!(errors[2].source().is_some());
+    assert!(errors[0].source().is_none());
+}
+
+#[test]
+fn intact_bytes_still_load_after_all_that() {
+    // Control: the shared buffer itself is valid.
+    let p = HdPipeline::load_bytes(model_bytes()).unwrap();
+    assert_eq!(p.dim(), 512);
+    assert!(p.classifier().is_some());
+}

@@ -1,0 +1,396 @@
+//! Integration tests for the `hdface serve` subsystem: boot the
+//! server on an ephemeral port, exercise every endpoint over real
+//! sockets with real PGM bytes, and pin the serving contracts —
+//! bit-identity with in-process detection, `503` load shedding with
+//! `Retry-After`, live metrics, and graceful drain on shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use hdface::datasets::face2_spec;
+use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::Engine;
+use hdface::imaging::{write_pgm, GrayImage};
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::serve::{detections_to_json, ServeConfig, Server, ServerHandle};
+
+/// Serialized fast binary model (classic HOG + projection encoder):
+/// trained once, shared by every test.
+fn encoded_model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(32).scaled(64).generate(17);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(1024), 17);
+        p.train(&data, &TrainConfig::default()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+/// Serialized slow model (fully hyperdimensional extractor): window
+/// scoring takes milliseconds, which the saturation and drain tests
+/// rely on to keep a worker busy.
+fn hyper_model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(32).scaled(12).generate(5);
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(2048), 5);
+        p.train(&data, &TrainConfig::single_pass()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+fn detector_from(bytes: &[u8], stride_fraction: f64) -> FaceDetector {
+    let pipeline = HdPipeline::load_bytes(bytes).unwrap();
+    FaceDetector::new(
+        pipeline,
+        DetectorConfig {
+            stride_fraction,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+fn start_server(bytes: &[u8], stride_fraction: f64, config: ServeConfig) -> ServerHandle {
+    Server::start(detector_from(bytes, stride_fraction), config).unwrap()
+}
+
+fn test_scene(n: usize) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    })
+}
+
+fn pgm_bytes(image: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_pgm(image, &mut out).unwrap();
+    out
+}
+
+/// One blocking HTTP exchange; returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    send_request(&mut conn, method, path, body);
+    read_response(&mut conn).expect("well-formed response")
+}
+
+fn send_request(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write head");
+    conn.write_all(body).expect("write body");
+    conn.flush().unwrap();
+}
+
+fn read_response(conn: &mut TcpStream) -> Option<(u16, Vec<(String, String)>, Vec<u8>)> {
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).ok()?;
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Some((status, headers, raw[head_end + 4..].to_vec()))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn body_text(body: &[u8]) -> String {
+    String::from_utf8(body.to_vec()).expect("JSON body is UTF-8")
+}
+
+fn local(config: ServeConfig) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    }
+}
+
+#[test]
+fn detect_is_bit_identical_to_in_process_run_at_any_thread_count() {
+    let scene = pgm_bytes(&test_scene(64));
+
+    // The reference run: same model bytes, in-process, serial engine.
+    let reference = detector_from(encoded_model_bytes(), 0.5);
+    let expected = detections_to_json(
+        &reference
+            .detect_with(&test_scene(64), &Engine::serial())
+            .unwrap(),
+    );
+
+    for threads in [1usize, 3] {
+        let handle = start_server(
+            encoded_model_bytes(),
+            0.5,
+            local(ServeConfig {
+                workers: 2,
+                engine: Engine::new(threads),
+                ..ServeConfig::default()
+            }),
+        );
+        let (status, _, body) = http(handle.addr(), "POST", "/detect", &scene);
+        assert_eq!(status, 200, "threads={threads}: {}", body_text(&body));
+        let text = body_text(&body);
+        assert!(
+            text.contains(&format!("\"detections\":{expected}")),
+            "threads={threads}: served payload diverged from the in-process run\n\
+             served:   {text}\nexpected: {expected}"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn healthz_reports_ready_model() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let (status, _, body) = http(handle.addr(), "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let text = body_text(&body);
+    assert!(text.contains("\"status\":\"ok\""), "{text}");
+    assert!(text.contains("\"model_loaded\":true"), "{text}");
+    assert!(text.contains("\"dim\":1024"), "{text}");
+    assert!(text.contains("\"classes\":2"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn classify_is_deterministic_and_scored() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let crop = pgm_bytes(&test_scene(32));
+    let (status, _, first) = http(handle.addr(), "POST", "/classify", &crop);
+    assert_eq!(status, 200, "{}", body_text(&first));
+    let text = body_text(&first);
+    assert!(text.contains("\"class\":"), "{text}");
+    // A binary face/no-face model scores exactly two classes.
+    assert!(text.contains("\"scores\":["), "{text}");
+    assert_eq!(text.matches(',').count() >= 2, true, "{text}");
+
+    // Same image, same stream salt → byte-identical scores.
+    let (_, _, second) = http(handle.addr(), "POST", "/classify", &crop);
+    let stable = |t: &str| t.split("\"scan_micros\"").next().unwrap().to_owned();
+    assert_eq!(stable(&text), stable(&body_text(&second)));
+    handle.shutdown();
+}
+
+#[test]
+fn bad_requests_get_typed_statuses() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let addr = handle.addr();
+    let (status, _, _) = http(addr, "POST", "/detect", b"not a pgm");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(addr, "POST", "/detect", b"");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(addr, "GET", "/detect", b"");
+    assert_eq!(status, 405);
+    let (status, _, _) = http(addr, "POST", "/metrics", b"");
+    assert_eq!(status, 405);
+    // Protocol garbage gets a 400, not a hang or a dropped socket.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    conn.write_all(b"BLEEP\r\n\r\n").unwrap();
+    let (status, _, _) = read_response(&mut conn).unwrap();
+    assert_eq!(status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_track_requests_and_latency_percentiles() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let addr = handle.addr();
+    let (_, _, before) = http(addr, "GET", "/metrics", b"");
+    let before = body_text(&before);
+    assert!(before.contains("\"queue_capacity\":64"), "{before}");
+    assert!(
+        before.contains("\"detect\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"),
+        "{before}"
+    );
+
+    let scene = pgm_bytes(&test_scene(64));
+    for _ in 0..3 {
+        let (status, _, _) = http(addr, "POST", "/detect", &scene);
+        assert_eq!(status, 200);
+    }
+    let (status, _, _) = http(addr, "POST", "/detect", b"garbage");
+    assert_eq!(status, 400);
+
+    let (_, _, after) = http(addr, "GET", "/metrics", b"");
+    let after = body_text(&after);
+    assert_ne!(before, after, "metrics must change across requests");
+    assert!(
+        after.contains("\"detect\":{\"requests\":4,\"errors\":1,\"p50_micros\":"),
+        "{after}"
+    );
+    assert!(
+        !after.contains("\"detect\":{\"requests\":4,\"errors\":1,\"p50_micros\":null"),
+        "latency percentiles must be populated: {after}"
+    );
+    // The metrics endpoint counts itself too.
+    assert!(after.contains("\"metrics\":{\"requests\":"), "{after}");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    // One worker, queue depth 1, and a model slow enough (full HD
+    // extractor, ~100 windows) that the worker stays busy while the
+    // probes arrive.
+    let handle = start_server(
+        hyper_model_bytes(),
+        0.25,
+        local(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            engine: Engine::new(1),
+            ..ServeConfig::default()
+        }),
+    );
+    let addr = handle.addr();
+    let scene = pgm_bytes(&test_scene(96));
+
+    // Occupy the worker, then the single queue slot.
+    let mut busy = TcpStream::connect(addr).unwrap();
+    busy.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    send_request(&mut busy, "POST", "/detect", &scene);
+    std::thread::sleep(Duration::from_millis(200));
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    send_request(&mut queued, "POST", "/detect", &scene);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Worker busy + slot taken: these must shed immediately.
+    let mut shed_statuses = Vec::new();
+    for _ in 0..3 {
+        let mut probe = TcpStream::connect(addr).unwrap();
+        probe
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        send_request(&mut probe, "POST", "/detect", &scene);
+        let (status, headers, _) = read_response(&mut probe).expect("shed response");
+        shed_statuses.push(status);
+        if status == 503 {
+            let retry = header(&headers, "retry-after").expect("Retry-After header");
+            assert!(retry.parse::<u64>().unwrap() >= 1);
+        }
+    }
+    assert!(
+        shed_statuses.contains(&503),
+        "no probe was shed: {shed_statuses:?}"
+    );
+
+    // The occupied connections still complete successfully — shedding
+    // never cancels admitted work.
+    let (status, _, _) = read_response(&mut busy).expect("busy response");
+    assert_eq!(status, 200);
+    let (status, _, _) = read_response(&mut queued).expect("queued response");
+    assert_eq!(status, 200);
+
+    // The rejections are visible in the metrics.
+    let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
+    let text = body_text(&metrics);
+    let rejected: u64 = text
+        .split("\"rejected_total\":")
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .expect("rejected_total in metrics");
+    assert!(rejected >= 1, "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let handle = start_server(
+        hyper_model_bytes(),
+        0.25,
+        local(ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            engine: Engine::new(1),
+            ..ServeConfig::default()
+        }),
+    );
+    let addr = handle.addr();
+    let scene = pgm_bytes(&test_scene(96));
+
+    // A slow request goes in-flight…
+    let client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        send_request(&mut conn, "POST", "/detect", &scene);
+        read_response(&mut conn)
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // …and shutdown must wait for it, not cut it off.
+    handle.shutdown();
+    let (status, _, body) = client.join().unwrap().expect("drained response");
+    assert_eq!(status, 200, "{}", body_text(&body));
+
+    // After the drain the listener is gone: a fresh connection either
+    // fails outright or yields no response.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut conn) => {
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            send_request(&mut conn, "GET", "/healthz", b"");
+            assert!(
+                read_response(&mut conn).is_none(),
+                "server answered after shutdown"
+            );
+        }
+    }
+}
+
+#[test]
+fn shutdown_endpoint_wakes_the_foreground_waiter() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let addr = handle.addr();
+    let (status, _, body) = http(addr, "POST", "/shutdown", b"");
+    assert_eq!(status, 200);
+    assert!(body_text(&body).contains("draining"));
+    // Returns promptly because the endpoint flagged the waiter.
+    handle.wait();
+    handle.shutdown();
+}
