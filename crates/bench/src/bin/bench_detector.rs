@@ -1,17 +1,24 @@
-//! Detection-engine throughput report: scans one scene serially and
-//! on all cores at D = 1k / 4k / 8k, verifies the two scans return
-//! bit-identical detections, and writes the measured windows/second
-//! (plus speedup) to `BENCH_detector.json`.
+//! Detection-engine throughput report: scans one scene at D = 1k /
+//! 4k / 8k, sweeping thread counts (1 / 2 / 4 / all cores) and both
+//! extraction modes (level-cell cached vs legacy per-window), checks
+//! that cached-mode detections are bit-identical at every thread
+//! count, reports cache hit/fallback counts, and writes everything to
+//! `BENCH_detector.json`.
 //!
 //! ```sh
-//! cargo run --release -p hdface-bench --bin bench_detector [-- --full]
+//! cargo run --release -p hdface-bench --bin bench_detector [-- --full | --smoke]
 //! ```
+//!
+//! `--smoke` is the CI gate: one small dim, a tiny scene, and a hard
+//! assertion that cached extraction is at least as fast as per-window
+//! (exit 1 otherwise, no JSON written).
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use hdface::datasets::face2_spec;
-use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::detector::{Detection, DetectorConfig, ExtractionMode, FaceDetector, ScanStats};
 use hdface::engine::Engine;
 use hdface::imaging::{GrayImage, ImagePyramid, SlidingWindows};
 use hdface::learn::TrainConfig;
@@ -38,86 +45,170 @@ fn count_windows(scene: &GrayImage, config: &DetectorConfig) -> usize {
         .sum()
 }
 
-/// Best-of-`reps` throughput of one engine, in windows/second. One
-/// untimed warmup scan first: the initial run pays cache/page-fault
-/// noise that would otherwise skew whichever engine is measured
-/// first (the source of a phantom sub-1.0 "speedup" at one thread,
-/// where both engines run the identical inline path).
-fn measure(det: &FaceDetector, scene: &GrayImage, engine: &Engine, windows: usize, reps: usize) -> f64 {
-    det.detect_with(scene, engine).expect("warmup detection succeeds");
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        det.detect_with(scene, engine).expect("detection succeeds");
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    windows as f64 / best
+/// The thread counts to sweep: 1 / 2 / 4 / all cores, deduplicated
+/// and capped at the machine's parallelism.
+fn thread_sweep() -> Vec<usize> {
+    let max = Engine::from_env().threads();
+    let mut counts: Vec<usize> = [1usize, 2, 4, max]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
 }
 
-fn main() {
+/// Best-of-`reps` throughput in windows/second, plus the detections
+/// and cache stats of one scan (identical every run — scans are
+/// deterministic). One untimed warmup scan first: the initial run
+/// pays page-fault and slot-key derivation noise that would otherwise
+/// skew whichever configuration is measured first.
+fn measure(
+    det: &FaceDetector,
+    scene: &GrayImage,
+    engine: &Engine,
+    windows: usize,
+    reps: usize,
+) -> (f64, Vec<Detection>, ScanStats) {
+    det.detect_with(scene, engine).expect("warmup detection succeeds");
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let scan = det.detect_with_stats(scene, engine).expect("detection succeeds");
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(scan);
+    }
+    let (detections, stats) = out.expect("at least one rep");
+    (windows as f64 / best, detections, stats)
+}
+
+fn json_list(values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.2}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn main() -> ExitCode {
     let cfg = RunConfig::from_args();
-    let scene = test_scene(cfg.pick(80, 128));
-    let reps = cfg.pick(2, 3);
+    let scene = test_scene(if cfg.smoke { 48 } else { cfg.pick(80, 128) });
+    let reps = if cfg.smoke { 1 } else { cfg.pick(2, 3) };
+    let dims: &[usize] = if cfg.smoke {
+        &[1024]
+    } else {
+        &[1024, 4096, 8192]
+    };
     let config = DetectorConfig {
         window: WINDOW,
         stride_fraction: STRIDE_FRACTION,
         ..DetectorConfig::default()
     };
     let windows = count_windows(&scene, &config);
-    let serial = Engine::serial();
-    let parallel = Engine::from_env();
+    let threads = thread_sweep();
 
     println!(
-        "== detection engine throughput ({}x{} scene, {} windows, {} threads) ==\n",
+        "== detection engine throughput ({}x{} scene, {} windows, threads {threads:?}) ==\n",
         scene.width(),
         scene.height(),
         windows,
-        parallel.threads()
     );
-    let mut table = Table::new(&["D", "serial win/s", "parallel win/s", "speedup", "identical"]);
+    let mut table = Table::new(&[
+        "D",
+        "threads",
+        "cached win/s",
+        "per-window win/s",
+        "speedup",
+        "hits/fallbacks",
+        "identical",
+    ]);
     let mut entries = String::new();
+    let mut smoke_ok = true;
 
-    for dim in [1024usize, 4096, 8192] {
+    for &dim in dims {
         let data = face2_spec().at_size(WINDOW).scaled(12).generate(cfg.seed);
         let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(dim), cfg.seed);
         pipeline
             .train(&data, &TrainConfig::single_pass())
             .expect("training");
-        let det = FaceDetector::new(pipeline, config);
+        let mut det = FaceDetector::new(pipeline, config);
 
-        let identical = det.detect_with(&scene, &serial).expect("serial scan")
-            == det.detect_with(&scene, &parallel).expect("parallel scan");
-        let s = measure(&det, &scene, &serial, windows, reps);
-        let p = measure(&det, &scene, &parallel, windows, reps);
-        let speedup = p / s;
-        table.row(&[
-            &dim,
-            &format!("{s:.1}"),
-            &format!("{p:.1}"),
-            &format!("{speedup:.2}x"),
-            &identical,
-        ]);
+        // Sweep cached mode first across all thread counts, then flip
+        // the same detector to per-window; the model (and therefore
+        // the detections' meaning) is shared.
+        let mut cached_wps = Vec::new();
+        let mut cached_scans = Vec::new();
+        let mut stats = ScanStats::default();
+        det.set_extraction(ExtractionMode::Cached);
+        for &n in &threads {
+            let (wps, dets, s) = measure(&det, &scene, &Engine::new(n), windows, reps);
+            cached_wps.push(wps);
+            cached_scans.push(dets);
+            stats = s;
+        }
+        let identical = cached_scans.windows(2).all(|pair| pair[0] == pair[1]);
+
+        let mut pw_wps = Vec::new();
+        det.set_extraction(ExtractionMode::PerWindow);
+        for &n in &threads {
+            let (wps, _, _) = measure(&det, &scene, &Engine::new(n), windows, reps);
+            pw_wps.push(wps);
+        }
+
+        // Headline ratio: best cached throughput over best per-window
+        // throughput across the sweep.
+        let best = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
+        let speedup = best(&cached_wps) / best(&pw_wps);
+        smoke_ok &= speedup >= 1.0;
+
+        for (i, &n) in threads.iter().enumerate() {
+            table.row(&[
+                &dim,
+                &n,
+                &format!("{:.1}", cached_wps[i]),
+                &format!("{:.1}", pw_wps[i]),
+                &format!("{:.2}x", cached_wps[i] / pw_wps[i]),
+                &format!("{}/{}", stats.cached_windows, stats.fallback_windows),
+                &identical,
+            ]);
+        }
 
         if !entries.is_empty() {
             entries.push(',');
         }
         write!(
             entries,
-            "\n    {{\"dim\": {dim}, \"serial_windows_per_sec\": {s:.2}, \
-             \"parallel_windows_per_sec\": {p:.2}, \"speedup\": {speedup:.3}, \
-             \"bit_identical\": {identical}}}"
+            "\n    {{\"dim\": {dim}, \
+             \"cached_windows_per_sec\": {}, \
+             \"per_window_windows_per_sec\": {}, \
+             \"cached_speedup\": {speedup:.3}, \
+             \"cache_hits\": {}, \"cache_fallbacks\": {}, \
+             \"bit_identical\": {identical}}}",
+            json_list(&cached_wps),
+            json_list(&pw_wps),
+            stats.cached_windows,
+            stats.fallback_windows,
         )
         .expect("writing to a String cannot fail");
     }
     table.print();
 
+    if cfg.smoke {
+        if smoke_ok {
+            println!("\nsmoke: cached extraction >= per-window throughput — OK");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("\nsmoke FAILED: cached extraction slower than per-window");
+        return ExitCode::FAILURE;
+    }
+
+    let threads_json: Vec<String> = threads.iter().map(ToString::to_string).collect();
     let json = format!(
         "{{\n  \"bench\": \"detector\",\n  \"scene\": {{\"width\": {}, \"height\": {}, \
-         \"windows\": {windows}}},\n  \"threads\": {},\n  \"results\": [{entries}\n  ]\n}}\n",
+         \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \"results\": [{entries}\n  ]\n}}\n",
         scene.width(),
         scene.height(),
-        parallel.threads()
+        threads_json.join(", "),
     );
     std::fs::write("BENCH_detector.json", &json).expect("writing BENCH_detector.json");
     println!("\nwrote BENCH_detector.json");
+    ExitCode::SUCCESS
 }

@@ -63,6 +63,10 @@ pub fn hard_face_dataset(win: usize, count: usize, seed: u64) -> Dataset {
 pub struct RunConfig {
     /// `--full`: paper-leaning sizes instead of quick defaults.
     pub full: bool,
+    /// `--smoke`: tiny CI-gate run — smallest sizes, assert the
+    /// headline invariant, exit non-zero on regression, write no
+    /// report files. Takes precedence over `--full`.
+    pub smoke: bool,
     /// `--seed <n>`: master seed (default 2022, the paper's year).
     pub seed: u64,
 }
@@ -77,17 +81,21 @@ impl RunConfig {
     pub fn from_args() -> Self {
         let mut cfg = RunConfig {
             full: false,
+            smoke: false,
             seed: 2022,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => cfg.full = true,
+                "--smoke" => cfg.smoke = true,
                 "--seed" => {
                     let v = args.next().expect("--seed requires a value");
                     cfg.seed = v.parse().expect("--seed value must be an integer");
                 }
-                other => panic!("unknown argument {other}; supported: --full, --seed <n>"),
+                other => {
+                    panic!("unknown argument {other}; supported: --full, --smoke, --seed <n>")
+                }
             }
         }
         cfg
@@ -265,10 +273,12 @@ mod tests {
     fn pick_respects_flag() {
         let quick = RunConfig {
             full: false,
+            smoke: false,
             seed: 0,
         };
         let full = RunConfig {
             full: true,
+            smoke: false,
             seed: 0,
         };
         assert_eq!(quick.pick(1, 2), 1);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::error::{DimensionMismatchError, HdcError};
 

@@ -27,10 +27,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
 
 use hdface_hdc::{Accumulator, BitVector, HdcRng, SeedableRng};
 use hdface_imaging::GrayImage;
-use hdface_stochastic::{Shv, StochasticContext, StochasticError};
+use hdface_stochastic::{derive_coord_seed, Shv, StochasticContext, StochasticError};
 
 use crate::binning::BinBoundaries;
 use crate::config::HyperHogConfig;
@@ -154,13 +156,132 @@ pub struct HyperHog {
     /// Correlative level codebook spanning the slot value range
     /// `[0, 0.5]`: `δ(levelᵢ, levelⱼ) = 1 − |i−j|/(L−1)`.
     level_codes: Vec<BitVector>,
-    /// Slot binding keys, grown on demand (each derived independently
-    /// from `key_seed` and its index, so key identity never depends on
-    /// generation order — parallel workers and the original extractor
-    /// always agree).
-    slot_keys: Vec<BitVector>,
+    /// Slot binding keys, grown on demand behind a read-write lock so
+    /// any shared-state extraction can warm the cache for everyone
+    /// (each key derived independently from `key_seed` and its index,
+    /// so key identity never depends on generation order — parallel
+    /// workers and the original extractor always agree).
+    slot_keys: RwLock<Vec<BitVector>>,
+    /// Extractions that found every slot key already cached.
+    key_warm: AtomicU64,
+    /// Extractions that had to derive and install missing slot keys.
+    key_cold: AtomicU64,
     key_seed: u64,
     noise_rng: HdcRng,
+}
+
+/// Salt separating the position-pure per-pixel encoding streams of
+/// level-cache extraction from the per-cell streams.
+const PIXEL_STREAM_SALT: u64 = 0x85eb_ca6b_9f4a_7c15;
+/// Salts for the per-cell stochastic-mask / error-injection streams.
+const CELL_MASK_SALT: u64 = 0x1656_67b1_9e37_79f9;
+const CELL_NOISE_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// One cached (cell, bin) histogram slot of a pyramid level:
+/// assembly-resolved bits ready for slot-key binding, plus the scalar
+/// read-out for diagnostics.
+#[derive(Debug, Clone)]
+pub struct CachedSlot {
+    bits: BitVector,
+    value: f64,
+}
+
+impl CachedSlot {
+    /// The assembly-resolved slot hypervector (quantized level code or
+    /// stochastic value vector, per the extractor configuration).
+    #[must_use]
+    pub fn bits(&self) -> &BitVector {
+        &self.bits
+    }
+
+    /// The decoded scalar slot value (sum of magnitudes ÷ cell area).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// All per-(cell, bin) hypervectors of one pyramid level, computed
+/// once and shared read-only across every window that overlaps the
+/// level.
+///
+/// Built by [`HyperHog::build_level_cache`] (serially) or assembled
+/// with [`LevelCellCache::from_cells`] from
+/// [`HyperHog::compute_level_cell`] results computed in any order or
+/// on any thread — cells are position-pure, so the cache contents are
+/// identical either way. Windows whose geometry is cell-aligned
+/// assemble their feature via [`HyperHog::extract_from_cache`].
+#[derive(Debug, Clone)]
+pub struct LevelCellCache {
+    cells_x: usize,
+    cells_y: usize,
+    bins: usize,
+    dim: usize,
+    /// Row-major `(cy * cells_x + cx) * bins + bin` slot layout.
+    slots: Vec<CachedSlot>,
+}
+
+impl LevelCellCache {
+    /// Assembles a cache from per-cell results in row-major cell order
+    /// (the order [`HyperHog::build_level_cache`] produces, however
+    /// the cells were actually computed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells or the per-cell bin count does
+    /// not match the grid shape.
+    #[must_use]
+    pub fn from_cells(
+        cells_x: usize,
+        cells_y: usize,
+        bins: usize,
+        dim: usize,
+        cells: Vec<Vec<CachedSlot>>,
+    ) -> Self {
+        assert_eq!(cells.len(), cells_x * cells_y, "cell count mismatch");
+        let mut slots = Vec::with_capacity(cells_x * cells_y * bins);
+        for cell in cells {
+            assert_eq!(cell.len(), bins, "per-cell bin count mismatch");
+            slots.extend(cell);
+        }
+        LevelCellCache {
+            cells_x,
+            cells_y,
+            bins,
+            dim,
+            slots,
+        }
+    }
+
+    /// Cells across the level.
+    #[must_use]
+    pub fn cells_x(&self) -> usize {
+        self.cells_x
+    }
+
+    /// Cells down the level.
+    #[must_use]
+    pub fn cells_y(&self) -> usize {
+        self.cells_y
+    }
+
+    /// Orientation bins per cell.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Hypervector dimensionality of the cached slots.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cached slot of `(cx, cy, bin)`.
+    #[must_use]
+    pub fn slot(&self, cx: usize, cy: usize, bin: usize) -> &CachedSlot {
+        &self.slots[(cy * self.cells_x + cx) * self.bins + bin]
+    }
 }
 
 /// Builds a correlative level codebook: a random low endpoint, a
@@ -206,7 +327,9 @@ impl Clone for HyperHog {
             odd_codes: self.odd_codes.clone(),
             ratio_codes: self.ratio_codes.clone(),
             level_codes: self.level_codes.clone(),
-            slot_keys: self.slot_keys.clone(),
+            slot_keys: RwLock::new(self.slot_keys.read().expect("slot-key lock poisoned").clone()),
+            key_warm: AtomicU64::new(0),
+            key_cold: AtomicU64::new(0),
             key_seed: self.key_seed,
             noise_rng: HdcRng::seed_from_u64(0x6433_73e2_643c_9869),
         }
@@ -270,7 +393,9 @@ impl HyperHog {
             odd_codes,
             ratio_codes,
             level_codes,
-            slot_keys: Vec::new(),
+            slot_keys: RwLock::new(Vec::new()),
+            key_warm: AtomicU64::new(0),
+            key_cold: AtomicU64::new(0),
             key_seed,
             noise_rng: HdcRng::seed_from_u64(seed ^ 0x6a09_e667_f3bc_c909),
         }
@@ -409,6 +534,103 @@ impl HyperHog {
         }
     }
 
+    /// The per-pixel gradient → magnitude → angle-bin pipeline over
+    /// one cell whose top-left pixel is `(x0, y0)`, accumulating into
+    /// the cell's per-bin state (`sums`/`means`/`counts` are
+    /// `bins`-long slices). `at` resolves (possibly out-of-bounds)
+    /// absolute pixel coordinates to encoded pixel hypervectors.
+    ///
+    /// Factored out so the per-window path
+    /// ([`extract_slots_with`](Self::extract_slots_with)) and the
+    /// level-cache path
+    /// ([`compute_level_cell`](Self::compute_level_cell)) run the
+    /// identical arithmetic — RNG draw order included — over
+    /// different pixel sources.
+    #[allow(clippy::too_many_arguments)]
+    fn cell_pass<'p, F>(
+        &self,
+        at: &F,
+        x0: usize,
+        y0: usize,
+        sums: &mut [f64],
+        means: &mut [Option<Shv>],
+        counts: &mut [usize],
+        scratch: &mut HogScratch,
+    ) -> Result<(), HyperHogError>
+    where
+        F: Fn(isize, isize) -> &'p Shv,
+    {
+        let c = self.config.hog.cell_size;
+        let readout = self.config.accumulation == crate::config::Accumulation::Readout;
+        for py in 0..c {
+            for px in 0..c {
+                let x = (x0 + px) as isize;
+                let y = (y0 + py) as isize;
+
+                // Gradient: halved central differences.
+                let right = at(x + 1, y);
+                let left = at(x - 1, y);
+                let down = at(x, y + 1);
+                let up = at(x, y - 1);
+                let gx = self
+                    .ctx
+                    .sub_halved_with(right, left, &mut scratch.mask_rng)?;
+                let gy = self.ctx.sub_halved_with(down, up, &mut scratch.mask_rng)?;
+
+                // Magnitude: √((Gx² + Gy²)/2).
+                let gx2 = self.ctx.square_with(&gx, &mut scratch.mask_rng)?;
+                let gy2 = self.ctx.square_with(&gy, &mut scratch.mask_rng)?;
+                let msq = self.ctx.add_halved_with(&gx2, &gy2, &mut scratch.mask_rng)?;
+                let mag = self.ctx.sqrt_with_iters_rng(
+                    &msq,
+                    self.config.sqrt_iters,
+                    &mut scratch.mask_rng,
+                )?;
+                let mag = self.corrupt_with(mag, &mut scratch.noise_rng);
+
+                // Angle bin: quadrant + tan comparisons.
+                let gx_pos = self.ctx.is_non_negative(&gx)?;
+                let gy_pos = self.ctx.is_non_negative(&gy)?;
+                let quadrant = crate::binning::quadrant_of(gx_pos, gy_pos);
+                let even = quadrant.is_multiple_of(2);
+                let n_bounds = self.boundaries.tangents().len();
+                let mut in_q = 0;
+                for i in 0..n_bounds {
+                    if self.tan_exceeds_with(&gx, &gy, gx_pos, even, i, scratch)? {
+                        in_q = i + 1;
+                    } else {
+                        break;
+                    }
+                }
+                let bin = self.boundaries.global_bin(quadrant, in_q);
+
+                // Histogram accumulation.
+                let count = counts[bin];
+                if readout {
+                    // Popcount read-out: one decode per pixel, scalar
+                    // summation.
+                    sums[bin] += self.ctx.decode(&mag)?.max(0.0);
+                } else {
+                    let new_mean = match &means[bin] {
+                        None => mag,
+                        Some(prev) => {
+                            let wprev = count as f64 / (count + 1) as f64;
+                            self.ctx.weighted_average_with(
+                                prev,
+                                &mag,
+                                wprev,
+                                &mut scratch.mask_rng,
+                            )?
+                        }
+                    };
+                    means[bin] = Some(new_mean);
+                }
+                counts[bin] = count + 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the full per-pixel pipeline and accumulates per-slot
     /// histogram values; returns the slot values along with the grid
     /// shape.
@@ -447,73 +669,16 @@ impl HyperHog {
 
         for cy in 0..cells_y {
             for cx in 0..cells_x {
-                for py in 0..c {
-                    for px in 0..c {
-                        let x = (cx * c + px) as isize;
-                        let y = (cy * c + py) as isize;
-
-                        // Gradient: halved central differences.
-                        let right = at(x + 1, y);
-                        let left = at(x - 1, y);
-                        let down = at(x, y + 1);
-                        let up = at(x, y - 1);
-                        let gx = self
-                            .ctx
-                            .sub_halved_with(right, left, &mut scratch.mask_rng)?;
-                        let gy = self.ctx.sub_halved_with(down, up, &mut scratch.mask_rng)?;
-
-                        // Magnitude: √((Gx² + Gy²)/2).
-                        let gx2 = self.ctx.square_with(&gx, &mut scratch.mask_rng)?;
-                        let gy2 = self.ctx.square_with(&gy, &mut scratch.mask_rng)?;
-                        let msq = self.ctx.add_halved_with(&gx2, &gy2, &mut scratch.mask_rng)?;
-                        let mag = self.ctx.sqrt_with_iters_rng(
-                            &msq,
-                            self.config.sqrt_iters,
-                            &mut scratch.mask_rng,
-                        )?;
-                        let mag = self.corrupt_with(mag, &mut scratch.noise_rng);
-
-                        // Angle bin: quadrant + tan comparisons.
-                        let gx_pos = self.ctx.is_non_negative(&gx)?;
-                        let gy_pos = self.ctx.is_non_negative(&gy)?;
-                        let quadrant = crate::binning::quadrant_of(gx_pos, gy_pos);
-                        let even = quadrant.is_multiple_of(2);
-                        let n_bounds = self.boundaries.tangents().len();
-                        let mut in_q = 0;
-                        for i in 0..n_bounds {
-                            if self.tan_exceeds_with(&gx, &gy, gx_pos, even, i, scratch)? {
-                                in_q = i + 1;
-                            } else {
-                                break;
-                            }
-                        }
-                        let bin = self.boundaries.global_bin(quadrant, in_q);
-
-                        // Histogram accumulation.
-                        let slot = (cy * cells_x + cx) * bins + bin;
-                        let count = counts[slot];
-                        if readout {
-                            // Popcount read-out: one decode per pixel,
-                            // scalar summation.
-                            sums[slot] += self.ctx.decode(&mag)?.max(0.0);
-                        } else {
-                            let new_mean = match &means[slot] {
-                                None => mag,
-                                Some(prev) => {
-                                    let wprev = count as f64 / (count + 1) as f64;
-                                    self.ctx.weighted_average_with(
-                                        prev,
-                                        &mag,
-                                        wprev,
-                                        &mut scratch.mask_rng,
-                                    )?
-                                }
-                            };
-                            means[slot] = Some(new_mean);
-                        }
-                        counts[slot] = count + 1;
-                    }
-                }
+                let base = (cy * cells_x + cx) * bins;
+                self.cell_pass(
+                    &at,
+                    cx * c,
+                    cy * c,
+                    &mut sums[base..base + bins],
+                    &mut means[base..base + bins],
+                    &mut counts[base..base + bins],
+                    scratch,
+                )?;
             }
         }
 
@@ -558,14 +723,54 @@ impl HyperHog {
     /// size, so subsequent shared-state extraction
     /// ([`extract_with`](Self::extract_with)) never has to re-derive a
     /// key. Idempotent; keys are identity-stable regardless of
-    /// generation order.
-    pub fn prepare_for_image(&mut self, width: usize, height: usize) {
+    /// generation order. Does not count toward
+    /// [`key_cache_stats`](Self::key_cache_stats) — it is a warm-up,
+    /// not a lookup.
+    pub fn prepare_for_image(&self, width: usize, height: usize) {
         let n = self.slots_for(width, height);
-        while self.slot_keys.len() < n {
-            let i = self.slot_keys.len() as u64;
-            self.slot_keys
-                .push(Self::derive_slot_key(self.key_seed, i, self.config.dim));
+        if self.slot_keys.read().expect("slot-key lock poisoned").len() < n {
+            self.grow_keys(n);
         }
+    }
+
+    /// Grows the shared slot-key cache to at least `n` keys.
+    fn grow_keys(&self, n: usize) {
+        let mut keys = self.slot_keys.write().expect("slot-key lock poisoned");
+        while keys.len() < n {
+            let i = keys.len() as u64;
+            keys.push(Self::derive_slot_key(self.key_seed, i, self.config.dim));
+        }
+    }
+
+    /// Read access to at least the first `n` slot keys. A warm lookup
+    /// finds them all cached; a cold one derives and installs the
+    /// missing keys first (so the *next* same-geometry extraction is
+    /// warm, from any thread). Key identity depends only on
+    /// `(key_seed, index)`, so growth order is irrelevant.
+    fn slot_keys_for(&self, n: usize) -> RwLockReadGuard<'_, Vec<BitVector>> {
+        {
+            let keys = self.slot_keys.read().expect("slot-key lock poisoned");
+            if keys.len() >= n {
+                self.key_warm.fetch_add(1, Ordering::Relaxed);
+                return keys;
+            }
+        }
+        self.grow_keys(n);
+        self.key_cold.fetch_add(1, Ordering::Relaxed);
+        self.slot_keys.read().expect("slot-key lock poisoned")
+    }
+
+    /// Cumulative `(warm, cold)` slot-key lookups: warm extractions
+    /// found every key already cached, cold ones had to derive and
+    /// install keys. The split a serving layer should watch — steady
+    /// traffic at fixed image dimensions must be all-warm after the
+    /// first request.
+    #[must_use]
+    pub fn key_cache_stats(&self) -> (u64, u64) {
+        (
+            self.key_warm.load(Ordering::Relaxed),
+            self.key_cold.load(Ordering::Relaxed),
+        )
     }
 
     /// Derives the binding key of slot `i` from the extractor seed.
@@ -658,9 +863,10 @@ impl HyperHog {
     /// The result is a pure function of `(extractor, image, scratch
     /// streams)` — identical no matter which thread runs it.
     ///
-    /// Slot keys missing from the cache (see
-    /// [`prepare_for_image`](Self::prepare_for_image)) are re-derived
-    /// on the fly to identical bits, trading speed for correctness.
+    /// Slot keys missing from the shared cache are derived once and
+    /// installed for everyone (a "cold" lookup; see
+    /// [`key_cache_stats`](Self::key_cache_stats)), so repeated
+    /// extraction at the same geometry never re-derives keys.
     ///
     /// # Errors
     ///
@@ -672,24 +878,264 @@ impl HyperHog {
         scratch: &mut HogScratch,
     ) -> Result<BitVector, HyperHogError> {
         let (slots, _, _) = self.extract_slots_with(image, scratch)?;
+        let keys = self.slot_keys_for(slots.len());
         let mut acc = Accumulator::new(self.config.dim);
-        let mut derived_key;
         for (i, slot) in slots.iter().enumerate() {
             let value_bits = match self.config.assembly {
                 crate::config::Assembly::Quantized => self.quantize_slot(slot.value),
                 crate::config::Assembly::Stochastic => slot.shv.as_bits().clone(),
             };
-            let key = match self.slot_keys.get(i) {
-                Some(key) => key,
-                None => {
-                    derived_key =
-                        Self::derive_slot_key(self.key_seed, i as u64, self.config.dim);
-                    &derived_key
-                }
-            };
-            let bound = value_bits.xor(key).expect("dims equal");
+            let bound = value_bits.xor(&keys[i]).expect("dims equal");
             acc.add(&bound).expect("dims equal");
         }
+        drop(keys);
+        let bundled = acc.threshold(&mut scratch.mask_rng);
+        Ok(self
+            .corrupt_with(Shv::from_bits(bundled), &mut scratch.noise_rng)
+            .into_bits())
+    }
+
+    /// The cell grid an image of the given size induces.
+    #[must_use]
+    pub fn cell_grid(&self, width: usize, height: usize) -> (usize, usize) {
+        (
+            self.config.hog.cells_for(width),
+            self.config.hog.cells_for(height),
+        )
+    }
+
+    /// Encodes one pixel of a pyramid level with a position-pure
+    /// stream: the bits depend only on `(extractor, pixel value,
+    /// level_seed, x, y)`, so every cell that touches this pixel —
+    /// computed in any order, on any thread — sees the identical
+    /// hypervector.
+    fn encode_level_pixel(
+        &self,
+        image: &GrayImage,
+        x: usize,
+        y: usize,
+        level_seed: u64,
+    ) -> Result<Shv, StochasticError> {
+        let mut rng = HdcRng::seed_from_u64(derive_coord_seed(
+            level_seed ^ PIXEL_STREAM_SALT,
+            x as u64,
+            y as u64,
+        ));
+        let v = f64::from(image.get(x, y)).clamp(0.0, 1.0);
+        let enc = self.ctx.encode_with(v, &mut rng)?;
+        // Error injection rides the same position-keyed stream.
+        Ok(self.corrupt_with(enc, &mut rng))
+    }
+
+    /// Per-cell scratch streams keyed by absolute cell coordinates.
+    fn scratch_for_cell(level_seed: u64, cx: usize, cy: usize) -> HogScratch {
+        HogScratch {
+            mask_rng: HdcRng::seed_from_u64(derive_coord_seed(
+                level_seed ^ CELL_MASK_SALT,
+                cx as u64,
+                cy as u64,
+            )),
+            noise_rng: HdcRng::seed_from_u64(derive_coord_seed(
+                level_seed ^ CELL_NOISE_SALT,
+                cx as u64,
+                cy as u64,
+            )),
+        }
+    }
+
+    /// Computes the `bins` cached slots of cell `(cx, cy)` of `image`
+    /// (an already-normalized pyramid level).
+    ///
+    /// All randomness comes from streams keyed by `(level_seed,
+    /// position)` — the result is a pure function of the extractor,
+    /// the image contents, the seed and the cell coordinates,
+    /// independent of visit order and thread count. Neighboring cells
+    /// re-encode the boundary pixels they share, but the position-pure
+    /// pixel streams make those re-encodings bit-identical, so the
+    /// cache is globally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the cell coordinates
+    /// fall outside the image's cell grid.
+    pub fn compute_level_cell(
+        &self,
+        image: &GrayImage,
+        cx: usize,
+        cy: usize,
+        level_seed: u64,
+    ) -> Result<Vec<CachedSlot>, HyperHogError> {
+        let c = self.config.hog.cell_size;
+        let (cells_x, cells_y) = self.cell_grid(image.width(), image.height());
+        if cx >= cells_x || cy >= cells_y {
+            return Err(HyperHogError::NoCells {
+                width: image.width(),
+                height: image.height(),
+                cell_size: c,
+            });
+        }
+        let bins = self.config.hog.bins;
+        let x0 = cx * c;
+        let y0 = cy * c;
+        let w = image.width() as isize;
+        let h = image.height() as isize;
+
+        // Encode the (c+2)² pixel patch the cell's central differences
+        // touch. Out-of-image accesses clamp to the border pixel and
+        // are encoded under *its* coordinates, matching what any other
+        // cell would produce for the same pixel.
+        let pw = c + 2;
+        let mut patch = Vec::with_capacity(pw * pw);
+        for dy in 0..pw {
+            for dx in 0..pw {
+                let xa = (x0 as isize + dx as isize - 1).clamp(0, w - 1) as usize;
+                let ya = (y0 as isize + dy as isize - 1).clamp(0, h - 1) as usize;
+                patch.push(self.encode_level_pixel(image, xa, ya, level_seed)?);
+            }
+        }
+        let at = |x: isize, y: isize| -> &Shv {
+            let xa = x.clamp(0, w - 1);
+            let ya = y.clamp(0, h - 1);
+            let dx = (xa - (x0 as isize - 1)) as usize;
+            let dy = (ya - (y0 as isize - 1)) as usize;
+            &patch[dy * pw + dx]
+        };
+
+        let mut scratch = Self::scratch_for_cell(level_seed, cx, cy);
+        let readout = self.config.accumulation == crate::config::Accumulation::Readout;
+        let mut sums = vec![0.0; bins];
+        let mut means: Vec<Option<Shv>> = vec![None; bins];
+        let mut counts = vec![0usize; bins];
+        self.cell_pass(&at, x0, y0, &mut sums, &mut means, &mut counts, &mut scratch)?;
+
+        // Finalize each bin with the same arithmetic as the per-window
+        // path, resolving the assembly immediately so windows only
+        // bind and bundle.
+        let area = (c * c) as f64;
+        let mut out = Vec::with_capacity(bins);
+        if readout {
+            for sum in sums {
+                let value = (sum / area).clamp(0.0, 1.0);
+                let bits = match self.config.assembly {
+                    crate::config::Assembly::Quantized => self.quantize_slot(value),
+                    crate::config::Assembly::Stochastic => {
+                        let encoded = self.ctx.encode_with(value, &mut scratch.mask_rng)?;
+                        self.corrupt_with(encoded, &mut scratch.noise_rng).into_bits()
+                    }
+                };
+                out.push(CachedSlot { bits, value });
+            }
+        } else {
+            let zero = self.ctx.encode_with(0.0, &mut scratch.mask_rng)?;
+            for (mean, count) in means.into_iter().zip(counts) {
+                let shv = match mean {
+                    None => zero.clone(),
+                    Some(m) => self.ctx.mul(&m, &self.ratio_codes[count])?,
+                };
+                let shv = self.corrupt_with(shv, &mut scratch.noise_rng);
+                let value = self.ctx.decode(&shv)?;
+                let bits = match self.config.assembly {
+                    crate::config::Assembly::Quantized => self.quantize_slot(value),
+                    crate::config::Assembly::Stochastic => shv.into_bits(),
+                };
+                out.push(CachedSlot { bits, value });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the full cell cache of one pyramid level serially (the
+    /// parallel path fans [`compute_level_cell`](Self::compute_level_cell)
+    /// out across an engine and assembles with
+    /// [`LevelCellCache::from_cells`] — the contents are identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HyperHogError::NoCells`] when the image is smaller
+    /// than one cell.
+    pub fn build_level_cache(
+        &self,
+        image: &GrayImage,
+        level_seed: u64,
+    ) -> Result<LevelCellCache, HyperHogError> {
+        let (cells_x, cells_y) = self.cell_grid(image.width(), image.height());
+        if cells_x == 0 || cells_y == 0 {
+            return Err(HyperHogError::NoCells {
+                width: image.width(),
+                height: image.height(),
+                cell_size: self.config.hog.cell_size,
+            });
+        }
+        let mut cells = Vec::with_capacity(cells_x * cells_y);
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                cells.push(self.compute_level_cell(image, cx, cy, level_seed)?);
+            }
+        }
+        Ok(LevelCellCache::from_cells(
+            cells_x,
+            cells_y,
+            self.config.hog.bins,
+            self.config.dim,
+            cells,
+        ))
+    }
+
+    /// Assembles the feature hypervector of the window spanning
+    /// `cells_w × cells_h` cells with top-left cell `(cell_x0,
+    /// cell_y0)`, from cached cell slots: each slot's bits are bound
+    /// to its *window-relative* slot key and majority-bundled —
+    /// exactly the keys and bundling the per-window path uses, so
+    /// cached features live in the same space as
+    /// [`extract_with`](Self::extract_with)'s and a classifier trained
+    /// on either consumes both.
+    ///
+    /// Per-window cost is O(cells · D) binding plus one threshold —
+    /// the O(pixels · D) gradient/magnitude/bin pipeline was paid once
+    /// for the whole level when the cache was built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested cell span exceeds the cache grid or the
+    /// cache dimensionality differs from the extractor's.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for in-grid requests; returns the same
+    /// error type as the sibling extraction entry points for call-site
+    /// uniformity.
+    pub fn extract_from_cache(
+        &self,
+        cache: &LevelCellCache,
+        cell_x0: usize,
+        cell_y0: usize,
+        cells_w: usize,
+        cells_h: usize,
+        scratch: &mut HogScratch,
+    ) -> Result<BitVector, HyperHogError> {
+        assert_eq!(cache.dim, self.config.dim, "cache dimensionality mismatch");
+        assert!(
+            cell_x0 + cells_w <= cache.cells_x && cell_y0 + cells_h <= cache.cells_y,
+            "window cells [{cell_x0}+{cells_w}, {cell_y0}+{cells_h}] exceed cache grid \
+             {}x{}",
+            cache.cells_x,
+            cache.cells_y,
+        );
+        let bins = cache.bins;
+        let keys = self.slot_keys_for(cells_w * cells_h * bins);
+        let mut acc = Accumulator::new(self.config.dim);
+        let mut i = 0;
+        for wy in 0..cells_h {
+            for wx in 0..cells_w {
+                let base = ((cell_y0 + wy) * cache.cells_x + (cell_x0 + wx)) * bins;
+                for bin in 0..bins {
+                    let bound = cache.slots[base + bin].bits.xor(&keys[i]).expect("dims equal");
+                    acc.add(&bound).expect("dims equal");
+                    i += 1;
+                }
+            }
+        }
+        drop(keys);
         let bundled = acc.threshold(&mut scratch.mask_rng);
         Ok(self
             .corrupt_with(Shv::from_bits(bundled), &mut scratch.noise_rng)
@@ -953,6 +1399,119 @@ mod tests {
         let cold = HyperHog::new(small_config(2048), 7);
         let mut scratch = cold.scratch_for_stream(3);
         assert_eq!(cold.extract_with(&img, &mut scratch).unwrap(), expect);
+    }
+
+    #[test]
+    fn level_cache_cells_are_position_pure() {
+        // A cached cell must be a pure function of (extractor, image,
+        // level_seed, cx, cy): recomputation, clones, and unrelated
+        // extractor history all give the same bits.
+        let img = GrayImage::from_fn(24, 24, |x, y| ((x * 5 + y * 3) % 11) as f32 / 10.0);
+        let hog = HyperHog::new(small_config(1024), 21);
+        let a = hog.compute_level_cell(&img, 1, 2, 77).unwrap();
+        let b = hog.compute_level_cell(&img, 1, 2, 77).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.bits(), sb.bits());
+            assert_eq!(sa.value(), sb.value());
+        }
+        // A worker clone (different RNG streams) agrees too — the cell
+        // streams are position-keyed, not extractor-stream-keyed.
+        let worker = hog.clone_for_worker(9);
+        let c = worker.compute_level_cell(&img, 1, 2, 77).unwrap();
+        for (sa, sc) in a.iter().zip(&c) {
+            assert_eq!(sa.bits(), sc.bits());
+        }
+        // Different cells and different level seeds give different
+        // slots (the image is textured, so values differ).
+        let other = hog.compute_level_cell(&img, 2, 1, 77).unwrap();
+        assert!(a.iter().zip(&other).any(|(x, y)| x.bits() != y.bits()));
+        let reseeded = hog.compute_level_cell(&img, 1, 2, 78).unwrap();
+        assert!(a.iter().zip(&reseeded).any(|(x, y)| x.bits() != y.bits()));
+    }
+
+    #[test]
+    fn cached_assembly_is_visit_order_free() {
+        // Assembling the cache from cells computed in reverse order
+        // must give bit-identical window features: the determinism
+        // contract the parallel cache build relies on.
+        let img = GrayImage::from_fn(32, 24, |x, y| ((x * 3 + y * 7) % 13) as f32 / 12.0);
+        let hog = HyperHog::new(small_config(2048), 5);
+        let (cells_x, cells_y) = hog.cell_grid(img.width(), img.height());
+        assert_eq!((cells_x, cells_y), (4, 3));
+
+        let forward = hog.build_level_cache(&img, 123).unwrap();
+        let mut reversed: Vec<Vec<CachedSlot>> = Vec::new();
+        for cy in (0..cells_y).rev() {
+            for cx in (0..cells_x).rev() {
+                reversed.push(hog.compute_level_cell(&img, cx, cy, 123).unwrap());
+            }
+        }
+        reversed.reverse();
+        let backward = LevelCellCache::from_cells(cells_x, cells_y, 8, 2048, reversed);
+
+        let mut s1 = hog.scratch_for_stream(4);
+        let mut s2 = hog.scratch_for_stream(4);
+        let f1 = hog.extract_from_cache(&forward, 1, 0, 2, 2, &mut s1).unwrap();
+        let f2 = hog.extract_from_cache(&backward, 1, 0, 2, 2, &mut s2).unwrap();
+        assert_eq!(f1, f2);
+        // And repeated assembly with the same stream is reproducible.
+        let mut s3 = hog.scratch_for_stream(4);
+        assert_eq!(hog.extract_from_cache(&forward, 1, 0, 2, 2, &mut s3).unwrap(), f1);
+    }
+
+    #[test]
+    fn cached_features_track_per_window_features() {
+        // A cache-assembled window must land near the legacy
+        // per-window feature of the same crop (the stochastic streams
+        // differ by construction, so equality is not expected) and far
+        // from the feature of a different crop.
+        let img = GrayImage::from_fn(32, 32, |x, _| (x % 8) as f32 / 7.0);
+        let vertical = GrayImage::from_fn(16, 16, |_, y| (y % 8) as f32 / 7.0);
+        let hog = HyperHog::new(small_config(4096), 13);
+        let cache = hog.build_level_cache(&img, 55).unwrap();
+
+        let mut s = hog.scratch_for_stream(1);
+        let cached = hog.extract_from_cache(&cache, 0, 0, 2, 2, &mut s).unwrap();
+        let crop = img.crop(0, 0, 16, 16).unwrap();
+        let mut s = hog.scratch_for_stream(2);
+        let per_window = hog.extract_with(&crop, &mut s).unwrap();
+        let mut s = hog.scratch_for_stream(3);
+        let far = hog.extract_with(&vertical, &mut s).unwrap();
+
+        let sim_same = cached.similarity(&per_window).unwrap();
+        let sim_far = cached.similarity(&far).unwrap();
+        assert!(
+            sim_same > sim_far + 0.05,
+            "cached-vs-window {sim_same} should clearly beat unrelated {sim_far}"
+        );
+    }
+
+    #[test]
+    fn slot_key_cache_reports_warm_and_cold_lookups() {
+        let img = GrayImage::from_fn(16, 16, |x, _| x as f32 / 15.0);
+        let hog = HyperHog::new(small_config(512), 2);
+        assert_eq!(hog.key_cache_stats(), (0, 0));
+
+        // First shared-state extraction at a new geometry: cold.
+        let mut s = hog.scratch_for_stream(1);
+        hog.extract_with(&img, &mut s).unwrap();
+        assert_eq!(hog.key_cache_stats(), (0, 1));
+
+        // Same geometry again: warm — the cold lookup installed the
+        // keys for everyone.
+        let mut s = hog.scratch_for_stream(2);
+        hog.extract_with(&img, &mut s).unwrap();
+        assert_eq!(hog.key_cache_stats(), (1, 1));
+
+        // prepare_for_image is a warm-up, not a lookup: it grows the
+        // cache without touching the counters, and the extraction
+        // after it is warm.
+        hog.prepare_for_image(32, 32);
+        let big = GrayImage::from_fn(32, 32, |x, _| x as f32 / 31.0);
+        let mut s = hog.scratch_for_stream(3);
+        hog.extract_with(&big, &mut s).unwrap();
+        assert_eq!(hog.key_cache_stats(), (2, 1));
     }
 
     #[test]

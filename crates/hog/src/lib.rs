@@ -50,5 +50,5 @@ pub use classic::{gradient_at, ClassicHog};
 pub use config::{Accumulation, Assembly, HogConfig, HyperHogConfig};
 pub use features::HogFeatures;
 pub use haar::{HaarBank, HaarFeature, HaarKind};
-pub use hyper::{HogScratch, HyperHog, HyperHogError};
+pub use hyper::{CachedSlot, HogScratch, HyperHog, HyperHogError, LevelCellCache};
 pub use lbp::{Lbp, LbpConfig};

@@ -54,5 +54,5 @@ mod search;
 
 pub use analysis::{expected_sigma, measure_errors, OpErrorStats, OpKind};
 pub use budget::{hog_magnitude_sigma, ErrorBudget};
-pub use context::{Comparison, Shv, StochasticContext};
+pub use context::{derive_coord_seed, Comparison, Shv, StochasticContext};
 pub use error::StochasticError;

@@ -60,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pyramid_step: 1.5,
             score_threshold: 0.05,
             iou_threshold: 0.3,
+            ..DetectorConfig::default()
         },
     );
 

@@ -23,6 +23,15 @@ step() {
 
 step ./scripts/cargo-offline.sh build --release
 
+# Lint gate. cargo-clippy does not forward global flags placed before
+# the subcommand, so the offline patch --config flags go after it
+# (this is why cargo-offline.sh is not used here).
+step cargo clippy --offline \
+    --config 'patch.crates-io.rand.path=".stubs/rand"' \
+    --config 'patch.crates-io.proptest.path=".stubs/proptest"' \
+    --config 'patch.crates-io.criterion.path=".stubs/criterion"' \
+    --all-targets -- -D warnings
+
 echo "==> ./scripts/cargo-offline.sh test -q --no-fail-fast"
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
@@ -47,5 +56,10 @@ fi
 # so a hang here is attributable (and bounded) independently of the
 # full suite.
 step ./scripts/cargo-offline.sh test -q --test serve --test persist_errors
+
+# Bench smoke: one tiny detection benchmark asserting the level-cell
+# cache is at least as fast as per-window extraction (exit 1 on
+# regression; writes no report files).
+step ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
 
 echo "==> ci green"

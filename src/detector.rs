@@ -3,6 +3,8 @@
 //! non-maximum suppression — the application layer the paper's
 //! introduction motivates (surveillance, tagging, embedded cameras).
 
+use hdface_hdc::BitVector;
+use hdface_hog::LevelCellCache;
 use hdface_imaging::{GrayImage, ImageError, ImagePyramid, SlidingWindows, Window};
 
 use crate::engine::{derive_seed, Engine};
@@ -11,6 +13,10 @@ use crate::pipeline::{HdPipeline, PipelineError};
 /// Salt separating detection-scan mask streams from every other use
 /// of the pipeline seed.
 const DETECT_STREAM_SALT: u64 = 0xdef0_1c7e_55ca_4b1d;
+
+/// Salt separating the per-level cell-cache streams from the
+/// per-window scan streams.
+const LEVEL_CACHE_SALT: u64 = 0x9c4e_6a2b_11d7_3f8d;
 
 /// One detection in original-image coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +61,56 @@ pub fn non_maximum_suppression(mut detections: Vec<Detection>, iou_threshold: f6
     kept
 }
 
+/// Which extraction strategy the detector's scan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractionMode {
+    /// Per-level cell cache (the default): the stochastic
+    /// gradient/magnitude/bin pipeline runs once per pyramid level and
+    /// every cell-aligned window assembles its feature by binding the
+    /// cached cell hypervectors with its window-relative slot keys —
+    /// O(cells · D) per window instead of O(pixels · D). Falls back to
+    /// per-window extraction for non-hyper pipelines and
+    /// cell-unaligned windows. Contrast normalization happens per
+    /// *level* rather than per window.
+    #[default]
+    Cached,
+    /// Legacy per-window extraction: every window crop is normalized
+    /// and run through the full stochastic pipeline independently.
+    PerWindow,
+}
+
+impl ExtractionMode {
+    /// Parses a CLI flag value (`cached` | `per-window`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ExtractionMode> {
+        match s {
+            "cached" => Some(ExtractionMode::Cached),
+            "per-window" | "per_window" => Some(ExtractionMode::PerWindow),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExtractionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExtractionMode::Cached => "cached",
+            ExtractionMode::PerWindow => "per-window",
+        })
+    }
+}
+
+/// Per-scan extraction statistics, reported by
+/// [`FaceDetector::detect_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Windows assembled from a level cell cache (cache hits).
+    pub cached_windows: usize,
+    /// Windows that paid the full per-window extraction (per-window
+    /// mode, non-hyper pipelines, or cell-unaligned geometry).
+    pub fallback_windows: usize,
+}
+
 /// Configuration of the multi-scale detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
@@ -70,6 +126,8 @@ pub struct DetectorConfig {
     pub score_threshold: f64,
     /// IoU above which overlapping detections merge in NMS.
     pub iou_threshold: f64,
+    /// Extraction strategy for the scan.
+    pub extraction: ExtractionMode,
 }
 
 impl Default for DetectorConfig {
@@ -80,6 +138,7 @@ impl Default for DetectorConfig {
             pyramid_step: 1.5,
             score_threshold: 0.0,
             iou_threshold: 0.3,
+            extraction: ExtractionMode::Cached,
         }
     }
 }
@@ -149,7 +208,7 @@ impl FaceDetector {
     /// for the configured window geometry so the scan threads never
     /// re-derive keys.
     #[must_use]
-    pub fn new(mut pipeline: HdPipeline, config: DetectorConfig) -> Self {
+    pub fn new(pipeline: HdPipeline, config: DetectorConfig) -> Self {
         pipeline.prepare(config.window, config.window);
         FaceDetector { pipeline, config }
     }
@@ -172,10 +231,16 @@ impl FaceDetector {
         &mut self.pipeline
     }
 
-    /// Scores one window crop: `δ(face) − δ(best other class)`, with
-    /// the crop's stochastic masks drawn from `stream`.
-    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<f64, DetectorError> {
-        let feature = self.pipeline.extract_seeded(crop, stream)?;
+    /// Switches the extraction strategy; every other config field is
+    /// fixed at construction. Useful for comparing the two modes over
+    /// one trained pipeline (the benchmark does exactly that).
+    pub fn set_extraction(&mut self, mode: ExtractionMode) {
+        self.config.extraction = mode;
+    }
+
+    /// Scores one feature hypervector: `δ(face) − δ(best other
+    /// class)`.
+    fn margin_of(&self, feature: &BitVector) -> Result<f64, DetectorError> {
         let clf = self
             .pipeline
             .classifier()
@@ -185,7 +250,14 @@ impl FaceDetector {
                 classes: clf.num_classes(),
             });
         }
-        Ok(clf.margin(&feature, 1).map_err(PipelineError::from)?)
+        Ok(clf.margin(feature, 1).map_err(PipelineError::from)?)
+    }
+
+    /// Scores one window crop through the full per-window pipeline,
+    /// with the crop's stochastic masks drawn from `stream`.
+    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<f64, DetectorError> {
+        let feature = self.pipeline.extract_seeded(crop, stream)?;
+        self.margin_of(&feature)
     }
 
     /// Runs the full multi-scale scan on the default [`Engine`] and
@@ -218,6 +290,75 @@ impl FaceDetector {
         image: &GrayImage,
         engine: &Engine,
     ) -> Result<Vec<Detection>, DetectorError> {
+        Ok(self.detect_with_stats(image, engine)?.0)
+    }
+
+    /// Builds the per-level cell caches for `cached` extraction: the
+    /// heavy stochastic pipeline runs once per level, fanned out over
+    /// the engine cell-by-cell. Cells are position-pure (seeded by
+    /// level index and absolute cell coordinates), so the caches are
+    /// bit-identical at any thread count.
+    fn build_level_caches(
+        &self,
+        hyper: &hdface_hog::HyperHog,
+        levels: &[&hdface_imaging::PyramidLevel],
+        engine: &Engine,
+    ) -> Result<Vec<LevelCellCache>, DetectorError> {
+        // Contrast normalization happens per level here; the per-window
+        // path normalizes each crop instead (the documented difference
+        // between the two modes).
+        let normalized: Vec<GrayImage> = levels.iter().map(|l| l.image.normalized()).collect();
+        let cache_base = derive_seed(self.pipeline.seed(), LEVEL_CACHE_SALT);
+        let mut cell_tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for (li, img) in normalized.iter().enumerate() {
+            let (cells_x, cells_y) = hyper.cell_grid(img.width(), img.height());
+            for cy in 0..cells_y {
+                for cx in 0..cells_x {
+                    cell_tasks.push((li, cx, cy));
+                }
+            }
+        }
+        let cells = engine.run(cell_tasks.len(), |i| {
+            let (li, cx, cy) = cell_tasks[i];
+            hyper.compute_level_cell(&normalized[li], cx, cy, derive_seed(cache_base, li as u64))
+        });
+
+        let mut results = cells.into_iter();
+        let mut caches = Vec::with_capacity(levels.len());
+        for img in &normalized {
+            let (cells_x, cells_y) = hyper.cell_grid(img.width(), img.height());
+            let mut cell_vecs = Vec::with_capacity(cells_x * cells_y);
+            for _ in 0..cells_x * cells_y {
+                let cell = results
+                    .next()
+                    .expect("engine returns one result per task")
+                    .map_err(PipelineError::from)?;
+                cell_vecs.push(cell);
+            }
+            caches.push(LevelCellCache::from_cells(
+                cells_x,
+                cells_y,
+                hyper.config().hog.bins,
+                hyper.config().dim,
+                cell_vecs,
+            ));
+        }
+        Ok(caches)
+    }
+
+    /// [`detect_with`](FaceDetector::detect_with), additionally
+    /// reporting how many windows were served from the level cell
+    /// cache versus the per-window fallback.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pipeline is untrained, not binary, or the image
+    /// is smaller than one window.
+    pub fn detect_with_stats(
+        &self,
+        image: &GrayImage,
+        engine: &Engine,
+    ) -> Result<(Vec<Detection>, ScanStats), DetectorError> {
         let win = self.config.window;
         let stride = ((win as f64 * self.config.stride_fraction).round() as usize).max(1);
         let pyramid = ImagePyramid::new(image, self.config.pyramid_step, win)?;
@@ -242,19 +383,61 @@ impl FaceDetector {
             }
         }
 
+        let hyper = match self.config.extraction {
+            ExtractionMode::Cached => self.pipeline.hyper_extractor(),
+            ExtractionMode::PerWindow => None,
+        };
+        let caches = match hyper {
+            Some(h) => Some(self.build_level_caches(h, &levels, engine)?),
+            None => None,
+        };
+
         let base = derive_seed(self.pipeline.seed(), DETECT_STREAM_SALT);
-        let scored = engine.run(tasks.len(), |i| {
+        let scored = engine.run(tasks.len(), |i| -> Result<(f64, bool), DetectorError> {
             let (li, w) = tasks[i];
+            let stream = derive_seed(base, i as u64);
+            if let (Some(h), Some(caches)) = (hyper, &caches) {
+                let cache = &caches[li];
+                let cell = h.config().hog.cell_size;
+                // Cache-assembled path for cell-aligned geometry (the
+                // default stride is cell-aligned, so this is the
+                // common case). Unaligned windows fall back below.
+                if win.is_multiple_of(cell)
+                    && w.x.is_multiple_of(cell)
+                    && w.y.is_multiple_of(cell)
+                    && w.x / cell + win / cell <= cache.cells_x()
+                    && w.y / cell + win / cell <= cache.cells_y()
+                {
+                    let mut scratch = h.scratch_for_stream(stream);
+                    let feature = h
+                        .extract_from_cache(
+                            cache,
+                            w.x / cell,
+                            w.y / cell,
+                            win / cell,
+                            win / cell,
+                            &mut scratch,
+                        )
+                        .map_err(PipelineError::from)?;
+                    return Ok((self.margin_of(&feature)?, true));
+                }
+            }
             let crop = levels[li]
                 .image
                 .crop(w.x, w.y, w.width, w.height)
                 .expect("window within level bounds");
-            self.score_window(&crop, derive_seed(base, i as u64))
+            Ok((self.score_window(&crop, stream)?, false))
         });
 
+        let mut stats = ScanStats::default();
         let mut detections = Vec::new();
-        for ((li, w), score) in tasks.into_iter().zip(scored) {
-            let score = score?;
+        for ((li, w), result) in tasks.into_iter().zip(scored) {
+            let (score, cached): (f64, bool) = result?;
+            if cached {
+                stats.cached_windows += 1;
+            } else {
+                stats.fallback_windows += 1;
+            }
             if score > self.config.score_threshold {
                 detections.push(Detection {
                     window: levels[li].to_original(w),
@@ -263,7 +446,10 @@ impl FaceDetector {
                 });
             }
         }
-        Ok(non_maximum_suppression(detections, self.config.iou_threshold))
+        Ok((
+            non_maximum_suppression(detections, self.config.iou_threshold),
+            stats,
+        ))
     }
 }
 

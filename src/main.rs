@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]
-//! hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--threads N]
+//! hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]
 //! hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]
-//! hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers N] [--queue-depth N]
+//! hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers N] [--queue-depth N] [--extraction cached|per-window]
 //! hdface demo
 //! ```
 //!
@@ -19,7 +19,7 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use hdface::datasets::face2_spec;
-use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector};
 use hdface::engine::Engine;
 use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
 use hdface::learn::TrainConfig;
@@ -71,11 +71,23 @@ impl Args {
 fn usage() -> String {
     "usage:\n  \
      hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]\n  \
-     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--threads N]\n  \
+     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]\n  \
      hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
-     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64]\n  \
+     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window]\n  \
      hdface demo"
         .to_owned()
+}
+
+/// Parses `--extraction cached|per-window` (cached is the default:
+/// per-pyramid-level cell caches amortize the stochastic pipeline
+/// across overlapping windows; `per-window` restores the legacy path
+/// with per-window contrast normalization).
+fn extraction_from_args(args: &Args) -> Result<ExtractionMode, String> {
+    match args.get("extraction") {
+        None => Ok(ExtractionMode::default()),
+        Some(v) => ExtractionMode::parse(v)
+            .ok_or_else(|| format!("--extraction must be cached or per-window, got {v:?}")),
+    }
 }
 
 /// The scan engine every subcommand shares: `--threads N` wins over
@@ -129,6 +141,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
+    let extraction = extraction_from_args(args)?;
     let engine = engine_from_args(args)?;
 
     let reader = BufReader::new(File::open(image_path).map_err(|e| format!("{image_path}: {e}"))?);
@@ -139,6 +152,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
         DetectorConfig {
             score_threshold: threshold,
             stride_fraction: stride,
+            extraction,
             ..DetectorConfig::default()
         },
     );
@@ -184,6 +198,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let queue_depth: usize = args.get_or("queue-depth", 64)?;
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
+    let extraction = extraction_from_args(args)?;
     let engine = engine_from_args(args)?;
 
     let detector = FaceDetector::new(
@@ -191,6 +206,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         DetectorConfig {
             score_threshold: threshold,
             stride_fraction: stride,
+            extraction,
             ..DetectorConfig::default()
         },
     );

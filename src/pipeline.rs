@@ -335,13 +335,36 @@ impl HdPipeline {
     /// Pre-sizes the shared slot-key cache for images of the given
     /// geometry so subsequent [`extract_seeded`] calls (from any
     /// thread) never have to re-derive slot keys. Purely a warm-up:
-    /// extraction is correct — and bit-identical — without it.
+    /// extraction is correct — and bit-identical — without it, paying
+    /// one cold lookup instead (see
+    /// [`key_cache_stats`](HdPipeline::key_cache_stats)).
     ///
     /// [`extract_seeded`]: HdPipeline::extract_seeded
-    pub fn prepare(&mut self, width: usize, height: usize) {
-        if let HdExtractor::Hyper(h) = &mut self.extractor {
+    pub fn prepare(&self, width: usize, height: usize) {
+        if let HdExtractor::Hyper(h) = &self.extractor {
             h.prepare_for_image(width, height);
         }
+    }
+
+    /// The hyperdimensional extractor, when the pipeline runs in
+    /// hyper-HOG mode. Level-cache extraction (the detector's `cached`
+    /// mode) is only available through it; encoded-classic pipelines
+    /// return `None` and fall back to per-window extraction.
+    #[must_use]
+    pub fn hyper_extractor(&self) -> Option<&HyperHog> {
+        match &self.extractor {
+            HdExtractor::Hyper(h) => Some(h),
+            HdExtractor::Encoded { .. } => None,
+        }
+    }
+
+    /// Cumulative `(warm, cold)` slot-key cache lookups of the hyper
+    /// extractor — warm lookups found every binding key already
+    /// cached, cold ones had to derive and install keys. `(0, 0)` for
+    /// encoded-classic pipelines, which have no slot keys.
+    #[must_use]
+    pub fn key_cache_stats(&self) -> (u64, u64) {
+        self.hyper_extractor().map_or((0, 0), HyperHog::key_cache_stats)
     }
 
     /// Extracts features for a whole dataset as `(hypervector, label)`

@@ -380,7 +380,7 @@ mod tests {
     #[test]
     fn oversized_head_and_body_are_rejected() {
         let mut huge = b"GET /p HTTP/1.1\r\n".to_vec();
-        huge.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 8));
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 8));
         assert!(matches!(
             Request::read_from(&mut &huge[..]),
             Err(HttpError::TooLarge { what: "head", .. })

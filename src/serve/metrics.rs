@@ -145,13 +145,26 @@ impl ServerMetrics {
         .sum()
     }
 
-    /// Renders the whole surface as one JSON object; `queue_depth` and
-    /// `workers` are gauges sampled by the caller.
+    /// Renders the whole surface as one JSON object; `queue_depth`,
+    /// `workers`, and the slot-key cache counters (`key_warm` /
+    /// `key_cold`) are gauges sampled by the caller. A warm lookup
+    /// found every slot key already derived; a cold one had to grow
+    /// the cache first, so a steady-state server serving same-sized
+    /// scenes should show `key_cold` plateau while `key_warm` climbs.
     #[must_use]
-    pub fn to_json(&self, queue_depth: usize, queue_capacity: usize, workers: usize) -> String {
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+        key_warm: u64,
+        key_cold: u64,
+    ) -> String {
         format!(
             "{{\"requests_total\":{},\"rejected_total\":{},\"queue_depth\":{queue_depth},\
-             \"queue_capacity\":{queue_capacity},\"workers\":{workers},\"endpoints\":{{{},{},{},{},{}}}}}",
+             \"queue_capacity\":{queue_capacity},\"workers\":{workers},\
+             \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold}}},\
+             \"endpoints\":{{{},{},{},{},{}}}}}",
             self.total_requests(),
             self.rejected.load(Ordering::Relaxed),
             self.detect.json("detect"),
@@ -214,13 +227,14 @@ mod tests {
         let m = ServerMetrics::new();
         m.detect.record(200, 1500);
         m.rejected.fetch_add(2, Ordering::Relaxed);
-        let json = m.to_json(3, 64, 4);
+        let json = m.to_json(3, 64, 4, 120, 5);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests_total\":1"));
         assert!(json.contains("\"rejected_total\":2"));
         assert!(json.contains("\"queue_depth\":3"));
         assert!(json.contains("\"queue_capacity\":64"));
         assert!(json.contains("\"workers\":4"));
+        assert!(json.contains("\"extraction\":{\"key_warm\":120,\"key_cold\":5}"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
         assert!(json.contains("\"p50_micros\":2048"));
         assert!(json.contains("\"healthz\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"));

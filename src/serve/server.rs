@@ -414,12 +414,15 @@ fn handle_healthz(inner: &Inner) -> Response {
 
 /// `GET /metrics`: the counters plus live queue-depth gauge.
 fn handle_metrics(inner: &Inner) -> Response {
+    let (key_warm, key_cold) = inner.detector.pipeline().key_cache_stats();
     Response::json(
         200,
         inner.metrics.to_json(
             inner.queue.len(),
             inner.queue.capacity(),
             inner.workers_alive.load(Ordering::SeqCst),
+            key_warm,
+            key_cold,
         ),
     )
 }
@@ -517,8 +520,7 @@ mod tests {
                 ..ServeConfig::default()
             },
         )
-        .err()
-        .expect("untrained model must not serve");
+        .expect_err("untrained model must not serve");
         assert!(matches!(err, ServeError::ModelNotTrained));
     }
 }

@@ -1,0 +1,146 @@
+//! Contracts of the level-cell extraction cache at the detector
+//! level: cached and per-window modes agree on where the face is
+//! (the restructured stochastic stream is allowed to differ in bits,
+//! not in answers), cache hits are accounted honestly, and cached
+//! scans are invariant under the order windows are visited in.
+
+use std::sync::OnceLock;
+
+use hdface::datasets::{face2_spec, render_face, Emotion, FaceParams};
+use hdface::detector::{iou, DetectorConfig, ExtractionMode, FaceDetector};
+use hdface::engine::Engine;
+use hdface::hdc::{HdcRng, SeedableRng};
+use hdface::imaging::{GrayImage, Window};
+use hdface::learn::TrainConfig;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use proptest::prelude::*;
+
+const WINDOW: usize = 32;
+const FACE_AT: (usize, usize) = (16, 16);
+
+/// One trained hyper-HOG model shared (serialized) by every test in
+/// this file: training dominates each test's cost otherwise.
+fn model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(WINDOW).scaled(60).generate(3);
+        let mut pipeline = HdPipeline::new(HdFeatureMode::hyper_hog(1024), 3);
+        pipeline.train(&data, &TrainConfig::default()).unwrap();
+        pipeline.save_bytes().unwrap()
+    })
+}
+
+fn make_detector(config: DetectorConfig) -> FaceDetector {
+    FaceDetector::new(HdPipeline::load_bytes(model_bytes()).unwrap(), config)
+}
+
+/// The default (cached-mode) detector, shared across tests.
+fn detector() -> &'static FaceDetector {
+    static DET: OnceLock<FaceDetector> = OnceLock::new();
+    DET.get_or_init(|| make_detector(DetectorConfig::default()))
+}
+
+/// A flat scene with one rendered face pasted at [`FACE_AT`].
+fn face_scene(size: usize) -> GrayImage {
+    let mut rng = HdcRng::seed_from_u64(4);
+    let face = render_face(WINDOW, &FaceParams::centered(WINDOW, Emotion::Neutral), &mut rng);
+    let mut scene = GrayImage::filled(size, size, 0.3);
+    for y in 0..WINDOW {
+        for x in 0..WINDOW {
+            scene.set(FACE_AT.0 + x, FACE_AT.1 + y, face.get(x, y));
+        }
+    }
+    scene
+}
+
+fn face_window() -> Window {
+    Window {
+        x: FACE_AT.0,
+        y: FACE_AT.1,
+        width: WINDOW,
+        height: WINDOW,
+    }
+}
+
+/// Both extraction modes must localize the embedded face. Bit-level
+/// agreement between the modes is *not* required (cached mode
+/// normalizes contrast per level, legacy per crop), so this is the
+/// accuracy-parity gate from the design: divergent bits, same answer.
+#[test]
+fn cached_and_per_window_modes_agree_on_the_face() {
+    let scene = face_scene(64);
+    let engine = Engine::serial();
+    let mut hits = Vec::new();
+    for mode in [ExtractionMode::Cached, ExtractionMode::PerWindow] {
+        let mut det = make_detector(DetectorConfig::default());
+        det.set_extraction(mode);
+        let found = det.detect_with(&scene, &engine).unwrap();
+        assert!(!found.is_empty(), "{mode}: no detections at all");
+        let best = found[0];
+        let overlap = iou(best.window, face_window());
+        assert!(overlap > 0.2, "{mode}: best hit {best:?} misses the face");
+        hits.push(best.window);
+    }
+    // The two modes' best boxes overlap each other too.
+    assert!(
+        iou(hits[0], hits[1]) > 0.2,
+        "modes disagree on location: {hits:?}"
+    );
+}
+
+/// With the default geometry (stride = window/2, a multiple of the
+/// cell size) every window is cell-aligned, so a cached scan serves
+/// every window from the cache; a per-window scan serves none.
+#[test]
+fn scan_stats_account_for_every_window() {
+    let scene = face_scene(64);
+    let engine = Engine::serial();
+
+    let (dets, stats) = detector().detect_with_stats(&scene, &engine).unwrap();
+    assert!(stats.cached_windows > 0, "{stats:?}");
+    assert_eq!(stats.fallback_windows, 0, "{stats:?}");
+    assert_eq!(dets, detector().detect_with(&scene, &engine).unwrap());
+
+    let mut pw = make_detector(DetectorConfig::default());
+    pw.set_extraction(ExtractionMode::PerWindow);
+    let (_, stats) = pw.detect_with_stats(&scene, &engine).unwrap();
+    assert_eq!(stats.cached_windows, 0, "{stats:?}");
+    assert!(stats.fallback_windows > 0, "{stats:?}");
+}
+
+/// A stride that breaks cell alignment must *fall back*, not fail:
+/// the scan still works and the stats show the unaligned windows paid
+/// the per-window path.
+#[test]
+fn unaligned_stride_falls_back_per_window() {
+    let det = make_detector(DetectorConfig {
+        // stride = round(32 · 0.2) = 6, not a multiple of the
+        // 8-pixel cell: most windows start off-grid.
+        stride_fraction: 0.2,
+        ..DetectorConfig::default()
+    });
+    let scene = face_scene(64);
+    let (_, stats) = det.detect_with_stats(&scene, &Engine::serial()).unwrap();
+    assert!(stats.fallback_windows > 0, "{stats:?}");
+    // x = 0 windows are still aligned, so the cache serves some.
+    assert!(stats.cached_windows > 0, "{stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cached-mode detection is a pure function of the scene: however
+    /// the windows are distributed over workers (and therefore in
+    /// whatever order cells and windows are visited), the scan
+    /// returns the serial scan's bits exactly.
+    #[test]
+    fn cached_scan_is_invariant_under_visit_order(
+        threads in 2usize..12,
+        scene_size in 48usize..80,
+    ) {
+        let scene = face_scene(scene_size);
+        let reference = detector().detect_with(&scene, &Engine::serial()).unwrap();
+        let shuffled = detector().detect_with(&scene, &Engine::new(threads)).unwrap();
+        prop_assert_eq!(reference, shuffled);
+    }
+}

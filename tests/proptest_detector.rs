@@ -25,6 +25,76 @@ fn arb_detection() -> impl Strategy<Value = Detection> {
     })
 }
 
+fn det(x: usize, y: usize, size: usize, score: f64, scale: f64) -> Detection {
+    Detection {
+        window: Window {
+            x,
+            y,
+            width: size,
+            height: size,
+        },
+        score,
+        scale,
+    }
+}
+
+/// A box fully contained in a kept box is dropped only when its IoU
+/// (contained area / container area) clears the threshold — full
+/// containment alone is not enough. Both branches are pinned here
+/// because greedy IoU NMS is often *assumed* to drop nested boxes.
+#[test]
+fn nms_contained_boxes_follow_iou_not_containment() {
+    // 10×10 inside 40×40: IoU = 100/1600 = 0.0625.
+    let dets = vec![det(0, 0, 40, 1.0, 1.0), det(10, 10, 10, 0.5, 1.0)];
+    let tight = non_maximum_suppression(dets.clone(), 0.05);
+    assert_eq!(tight.len(), 1, "contained box above threshold must drop");
+    let loose = non_maximum_suppression(dets, 0.5);
+    assert_eq!(loose.len(), 2, "contained box below threshold survives");
+
+    // A nearly-filling contained box (30×30 in 40×40, IoU = 0.5625)
+    // drops at the default-ish 0.3 threshold.
+    let nested = vec![det(0, 0, 40, 1.0, 1.0), det(5, 5, 30, 0.9, 1.0)];
+    assert_eq!(non_maximum_suppression(nested, 0.3).len(), 1);
+}
+
+/// Equal-score conflicts resolve in input order: the sort is stable,
+/// so among tied detections the earlier one is considered (and kept)
+/// first. The `scale` field tags which input survived.
+#[test]
+fn nms_equal_score_ties_keep_first_input() {
+    let dets = vec![det(0, 0, 32, 0.7, 1.0), det(2, 2, 32, 0.7, 2.0)];
+    let kept = non_maximum_suppression(dets.clone(), 0.3);
+    assert_eq!(kept.len(), 1);
+    assert_eq!(kept[0].scale, 1.0, "tie must resolve to the first input");
+
+    // Reversing the input reverses the survivor.
+    let mut rev = dets;
+    rev.reverse();
+    let kept = non_maximum_suppression(rev, 0.3);
+    assert_eq!(kept[0].scale, 2.0);
+
+    // Disjoint ties all survive, still in input order.
+    let far = vec![det(0, 0, 10, 0.7, 1.0), det(50, 50, 10, 0.7, 2.0)];
+    let kept = non_maximum_suppression(far, 0.3);
+    assert_eq!(kept.len(), 2);
+    assert_eq!((kept[0].scale, kept[1].scale), (1.0, 2.0));
+}
+
+/// At `iou_threshold = 0.0` any positive overlap is a conflict, but
+/// edge-adjacent boxes (zero intersection area) still coexist.
+#[test]
+fn nms_zero_threshold_separates_touching_from_overlapping() {
+    // Share an edge: intersection is empty, IoU = 0 ≤ 0.
+    let touching = vec![det(0, 0, 16, 0.9, 1.0), det(16, 0, 16, 0.8, 1.0)];
+    assert_eq!(non_maximum_suppression(touching, 0.0).len(), 2);
+
+    // One-pixel overlap: IoU > 0, the weaker box drops.
+    let grazing = vec![det(0, 0, 16, 0.9, 1.0), det(15, 15, 16, 0.8, 1.0)];
+    let kept = non_maximum_suppression(grazing, 0.0);
+    assert_eq!(kept.len(), 1);
+    assert_eq!(kept[0].score, 0.9);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

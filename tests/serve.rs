@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 use hdface::datasets::face2_spec;
-use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector};
 use hdface::engine::Engine;
 use hdface::imaging::{write_pgm, GrayImage};
 use hdface::learn::TrainConfig;
@@ -57,6 +57,16 @@ fn start_server(bytes: &[u8], stride_fraction: f64, config: ServeConfig) -> Serv
     Server::start(detector_from(bytes, stride_fraction), config).unwrap()
 }
 
+/// Like `start_server` but forces the legacy per-window extraction
+/// path: the saturation and drain tests need each request to take
+/// long enough to keep a worker pinned, and the cached extractor is
+/// too fast for that.
+fn start_slow_server(bytes: &[u8], stride_fraction: f64, config: ServeConfig) -> ServerHandle {
+    let mut detector = detector_from(bytes, stride_fraction);
+    detector.set_extraction(ExtractionMode::PerWindow);
+    Server::start(detector, config).unwrap()
+}
+
 fn test_scene(n: usize) -> GrayImage {
     GrayImage::from_fn(n, n, |x, y| {
         0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
@@ -92,7 +102,9 @@ fn send_request(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) {
     conn.flush().unwrap();
 }
 
-fn read_response(conn: &mut TcpStream) -> Option<(u16, Vec<(String, String)>, Vec<u8>)> {
+type HttpResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+fn read_response(conn: &mut TcpStream) -> Option<HttpResponse> {
     let mut raw = Vec::new();
     conn.read_to_end(&mut raw).ok()?;
     let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
@@ -189,7 +201,7 @@ fn classify_is_deterministic_and_scored() {
     assert!(text.contains("\"class\":"), "{text}");
     // A binary face/no-face model scores exactly two classes.
     assert!(text.contains("\"scores\":["), "{text}");
-    assert_eq!(text.matches(',').count() >= 2, true, "{text}");
+    assert!(text.matches(',').count() >= 2, "{text}");
 
     // Same image, same stream salt → byte-identical scores.
     let (_, _, second) = http(handle.addr(), "POST", "/classify", &crop);
@@ -260,8 +272,59 @@ fn metrics_track_requests_and_latency_percentiles() {
         !after.contains("\"detect\":{\"requests\":4,\"errors\":1,\"p50_micros\":null"),
         "latency percentiles must be populated: {after}"
     );
-    // The metrics endpoint counts itself too.
+    // The metrics endpoint counts itself too. The classic-HOG model
+    // has no slot-key cache, so the extraction gauges stay zero.
     assert!(after.contains("\"metrics\":{\"requests\":"), "{after}");
+    assert!(
+        after.contains("\"extraction\":{\"key_warm\":0,\"key_cold\":0}"),
+        "{after}"
+    );
+    handle.shutdown();
+}
+
+/// Reads one `"name":N` gauge out of the metrics JSON.
+fn gauge(metrics: &str, name: &str) -> u64 {
+    metrics
+        .split(&format!("\"{name}\":"))
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no {name} gauge in {metrics}"))
+}
+
+#[test]
+fn extraction_cache_warms_across_same_dimension_requests() {
+    let handle = start_server(
+        hyper_model_bytes(),
+        0.5,
+        local(ServeConfig::default()),
+    );
+    let addr = handle.addr();
+
+    // Window-sized keys are derived once at detector construction, so
+    // same-dimension detect requests are warm from the first call.
+    let scene = pgm_bytes(&test_scene(48));
+    for _ in 0..2 {
+        let (status, _, _) = http(addr, "POST", "/detect", &scene);
+        assert_eq!(status, 200);
+    }
+    let (_, _, m1) = http(addr, "GET", "/metrics", b"");
+    let m1 = body_text(&m1);
+    let (warm1, cold1) = (gauge(&m1, "key_warm"), gauge(&m1, "key_cold"));
+    assert!(warm1 > 0, "{m1}");
+    assert_eq!(cold1, 0, "{m1}");
+
+    // A classify on a larger crop needs more keys → one cold growth;
+    // repeating the same dimensions stays warm.
+    let crop = pgm_bytes(&test_scene(64));
+    let (status, _, _) = http(addr, "POST", "/classify", &crop);
+    assert_eq!(status, 200);
+    let (status, _, _) = http(addr, "POST", "/classify", &crop);
+    assert_eq!(status, 200);
+    let (_, _, m2) = http(addr, "GET", "/metrics", b"");
+    let m2 = body_text(&m2);
+    assert_eq!(gauge(&m2, "key_cold"), 1, "{m2}");
+    assert!(gauge(&m2, "key_warm") > warm1, "{m2}");
     handle.shutdown();
 }
 
@@ -270,7 +333,7 @@ fn full_queue_sheds_with_503_and_retry_after() {
     // One worker, queue depth 1, and a model slow enough (full HD
     // extractor, ~100 windows) that the worker stays busy while the
     // probes arrive.
-    let handle = start_server(
+    let handle = start_slow_server(
         hyper_model_bytes(),
         0.25,
         local(ServeConfig {
@@ -337,7 +400,7 @@ fn full_queue_sheds_with_503_and_retry_after() {
 
 #[test]
 fn shutdown_drains_in_flight_requests() {
-    let handle = start_server(
+    let handle = start_slow_server(
         hyper_model_bytes(),
         0.25,
         local(ServeConfig {
