@@ -53,7 +53,9 @@ mod tests {
         }
         .to_string()
         .contains('3'));
-        assert!(BaselineError::EmptyTrainingSet.to_string().contains("sample"));
+        assert!(BaselineError::EmptyTrainingSet
+            .to_string()
+            .contains("sample"));
         assert!(BaselineError::LabelOutOfRange {
             label: 4,
             num_classes: 2

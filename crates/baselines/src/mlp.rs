@@ -386,9 +386,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Vec::new();
         for _ in 0..n_per {
-            let a: Vec<f64> = (0..4).map(|_| 0.3 + rng.random_range(-0.15..0.15)).collect();
+            let a: Vec<f64> = (0..4)
+                .map(|_| 0.3 + rng.random_range(-0.15..0.15))
+                .collect();
             data.push((a, 0));
-            let b: Vec<f64> = (0..4).map(|_| 0.7 + rng.random_range(-0.15..0.15)).collect();
+            let b: Vec<f64> = (0..4)
+                .map(|_| 0.7 + rng.random_range(-0.15..0.15))
+                .collect();
             data.push((b, 1));
         }
         data
@@ -431,10 +435,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let mut mlp = Mlp::new(&small_cfg());
-        assert!(matches!(
-            mlp.fit(&[]),
-            Err(BaselineError::EmptyTrainingSet)
-        ));
+        assert!(matches!(mlp.fit(&[]), Err(BaselineError::EmptyTrainingSet)));
         assert!(matches!(
             mlp.forward(&[0.0; 3]),
             Err(BaselineError::InputLengthMismatch { .. })

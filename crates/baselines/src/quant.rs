@@ -64,8 +64,14 @@ struct QuantLayer {
 impl QuantLayer {
     fn quantize(weights: &[f64], biases: &[f64], inputs: usize, outputs: usize, bits: u32) -> Self {
         let qmax = (1i64 << (bits - 1)) - 1;
-        let wmax = weights.iter().fold(0.0f64, |a, &w| a.max(w.abs())).max(1e-12);
-        let bmax = biases.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-12);
+        let wmax = weights
+            .iter()
+            .fold(0.0f64, |a, &w| a.max(w.abs()))
+            .max(1e-12);
+        let bmax = biases
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()))
+            .max(1e-12);
         let scale = wmax / qmax as f64;
         let bias_scale = bmax / qmax as f64;
         QuantLayer {
@@ -75,7 +81,11 @@ impl QuantLayer {
                 .collect(),
             bias_codes: biases
                 .iter()
-                .map(|&b| (b / bias_scale).round().clamp(-(qmax as f64) - 1.0, qmax as f64) as i32)
+                .map(|&b| {
+                    (b / bias_scale)
+                        .round()
+                        .clamp(-(qmax as f64) - 1.0, qmax as f64) as i32
+                })
                 .collect(),
             scale,
             bias_scale,

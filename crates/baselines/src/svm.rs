@@ -55,7 +55,10 @@ impl LinearSvm {
     /// Panics if `input` or `classes` is zero.
     #[must_use]
     pub fn new(config: &SvmConfig) -> Self {
-        assert!(config.input > 0 && config.classes > 0, "sizes must be positive");
+        assert!(
+            config.input > 0 && config.classes > 0,
+            "sizes must be positive"
+        );
         LinearSvm {
             config: *config,
             weights: vec![0.0; config.input * config.classes],
@@ -166,8 +169,7 @@ impl LinearSvm {
         for c in 0..self.config.classes {
             let target = if c == label { 1.0 } else { -1.0 };
             let row = &self.weights[c * n..(c + 1) * n];
-            let margin: f64 =
-                row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[c];
+            let margin: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[c];
             let shrink = 1.0 - eta * self.config.lambda;
             let row = &mut self.weights[c * n..(c + 1) * n];
             for w in row.iter_mut() {

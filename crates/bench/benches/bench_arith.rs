@@ -21,7 +21,10 @@ fn bench_primitives(c: &mut Criterion) {
             bch.iter(|| ctx.decode(black_box(&a)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("weighted_average", dim), &dim, |bch, _| {
-            bch.iter(|| ctx.weighted_average(black_box(&a), black_box(&b), 0.5).unwrap());
+            bch.iter(|| {
+                ctx.weighted_average(black_box(&a), black_box(&b), 0.5)
+                    .unwrap()
+            });
         });
         group.bench_with_input(BenchmarkId::new("multiply", dim), &dim, |bch, _| {
             bch.iter(|| ctx.mul(black_box(&a), black_box(&b)).unwrap());

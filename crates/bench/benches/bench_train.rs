@@ -26,12 +26,8 @@ fn bench_training(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hdc_epoch", dim), &dim, |b, _| {
             b.iter(|| {
                 let mut clf = HdClassifier::new(CLASSES, dim);
-                clf.fit(
-                    black_box(&samples),
-                    &TrainConfig::single_pass(),
-                    &mut rng,
-                )
-                .unwrap();
+                clf.fit(black_box(&samples), &TrainConfig::single_pass(), &mut rng)
+                    .unwrap();
             });
         });
     }

@@ -70,12 +70,15 @@ fn measure(
     windows: usize,
     reps: usize,
 ) -> (f64, Vec<Detection>, ScanStats) {
-    det.detect_with(scene, engine).expect("warmup detection succeeds");
+    det.detect_with(scene, engine)
+        .expect("warmup detection succeeds");
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
         let t = Instant::now();
-        let scan = det.detect_with_stats(scene, engine).expect("detection succeeds");
+        let scan = det
+            .detect_with_stats(scene, engine)
+            .expect("detection succeeds");
         best = best.min(t.elapsed().as_secs_f64());
         out = Some(scan);
     }

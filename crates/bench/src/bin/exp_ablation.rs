@@ -73,11 +73,21 @@ fn main() {
     let mut hog = HyperHog::new(HyperHogConfig::with_dim(dim), cfg.seed);
     let train_feats: Vec<_> = train
         .iter()
-        .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+        .map(|s| {
+            (
+                hog.extract(&s.image.normalized()).expect("extract"),
+                s.label,
+            )
+        })
         .collect();
     let test_feats: Vec<_> = test
         .iter()
-        .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+        .map(|s| {
+            (
+                hog.extract(&s.image.normalized()).expect("extract"),
+                s.label,
+            )
+        })
         .collect();
     let mut t3 = Table::new(&["training rule", "train acc", "test acc"]);
     for (name, tc) in [
@@ -125,11 +135,21 @@ fn main() {
 
         let train_feats: Vec<_> = train
             .iter()
-            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .map(|s| {
+                (
+                    hog.extract(&s.image.normalized()).expect("extract"),
+                    s.label,
+                )
+            })
             .collect();
         let test_feats: Vec<_> = test
             .iter()
-            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .map(|s| {
+                (
+                    hog.extract(&s.image.normalized()).expect("extract"),
+                    s.label,
+                )
+            })
             .collect();
         let mut clf = HdClassifier::new(ds.num_classes(), dim);
         let mut rng = HdcRng::seed_from_u64(cfg.seed);

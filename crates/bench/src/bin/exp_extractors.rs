@@ -26,14 +26,12 @@ fn featurize(
     ds: &Dataset,
     mut f: impl FnMut(&hdface::imaging::GrayImage) -> Vec<f64>,
 ) -> Vec<(Vec<f64>, usize)> {
-    ds.iter().map(|s| (f(&s.image.normalized()), s.label)).collect()
+    ds.iter()
+        .map(|s| (f(&s.image.normalized()), s.label))
+        .collect()
 }
 
-fn svm_accuracy(
-    train: &[(Vec<f64>, usize)],
-    test: &[(Vec<f64>, usize)],
-    seed: u64,
-) -> f64 {
+fn svm_accuracy(train: &[(Vec<f64>, usize)], test: &[(Vec<f64>, usize)], seed: u64) -> f64 {
     let mut best = 0.0f64;
     for &lambda in &[1e-4, 1e-3, 1e-2] {
         let mut cfg = SvmConfig::new(train[0].0.len(), 2);
@@ -63,7 +61,8 @@ fn hdc_accuracy(
         .collect();
     let mut clf = HdClassifier::new(2, dim);
     let mut rng = HdcRng::seed_from_u64(seed);
-    clf.fit(&tr, &TrainConfig::default(), &mut rng).expect("fit");
+    clf.fit(&tr, &TrainConfig::default(), &mut rng)
+        .expect("fit");
     clf.accuracy(&te).expect("acc")
 }
 

@@ -42,13 +42,7 @@ fn main() {
     ];
 
     println!("== Fig. 4: accuracy vs state-of-the-art (D = {dim}) ==\n");
-    let mut table = Table::new(&[
-        "dataset",
-        "HDC+HOG(orig)",
-        "HDC+HOG(HD)",
-        "DNN",
-        "SVM",
-    ]);
+    let mut table = Table::new(&["dataset", "HDC+HOG(orig)", "HDC+HOG(HD)", "DNN", "SVM"]);
     let mut sums = [0.0f64; 4];
 
     for spec in &specs {

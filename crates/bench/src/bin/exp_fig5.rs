@@ -50,12 +50,7 @@ fn main() {
         &[1024, 2048, 4096, 6144, 8192, 10240][..],
         &[512, 1024, 2048, 4096, 6144, 8192, 10240][..],
     );
-    let mut t5a = Table::new(&[
-        "D",
-        "accuracy",
-        "feature+train time",
-        "learn-epoch time",
-    ]);
+    let mut t5a = Table::new(&["D", "accuracy", "feature+train time", "learn-epoch time"]);
     for &dim in dims {
         let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(dim), cfg.seed);
         let t0 = Instant::now();

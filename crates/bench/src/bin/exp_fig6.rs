@@ -19,9 +19,7 @@ use std::io::BufWriter;
 
 use hdface::datasets::{emotion_spec, face2_spec, render_face, Emotion, FaceParams};
 use hdface::hdc::{HdcRng, SeedableRng};
-use hdface::imaging::{
-    gaussian_noise, write_ppm_overlay, Canvas, GrayImage, Rgb, SlidingWindows,
-};
+use hdface::imaging::{gaussian_noise, write_ppm_overlay, Canvas, GrayImage, Rgb, SlidingWindows};
 use hdface::learn::TrainConfig;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
 use hdface_bench::{RunConfig, Table};
@@ -83,8 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut marked = Vec::new();
         let mut hits = 0usize;
         let mut false_alarms = 0usize;
-        let windows: Vec<_> =
-            SlidingWindows::new(&scene, WINDOW, WINDOW, WINDOW / 2).collect();
+        let windows: Vec<_> = SlidingWindows::new(&scene, WINDOW, WINDOW, WINDOW / 2).collect();
         for w in &windows {
             let crop = scene.crop(w.x, w.y, w.width, w.height)?;
             if pipeline.predict(&crop)? == 1 {

@@ -29,8 +29,9 @@ fn main() {
     let cpu = CpuModel::cortex_a53();
     let mut t1 = Table::new(&["dataset", "HOG time", "DNN learn time", "HOG share"]);
     for sc in Scenario::table1() {
-        let hog = cpu.execute(&(classic_hog_ops(sc.image_size, sc.image_size, sc.bins)
-            * sc.train_size as f64));
+        let hog = cpu.execute(
+            &(classic_hog_ops(sc.image_size, sc.image_size, sc.bins) * sc.train_size as f64),
+        );
         let shape = MlpShape {
             input: sc.hog_features(),
             hidden1: 1024,
@@ -92,7 +93,11 @@ fn main() {
     let clean_acc = {
         let mut correct = 0;
         for (x, y) in &test_f {
-            if binary.predict(&encoder.encode(x).expect("encode")).expect("predict") == *y {
+            if binary
+                .predict(&encoder.encode(x).expect("encode"))
+                .expect("predict")
+                == *y
+            {
                 correct += 1;
             }
         }
@@ -108,7 +113,10 @@ fn main() {
         let mut correct = 0;
         for (x, y) in &test_f {
             let noisy = channel.corrupt_f32_features(x);
-            if binary.predict(&encoder.encode(&noisy).expect("encode")).expect("predict") == *y
+            if binary
+                .predict(&encoder.encode(&noisy).expect("encode"))
+                .expect("predict")
+                == *y
             {
                 correct += 1;
             }

@@ -80,8 +80,7 @@ fn main() {
         for (ri, &rate) in rates.iter().enumerate() {
             let mut acc = 0.0;
             for t in 0..trials {
-                let mut rng =
-                    HdcRng::seed_from_u64(cfg.seed + 100 + (ri * 97 + t * 13) as u64);
+                let mut rng = HdcRng::seed_from_u64(cfg.seed + 100 + (ri * 97 + t * 13) as u64);
                 acc += q
                     .with_bit_errors(rate, &mut rng)
                     .accuracy(&dnn_test)
@@ -101,11 +100,21 @@ fn main() {
         let mut hog = HyperHog::new(HyperHogConfig::with_dim(dim), cfg.seed);
         let train_feats: Vec<(BitVector, usize)> = train
             .iter()
-            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .map(|s| {
+                (
+                    hog.extract(&s.image.normalized()).expect("extract"),
+                    s.label,
+                )
+            })
             .collect();
         let test_feats: Vec<(BitVector, usize)> = test
             .iter()
-            .map(|s| (hog.extract(&s.image.normalized()).expect("extract"), s.label))
+            .map(|s| {
+                (
+                    hog.extract(&s.image.normalized()).expect("extract"),
+                    s.label,
+                )
+            })
             .collect();
         let mut clf = HdClassifier::new(ds.num_classes(), dim);
         let mut rng = HdcRng::seed_from_u64(cfg.seed + 7);
@@ -117,14 +126,11 @@ fn main() {
         for (ri, &rate) in rates.iter().enumerate() {
             let mut acc = 0.0;
             for t in 0..trials {
-                let mut mrng =
-                    HdcRng::seed_from_u64(cfg.seed + 300 + (ri * 89 + t * 17) as u64);
+                let mut mrng = HdcRng::seed_from_u64(cfg.seed + 300 + (ri * 89 + t * 17) as u64);
                 let noisy_model = binary.with_bit_errors(rate, &mut mrng);
-                let mut channel = BitErrorModel::new(
-                    rate,
-                    cfg.seed + 500 + (ri * 83 + t * 19) as u64,
-                )
-                .expect("rate");
+                let mut channel =
+                    BitErrorModel::new(rate, cfg.seed + 500 + (ri * 83 + t * 19) as u64)
+                        .expect("rate");
                 let noisy_queries = channel.corrupt_hypervector_set(&test_feats);
                 acc += noisy_model.accuracy(&noisy_queries).expect("acc");
             }
@@ -163,8 +169,7 @@ fn main() {
         // influence to its own slot, so a corrupted float word cannot
         // poison the whole encoding — the graceful-degradation regime
         // the paper reports for this configuration.
-        let encoder =
-            LevelIdEncoder::new(train_float[0].0.len(), dim, 32, 0.0, 0.8, cfg.seed);
+        let encoder = LevelIdEncoder::new(train_float[0].0.len(), dim, 32, 0.0, 0.8, cfg.seed);
         let train_enc: Vec<(BitVector, usize)> = train_float
             .iter()
             .map(|(x, y)| (encoder.encode(x).expect("encode"), *y))
@@ -179,14 +184,11 @@ fn main() {
         for (ri, &rate) in rates.iter().enumerate() {
             let mut acc = 0.0;
             for t in 0..trials {
-                let mut mrng =
-                    HdcRng::seed_from_u64(cfg.seed + 700 + (ri * 79 + t * 23) as u64);
+                let mut mrng = HdcRng::seed_from_u64(cfg.seed + 700 + (ri * 79 + t * 23) as u64);
                 let noisy_model = binary.with_bit_errors(rate, &mut mrng);
-                let mut channel = BitErrorModel::new(
-                    rate,
-                    cfg.seed + 900 + (ri * 73 + t * 29) as u64,
-                )
-                .expect("rate");
+                let mut channel =
+                    BitErrorModel::new(rate, cfg.seed + 900 + (ri * 73 + t * 29) as u64)
+                        .expect("rate");
                 let mut correct = 0usize;
                 for (x, y) in &test_float {
                     // The fault sits in the float feature words — the

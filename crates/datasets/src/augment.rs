@@ -119,6 +119,9 @@ mod tests {
         let ds = face2_spec().at_size(24).scaled(6).generate(7);
         let a = augment(&ds, &AugmentConfig::default(), 8);
         let b = augment(&ds, &AugmentConfig::default(), 8);
-        assert_eq!(a.samples()[a.len() - 1].image, b.samples()[b.len() - 1].image);
+        assert_eq!(
+            a.samples()[a.len() - 1].image,
+            b.samples()[b.len() - 1].image
+        );
     }
 }

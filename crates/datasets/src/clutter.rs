@@ -43,11 +43,7 @@ impl ClutterKind {
 /// Renders an `n × n` structured clutter image of the given kind.
 #[must_use]
 pub fn render_clutter<R: Rng>(n: usize, kind: ClutterKind, rng: &mut R) -> GrayImage {
-    let mut canvas = Canvas::new(GrayImage::filled(
-        n,
-        n,
-        rng.random_range(0.1..0.6),
-    ));
+    let mut canvas = Canvas::new(GrayImage::filled(n, n, rng.random_range(0.1..0.6)));
     let nf = n as f32;
     match kind {
         ClutterKind::Gradient => {

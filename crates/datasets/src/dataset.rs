@@ -42,7 +42,11 @@ impl Dataset {
     /// `class_names` — labels are produced by this workspace's
     /// generators, so a violation is a programming error.
     #[must_use]
-    pub fn new(name: impl Into<String>, samples: Vec<LabeledImage>, class_names: Vec<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        samples: Vec<LabeledImage>,
+        class_names: Vec<String>,
+    ) -> Self {
         let k = class_names.len();
         assert!(
             samples.iter().all(|s| s.label < k),
@@ -139,8 +143,16 @@ impl Dataset {
             }
         }
         (
-            Dataset::new(format!("{}-train", self.name), train, self.class_names.clone()),
-            Dataset::new(format!("{}-test", self.name), test, self.class_names.clone()),
+            Dataset::new(
+                format!("{}-train", self.name),
+                train,
+                self.class_names.clone(),
+            ),
+            Dataset::new(
+                format!("{}-test", self.name),
+                test,
+                self.class_names.clone(),
+            ),
         )
     }
 }

@@ -39,7 +39,10 @@ impl Emotion {
     /// Class label (index into [`Emotion::ALL`]).
     #[must_use]
     pub fn label(self) -> usize {
-        Emotion::ALL.iter().position(|&e| e == self).expect("listed")
+        Emotion::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("listed")
     }
 
     /// Class name used in experiment output.
@@ -242,7 +245,14 @@ pub fn render_scrambled_face<R: Rng>(n: usize, rng: &mut R) -> GrayImage {
     }
     for _ in 0..2 {
         let (bx, by) = place(rng);
-        canvas.line(bx - s * 0.09, by, bx + s * 0.09, by, (s * 0.035).max(1.0), feature);
+        canvas.line(
+            bx - s * 0.09,
+            by,
+            bx + s * 0.09,
+            by,
+            (s * 0.035).max(1.0),
+            feature,
+        );
     }
     let (nx, ny) = place(rng);
     canvas.line(nx, ny, nx, ny + s * 0.14, (s * 0.02).max(0.8), feature);

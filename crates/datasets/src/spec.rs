@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn table1_shapes_match_paper() {
         let e = emotion_spec();
-        assert_eq!((e.nominal_image_size, e.num_classes, e.nominal_train_size), (48, 7, 36_685));
+        assert_eq!(
+            (e.nominal_image_size, e.num_classes, e.nominal_train_size),
+            (48, 7, 36_685)
+        );
         let f1 = face1_spec();
         assert_eq!(
             (f1.nominal_image_size, f1.num_classes, f1.nominal_train_size),

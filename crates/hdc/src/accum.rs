@@ -120,7 +120,11 @@ impl Accumulator {
         // `weight * f64::from(bipolar)` since `w * ±1.0 == ±w`).
         for (chunk, &word) in self.values.chunks_mut(64).zip(v.as_words()) {
             for (j, val) in chunk.iter_mut().enumerate() {
-                *val += if (word >> j) & 1 == 1 { weight } else { -weight };
+                *val += if (word >> j) & 1 == 1 {
+                    weight
+                } else {
+                    -weight
+                };
             }
         }
         self.count += 1;

@@ -134,11 +134,7 @@ impl BitVector {
     ///
     /// Returns [`HdcError::InvalidProbability`] if `p` is not within
     /// `[0, 1]` (NaN included).
-    pub fn random_with_density<R: Rng>(
-        dim: usize,
-        p: f64,
-        rng: &mut R,
-    ) -> Result<Self, HdcError> {
+    pub fn random_with_density<R: Rng>(dim: usize, p: f64, rng: &mut R) -> Result<Self, HdcError> {
         if !(0.0..=1.0).contains(&p) {
             return Err(HdcError::InvalidProbability(p));
         }
@@ -223,7 +219,11 @@ impl BitVector {
     #[inline]
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.dim, "bit index {index} out of range {}", self.dim);
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range {}",
+            self.dim
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -234,7 +234,11 @@ impl BitVector {
     /// Panics if `index >= self.dim()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.dim, "bit index {index} out of range {}", self.dim);
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range {}",
+            self.dim
+        );
         let w = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if value {
@@ -504,17 +508,45 @@ impl BitVector {
         Bits { vec: self, idx: 0 }
     }
 
+    /// FNV-1a content checksum over the dimensionality and the packed
+    /// words — the integrity fingerprint behind the `HDI1` model
+    /// trailer and the serving-layer scrubber. A single flipped bit
+    /// anywhere in the vector changes the checksum, and the walk is
+    /// word-level, so fingerprinting a resident class vector costs
+    /// `D/64` multiplies.
+    ///
+    /// ```
+    /// use hdface_hdc::BitVector;
+    /// let a = BitVector::zeros(256);
+    /// let mut b = a.clone();
+    /// b.flip(17);
+    /// assert_ne!(a.checksum(), b.checksum());
+    /// assert_eq!(a.checksum(), BitVector::zeros(256).checksum());
+    /// ```
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in (self.dim as u64).to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        // One FNV round per word (rather than per byte): same
+        // avalanche for 8× less work, and the checksum only ever
+        // meets other checksums produced by this routine.
+        for &w in &self.words {
+            h = (h ^ w).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Flips each bit independently with probability `p` — the random
     /// bit-error channel used throughout the robustness experiments.
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::InvalidProbability`] if `p ∉ [0, 1]`.
-    pub fn with_bit_errors<R: Rng>(
-        &self,
-        p: f64,
-        rng: &mut R,
-    ) -> Result<Self, HdcError> {
+    pub fn with_bit_errors<R: Rng>(&self, p: f64, rng: &mut R) -> Result<Self, HdcError> {
         if !(0.0..=1.0).contains(&p) {
             return Err(HdcError::InvalidProbability(p));
         }
@@ -660,10 +692,7 @@ mod tests {
         let k = BitVector::random(4096, &mut rng);
         assert_eq!(a.xor(&k).unwrap().xor(&k).unwrap(), a);
         let h = a.hamming(&b).unwrap();
-        assert_eq!(
-            a.xor(&k).unwrap().hamming(&b.xor(&k).unwrap()).unwrap(),
-            h
-        );
+        assert_eq!(a.xor(&k).unwrap().hamming(&b.xor(&k).unwrap()).unwrap(), h);
     }
 
     #[test]
@@ -671,7 +700,13 @@ mod tests {
         let a = BitVector::zeros(10);
         let b = BitVector::zeros(11);
         let err = a.xor(&b).unwrap_err();
-        assert_eq!(err, DimensionMismatchError { left: 10, right: 11 });
+        assert_eq!(
+            err,
+            DimensionMismatchError {
+                left: 10,
+                right: 11
+            }
+        );
     }
 
     #[test]
@@ -807,5 +842,26 @@ mod tests {
         assert_eq!(a.hamming(&b).unwrap(), 0);
         assert_eq!(a.rotated(5), a);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn checksum_is_content_and_dimension_sensitive() {
+        let mut rng = HdcRng::seed_from_u64(11);
+        let v = BitVector::random(4096, &mut rng);
+        // Stable across clones, sensitive to every single bit.
+        assert_eq!(v.checksum(), v.clone().checksum());
+        for idx in [0usize, 63, 64, 4095] {
+            let mut flipped = v.clone();
+            flipped.flip(idx);
+            assert_ne!(v.checksum(), flipped.checksum(), "bit {idx}");
+        }
+        // Same words, different declared dimensionality → different
+        // fingerprint (a truncation must not alias).
+        assert_ne!(
+            BitVector::zeros(64).checksum(),
+            BitVector::zeros(128).checksum()
+        );
+        // Degenerate vectors still fingerprint.
+        let _ = BitVector::zeros(0).checksum();
     }
 }

@@ -278,7 +278,10 @@ mod tests {
                 let (_, ss) = top.second.unwrap();
                 let mut sorted = scores.clone();
                 sorted.sort_by(f64::total_cmp);
-                assert_eq!(ss.total_cmp(&sorted[sorted.len() - 2]), std::cmp::Ordering::Equal);
+                assert_eq!(
+                    ss.total_cmp(&sorted[sorted.len() - 2]),
+                    std::cmp::Ordering::Equal
+                );
             } else {
                 assert_eq!(top.second, None);
             }

@@ -139,9 +139,7 @@ impl<L: Clone> ItemMemory<L> {
         query: &BitVector,
         threshold: f64,
     ) -> Result<Option<Recall<L>>, HdcError> {
-        Ok(self
-            .recall(query)?
-            .filter(|r| r.similarity >= threshold))
+        Ok(self.recall(query)?.filter(|r| r.similarity >= threshold))
     }
 }
 

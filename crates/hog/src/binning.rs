@@ -60,7 +60,10 @@ impl BinBoundaries {
     /// Panics if `bins` is not a positive multiple of 4.
     #[must_use]
     pub fn new(bins: usize) -> Self {
-        assert!(bins > 0 && bins.is_multiple_of(4), "bins must be a positive multiple of 4");
+        assert!(
+            bins > 0 && bins.is_multiple_of(4),
+            "bins must be a positive multiple of 4"
+        );
         let per_quadrant = bins / 4;
         let width = std::f64::consts::TAU / bins as f64;
         let tangents = (1..per_quadrant)

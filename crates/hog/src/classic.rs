@@ -15,10 +15,10 @@ use crate::features::HogFeatures;
 pub fn gradient_at(image: &GrayImage, x: usize, y: usize) -> (f64, f64) {
     let xi = x as isize;
     let yi = y as isize;
-    let gx = (f64::from(image.get_clamped(xi + 1, yi)) - f64::from(image.get_clamped(xi - 1, yi)))
-        / 2.0;
-    let gy = (f64::from(image.get_clamped(xi, yi + 1)) - f64::from(image.get_clamped(xi, yi - 1)))
-        / 2.0;
+    let gx =
+        (f64::from(image.get_clamped(xi + 1, yi)) - f64::from(image.get_clamped(xi - 1, yi))) / 2.0;
+    let gy =
+        (f64::from(image.get_clamped(xi, yi + 1)) - f64::from(image.get_clamped(xi, yi - 1))) / 2.0;
     (gx, gy)
 }
 

@@ -233,7 +233,8 @@ mod tests {
         assert_eq!(h.accumulation, Accumulation::Readout);
         assert_eq!(h.levels, 32);
         assert_eq!(
-            h.with_accumulation(Accumulation::RunningAverage).accumulation,
+            h.with_accumulation(Accumulation::RunningAverage)
+                .accumulation,
             Accumulation::RunningAverage
         );
         let noisy = h.with_bit_error_rate(0.02);

@@ -122,7 +122,10 @@ impl HaarBank {
     /// Panics if `window`, `min_size` or `stride` is zero.
     #[must_use]
     pub fn new(window: usize, min_size: usize, stride: usize) -> Self {
-        assert!(window > 0 && min_size > 0 && stride > 0, "parameters must be positive");
+        assert!(
+            window > 0 && min_size > 0 && stride > 0,
+            "parameters must be positive"
+        );
         let mut features = Vec::new();
         for kind in HaarKind::ALL {
             let (gx, gy) = kind.granularity();
@@ -228,13 +231,7 @@ mod tests {
 
     #[test]
     fn four_rect_detects_checkerboard() {
-        let img = GrayImage::from_fn(8, 8, |x, y| {
-            if (x < 4) == (y < 4) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let img = GrayImage::from_fn(8, 8, |x, y| if (x < 4) == (y < 4) { 1.0 } else { 0.0 });
         let ii = IntegralImage::new(&img);
         let f = HaarFeature {
             kind: HaarKind::Four,
@@ -263,7 +260,10 @@ mod tests {
         assert_eq!(a.window(), 32);
         // All five kinds appear.
         for kind in HaarKind::ALL {
-            assert!(a.features().iter().any(|f| f.kind == kind), "{kind:?} missing");
+            assert!(
+                a.features().iter().any(|f| f.kind == kind),
+                "{kind:?} missing"
+            );
         }
     }
 

@@ -199,6 +199,17 @@ impl CachedSlot {
     pub fn value(&self) -> f64 {
         self.value
     }
+
+    /// Rebuilds the slot around replacement bits, keeping the scalar
+    /// read-out — the hook the runtime fault-injection layer uses to
+    /// flip bits in cached cells without re-deriving their values.
+    #[must_use]
+    pub fn with_bits(&self, bits: BitVector) -> Self {
+        CachedSlot {
+            bits,
+            value: self.value,
+        }
+    }
 }
 
 /// All per-(cell, bin) hypervectors of one pyramid level, computed
@@ -327,7 +338,12 @@ impl Clone for HyperHog {
             odd_codes: self.odd_codes.clone(),
             ratio_codes: self.ratio_codes.clone(),
             level_codes: self.level_codes.clone(),
-            slot_keys: RwLock::new(self.slot_keys.read().expect("slot-key lock poisoned").clone()),
+            slot_keys: RwLock::new(
+                self.slot_keys
+                    .read()
+                    .expect("slot-key lock poisoned")
+                    .clone(),
+            ),
             key_warm: AtomicU64::new(0),
             key_cold: AtomicU64::new(0),
             key_seed: self.key_seed,
@@ -375,10 +391,7 @@ impl HyperHog {
 
         let area = config.hog.cell_size * config.hog.cell_size;
         let ratio_codes = (0..=area)
-            .map(|k| {
-                ctx.encode(k as f64 / area as f64)
-                    .expect("ratio in [0, 1]")
-            })
+            .map(|k| ctx.encode(k as f64 / area as f64).expect("ratio in [0, 1]"))
             .collect();
 
         let key_seed = seed ^ 0x9e37_79b9_7f4a_7c15;
@@ -461,9 +474,7 @@ impl HyperHog {
             mask_rng: HdcRng::seed_from_u64(
                 stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635,
             ),
-            noise_rng: HdcRng::seed_from_u64(
-                stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4,
-            ),
+            noise_rng: HdcRng::seed_from_u64(stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4),
         }
     }
 
@@ -580,7 +591,9 @@ impl HyperHog {
                 // Magnitude: √((Gx² + Gy²)/2).
                 let gx2 = self.ctx.square_with(&gx, &mut scratch.mask_rng)?;
                 let gy2 = self.ctx.square_with(&gy, &mut scratch.mask_rng)?;
-                let msq = self.ctx.add_halved_with(&gx2, &gy2, &mut scratch.mask_rng)?;
+                let msq = self
+                    .ctx
+                    .add_halved_with(&gx2, &gy2, &mut scratch.mask_rng)?;
                 let mag = self.ctx.sqrt_with_iters_rng(
                     &msq,
                     self.config.sqrt_iters,
@@ -777,9 +790,8 @@ impl HyperHog {
     /// Each key depends only on `(key_seed, i)`, never on generation
     /// order, so cached and freshly-derived keys always agree.
     fn derive_slot_key(key_seed: u64, i: u64, dim: usize) -> BitVector {
-        let mut rng = HdcRng::seed_from_u64(
-            key_seed ^ i.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(1),
-        );
+        let mut rng =
+            HdcRng::seed_from_u64(key_seed ^ i.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(1));
         BitVector::random(dim, &mut rng)
     }
 
@@ -1006,7 +1018,15 @@ impl HyperHog {
         let mut sums = vec![0.0; bins];
         let mut means: Vec<Option<Shv>> = vec![None; bins];
         let mut counts = vec![0usize; bins];
-        self.cell_pass(&at, x0, y0, &mut sums, &mut means, &mut counts, &mut scratch)?;
+        self.cell_pass(
+            &at,
+            x0,
+            y0,
+            &mut sums,
+            &mut means,
+            &mut counts,
+            &mut scratch,
+        )?;
 
         // Finalize each bin with the same arithmetic as the per-window
         // path, resolving the assembly immediately so windows only
@@ -1020,7 +1040,8 @@ impl HyperHog {
                     crate::config::Assembly::Quantized => self.quantize_slot(value),
                     crate::config::Assembly::Stochastic => {
                         let encoded = self.ctx.encode_with(value, &mut scratch.mask_rng)?;
-                        self.corrupt_with(encoded, &mut scratch.noise_rng).into_bits()
+                        self.corrupt_with(encoded, &mut scratch.noise_rng)
+                            .into_bits()
                     }
                 };
                 out.push(CachedSlot { bits, value });
@@ -1129,7 +1150,10 @@ impl HyperHog {
             for wx in 0..cells_w {
                 let base = ((cell_y0 + wy) * cache.cells_x + (cell_x0 + wx)) * bins;
                 for bin in 0..bins {
-                    let bound = cache.slots[base + bin].bits.xor(&keys[i]).expect("dims equal");
+                    let bound = cache.slots[base + bin]
+                        .bits
+                        .xor(&keys[i])
+                        .expect("dims equal");
                     acc.add(&bound).expect("dims equal");
                     i += 1;
                 }
@@ -1219,7 +1243,10 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
-        assert_eq!(hd_max, cl_max, "dominant bin differs: hd {hd_hist:?} vs classic {cl_hist:?}");
+        assert_eq!(
+            hd_max, cl_max,
+            "dominant bin differs: hd {hd_hist:?} vs classic {cl_hist:?}"
+        );
     }
 
     #[test]
@@ -1289,9 +1316,7 @@ mod tests {
         let diff = clean_hist.mean_abs_diff(&noisy_hist);
         assert!(diff < 0.06, "2% bit error moved histograms by {diff}");
 
-        let clean = HyperHog::new(small_config(4096), 10)
-            .extract(&img)
-            .unwrap();
+        let clean = HyperHog::new(small_config(4096), 10).extract(&img).unwrap();
         let noisy = HyperHog::new(small_config(4096).with_bit_error_rate(0.02), 10)
             .extract(&img)
             .unwrap();
@@ -1452,12 +1477,20 @@ mod tests {
 
         let mut s1 = hog.scratch_for_stream(4);
         let mut s2 = hog.scratch_for_stream(4);
-        let f1 = hog.extract_from_cache(&forward, 1, 0, 2, 2, &mut s1).unwrap();
-        let f2 = hog.extract_from_cache(&backward, 1, 0, 2, 2, &mut s2).unwrap();
+        let f1 = hog
+            .extract_from_cache(&forward, 1, 0, 2, 2, &mut s1)
+            .unwrap();
+        let f2 = hog
+            .extract_from_cache(&backward, 1, 0, 2, 2, &mut s2)
+            .unwrap();
         assert_eq!(f1, f2);
         // And repeated assembly with the same stream is reproducible.
         let mut s3 = hog.scratch_for_stream(4);
-        assert_eq!(hog.extract_from_cache(&forward, 1, 0, 2, 2, &mut s3).unwrap(), f1);
+        assert_eq!(
+            hog.extract_from_cache(&forward, 1, 0, 2, 2, &mut s3)
+                .unwrap(),
+            f1
+        );
     }
 
     #[test]

@@ -133,7 +133,8 @@ pub fn hyper_hog_ops(
     let slots = (cells_x * cells_y * bins) as f64;
     let per_slot = mul_ops(dim) + decode_ops(dim);
 
-    per_pixel * px + per_slot * slots
+    per_pixel * px
+        + per_slot * slots
         + OpCounts {
             mem_bytes: px * words(dim) * 8.0,
             ..OpCounts::default()

@@ -44,7 +44,10 @@ impl OpCounts {
     /// Total scalar float operations (for quick sanity inspection).
     #[must_use]
     pub fn total_float(&self) -> f64 {
-        self.float_macs + self.float_adds + self.float_divs + self.float_sqrts
+        self.float_macs
+            + self.float_adds
+            + self.float_divs
+            + self.float_sqrts
             + self.float_atan2s
             + self.float_exps
     }

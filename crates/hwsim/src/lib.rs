@@ -44,6 +44,6 @@ pub use algorithms::{
     hd_train_epoch_ops, hyper_hog_ops, lbp_ops, svm_infer_ops, svm_train_epoch_ops, MlpShape,
 };
 pub use counts::OpCounts;
-pub use resource::{AcceleratorConfig, DeviceBudget, ResourceEstimate};
 pub use platform::{CpuModel, FpgaModel, Measurement, Platform};
+pub use resource::{AcceleratorConfig, DeviceBudget, ResourceEstimate};
 pub use scenario::{EfficiencyRow, Phase, PipelineKind, Scenario};

@@ -299,7 +299,10 @@ mod tests {
 
     #[test]
     fn measurements_are_positive() {
-        for p in [&CpuModel::cortex_a53() as &dyn Platform, &FpgaModel::kintex7()] {
+        for p in [
+            &CpuModel::cortex_a53() as &dyn Platform,
+            &FpgaModel::kintex7(),
+        ] {
             let m = p.execute(&bitwise_heavy());
             assert!(m.seconds > 0.0 && m.joules > 0.0, "{}", p.name());
         }
@@ -311,10 +314,9 @@ mod tests {
         // CPU to FPGA helps far more than moving float work.
         let cpu = CpuModel::cortex_a53();
         let fpga = FpgaModel::kintex7();
-        let bit_gain = cpu.execute(&bitwise_heavy()).seconds
-            / fpga.execute(&bitwise_heavy()).seconds;
-        let float_gain =
-            cpu.execute(&float_heavy()).seconds / fpga.execute(&float_heavy()).seconds;
+        let bit_gain =
+            cpu.execute(&bitwise_heavy()).seconds / fpga.execute(&bitwise_heavy()).seconds;
+        let float_gain = cpu.execute(&float_heavy()).seconds / fpga.execute(&float_heavy()).seconds;
         assert!(
             bit_gain > float_gain,
             "bitwise gain {bit_gain} should exceed float gain {float_gain}"

@@ -114,8 +114,7 @@ impl ResourceEstimate {
 
         // Stored hypervectors: basis, −basis is free, bins/4 boundary
         // codes × 2 parities, 32 levels, classes, plus working set ≈ 8.
-        let stored_vectors =
-            1 + 2 * (cfg.bins as u64 / 4) + 32 + cfg.classes as u64 + 8;
+        let stored_vectors = 1 + 2 * (cfg.bins as u64 / 4) + 32 + cfg.classes as u64 + 8;
         let bits = stored_vectors * dim_bits;
         let bram36 = bits.div_ceil(36 * 1024);
 

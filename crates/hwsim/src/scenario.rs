@@ -167,9 +167,7 @@ impl Scenario {
                 classic_hog_ops(self.image_size, self.image_size, self.bins)
                     + dnn_infer_ops(1, shape)
             }
-            (PipelineKind::Dnn { shape, .. }, Phase::InferenceCached) => {
-                dnn_infer_ops(1, shape)
-            }
+            (PipelineKind::Dnn { shape, .. }, Phase::InferenceCached) => dnn_infer_ops(1, shape),
             (PipelineKind::Svm { features, epochs }, Phase::Training) => {
                 classic_hog_ops(self.image_size, self.image_size, self.bins) * n as f64
                     + svm_train_epoch_ops(n, *features, self.classes) * *epochs as f64

@@ -162,7 +162,11 @@ impl Canvas {
     pub fn stripes(&mut self, period: usize, low: f32, high: f32) {
         let period = period.max(1);
         for y in 0..self.height() {
-            let v = if (y / period).is_multiple_of(2) { low } else { high };
+            let v = if (y / period).is_multiple_of(2) {
+                low
+            } else {
+                high
+            };
             for x in 0..self.width() {
                 self.image.set(x, y, v);
             }

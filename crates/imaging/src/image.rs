@@ -155,7 +155,10 @@ impl GrayImage {
     #[inline]
     #[must_use]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -179,7 +182,10 @@ impl GrayImage {
     /// Panics when the coordinate is out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
     }
 

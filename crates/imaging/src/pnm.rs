@@ -66,7 +66,10 @@ pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageError> {
         header.extend(trimmed.split_whitespace().map(str::to_owned));
     }
     if header[0] != "P5" {
-        return Err(ImageError::Parse(format!("unsupported magic {}", header[0])));
+        return Err(ImageError::Parse(format!(
+            "unsupported magic {}",
+            header[0]
+        )));
     }
     let width: usize = header[1]
         .parse()

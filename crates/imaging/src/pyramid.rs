@@ -146,10 +146,7 @@ mod tests {
             height: 16,
         };
         let orig = level.to_original(w);
-        assert_eq!(
-            (orig.x, orig.y, orig.width, orig.height),
-            (16, 8, 32, 32)
-        );
+        assert_eq!((orig.x, orig.y, orig.width, orig.height), (16, 8, 32, 32));
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl<'a> SlidingWindows<'a> {
     /// Yields nothing when the window does not fit in the image.
     #[must_use]
     pub fn new(image: &'a GrayImage, win_w: usize, win_h: usize, stride: usize) -> Self {
-        let done =
-            win_w == 0 || win_h == 0 || win_w > image.width() || win_h > image.height();
+        let done = win_w == 0 || win_h == 0 || win_w > image.width() || win_h > image.height();
         SlidingWindows {
             image,
             win_w,

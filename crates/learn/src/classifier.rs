@@ -349,7 +349,12 @@ impl HdClassifier {
 
 impl fmt::Debug for HdClassifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "HdClassifier({} classes, D={})", self.classes.len(), self.dim)
+        write!(
+            f,
+            "HdClassifier({} classes, D={})",
+            self.classes.len(),
+            self.dim
+        )
     }
 }
 
@@ -458,7 +463,10 @@ impl BinaryHdModel {
             classes: self
                 .classes
                 .iter()
-                .map(|c| c.with_bit_errors(rate, rng).expect("rate validated by caller"))
+                .map(|c| {
+                    c.with_bit_errors(rate, rng)
+                        .expect("rate validated by caller")
+                })
                 .collect(),
             dim: self.dim,
         }

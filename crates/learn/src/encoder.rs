@@ -151,7 +151,13 @@ impl ProjectionEncoder {
         assert!(dim > 0, "dim must be positive");
         let mut rng = HdcRng::seed_from_u64(seed);
         let weights = (0..dim * input_len)
-            .map(|_| if rand::RngExt::random_bool(&mut rng, 0.5) { 1 } else { -1 })
+            .map(|_| {
+                if rand::RngExt::random_bool(&mut rng, 0.5) {
+                    1
+                } else {
+                    -1
+                }
+            })
             .collect();
         // Biases spread thresholds over the typical projection range
         // (±√n scale) so bits split the data non-trivially.

@@ -40,7 +40,10 @@ impl fmt::Display for LearnError {
                 write!(f, "label {label} out of range for {num_classes} classes")
             }
             LearnError::FeatureLengthMismatch { expected, actual } => {
-                write!(f, "feature vector has {actual} values, encoder expects {expected}")
+                write!(
+                    f,
+                    "feature vector has {actual} values, encoder expects {expected}"
+                )
             }
             LearnError::EmptyTrainingSet => write!(f, "training requires at least one sample"),
             LearnError::NoClasses => write!(f, "model has no classes"),

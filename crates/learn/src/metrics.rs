@@ -136,7 +136,12 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion ({} classes, {} samples):", self.k, self.total())?;
+        writeln!(
+            f,
+            "confusion ({} classes, {} samples):",
+            self.k,
+            self.total()
+        )?;
         for i in 0..self.k {
             for j in 0..self.k {
                 write!(f, "{:>6}", self.count(i, j))?;

@@ -137,7 +137,8 @@ mod tests {
             .map(|i| (BitVector::random(dim, &mut rng), i % k))
             .collect();
         let mut clf = HdClassifier::new(k, dim);
-        clf.fit(&samples, &TrainConfig::default(), &mut rng).unwrap();
+        clf.fit(&samples, &TrainConfig::default(), &mut rng)
+            .unwrap();
         clf.to_binary(&mut rng)
     }
 

@@ -2,9 +2,7 @@
 //! encoders.
 
 use hdface_hdc::{BitVector, HdcRng, SeedableRng};
-use hdface_learn::{
-    FeatureEncoder, HdClassifier, LevelIdEncoder, ProjectionEncoder, TrainConfig,
-};
+use hdface_learn::{FeatureEncoder, HdClassifier, LevelIdEncoder, ProjectionEncoder, TrainConfig};
 use proptest::prelude::*;
 
 proptest! {

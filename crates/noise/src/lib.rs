@@ -86,6 +86,20 @@ impl BitErrorModel {
     }
 
     /// Flips bits of a hypervector (fresh error pattern per call).
+    ///
+    /// ```
+    /// use hdface_hdc::BitVector;
+    /// use hdface_noise::BitErrorModel;
+    ///
+    /// let mut model = BitErrorModel::new(0.02, 42).unwrap();
+    /// let clean = BitVector::zeros(8192);
+    /// let noisy = model.corrupt_hypervector(&clean);
+    /// let flips = noisy.hamming(&clean).unwrap();
+    /// assert!(flips > 0, "2% of 8192 bits should flip some");
+    /// assert!(flips < 8192 / 10, "...but far fewer than 10%");
+    /// // The model owns its RNG stream: a second call draws a fresh pattern.
+    /// assert_ne!(model.corrupt_hypervector(&clean), noisy);
+    /// ```
     #[must_use]
     pub fn corrupt_hypervector(&mut self, v: &BitVector) -> BitVector {
         v.with_bit_errors(self.rate, &mut self.rng)
@@ -126,10 +140,7 @@ impl BitErrorModel {
 
     /// Corrupts a whole labeled feature set (labels untouched).
     #[must_use]
-    pub fn corrupt_feature_set(
-        &mut self,
-        data: &[(Vec<f64>, usize)],
-    ) -> Vec<(Vec<f64>, usize)> {
+    pub fn corrupt_feature_set(&mut self, data: &[(Vec<f64>, usize)]) -> Vec<(Vec<f64>, usize)> {
         data.iter()
             .map(|(x, y)| (self.corrupt_f32_features(x), *y))
             .collect()
@@ -207,9 +218,7 @@ impl StuckAtModel {
         let mask = self.mask(v.dim()).clone();
         match polarity {
             StuckPolarity::StuckAtOne => v.or(&mask).expect("dims equal"),
-            StuckPolarity::StuckAtZero => {
-                v.and(&mask.negated()).expect("dims equal")
-            }
+            StuckPolarity::StuckAtZero => v.and(&mask.negated()).expect("dims equal"),
         }
     }
 }
@@ -250,10 +259,8 @@ impl BurstErrorModel {
         if dim == 0 || self.rate == 0.0 {
             return v.clone();
         }
-        let n_bursts =
-            ((self.rate * dim as f64 / self.burst_len as f64).round() as usize).max(
-                usize::from(self.rate > 0.0),
-            );
+        let n_bursts = ((self.rate * dim as f64 / self.burst_len as f64).round() as usize)
+            .max(usize::from(self.rate > 0.0));
         let mut out = v.clone();
         for _ in 0..n_bursts {
             let start = self.rng.random_range(0..dim);
@@ -263,6 +270,201 @@ impl BurstErrorModel {
             }
         }
         out
+    }
+}
+
+/// Which resident state a [`FaultPlan`] strikes.
+///
+/// The three targets mirror the serving stack's fault surface: the
+/// class hypervectors resident in memory, the per-pyramid-level HOG
+/// cell caches rebuilt for every scan, and the serialized model words
+/// read at load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTargets {
+    /// Strike the resident class hypervectors (one dose per install).
+    pub class_vectors: bool,
+    /// Strike the cached level cell hypervectors (transient, per scan).
+    pub level_cells: bool,
+    /// Strike the serialized model word payload at load time.
+    pub model_bytes: bool,
+}
+
+impl FaultTargets {
+    /// Every target enabled.
+    #[must_use]
+    pub fn all() -> Self {
+        FaultTargets {
+            class_vectors: true,
+            level_cells: true,
+            model_bytes: true,
+        }
+    }
+
+    /// No target enabled (the plan becomes a no-op).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultTargets::default()
+    }
+
+    /// Parses a comma-separated target list: `class`, `cells`,
+    /// `bytes`, or `all` (e.g. `"class,cells"`). Returns `None` on an
+    /// unknown token or an empty list.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut t = FaultTargets::none();
+        for token in s.split(',') {
+            match token.trim() {
+                "class" => t.class_vectors = true,
+                "cells" => t.level_cells = true,
+                "bytes" => t.model_bytes = true,
+                "all" => t = FaultTargets::all(),
+                _ => return None,
+            }
+        }
+        if t == FaultTargets::none() {
+            None
+        } else {
+            Some(t)
+        }
+    }
+}
+
+impl fmt::Display for FaultTargets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.class_vectors {
+            names.push("class");
+        }
+        if self.level_cells {
+            names.push("cells");
+        }
+        if self.model_bytes {
+            names.push("bytes");
+        }
+        if names.is_empty() {
+            f.write_str("none")
+        } else {
+            f.write_str(&names.join(","))
+        }
+    }
+}
+
+/// Splitmix64-style finalizer mixing a plan seed with a fault-site
+/// identifier — the same stream-derivation discipline as the scan
+/// engine's `derive_seed`, so every site owns a statistically
+/// unrelated error pattern that is a pure function of `(seed, site)`.
+fn mix_site(seed: u64, site: u64) -> u64 {
+    let mut z = seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic runtime fault-injection plan: the production
+/// counterpart of [`BitErrorModel`].
+///
+/// Where `BitErrorModel` owns a mutable RNG stream (each corruption
+/// call draws a *fresh* pattern, so call order matters), a `FaultPlan`
+/// is immutable and keyed by **fault site**: corruption of site `s` is
+/// a pure function of `(rate, seed, s)`. That is what lets `hdface
+/// detect --inject-bits` and `hdface serve` reproduce an injected run
+/// bit-for-bit at any thread count — workers can corrupt sites in any
+/// order, or concurrently, and every site still sees its own error
+/// pattern.
+///
+/// ```
+/// use hdface_noise::{FaultPlan, FaultTargets};
+/// use hdface_hdc::BitVector;
+///
+/// let plan = FaultPlan::new(0.02, 7, FaultTargets::all()).unwrap();
+/// let v = BitVector::zeros(4096);
+/// let (a, flips) = plan.corrupt_bitvector(3, &v);
+/// let (b, _) = plan.corrupt_bitvector(3, &v);
+/// assert_eq!(a, b, "same site → same error pattern");
+/// assert_eq!(flips as usize, a.count_ones());
+/// assert_ne!(a, plan.corrupt_bitvector(4, &v).0, "sites are independent");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    rate: f64,
+    seed: u64,
+    targets: FaultTargets,
+}
+
+impl FaultPlan {
+    /// Creates a plan flipping each targeted bit independently with
+    /// probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `rate ∉ [0, 1]`.
+    pub fn new(rate: f64, seed: u64, targets: FaultTargets) -> Result<Self, InvalidRateError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(InvalidRateError(rate));
+        }
+        Ok(FaultPlan {
+            rate,
+            seed,
+            targets,
+        })
+    }
+
+    /// The configured flip probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The plan seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Which state the plan strikes.
+    #[must_use]
+    pub fn targets(&self) -> FaultTargets {
+        self.targets
+    }
+
+    /// The RNG owning fault site `site`'s error stream.
+    fn site_rng(&self, site: u64) -> HdcRng {
+        HdcRng::seed_from_u64(mix_site(self.seed, site))
+    }
+
+    /// Corrupts a hypervector with site `site`'s error pattern,
+    /// returning the corrupted copy and the number of bits flipped.
+    #[must_use]
+    pub fn corrupt_bitvector(&self, site: u64, v: &BitVector) -> (BitVector, u64) {
+        if self.rate == 0.0 || v.dim() == 0 {
+            return (v.clone(), 0);
+        }
+        let mut rng = self.site_rng(site);
+        let noisy = v
+            .with_bit_errors(self.rate, &mut rng)
+            .expect("rate validated at construction");
+        let flips = noisy.hamming(v).expect("dims equal") as u64;
+        (noisy, flips)
+    }
+
+    /// Flips bits in place across a raw byte region with site `site`'s
+    /// error pattern, returning the number of bits flipped — the
+    /// load-time "model bytes" fault arm.
+    pub fn corrupt_bytes(&self, site: u64, bytes: &mut [u8]) -> u64 {
+        if self.rate == 0.0 || bytes.is_empty() {
+            return 0;
+        }
+        let mut rng = self.site_rng(site);
+        let mut flips = 0u64;
+        for byte in bytes.iter_mut() {
+            for bit in 0..8 {
+                if rng.random_bool(self.rate) {
+                    *byte ^= 1 << bit;
+                    flips += 1;
+                }
+            }
+        }
+        flips
     }
 }
 
@@ -362,7 +564,10 @@ mod tests {
         let v = BitVector::ones(10_000);
         let faulty = m.corrupt_hypervector(&v);
         let cleared = faulty.count_zeros() as f64 / 10_000.0;
-        assert!((cleared - 0.25).abs() < 0.03, "stuck-at-0 density {cleared}");
+        assert!(
+            (cleared - 0.25).abs() < 0.03,
+            "stuck-at-0 density {cleared}"
+        );
         assert!(StuckAtModel::new(1.5, StuckPolarity::StuckAtZero, 0).is_err());
     }
 
@@ -373,10 +578,126 @@ mod tests {
         let noisy = m.corrupt_hypervector(&v);
         let flipped = noisy.count_ones() as f64 / 50_000.0;
         // Bursts may overlap (double flips cancel), so allow slack.
-        assert!(flipped > 0.05 && flipped < 0.12, "burst flip rate {flipped}");
+        assert!(
+            flipped > 0.05 && flipped < 0.12,
+            "burst flip rate {flipped}"
+        );
         // Zero rate is identity.
         let mut z = BurstErrorModel::new(0.0, 16, 9).unwrap();
         assert_eq!(z.corrupt_hypervector(&v), v);
         assert!(BurstErrorModel::new(-0.1, 4, 0).is_err());
+    }
+
+    #[test]
+    fn full_rate_flips_every_bit() {
+        let mut m = BitErrorModel::new(1.0, 10).unwrap();
+        let v = BitVector::random_with_density(4096, 0.5, &mut HdcRng::seed_from_u64(11)).unwrap();
+        assert_eq!(m.corrupt_hypervector(&v), v.negated());
+        let plan = FaultPlan::new(1.0, 10, FaultTargets::all()).unwrap();
+        let (noisy, flips) = plan.corrupt_bitvector(0, &v);
+        assert_eq!(noisy, v.negated());
+        assert_eq!(flips, 4096);
+        let mut bytes = [0xA5u8; 32];
+        assert_eq!(plan.corrupt_bytes(0, &mut bytes), 256);
+        assert!(bytes.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        let mut m = BitErrorModel::new(0.5, 12).unwrap();
+        assert_eq!(m.corrupt_f32_features(&[]), Vec::<f64>::new());
+        assert!(m.corrupt_feature_set(&[]).is_empty());
+        assert!(m.corrupt_hypervector_set(&[]).is_empty());
+        let empty = BitVector::zeros(0);
+        assert_eq!(m.corrupt_hypervector(&empty).dim(), 0);
+        let plan = FaultPlan::new(0.5, 12, FaultTargets::all()).unwrap();
+        assert_eq!(plan.corrupt_bitvector(0, &empty), (empty, 0));
+        assert_eq!(plan.corrupt_bytes(0, &mut []), 0);
+    }
+
+    #[test]
+    fn seed_stable_corruption_across_two_runs() {
+        // Two independently constructed channels with the same seed
+        // must replay the identical error pattern — run-to-run
+        // reproducibility for the paper's sweeps.
+        let v = BitVector::random_with_density(8192, 0.5, &mut HdcRng::seed_from_u64(13)).unwrap();
+        let mut a = BitErrorModel::new(0.05, 99).unwrap();
+        let mut b = BitErrorModel::new(0.05, 99).unwrap();
+        assert_eq!(a.corrupt_hypervector(&v), b.corrupt_hypervector(&v));
+        // Second draw also matches (streams stay in lockstep).
+        assert_eq!(a.corrupt_hypervector(&v), b.corrupt_hypervector(&v));
+    }
+
+    #[test]
+    fn fault_plan_rejects_invalid_rates() {
+        assert!(FaultPlan::new(-0.01, 0, FaultTargets::all()).is_err());
+        assert!(FaultPlan::new(1.01, 0, FaultTargets::all()).is_err());
+        assert!(FaultPlan::new(f64::NAN, 0, FaultTargets::all()).is_err());
+        let p = FaultPlan::new(0.02, 7, FaultTargets::none()).unwrap();
+        assert_eq!(p.rate(), 0.02);
+        assert_eq!(p.seed(), 7);
+        assert_eq!(p.targets(), FaultTargets::none());
+    }
+
+    #[test]
+    fn fault_plan_is_site_pure() {
+        // Corruption must be a pure function of (plan, site): calls in
+        // any order, or repeated, always yield the same pattern.
+        let plan = FaultPlan::new(0.02, 21, FaultTargets::all()).unwrap();
+        let v = BitVector::zeros(4096);
+        let first: Vec<_> = (0..4u64).map(|s| plan.corrupt_bitvector(s, &v)).collect();
+        let reversed: Vec<_> = (0..4u64)
+            .rev()
+            .map(|s| plan.corrupt_bitvector(s, &v))
+            .collect();
+        for (s, got) in reversed.iter().rev().enumerate() {
+            assert_eq!(&first[s], got, "site {s} not order-independent");
+        }
+        // Distinct sites draw distinct patterns.
+        assert_ne!(first[0].0, first[1].0);
+        // Byte corruption is site-pure too.
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        plan.corrupt_bytes(3, &mut a);
+        plan.corrupt_bytes(3, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_plan_zero_rate_is_identity() {
+        let plan = FaultPlan::new(0.0, 5, FaultTargets::all()).unwrap();
+        let v = BitVector::ones(512);
+        assert_eq!(plan.corrupt_bitvector(9, &v), (v.clone(), 0));
+        let mut bytes = [0xFFu8; 16];
+        assert_eq!(plan.corrupt_bytes(9, &mut bytes), 0);
+        assert!(bytes.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn fault_plan_flip_count_matches_rate() {
+        let plan = FaultPlan::new(0.02, 33, FaultTargets::all()).unwrap();
+        let v = BitVector::zeros(100_000);
+        let (noisy, flips) = plan.corrupt_bitvector(0, &v);
+        assert_eq!(flips as usize, noisy.count_ones());
+        let rate = flips as f64 / 100_000.0;
+        assert!((rate - 0.02).abs() < 0.005, "observed {rate}");
+    }
+
+    #[test]
+    fn fault_targets_parse_and_display() {
+        assert_eq!(FaultTargets::parse("all"), Some(FaultTargets::all()));
+        assert_eq!(
+            FaultTargets::parse("class,cells"),
+            Some(FaultTargets {
+                class_vectors: true,
+                level_cells: true,
+                model_bytes: false,
+            })
+        );
+        assert_eq!(FaultTargets::parse("bytes").unwrap().to_string(), "bytes");
+        assert_eq!(FaultTargets::all().to_string(), "class,cells,bytes");
+        assert_eq!(FaultTargets::none().to_string(), "none");
+        assert_eq!(FaultTargets::parse(""), None);
+        assert_eq!(FaultTargets::parse("nope"), None);
     }
 }

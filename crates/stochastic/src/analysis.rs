@@ -23,7 +23,11 @@ pub enum OpKind {
 
 impl OpKind {
     /// All three primitives measured by Fig. 2, in figure order.
-    pub const ALL: [OpKind; 3] = [OpKind::Construction, OpKind::Average, OpKind::Multiplication];
+    pub const ALL: [OpKind; 3] = [
+        OpKind::Construction,
+        OpKind::Average,
+        OpKind::Multiplication,
+    ];
 
     /// Human-readable name used in experiment output.
     #[must_use]

@@ -293,12 +293,7 @@ impl StochasticContext {
     ///
     /// Returns [`StochasticError::InvalidWeight`] if `p ∉ [0, 1]` and
     /// [`StochasticError::DimensionMismatch`] for ragged operands.
-    pub fn weighted_average(
-        &mut self,
-        a: &Shv,
-        b: &Shv,
-        p: f64,
-    ) -> Result<Shv, StochasticError> {
+    pub fn weighted_average(&mut self, a: &Shv, b: &Shv, p: f64) -> Result<Shv, StochasticError> {
         let mut rng = std::mem::replace(&mut self.rng, HdcRng::seed_from_u64(0));
         let result = self.weighted_average_with(a, b, p, &mut rng);
         self.rng = rng;
@@ -609,7 +604,13 @@ mod tests {
     #[test]
     fn multiplication_decodes_to_product() {
         let mut ctx = StochasticContext::new(D, 8);
-        for &(x, y) in &[(0.5, 0.5), (0.9, -0.7), (-0.4, -0.6), (0.0, 0.8), (1.0, 0.3)] {
+        for &(x, y) in &[
+            (0.5, 0.5),
+            (0.9, -0.7),
+            (-0.4, -0.6),
+            (0.0, 0.8),
+            (1.0, 0.3),
+        ] {
             let a = ctx.encode(x).unwrap();
             let b = ctx.encode(y).unwrap();
             let p = ctx.mul(&a, &b).unwrap();

@@ -47,7 +47,10 @@ impl fmt::Display for StochasticError {
             }
             StochasticError::DimensionMismatch(e) => e.fmt(f),
             StochasticError::NegativeSqrt(v) => {
-                write!(f, "square root of hypervector decoding to negative value {v}")
+                write!(
+                    f,
+                    "square root of hypervector decoding to negative value {v}"
+                )
             }
             StochasticError::DivisorTooSmall(v) => write!(
                 f,

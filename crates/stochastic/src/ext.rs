@@ -116,8 +116,7 @@ impl StochasticContext {
             _ => {
                 // Reduce adjacent pairs; odd element passes through
                 // with appropriate weight at the next level.
-                let mut layer: Vec<(Shv, usize)> =
-                    vs.iter().map(|v| (v.clone(), 1usize)).collect();
+                let mut layer: Vec<(Shv, usize)> = vs.iter().map(|v| (v.clone(), 1usize)).collect();
                 while layer.len() > 1 {
                     let mut next = Vec::with_capacity(layer.len().div_ceil(2));
                     let mut it = layer.into_iter();

@@ -27,18 +27,21 @@ fn build_scene(rng: &mut HdcRng) -> (GrayImage, [(usize, usize); 2]) {
     canvas.linear_gradient(0.2, 0.5, 0.6);
     for i in 0..5 {
         let t = i as f32 * 19.0;
-        canvas.line(t, 0.0, SCENE as f32 - t, SCENE as f32, 1.5, 0.15 + 0.1 * (i as f32 % 3.0));
+        canvas.line(
+            t,
+            0.0,
+            SCENE as f32 - t,
+            SCENE as f32,
+            1.5,
+            0.15 + 0.1 * (i as f32 % 3.0),
+        );
     }
     let mut scene = canvas.into_image();
 
     // Paste two faces.
     let positions = [(8usize, 12usize), (56, 52)];
     for &(x, y) in &positions {
-        let face = render_face(
-            WINDOW,
-            &FaceParams::centered(WINDOW, Emotion::Neutral),
-            rng,
-        );
+        let face = render_face(WINDOW, &FaceParams::centered(WINDOW, Emotion::Neutral), rng);
         for dy in 0..WINDOW {
             for dx in 0..WINDOW {
                 scene.set(x + dx, y + dy, face.get(dx, dy));
@@ -89,10 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "D = {dim:5}: {detections}/{} windows flagged as faces ({} false alarms) -> {path}",
             windows.len(),
-            marked
-                .iter()
-                .filter(|(_, c)| *c == Rgb::ERROR_RED)
-                .count(),
+            marked.iter().filter(|(_, c)| *c == Rgb::ERROR_RED).count(),
         );
     }
     println!("open the PPMs to compare detection maps at D = 1k vs 4k (paper Fig. 6a)");

@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // One subject moving diagonally across the frames.
-    let face = render_face(WINDOW, &FaceParams::centered(WINDOW, Emotion::Neutral), &mut rng);
+    let face = render_face(
+        WINDOW,
+        &FaceParams::centered(WINDOW, Emotion::Neutral),
+        &mut rng,
+    );
     let mut tracks: Vec<Track> = Vec::new();
     let mut next_id = 0usize;
 

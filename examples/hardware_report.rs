@@ -15,13 +15,43 @@ use hdface::hwsim::{
 
 fn main() {
     // --- FPGA resource feasibility ----------------------------------
-    println!("== accelerator resource estimates on the {} ==\n", DeviceBudget::kintex7_325t().name);
+    println!(
+        "== accelerator resource estimates on the {} ==\n",
+        DeviceBudget::kintex7_325t().name
+    );
     let device = DeviceBudget::kintex7_325t();
     for (label, cfg) in [
-        ("D=1k fully parallel", AcceleratorConfig { dim: 1024, lanes: 1024, classes: 2, bins: 8 }),
-        ("D=4k fully parallel (paper)", AcceleratorConfig::paper_default()),
-        ("D=10k fully parallel", AcceleratorConfig { dim: 10_240, lanes: 10_240, classes: 2, bins: 8 }),
-        ("D=10k folded to 4k lanes", AcceleratorConfig { dim: 10_240, lanes: 4096, classes: 2, bins: 8 }),
+        (
+            "D=1k fully parallel",
+            AcceleratorConfig {
+                dim: 1024,
+                lanes: 1024,
+                classes: 2,
+                bins: 8,
+            },
+        ),
+        (
+            "D=4k fully parallel (paper)",
+            AcceleratorConfig::paper_default(),
+        ),
+        (
+            "D=10k fully parallel",
+            AcceleratorConfig {
+                dim: 10_240,
+                lanes: 10_240,
+                classes: 2,
+                bins: 8,
+            },
+        ),
+        (
+            "D=10k folded to 4k lanes",
+            AcceleratorConfig {
+                dim: 10_240,
+                lanes: 4096,
+                classes: 2,
+                bins: 8,
+            },
+        ),
     ] {
         let est = ResourceEstimate::for_config(&cfg);
         let (lut, ff, bram, dsp) = est.utilization(&device);

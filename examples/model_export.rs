@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_feats = pipeline.extract_dataset(&test)?;
     let acc_orig = model.accuracy(&test_feats)?;
     let acc_back = reloaded.accuracy(&test_feats)?;
-    println!("accuracy: exported {:.1}%  reloaded {:.1}%", acc_orig * 100.0, acc_back * 100.0);
+    println!(
+        "accuracy: exported {:.1}%  reloaded {:.1}%",
+        acc_orig * 100.0,
+        acc_back * 100.0
+    );
     assert_eq!(acc_orig, acc_back, "reload must be bit-exact");
 
     // The payload survives a noisy link: flip 2% of the model bits.

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     canvas.line(0.0, 100.0, 128.0, 70.0, 2.0, 0.2);
     let mut scene = canvas.into_image();
 
-    let small = render_face(WINDOW, &FaceParams::centered(WINDOW, Emotion::Happy), &mut rng);
+    let small = render_face(
+        WINDOW,
+        &FaceParams::centered(WINDOW, Emotion::Happy),
+        &mut rng,
+    );
     for y in 0..WINDOW {
         for x in 0..WINDOW {
             scene.set(8 + x, 12 + y, small.get(x, y));
@@ -65,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let detections = detector.detect(&scene)?;
-    println!("{} detections after non-maximum suppression:", detections.len());
+    println!(
+        "{} detections after non-maximum suppression:",
+        detections.len()
+    );
     let mut marked = Vec::new();
     for d in &detections {
         println!(

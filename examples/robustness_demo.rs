@@ -104,8 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // fresh feature path: encode with an equivalent
                 // projection encoder seeded like the pipeline's.
                 let enc = hdface::learn::ProjectionEncoder::new(noisy.len(), 4096, 2);
-                let q: BitVector =
-                    hdface::learn::FeatureEncoder::encode(&enc, &noisy).unwrap();
+                let q: BitVector = hdface::learn::FeatureEncoder::encode(&enc, &noisy).unwrap();
                 if clf.predict(&q)? == *label {
                     correct += 1;
                 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# The tier-1 gate as one command: offline release build, the full
-# test suite, and an explicit pass over the serving-layer integration
-# tests — each under a hard timeout so a wedged accept loop or a
-# deadlocked queue fails the gate instead of hanging it.
+# The tier-1 gate as one command: format check, offline release build,
+# lint, the full test suite, and an explicit pass over the
+# serving-layer integration tests — each under a hard timeout so a
+# wedged accept loop or a deadlocked queue fails the gate instead of
+# hanging it. A per-step wall-clock summary prints at the end.
 #
 # Usage: ./scripts/ci.sh
 #   CI_STEP_TIMEOUT   seconds per step (default 1800)
@@ -16,23 +17,47 @@ cd "$(dirname "$0")/.."
 STEP_TIMEOUT="${CI_STEP_TIMEOUT:-1800}"
 KNOWN_SEED_FAILURES="table2_shape_dnn_16bit_less_robust_than_4bit_at_high_rates"
 
-step() {
-    echo "==> $*"
-    timeout "$STEP_TIMEOUT" "$@"
+# "name seconds" lines accumulated by finish(), printed on exit.
+TIMINGS=""
+GATE_START=$(date +%s)
+
+finish() {
+    name=$1
+    start=$2
+    TIMINGS="${TIMINGS}${name} $(( $(date +%s) - start ))\n"
 }
 
-step ./scripts/cargo-offline.sh build --release
+summary() {
+    echo "==> step timings (wall-clock seconds)"
+    # shellcheck disable=SC2059 — TIMINGS embeds its own \n separators.
+    printf "$TIMINGS" | awk '{printf "    %-28s %ss\n", $1, $2}'
+    echo "    total                        $(( $(date +%s) - GATE_START ))s"
+}
+
+step() {
+    name=$1
+    shift
+    echo "==> $*"
+    start=$(date +%s)
+    timeout "$STEP_TIMEOUT" "$@"
+    finish "$name" "$start"
+}
+
+step fmt cargo fmt --all -- --check
+
+step build ./scripts/cargo-offline.sh build --release
 
 # Lint gate. cargo-clippy does not forward global flags placed before
 # the subcommand, so the offline patch --config flags go after it
 # (this is why cargo-offline.sh is not used here).
-step cargo clippy --offline \
+step clippy cargo clippy --offline \
     --config 'patch.crates-io.rand.path=".stubs/rand"' \
     --config 'patch.crates-io.proptest.path=".stubs/proptest"' \
     --config 'patch.crates-io.criterion.path=".stubs/criterion"' \
     --all-targets -- -D warnings
 
 echo "==> ./scripts/cargo-offline.sh test -q --no-fail-fast"
+suite_start=$(date +%s)
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 suite_status=0
@@ -51,15 +76,19 @@ if [ "$suite_status" -ne 0 ]; then
     fi
     echo "==> only known seed failures: $KNOWN_SEED_FAILURES"
 fi
+finish suite "$suite_start"
 
 # The serve tests boot real sockets; run them once more on their own
 # so a hang here is attributable (and bounded) independently of the
-# full suite.
-step ./scripts/cargo-offline.sh test -q --test serve --test persist_errors
+# full suite. fault_injection exercises the corrupted-model serving
+# path end to end.
+step serve ./scripts/cargo-offline.sh test -q \
+    --test serve --test persist_errors --test fault_injection
 
 # Bench smoke: one tiny detection benchmark asserting the level-cell
 # cache is at least as fast as per-window extraction (exit 1 on
 # regression; writes no report files).
-step ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
+step bench ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
 
+summary
 echo "==> ci green"

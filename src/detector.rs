@@ -3,11 +3,14 @@
 //! non-maximum suppression — the application layer the paper's
 //! introduction motivates (surveillance, tagging, embedded cameras).
 
+use std::sync::Arc;
+
 use hdface_hdc::BitVector;
 use hdface_hog::LevelCellCache;
 use hdface_imaging::{GrayImage, ImageError, ImagePyramid, SlidingWindows, Window};
 
 use crate::engine::{derive_seed, Engine};
+use crate::integrity::{IntegrityGuard, LEVEL_CELL_FAULT_SALT};
 use crate::pipeline::{HdPipeline, PipelineError};
 
 /// Salt separating detection-scan mask streams from every other use
@@ -50,11 +53,17 @@ pub fn iou(a: Window, b: Window) -> f64 {
 /// detections, dropping any later detection whose IoU with a kept one
 /// exceeds `iou_threshold`.
 #[must_use]
-pub fn non_maximum_suppression(mut detections: Vec<Detection>, iou_threshold: f64) -> Vec<Detection> {
+pub fn non_maximum_suppression(
+    mut detections: Vec<Detection>,
+    iou_threshold: f64,
+) -> Vec<Detection> {
     detections.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut kept: Vec<Detection> = Vec::new();
     for d in detections {
-        if kept.iter().all(|k| iou(k.window, d.window) <= iou_threshold) {
+        if kept
+            .iter()
+            .all(|k| iou(k.window, d.window) <= iou_threshold)
+        {
             kept.push(d);
         }
     }
@@ -109,6 +118,12 @@ pub struct ScanStats {
     /// Windows that paid the full per-window extraction (per-window
     /// mode, non-hyper pipelines, or cell-unaligned geometry).
     pub fallback_windows: usize,
+    /// Bits flipped into cached level cells by the fault plan during
+    /// this scan (0 without an integrity guard).
+    pub cell_flips_injected: u64,
+    /// Windows skipped because quarantined classes left no margin to
+    /// compute (0 without an integrity guard).
+    pub quarantined_windows: usize,
 }
 
 /// Configuration of the multi-scale detector.
@@ -165,7 +180,10 @@ impl std::fmt::Display for DetectorError {
             DetectorError::Pipeline(e) => write!(f, "pipeline failed: {e}"),
             DetectorError::Image(e) => write!(f, "pyramid construction failed: {e}"),
             DetectorError::NotBinary { classes } => {
-                write!(f, "detector needs a 2-class pipeline, got {classes} classes")
+                write!(
+                    f,
+                    "detector needs a 2-class pipeline, got {classes} classes"
+                )
             }
         }
     }
@@ -201,6 +219,7 @@ impl From<ImageError> for DetectorError {
 pub struct FaceDetector {
     pipeline: HdPipeline,
     config: DetectorConfig,
+    integrity: Option<Arc<IntegrityGuard>>,
 }
 
 impl FaceDetector {
@@ -210,7 +229,26 @@ impl FaceDetector {
     #[must_use]
     pub fn new(pipeline: HdPipeline, config: DetectorConfig) -> Self {
         pipeline.prepare(config.window, config.window);
-        FaceDetector { pipeline, config }
+        FaceDetector {
+            pipeline,
+            config,
+            integrity: None,
+        }
+    }
+
+    /// Attaches a runtime integrity guard: window margins route
+    /// through the guard's quarantine-aware scorer and, when the
+    /// guard's fault plan targets level cells, cached cells are
+    /// corrupted at position-pure sites as they are built. Without a
+    /// guard the detector behaves bit-identically to before.
+    pub fn set_integrity(&mut self, guard: Arc<IntegrityGuard>) {
+        self.integrity = Some(guard);
+    }
+
+    /// The attached integrity guard, if any.
+    #[must_use]
+    pub fn integrity(&self) -> Option<&Arc<IntegrityGuard>> {
+        self.integrity.as_ref()
     }
 
     /// The detector configuration.
@@ -239,8 +277,16 @@ impl FaceDetector {
     }
 
     /// Scores one feature hypervector: `δ(face) − δ(best other
-    /// class)`.
-    fn margin_of(&self, feature: &BitVector) -> Result<f64, DetectorError> {
+    /// class)`. With an integrity guard attached the margin comes
+    /// from the guard's quarantine-aware scorer; `None` means no
+    /// margin was computable (face class or every rival quarantined)
+    /// and the window is skipped.
+    fn margin_of(&self, feature: &BitVector) -> Result<Option<f64>, DetectorError> {
+        if let Some(guard) = &self.integrity {
+            return guard
+                .margin(feature)
+                .map_err(|e| DetectorError::Pipeline(PipelineError::from(e)));
+        }
         let clf = self
             .pipeline
             .classifier()
@@ -250,12 +296,12 @@ impl FaceDetector {
                 classes: clf.num_classes(),
             });
         }
-        Ok(clf.margin(feature, 1).map_err(PipelineError::from)?)
+        Ok(Some(clf.margin(feature, 1).map_err(PipelineError::from)?))
     }
 
     /// Scores one window crop through the full per-window pipeline,
     /// with the crop's stochastic masks drawn from `stream`.
-    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<f64, DetectorError> {
+    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<Option<f64>, DetectorError> {
         let feature = self.pipeline.extract_seeded(crop, stream)?;
         self.margin_of(&feature)
     }
@@ -303,6 +349,7 @@ impl FaceDetector {
         hyper: &hdface_hog::HyperHog,
         levels: &[&hdface_imaging::PyramidLevel],
         engine: &Engine,
+        scan_cell_flips: &std::sync::atomic::AtomicU64,
     ) -> Result<Vec<LevelCellCache>, DetectorError> {
         // Contrast normalization happens per level here; the per-window
         // path normalizes each crop instead (the documented difference
@@ -318,10 +365,51 @@ impl FaceDetector {
                 }
             }
         }
-        let cells = engine.run(cell_tasks.len(), |i| {
-            let (li, cx, cy) = cell_tasks[i];
-            hyper.compute_level_cell(&normalized[li], cx, cy, derive_seed(cache_base, li as u64))
-        });
+        // Cell fault arm: corruption sites are keyed by absolute
+        // (level, cx, cy), independent of task order — so the injected
+        // caches are bit-identical at any thread count, just like the
+        // clean ones.
+        let cell_plan = self
+            .integrity
+            .as_ref()
+            .and_then(|g| g.cell_fault_plan().map(|p| (Arc::clone(g), *p)));
+        let cells = engine.run(
+            cell_tasks.len(),
+            |i| -> Result<_, hdface_hog::HyperHogError> {
+                let (li, cx, cy) = cell_tasks[i];
+                let cell = hyper.compute_level_cell(
+                    &normalized[li],
+                    cx,
+                    cy,
+                    derive_seed(cache_base, li as u64),
+                )?;
+                match &cell_plan {
+                    Some((guard, plan)) => {
+                        let cell_site = derive_seed(
+                            derive_seed(derive_seed(LEVEL_CELL_FAULT_SALT, li as u64), cx as u64),
+                            cy as u64,
+                        );
+                        let mut flips = 0u64;
+                        let noisy: Vec<_> = cell
+                            .iter()
+                            .enumerate()
+                            .map(|(bin, slot)| {
+                                let (bits, f) = plan.corrupt_bitvector(
+                                    derive_seed(cell_site, bin as u64),
+                                    slot.bits(),
+                                );
+                                flips += f;
+                                slot.with_bits(bits)
+                            })
+                            .collect();
+                        guard.note_cell_flips(flips);
+                        scan_cell_flips.fetch_add(flips, std::sync::atomic::Ordering::Relaxed);
+                        Ok(noisy)
+                    }
+                    None => Ok(cell),
+                }
+            },
+        );
 
         let mut results = cells.into_iter();
         let mut caches = Vec::with_capacity(levels.len());
@@ -362,6 +450,9 @@ impl FaceDetector {
         let win = self.config.window;
         let stride = ((win as f64 * self.config.stride_fraction).round() as usize).max(1);
         let pyramid = ImagePyramid::new(image, self.config.pyramid_step, win)?;
+        // Per-scan flip tally, separate from the guard's global
+        // counter so concurrent scans report their own numbers.
+        let scan_cell_flips = std::sync::atomic::AtomicU64::new(0);
 
         // Fail fast on an unusable classifier before scoring thousands
         // of windows (per-window scoring re-checks for robustness).
@@ -388,56 +479,63 @@ impl FaceDetector {
             ExtractionMode::PerWindow => None,
         };
         let caches = match hyper {
-            Some(h) => Some(self.build_level_caches(h, &levels, engine)?),
+            Some(h) => Some(self.build_level_caches(h, &levels, engine, &scan_cell_flips)?),
             None => None,
         };
 
         let base = derive_seed(self.pipeline.seed(), DETECT_STREAM_SALT);
-        let scored = engine.run(tasks.len(), |i| -> Result<(f64, bool), DetectorError> {
-            let (li, w) = tasks[i];
-            let stream = derive_seed(base, i as u64);
-            if let (Some(h), Some(caches)) = (hyper, &caches) {
-                let cache = &caches[li];
-                let cell = h.config().hog.cell_size;
-                // Cache-assembled path for cell-aligned geometry (the
-                // default stride is cell-aligned, so this is the
-                // common case). Unaligned windows fall back below.
-                if win.is_multiple_of(cell)
-                    && w.x.is_multiple_of(cell)
-                    && w.y.is_multiple_of(cell)
-                    && w.x / cell + win / cell <= cache.cells_x()
-                    && w.y / cell + win / cell <= cache.cells_y()
-                {
-                    let mut scratch = h.scratch_for_stream(stream);
-                    let feature = h
-                        .extract_from_cache(
-                            cache,
-                            w.x / cell,
-                            w.y / cell,
-                            win / cell,
-                            win / cell,
-                            &mut scratch,
-                        )
-                        .map_err(PipelineError::from)?;
-                    return Ok((self.margin_of(&feature)?, true));
+        let scored = engine.run(
+            tasks.len(),
+            |i| -> Result<(Option<f64>, bool), DetectorError> {
+                let (li, w) = tasks[i];
+                let stream = derive_seed(base, i as u64);
+                if let (Some(h), Some(caches)) = (hyper, &caches) {
+                    let cache = &caches[li];
+                    let cell = h.config().hog.cell_size;
+                    // Cache-assembled path for cell-aligned geometry (the
+                    // default stride is cell-aligned, so this is the
+                    // common case). Unaligned windows fall back below.
+                    if win.is_multiple_of(cell)
+                        && w.x.is_multiple_of(cell)
+                        && w.y.is_multiple_of(cell)
+                        && w.x / cell + win / cell <= cache.cells_x()
+                        && w.y / cell + win / cell <= cache.cells_y()
+                    {
+                        let mut scratch = h.scratch_for_stream(stream);
+                        let feature = h
+                            .extract_from_cache(
+                                cache,
+                                w.x / cell,
+                                w.y / cell,
+                                win / cell,
+                                win / cell,
+                                &mut scratch,
+                            )
+                            .map_err(PipelineError::from)?;
+                        return Ok((self.margin_of(&feature)?, true));
+                    }
                 }
-            }
-            let crop = levels[li]
-                .image
-                .crop(w.x, w.y, w.width, w.height)
-                .expect("window within level bounds");
-            Ok((self.score_window(&crop, stream)?, false))
-        });
+                let crop = levels[li]
+                    .image
+                    .crop(w.x, w.y, w.width, w.height)
+                    .expect("window within level bounds");
+                Ok((self.score_window(&crop, stream)?, false))
+            },
+        );
 
         let mut stats = ScanStats::default();
         let mut detections = Vec::new();
         for ((li, w), result) in tasks.into_iter().zip(scored) {
-            let (score, cached): (f64, bool) = result?;
+            let (score, cached): (Option<f64>, bool) = result?;
             if cached {
                 stats.cached_windows += 1;
             } else {
                 stats.fallback_windows += 1;
             }
+            let Some(score) = score else {
+                stats.quarantined_windows += 1;
+                continue;
+            };
             if score > self.config.score_threshold {
                 detections.push(Detection {
                     window: levels[li].to_original(w),
@@ -446,6 +544,7 @@ impl FaceDetector {
                 });
             }
         }
+        stats.cell_flips_injected = scan_cell_flips.load(std::sync::atomic::Ordering::Relaxed);
         Ok((
             non_maximum_suppression(detections, self.config.iou_threshold),
             stats,

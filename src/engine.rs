@@ -37,7 +37,9 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 
 /// Parses a thread-count override; `None` for absent/invalid values.
 fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// A fixed-width pool of scoped worker threads executing indexed task

@@ -1,0 +1,619 @@
+//! Runtime model integrity: fault injection, checksum scrubbing,
+//! majority-vote repair and class quarantine.
+//!
+//! The paper's robustness study (Table 2) corrupts models *offline*;
+//! this module carries the same fault model into the live inference
+//! path and adds the defense the holographic representation makes
+//! cheap:
+//!
+//! * **Injection** — an optional [`FaultPlan`] strikes the resident
+//!   class hypervectors once at install time (one replica per class,
+//!   so R-way replication can repair *exactly*), and, via the
+//!   detector, the cached level cells per scan. Both arms are
+//!   site-keyed pure functions of the plan, so injected runs are
+//!   bit-identical at any thread count.
+//! * **Verification** — every class vector carries a golden FNV-1a
+//!   checksum (from the `HDI1` trailer, or computed at install for
+//!   legacy files). [`IntegrityGuard::scrub_once`] re-checksums every
+//!   resident replica word-by-word.
+//! * **Repair** — a failing replica is rebuilt from any
+//!   checksum-clean sibling; when *every* replica fails (common-mode
+//!   corruption, e.g. the load-time model-bytes arm), a bitwise
+//!   majority vote across replicas is tried and accepted only if the
+//!   voted words match the golden checksum.
+//! * **Quarantine** — a class that cannot be restored is excluded
+//!   from top-2 similarity instead of silently misclassifying:
+//!   [`IntegrityGuard::margin`] returns `None` when the face class or
+//!   every rival is quarantined, and the detector skips the window.
+//!
+//! With no plan and R = 1 the guard is never constructed and the
+//! serving stack behaves bit-identically to an unguarded build.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use hdface_hdc::BitVector;
+use hdface_learn::{BinaryHdModel, HdClassifier, LearnError};
+use hdface_noise::FaultPlan;
+
+use crate::engine::derive_seed;
+
+/// Site salt for the install-time class-vector dose (class `c` is
+/// struck at site `derive_seed(CLASS_DOSE_SALT, c)`).
+const CLASS_DOSE_SALT: u64 = 0xc1a5_5d05_e0b1_7f11;
+
+/// Site salt for the per-scan level-cell fault arm; the detector
+/// derives one site per `(level, cx, cy)` from this, keeping cell
+/// corruption position-pure (and therefore thread-count independent).
+pub const LEVEL_CELL_FAULT_SALT: u64 = 0xce11_fa17_0b5e_55ed;
+
+/// Immutable snapshot of the resident model the readers score
+/// against. Swapped atomically (behind an `Arc`) by the scrubber, so
+/// a request sees one consistent model for its whole scan.
+struct ModelState {
+    /// `replicas[r][c]` — replica `r` of class `c`'s hypervector.
+    replicas: Vec<Vec<BitVector>>,
+    /// Classes excluded from similarity ranking.
+    quarantined: Vec<bool>,
+    /// Scorer rebuilt from `replicas[0]` — the same
+    /// `HdClassifier::from_binary` construction the clean load path
+    /// uses, so margins agree bit-for-bit with an unguarded pipeline
+    /// whenever replica 0 holds clean words.
+    scorer: HdClassifier,
+    any_quarantined: bool,
+}
+
+impl ModelState {
+    fn build(replicas: Vec<Vec<BitVector>>, quarantined: Vec<bool>) -> Self {
+        let model = BinaryHdModel::from_classes(replicas[0].clone())
+            .expect("replica 0 is non-empty with uniform dims");
+        let any_quarantined = quarantined.iter().any(|&q| q);
+        ModelState {
+            replicas,
+            quarantined,
+            scorer: HdClassifier::from_binary(&model),
+            any_quarantined,
+        }
+    }
+}
+
+/// Monotonic integrity counters, shared by every reader and the
+/// scrubber; surfaced by `GET /metrics` and `detect` stats.
+#[derive(Debug, Default)]
+struct IntegrityCounters {
+    flips_injected: AtomicU64,
+    cell_flips_injected: AtomicU64,
+    scrub_passes: AtomicU64,
+    words_repaired: AtomicU64,
+    checksum_failures: AtomicU64,
+}
+
+/// One coherent read of the integrity surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegritySnapshot {
+    /// Bits flipped into resident class vectors and model bytes.
+    pub flips_injected: u64,
+    /// Bits flipped into cached level cells across all scans.
+    pub cell_flips_injected: u64,
+    /// Completed scrub passes.
+    pub scrub_passes: u64,
+    /// 64-bit words rewritten by repair (copy or majority vote).
+    pub words_repaired: u64,
+    /// Replica checksum verifications that failed.
+    pub checksum_failures: u64,
+    /// Classes currently quarantined.
+    pub classes_quarantined: usize,
+    /// Configured replication factor R.
+    pub replication: usize,
+}
+
+impl IntegritySnapshot {
+    /// Renders the snapshot as the `integrity` JSON object of
+    /// `GET /metrics`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"flips_injected\":{},\"cell_flips_injected\":{},\"scrub_passes\":{},\
+             \"words_repaired\":{},\"checksum_failures\":{},\"classes_quarantined\":{},\
+             \"replication\":{}}}",
+            self.flips_injected,
+            self.cell_flips_injected,
+            self.scrub_passes,
+            self.words_repaired,
+            self.checksum_failures,
+            self.classes_quarantined,
+            self.replication,
+        )
+    }
+}
+
+/// The runtime integrity subsystem: R-way replicated class vectors,
+/// golden checksums, optional fault injection, scrub/repair and
+/// quarantine-aware scoring. See the module docs for the life cycle.
+pub struct IntegrityGuard {
+    state: RwLock<Arc<ModelState>>,
+    golden: Vec<u64>,
+    plan: Option<FaultPlan>,
+    replication: usize,
+    counters: IntegrityCounters,
+}
+
+impl IntegrityGuard {
+    /// Installs `classes` under the guard: replicates them R ways,
+    /// records the golden checksums (`golden`, or computed from the
+    /// classes themselves for trailer-less models — trust on first
+    /// use), and applies the install-time class-vector dose when
+    /// `plan` targets class vectors.
+    ///
+    /// The dose strikes exactly **one** replica per class (replica
+    /// `c mod R`), modeling independent storage banks: a single-bank
+    /// upset is exactly repairable from any sibling, while
+    /// common-mode corruption (all replicas, e.g. corrupted model
+    /// bytes at load) can only be caught and quarantined.
+    #[must_use]
+    pub fn new(
+        classes: &[BitVector],
+        golden: Option<Vec<u64>>,
+        plan: Option<FaultPlan>,
+        replication: usize,
+    ) -> Self {
+        let replication = replication.max(1);
+        let golden = golden.unwrap_or_else(|| classes.iter().map(BitVector::checksum).collect());
+        let mut replicas: Vec<Vec<BitVector>> =
+            (0..replication).map(|_| classes.to_vec()).collect();
+        let counters = IntegrityCounters::default();
+        if let Some(plan) = &plan {
+            if plan.targets().class_vectors && plan.rate() > 0.0 {
+                // Indexing both axes of `replicas[r][c]` is the point
+                // here; an iterator form obscures the dose-one-replica
+                // rule.
+                #[allow(clippy::needless_range_loop)]
+                for c in 0..classes.len() {
+                    let r = c % replication;
+                    let site = derive_seed(CLASS_DOSE_SALT, c as u64);
+                    let (noisy, flips) = plan.corrupt_bitvector(site, &replicas[r][c]);
+                    replicas[r][c] = noisy;
+                    counters.flips_injected.fetch_add(flips, Ordering::Relaxed);
+                }
+            }
+        }
+        let quarantined = vec![false; classes.len()];
+        IntegrityGuard {
+            state: RwLock::new(Arc::new(ModelState::build(replicas, quarantined))),
+            golden,
+            plan,
+            replication,
+            counters,
+        }
+    }
+
+    /// The configured fault plan, if any.
+    #[must_use]
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The fault plan, when it targets cached level cells — the
+    /// detector's gate for the per-cell corruption arm.
+    #[must_use]
+    pub fn cell_fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan
+            .as_ref()
+            .filter(|p| p.targets().level_cells && p.rate() > 0.0)
+    }
+
+    /// Configured replication factor R.
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Folds externally injected flips (the load-time model-bytes
+    /// arm) into `flips_injected`.
+    pub fn note_injected_flips(&self, flips: u64) {
+        self.counters
+            .flips_injected
+            .fetch_add(flips, Ordering::Relaxed);
+    }
+
+    /// Folds level-cell flips injected by the detector into
+    /// `cell_flips_injected` (called from scan workers; relaxed
+    /// atomics keep the total exact regardless of interleaving).
+    pub fn note_cell_flips(&self, flips: u64) {
+        self.counters
+            .cell_flips_injected
+            .fetch_add(flips, Ordering::Relaxed);
+    }
+
+    /// Current quarantine flags, one per class.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<bool> {
+        self.read_state().quarantined.clone()
+    }
+
+    fn read_state(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().expect("integrity lock poisoned"))
+    }
+
+    /// Quarantine-aware face margin: `cos(face) − max cos(rival)`
+    /// over non-quarantined classes, scored against replica 0.
+    ///
+    /// Returns `Ok(None)` when no margin is computable — the face
+    /// class itself or every rival is quarantined — which the
+    /// detector treats as "skip this window" (graceful degradation,
+    /// never a panic or a silent misclassification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimensionality mismatches from scoring.
+    pub fn margin(&self, feature: &BitVector) -> Result<Option<f64>, LearnError> {
+        let state = self.read_state();
+        if !state.any_quarantined {
+            // Identical code path (and identical floats) to an
+            // unguarded pipeline.
+            return state.scorer.margin(feature, 1).map(Some);
+        }
+        if *state.quarantined.get(1).unwrap_or(&true) {
+            return Ok(None);
+        }
+        let pos = state
+            .scorer
+            .class(1)
+            .cosine(feature)
+            .map_err(LearnError::from)?;
+        let mut rival: Option<f64> = None;
+        for c in 0..state.scorer.num_classes() {
+            if c == 1 || state.quarantined[c] {
+                continue;
+            }
+            let s = state
+                .scorer
+                .class(c)
+                .cosine(feature)
+                .map_err(LearnError::from)?;
+            if rival.is_none_or(|r| s > r) {
+                rival = Some(s);
+            }
+        }
+        Ok(rival.map(|r| pos - r))
+    }
+
+    /// Quarantine-aware classification for `/classify`: the predicted
+    /// class plus per-class scores (`None` for quarantined classes).
+    ///
+    /// Returns `Ok(None)` when every class is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring failures.
+    #[allow(clippy::type_complexity)]
+    pub fn classify(
+        &self,
+        feature: &BitVector,
+    ) -> Result<Option<(usize, Vec<Option<f64>>)>, LearnError> {
+        let state = self.read_state();
+        if !state.any_quarantined {
+            let class = state.scorer.predict(feature)?;
+            let scores = state.scorer.similarities(feature)?;
+            return Ok(Some((class, scores.into_iter().map(Some).collect())));
+        }
+        let mut scores = Vec::with_capacity(state.scorer.num_classes());
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..state.scorer.num_classes() {
+            if state.quarantined[c] {
+                scores.push(None);
+                continue;
+            }
+            let s = state
+                .scorer
+                .class(c)
+                .cosine(feature)
+                .map_err(LearnError::from)?;
+            // Last-wins on ties, matching the fused top-2 kernel.
+            if best.is_none_or(|(_, b)| s >= b) {
+                best = Some((c, s));
+            }
+            scores.push(Some(s));
+        }
+        Ok(best.map(|(class, _)| (class, scores)))
+    }
+
+    /// One scrub pass: re-checksums every replica of every class
+    /// against the golden values, repairs what it can and quarantines
+    /// what it cannot. Designed for a single scrubber thread (plus
+    /// one-shot calls before serving); readers are never blocked for
+    /// longer than an `Arc` swap.
+    ///
+    /// Returns the number of classes left quarantined.
+    pub fn scrub_once(&self) -> usize {
+        let current = self.read_state();
+        let mut replicas = current.replicas.clone();
+        let mut quarantined = current.quarantined.clone();
+        let n = self.golden.len();
+        let r_count = replicas.len();
+        let mut failures = 0u64;
+        let mut repaired_words = 0u64;
+        let mut changed = false;
+
+        for c in 0..n {
+            let ok: Vec<bool> = (0..r_count)
+                .map(|r| replicas[r][c].checksum() == self.golden[c])
+                .collect();
+            let good = ok.iter().filter(|&&g| g).count();
+            failures += (r_count - good) as u64;
+            if good == r_count {
+                if quarantined[c] {
+                    quarantined[c] = false;
+                    changed = true;
+                }
+                continue;
+            }
+            let repaired_from = if good > 0 {
+                let donor = ok.iter().position(|&g| g).expect("good > 0");
+                Some(replicas[donor][c].clone())
+            } else {
+                // Common-mode corruption: no clean donor. A bitwise
+                // majority vote can still reconstruct the words if
+                // the replicas disagree — accept it only when the
+                // voted words checksum clean.
+                let voted = majority_words(&replicas, c);
+                (voted.checksum() == self.golden[c]).then_some(voted)
+            };
+            match repaired_from {
+                Some(donor) => {
+                    for row in replicas.iter_mut().take(r_count) {
+                        if row[c] != donor {
+                            repaired_words += differing_words(&row[c], &donor);
+                            row[c] = donor.clone();
+                        }
+                    }
+                    if quarantined[c] {
+                        quarantined[c] = false;
+                    }
+                    changed = true;
+                }
+                None => {
+                    if !quarantined[c] {
+                        quarantined[c] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        self.counters
+            .checksum_failures
+            .fetch_add(failures, Ordering::Relaxed);
+        self.counters
+            .words_repaired
+            .fetch_add(repaired_words, Ordering::Relaxed);
+        self.counters.scrub_passes.fetch_add(1, Ordering::Relaxed);
+
+        let left = quarantined.iter().filter(|&&q| q).count();
+        if changed {
+            let fresh = Arc::new(ModelState::build(replicas, quarantined));
+            *self.state.write().expect("integrity lock poisoned") = fresh;
+        }
+        left
+    }
+
+    /// A coherent snapshot of every counter plus the quarantine
+    /// gauge.
+    #[must_use]
+    pub fn snapshot(&self) -> IntegritySnapshot {
+        let state = self.read_state();
+        IntegritySnapshot {
+            flips_injected: self.counters.flips_injected.load(Ordering::Relaxed),
+            cell_flips_injected: self.counters.cell_flips_injected.load(Ordering::Relaxed),
+            scrub_passes: self.counters.scrub_passes.load(Ordering::Relaxed),
+            words_repaired: self.counters.words_repaired.load(Ordering::Relaxed),
+            checksum_failures: self.counters.checksum_failures.load(Ordering::Relaxed),
+            classes_quarantined: state.quarantined.iter().filter(|&&q| q).count(),
+            replication: self.replication,
+        }
+    }
+}
+
+impl std::fmt::Debug for IntegrityGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        write!(
+            f,
+            "IntegrityGuard(R={}, quarantined={}, flips={})",
+            self.replication, snap.classes_quarantined, snap.flips_injected
+        )
+    }
+}
+
+/// Bitwise majority vote of class `c` across all replicas (ties at
+/// even R fall to 0, which the checksum acceptance test then judges).
+fn majority_words(replicas: &[Vec<BitVector>], c: usize) -> BitVector {
+    let r_count = replicas.len();
+    let dim = replicas[0][c].dim();
+    let n_words = replicas[0][c].as_words().len();
+    let mut words = vec![0u64; n_words];
+    for (wi, word) in words.iter_mut().enumerate() {
+        for bit in 0..64 {
+            let votes = replicas
+                .iter()
+                .filter(|r| r[c].as_words()[wi] >> bit & 1 == 1)
+                .count();
+            if 2 * votes > r_count {
+                *word |= 1 << bit;
+            }
+        }
+    }
+    BitVector::from_words(dim, words)
+}
+
+/// Number of 64-bit words in which two equal-dimension vectors
+/// differ.
+fn differing_words(a: &BitVector, b: &BitVector) -> u64 {
+    a.as_words()
+        .iter()
+        .zip(b.as_words())
+        .filter(|(x, y)| x != y)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_hdc::{HdcRng, SeedableRng};
+    use hdface_noise::FaultTargets;
+
+    fn classes(n: usize, dim: usize, seed: u64) -> Vec<BitVector> {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BitVector::random_with_density(dim, 0.5, &mut rng).unwrap())
+            .collect()
+    }
+
+    fn class_plan(rate: f64) -> FaultPlan {
+        FaultPlan::new(
+            rate,
+            11,
+            FaultTargets {
+                class_vectors: true,
+                level_cells: false,
+                model_bytes: false,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_guard_is_transparent() {
+        let cls = classes(2, 2048, 1);
+        let guard = IntegrityGuard::new(&cls, None, None, 1);
+        let reference =
+            HdClassifier::from_binary(&BinaryHdModel::from_classes(cls.clone()).unwrap());
+        let mut rng = HdcRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let q = BitVector::random_with_density(2048, 0.5, &mut rng).unwrap();
+            let got = guard.margin(&q).unwrap().expect("nothing quarantined");
+            let want = reference.margin(&q, 1).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "guard must not perturb scores"
+            );
+        }
+        assert_eq!(guard.scrub_once(), 0);
+        let snap = guard.snapshot();
+        assert_eq!(snap.flips_injected, 0);
+        assert_eq!(snap.checksum_failures, 0);
+        assert_eq!(snap.scrub_passes, 1);
+    }
+
+    #[test]
+    fn dose_strikes_one_replica_per_class_and_scrub_restores_exactly() {
+        let cls = classes(2, 2048, 3);
+        let guard = IntegrityGuard::new(&cls, None, Some(class_plan(0.02)), 3);
+        let snap = guard.snapshot();
+        assert!(snap.flips_injected > 0, "2% of 2×2048 bits must flip some");
+        // Scrub: every class has 2 clean replicas → copy-repair.
+        assert_eq!(guard.scrub_once(), 0, "nothing should stay quarantined");
+        let snap = guard.snapshot();
+        assert!(snap.words_repaired > 0);
+        assert!(snap.checksum_failures > 0);
+        // Post-repair scoring is bit-identical to the clean model.
+        let reference =
+            HdClassifier::from_binary(&BinaryHdModel::from_classes(cls.clone()).unwrap());
+        let mut rng = HdcRng::seed_from_u64(4);
+        for _ in 0..8 {
+            let q = BitVector::random_with_density(2048, 0.5, &mut rng).unwrap();
+            let got = guard.margin(&q).unwrap().unwrap();
+            let want = reference.margin(&q, 1).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // A second scrub finds nothing left to fix.
+        let before = guard.snapshot().words_repaired;
+        guard.scrub_once();
+        assert_eq!(guard.snapshot().words_repaired, before);
+    }
+
+    #[test]
+    fn unrepairable_corruption_quarantines_instead_of_misclassifying() {
+        let cls = classes(2, 2048, 5);
+        // R=1: the dosed replica is the only replica — no donor, and
+        // a 1-way "majority" is the corrupted vector itself, which
+        // fails the golden checksum.
+        let guard = IntegrityGuard::new(&cls, None, Some(class_plan(0.02)), 1);
+        let left = guard.scrub_once();
+        assert_eq!(left, 2, "both classes dosed and unrepairable");
+        assert_eq!(guard.snapshot().classes_quarantined, 2);
+        // Face class quarantined → no margin, never a bogus score.
+        let q = BitVector::zeros(2048);
+        assert_eq!(guard.margin(&q).unwrap(), None);
+        assert_eq!(guard.classify(&q).unwrap(), None);
+    }
+
+    #[test]
+    fn majority_vote_repairs_when_no_replica_is_clean() {
+        let cls = classes(1, 512, 7);
+        let guard = IntegrityGuard::new(&cls, None, None, 3);
+        // Corrupt all three replicas at *different* positions by
+        // reaching into the state like a common-mode upset would.
+        {
+            let mut state = guard.state.write().unwrap();
+            let mut replicas = state.replicas.clone();
+            replicas[0][0].flip(3);
+            replicas[1][0].flip(77);
+            replicas[2][0].flip(501);
+            *state = Arc::new(ModelState::build(replicas, vec![false]));
+        }
+        assert_eq!(guard.scrub_once(), 0, "vote must reconstruct the words");
+        let state = guard.read_state();
+        for r in 0..3 {
+            assert_eq!(state.replicas[r][0], cls[0], "replica {r} not restored");
+        }
+        assert!(guard.snapshot().words_repaired >= 3);
+    }
+
+    #[test]
+    fn partial_quarantine_excludes_only_bad_rivals() {
+        let cls = classes(3, 1024, 9);
+        let guard = IntegrityGuard::new(&cls, None, None, 1);
+        // Quarantine class 2 by corrupting its only replica.
+        {
+            let mut state = guard.state.write().unwrap();
+            let mut replicas = state.replicas.clone();
+            replicas[0][2].flip(12);
+            *state = Arc::new(ModelState::build(replicas, vec![false; 3]));
+        }
+        guard.scrub_once();
+        assert_eq!(guard.quarantined(), vec![false, false, true]);
+        // Margin still computable from the surviving rival (class 0).
+        let mut rng = HdcRng::seed_from_u64(10);
+        let q = BitVector::random_with_density(1024, 0.5, &mut rng).unwrap();
+        let margin = guard.margin(&q).unwrap().expect("rival 0 survives");
+        let reference =
+            HdClassifier::from_binary(&BinaryHdModel::from_classes(cls.clone()).unwrap());
+        let pos = reference.class(1).cosine(&q).unwrap();
+        let rival = reference.class(0).cosine(&q).unwrap();
+        assert_eq!(margin.to_bits(), (pos - rival).to_bits());
+        // Classify reports null for the quarantined class.
+        let (_, scores) = guard.classify(&q).unwrap().unwrap();
+        assert!(scores[0].is_some() && scores[1].is_some() && scores[2].is_none());
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let snap = IntegritySnapshot {
+            flips_injected: 81,
+            cell_flips_injected: 2,
+            scrub_passes: 3,
+            words_repaired: 4,
+            checksum_failures: 5,
+            classes_quarantined: 1,
+            replication: 3,
+        };
+        assert_eq!(
+            snap.to_json(),
+            "{\"flips_injected\":81,\"cell_flips_injected\":2,\"scrub_passes\":3,\
+             \"words_repaired\":4,\"checksum_failures\":5,\"classes_quarantined\":1,\
+             \"replication\":3}"
+        );
+    }
+}

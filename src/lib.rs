@@ -27,7 +27,11 @@
 //! `HDFACE_THREADS` to control the worker count). The [`serve`]
 //! module keeps a loaded model resident behind a std-only HTTP
 //! server (`hdface serve`) with bounded-queue backpressure, load
-//! shedding and live metrics.
+//! shedding and live metrics. The [`integrity`] module carries the
+//! paper's bit-error study into that live path: deterministic runtime
+//! fault injection (`--inject-bits`), golden per-class checksums, a
+//! background scrubber with R-way replica repair, and quarantine of
+//! unrepairable classes.
 //!
 //! ```no_run
 //! use hdface::pipeline::{HdFeatureMode, HdPipeline};
@@ -49,6 +53,7 @@
 
 pub mod detector;
 pub mod engine;
+pub mod integrity;
 pub mod persist;
 pub mod pipeline;
 pub mod serve;

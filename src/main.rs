@@ -17,12 +17,16 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use hdface::datasets::face2_spec;
 use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector};
 use hdface::engine::Engine;
 use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
+use hdface::integrity::IntegrityGuard;
 use hdface::learn::TrainConfig;
+use hdface::noise::{FaultPlan, FaultTargets};
+use hdface::persist::{corrupt_model_payload, load_bytes_with_integrity};
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
 use hdface::serve::{ServeConfig, Server};
 
@@ -73,8 +77,13 @@ fn usage() -> String {
      hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]\n  \
      hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]\n  \
      hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
-     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window]\n  \
-     hdface demo"
+     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window] [--scrub-interval-ms 1000]\n  \
+     hdface demo\n\n\
+     fault injection (detect and serve):\n  \
+     [--inject-bits RATE] [--inject-seed S] [--inject-targets class,cells,bytes|all] [--replicas R]\n  \
+     --inject-bits flips each targeted bit with probability RATE (deterministic in S);\n  \
+     --replicas R keeps R copies of every class vector so the integrity scrubber can\n  \
+     repair corruption by clean-copy or majority vote (R=1 disables repair)"
         .to_owned()
 }
 
@@ -135,8 +144,62 @@ fn load_pipeline(args: &Args) -> Result<HdPipeline, String> {
     HdPipeline::load_bytes(&bytes).map_err(|e| e.to_string())
 }
 
+/// Parses the fault-injection flags shared by `detect` and `serve`:
+/// `--inject-bits RATE` switches injection on; `--inject-seed` and
+/// `--inject-targets` refine which memories are dosed and how.
+fn fault_plan_from_args(args: &Args) -> Result<Option<FaultPlan>, String> {
+    let Some(raw) = args.get("inject-bits") else {
+        return Ok(None);
+    };
+    let rate: f64 = raw
+        .parse()
+        .map_err(|_| format!("--inject-bits: cannot parse {raw:?}"))?;
+    let seed: u64 = args.get_or("inject-seed", 0xfa_0175)?;
+    let targets = match args.get("inject-targets") {
+        None => FaultTargets::all(),
+        Some(v) => FaultTargets::parse(v).ok_or_else(|| {
+            format!("--inject-targets must list class, cells, bytes (or all), got {v:?}")
+        })?,
+    };
+    FaultPlan::new(rate, seed, targets)
+        .map(Some)
+        .map_err(|e| format!("--inject-bits: {e}"))
+}
+
+/// Builds the detector for `detect`/`serve`. Without fault flags the
+/// strict loader runs (golden checksums enforced, no guard, zero
+/// overhead); with `--inject-bits` or `--replicas` the tolerant
+/// loader runs instead and an [`IntegrityGuard`] is attached — dosing
+/// the model bytes on disk image, the resident class vectors, and the
+/// level cell caches as targeted, with quarantine/repair in the loop.
+fn load_detector(args: &Args, config: DetectorConfig) -> Result<FaceDetector, String> {
+    let plan = fault_plan_from_args(args)?;
+    let replicas: usize = args.get_or("replicas", 1)?;
+    if plan.is_none() && replicas <= 1 {
+        return Ok(FaceDetector::new(load_pipeline(args)?, config));
+    }
+    let path = args.require("model")?;
+    let mut bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut byte_flips = 0;
+    if let Some(p) = plan.as_ref().filter(|p| p.targets().model_bytes) {
+        byte_flips = corrupt_model_payload(&mut bytes, p).map_err(|e| e.to_string())?;
+    }
+    let loaded = load_bytes_with_integrity(&bytes).map_err(|e| e.to_string())?;
+    let guard = IntegrityGuard::new(&loaded.classes, loaded.golden, plan, replicas);
+    guard.note_injected_flips(byte_flips);
+    let snapshot = guard.snapshot();
+    if snapshot.flips_injected > 0 || snapshot.classes_quarantined > 0 {
+        eprintln!(
+            "fault injection: {} bit flips dosed into the loaded model (R = {})",
+            snapshot.flips_injected, replicas,
+        );
+    }
+    let mut detector = FaceDetector::new(loaded.pipeline, config);
+    detector.set_integrity(Arc::new(guard));
+    Ok(detector)
+}
+
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    let pipeline = load_pipeline(args)?;
     let image_path = args.require("image")?;
     let out = args.require("out")?;
     let threshold: f64 = args.get_or("threshold", 0.0)?;
@@ -147,18 +210,29 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     let reader = BufReader::new(File::open(image_path).map_err(|e| format!("{image_path}: {e}"))?);
     let scene = read_pgm(reader).map_err(|e| e.to_string())?;
 
-    let detector = FaceDetector::new(
-        pipeline,
+    let detector = load_detector(
+        args,
         DetectorConfig {
             score_threshold: threshold,
             stride_fraction: stride,
             extraction,
             ..DetectorConfig::default()
         },
-    );
-    let detections = detector
-        .detect_with(&scene, &engine)
+    )?;
+    let (detections, stats) = detector
+        .detect_with_stats(&scene, &engine)
         .map_err(|e| e.to_string())?;
+    if let Some(guard) = detector.integrity() {
+        let snap = guard.snapshot();
+        eprintln!(
+            "integrity: {} model-bit flips, {} cell-bit flips this scan, \
+             {} windows skipped by quarantine, {} classes quarantined",
+            snap.flips_injected,
+            stats.cell_flips_injected,
+            stats.quarantined_windows,
+            snap.classes_quarantined,
+        );
+    }
     println!("{} detections:", detections.len());
     let mut marked = Vec::new();
     for d in &detections {
@@ -192,24 +266,24 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let pipeline = load_pipeline(args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_owned();
     let workers: usize = args.get_or("workers", 2)?;
     let queue_depth: usize = args.get_or("queue-depth", 64)?;
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
+    let scrub_interval_ms: u64 = args.get_or("scrub-interval-ms", 1000)?;
     let extraction = extraction_from_args(args)?;
     let engine = engine_from_args(args)?;
 
-    let detector = FaceDetector::new(
-        pipeline,
+    let detector = load_detector(
+        args,
         DetectorConfig {
             score_threshold: threshold,
             stride_fraction: stride,
             extraction,
             ..DetectorConfig::default()
         },
-    );
+    )?;
     let handle = Server::start(
         detector,
         ServeConfig {
@@ -217,6 +291,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             workers,
             queue_depth,
             engine,
+            scrub_interval_ms,
             ..ServeConfig::default()
         },
     )

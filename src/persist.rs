@@ -16,16 +16,46 @@
 //! Loading reconstructs the extractor from the header and installs the
 //! classes — predictions after a round-trip are identical up to the
 //! stochastic masks drawn during feature extraction.
+//!
+//! ## Integrity trailer (`HDI1`)
+//!
+//! Saved pipelines additionally carry a per-class checksum trailer
+//! right after the model container:
+//!
+//! ```text
+//! magic     "HDI1"      4 bytes
+//! classes   u32 LE      must equal the model's class count
+//! checksums classes × u64 LE   (FNV-1a over dim + words, see
+//!                               `BitVector::checksum`)
+//! ```
+//!
+//! The trailer is invisible to pre-trailer readers (`HDM1` tolerates
+//! trailing bytes) and files without one still load — the golden
+//! checksums are simply absent. [`HdPipeline::load_bytes`] verifies
+//! the trailer when present and rejects corrupted class words;
+//! [`load_bytes_with_integrity`] returns the golden checksums to the
+//! caller instead, so the serving layer can quarantine and repair
+//! rather than refuse to start.
 
 use std::error::Error;
 use std::fmt;
 
-use hdface_hdc::SeedableRng;
+use hdface_hdc::{BitVector, SeedableRng};
 use hdface_learn::{BinaryHdModel, ModelIoError};
+use hdface_noise::FaultPlan;
 
+use crate::engine::derive_seed;
 use crate::pipeline::{HdFeatureMode, HdPipeline, PipelineError};
 
 const MAGIC: &[u8; 4] = b"HDP1";
+const INTEGRITY_MAGIC: &[u8; 4] = b"HDI1";
+
+/// Byte offset where the `HDM1` model container starts.
+const MODEL_OFFSET: usize = 17;
+
+/// Site salt for the load-time model-byte fault arm (class `c` is
+/// struck at site `derive_seed(MODEL_BYTES_SALT, c)`).
+const MODEL_BYTES_SALT: u64 = 0x5afe_c0de_8b1e_55ed;
 
 /// Errors raised when decoding a serialized pipeline.
 #[derive(Debug)]
@@ -44,6 +74,15 @@ pub enum PersistError {
         /// Dimensionality of the embedded model.
         model: usize,
     },
+    /// An `HDI1` trailer is present but malformed (truncated, or its
+    /// class count disagrees with the model).
+    BadTrailer,
+    /// A class hypervector's words do not match the golden checksum
+    /// recorded in the `HDI1` trailer.
+    ChecksumMismatch {
+        /// Index of the corrupted class.
+        class: usize,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -54,6 +93,10 @@ impl fmt::Display for PersistError {
             PersistError::Model(e) => write!(f, "embedded model is invalid: {e}"),
             PersistError::DimMismatch { header, model } => {
                 write!(f, "header says D={header} but the model is D={model}")
+            }
+            PersistError::BadTrailer => write!(f, "malformed HDI1 integrity trailer"),
+            PersistError::ChecksumMismatch { class } => {
+                write!(f, "class {class} fails its golden checksum")
             }
         }
     }
@@ -93,6 +136,13 @@ impl HdPipeline {
         out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
         out.extend_from_slice(&self.seed().to_le_bytes());
         out.extend(model.to_bytes());
+        // Golden per-class checksums: the integrity trailer the
+        // serving layer's scrubber verifies resident words against.
+        out.extend_from_slice(INTEGRITY_MAGIC);
+        out.extend_from_slice(&(model.num_classes() as u32).to_le_bytes());
+        for c in model.classes() {
+            out.extend_from_slice(&c.checksum().to_le_bytes());
+        }
         Ok(out)
     }
 
@@ -100,33 +150,159 @@ impl HdPipeline {
     /// extractor is rebuilt from (mode, dim, seed) and the binary
     /// model is installed as the classifier.
     ///
+    /// When the buffer carries an `HDI1` integrity trailer, every
+    /// class is verified against its golden checksum — this is the
+    /// strict loader for paths with no quarantine/repair story.
+    ///
     /// # Errors
     ///
-    /// Returns a [`PersistError`] for malformed buffers.
+    /// Returns a [`PersistError`] for malformed buffers and
+    /// [`PersistError::ChecksumMismatch`] for corrupted class words.
     pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
-        if bytes.len() < 17 || &bytes[..4] != MAGIC {
-            return Err(PersistError::BadHeader);
+        let loaded = load_bytes_with_integrity(bytes)?;
+        if let Some(golden) = &loaded.golden {
+            for (class, (v, want)) in loaded.classes.iter().zip(golden).enumerate() {
+                if v.checksum() != *want {
+                    return Err(PersistError::ChecksumMismatch { class });
+                }
+            }
         }
-        let mode_tag = bytes[4];
-        let dim = u32::from_le_bytes(bytes[5..9].try_into().expect("sized")) as usize;
-        let seed = u64::from_le_bytes(bytes[9..17].try_into().expect("sized"));
-        let mode = match mode_tag {
-            1 => HdFeatureMode::hyper_hog(dim),
-            2 => HdFeatureMode::encoded_classic(dim),
-            3 => HdFeatureMode::encoded_classic_level_id(dim),
-            other => return Err(PersistError::UnknownMode(other)),
-        };
-        let model = BinaryHdModel::from_bytes(&bytes[17..])?;
-        if model.dim() != dim {
-            return Err(PersistError::DimMismatch {
-                header: dim,
-                model: model.dim(),
-            });
-        }
-        let mut pipeline = HdPipeline::new(mode, seed);
-        pipeline.install_binary_model(model);
-        Ok(pipeline)
+        Ok(loaded.pipeline)
     }
+}
+
+/// A pipeline loaded together with its integrity material: the raw
+/// class hypervectors and the golden checksums from the `HDI1`
+/// trailer (when present). Unlike [`HdPipeline::load_bytes`] this
+/// does **not** verify the checksums — the caller (the serving
+/// layer's `IntegrityGuard`) verifies, quarantines and repairs.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// The reconstructed pipeline, classifier installed.
+    pub pipeline: HdPipeline,
+    /// The model's class hypervectors, as loaded.
+    pub classes: Vec<BitVector>,
+    /// Golden per-class checksums from the trailer, if one was
+    /// present.
+    pub golden: Option<Vec<u64>>,
+}
+
+/// Decodes the `HDP1` header and returns `(mode_tag, dim, seed)`.
+fn decode_header(bytes: &[u8]) -> Result<(u8, usize, u64), PersistError> {
+    if bytes.len() < MODEL_OFFSET || &bytes[..4] != MAGIC {
+        return Err(PersistError::BadHeader);
+    }
+    let dim = u32::from_le_bytes(bytes[5..9].try_into().expect("sized")) as usize;
+    let seed = u64::from_le_bytes(bytes[9..17].try_into().expect("sized"));
+    Ok((bytes[4], dim, seed))
+}
+
+/// Serialized length of an `HDM1` container holding `classes` vectors
+/// of dimensionality `dim` (header + back-to-back `HDV1` records).
+fn model_len(classes: usize, dim: usize) -> usize {
+    8 + classes * (12 + dim.div_ceil(64) * 8)
+}
+
+/// [`HdPipeline::load_bytes`] without checksum enforcement: returns
+/// the pipeline plus the loaded class vectors and the golden
+/// checksums so an integrity guard can verify/quarantine/repair
+/// instead of refusing a corrupted model outright.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] for structurally malformed buffers
+/// (including a present-but-malformed trailer) — but never
+/// [`PersistError::ChecksumMismatch`].
+pub fn load_bytes_with_integrity(bytes: &[u8]) -> Result<LoadedModel, PersistError> {
+    let (mode_tag, dim, seed) = decode_header(bytes)?;
+    let mode = match mode_tag {
+        1 => HdFeatureMode::hyper_hog(dim),
+        2 => HdFeatureMode::encoded_classic(dim),
+        3 => HdFeatureMode::encoded_classic_level_id(dim),
+        other => return Err(PersistError::UnknownMode(other)),
+    };
+    let model = BinaryHdModel::from_bytes(&bytes[MODEL_OFFSET..])?;
+    if model.dim() != dim {
+        return Err(PersistError::DimMismatch {
+            header: dim,
+            model: model.dim(),
+        });
+    }
+    let trailer_at = MODEL_OFFSET + model_len(model.num_classes(), dim);
+    let golden = match bytes.get(trailer_at..trailer_at + 4) {
+        Some(magic) if magic == INTEGRITY_MAGIC => {
+            let n = bytes
+                .get(trailer_at + 4..trailer_at + 8)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("sized")) as usize)
+                .ok_or(PersistError::BadTrailer)?;
+            if n != model.num_classes() {
+                return Err(PersistError::BadTrailer);
+            }
+            let sums = bytes
+                .get(trailer_at + 8..trailer_at + 8 + n * 8)
+                .ok_or(PersistError::BadTrailer)?;
+            Some(
+                sums.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+                    .collect(),
+            )
+        }
+        // No trailer (legacy file) or foreign trailing bytes — both
+        // tolerated, exactly as HDM1 tolerates padding.
+        _ => None,
+    };
+    let classes = model.classes().to_vec();
+    let mut pipeline = HdPipeline::new(mode, seed);
+    pipeline.install_binary_model(model);
+    Ok(LoadedModel {
+        pipeline,
+        classes,
+        golden,
+    })
+}
+
+/// The load-time "model bytes" fault arm: flips bits across the class
+/// hypervector **word payloads** of a serialized `HDP1` buffer,
+/// leaving headers, magics and the integrity trailer intact, and
+/// re-clearing padding bits past `dim` in the final word (set padding
+/// is a structural corruption canary — `SerialError::DirtyPadding` —
+/// not a soft error the integrity machinery is meant to absorb).
+///
+/// Class `c` is struck at fault site `derive_seed(salt, c)`, so the
+/// corruption is a pure function of the plan and the class index.
+/// Returns the number of bits actually flipped.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when the buffer is not a structurally
+/// valid `HDP1` file.
+pub fn corrupt_model_payload(bytes: &mut [u8], plan: &FaultPlan) -> Result<u64, PersistError> {
+    let (_, dim, _) = decode_header(bytes)?;
+    let model = &bytes[MODEL_OFFSET..];
+    if model.len() < 8 || &model[..4] != b"HDM1" {
+        return Err(PersistError::Model(ModelIoError::BadMagic));
+    }
+    let n = u32::from_le_bytes(model[4..8].try_into().expect("sized")) as usize;
+    let words = dim.div_ceil(64);
+    let rec = 12 + words * 8;
+    let mut flips = 0u64;
+    for c in 0..n {
+        let start = MODEL_OFFSET + 8 + c * rec + 12;
+        let end = start + words * 8;
+        let region = bytes
+            .get_mut(start..end)
+            .ok_or(PersistError::Model(ModelIoError::Truncated))?;
+        flips += plan.corrupt_bytes(derive_seed(MODEL_BYTES_SALT, c as u64), region);
+        let rem = dim % 64;
+        if rem != 0 {
+            let last = end - 8;
+            let w = u64::from_le_bytes(bytes[last..end].try_into().expect("sized"));
+            let masked = w & ((1u64 << rem) - 1);
+            flips -= u64::from((w ^ masked).count_ones());
+            bytes[last..end].copy_from_slice(&masked.to_le_bytes());
+        }
+    }
+    Ok(flips)
 }
 
 #[cfg(test)]
@@ -171,10 +347,7 @@ mod tests {
     #[test]
     fn untrained_pipelines_do_not_save() {
         let p = HdPipeline::new(HdFeatureMode::encoded_classic(512), 1);
-        assert!(matches!(
-            p.save_bytes(),
-            Err(PipelineError::NotTrained)
-        ));
+        assert!(matches!(p.save_bytes(), Err(PipelineError::NotTrained)));
     }
 
     #[test]

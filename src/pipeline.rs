@@ -285,7 +285,11 @@ impl HdPipeline {
     /// # Errors
     ///
     /// Propagates extraction failures.
-    pub fn extract_seeded(&self, image: &GrayImage, stream: u64) -> Result<BitVector, PipelineError> {
+    pub fn extract_seeded(
+        &self,
+        image: &GrayImage,
+        stream: u64,
+    ) -> Result<BitVector, PipelineError> {
         self.extract_shared(&image.normalized(), stream)
     }
 
@@ -306,11 +310,7 @@ impl HdPipeline {
             } => {
                 // The same O(1) rescaling the float baselines use (the
                 // projection encoder's bias spread assumes it).
-                let features: Vec<f64> = hog
-                    .extract_vec(image)
-                    .iter()
-                    .map(|v| v * 8.0)
-                    .collect();
+                let features: Vec<f64> = hog.extract_vec(image).iter().map(|v| v * 8.0).collect();
                 let enc = encoder.get_or_init(|| match choice {
                     EncoderChoice::Projection => {
                         Box::new(ProjectionEncoder::new(features.len(), *dim, *seed))
@@ -364,7 +364,8 @@ impl HdPipeline {
     /// encoded-classic pipelines, which have no slot keys.
     #[must_use]
     pub fn key_cache_stats(&self) -> (u64, u64) {
-        self.hyper_extractor().map_or((0, 0), HyperHog::key_cache_stats)
+        self.hyper_extractor()
+            .map_or((0, 0), HyperHog::key_cache_stats)
     }
 
     /// Extracts features for a whole dataset as `(hypervector, label)`
@@ -497,7 +498,11 @@ impl HdPipeline {
     ///
     /// Returns [`PipelineError::NotTrained`] before training;
     /// propagates extraction failures.
-    pub fn evaluate_with(&mut self, dataset: &Dataset, engine: &Engine) -> Result<f64, PipelineError> {
+    pub fn evaluate_with(
+        &mut self,
+        dataset: &Dataset,
+        engine: &Engine,
+    ) -> Result<f64, PipelineError> {
         if self.classifier.is_none() {
             return Err(PipelineError::NotTrained);
         }
@@ -786,10 +791,7 @@ mod tests {
     fn untrained_pipelines_error() {
         let ds = tiny_dataset();
         let mut hd = HdPipeline::new(HdFeatureMode::hyper_hog(512), 0);
-        assert!(matches!(
-            hd.evaluate(&ds),
-            Err(PipelineError::NotTrained)
-        ));
+        assert!(matches!(hd.evaluate(&ds), Err(PipelineError::NotTrained)));
         assert!(matches!(
             hd.predict(&ds.samples()[0].image),
             Err(PipelineError::NotTrained)

@@ -107,7 +107,9 @@ impl Request {
             .next()
             .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("unsupported version {version}")));
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {version}"
+            )));
         }
         let path = target.split('?').next().unwrap_or(target).to_owned();
 
@@ -142,7 +144,9 @@ impl Request {
         }
         let mut body = head.overflow;
         if body.len() > length {
-            return Err(HttpError::Malformed("body longer than content-length".into()));
+            return Err(HttpError::Malformed(
+                "body longer than content-length".into(),
+            ));
         }
         let missing = length - body.len();
         if missing > 0 {
@@ -230,10 +234,7 @@ impl Response {
     /// body so every endpoint speaks JSON.
     #[must_use]
     pub fn error(status: u16, message: &str) -> Self {
-        Response::json(
-            status,
-            format!("{{\"error\":{}}}", json_string(message)),
-        )
+        Response::json(status, format!("{{\"error\":{}}}", json_string(message)))
     }
 
     /// The `503 Service Unavailable` load-shedding response.
@@ -352,7 +353,10 @@ mod tests {
         ];
         for raw in cases {
             assert!(
-                matches!(Request::read_from(&mut &raw[..]), Err(HttpError::Malformed(_))),
+                matches!(
+                    Request::read_from(&mut &raw[..]),
+                    Err(HttpError::Malformed(_))
+                ),
                 "case {:?}",
                 String::from_utf8_lossy(raw)
             );

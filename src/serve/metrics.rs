@@ -151,6 +151,10 @@ impl ServerMetrics {
     /// found every slot key already derived; a cold one had to grow
     /// the cache first, so a steady-state server serving same-sized
     /// scenes should show `key_cold` plateau while `key_warm` climbs.
+    /// `integrity` is the pre-rendered integrity-guard snapshot
+    /// (see [`crate::integrity::IntegritySnapshot::to_json`]), or
+    /// `None` when the server runs without a guard — rendered as
+    /// JSON `null` so the key is always present.
     #[must_use]
     pub fn to_json(
         &self,
@@ -159,14 +163,17 @@ impl ServerMetrics {
         workers: usize,
         key_warm: u64,
         key_cold: u64,
+        integrity: Option<&str>,
     ) -> String {
         format!(
             "{{\"requests_total\":{},\"rejected_total\":{},\"queue_depth\":{queue_depth},\
              \"queue_capacity\":{queue_capacity},\"workers\":{workers},\
              \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold}}},\
+             \"integrity\":{},\
              \"endpoints\":{{{},{},{},{},{}}}}}",
             self.total_requests(),
             self.rejected.load(Ordering::Relaxed),
+            integrity.unwrap_or("null"),
             self.detect.json("detect"),
             self.classify.json("classify"),
             self.healthz.json("healthz"),
@@ -227,7 +234,7 @@ mod tests {
         let m = ServerMetrics::new();
         m.detect.record(200, 1500);
         m.rejected.fetch_add(2, Ordering::Relaxed);
-        let json = m.to_json(3, 64, 4, 120, 5);
+        let json = m.to_json(3, 64, 4, 120, 5, None);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests_total\":1"));
         assert!(json.contains("\"rejected_total\":2"));
@@ -235,8 +242,13 @@ mod tests {
         assert!(json.contains("\"queue_capacity\":64"));
         assert!(json.contains("\"workers\":4"));
         assert!(json.contains("\"extraction\":{\"key_warm\":120,\"key_cold\":5}"));
+        assert!(json.contains("\"integrity\":null"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
         assert!(json.contains("\"p50_micros\":2048"));
         assert!(json.contains("\"healthz\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"));
+        // With a guard attached the pre-rendered snapshot is spliced
+        // in verbatim.
+        let json = m.to_json(3, 64, 4, 120, 5, Some("{\"flips_injected\":9}"));
+        assert!(json.contains("\"integrity\":{\"flips_injected\":9}"));
     }
 }

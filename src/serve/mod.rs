@@ -48,4 +48,4 @@ pub mod server;
 pub use http::{HttpError, Request, Response};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use queue::BoundedQueue;
-pub use server::{detections_to_json, Server, ServeConfig, ServeError, ServerHandle};
+pub use server::{detections_to_json, ServeConfig, ServeError, Server, ServerHandle};

@@ -102,10 +102,7 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self
-                .available
-                .wait(state)
-                .expect("queue lock poisoned");
+            state = self.available.wait(state).expect("queue lock poisoned");
         }
     }
 
@@ -121,12 +118,7 @@ impl<T> BoundedQueue<T> {
 
 impl<T> std::fmt::Debug for BoundedQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "BoundedQueue(depth={}/{})",
-            self.len(),
-            self.capacity
-        )
+        write!(f, "BoundedQueue(depth={}/{})", self.len(), self.capacity)
     }
 }
 

@@ -47,6 +47,11 @@ pub struct ServeConfig {
     pub engine: Engine,
     /// `Retry-After` seconds advertised when shedding load.
     pub retry_after_secs: u64,
+    /// Background integrity-scrub period in milliseconds (clamped
+    /// ≥ 1). Only takes effect when the detector carries an
+    /// [`crate::integrity::IntegrityGuard`]; the scrubber runs one
+    /// pass at startup and then once per interval.
+    pub scrub_interval_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             engine: Engine::from_env(),
             retry_after_secs: 1,
+            scrub_interval_ms: 1000,
         }
     }
 }
@@ -106,6 +112,10 @@ struct Inner {
     /// `POST /shutdown` arrival flag, for [`ServerHandle::wait`].
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
+    /// Stop flag for the background integrity scrubber; paired with
+    /// `scrub_cv` so shutdown interrupts the inter-pass sleep.
+    scrub_stop: Mutex<bool>,
+    scrub_cv: Condvar,
 }
 
 /// The serving subsystem: call [`Server::start`] to bring it up.
@@ -119,6 +129,7 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -148,6 +159,8 @@ impl Server {
             retry_after_secs: config.retry_after_secs,
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
+            scrub_stop: Mutex::new(false),
+            scrub_cv: Condvar::new(),
         });
 
         let workers = (0..workers_configured)
@@ -166,12 +179,23 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &inner))
                 .expect("spawning acceptor thread")
         };
+        // The scrubber only exists when the detector carries an
+        // integrity guard; a guard-free server pays nothing.
+        let scrubber = inner.detector.integrity().is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            let interval = Duration::from_millis(config.scrub_interval_ms.max(1));
+            std::thread::Builder::new()
+                .name("hdface-scrubber".into())
+                .spawn(move || scrub_loop(&inner, interval))
+                .expect("spawning scrubber thread")
+        });
 
         Ok(ServerHandle {
             addr,
             inner,
             acceptor: Some(acceptor),
             workers,
+            scrubber,
         })
     }
 }
@@ -222,6 +246,11 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(scrubber) = self.scrubber.take() {
+            *self.inner.scrub_stop.lock().expect("scrub lock poisoned") = true;
+            self.inner.scrub_cv.notify_all();
+            let _ = scrubber.join();
+        }
     }
 }
 
@@ -263,6 +292,28 @@ fn shed(mut conn: TcpStream, retry_after_secs: u64) {
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
     let _ = Response::overloaded(retry_after_secs).write_to(&mut conn);
     let _ = conn.shutdown(std::net::Shutdown::Write);
+}
+
+/// Re-verifies the resident class vectors once per interval,
+/// repairing from clean replicas (or majority vote) and quarantining
+/// whatever cannot be restored. One pass runs immediately at startup
+/// so a model corrupted at load time heals before the first scan.
+fn scrub_loop(inner: &Inner, interval: Duration) {
+    let Some(guard) = inner.detector.integrity() else {
+        return;
+    };
+    let mut stopped = inner.scrub_stop.lock().expect("scrub lock poisoned");
+    loop {
+        if *stopped {
+            return;
+        }
+        guard.scrub_once();
+        let (next, _timeout) = inner
+            .scrub_cv
+            .wait_timeout(stopped, interval)
+            .expect("scrub lock poisoned");
+        stopped = next;
+    }
 }
 
 /// Pops connections until the queue closes and drains.
@@ -317,9 +368,7 @@ fn route(inner: &Inner, req: &Request) -> Response {
         ("GET", "/healthz") => handle_healthz(inner),
         ("GET", "/metrics") => handle_metrics(inner),
         ("POST", "/shutdown") => handle_shutdown(inner),
-        (_, "/detect" | "/classify" | "/shutdown") => {
-            Response::error(405, "use POST")
-        }
+        (_, "/detect" | "/classify" | "/shutdown") => Response::error(405, "use POST"),
         (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
         (_, path) => Response::error(404, &format!("no route for {path}")),
     }
@@ -328,7 +377,10 @@ fn route(inner: &Inner, req: &Request) -> Response {
 /// Parses a binary PGM request body.
 fn parse_scene(body: &[u8]) -> Result<GrayImage, Response> {
     if body.is_empty() {
-        return Err(Response::error(400, "empty body: expected a binary PGM image"));
+        return Err(Response::error(
+            400,
+            "empty body: expected a binary PGM image",
+        ));
     }
     read_pgm(body).map_err(|e| Response::error(400, &format!("bad PGM body: {e}")))
 }
@@ -371,19 +423,31 @@ fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
         Ok(f) => f,
         Err(e) => return Response::error(500, &format!("extraction failed: {e}")),
     };
-    let Some(clf) = pipeline.classifier() else {
-        return Response::error(500, "model has no classifier");
-    };
-    let (class, scores) = match (clf.predict(&feature), clf.similarities(&feature)) {
-        (Ok(c), Ok(s)) => (c, s),
-        (Err(e), _) | (_, Err(e)) => {
-            return Response::error(500, &format!("classification failed: {e}"))
+    // With an integrity guard resident, classification flows through
+    // it so quarantined classes are excluded (their scores render as
+    // null); a fully-quarantined model degrades to 503, not a wrong
+    // answer.
+    let (class, scores) = if let Some(guard) = inner.detector.integrity() {
+        match guard.classify(&feature) {
+            Ok(Some((c, s))) => (c, s),
+            Ok(None) => return Response::error(503, "every class is quarantined; model unusable"),
+            Err(e) => return Response::error(500, &format!("classification failed: {e}")),
+        }
+    } else {
+        let Some(clf) = pipeline.classifier() else {
+            return Response::error(500, "model has no classifier");
+        };
+        match (clf.predict(&feature), clf.similarities(&feature)) {
+            (Ok(c), Ok(s)) => (c, s.into_iter().map(Some).collect()),
+            (Err(e), _) | (_, Err(e)) => {
+                return Response::error(500, &format!("classification failed: {e}"))
+            }
         }
     };
     let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
     let scores = scores
         .iter()
-        .map(|s| format!("{s}"))
+        .map(|s| s.map_or_else(|| "null".to_owned(), |v| format!("{v}")))
         .collect::<Vec<_>>()
         .join(",");
     Response::json(
@@ -412,9 +476,15 @@ fn handle_healthz(inner: &Inner) -> Response {
     )
 }
 
-/// `GET /metrics`: the counters plus live queue-depth gauge.
+/// `GET /metrics`: the counters plus live queue-depth gauge and, when
+/// a guard is resident, the integrity section (injected flips, scrub
+/// passes, repairs, quarantines).
 fn handle_metrics(inner: &Inner) -> Response {
     let (key_warm, key_cold) = inner.detector.pipeline().key_cache_stats();
+    let integrity = inner
+        .detector
+        .integrity()
+        .map(|guard| guard.snapshot().to_json());
     Response::json(
         200,
         inner.metrics.to_json(
@@ -423,6 +493,7 @@ fn handle_metrics(inner: &Inner) -> Response {
             inner.workers_alive.load(Ordering::SeqCst),
             key_warm,
             key_cold,
+            integrity.as_deref(),
         ),
     )
 }

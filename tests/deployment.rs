@@ -101,9 +101,8 @@ fn error_budget_brackets_live_pipeline_noise() {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / trials as f64;
-        let measured = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / trials as f64)
-            .sqrt();
+        let measured =
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / trials as f64).sqrt();
         assert!(
             measured < predicted * 5.0 && measured > predicted / 5.0,
             "D={dim}: measured {measured} vs predicted {predicted}"
@@ -118,7 +117,10 @@ fn budget_sigma_falls_with_dimensionality_like_fig2() {
         .map(|&d| ErrorBudget::encode(0.3, d).square().sigma())
         .collect();
     for pair in sigmas.windows(2) {
-        assert!(pair[1] < pair[0], "sigma must fall monotonically: {sigmas:?}");
+        assert!(
+            pair[1] < pair[0],
+            "sigma must fall monotonically: {sigmas:?}"
+        );
     }
 }
 

@@ -43,7 +43,11 @@ fn detector() -> &'static FaceDetector {
 /// A flat scene with one rendered face pasted at [`FACE_AT`].
 fn face_scene(size: usize) -> GrayImage {
     let mut rng = HdcRng::seed_from_u64(4);
-    let face = render_face(WINDOW, &FaceParams::centered(WINDOW, Emotion::Neutral), &mut rng);
+    let face = render_face(
+        WINDOW,
+        &FaceParams::centered(WINDOW, Emotion::Neutral),
+        &mut rng,
+    );
     let mut scene = GrayImage::filled(size, size, 0.3);
     for y in 0..WINDOW {
         for x in 0..WINDOW {

@@ -1,0 +1,410 @@
+//! End-to-end coverage of the runtime fault-injection and
+//! self-healing integrity subsystem: a served model corrupted by a
+//! [`FaultPlan`] must keep answering (never panic, never silently
+//! misclassify), report its wounds through `GET /metrics`, and — with
+//! R-way replication — heal back to bit-identical clean-run output.
+//! A final sweep pins the Table-2 shape the whole subsystem exists to
+//! demonstrate: hyperdimensional models degrade strictly less than a
+//! float-feature baseline under the same bit-error model.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use hdface::datasets::face2_spec;
+use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::Engine;
+use hdface::hdc::{BitVector, HdcRng, SeedableRng};
+use hdface::hog::{ClassicHog, HogConfig};
+use hdface::imaging::{write_pgm, GrayImage};
+use hdface::integrity::IntegrityGuard;
+use hdface::learn::{BinaryHdModel, FeatureEncoder, HdClassifier, ProjectionEncoder, TrainConfig};
+use hdface::noise::{BitErrorModel, FaultPlan, FaultTargets};
+use hdface::persist::{corrupt_model_payload, load_bytes_with_integrity};
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::serve::{detections_to_json, ServeConfig, Server};
+
+/// Serialized fast binary model (classic HOG + projection encoder),
+/// trained once and shared; carries an `HDI1` golden-checksum
+/// trailer.
+fn model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(32).scaled(64).generate(23);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(1024), 23);
+        p.train(&data, &TrainConfig::default()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+/// Serialized fully hyperdimensional model — the only mode with level
+/// cell caches, which the cell fault arm targets.
+fn hyper_model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(32).scaled(12).generate(7);
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(2048), 7);
+        p.train(&data, &TrainConfig::single_pass()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+/// Mirrors the CLI's `--inject-bits` load path: dose the serialized
+/// bytes when targeted, load tolerantly, attach an [`IntegrityGuard`].
+fn guarded_detector(bytes: &[u8], plan: Option<FaultPlan>, replicas: usize) -> FaceDetector {
+    let mut bytes = bytes.to_vec();
+    let mut byte_flips = 0;
+    if let Some(p) = plan.as_ref().filter(|p| p.targets().model_bytes) {
+        byte_flips = corrupt_model_payload(&mut bytes, p).unwrap();
+    }
+    let loaded = load_bytes_with_integrity(&bytes).unwrap();
+    let guard = IntegrityGuard::new(&loaded.classes, loaded.golden, plan, replicas);
+    guard.note_injected_flips(byte_flips);
+    let mut det = FaceDetector::new(
+        loaded.pipeline,
+        DetectorConfig {
+            stride_fraction: 0.5,
+            ..DetectorConfig::default()
+        },
+    );
+    det.set_integrity(Arc::new(guard));
+    det
+}
+
+fn clean_detector(bytes: &[u8]) -> FaceDetector {
+    FaceDetector::new(
+        HdPipeline::load_bytes(bytes).unwrap(),
+        DetectorConfig {
+            stride_fraction: 0.5,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+fn test_scene(n: usize) -> GrayImage {
+    GrayImage::from_fn(n, n, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    })
+}
+
+fn pgm_bytes(image: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_pgm(image, &mut out).unwrap();
+    out
+}
+
+fn local(config: ServeConfig) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    }
+}
+
+/// One blocking HTTP exchange; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write head");
+    conn.write_all(body).expect("write body");
+    conn.flush().unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let status: u16 = std::str::from_utf8(&raw[..head_end])
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    (
+        status,
+        String::from_utf8(raw[head_end + 4..].to_vec()).unwrap(),
+    )
+}
+
+/// Reads one `"name":N` gauge out of the metrics JSON.
+fn gauge(metrics: &str, name: &str) -> u64 {
+    metrics
+        .split(&format!("\"{name}\":"))
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no {name} gauge in {metrics}"))
+}
+
+/// Polls `GET /metrics` until `pred` holds (10 s ceiling).
+fn wait_for_metrics(addr: SocketAddr, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, text) = http(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        if pred(&text) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for metrics: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn serve_keeps_answering_under_injection_and_reports_flips() {
+    // 2% flips across every target, no replication: the worst case.
+    let plan = FaultPlan::new(0.02, 42, FaultTargets::all()).unwrap();
+    let handle = Server::start(
+        guarded_detector(model_bytes(), Some(plan), 1),
+        local(ServeConfig {
+            scrub_interval_ms: 25,
+            ..ServeConfig::default()
+        }),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let scene = pgm_bytes(&test_scene(64));
+    for _ in 0..3 {
+        let (status, body) = http(addr, "POST", "/detect", &scene);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"detections\":"), "{body}");
+    }
+    let metrics = wait_for_metrics(addr, |m| gauge(m, "scrub_passes") >= 1);
+    assert!(metrics.contains("\"integrity\":{"), "{metrics}");
+    assert!(
+        gauge(&metrics, "flips_injected") > 0,
+        "2% of 2×1024 bits must flip some: {metrics}"
+    );
+    assert_eq!(gauge(&metrics, "replication"), 1, "{metrics}");
+    // Still answering after the scrubber has judged the damage.
+    let (status, body) = http(addr, "POST", "/detect", &scene);
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn replication_and_scrub_restore_clean_detection_output() {
+    let scene = test_scene(64);
+    let expected = detections_to_json(
+        &clean_detector(model_bytes())
+            .detect_with(&scene, &Engine::serial())
+            .unwrap(),
+    );
+
+    // Dose the resident class vectors at 2%, R = 3: each class loses
+    // one replica, two clean siblings remain.
+    let plan = FaultPlan::new(
+        0.02,
+        9,
+        FaultTargets {
+            class_vectors: true,
+            level_cells: false,
+            model_bytes: false,
+        },
+    )
+    .unwrap();
+
+    // In-process: one scrub pass copy-repairs every class, after
+    // which detection output is bit-identical to the clean run.
+    let det = guarded_detector(model_bytes(), Some(plan), 3);
+    let guard = Arc::clone(det.integrity().unwrap());
+    assert!(guard.snapshot().flips_injected > 0);
+    assert_eq!(guard.scrub_once(), 0, "R=3 must repair everything");
+    assert_eq!(guard.snapshot().classes_quarantined, 0);
+    let healed = detections_to_json(&det.detect_with(&scene, &Engine::serial()).unwrap());
+    assert_eq!(healed, expected, "healed model must match the clean run");
+
+    // Through the server: the background scrubber heals at startup
+    // and the served payload matches the clean reference exactly.
+    let handle = Server::start(
+        guarded_detector(model_bytes(), Some(plan), 3),
+        local(ServeConfig {
+            scrub_interval_ms: 25,
+            ..ServeConfig::default()
+        }),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let metrics = wait_for_metrics(addr, |m| {
+        gauge(m, "scrub_passes") >= 1 && gauge(m, "classes_quarantined") == 0
+    });
+    assert!(gauge(&metrics, "words_repaired") > 0, "{metrics}");
+    let (status, body) = http(addr, "POST", "/detect", &pgm_bytes(&scene));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains(&format!("\"detections\":{expected}")),
+        "served payload diverged from the clean run\nserved:   {body}\nexpected: {expected}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unrepairable_common_mode_corruption_degrades_gracefully() {
+    // The model-bytes arm corrupts every replica identically (they
+    // are all copied from the same corrupted load), so no donor and
+    // no useful majority exist: quarantine is the only safe answer.
+    let plan = FaultPlan::new(
+        0.02,
+        3,
+        FaultTargets {
+            class_vectors: false,
+            level_cells: false,
+            model_bytes: true,
+        },
+    )
+    .unwrap();
+
+    // In-process: scrub quarantines both classes; detection skips
+    // every window instead of panicking or guessing.
+    let det = guarded_detector(model_bytes(), Some(plan), 1);
+    let guard = Arc::clone(det.integrity().unwrap());
+    assert!(guard.snapshot().flips_injected > 0);
+    assert_eq!(guard.scrub_once(), 2, "both classes unrepairable");
+    let scene = test_scene(64);
+    let (detections, stats) = det.detect_with_stats(&scene, &Engine::serial()).unwrap();
+    assert!(detections.is_empty(), "quarantined model must not detect");
+    assert!(stats.quarantined_windows > 0, "{stats:?}");
+
+    // Through the server: /detect stays 200 (empty), /classify
+    // refuses with 503 once every class is quarantined.
+    let handle = Server::start(
+        guarded_detector(model_bytes(), Some(plan), 1),
+        local(ServeConfig {
+            scrub_interval_ms: 25,
+            ..ServeConfig::default()
+        }),
+    )
+    .unwrap();
+    let addr = handle.addr();
+    wait_for_metrics(addr, |m| gauge(m, "classes_quarantined") == 2);
+    let (status, body) = http(addr, "POST", "/detect", &pgm_bytes(&scene));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":0"), "{body}");
+    let (status, body) = http(addr, "POST", "/classify", &pgm_bytes(&test_scene(32)));
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("quarantined"), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn cell_fault_arm_is_bit_identical_at_any_thread_count() {
+    // The level-cell arm corrupts cached cells mid-scan; sites are
+    // keyed by (level, cx, cy, bin), so the injected scan must be as
+    // deterministic as a clean one.
+    let plan = FaultPlan::new(
+        0.02,
+        5,
+        FaultTargets {
+            class_vectors: false,
+            level_cells: true,
+            model_bytes: false,
+        },
+    )
+    .unwrap();
+    let det = guarded_detector(hyper_model_bytes(), Some(plan), 1);
+    let scene = test_scene(48);
+    let (d1, s1) = det.detect_with_stats(&scene, &Engine::new(1)).unwrap();
+    let (d3, s3) = det.detect_with_stats(&scene, &Engine::new(3)).unwrap();
+    assert!(s1.cell_flips_injected > 0, "{s1:?}");
+    assert_eq!(
+        s1.cell_flips_injected, s3.cell_flips_injected,
+        "per-scan flip tallies must agree"
+    );
+    assert_eq!(d1, d3, "injected scans must be bit-identical");
+    // The injected scan differs from a clean one — the faults are
+    // real, not just counted.
+    let clean = clean_detector(hyper_model_bytes());
+    let clean_d = clean.detect_with(&scene, &Engine::new(1)).unwrap();
+    assert_ne!(
+        detections_to_json(&d1),
+        detections_to_json(&clean_d),
+        "2% cell corruption should perturb at least one score"
+    );
+}
+
+#[test]
+fn table2_shape_hd_degrades_less_than_float_baseline_at_2pct() {
+    // The paper's Table 2 at the 2% row: flip 2% of the bits holding
+    // the HD model versus 2% of the bits holding the float features,
+    // same BitErrorModel, and compare the accuracy losses.
+    let ds = face2_spec().at_size(32).scaled(120).generate(13);
+    let (train, test) = ds.split(0.7);
+    let hog = ClassicHog::new(HogConfig::paper());
+    let feats = |d: &hdface::datasets::Dataset| -> Vec<(Vec<f64>, usize)> {
+        d.iter()
+            .map(|s| {
+                let f: Vec<f64> = hog
+                    .extract_vec(&s.image.normalized())
+                    .iter()
+                    .map(|v| v * 8.0)
+                    .collect();
+                (f, s.label)
+            })
+            .collect()
+    };
+    let train_f = feats(&train);
+    let test_f = feats(&test);
+    let dim = 4096;
+    let encoder = ProjectionEncoder::new(train_f[0].0.len(), dim, 0);
+    let encode_set = |set: &[(Vec<f64>, usize)]| -> Vec<(BitVector, usize)> {
+        set.iter()
+            .map(|(x, y)| (encoder.encode(x).unwrap(), *y))
+            .collect()
+    };
+    let train_enc = encode_set(&train_f);
+    let test_enc = encode_set(&test_f);
+    let mut clf = HdClassifier::new(2, dim);
+    let mut rng = HdcRng::seed_from_u64(2);
+    clf.fit(&train_enc, &TrainConfig::default(), &mut rng)
+        .unwrap();
+    let binary = clf.to_binary(&mut rng);
+    let clean = binary.accuracy(&test_enc).unwrap();
+
+    let mut hd_loss = 0.0;
+    let mut float_loss = 0.0;
+    let trials = 4;
+    for t in 0..trials {
+        // HD arm: dose the resident class vectors through the same
+        // FaultPlan machinery the runtime uses.
+        let plan = FaultPlan::new(0.02, 500 + t, FaultTargets::all()).unwrap();
+        let noisy_classes: Vec<BitVector> = binary
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(c, v)| plan.corrupt_bitvector(c as u64, v).0)
+            .collect();
+        let noisy_model = BinaryHdModel::from_classes(noisy_classes).unwrap();
+        hd_loss += clean - noisy_model.accuracy(&test_enc).unwrap();
+
+        // Float arm: the same error rate on the float feature words.
+        let mut channel = BitErrorModel::new(0.02, 600 + t).unwrap();
+        let mut correct = 0;
+        for (x, y) in &test_f {
+            let noisy = channel.corrupt_f32_features(x);
+            if binary.predict(&encoder.encode(&noisy).unwrap()).unwrap() == *y {
+                correct += 1;
+            }
+        }
+        float_loss += clean - correct as f64 / test_f.len() as f64;
+    }
+    hd_loss /= f64::from(trials as u32);
+    float_loss /= f64::from(trials as u32);
+    assert!(
+        hd_loss < float_loss,
+        "Table-2 shape: HD loss {hd_loss} must be strictly below the float \
+         baseline's {float_loss} at a 2% bit-error rate"
+    );
+    assert!(
+        hd_loss < 0.05,
+        "2% flips on a holographic model should be nearly free, lost {hd_loss}"
+    );
+}

@@ -85,7 +85,8 @@ fn table2_shape_hd_model_absorbs_errors_float_features_do_not() {
         .collect();
     let mut clf = HdClassifier::new(2, dim);
     let mut rng = HdcRng::seed_from_u64(2);
-    clf.fit(&train_enc, &TrainConfig::default(), &mut rng).unwrap();
+    clf.fit(&train_enc, &TrainConfig::default(), &mut rng)
+        .unwrap();
     let binary = clf.to_binary(&mut rng);
     let clean = binary.accuracy(&test_enc).unwrap();
 
@@ -187,8 +188,8 @@ fn motivation_shape_hog_dominates_single_epoch_training_on_cpu() {
     let cpu = CpuModel::cortex_a53();
     // FACE1 at nominal scale: 1024x1024 images.
     let sc = Scenario::table1()[1];
-    let hog = cpu.execute(&(classic_hog_ops(sc.image_size, sc.image_size, sc.bins)
-        * sc.train_size as f64));
+    let hog = cpu
+        .execute(&(classic_hog_ops(sc.image_size, sc.image_size, sc.bins) * sc.train_size as f64));
     let shape = MlpShape {
         input: sc.hog_features(),
         hidden1: 1024,

@@ -15,7 +15,11 @@ use proptest::prelude::*;
 /// A small scene with one rendered face pasted off-centre.
 fn scene_with_face(size: usize, face: usize, at: (usize, usize), seed: u64) -> GrayImage {
     let mut rng = HdcRng::seed_from_u64(seed);
-    let rendered = render_face(face, &FaceParams::centered(face, Emotion::Neutral), &mut rng);
+    let rendered = render_face(
+        face,
+        &FaceParams::centered(face, Emotion::Neutral),
+        &mut rng,
+    );
     let mut scene = GrayImage::filled(size, size, 0.35);
     for y in 0..face {
         for x in 0..face {

@@ -65,12 +65,63 @@ fn truncated_model_payload_is_a_model_error() {
     let bytes = model_bytes();
     // Cut inside the embedded HDM1 container at several depths: right
     // after the pipeline header, mid-magic, and mid-class-vector.
-    for cut in [17, 19, 25, bytes.len() / 2, bytes.len() - 1] {
+    for cut in [17, 19, 25, bytes.len() / 2] {
         match HdPipeline::load_bytes(&bytes[..cut]) {
             Err(PersistError::Model(_)) => {}
             other => panic!("cut at {cut}: expected Model error, got {other:?}"),
         }
     }
+}
+
+/// `HDI1` trailer = magic (4) + class count (4) + 2 classes × u64.
+const TRAILER_LEN: usize = 4 + 4 + 2 * 8;
+
+#[test]
+fn truncated_integrity_trailer_is_typed() {
+    let bytes = model_bytes();
+    // A cut landing inside the trailer leaves a decodable model with
+    // a recognizable-but-short HDI1 record.
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes[..bytes.len() - 1]),
+        Err(PersistError::BadTrailer)
+    ));
+    // A trailer claiming the wrong class count is equally malformed.
+    let mut lying = bytes.to_vec();
+    let count_at = bytes.len() - TRAILER_LEN + 4;
+    lying[count_at..count_at + 4].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        HdPipeline::load_bytes(&lying),
+        Err(PersistError::BadTrailer)
+    ));
+}
+
+#[test]
+fn corrupted_class_words_fail_the_golden_checksum() {
+    let mut bytes = model_bytes().to_vec();
+    // Flip one payload bit of class 0: first word lives right after
+    // the HDP1 header (17), the HDM1 header (8) and the HDV1 header
+    // (12).
+    bytes[37] ^= 0x10;
+    assert!(matches!(
+        HdPipeline::load_bytes(&bytes),
+        Err(PersistError::ChecksumMismatch { class: 0 })
+    ));
+    // The tolerant loader hands the mismatch to the caller as data
+    // instead of refusing.
+    let loaded = hdface::persist::load_bytes_with_integrity(&bytes).unwrap();
+    let golden = loaded.golden.expect("trailer present");
+    assert_ne!(loaded.classes[0].checksum(), golden[0]);
+    assert_eq!(loaded.classes[1].checksum(), golden[1]);
+}
+
+#[test]
+fn legacy_files_without_trailer_still_load() {
+    let bytes = model_bytes();
+    let model_end = bytes.len() - TRAILER_LEN;
+    let p = HdPipeline::load_bytes(&bytes[..model_end]).unwrap();
+    assert!(p.classifier().is_some());
+    let loaded = hdface::persist::load_bytes_with_integrity(&bytes[..model_end]).unwrap();
+    assert!(loaded.golden.is_none());
 }
 
 #[test]

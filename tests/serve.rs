@@ -87,7 +87,8 @@ fn http(
     body: &[u8],
 ) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let mut conn = TcpStream::connect(addr).expect("connect");
-    conn.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
     send_request(&mut conn, method, path, body);
     read_response(&mut conn).expect("well-formed response")
 }
@@ -172,11 +173,7 @@ fn detect_is_bit_identical_to_in_process_run_at_any_thread_count() {
 
 #[test]
 fn healthz_reports_ready_model() {
-    let handle = start_server(
-        encoded_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
     let (status, _, body) = http(handle.addr(), "GET", "/healthz", b"");
     assert_eq!(status, 200);
     let text = body_text(&body);
@@ -189,11 +186,7 @@ fn healthz_reports_ready_model() {
 
 #[test]
 fn classify_is_deterministic_and_scored() {
-    let handle = start_server(
-        encoded_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
     let crop = pgm_bytes(&test_scene(32));
     let (status, _, first) = http(handle.addr(), "POST", "/classify", &crop);
     assert_eq!(status, 200, "{}", body_text(&first));
@@ -212,11 +205,7 @@ fn classify_is_deterministic_and_scored() {
 
 #[test]
 fn bad_requests_get_typed_statuses() {
-    let handle = start_server(
-        encoded_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
     let addr = handle.addr();
     let (status, _, _) = http(addr, "POST", "/detect", b"not a pgm");
     assert_eq!(status, 400);
@@ -230,7 +219,8 @@ fn bad_requests_get_typed_statuses() {
     assert_eq!(status, 405);
     // Protocol garbage gets a 400, not a hang or a dropped socket.
     let mut conn = TcpStream::connect(addr).unwrap();
-    conn.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
     conn.write_all(b"BLEEP\r\n\r\n").unwrap();
     let (status, _, _) = read_response(&mut conn).unwrap();
     assert_eq!(status, 400);
@@ -239,11 +229,7 @@ fn bad_requests_get_typed_statuses() {
 
 #[test]
 fn metrics_track_requests_and_latency_percentiles() {
-    let handle = start_server(
-        encoded_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
     let addr = handle.addr();
     let (_, _, before) = http(addr, "GET", "/metrics", b"");
     let before = body_text(&before);
@@ -294,11 +280,7 @@ fn gauge(metrics: &str, name: &str) -> u64 {
 
 #[test]
 fn extraction_cache_warms_across_same_dimension_requests() {
-    let handle = start_server(
-        hyper_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(hyper_model_bytes(), 0.5, local(ServeConfig::default()));
     let addr = handle.addr();
 
     // Window-sized keys are derived once at detector construction, so
@@ -348,7 +330,8 @@ fn full_queue_sheds_with_503_and_retry_after() {
 
     // Occupy the worker, then the single queue slot.
     let mut busy = TcpStream::connect(addr).unwrap();
-    busy.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    busy.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
     send_request(&mut busy, "POST", "/detect", &scene);
     std::thread::sleep(Duration::from_millis(200));
     let mut queued = TcpStream::connect(addr).unwrap();
@@ -416,7 +399,8 @@ fn shutdown_drains_in_flight_requests() {
     // A slow request goes in-flight…
     let client = std::thread::spawn(move || {
         let mut conn = TcpStream::connect(addr).unwrap();
-        conn.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
         send_request(&mut conn, "POST", "/detect", &scene);
         read_response(&mut conn)
     });
@@ -444,11 +428,7 @@ fn shutdown_drains_in_flight_requests() {
 
 #[test]
 fn shutdown_endpoint_wakes_the_foreground_waiter() {
-    let handle = start_server(
-        encoded_model_bytes(),
-        0.5,
-        local(ServeConfig::default()),
-    );
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
     let addr = handle.addr();
     let (status, _, body) = http(addr, "POST", "/shutdown", b"");
     assert_eq!(status, 200);
