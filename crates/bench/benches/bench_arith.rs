@@ -1,8 +1,11 @@
 //! Criterion benchmarks for the stochastic arithmetic primitives —
 //! the microarchitecture-level companion to Fig. 2 (how expensive each
-//! primitive is at the paper's dimensionalities).
+//! primitive is at the paper's dimensionalities) — plus the
+//! bind+accumulate+threshold bundling kernels, tracked per word count
+//! so the bit-sliced win is visible independent of end-to-end scans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdface_hdc::{Accumulator, BitSlicedBundler, BitVector, HdcRng, SeedableRng};
 use hdface_stochastic::StochasticContext;
 use std::hint::black_box;
 
@@ -39,5 +42,54 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+/// Slots bundled per window in the benchmark stream: 16 HOG cells ×
+/// 8 orientation bins, the shape of one 32×32 detection window.
+const SLOTS: usize = 128;
+
+fn bench_bundling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundling");
+    group.sample_size(20);
+    for dim in [1024usize, 4096, 8192] {
+        let mut rng = HdcRng::seed_from_u64(2022);
+        let values: Vec<BitVector> = (0..SLOTS)
+            .map(|_| BitVector::random(dim, &mut rng))
+            .collect();
+        let keys: Vec<BitVector> = (0..SLOTS)
+            .map(|_| BitVector::random(dim, &mut rng))
+            .collect();
+        let mut tie_rng = HdcRng::seed_from_u64(7);
+
+        // Scalar reference: explicit xor-bind, per-dimension f64
+        // counters, per-bit threshold.
+        group.bench_with_input(
+            BenchmarkId::new("scalar_accumulator", dim),
+            &dim,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut acc = Accumulator::new(dim);
+                    for (v, k) in values.iter().zip(&keys) {
+                        acc.add(&v.xor(k).unwrap()).unwrap();
+                    }
+                    black_box(acc.threshold(&mut tie_rng))
+                });
+            },
+        );
+        // Fused kernel: bind+accumulate in one word-parallel pass over
+        // carry-save planes, word-level threshold. Scratch reuse
+        // mirrors the per-worker `HogScratch` in the detector.
+        let mut bundler = BitSlicedBundler::new(dim);
+        group.bench_with_input(BenchmarkId::new("bitsliced_kernel", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                bundler.reset(dim);
+                for (v, k) in values.iter().zip(&keys) {
+                    bundler.bind_accumulate(v, k).unwrap();
+                }
+                black_box(bundler.threshold(&mut tie_rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_bundling);
 criterion_main!(benches);

@@ -23,10 +23,14 @@ use hdface::engine::Engine;
 use hdface::imaging::{GrayImage, ImagePyramid, SlidingWindows};
 use hdface::learn::TrainConfig;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
-use hdface_bench::{RunConfig, Table};
+use hdface_bench::{bench_bundling, RunConfig, Table};
 
 const WINDOW: usize = 32;
 const STRIDE_FRACTION: f64 = 0.25;
+
+/// Slots folded into each bundling-bench window: 16 HOG cells × 8
+/// orientation bins, the shape of one 32×32 detection window.
+const BUNDLE_SLOTS: usize = 128;
 
 fn test_scene(n: usize) -> GrayImage {
     GrayImage::from_fn(n, n, |x, y| {
@@ -194,19 +198,76 @@ fn main() -> ExitCode {
     }
     table.print();
 
+    // Bundling-kernel microbenchmark: the bind+accumulate+threshold
+    // inner loop in isolation, scalar `Accumulator` reference vs the
+    // fused bit-sliced kernel the detector now runs.
+    let bundle_windows = if cfg.smoke { 30 } else { cfg.pick(100, 300) };
+    println!(
+        "\n== bundling kernels ({BUNDLE_SLOTS} slots/window, {bundle_windows} windows/path) ==\n"
+    );
+    let mut btable = Table::new(&[
+        "D",
+        "scalar win/s",
+        "bit-sliced win/s",
+        "speedup",
+        "identical",
+    ]);
+    let mut bundling_entries = String::new();
+    let mut bundling_ok = true;
+    for &dim in dims {
+        let b = bench_bundling(dim, BUNDLE_SLOTS, bundle_windows, cfg.seed);
+        bundling_ok &= b.bit_identical && b.speedup() >= 1.0;
+        btable.row(&[
+            &dim,
+            &format!("{:.1}", b.scalar_windows_per_sec),
+            &format!("{:.1}", b.bitsliced_windows_per_sec),
+            &format!("{:.2}x", b.speedup()),
+            &b.bit_identical,
+        ]);
+        if !bundling_entries.is_empty() {
+            bundling_entries.push(',');
+        }
+        write!(
+            bundling_entries,
+            "\n    {{\"dim\": {dim}, \"slots\": {BUNDLE_SLOTS}, \
+             \"scalar_windows_per_sec\": {:.2}, \
+             \"bitsliced_windows_per_sec\": {:.2}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}",
+            b.scalar_windows_per_sec,
+            b.bitsliced_windows_per_sec,
+            b.speedup(),
+            b.bit_identical,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    btable.print();
+
     if cfg.smoke {
+        let mut ok = true;
         if smoke_ok {
             println!("\nsmoke: cached extraction >= per-window throughput — OK");
-            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("\nsmoke FAILED: cached extraction slower than per-window");
+            ok = false;
         }
-        eprintln!("\nsmoke FAILED: cached extraction slower than per-window");
-        return ExitCode::FAILURE;
+        if bundling_ok {
+            println!("smoke: bit-sliced bundling >= scalar, bit-identical — OK");
+        } else {
+            eprintln!("smoke FAILED: bit-sliced bundling slower than scalar or not bit-identical");
+            ok = false;
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let threads_json: Vec<String> = threads.iter().map(ToString::to_string).collect();
     let json = format!(
         "{{\n  \"bench\": \"detector\",\n  \"scene\": {{\"width\": {}, \"height\": {}, \
-         \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \"results\": [{entries}\n  ]\n}}\n",
+         \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \"results\": [{entries}\n  ],\n  \
+         \"bundling\": [{bundling_entries}\n  ]\n}}\n",
         scene.width(),
         scene.height(),
         threads_json.join(", "),

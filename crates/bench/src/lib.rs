@@ -191,6 +191,100 @@ impl Table {
     }
 }
 
+/// One scalar-vs-bit-sliced window-bundling measurement at a fixed
+/// dimensionality, produced by [`bench_bundling`] and reported in
+/// `BENCH_detector.json`'s `bundling` section.
+#[derive(Debug, Clone, Copy)]
+pub struct BundlingBench {
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Bound slots folded into each window bundle (cells × bins).
+    pub slots: usize,
+    /// Windows/sec through the scalar reference path
+    /// (`xor` + `Accumulator::add` + `threshold`).
+    pub scalar_windows_per_sec: f64,
+    /// Windows/sec through the fused kernel path
+    /// (`BitSlicedBundler::bind_accumulate` + `threshold`).
+    pub bitsliced_windows_per_sec: f64,
+    /// Whether both paths produced bit-identical bundles from
+    /// identically seeded tie-break RNGs (must always be `true`; the
+    /// smoke gate asserts it).
+    pub bit_identical: bool,
+}
+
+impl BundlingBench {
+    /// Kernel speedup over the scalar reference (>1 is faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.bitsliced_windows_per_sec / self.scalar_windows_per_sec
+    }
+}
+
+/// Measures window-bundling throughput — the `bind` + `accumulate` +
+/// `threshold` inner loop of window encoding — through the scalar
+/// `Accumulator` reference and the fused `BitSlicedBundler` kernel on
+/// the same synthetic slot/key stream, and cross-checks that both
+/// produce bit-identical bundles. `windows` full bundles are timed per
+/// path after one warm-up window each.
+#[must_use]
+pub fn bench_bundling(dim: usize, slots: usize, windows: usize, seed: u64) -> BundlingBench {
+    use hdface::hdc::{Accumulator, BitSlicedBundler, BitVector};
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let mut rng = HdcRng::seed_from_u64(seed);
+    let values: Vec<BitVector> = (0..slots)
+        .map(|_| BitVector::random(dim, &mut rng))
+        .collect();
+    let keys: Vec<BitVector> = (0..slots)
+        .map(|_| BitVector::random(dim, &mut rng))
+        .collect();
+    // Both paths resolve majority ties from identically seeded RNGs so
+    // the outputs must match bit for bit.
+    let tie_seed = seed ^ 0x7ead;
+
+    let scalar_window = |tie_rng: &mut HdcRng| -> BitVector {
+        let mut acc = Accumulator::new(dim);
+        for (v, k) in values.iter().zip(&keys) {
+            acc.add(&v.xor(k).expect("dims equal")).expect("dims equal");
+        }
+        acc.threshold(tie_rng)
+    };
+    let mut bundler = BitSlicedBundler::new(dim);
+    let kernel_window = |bundler: &mut BitSlicedBundler, tie_rng: &mut HdcRng| -> BitVector {
+        bundler.reset(dim);
+        for (v, k) in values.iter().zip(&keys) {
+            bundler.bind_accumulate(v, k).expect("dims equal");
+        }
+        bundler.threshold(tie_rng)
+    };
+
+    let bit_identical = scalar_window(&mut HdcRng::seed_from_u64(tie_seed))
+        == kernel_window(&mut bundler, &mut HdcRng::seed_from_u64(tie_seed));
+
+    let mut tie_rng = HdcRng::seed_from_u64(tie_seed);
+    let start = Instant::now();
+    for _ in 0..windows {
+        black_box(scalar_window(&mut tie_rng));
+    }
+    let scalar_secs = start.elapsed().as_secs_f64();
+
+    let mut tie_rng = HdcRng::seed_from_u64(tie_seed);
+    let start = Instant::now();
+    for _ in 0..windows {
+        black_box(kernel_window(&mut bundler, &mut tie_rng));
+    }
+    let kernel_secs = start.elapsed().as_secs_f64();
+
+    BundlingBench {
+        dim,
+        slots,
+        scalar_windows_per_sec: windows as f64 / scalar_secs.max(1e-12),
+        bitsliced_windows_per_sec: windows as f64 / kernel_secs.max(1e-12),
+        bit_identical,
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 #[must_use]
 pub fn pct(x: f64) -> String {
@@ -243,6 +337,18 @@ mod tests {
         assert_eq!(secs(0.0000005), "0.5us");
         assert_eq!(secs(0.25), "250.0ms");
         assert_eq!(secs(3.0), "3.00s");
+    }
+
+    #[test]
+    fn bundling_bench_paths_agree_bit_for_bit() {
+        // Odd dim exercises the padding-word tail; tiny sizes keep the
+        // test fast while still timing both paths.
+        let b = bench_bundling(130, 9, 3, 42);
+        assert!(b.bit_identical);
+        assert_eq!((b.dim, b.slots), (130, 9));
+        assert!(b.scalar_windows_per_sec > 0.0);
+        assert!(b.bitsliced_windows_per_sec > 0.0);
+        assert!(b.speedup() > 0.0);
     }
 
     #[test]

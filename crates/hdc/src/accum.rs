@@ -16,6 +16,12 @@ use crate::error::{DimensionMismatchError, HdcError};
 /// updates do not saturate, and are thresholded back to a
 /// [`BitVector`] for the binary deployment model.
 ///
+/// This scalar accumulator is the *reference implementation* and the
+/// general (fractionally weighted) tool; the unweighted ±1 bundling
+/// on the detector's window-encoding hot path runs on the word-level
+/// [`BitSlicedBundler`](crate::BitSlicedBundler), which is verified
+/// bit-identical against this type.
+///
 /// [`hdface-learn`]: https://example.invalid/hdface
 ///
 /// ```
@@ -133,15 +139,30 @@ impl Accumulator {
 
     /// Merges another accumulator into this one componentwise.
     ///
+    /// `count` becomes the sum of both counts, preserving the "number
+    /// of `add`-style calls" meaning: the merged accumulator behaves
+    /// as if every constituent vector had been added here directly,
+    /// so [`threshold`](Self::threshold) keeps its exact-majority
+    /// cutoff over the combined population.
+    ///
     /// # Errors
     ///
-    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
-    pub fn merge(&mut self, other: &Accumulator) -> Result<(), DimensionMismatchError> {
+    /// Returns [`HdcError::DimensionMismatch`] if dimensionalities
+    /// differ, and [`HdcError::NonFinite`] if `other` carries a
+    /// non-finite component — adding `±inf` values can produce `NaN`
+    /// components (`inf + -inf`), which would silently corrupt every
+    /// later majority cutoff (`NaN > 0.0` and `NaN < 0.0` are both
+    /// false, so poisoned dimensions masquerade as deterministic
+    /// zeros without consuming tie-break randomness).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<(), HdcError> {
         if other.dim() != self.dim() {
-            return Err(DimensionMismatchError {
+            return Err(HdcError::DimensionMismatch(DimensionMismatchError {
                 left: self.dim(),
                 right: other.dim(),
-            });
+            }));
+        }
+        if let Some(&bad) = other.values.iter().find(|v| !v.is_finite()) {
+            return Err(HdcError::NonFinite(bad));
         }
         for (a, b) in self.values.iter_mut().zip(&other.values) {
             *a += *b;
@@ -152,10 +173,32 @@ impl Accumulator {
 
     /// Scales every component by `factor` (used for decay/regularized
     /// training schedules).
-    pub fn scale(&mut self, factor: f64) {
+    ///
+    /// `count` is intentionally left unchanged: it keeps counting
+    /// `add`-style calls, **not** total accumulated weight, so after a
+    /// `scale` the two diverge. [`threshold`](Self::threshold) is
+    /// unaffected — its cutoff is the sign at exactly zero, and
+    /// `0 · factor == 0` for every finite factor — but any caller
+    /// deriving a majority cutoff from `count` (e.g. `count / 2`
+    /// against raw components) must apply the same factor to that
+    /// cutoff. Note a *negative* factor flips every component's sign
+    /// and therefore inverts the subsequent threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::NonFinite`] for NaN or infinite factors:
+    /// `0 · NaN` and `0 · inf` are `NaN`, which would silently turn
+    /// tie dimensions into deterministic zeros in later
+    /// [`threshold`](Self::threshold) calls (skewing both the bundle
+    /// and the mask-RNG consumption).
+    pub fn scale(&mut self, factor: f64) -> Result<(), HdcError> {
+        if !factor.is_finite() {
+            return Err(HdcError::NonFinite(factor));
+        }
         for v in &mut self.values {
             *v *= factor;
         }
+        Ok(())
     }
 
     /// Thresholds to a binary hypervector: bit `1` where the component
@@ -366,8 +409,42 @@ mod tests {
         let v = BitVector::from_bools(&[true]);
         let mut a = Accumulator::new(1);
         a.add(&v).unwrap();
-        a.scale(0.5);
+        a.scale(0.5).unwrap();
         assert_eq!(a.component(0), 0.5);
+        // count still tracks add-calls, not accumulated weight.
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn scale_rejects_non_finite_factors() {
+        let v = BitVector::from_bools(&[true, false]);
+        let mut a = Accumulator::new(2);
+        a.add(&v).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(a.scale(bad), Err(HdcError::NonFinite(_))));
+        }
+        // The accumulator is untouched by a rejected scale.
+        assert_eq!(a.component(0), 1.0);
+        // Zero and negative factors are legal (negative flips signs).
+        a.scale(-1.0).unwrap();
+        assert_eq!(a.component(0), -1.0);
+        assert!(!a.threshold_deterministic().get(0));
+    }
+
+    #[test]
+    fn merge_rejects_non_finite_components() {
+        let v = BitVector::from_bools(&[true, true]);
+        let mut a = Accumulator::new(2);
+        a.add(&v).unwrap();
+        let mut poisoned = Accumulator::new(2);
+        poisoned.add_weighted(&v, f64::INFINITY).unwrap();
+        assert!(matches!(
+            a.merge(&poisoned),
+            Err(HdcError::NonFinite(f)) if f == f64::INFINITY
+        ));
+        // The rejected merge left the target untouched.
+        assert_eq!(a.component(0), 1.0);
+        assert_eq!(a.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,642 @@
+//! Bit-sliced (carry-save) bundling kernels.
+//!
+//! Majority bundling is the detector's window-encoding hot path:
+//! every window binds each cached cell hypervector to its slot key
+//! and feeds the bound vector through an accumulator, and the scalar
+//! [`Accumulator`] spends one `f64` add **per bit per vector**
+//! (D = 8192 → ~8k floating-point ops per bound slot). But a bundle
+//! of unweighted ±1 contributions only ever needs the per-dimension
+//! *ones count*, and that count fits in ⌈log₂(N+1)⌉ bits — so this
+//! module keeps it in that many `u64` *planes* and updates all 64
+//! dimensions of a word at once with half/full-adder logic:
+//!
+//! ```text
+//! plane 0 (weight 1):  carry = input
+//! plane p:             plane', carry' = plane ⊕ carry, plane ∧ carry
+//! ```
+//!
+//! Amortized over N inputs the ripple touches ~2 planes per word, so
+//! one packed word costs a handful of bitwise ops instead of 64
+//! floating-point adds. [`BitSlicedBundler::threshold`] then compares
+//! every per-bit counter against the majority cutoff word-parallel,
+//! without ever materializing per-bit `f64`s.
+//!
+//! # Tie-break contract
+//!
+//! The result is **bit-identical** to the reference
+//! `Accumulator::add` + `Accumulator::threshold` pipeline, including
+//! RNG consumption: a dimension with exactly N/2 ones is a tie, and
+//! ties draw `rng.random_bool(0.5)` in ascending dimension order —
+//! the same draws, in the same order, as the scalar path. Dimensions
+//! past `dim` in the final word never consume randomness.
+//!
+//! The scalar [`Accumulator`] remains the reference implementation
+//! and the only path for *weighted* accumulation (training's
+//! `C ← C + (1 − δ)·H` updates need fractional weights); for callers
+//! that only need integer ±1 arithmetic but also need subtraction,
+//! [`CounterAccumulator`] is the small integer fallback.
+//!
+//! [`Accumulator`]: crate::Accumulator
+
+use rand::{Rng, RngExt};
+
+use crate::bitvec::BitVector;
+use crate::error::DimensionMismatchError;
+
+const WORD_BITS: usize = 64;
+
+/// A word-parallel carry-save majority bundler.
+///
+/// Ingests packed `u64` words directly — [`bind_accumulate`] fuses
+/// the slot-key XOR with the per-bit count update — and thresholds to
+/// the majority [`BitVector`] in one word-level pass. Designed to be
+/// kept in per-worker scratch and [`reset`] per window, so the
+/// steady-state hot path performs no allocation.
+///
+/// ```
+/// use hdface_hdc::{Accumulator, BitSlicedBundler, BitVector, HdcRng, SeedableRng};
+///
+/// let mut rng = HdcRng::seed_from_u64(7);
+/// let vs: Vec<BitVector> = (0..5).map(|_| BitVector::random(300, &mut rng)).collect();
+/// let key = BitVector::random(300, &mut rng);
+///
+/// let mut kernel = BitSlicedBundler::new(300);
+/// let mut reference = Accumulator::new(300);
+/// for v in &vs {
+///     kernel.bind_accumulate(v, &key).unwrap();
+///     reference.add(&v.xor(&key).unwrap()).unwrap();
+/// }
+/// let mut r1 = HdcRng::seed_from_u64(1);
+/// let mut r2 = HdcRng::seed_from_u64(1);
+/// assert_eq!(kernel.threshold(&mut r1), reference.threshold(&mut r2));
+/// ```
+///
+/// [`bind_accumulate`]: BitSlicedBundler::bind_accumulate
+/// [`reset`]: BitSlicedBundler::reset
+#[derive(Debug, Clone)]
+pub struct BitSlicedBundler {
+    dim: usize,
+    words: usize,
+    count: usize,
+    /// Counter planes, plane-major: plane `p` is
+    /// `planes[p * words..(p + 1) * words]`, and bit `j` of its word
+    /// `w` contributes `2^p` to the ones count of dimension
+    /// `w * 64 + j`. `planes.len()` is the high-water capacity; only
+    /// the first `n_planes` planes are live.
+    planes: Vec<u64>,
+    n_planes: usize,
+}
+
+impl BitSlicedBundler {
+    /// Creates an empty bundler of dimensionality `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        BitSlicedBundler {
+            dim,
+            words: dim.div_ceil(WORD_BITS),
+            count: 0,
+            planes: Vec::new(),
+            n_planes: 0,
+        }
+    }
+
+    /// Clears the bundler and re-targets it at `dim`, reusing the
+    /// existing plane storage whenever the word count allows — the
+    /// per-window reset of a long-lived scratch bundler touches no
+    /// allocator.
+    pub fn reset(&mut self, dim: usize) {
+        let words = dim.div_ceil(WORD_BITS);
+        if words != self.words {
+            self.planes.clear();
+        }
+        self.dim = dim;
+        self.words = words;
+        self.count = 0;
+        self.n_planes = 0;
+        self.planes.fill(0);
+    }
+
+    /// Dimensionality of the bundle.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors accumulated since the last reset.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of live counter planes (⌈log₂(count + 1)⌉).
+    #[inline]
+    #[must_use]
+    pub fn planes(&self) -> usize {
+        self.n_planes
+    }
+
+    /// Grows the live plane set so counters can hold `count + 1`
+    /// without carry overflow.
+    fn reserve_next(&mut self) {
+        let needed = (usize::BITS - (self.count + 1).leading_zeros()) as usize;
+        if needed > self.n_planes {
+            let want = needed * self.words;
+            if self.planes.len() < want {
+                self.planes.resize(want, 0);
+            }
+            self.n_planes = needed;
+        }
+    }
+
+    /// Ripples one input word into the counter planes of word `w`.
+    #[inline]
+    fn ripple(planes: &mut [u64], words: usize, n_planes: usize, w: usize, mut carry: u64) {
+        let mut p = 0;
+        while carry != 0 && p < n_planes {
+            let slot = &mut planes[p * words + w];
+            let t = *slot;
+            *slot = t ^ carry;
+            carry &= t;
+            p += 1;
+        }
+        debug_assert_eq!(carry, 0, "carry overflow: planes under-reserved");
+    }
+
+    /// Fused bind-and-accumulate: XORs `value` with `key` word-by-word
+    /// and adds the bound vector's bits to the per-dimension counters,
+    /// without materializing the bound hypervector.
+    ///
+    /// Equivalent to `acc.add(&value.xor(key)?)?` on the scalar
+    /// reference, at a small fraction of the cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if either operand's
+    /// dimensionality differs from the bundler's.
+    pub fn bind_accumulate(
+        &mut self,
+        value: &BitVector,
+        key: &BitVector,
+    ) -> Result<(), DimensionMismatchError> {
+        if value.dim() != self.dim || key.dim() != self.dim {
+            return Err(DimensionMismatchError {
+                left: self.dim,
+                right: if value.dim() != self.dim {
+                    value.dim()
+                } else {
+                    key.dim()
+                },
+            });
+        }
+        self.reserve_next();
+        for (w, (&v, &k)) in value.as_words().iter().zip(key.as_words()).enumerate() {
+            Self::ripple(&mut self.planes, self.words, self.n_planes, w, v ^ k);
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Accumulates an unbound hypervector (the `key = 0` case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the dimensionality
+    /// differs from the bundler's.
+    pub fn accumulate(&mut self, value: &BitVector) -> Result<(), DimensionMismatchError> {
+        if value.dim() != self.dim {
+            return Err(DimensionMismatchError {
+                left: self.dim,
+                right: value.dim(),
+            });
+        }
+        self.reserve_next();
+        for (w, &v) in value.as_words().iter().enumerate() {
+            Self::ripple(&mut self.planes, self.words, self.n_planes, w, v);
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// The ones count of one dimension (test/diagnostic read-out; the
+    /// hot path never materializes per-bit counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[must_use]
+    pub fn ones_count(&self, index: usize) -> usize {
+        assert!(index < self.dim, "index {index} out of range {}", self.dim);
+        let w = index / WORD_BITS;
+        let b = index % WORD_BITS;
+        (0..self.n_planes)
+            .map(|p| (((self.planes[p * self.words + w] >> b) & 1) as usize) << p)
+            .sum()
+    }
+
+    /// Valid-bit mask of the final word.
+    fn tail_mask(&self) -> u64 {
+        let rem = self.dim % WORD_BITS;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// Thresholds to the majority hypervector: bit `1` where more than
+    /// half the accumulated vectors had a `1`, bit `0` where fewer,
+    /// and exact ties (possible only for even counts) broken by the
+    /// supplied RNG — bit-identical to the scalar
+    /// [`Accumulator::threshold`](crate::Accumulator::threshold) over
+    /// the same inputs, consuming the identical RNG draws in the
+    /// identical (ascending-dimension) order.
+    ///
+    /// The comparison runs word-parallel: per plane, from the most
+    /// significant down, `gt`/`eq` masks track which of the 64 lanes
+    /// already exceed or still equal the majority cutoff `count / 2`.
+    #[must_use]
+    pub fn threshold<R: Rng>(&self, rng: &mut R) -> BitVector {
+        let cutoff = self.count / 2;
+        // Odd counts cannot tie: 2·ones == count has no solution.
+        let tie_possible = self.count.is_multiple_of(2);
+        let mut out = vec![0u64; self.words];
+        for (w, slot) in out.iter_mut().enumerate() {
+            let mut gt = 0u64;
+            let mut eq = u64::MAX;
+            for p in (0..self.n_planes).rev() {
+                let pw = self.planes[p * self.words + w];
+                if (cutoff >> p) & 1 == 1 {
+                    eq &= pw;
+                } else {
+                    gt |= eq & pw;
+                    eq &= !pw;
+                }
+            }
+            let valid = if w + 1 == self.words {
+                self.tail_mask()
+            } else {
+                u64::MAX
+            };
+            let mut word = gt & valid;
+            if tie_possible {
+                // Ascending bit order within the word keeps the global
+                // RNG consumption order identical to the scalar loop.
+                let mut ties = eq & valid;
+                while ties != 0 {
+                    let b = ties.trailing_zeros();
+                    if rng.random_bool(0.5) {
+                        word |= 1u64 << b;
+                    }
+                    ties &= ties - 1;
+                }
+            }
+            *slot = word;
+        }
+        BitVector::from_words(self.dim, out)
+    }
+
+    /// Thresholds with deterministic tie-breaking (ties become `0`),
+    /// mirroring
+    /// [`Accumulator::threshold_deterministic`](crate::Accumulator::threshold_deterministic).
+    #[must_use]
+    pub fn threshold_deterministic(&self) -> BitVector {
+        let cutoff = self.count / 2;
+        let mut out = vec![0u64; self.words];
+        for (w, slot) in out.iter_mut().enumerate() {
+            let mut gt = 0u64;
+            let mut eq = u64::MAX;
+            for p in (0..self.n_planes).rev() {
+                let pw = self.planes[p * self.words + w];
+                if (cutoff >> p) & 1 == 1 {
+                    eq &= pw;
+                } else {
+                    gt |= eq & pw;
+                    eq &= !pw;
+                }
+            }
+            *slot = gt;
+        }
+        BitVector::from_words(self.dim, out)
+    }
+}
+
+/// A per-dimension *integer* accumulator: the small fallback for
+/// callers that need signed ±1 arithmetic (subtraction included) but
+/// no fractional weights — cheaper and exactly representable where the
+/// `f64` [`Accumulator`](crate::Accumulator) is the general tool.
+///
+/// Threshold semantics (including RNG tie-breaking) match the scalar
+/// reference bit-for-bit for any sequence of `add`/`sub` calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterAccumulator {
+    counts: Vec<i32>,
+    count: usize,
+}
+
+impl CounterAccumulator {
+    /// Creates a zeroed integer accumulator of dimensionality `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        CounterAccumulator {
+            counts: vec![0; dim],
+            count: 0,
+        }
+    }
+
+    /// Dimensionality of the accumulator.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of `add`/`sub` calls applied so far.
+    #[inline]
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds a hypervector's bipolar values (+1 for a set bit, −1
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn add(&mut self, v: &BitVector) -> Result<(), DimensionMismatchError> {
+        self.add_signed(v, 1)
+    }
+
+    /// Subtracts a hypervector's bipolar values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if dimensionalities differ.
+    pub fn sub(&mut self, v: &BitVector) -> Result<(), DimensionMismatchError> {
+        self.add_signed(v, -1)
+    }
+
+    fn add_signed(&mut self, v: &BitVector, sign: i32) -> Result<(), DimensionMismatchError> {
+        if v.dim() != self.dim() {
+            return Err(DimensionMismatchError {
+                left: self.dim(),
+                right: v.dim(),
+            });
+        }
+        for (chunk, &word) in self.counts.chunks_mut(WORD_BITS).zip(v.as_words()) {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c += if (word >> j) & 1 == 1 { sign } else { -sign };
+            }
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// The signed count of one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[inline]
+    #[must_use]
+    pub fn component(&self, index: usize) -> i32 {
+        self.counts[index]
+    }
+
+    /// Thresholds to a binary hypervector with RNG tie-breaking,
+    /// matching [`Accumulator::threshold`](crate::Accumulator::threshold).
+    #[must_use]
+    pub fn threshold<R: Rng>(&self, rng: &mut R) -> BitVector {
+        let mut out = BitVector::zeros(self.dim());
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bit = match c.cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => rng.random_bool(0.5),
+            };
+            out.set(i, bit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accumulator, HdcRng, SeedableRng};
+
+    fn reference_bundle(
+        pairs: &[(BitVector, BitVector)],
+        dim: usize,
+        rng: &mut HdcRng,
+    ) -> BitVector {
+        let mut acc = Accumulator::new(dim);
+        for (v, k) in pairs {
+            acc.add(&v.xor(k).unwrap()).unwrap();
+        }
+        acc.threshold(rng)
+    }
+
+    fn random_pairs(dim: usize, n: usize, seed: u64) -> Vec<(BitVector, BitVector)> {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    BitVector::random(dim, &mut rng),
+                    BitVector::random(dim, &mut rng),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_across_dims_and_counts() {
+        for &dim in &[1usize, 63, 64, 65, 300, 1024] {
+            for &n in &[1usize, 2, 3, 8, 17, 64] {
+                let pairs = random_pairs(dim, n, dim as u64 * 1000 + n as u64);
+                let mut b = BitSlicedBundler::new(dim);
+                for (v, k) in &pairs {
+                    b.bind_accumulate(v, k).unwrap();
+                }
+                let mut r1 = HdcRng::seed_from_u64(42);
+                let mut r2 = HdcRng::seed_from_u64(42);
+                assert_eq!(
+                    b.threshold(&mut r1),
+                    reference_bundle(&pairs, dim, &mut r2),
+                    "dim {dim}, n {n}"
+                );
+                // Identical residual RNG state: the kernel consumed
+                // exactly the draws the scalar path did.
+                assert_eq!(
+                    rand::Rng::random::<u64>(&mut r1),
+                    rand::Rng::random::<u64>(&mut r2),
+                    "RNG consumption diverged at dim {dim}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_ties_draw_rng_in_dimension_order() {
+        // v and !v in pairs: every dimension ties at count/2.
+        let dim = 130; // non-multiple of 64 → padding in the last word
+        let mut rng = HdcRng::seed_from_u64(9);
+        let v = BitVector::random(dim, &mut rng);
+        let nv = v.negated();
+        let key = BitVector::zeros(dim);
+
+        let mut b = BitSlicedBundler::new(dim);
+        let mut acc = Accumulator::new(dim);
+        for _ in 0..3 {
+            b.bind_accumulate(&v, &key).unwrap();
+            b.bind_accumulate(&nv, &key).unwrap();
+            acc.add(&v).unwrap();
+            acc.add(&nv).unwrap();
+        }
+        assert_eq!((0..dim).map(|i| b.ones_count(i)).sum::<usize>(), 3 * dim);
+
+        let mut r1 = HdcRng::seed_from_u64(5);
+        let mut r2 = HdcRng::seed_from_u64(5);
+        let got = b.threshold(&mut r1);
+        let want = acc.threshold(&mut r2);
+        assert_eq!(got, want);
+        assert_eq!(
+            rand::Rng::random::<u64>(&mut r1),
+            rand::Rng::random::<u64>(&mut r2)
+        );
+    }
+
+    #[test]
+    fn empty_bundle_ties_every_dimension() {
+        let dim = 70;
+        let b = BitSlicedBundler::new(dim);
+        let acc = Accumulator::new(dim);
+        let mut r1 = HdcRng::seed_from_u64(3);
+        let mut r2 = HdcRng::seed_from_u64(3);
+        assert_eq!(b.threshold(&mut r1), acc.threshold(&mut r2));
+        // Padding bits must not have consumed randomness.
+        assert_eq!(
+            rand::Rng::random::<u64>(&mut r1),
+            rand::Rng::random::<u64>(&mut r2)
+        );
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears_state() {
+        let mut b = BitSlicedBundler::new(256);
+        let pairs = random_pairs(256, 9, 1);
+        for (v, k) in &pairs {
+            b.bind_accumulate(v, k).unwrap();
+        }
+        assert_eq!(b.count(), 9);
+        assert!(b.planes() >= 4);
+        b.reset(256);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.planes(), 0);
+        // Second run over different data still matches the reference.
+        let pairs = random_pairs(256, 5, 2);
+        for (v, k) in &pairs {
+            b.bind_accumulate(v, k).unwrap();
+        }
+        let mut r1 = HdcRng::seed_from_u64(8);
+        let mut r2 = HdcRng::seed_from_u64(8);
+        assert_eq!(b.threshold(&mut r1), reference_bundle(&pairs, 256, &mut r2));
+        // Retarget at a new dimensionality.
+        b.reset(100);
+        assert_eq!(b.dim(), 100);
+        let pairs = random_pairs(100, 4, 3);
+        for (v, k) in &pairs {
+            b.bind_accumulate(v, k).unwrap();
+        }
+        let mut r1 = HdcRng::seed_from_u64(9);
+        let mut r2 = HdcRng::seed_from_u64(9);
+        assert_eq!(b.threshold(&mut r1), reference_bundle(&pairs, 100, &mut r2));
+    }
+
+    #[test]
+    fn accumulate_matches_bind_with_zero_key() {
+        let dim = 200;
+        let vs = random_pairs(dim, 7, 4);
+        let zero = BitVector::zeros(dim);
+        let mut a = BitSlicedBundler::new(dim);
+        let mut b = BitSlicedBundler::new(dim);
+        for (v, _) in &vs {
+            a.accumulate(v).unwrap();
+            b.bind_accumulate(v, &zero).unwrap();
+        }
+        let mut r1 = HdcRng::seed_from_u64(1);
+        let mut r2 = HdcRng::seed_from_u64(1);
+        assert_eq!(a.threshold(&mut r1), b.threshold(&mut r2));
+    }
+
+    #[test]
+    fn deterministic_threshold_matches_reference() {
+        let dim = 190;
+        let pairs = random_pairs(dim, 6, 11);
+        let mut b = BitSlicedBundler::new(dim);
+        let mut acc = Accumulator::new(dim);
+        for (v, k) in &pairs {
+            b.bind_accumulate(v, k).unwrap();
+            acc.add(&v.xor(k).unwrap()).unwrap();
+        }
+        assert_eq!(b.threshold_deterministic(), acc.threshold_deterministic());
+    }
+
+    #[test]
+    fn ones_counts_are_exact() {
+        let dim = 96;
+        let pairs = random_pairs(dim, 21, 6);
+        let mut b = BitSlicedBundler::new(dim);
+        let mut naive = vec![0usize; dim];
+        for (v, k) in &pairs {
+            b.bind_accumulate(v, k).unwrap();
+            let bound = v.xor(k).unwrap();
+            for (i, n) in naive.iter_mut().enumerate() {
+                *n += usize::from(bound.get(i));
+            }
+        }
+        for (i, &n) in naive.iter().enumerate() {
+            assert_eq!(b.ones_count(i), n, "dimension {i}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut b = BitSlicedBundler::new(64);
+        let v64 = BitVector::zeros(64);
+        let v65 = BitVector::zeros(65);
+        assert!(b.bind_accumulate(&v65, &v64).is_err());
+        assert!(b.bind_accumulate(&v64, &v65).is_err());
+        assert!(b.accumulate(&v65).is_err());
+        assert!(b.bind_accumulate(&v64, &v64).is_ok());
+    }
+
+    #[test]
+    fn counter_accumulator_matches_float_reference() {
+        let dim = 150;
+        let mut rng = HdcRng::seed_from_u64(12);
+        let vs: Vec<BitVector> = (0..9).map(|_| BitVector::random(dim, &mut rng)).collect();
+        let mut ints = CounterAccumulator::new(dim);
+        let mut floats = Accumulator::new(dim);
+        for (i, v) in vs.iter().enumerate() {
+            if i % 3 == 2 {
+                ints.sub(v).unwrap();
+                floats.sub(v).unwrap();
+            } else {
+                ints.add(v).unwrap();
+                floats.add(v).unwrap();
+            }
+        }
+        assert_eq!(ints.count(), floats.count());
+        for i in 0..dim {
+            assert_eq!(f64::from(ints.component(i)), floats.component(i));
+        }
+        let mut r1 = HdcRng::seed_from_u64(2);
+        let mut r2 = HdcRng::seed_from_u64(2);
+        assert_eq!(ints.threshold(&mut r1), floats.threshold(&mut r2));
+        assert!(ints.add(&BitVector::zeros(dim + 1)).is_err());
+        assert!(ints.sub(&BitVector::zeros(dim + 1)).is_err());
+    }
+}

@@ -47,6 +47,14 @@ pub enum HdcError {
     EmptyInput,
     /// A probability parameter fell outside `[0, 1]`.
     InvalidProbability(f64),
+    /// A scale factor or merge operand that would introduce non-finite
+    /// accumulator components was rejected. NaN components silently
+    /// corrupt later [`Accumulator::threshold`] majority cutoffs
+    /// (`NaN > 0.0` is false, so every poisoned dimension collapses to
+    /// a tie-free `0`), so the poison is refused at the source.
+    ///
+    /// [`Accumulator::threshold`]: crate::Accumulator::threshold
+    NonFinite(f64),
 }
 
 impl fmt::Display for HdcError {
@@ -57,6 +65,12 @@ impl fmt::Display for HdcError {
             HdcError::EmptyInput => write!(f, "operation requires at least one input vector"),
             HdcError::InvalidProbability(p) => {
                 write!(f, "probability {p} is outside the closed interval [0, 1]")
+            }
+            HdcError::NonFinite(v) => {
+                write!(
+                    f,
+                    "non-finite value {v} would poison accumulator components"
+                )
             }
         }
     }

@@ -31,6 +31,7 @@
 
 mod accum;
 mod bitvec;
+mod bundler;
 mod error;
 mod kernels;
 mod memory;
@@ -40,6 +41,7 @@ mod serial;
 
 pub use accum::Accumulator;
 pub use bitvec::{BitVector, Bits};
+pub use bundler::{BitSlicedBundler, CounterAccumulator};
 pub use error::{DimensionMismatchError, HdcError};
 pub use kernels::{hamming_top2, hamming_top2_batch, top2_scores, HammingTop2, ScoreTop2};
 pub use memory::{ItemMemory, Recall};

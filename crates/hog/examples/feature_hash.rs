@@ -1,0 +1,29 @@
+//! Prints checksums of extracted hyper-HOG features for a fixed
+//! image, seed, and stream layout — a quick cross-revision probe that
+//! the window-encoding path (including the bit-sliced bundling
+//! kernel) is bit-identical to earlier builds in both the per-window
+//! and cached extraction modes.
+//!
+//! ```sh
+//! cargo run --release -p hdface-hog --example feature_hash
+//! ```
+
+use hdface_hog::{HyperHog, HyperHogConfig};
+use hdface_imaging::GrayImage;
+
+fn main() {
+    for dim in [1024usize, 4096, 8193] {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 3 + y * 7) % 13) as f32 / 12.0);
+        let hog = HyperHog::new(HyperHogConfig::with_dim(dim), 7);
+        let mut s = hog.scratch_for_stream(3);
+        let f = hog.extract_with(&img, &mut s).unwrap();
+        let cache = hog.build_level_cache(&img.normalized(), 99).unwrap();
+        let mut s2 = hog.scratch_for_stream(4);
+        let g = hog.extract_from_cache(&cache, 0, 0, 2, 2, &mut s2).unwrap();
+        println!(
+            "dim {dim}: window {:016x} cached {:016x}",
+            f.checksum(),
+            g.checksum()
+        );
+    }
+}

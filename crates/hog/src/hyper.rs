@@ -30,7 +30,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard};
 
-use hdface_hdc::{Accumulator, BitVector, HdcRng, SeedableRng};
+use hdface_hdc::{BitSlicedBundler, BitVector, HdcRng, SeedableRng};
 use hdface_imaging::GrayImage;
 use hdface_stochastic::{derive_coord_seed, Shv, StochasticContext, StochasticError};
 
@@ -110,6 +110,19 @@ struct SlotValue {
 pub struct HogScratch {
     mask_rng: HdcRng,
     noise_rng: HdcRng,
+    /// Reusable bit-sliced bundling kernel: reset per window, so the
+    /// steady-state bind-and-accumulate loop never allocates.
+    bundler: BitSlicedBundler,
+}
+
+impl HogScratch {
+    fn new(mask_rng: HdcRng, noise_rng: HdcRng) -> Self {
+        HogScratch {
+            mask_rng,
+            noise_rng,
+            bundler: BitSlicedBundler::new(0),
+        }
+    }
 }
 
 /// A precomputed comparison hypervector for one bin boundary in one
@@ -424,10 +437,17 @@ impl HyperHog {
     /// Maps a slot scalar to its correlative level vector (the scalar
     /// is the popcount read-out produced during accumulation).
     fn quantize_slot(&self, value: f64) -> BitVector {
+        self.quantize_slot_ref(value).clone()
+    }
+
+    /// Borrowing form of [`quantize_slot`](Self::quantize_slot): the
+    /// bundling hot path binds the codebook entry in place, so it
+    /// never needs an owned copy.
+    fn quantize_slot_ref(&self, value: f64) -> &BitVector {
         let v = value.clamp(0.0, Self::LEVEL_RANGE_MAX);
         let levels = self.level_codes.len();
         let idx = ((v / Self::LEVEL_RANGE_MAX) * (levels - 1) as f64).round() as usize;
-        self.level_codes[idx.min(levels - 1)].clone()
+        &self.level_codes[idx.min(levels - 1)]
     }
 
     /// The extractor configuration.
@@ -470,12 +490,10 @@ impl HyperHog {
     /// uncached key is derived on the fly to the same bits).
     #[must_use]
     pub fn scratch_for_stream(&self, stream: u64) -> HogScratch {
-        HogScratch {
-            mask_rng: HdcRng::seed_from_u64(
-                stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635,
-            ),
-            noise_rng: HdcRng::seed_from_u64(stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4),
-        }
+        HogScratch::new(
+            HdcRng::seed_from_u64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635),
+            HdcRng::seed_from_u64(stream.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ 0x27d4),
+        )
     }
 
     /// Injects the configured bit-error rate into a hypervector
@@ -839,10 +857,10 @@ impl HyperHog {
     /// legacy `&mut self` entry points can delegate to the shared-state
     /// implementations while consuming the exact same streams.
     fn take_own_scratch(&mut self) -> HogScratch {
-        HogScratch {
-            mask_rng: std::mem::replace(self.ctx.rng_mut(), HdcRng::seed_from_u64(0)),
-            noise_rng: std::mem::replace(&mut self.noise_rng, HdcRng::seed_from_u64(0)),
-        }
+        HogScratch::new(
+            std::mem::replace(self.ctx.rng_mut(), HdcRng::seed_from_u64(0)),
+            std::mem::replace(&mut self.noise_rng, HdcRng::seed_from_u64(0)),
+        )
     }
 
     /// Puts the extractor-owned RNG streams back after delegation.
@@ -891,17 +909,23 @@ impl HyperHog {
     ) -> Result<BitVector, HyperHogError> {
         let (slots, _, _) = self.extract_slots_with(image, scratch)?;
         let keys = self.slot_keys_for(slots.len());
-        let mut acc = Accumulator::new(self.config.dim);
+        // Fused word-level bundling: bind each slot to its key and
+        // update the carry-save bit counts in one pass — bit-identical
+        // to the scalar xor + `Accumulator::add` + `threshold`
+        // reference (tie-break RNG draws included).
+        scratch.bundler.reset(self.config.dim);
         for (i, slot) in slots.iter().enumerate() {
             let value_bits = match self.config.assembly {
-                crate::config::Assembly::Quantized => self.quantize_slot(slot.value),
-                crate::config::Assembly::Stochastic => slot.shv.as_bits().clone(),
+                crate::config::Assembly::Quantized => self.quantize_slot_ref(slot.value),
+                crate::config::Assembly::Stochastic => slot.shv.as_bits(),
             };
-            let bound = value_bits.xor(&keys[i]).expect("dims equal");
-            acc.add(&bound).expect("dims equal");
+            scratch
+                .bundler
+                .bind_accumulate(value_bits, &keys[i])
+                .expect("dims equal");
         }
         drop(keys);
-        let bundled = acc.threshold(&mut scratch.mask_rng);
+        let bundled = scratch.bundler.threshold(&mut scratch.mask_rng);
         Ok(self
             .corrupt_with(Shv::from_bits(bundled), &mut scratch.noise_rng)
             .into_bits())
@@ -941,18 +965,18 @@ impl HyperHog {
 
     /// Per-cell scratch streams keyed by absolute cell coordinates.
     fn scratch_for_cell(level_seed: u64, cx: usize, cy: usize) -> HogScratch {
-        HogScratch {
-            mask_rng: HdcRng::seed_from_u64(derive_coord_seed(
+        HogScratch::new(
+            HdcRng::seed_from_u64(derive_coord_seed(
                 level_seed ^ CELL_MASK_SALT,
                 cx as u64,
                 cy as u64,
             )),
-            noise_rng: HdcRng::seed_from_u64(derive_coord_seed(
+            HdcRng::seed_from_u64(derive_coord_seed(
                 level_seed ^ CELL_NOISE_SALT,
                 cx as u64,
                 cy as u64,
             )),
-        }
+        )
     }
 
     /// Computes the `bins` cached slots of cell `(cx, cy)` of `image`
@@ -1144,23 +1168,25 @@ impl HyperHog {
         );
         let bins = cache.bins;
         let keys = self.slot_keys_for(cells_w * cells_h * bins);
-        let mut acc = Accumulator::new(self.config.dim);
+        // Per-window cost is one fused bind+carry-save pass over the
+        // cached cells — no per-slot bound vector, no per-bit floats —
+        // bit-identical to the scalar `Accumulator` reference.
+        scratch.bundler.reset(self.config.dim);
         let mut i = 0;
         for wy in 0..cells_h {
             for wx in 0..cells_w {
                 let base = ((cell_y0 + wy) * cache.cells_x + (cell_x0 + wx)) * bins;
                 for bin in 0..bins {
-                    let bound = cache.slots[base + bin]
-                        .bits
-                        .xor(&keys[i])
+                    scratch
+                        .bundler
+                        .bind_accumulate(&cache.slots[base + bin].bits, &keys[i])
                         .expect("dims equal");
-                    acc.add(&bound).expect("dims equal");
                     i += 1;
                 }
             }
         }
         drop(keys);
-        let bundled = acc.threshold(&mut scratch.mask_rng);
+        let bundled = scratch.bundler.threshold(&mut scratch.mask_rng);
         Ok(self
             .corrupt_with(Shv::from_bits(bundled), &mut scratch.noise_rng)
             .into_bits())

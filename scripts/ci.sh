@@ -85,9 +85,11 @@ finish suite "$suite_start"
 step serve ./scripts/cargo-offline.sh test -q \
     --test serve --test persist_errors --test fault_injection
 
-# Bench smoke: one tiny detection benchmark asserting the level-cell
-# cache is at least as fast as per-window extraction (exit 1 on
-# regression; writes no report files).
+# Bench smoke: one tiny detection benchmark asserting (a) the
+# level-cell cache is at least as fast as per-window extraction and
+# (b) the bit-sliced bundling kernel is at least as fast as the scalar
+# Accumulator and bit-identical to it (exit 1 on regression; writes no
+# report files).
 step bench ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
 
 summary

@@ -124,6 +124,13 @@ pub struct ScanStats {
     /// Windows skipped because quarantined classes left no margin to
     /// compute (0 without an integrity guard).
     pub quarantined_windows: usize,
+    /// Wall-clock nanoseconds the scan spent in the window
+    /// encode-and-score pass (binding, bundling, thresholding and
+    /// classifying every window — the phase the bit-sliced bundling
+    /// kernels accelerate). Excludes pyramid construction and
+    /// level-cache builds; timing, so *not* deterministic across
+    /// runs.
+    pub encode_ns: u64,
 }
 
 /// Configuration of the multi-scale detector.
@@ -484,6 +491,7 @@ impl FaceDetector {
         };
 
         let base = derive_seed(self.pipeline.seed(), DETECT_STREAM_SALT);
+        let encode_start = std::time::Instant::now();
         let scored = engine.run(
             tasks.len(),
             |i| -> Result<(Option<f64>, bool), DetectorError> {
@@ -523,7 +531,10 @@ impl FaceDetector {
             },
         );
 
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            encode_ns: u64::try_from(encode_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            ..ScanStats::default()
+        };
         let mut detections = Vec::new();
         for ((li, w), result) in tasks.into_iter().zip(scored) {
             let (score, cached): (Option<f64>, bool) = result?;

@@ -48,6 +48,15 @@ impl LatencyHistogram {
     /// (`0.0 ≤ q ≤ 1.0`), or `None` while empty.
     #[must_use]
     pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
+    /// Unit-agnostic form of
+    /// [`quantile_micros`](Self::quantile_micros): the buckets are
+    /// plain powers of two of whatever unit the caller `record`s (the
+    /// serve layer stores nanoseconds in its `encode_ns` histogram).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         let snapshot: Vec<u64> = self
             .counts
             .iter()
@@ -121,6 +130,16 @@ pub struct ServerMetrics {
     pub other: EndpointMetrics,
     /// Connections shed with `503` because the queue was full.
     pub rejected: AtomicU64,
+    /// Per-scan window encode-and-score latency in **nanoseconds**
+    /// (one observation per successful `/detect` scan, from
+    /// [`ScanStats::encode_ns`]) — the phase the bit-sliced bundling
+    /// kernels accelerate, broken out from end-to-end request latency
+    /// so deployments can see the bundling win directly. Same
+    /// power-of-two buckets as the micros histograms; scans beyond
+    /// ~4.3 s saturate the top bucket.
+    ///
+    /// [`ScanStats::encode_ns`]: crate::detector::ScanStats
+    pub encode_ns: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -165,14 +184,19 @@ impl ServerMetrics {
         key_cold: u64,
         integrity: Option<&str>,
     ) -> String {
+        let fmt = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
         format!(
             "{{\"requests_total\":{},\"rejected_total\":{},\"queue_depth\":{queue_depth},\
              \"queue_capacity\":{queue_capacity},\"workers\":{workers},\
-             \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold}}},\
+             \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold},\
+             \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
              \"integrity\":{},\
              \"endpoints\":{{{},{},{},{},{}}}}}",
             self.total_requests(),
             self.rejected.load(Ordering::Relaxed),
+            self.encode_ns.count(),
+            fmt(self.encode_ns.quantile(0.50)),
+            fmt(self.encode_ns.quantile(0.99)),
             integrity.unwrap_or("null"),
             self.detect.json("detect"),
             self.classify.json("classify"),
@@ -241,7 +265,9 @@ mod tests {
         assert!(json.contains("\"queue_depth\":3"));
         assert!(json.contains("\"queue_capacity\":64"));
         assert!(json.contains("\"workers\":4"));
-        assert!(json.contains("\"extraction\":{\"key_warm\":120,\"key_cold\":5}"));
+        assert!(json.contains("\"extraction\":{\"key_warm\":120,\"key_cold\":5,"));
+        // No scans recorded yet: count 0, null quantiles.
+        assert!(json.contains("\"encode_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
         assert!(json.contains("\"integrity\":null"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
         assert!(json.contains("\"p50_micros\":2048"));
@@ -250,5 +276,9 @@ mod tests {
         // in verbatim.
         let json = m.to_json(3, 64, 4, 120, 5, Some("{\"flips_injected\":9}"));
         assert!(json.contains("\"integrity\":{\"flips_injected\":9}"));
+        // Recorded scan encode times surface as ns quantiles.
+        m.encode_ns.record(1_500_000); // 1.5ms → bucket [2^20, 2^21)
+        let json = m.to_json(3, 64, 4, 120, 5, None);
+        assert!(json.contains("\"encode_ns\":{\"scans\":1,\"p50_ns\":2097152,\"p99_ns\":2097152}"));
     }
 }

@@ -392,14 +392,18 @@ fn handle_detect(inner: &Inner, body: &[u8]) -> Response {
         Err(resp) => return resp,
     };
     let scan = Instant::now();
-    match inner.detector.detect_with(&scene, &inner.engine) {
-        Ok(detections) => {
+    match inner.detector.detect_with_stats(&scene, &inner.engine) {
+        Ok((detections, stats)) => {
             let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
+            // Per-scan encode latency feeds the ns histogram behind
+            // `GET /metrics` (the phase the bundling kernels speed up).
+            inner.metrics.encode_ns.record(stats.encode_ns);
             Response::json(
                 200,
                 format!(
-                    "{{\"count\":{},\"scan_micros\":{micros},\"detections\":{}}}",
+                    "{{\"count\":{},\"scan_micros\":{micros},\"encode_ns\":{},\"detections\":{}}}",
                     detections.len(),
+                    stats.encode_ns,
                     detections_to_json(&detections),
                 ),
             )
