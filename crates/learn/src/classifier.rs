@@ -337,6 +337,15 @@ impl HdClassifier {
         clf
     }
 
+    /// Resets every class accumulator to the bipolar values of
+    /// `model`, discarding all accumulated float state. This is the
+    /// shadow trainer's rejection rollback: when a candidate fails
+    /// its held-out gate, the updates that produced it are thrown
+    /// away and learning restarts from the live deployment model.
+    pub fn reset_to_binary(&mut self, model: &BinaryHdModel) {
+        *self = HdClassifier::from_binary(model);
+    }
+
     /// Exports the sign-quantized binary deployment model.
     #[must_use]
     pub fn to_binary(&self, rng: &mut HdcRng) -> BinaryHdModel {
@@ -603,6 +612,25 @@ mod tests {
                 "cosine-on-bipolar must agree with Hamming"
             );
         }
+    }
+
+    #[test]
+    fn reset_to_binary_discards_accumulated_updates() {
+        let mut rng = HdcRng::seed_from_u64(33);
+        let (_, train) = toy(3, 10, 0.2, &mut rng);
+        let mut clf = HdClassifier::new(3, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let live = clf.to_binary(&mut rng);
+        let mut shadow = HdClassifier::from_binary(&live);
+        // Poison the shadow with deliberately wrong labels, then
+        // roll it back: quantizing it again must reproduce the live
+        // model bit-for-bit (the rejection path's guarantee).
+        for (sample, label) in train.iter().take(5) {
+            shadow.update(sample, (label + 1) % 3, true).unwrap();
+        }
+        shadow.reset_to_binary(&live);
+        let requantized = shadow.to_binary(&mut HdcRng::seed_from_u64(99));
+        assert_eq!(requantized.classes(), live.classes());
     }
 
     #[test]

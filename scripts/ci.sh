@@ -85,6 +85,11 @@ finish suite "$suite_start"
 step serve ./scripts/cargo-offline.sh test -q \
     --test serve --test persist_errors --test fault_injection
 
+# Online learning: feedback → shadow trainer → gated promotion →
+# atomic hot-swap → rollback, plus replay determinism across scan
+# thread counts (the registry manifests must be bit-identical).
+step online ./scripts/cargo-offline.sh test -q --test online
+
 # Bench smoke: one tiny detection benchmark asserting (a) the
 # level-cell cache is at least as fast as per-window extraction and
 # (b) the bit-sliced bundling kernel is at least as fast as the scalar

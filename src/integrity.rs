@@ -48,11 +48,18 @@ const CLASS_DOSE_SALT: u64 = 0xc1a5_5d05_e0b1_7f11;
 pub const LEVEL_CELL_FAULT_SALT: u64 = 0xce11_fa17_0b5e_55ed;
 
 /// Immutable snapshot of the resident model the readers score
-/// against. Swapped atomically (behind an `Arc`) by the scrubber, so
-/// a request sees one consistent model for its whole scan.
+/// against. Swapped atomically (behind an `Arc`) by the scrubber and
+/// by the online hot-swap path, so a request sees one consistent
+/// model — classes *and* golden checksums — for its whole scan.
 struct ModelState {
     /// `replicas[r][c]` — replica `r` of class `c`'s hypervector.
     replicas: Vec<Vec<BitVector>>,
+    /// Golden per-class checksums the scrubber verifies against.
+    /// They live inside the swappable state (not on the guard) so a
+    /// hot-swap installs new classes and their checksums in one
+    /// `Arc` exchange — a scrub racing a swap never judges new words
+    /// against old checksums.
+    golden: Vec<u64>,
     /// Classes excluded from similarity ranking.
     quarantined: Vec<bool>,
     /// Scorer rebuilt from `replicas[0]` — the same
@@ -64,12 +71,13 @@ struct ModelState {
 }
 
 impl ModelState {
-    fn build(replicas: Vec<Vec<BitVector>>, quarantined: Vec<bool>) -> Self {
+    fn build(replicas: Vec<Vec<BitVector>>, golden: Vec<u64>, quarantined: Vec<bool>) -> Self {
         let model = BinaryHdModel::from_classes(replicas[0].clone())
             .expect("replica 0 is non-empty with uniform dims");
         let any_quarantined = quarantined.iter().any(|&q| q);
         ModelState {
             replicas,
+            golden,
             quarantined,
             scorer: HdClassifier::from_binary(&model),
             any_quarantined,
@@ -132,7 +140,6 @@ impl IntegritySnapshot {
 /// quarantine-aware scoring. See the module docs for the life cycle.
 pub struct IntegrityGuard {
     state: RwLock<Arc<ModelState>>,
-    golden: Vec<u64>,
     plan: Option<FaultPlan>,
     replication: usize,
     counters: IntegrityCounters,
@@ -179,12 +186,32 @@ impl IntegrityGuard {
         }
         let quarantined = vec![false; classes.len()];
         IntegrityGuard {
-            state: RwLock::new(Arc::new(ModelState::build(replicas, quarantined))),
-            golden,
+            state: RwLock::new(Arc::new(ModelState::build(replicas, golden, quarantined))),
             plan,
             replication,
             counters,
         }
+    }
+
+    /// Atomically replaces the resident model: fresh R-way replicas
+    /// of `classes`, fresh golden checksums (`golden`, or computed
+    /// from the classes themselves), and a cleared quarantine set,
+    /// swapped in as one `Arc` exchange. In-flight readers finish on
+    /// the state they already cloned; the next read sees the new
+    /// model. The install-time fault dose is construction-only by
+    /// design — a hot-swapped candidate starts clean, and the
+    /// scrubber guards it from then on.
+    ///
+    /// Monotonic counters (flips, scrub passes, repairs) deliberately
+    /// survive the swap: they describe the guard's lifetime, not one
+    /// model's.
+    pub fn install(&self, classes: &[BitVector], golden: Option<Vec<u64>>) {
+        let golden = golden.unwrap_or_else(|| classes.iter().map(BitVector::checksum).collect());
+        let replicas: Vec<Vec<BitVector>> =
+            (0..self.replication).map(|_| classes.to_vec()).collect();
+        let quarantined = vec![false; classes.len()];
+        let fresh = Arc::new(ModelState::build(replicas, golden, quarantined));
+        *self.state.write().expect("integrity lock poisoned") = fresh;
     }
 
     /// The configured fault plan, if any.
@@ -229,6 +256,15 @@ impl IntegrityGuard {
     #[must_use]
     pub fn quarantined(&self) -> Vec<bool> {
         self.read_state().quarantined.clone()
+    }
+
+    /// Snapshot of the resident class hypervectors (replica 0) — the
+    /// words scoring runs against right now. The online trainer uses
+    /// this as its baseline, so it tracks whatever model is live,
+    /// including one installed from the registry at boot.
+    #[must_use]
+    pub fn classes(&self) -> Vec<BitVector> {
+        self.read_state().replicas[0].clone()
     }
 
     fn read_state(&self) -> Arc<ModelState> {
@@ -329,7 +365,7 @@ impl IntegrityGuard {
         let current = self.read_state();
         let mut replicas = current.replicas.clone();
         let mut quarantined = current.quarantined.clone();
-        let n = self.golden.len();
+        let n = current.golden.len();
         let r_count = replicas.len();
         let mut failures = 0u64;
         let mut repaired_words = 0u64;
@@ -337,7 +373,7 @@ impl IntegrityGuard {
 
         for c in 0..n {
             let ok: Vec<bool> = (0..r_count)
-                .map(|r| replicas[r][c].checksum() == self.golden[c])
+                .map(|r| replicas[r][c].checksum() == current.golden[c])
                 .collect();
             let good = ok.iter().filter(|&&g| g).count();
             failures += (r_count - good) as u64;
@@ -357,7 +393,7 @@ impl IntegrityGuard {
                 // the replicas disagree — accept it only when the
                 // voted words checksum clean.
                 let voted = majority_words(&replicas, c);
-                (voted.checksum() == self.golden[c]).then_some(voted)
+                (voted.checksum() == current.golden[c]).then_some(voted)
             };
             match repaired_from {
                 Some(donor) => {
@@ -391,7 +427,11 @@ impl IntegrityGuard {
 
         let left = quarantined.iter().filter(|&&q| q).count();
         if changed {
-            let fresh = Arc::new(ModelState::build(replicas, quarantined));
+            let fresh = Arc::new(ModelState::build(
+                replicas,
+                current.golden.clone(),
+                quarantined,
+            ));
             *self.state.write().expect("integrity lock poisoned") = fresh;
         }
         left
@@ -558,10 +598,11 @@ mod tests {
         {
             let mut state = guard.state.write().unwrap();
             let mut replicas = state.replicas.clone();
+            let golden = state.golden.clone();
             replicas[0][0].flip(3);
             replicas[1][0].flip(77);
             replicas[2][0].flip(501);
-            *state = Arc::new(ModelState::build(replicas, vec![false]));
+            *state = Arc::new(ModelState::build(replicas, golden, vec![false]));
         }
         assert_eq!(guard.scrub_once(), 0, "vote must reconstruct the words");
         let state = guard.read_state();
@@ -579,8 +620,9 @@ mod tests {
         {
             let mut state = guard.state.write().unwrap();
             let mut replicas = state.replicas.clone();
+            let golden = state.golden.clone();
             replicas[0][2].flip(12);
-            *state = Arc::new(ModelState::build(replicas, vec![false; 3]));
+            *state = Arc::new(ModelState::build(replicas, golden, vec![false; 3]));
         }
         guard.scrub_once();
         assert_eq!(guard.quarantined(), vec![false, false, true]);
@@ -596,6 +638,49 @@ mod tests {
         // Classify reports null for the quarantined class.
         let (_, scores) = guard.classify(&q).unwrap().unwrap();
         assert!(scores[0].is_some() && scores[1].is_some() && scores[2].is_none());
+    }
+
+    #[test]
+    fn install_swaps_classes_and_golden_atomically() {
+        let v0 = classes(2, 2048, 21);
+        let v1 = classes(2, 2048, 22);
+        let guard = IntegrityGuard::new(&v0, None, None, 3);
+        guard.install(&v1, None);
+        // Scoring now matches the new model bit-for-bit.
+        let reference =
+            HdClassifier::from_binary(&BinaryHdModel::from_classes(v1.clone()).unwrap());
+        let mut rng = HdcRng::seed_from_u64(23);
+        for _ in 0..4 {
+            let q = BitVector::random_with_density(2048, 0.5, &mut rng).unwrap();
+            let got = guard.margin(&q).unwrap().unwrap();
+            let want = reference.margin(&q, 1).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // The golden checksums swapped with the classes: a scrub of
+        // the freshly installed model finds nothing wrong.
+        assert_eq!(guard.scrub_once(), 0);
+        let snap = guard.snapshot();
+        assert_eq!(snap.checksum_failures, 0);
+        assert_eq!(snap.words_repaired, 0);
+    }
+
+    #[test]
+    fn install_clears_quarantine_and_keeps_counters() {
+        let cls = classes(2, 2048, 25);
+        // R=1 with a dose → both classes quarantine on first scrub.
+        let guard = IntegrityGuard::new(&cls, None, Some(class_plan(0.02)), 1);
+        assert_eq!(guard.scrub_once(), 2);
+        let before = guard.snapshot();
+        assert_eq!(before.classes_quarantined, 2);
+        // Installing a clean model lifts the quarantine but keeps the
+        // lifetime counters.
+        guard.install(&cls, None);
+        let after = guard.snapshot();
+        assert_eq!(after.classes_quarantined, 0);
+        assert_eq!(after.flips_injected, before.flips_injected);
+        assert_eq!(after.checksum_failures, before.checksum_failures);
+        let q = BitVector::zeros(2048);
+        assert!(guard.margin(&q).unwrap().is_some());
     }
 
     #[test]

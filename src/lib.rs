@@ -31,7 +31,11 @@
 //! paper's bit-error study into that live path: deterministic runtime
 //! fault injection (`--inject-bits`), golden per-class checksums, a
 //! background scrubber with R-way replica repair, and quarantine of
-//! unrepairable classes.
+//! unrepairable classes. The [`online`] module closes the learning
+//! loop in production: `POST /feedback` samples feed a shadow trainer
+//! whose gated candidates are versioned in an on-disk model registry
+//! and atomically hot-swapped into the live server — deterministic
+//! given the same feedback sequence, at any thread count.
 //!
 //! ```no_run
 //! use hdface::pipeline::{HdFeatureMode, HdPipeline};
@@ -54,6 +58,7 @@
 pub mod detector;
 pub mod engine;
 pub mod integrity;
+pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod serve;

@@ -5,14 +5,19 @@
 //! hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]
 //! hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]
 //! hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]
-//! hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers N] [--queue-depth N] [--extraction cached|per-window]
+//! hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers N] [--queue-depth N] [--extraction cached|per-window] [--registry-dir DIR]
+//! hdface model  ls|publish|rollback|promote --registry-dir DIR [--model model.hdp] [--version N]
 //! hdface demo
 //! ```
 //!
 //! Models are `HDP1` files (see `hdface::persist`); images are binary
 //! PGM in, PPM overlays out. `--threads` overrides the
 //! `HDFACE_THREADS` environment variable for the scan engine; results
-//! are bit-identical at any thread count.
+//! are bit-identical at any thread count. `serve --registry-dir`
+//! switches on online adaptive learning (see `hdface::online`):
+//! `POST /feedback` samples feed a shadow trainer whose gated
+//! candidates are versioned in the registry and hot-swapped live;
+//! `hdface model` maintains that registry offline.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -26,7 +31,8 @@ use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
 use hdface::integrity::IntegrityGuard;
 use hdface::learn::TrainConfig;
 use hdface::noise::{FaultPlan, FaultTargets};
-use hdface::persist::{corrupt_model_payload, load_bytes_with_integrity};
+use hdface::online::{ModelRegistry, OnlineConfig, PublishMeta, VersionRecord, VersionStatus};
+use hdface::persist::{corrupt_model_payload, load_bytes_with_integrity, model_hash};
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
 use hdface::serve::{ServeConfig, Server};
 
@@ -78,7 +84,16 @@ fn usage() -> String {
      hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]\n  \
      hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
      hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window] [--scrub-interval-ms 1000]\n  \
+     hdface model  ls       --registry-dir DIR\n  \
+     hdface model  publish  --registry-dir DIR --model model.hdp\n  \
+     hdface model  rollback --registry-dir DIR --version N\n  \
+     hdface model  promote  --registry-dir DIR --version N\n  \
      hdface demo\n\n\
+     online learning (serve):\n  \
+     [--registry-dir DIR] [--feedback-queue 256] [--snapshot-every 16] [--shadow-samples 48] [--shadow-seed 97]\n  \
+     --registry-dir enables POST /feedback + the shadow trainer: every --snapshot-every\n  \
+     trained samples a candidate model is gated against a held-out shadow set and, when\n  \
+     no worse than the live model, versioned in DIR and hot-swapped with zero downtime\n\n\
      fault injection (detect and serve):\n  \
      [--inject-bits RATE] [--inject-seed S] [--inject-targets class,cells,bytes|all] [--replicas R]\n  \
      --inject-bits flips each targeted bit with probability RATE (deterministic in S);\n  \
@@ -249,7 +264,36 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
-    let mut pipeline = load_pipeline(args)?;
+    let path = args.require("model")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    // The tolerant loader surfaces the golden trailer so eval can
+    // report the model's integrity identity alongside its accuracy;
+    // mismatches still fail, exactly like the strict loader.
+    let loaded = load_bytes_with_integrity(&bytes).map_err(|e| e.to_string())?;
+    let hash = model_hash(&loaded.classes);
+    match &loaded.golden {
+        Some(golden) => {
+            let clean = loaded
+                .classes
+                .iter()
+                .zip(golden)
+                .filter(|(class, want)| class.checksum() == **want)
+                .count();
+            println!(
+                "model hash {hash:016x}; golden trailer: {clean}/{} class checksums verified",
+                golden.len()
+            );
+            if clean != golden.len() {
+                return Err(format!(
+                    "{} of {} class vectors fail their golden checksum",
+                    golden.len() - clean,
+                    golden.len()
+                ));
+            }
+        }
+        None => println!("model hash {hash:016x}; no golden-checksum trailer"),
+    }
+    let mut pipeline = loaded.pipeline;
     let samples: usize = args.get_or("samples", 80)?;
     let seed: u64 = args.get_or("seed", 9)?;
     let engine = engine_from_args(args)?;
@@ -274,6 +318,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let scrub_interval_ms: u64 = args.get_or("scrub-interval-ms", 1000)?;
     let extraction = extraction_from_args(args)?;
     let engine = engine_from_args(args)?;
+    let online = match args.get("registry-dir") {
+        None => None,
+        Some(dir) => {
+            let mut cfg = OnlineConfig::new(dir.into());
+            cfg.feedback_queue = args.get_or("feedback-queue", cfg.feedback_queue)?;
+            cfg.snapshot_every = args.get_or("snapshot-every", cfg.snapshot_every)?;
+            cfg.shadow_samples = args.get_or("shadow-samples", cfg.shadow_samples)?;
+            cfg.shadow_seed = args.get_or("shadow-seed", cfg.shadow_seed)?;
+            Some(cfg)
+        }
+    };
+    let online_enabled = online.is_some();
 
     let detector = load_detector(
         args,
@@ -292,6 +348,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             queue_depth,
             engine,
             scrub_interval_ms,
+            online,
             ..ServeConfig::default()
         },
     )
@@ -301,9 +358,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         handle.addr(),
         engine.threads(),
     );
-    eprintln!(
-        "endpoints: POST /detect  POST /classify  GET /healthz  GET /metrics  POST /shutdown"
-    );
+    if online_enabled {
+        eprintln!(
+            "endpoints: POST /detect  POST /classify  POST /feedback  GET /model  \
+             GET /healthz  GET /metrics  POST /shutdown"
+        );
+    } else {
+        eprintln!(
+            "endpoints: POST /detect  POST /classify  GET /healthz  GET /metrics  POST /shutdown"
+        );
+    }
     // Foreground until a POST /shutdown arrives, then drain in-flight
     // requests before exiting (std cannot install a SIGTERM handler
     // without new dependencies; see DESIGN.md §8).
@@ -312,6 +376,86 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     handle.shutdown();
     eprintln!("drained, exiting");
     Ok(())
+}
+
+/// Renders one registry row for `hdface model ls`; `live` marks the
+/// version a restarting server would install.
+fn format_version(record: &VersionRecord, live: bool) -> String {
+    let fmt_acc = |acc: Option<f64>| acc.map_or_else(|| "-".to_owned(), |a| format!("{a:.3}"));
+    format!(
+        "{} v{:06}  {:<11}  hash {:016x}  parent {:016x}  samples {:>6}  \
+         shadow_acc {:>6}  live_acc {:>6}  {} bytes",
+        if live { "*" } else { " " },
+        record.id,
+        record.status.to_string(),
+        record.hash,
+        record.parent,
+        record.samples,
+        fmt_acc(record.shadow_acc),
+        fmt_acc(record.live_acc),
+        record.bytes,
+    )
+}
+
+/// `hdface model <ls|publish|rollback|promote>`: offline maintenance
+/// of the online-learning registry (`hdface::online::registry`).
+fn cmd_model(verb: &str, args: &Args) -> Result<(), String> {
+    let dir = args.require("registry-dir")?;
+    let mut registry = ModelRegistry::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    match verb {
+        "ls" => {
+            let live = registry.latest_promoted().map(|r| r.id);
+            println!(
+                "registry {dir} (generation {}, {} versions):",
+                registry.generation(),
+                registry.list().len()
+            );
+            for record in registry.list() {
+                println!("{}", format_version(record, live == Some(record.id)));
+            }
+            Ok(())
+        }
+        "publish" => {
+            let path = args.require("model")?;
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let loaded = load_bytes_with_integrity(&bytes).map_err(|e| e.to_string())?;
+            let meta = PublishMeta {
+                parent: 0,
+                samples: 0,
+                shadow_acc: None,
+                live_acc: None,
+                status: VersionStatus::Promoted,
+            };
+            let id = registry.publish(&bytes, meta).map_err(|e| e.to_string())?;
+            println!(
+                "published {path} as v{id:06} (hash {:016x}, generation {})",
+                model_hash(&loaded.classes),
+                registry.generation()
+            );
+            Ok(())
+        }
+        "rollback" | "promote" => {
+            let id: u64 = args
+                .require("version")?
+                .trim_start_matches('v')
+                .parse()
+                .map_err(|_| "--version: expected a version number".to_owned())?;
+            if verb == "rollback" {
+                registry.rollback(id).map_err(|e| e.to_string())?;
+            } else {
+                registry.promote(id).map_err(|e| e.to_string())?;
+            }
+            println!(
+                "v{id:06} is now the live version (generation {}); a restarting \
+                 `hdface serve --registry-dir {dir}` will install it",
+                registry.generation()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown model verb {other}: expected ls, publish, rollback or promote"
+        )),
+    }
 }
 
 fn cmd_demo() -> Result<(), String> {
@@ -343,6 +487,16 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "demo" => cmd_demo(),
+        "model" => match rest.split_first() {
+            None => Err(format!(
+                "model requires a verb: ls, publish, rollback or promote\n{}",
+                usage()
+            )),
+            Some((verb, flags)) => match Args::parse(flags) {
+                Err(e) => Err(e),
+                Ok(args) => cmd_model(verb, &args),
+            },
+        },
         "train" | "detect" | "eval" | "serve" => match Args::parse(rest) {
             Err(e) => Err(e),
             Ok(args) => match cmd {

@@ -1,0 +1,663 @@
+//! The versioned on-disk model registry behind online learning.
+//!
+//! A registry is one directory holding immutable `HDP1` model files
+//! (`v000001.hdp`, `v000002.hdp`, …) plus a `manifest.tsv` describing
+//! every version: its parent's model hash, how many feedback samples
+//! it absorbed, the shadow-eval accuracies it was gated on, and its
+//! lifecycle status. Model files carry the `HDI1` golden-checksum
+//! trailer from [`crate::persist`], so a registry version is
+//! verifiable end to end: structural parse, per-class checksums, and
+//! the manifest's recorded [`model_hash`] over the class words.
+//!
+//! # Crash safety
+//!
+//! Every write — model file and manifest alike — goes through
+//! tempfile + `fsync` + atomic rename (then a directory `fsync`), so
+//! a crash mid-snapshot leaves either the old state or the new state,
+//! never a torn file. Stray `*.tmp` files from an interrupted write
+//! are ignored on open and overwritten by the next publish. The
+//! manifest is the source of truth: a model file not named by the
+//! manifest does not exist as far as the registry is concerned.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            publish(status=promoted)        rollback / newer promote
+//! (absent) ───────────────────────► promoted ───────────────────────► rolled-back
+//!     │                                 ▲                                  │
+//!     │ publish(status=rejected)        │ promote(v)                       │
+//!     └────────────────────► rejected ──┴──────────────────────────────────┘
+//! ```
+//!
+//! `latest_promoted` — the version a booting server installs — is the
+//! *highest-numbered* version with status `promoted`; `rollback(v)`
+//! demotes everything promoted after `v`, and `promote(v)` both
+//! promotes `v` and demotes every later promoted version, so each
+//! operation leaves exactly one well-defined live version.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::persist::{load_bytes_with_integrity, model_hash, PersistError};
+
+/// Manifest header magic + format version.
+const MANIFEST_MAGIC: &str = "HDRG1";
+/// Manifest file name inside the registry directory.
+const MANIFEST: &str = "manifest.tsv";
+
+/// Lifecycle status of a registry version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionStatus {
+    /// Passed its shadow-eval gate (or was published as a baseline);
+    /// eligible to be the live model.
+    Promoted,
+    /// Failed its shadow-eval gate; kept for forensics, never served.
+    Rejected,
+    /// Was promoted once, then superseded by a rollback (or by
+    /// re-promoting an older version).
+    RolledBack,
+}
+
+impl VersionStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            VersionStatus::Promoted => "promoted",
+            VersionStatus::Rejected => "rejected",
+            VersionStatus::RolledBack => "rolled-back",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "promoted" => Some(VersionStatus::Promoted),
+            "rejected" => Some(VersionStatus::Rejected),
+            "rolled-back" => Some(VersionStatus::RolledBack),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VersionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One manifest row: everything recorded about a published version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionRecord {
+    /// Monotonic version id (1-based; file `v{id:06}.hdp`).
+    pub id: u64,
+    /// [`model_hash`] of the parent model this version was trained
+    /// from (`0` for a baseline with no parent).
+    pub parent: u64,
+    /// [`model_hash`] of this version's class words.
+    pub hash: u64,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Cumulative feedback samples absorbed when this snapshot was
+    /// taken.
+    pub samples: u64,
+    /// Candidate accuracy on the held-out shadow set (`None` when the
+    /// version was published outside the gate, e.g. the v1 baseline).
+    pub shadow_acc: Option<f64>,
+    /// The then-live model's accuracy on the same shadow set.
+    pub live_acc: Option<f64>,
+    /// Current lifecycle status.
+    pub status: VersionStatus,
+}
+
+/// Metadata supplied when publishing a new version.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishMeta {
+    /// Parent model hash (`0` for none).
+    pub parent: u64,
+    /// Cumulative feedback samples absorbed.
+    pub samples: u64,
+    /// Shadow-eval accuracy of this candidate, if gated.
+    pub shadow_acc: Option<f64>,
+    /// Shadow-eval accuracy of the live model it was gated against.
+    pub live_acc: Option<f64>,
+    /// Initial status (`Promoted` or `Rejected`).
+    pub status: VersionStatus,
+}
+
+/// Errors raised by registry operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The manifest or a version file is structurally damaged, or a
+    /// version's bytes no longer match their recorded hash.
+    Corrupt(String),
+    /// The version's model bytes failed structural/checksum
+    /// validation.
+    Persist(PersistError),
+    /// No such version id in the manifest.
+    UnknownVersion(u64),
+    /// The operation requires the version to be promoted and it is
+    /// not (e.g. rolling back to a rejected candidate).
+    NotPromoted(u64),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry I/O failure: {e}"),
+            RegistryError::Corrupt(why) => write!(f, "registry corrupt: {why}"),
+            RegistryError::Persist(e) => write!(f, "version bytes invalid: {e}"),
+            RegistryError::UnknownVersion(v) => write!(f, "no version {v} in the registry"),
+            RegistryError::NotPromoted(v) => {
+                write!(f, "version {v} is not promoted")
+            }
+        }
+    }
+}
+
+impl Error for RegistryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> Self {
+        RegistryError::Persist(e)
+    }
+}
+
+/// The registry: a directory of versioned model files plus their
+/// manifest, held open by one owner (the trainer serializes access
+/// behind a mutex; the CLI opens it for one command).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    generation: u64,
+    records: Vec<VersionRecord>,
+}
+
+impl ModelRegistry {
+    /// Opens the registry at `dir`, creating the directory (and an
+    /// empty manifest state) if absent.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and a structurally damaged manifest.
+    pub fn open(dir: &Path) -> Result<Self, RegistryError> {
+        fs::create_dir_all(dir)?;
+        let manifest = dir.join(MANIFEST);
+        if !manifest.exists() {
+            return Ok(ModelRegistry {
+                dir: dir.to_path_buf(),
+                generation: 0,
+                records: Vec::new(),
+            });
+        }
+        let mut text = String::new();
+        File::open(&manifest)?.read_to_string(&mut text)?;
+        let (generation, records) = parse_manifest(&text)?;
+        Ok(ModelRegistry {
+            dir: dir.to_path_buf(),
+            generation,
+            records,
+        })
+    }
+
+    /// The registry directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Monotonic manifest generation: bumped by every publish,
+    /// promote and rollback, so observers (metrics, healthz) can tell
+    /// "the registry changed" without diffing records.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// All records, oldest first.
+    #[must_use]
+    pub fn list(&self) -> &[VersionRecord] {
+        &self.records
+    }
+
+    /// The record for version `id`.
+    #[must_use]
+    pub fn find(&self, id: u64) -> Option<&VersionRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// The highest-numbered promoted version — what a booting server
+    /// installs.
+    #[must_use]
+    pub fn latest_promoted(&self) -> Option<&VersionRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.status == VersionStatus::Promoted)
+            .max_by_key(|r| r.id)
+    }
+
+    /// Path of version `id`'s model file.
+    #[must_use]
+    pub fn version_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("v{id:06}.hdp"))
+    }
+
+    /// Publishes `bytes` as the next version: validates them
+    /// (structural parse **and** `HDI1` golden checksums), writes the
+    /// model file and the updated manifest atomically, and returns
+    /// the new id.
+    ///
+    /// # Errors
+    ///
+    /// Invalid model bytes and I/O failures. On error the registry
+    /// (memory and disk) is unchanged.
+    pub fn publish(&mut self, bytes: &[u8], meta: PublishMeta) -> Result<u64, RegistryError> {
+        let loaded = load_bytes_with_integrity(bytes)?;
+        if let Some(golden) = &loaded.golden {
+            for (class, (v, want)) in loaded.classes.iter().zip(golden).enumerate() {
+                if v.checksum() != *want {
+                    return Err(PersistError::ChecksumMismatch { class }.into());
+                }
+            }
+        }
+        let id = self.records.last().map_or(1, |r| r.id + 1);
+        let record = VersionRecord {
+            id,
+            parent: meta.parent,
+            hash: model_hash(&loaded.classes),
+            bytes: bytes.len() as u64,
+            samples: meta.samples,
+            shadow_acc: meta.shadow_acc,
+            live_acc: meta.live_acc,
+            status: meta.status,
+        };
+        write_atomic(&self.dir, &format!("v{id:06}.hdp"), bytes)?;
+        self.records.push(record);
+        match self.commit_manifest() {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                // Roll the in-memory state back so a failed commit
+                // leaves the registry consistent with disk (the
+                // orphaned model file is invisible without a manifest
+                // row and will be overwritten by the next publish).
+                self.records.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads and re-verifies version `id`: structural parse, golden
+    /// checksums, and the class words against the manifest's recorded
+    /// model hash. Returns the raw `HDP1` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, I/O failures, and any verification mismatch.
+    pub fn load(&self, id: u64) -> Result<Vec<u8>, RegistryError> {
+        let record = self.find(id).ok_or(RegistryError::UnknownVersion(id))?;
+        let mut bytes = Vec::new();
+        File::open(self.version_path(id))?.read_to_end(&mut bytes)?;
+        let loaded = load_bytes_with_integrity(&bytes)?;
+        if model_hash(&loaded.classes) != record.hash {
+            return Err(RegistryError::Corrupt(format!(
+                "version {id}: class words do not match the manifest hash"
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Rolls back to version `id`: every promoted version newer than
+    /// `id` becomes `rolled-back`, making `id` the latest promoted
+    /// version again.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids, non-promoted targets, and I/O failures.
+    pub fn rollback(&mut self, id: u64) -> Result<(), RegistryError> {
+        let target = self.find(id).ok_or(RegistryError::UnknownVersion(id))?;
+        if target.status != VersionStatus::Promoted {
+            return Err(RegistryError::NotPromoted(id));
+        }
+        self.retarget(id)
+    }
+
+    /// Promotes version `id` (typically a rejected or rolled-back
+    /// candidate) to be the live version: its status becomes
+    /// `promoted` and every promoted version newer than it is
+    /// demoted to `rolled-back`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ids and I/O failures.
+    pub fn promote(&mut self, id: u64) -> Result<(), RegistryError> {
+        self.find(id).ok_or(RegistryError::UnknownVersion(id))?;
+        self.retarget(id)
+    }
+
+    /// Makes `id` the latest promoted version, demoting newer
+    /// promoted versions; commits the manifest atomically.
+    fn retarget(&mut self, id: u64) -> Result<(), RegistryError> {
+        let before: Vec<VersionStatus> = self.records.iter().map(|r| r.status).collect();
+        for r in &mut self.records {
+            if r.id == id {
+                r.status = VersionStatus::Promoted;
+            } else if r.id > id && r.status == VersionStatus::Promoted {
+                r.status = VersionStatus::RolledBack;
+            }
+        }
+        match self.commit_manifest() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                for (r, s) in self.records.iter_mut().zip(before) {
+                    r.status = s;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Serializes the manifest and writes it atomically, bumping the
+    /// generation.
+    fn commit_manifest(&mut self) -> Result<(), RegistryError> {
+        let generation = self.generation + 1;
+        let mut out = format!("{MANIFEST_MAGIC}\tgeneration={generation}\n");
+        for r in &self.records {
+            let acc = |v: Option<f64>| v.map_or_else(|| "-1".to_owned(), |a| format!("{a}"));
+            out.push_str(&format!(
+                "v={}\tparent={:016x}\thash={:016x}\tbytes={}\tsamples={}\t\
+                 shadow_acc={}\tlive_acc={}\tstatus={}\n",
+                r.id,
+                r.parent,
+                r.hash,
+                r.bytes,
+                r.samples,
+                acc(r.shadow_acc),
+                acc(r.live_acc),
+                r.status,
+            ));
+        }
+        write_atomic(&self.dir, MANIFEST, out.as_bytes())?;
+        self.generation = generation;
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `dir/name` via tempfile + `fsync` + rename, then
+/// syncs the directory so the rename itself is durable. A crash at
+/// any point leaves either the previous file or the new one — never a
+/// torn write.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let dest = dir.join(name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &dest)?;
+    // Directory fsync makes the rename durable on Linux; failure here
+    // (e.g. filesystems that refuse O_RDONLY dir syncs) degrades
+    // durability, not atomicity, so it is tolerated.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Parses the manifest text into `(generation, records)`.
+fn parse_manifest(text: &str) -> Result<(u64, Vec<VersionRecord>), RegistryError> {
+    let corrupt = |why: String| RegistryError::Corrupt(why);
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| corrupt("empty manifest".into()))?;
+    let generation = header
+        .strip_prefix(MANIFEST_MAGIC)
+        .and_then(|rest| rest.trim().strip_prefix("generation="))
+        .and_then(|g| g.parse::<u64>().ok())
+        .ok_or_else(|| corrupt(format!("bad manifest header {header:?}")))?;
+    let mut records = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = std::collections::HashMap::new();
+        for kv in line.split('\t') {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| corrupt(format!("bad manifest field {kv:?}")))?;
+            fields.insert(k, v);
+        }
+        let get = |k: &str| {
+            fields
+                .get(k)
+                .copied()
+                .ok_or_else(|| corrupt(format!("manifest row missing {k}: {line:?}")))
+        };
+        let int = |k: &str| {
+            get(k)?
+                .parse::<u64>()
+                .map_err(|_| corrupt(format!("bad {k} in {line:?}")))
+        };
+        let hex = |k: &str| {
+            u64::from_str_radix(get(k)?, 16).map_err(|_| corrupt(format!("bad {k} in {line:?}")))
+        };
+        let acc = |k: &str| -> Result<Option<f64>, RegistryError> {
+            let raw = get(k)?;
+            if raw == "-1" {
+                return Ok(None);
+            }
+            raw.parse::<f64>()
+                .map(Some)
+                .map_err(|_| corrupt(format!("bad {k} in {line:?}")))
+        };
+        let status = VersionStatus::parse(get("status")?)
+            .ok_or_else(|| corrupt(format!("bad status in {line:?}")))?;
+        records.push(VersionRecord {
+            id: int("v")?,
+            parent: hex("parent")?,
+            hash: hex("hash")?,
+            bytes: int("bytes")?,
+            samples: int("samples")?,
+            shadow_acc: acc("shadow_acc")?,
+            live_acc: acc("live_acc")?,
+            status,
+        });
+    }
+    let sorted = records.windows(2).all(|w| w[0].id < w[1].id);
+    if !sorted {
+        return Err(corrupt("manifest ids are not strictly increasing".into()));
+    }
+    Ok((generation, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{HdFeatureMode, HdPipeline};
+    use hdface_datasets::face2_spec;
+    use hdface_learn::TrainConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique temp directory per test (std-only; no tempfile crate).
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hdface-registry-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn model_bytes(seed: u64) -> Vec<u8> {
+        let data = face2_spec().at_size(32).scaled(24).generate(seed);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(512), seed);
+        p.train(&data, &TrainConfig::default()).unwrap();
+        p.save_bytes().unwrap()
+    }
+
+    fn baseline_meta() -> PublishMeta {
+        PublishMeta {
+            parent: 0,
+            samples: 0,
+            shadow_acc: None,
+            live_acc: None,
+            status: VersionStatus::Promoted,
+        }
+    }
+
+    #[test]
+    fn publish_load_roundtrip_and_reopen() {
+        let dir = scratch("roundtrip");
+        let bytes = model_bytes(31);
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.generation(), 0);
+        assert!(reg.latest_promoted().is_none());
+
+        let id = reg.publish(&bytes, baseline_meta()).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(reg.generation(), 1);
+        assert_eq!(reg.load(1).unwrap(), bytes);
+
+        // A second version with metadata.
+        let bytes2 = model_bytes(32);
+        let id2 = reg
+            .publish(
+                &bytes2,
+                PublishMeta {
+                    parent: reg.find(1).unwrap().hash,
+                    samples: 16,
+                    shadow_acc: Some(0.75),
+                    live_acc: Some(0.5),
+                    status: VersionStatus::Promoted,
+                },
+            )
+            .unwrap();
+        assert_eq!(id2, 2);
+        assert_eq!(reg.latest_promoted().unwrap().id, 2);
+
+        // Reopen sees identical state.
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), reg.generation());
+        assert_eq!(reopened.list(), reg.list());
+        assert_eq!(reopened.find(2).unwrap().shadow_acc, Some(0.75));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_and_promote_retarget_the_live_version() {
+        let dir = scratch("rollback");
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        for seed in [41, 42, 43] {
+            reg.publish(&model_bytes(seed), baseline_meta()).unwrap();
+        }
+        assert_eq!(reg.latest_promoted().unwrap().id, 3);
+
+        reg.rollback(1).unwrap();
+        assert_eq!(reg.latest_promoted().unwrap().id, 1);
+        assert_eq!(reg.find(2).unwrap().status, VersionStatus::RolledBack);
+        assert_eq!(reg.find(3).unwrap().status, VersionStatus::RolledBack);
+
+        // Re-promoting a rolled-back version restores it as live.
+        reg.promote(3).unwrap();
+        assert_eq!(reg.latest_promoted().unwrap().id, 3);
+
+        // Rolling back to a non-promoted version is refused.
+        reg.rollback(3).unwrap();
+        reg.rollback(1).unwrap();
+        assert!(matches!(
+            reg.rollback(3),
+            Err(RegistryError::NotPromoted(3))
+        ));
+        assert!(matches!(
+            reg.rollback(99),
+            Err(RegistryError::UnknownVersion(99))
+        ));
+
+        // Survives reopen.
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reopened.latest_promoted().unwrap().id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_bytes_are_refused_and_state_is_untouched() {
+        let dir = scratch("invalid");
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        assert!(matches!(
+            reg.publish(b"not a model", baseline_meta()),
+            Err(RegistryError::Persist(_))
+        ));
+        // A corrupted payload fails the golden checksums at publish.
+        let mut bytes = model_bytes(51);
+        let plan = hdface_noise::FaultPlan::new(
+            0.01,
+            3,
+            hdface_noise::FaultTargets {
+                class_vectors: false,
+                level_cells: false,
+                model_bytes: true,
+            },
+        )
+        .unwrap();
+        crate::persist::corrupt_model_payload(&mut bytes, &plan).unwrap();
+        assert!(matches!(
+            reg.publish(&bytes, baseline_meta()),
+            Err(RegistryError::Persist(
+                PersistError::ChecksumMismatch { .. }
+            ))
+        ));
+        assert_eq!(reg.generation(), 0);
+        assert!(reg.list().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_invisible_and_tampering_is_detected() {
+        let dir = scratch("tamper");
+        let mut reg = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&model_bytes(61), baseline_meta()).unwrap();
+        // A crash mid-write leaves a stray tempfile; open ignores it.
+        fs::write(dir.join("v000002.hdp.tmp"), b"torn half-write").unwrap();
+        fs::write(dir.join("manifest.tsv.tmp"), b"torn manifest").unwrap();
+        let reopened = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reopened.list().len(), 1);
+        assert!(reopened.load(1).is_ok());
+
+        // Flipping payload bits on disk after publish is caught by
+        // load's checksum/hash verification.
+        let path = reopened.version_path(1);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(reopened.load(1).is_err());
+
+        // A truncated manifest is a typed corruption error.
+        fs::write(dir.join(MANIFEST), "HDRG1\tgeneration=nope\n").unwrap();
+        assert!(matches!(
+            ModelRegistry::open(&dir),
+            Err(RegistryError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,136 @@
+//! Atomic model hot-swap: promotion installs a candidate into the
+//! live [`IntegrityGuard`] through the same `Arc<ModelState>`
+//! exchange the scrubber uses, then records which version is active.
+//!
+//! The swap itself is [`IntegrityGuard::install`]: fresh R-way
+//! replicas and fresh golden checksums replace the resident state in
+//! one pointer exchange, so in-flight requests finish on the version
+//! they started with and the next request scores against the new one
+//! — zero downtime, no partially-swapped reads. This module adds the
+//! observability around that exchange: the [`ModelSwitch`] gauge
+//! (active version / hash / registry generation) that `GET /model`,
+//! `GET /healthz` and `GET /metrics` report, and a nanosecond
+//! histogram of how long installs take.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Instant;
+
+use hdface_hdc::BitVector;
+
+use crate::integrity::IntegrityGuard;
+use crate::serve::metrics::LatencyHistogram;
+
+/// Which model is live right now, as the serving endpoints report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveModel {
+    /// Registry version id.
+    pub version: u64,
+    /// [`crate::persist::model_hash`] of the resident class words.
+    pub hash: u64,
+    /// Registry manifest generation when this model went live.
+    pub generation: u64,
+}
+
+/// The swap gauge: active-model identity plus swap telemetry. Shared
+/// between the trainer (writer) and the request handlers (readers).
+#[derive(Debug)]
+pub struct ModelSwitch {
+    active: RwLock<ActiveModel>,
+    /// Install latency in **nanoseconds** (same power-of-two buckets
+    /// as every serving histogram).
+    pub swap_ns: LatencyHistogram,
+    swaps: AtomicU64,
+}
+
+impl ModelSwitch {
+    /// A switch reporting `initial` as active, with no swaps yet.
+    #[must_use]
+    pub fn new(initial: ActiveModel) -> Self {
+        ModelSwitch {
+            active: RwLock::new(initial),
+            swap_ns: LatencyHistogram::new(),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently active model.
+    #[must_use]
+    pub fn active(&self) -> ActiveModel {
+        *self.active.read().expect("switch lock poisoned")
+    }
+
+    /// Completed hot-swaps (the initial install does not count).
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Installs `classes` into the guard (fresh replicas + checksums
+    /// in one atomic exchange), then publishes `next` as the active
+    /// model and records the install latency.
+    pub fn hot_swap(
+        &self,
+        guard: &IntegrityGuard,
+        classes: &[BitVector],
+        golden: Option<Vec<u64>>,
+        next: ActiveModel,
+    ) {
+        let start = Instant::now();
+        guard.install(classes, golden);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        *self.active.write().expect("switch lock poisoned") = next;
+        self.swap_ns.record(ns);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdface_hdc::{HdcRng, SeedableRng};
+    use hdface_learn::{BinaryHdModel, HdClassifier};
+
+    fn classes(n: usize, dim: usize, seed: u64) -> Vec<BitVector> {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BitVector::random_with_density(dim, 0.5, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn hot_swap_updates_guard_and_gauge() {
+        let v1 = classes(2, 1024, 71);
+        let v2 = classes(2, 1024, 72);
+        let guard = IntegrityGuard::new(&v1, None, None, 2);
+        let switch = ModelSwitch::new(ActiveModel {
+            version: 1,
+            hash: crate::persist::model_hash(&v1),
+            generation: 1,
+        });
+        assert_eq!(switch.swaps(), 0);
+        assert_eq!(switch.active().version, 1);
+
+        let next = ActiveModel {
+            version: 2,
+            hash: crate::persist::model_hash(&v2),
+            generation: 2,
+        };
+        switch.hot_swap(&guard, &v2, None, next);
+        assert_eq!(switch.swaps(), 1);
+        assert_eq!(switch.active(), next);
+        assert_eq!(switch.swap_ns.count(), 1);
+
+        // The guard now scores against v2, and its fresh checksums
+        // scrub clean.
+        let reference =
+            HdClassifier::from_binary(&BinaryHdModel::from_classes(v2.clone()).unwrap());
+        let mut rng = HdcRng::seed_from_u64(73);
+        let q = BitVector::random_with_density(1024, 0.5, &mut rng).unwrap();
+        let got = guard.margin(&q).unwrap().unwrap();
+        let want = reference.margin(&q, 1).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(guard.scrub_once(), 0);
+        assert_eq!(guard.snapshot().checksum_failures, 0);
+    }
+}

@@ -40,7 +40,7 @@
 use std::error::Error;
 use std::fmt;
 
-use hdface_hdc::{BitVector, SeedableRng};
+use hdface_hdc::BitVector;
 use hdface_learn::{BinaryHdModel, ModelIoError};
 use hdface_noise::FaultPlan;
 
@@ -125,25 +125,15 @@ impl HdPipeline {
     /// Returns [`PipelineError::NotTrained`] when no classifier has
     /// been fit yet.
     pub fn save_bytes(&self) -> Result<Vec<u8>, PipelineError> {
-        let clf = self.classifier().ok_or(PipelineError::NotTrained)?;
-        // The binary model must be derived deterministically: use a
-        // seed-fixed RNG for threshold tie-breaks.
-        let mut rng = hdface_hdc::HdcRng::seed_from_u64(self.seed() ^ 0x7e57_ab1e);
-        let model = clf.to_binary(&mut rng);
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(self.mode_tag());
-        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
-        out.extend_from_slice(&self.seed().to_le_bytes());
-        out.extend(model.to_bytes());
-        // Golden per-class checksums: the integrity trailer the
-        // serving layer's scrubber verifies resident words against.
-        out.extend_from_slice(INTEGRITY_MAGIC);
-        out.extend_from_slice(&(model.num_classes() as u32).to_le_bytes());
-        for c in model.classes() {
-            out.extend_from_slice(&c.checksum().to_le_bytes());
-        }
-        Ok(out)
+        // The binary model is derived deterministically (seed-fixed
+        // tie-break RNG) — see `HdPipeline::quantized_model`.
+        let model = self.quantized_model().ok_or(PipelineError::NotTrained)?;
+        Ok(encode_model(
+            self.mode_tag(),
+            self.dim(),
+            self.seed(),
+            &model,
+        ))
     }
 
     /// Reconstructs a pipeline from the `HDP1` byte format: the
@@ -185,6 +175,53 @@ pub struct LoadedModel {
     /// Golden per-class checksums from the trailer, if one was
     /// present.
     pub golden: Option<Vec<u64>>,
+}
+
+/// Encodes a binary model as a complete `HDP1` buffer (header, `HDM1`
+/// container, `HDI1` golden-checksum trailer). This is the one
+/// encoder shared by [`HdPipeline::save_bytes`] and the online
+/// trainer's registry snapshots, so every persisted model carries the
+/// trailer.
+#[must_use]
+pub fn encode_model(mode_tag: u8, dim: usize, seed: u64, model: &BinaryHdModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(mode_tag);
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend(model.to_bytes());
+    // Golden per-class checksums: the integrity trailer the serving
+    // layer's scrubber verifies resident words against.
+    out.extend_from_slice(INTEGRITY_MAGIC);
+    out.extend_from_slice(&(model.num_classes() as u32).to_le_bytes());
+    for c in model.classes() {
+        out.extend_from_slice(&c.checksum().to_le_bytes());
+    }
+    out
+}
+
+/// Canonical 64-bit identity of a set of class hypervectors: FNV-1a
+/// over the dimensionality and every per-class golden checksum (the
+/// same `BitVector::checksum` values the `HDI1` trailer stores). Two
+/// models hash equal iff their class words are bit-identical, so this
+/// one value ties together the registry manifest, `GET /model`,
+/// `GET /metrics` and `hdface eval` output.
+#[must_use]
+pub fn model_hash(classes: &[BitVector]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: [u8; 8]| {
+        for b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    let dim = classes.first().map_or(0, BitVector::dim);
+    eat((dim as u64).to_le_bytes());
+    for c in classes {
+        eat(c.checksum().to_le_bytes());
+    }
+    h
 }
 
 /// Decodes the `HDP1` header and returns `(mode_tag, dim, seed)`.
@@ -365,6 +402,25 @@ mod tests {
         ));
         let bytes = p.save_bytes().unwrap();
         assert!(HdPipeline::load_bytes(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn model_hash_tracks_class_words_exactly() {
+        let (p, _) = trained(HdFeatureMode::encoded_classic(512), 45);
+        let bytes = p.save_bytes().unwrap();
+        let loaded = load_bytes_with_integrity(&bytes).unwrap();
+        let h0 = model_hash(&loaded.classes);
+        // Same bytes → same hash; save is deterministic.
+        let again = load_bytes_with_integrity(&p.save_bytes().unwrap()).unwrap();
+        assert_eq!(h0, model_hash(&again.classes));
+        // One flipped bit anywhere changes the hash.
+        let mut mutated = loaded.classes.clone();
+        mutated[0].flip(17);
+        assert_ne!(h0, model_hash(&mutated));
+        assert_ne!(
+            model_hash(&loaded.classes[..1]),
+            model_hash(&loaded.classes)
+        );
     }
 
     #[test]

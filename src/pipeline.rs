@@ -241,6 +241,21 @@ impl HdPipeline {
         self.classifier = Some(HdClassifier::from_binary(&model));
     }
 
+    /// The pipeline's classifier quantized to a binary model with the
+    /// same seed-fixed tie-break RNG `save_bytes` uses — the one
+    /// quantization every consumer (persistence, the serving guard's
+    /// bootstrap, the online trainer's v0 baseline) must share so
+    /// resident class words are bit-identical to the persisted file.
+    /// For a pipeline loaded from a binary model the ±1 components
+    /// have no threshold ties, so this reproduces the loaded words
+    /// exactly. Returns `None` when no classifier is trained.
+    #[must_use]
+    pub(crate) fn quantized_model(&self) -> Option<hdface_learn::BinaryHdModel> {
+        let clf = self.classifier()?;
+        let mut rng = HdcRng::seed_from_u64(self.seed ^ 0x7e57_ab1e);
+        Some(clf.to_binary(&mut rng))
+    }
+
     /// Hypervector dimensionality of the pipeline.
     #[must_use]
     pub fn dim(&self) -> usize {

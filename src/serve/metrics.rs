@@ -121,6 +121,10 @@ pub struct ServerMetrics {
     pub detect: EndpointMetrics,
     /// `POST /classify`.
     pub classify: EndpointMetrics,
+    /// `POST /feedback` (online learning).
+    pub feedback: EndpointMetrics,
+    /// `GET /model`.
+    pub model: EndpointMetrics,
     /// `GET /healthz`.
     pub healthz: EndpointMetrics,
     /// `GET /metrics`.
@@ -155,6 +159,8 @@ impl ServerMetrics {
         [
             &self.detect,
             &self.classify,
+            &self.feedback,
+            &self.model,
             &self.healthz,
             &self.metrics,
             &self.other,
@@ -173,8 +179,12 @@ impl ServerMetrics {
     /// `integrity` is the pre-rendered integrity-guard snapshot
     /// (see [`crate::integrity::IntegritySnapshot::to_json`]), or
     /// `None` when the server runs without a guard — rendered as
-    /// JSON `null` so the key is always present.
+    /// JSON `null` so the key is always present. `online` is the
+    /// pre-rendered online-learning section (see
+    /// [`crate::online::OnlineState::metrics_json`]), spliced the
+    /// same way.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn to_json(
         &self,
         queue_depth: usize,
@@ -183,6 +193,7 @@ impl ServerMetrics {
         key_warm: u64,
         key_cold: u64,
         integrity: Option<&str>,
+        online: Option<&str>,
     ) -> String {
         let fmt = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
         format!(
@@ -190,16 +201,19 @@ impl ServerMetrics {
              \"queue_capacity\":{queue_capacity},\"workers\":{workers},\
              \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold},\
              \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
-             \"integrity\":{},\
-             \"endpoints\":{{{},{},{},{},{}}}}}",
+             \"integrity\":{},\"online\":{},\
+             \"endpoints\":{{{},{},{},{},{},{},{}}}}}",
             self.total_requests(),
             self.rejected.load(Ordering::Relaxed),
             self.encode_ns.count(),
             fmt(self.encode_ns.quantile(0.50)),
             fmt(self.encode_ns.quantile(0.99)),
             integrity.unwrap_or("null"),
+            online.unwrap_or("null"),
             self.detect.json("detect"),
             self.classify.json("classify"),
+            self.feedback.json("feedback"),
+            self.model.json("model"),
             self.healthz.json("healthz"),
             self.metrics.json("metrics"),
             self.other.json("other"),
@@ -258,7 +272,7 @@ mod tests {
         let m = ServerMetrics::new();
         m.detect.record(200, 1500);
         m.rejected.fetch_add(2, Ordering::Relaxed);
-        let json = m.to_json(3, 64, 4, 120, 5, None);
+        let json = m.to_json(3, 64, 4, 120, 5, None, None);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"requests_total\":1"));
         assert!(json.contains("\"rejected_total\":2"));
@@ -269,16 +283,28 @@ mod tests {
         // No scans recorded yet: count 0, null quantiles.
         assert!(json.contains("\"encode_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
         assert!(json.contains("\"integrity\":null"));
+        assert!(json.contains("\"online\":null"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
         assert!(json.contains("\"p50_micros\":2048"));
+        assert!(json.contains("\"feedback\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"));
+        assert!(json.contains("\"model\":{\"requests\":0"));
         assert!(json.contains("\"healthz\":{\"requests\":0,\"errors\":0,\"p50_micros\":null"));
         // With a guard attached the pre-rendered snapshot is spliced
-        // in verbatim.
-        let json = m.to_json(3, 64, 4, 120, 5, Some("{\"flips_injected\":9}"));
+        // in verbatim; same for the online section.
+        let json = m.to_json(
+            3,
+            64,
+            4,
+            120,
+            5,
+            Some("{\"flips_injected\":9}"),
+            Some("{\"samples_ingested\":7}"),
+        );
         assert!(json.contains("\"integrity\":{\"flips_injected\":9}"));
+        assert!(json.contains("\"online\":{\"samples_ingested\":7}"));
         // Recorded scan encode times surface as ns quantiles.
         m.encode_ns.record(1_500_000); // 1.5ms → bucket [2^20, 2^21)
-        let json = m.to_json(3, 64, 4, 120, 5, None);
+        let json = m.to_json(3, 64, 4, 120, 5, None, None);
         assert!(json.contains("\"encode_ns\":{\"scans\":1,\"p50_ns\":2097152,\"p99_ns\":2097152}"));
     }
 }

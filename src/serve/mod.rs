@@ -3,13 +3,15 @@
 //! The serving layer keeps one trained [`FaceDetector`] resident and
 //! shares it, read-only, across a fixed pool of worker threads, so the
 //! extraction context (basis, codebooks, slot keys) is paid for once
-//! per process instead of once per request. Four endpoints:
+//! per process instead of once per request. Six endpoints:
 //!
 //! | endpoint         | body          | response                                  |
 //! |------------------|---------------|-------------------------------------------|
 //! | `POST /detect`   | binary PGM    | JSON detections (boxes, margins, timing)  |
 //! | `POST /classify` | binary PGM    | JSON class + per-class similarity scores  |
-//! | `GET /healthz`   | —             | readiness: model loaded, workers alive    |
+//! | `POST /feedback` | binary PGM + `X-Label` | `202` queued for the shadow trainer ([`crate::online`]) |
+//! | `GET /model`     | —             | active model version, hash, registry generation |
+//! | `GET /healthz`   | —             | readiness: model loaded, workers alive, model hash |
 //! | `GET /metrics`   | —             | counters, latency percentiles, queue depth|
 //!
 //! # Architecture
@@ -31,11 +33,17 @@
 //!   served response is bit-identical to an in-process run at any
 //!   thread count. `/classify` extracts with a fixed dedicated stream
 //!   salt for the same reason.
+//! * **Online learning** — with a registry configured
+//!   ([`server::ServeConfig::online`]), `POST /feedback` enqueues
+//!   labeled samples into a second bounded queue feeding the shadow
+//!   trainer, which snapshots, gates and atomically hot-swaps
+//!   promoted candidates into the live model (see [`crate::online`]).
 //! * **Shutdown** — [`server::ServerHandle::shutdown`] stops the
 //!   acceptor first, then closes the queue; workers drain every
-//!   already-accepted request before exiting. `POST /shutdown`
-//!   triggers the same drain remotely (std cannot install a SIGTERM
-//!   handler without new dependencies; see DESIGN.md §8).
+//!   already-accepted request before exiting, then the feedback
+//!   queue closes and the trainer drains. `POST /shutdown` triggers
+//!   the same drain remotely (std cannot install a SIGTERM handler
+//!   without new dependencies; see DESIGN.md §8).
 //!
 //! [`FaceDetector`]: crate::detector::FaceDetector
 //! [`FaceDetector::detect_with`]: crate::detector::FaceDetector::detect_with

@@ -19,6 +19,13 @@ use hdface_imaging::{read_pgm, GrayImage};
 
 use crate::detector::{Detection, FaceDetector};
 use crate::engine::{derive_seed, Engine};
+use crate::integrity::IntegrityGuard;
+use crate::online::registry::RegistryError;
+use crate::online::{
+    trainer, ActiveModel, FeedbackSample, ModelRegistry, OnlineConfig, OnlineState, PublishMeta,
+    VersionStatus,
+};
+use crate::persist::{encode_model, load_bytes_with_integrity, model_hash};
 use crate::serve::http::{json_string, HttpError, Request, Response};
 use crate::serve::metrics::{EndpointMetrics, ServerMetrics};
 use crate::serve::queue::{BoundedQueue, PushError};
@@ -52,6 +59,12 @@ pub struct ServeConfig {
     /// [`crate::integrity::IntegrityGuard`]; the scrubber runs one
     /// pass at startup and then once per interval.
     pub scrub_interval_ms: u64,
+    /// Online adaptive learning (`--registry-dir`): when set, the
+    /// server opens the model registry, installs its latest promoted
+    /// version, accepts `POST /feedback`, and runs the shadow
+    /// trainer with atomic hot-swap promotion. `None` serves a
+    /// static model.
+    pub online: Option<OnlineConfig>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +76,7 @@ impl Default for ServeConfig {
             engine: Engine::from_env(),
             retry_after_secs: 1,
             scrub_interval_ms: 1000,
+            online: None,
         }
     }
 }
@@ -75,6 +89,10 @@ pub enum ServeError {
     ModelNotTrained,
     /// Binding or configuring the listener failed.
     Bind(std::io::Error),
+    /// Bringing the online-learning subsystem up failed (registry
+    /// unreadable, or its latest promoted version is incompatible
+    /// with the served pipeline).
+    Online(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -84,6 +102,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "refusing to serve an untrained model")
             }
             ServeError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+            ServeError::Online(msg) => write!(f, "online learning setup failed: {msg}"),
         }
     }
 }
@@ -92,7 +111,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Bind(e) => Some(e),
-            ServeError::ModelNotTrained => None,
+            ServeError::ModelNotTrained | ServeError::Online(_) => None,
         }
     }
 }
@@ -116,6 +135,13 @@ struct Inner {
     /// `scrub_cv` so shutdown interrupts the inter-pass sleep.
     scrub_stop: Mutex<bool>,
     scrub_cv: Condvar,
+    /// Online-learning state (feedback queue, registry, active-model
+    /// gauge); `None` when serving a static model.
+    online: Option<OnlineState>,
+    /// Hash of the model the server booted with — the `/model` and
+    /// `/healthz` identity when online learning is off (with it on,
+    /// the live hash comes from the [`OnlineState`] switch).
+    boot_hash: u64,
 }
 
 /// The serving subsystem: call [`Server::start`] to bring it up.
@@ -130,6 +156,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     scrubber: Option<JoinHandle<()>>,
+    trainer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -138,12 +165,29 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Refuses untrained models ([`ServeError::ModelNotTrained`]) and
-    /// propagates bind failures.
-    pub fn start(detector: FaceDetector, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    /// Refuses untrained models ([`ServeError::ModelNotTrained`]),
+    /// propagates bind failures, and surfaces online-learning
+    /// bootstrap failures as [`ServeError::Online`].
+    pub fn start(
+        mut detector: FaceDetector,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
         if detector.pipeline().classifier().is_none() {
             return Err(ServeError::ModelNotTrained);
         }
+        // Bring online learning up before binding: a registry problem
+        // must fail startup, not the first feedback request.
+        let online = match &config.online {
+            Some(online_config) => Some(bootstrap_online(&mut detector, online_config.clone())?),
+            None => None,
+        };
+        let boot_hash = match &online {
+            Some(state) => state.switch.active().hash,
+            None => detector
+                .pipeline()
+                .quantized_model()
+                .map_or(0, |m| model_hash(m.classes())),
+        };
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
         let workers_configured = config.workers.max(1);
@@ -161,6 +205,8 @@ impl Server {
             shutdown_cv: Condvar::new(),
             scrub_stop: Mutex::new(false),
             scrub_cv: Condvar::new(),
+            online,
+            boot_hash,
         });
 
         let workers = (0..workers_configured)
@@ -189,6 +235,17 @@ impl Server {
                 .spawn(move || scrub_loop(&inner, interval))
                 .expect("spawning scrubber thread")
         });
+        let trainer = inner.online.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hdface-trainer".into())
+                .spawn(move || {
+                    if let Some(state) = inner.online.as_ref() {
+                        trainer::run(&inner.detector, state);
+                    }
+                })
+                .expect("spawning trainer thread")
+        });
 
         Ok(ServerHandle {
             addr,
@@ -196,8 +253,91 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             scrubber,
+            trainer,
         })
     }
+}
+
+/// Brings the online subsystem up: ensures the detector carries an
+/// [`IntegrityGuard`] (the hot-swap target — a clean R=1 guard is
+/// attached if the CLI didn't configure one), syncs the guard with
+/// the registry's latest promoted version, and bundles the shared
+/// [`OnlineState`].
+///
+/// An empty registry is seeded with the boot model as version 1, so
+/// the manifest always names the version being served and a rollback
+/// target exists from the first promotion onward.
+fn bootstrap_online(
+    detector: &mut FaceDetector,
+    config: OnlineConfig,
+) -> Result<OnlineState, ServeError> {
+    let online_err = |e: RegistryError| ServeError::Online(e.to_string());
+    let (model, mode_tag, dim, seed) = {
+        let pipeline = detector.pipeline();
+        let model = pipeline
+            .quantized_model()
+            .ok_or(ServeError::ModelNotTrained)?;
+        (model, pipeline.mode_tag(), pipeline.dim(), pipeline.seed())
+    };
+    if detector.integrity().is_none() {
+        detector.set_integrity(Arc::new(IntegrityGuard::new(
+            model.classes(),
+            None,
+            None,
+            1,
+        )));
+    }
+    let mut registry = ModelRegistry::open(&config.registry_dir).map_err(online_err)?;
+    let initial = match registry.latest_promoted().map(|r| (r.id, r.hash)) {
+        None => {
+            // Empty registry: the boot model becomes version 1.
+            let bytes = encode_model(mode_tag, dim, seed, &model);
+            let meta = PublishMeta {
+                parent: 0,
+                samples: 0,
+                shadow_acc: None,
+                live_acc: None,
+                status: VersionStatus::Promoted,
+            };
+            let id = registry.publish(&bytes, meta).map_err(online_err)?;
+            ActiveModel {
+                version: id,
+                hash: model_hash(model.classes()),
+                generation: registry.generation(),
+            }
+        }
+        Some((id, hash)) => {
+            // Resume from the registry: install its latest promoted
+            // version (classes + golden checksums) into the guard.
+            let bytes = registry.load(id).map_err(online_err)?;
+            let loaded = load_bytes_with_integrity(&bytes)
+                .map_err(|e| ServeError::Online(format!("registry version {id}: {e}")))?;
+            if loaded.pipeline.seed() != seed
+                || loaded.pipeline.dim() != dim
+                || loaded.pipeline.mode_tag() != mode_tag
+            {
+                return Err(ServeError::Online(format!(
+                    "registry version {id} is incompatible with the served model \
+                     (feature mode, dimensionality or seed differ)"
+                )));
+            }
+            detector
+                .integrity()
+                .expect("guard attached above")
+                .install(&loaded.classes, loaded.golden);
+            ActiveModel {
+                version: id,
+                hash,
+                generation: registry.generation(),
+            }
+        }
+    };
+    Ok(OnlineState::new(
+        config,
+        registry,
+        initial,
+        model.num_classes(),
+    ))
 }
 
 impl ServerHandle {
@@ -245,6 +385,15 @@ impl ServerHandle {
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers were the only feedback producers; closing the
+        // feedback queue now lets the trainer drain the backlog
+        // (finishing any in-flight snapshot/promotion) and exit.
+        if let Some(trainer) = self.trainer.take() {
+            if let Some(state) = self.inner.online.as_ref() {
+                state.queue.close();
+            }
+            let _ = trainer.join();
         }
         if let Some(scrubber) = self.scrubber.take() {
             *self.inner.scrub_stop.lock().expect("scrub lock poisoned") = true;
@@ -330,6 +479,8 @@ fn endpoint_of<'a>(inner: &'a Inner, method: &str, path: &str) -> &'a EndpointMe
     match (method, path) {
         ("POST", "/detect") => &inner.metrics.detect,
         ("POST", "/classify") => &inner.metrics.classify,
+        ("POST", "/feedback") => &inner.metrics.feedback,
+        ("GET", "/model") => &inner.metrics.model,
         ("GET", "/healthz") => &inner.metrics.healthz,
         ("GET", "/metrics") => &inner.metrics.metrics,
         _ => &inner.metrics.other,
@@ -365,11 +516,15 @@ fn route(inner: &Inner, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/detect") => handle_detect(inner, &req.body),
         ("POST", "/classify") => handle_classify(inner, &req.body),
+        ("POST", "/feedback") => handle_feedback(inner, req),
+        ("GET", "/model") => handle_model(inner),
         ("GET", "/healthz") => handle_healthz(inner),
         ("GET", "/metrics") => handle_metrics(inner),
         ("POST", "/shutdown") => handle_shutdown(inner),
-        (_, "/detect" | "/classify" | "/shutdown") => Response::error(405, "use POST"),
-        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
+        (_, "/detect" | "/classify" | "/feedback" | "/shutdown") => {
+            Response::error(405, "use POST")
+        }
+        (_, "/healthz" | "/metrics" | "/model") => Response::error(405, "use GET"),
         (_, path) => Response::error(404, &format!("no route for {path}")),
     }
 }
@@ -460,7 +615,94 @@ fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
     )
 }
 
-/// `GET /healthz`: readiness — model resident, workers alive.
+/// `POST /feedback`: one labeled window-sized PGM sample (label in
+/// the `X-Label` header) enqueued for the shadow trainer. `202` on
+/// accept; `503` with `Retry-After` when the feedback queue is full
+/// (backpressure identical to the connection queue's shedding).
+fn handle_feedback(inner: &Inner, req: &Request) -> Response {
+    let Some(state) = inner.online.as_ref() else {
+        return Response::error(
+            404,
+            "online learning is not enabled (start serve with --registry-dir)",
+        );
+    };
+    let Some(label) = req.header("x-label") else {
+        return Response::error(400, "missing X-Label header (class index)");
+    };
+    let Ok(label) = label.trim().parse::<usize>() else {
+        return Response::error(400, "X-Label must be a non-negative integer");
+    };
+    if label >= state.num_classes {
+        return Response::error(
+            400,
+            &format!(
+                "label {label} out of range (model has {} classes)",
+                state.num_classes
+            ),
+        );
+    }
+    let image = match parse_scene(&req.body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    match state.queue.try_push(FeedbackSample { image, label }) {
+        Ok(()) => {
+            let ingested = state
+                .counters
+                .samples_ingested
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            Response::json(
+                202,
+                format!("{{\"status\":\"queued\",\"ingested\":{ingested}}}"),
+            )
+        }
+        Err(PushError::Full(_) | PushError::Closed(_)) => {
+            state.counters.samples_shed.fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::error(503, "feedback queue full; retry later");
+            resp.headers
+                .push(("Retry-After".into(), inner.retry_after_secs.to_string()));
+            resp
+        }
+    }
+}
+
+/// `GET /model`: identity of the model answering requests right now —
+/// version/hash/generation when online learning is on, the boot hash
+/// with null version otherwise.
+fn handle_model(inner: &Inner) -> Response {
+    let pipeline = inner.detector.pipeline();
+    let classes = pipeline.classifier().map_or(0, |c| c.num_classes());
+    let dim = pipeline.dim();
+    match inner.online.as_ref() {
+        Some(state) => {
+            let active = state.switch.active();
+            Response::json(
+                200,
+                format!(
+                    "{{\"version\":{},\"hash\":\"{:016x}\",\"registry_generation\":{},\
+                     \"swaps\":{},\"classes\":{classes},\"dim\":{dim}}}",
+                    active.version,
+                    active.hash,
+                    state.generation.load(Ordering::Relaxed),
+                    state.switch.swaps(),
+                ),
+            )
+        }
+        None => Response::json(
+            200,
+            format!(
+                "{{\"version\":null,\"hash\":\"{:016x}\",\"registry_generation\":null,\
+                 \"swaps\":0,\"classes\":{classes},\"dim\":{dim}}}",
+                inner.boot_hash,
+            ),
+        ),
+    }
+}
+
+/// `GET /healthz`: readiness — model resident, workers alive — plus
+/// the active model's identity (hash always; version and registry
+/// generation when online learning is on).
 fn handle_healthz(inner: &Inner) -> Response {
     let pipeline = inner.detector.pipeline();
     let model_loaded = pipeline.classifier().is_some();
@@ -468,10 +710,23 @@ fn handle_healthz(inner: &Inner) -> Response {
     let ready = model_loaded && alive > 0;
     let status = if ready { 200 } else { 503 };
     let classes = pipeline.classifier().map_or(0, |c| c.num_classes());
+    let (hash, version, generation) = match inner.online.as_ref() {
+        Some(state) => {
+            let active = state.switch.active();
+            (
+                active.hash,
+                active.version.to_string(),
+                state.generation.load(Ordering::Relaxed).to_string(),
+            )
+        }
+        None => (inner.boot_hash, "null".to_owned(), "null".to_owned()),
+    };
     Response::json(
         status,
         format!(
             "{{\"status\":{},\"model_loaded\":{model_loaded},\"dim\":{},\"classes\":{classes},\
+             \"model_hash\":\"{hash:016x}\",\"model_version\":{version},\
+             \"registry_generation\":{generation},\
              \"workers_alive\":{alive},\"workers_configured\":{}}}",
             json_string(if ready { "ok" } else { "unavailable" }),
             pipeline.dim(),
@@ -481,14 +736,16 @@ fn handle_healthz(inner: &Inner) -> Response {
 }
 
 /// `GET /metrics`: the counters plus live queue-depth gauge and, when
-/// a guard is resident, the integrity section (injected flips, scrub
-/// passes, repairs, quarantines).
+/// resident, the integrity section (injected flips, scrub passes,
+/// repairs, quarantines) and the online section (feedback queue,
+/// training counters, active version, swap latency).
 fn handle_metrics(inner: &Inner) -> Response {
     let (key_warm, key_cold) = inner.detector.pipeline().key_cache_stats();
     let integrity = inner
         .detector
         .integrity()
         .map(|guard| guard.snapshot().to_json());
+    let online = inner.online.as_ref().map(OnlineState::metrics_json);
     Response::json(
         200,
         inner.metrics.to_json(
@@ -498,6 +755,7 @@ fn handle_metrics(inner: &Inner) -> Response {
             key_warm,
             key_cold,
             integrity.as_deref(),
+            online.as_deref(),
         ),
     )
 }
