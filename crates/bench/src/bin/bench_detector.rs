@@ -1,29 +1,35 @@
 //! Detection-engine throughput report: scans one scene at D = 1k /
-//! 4k / 8k, sweeping thread counts (1 / 2 / 4 / all cores) and both
-//! extraction modes (level-cell cached vs legacy per-window), checks
-//! that cached-mode detections are bit-identical at every thread
-//! count, reports cache hit/fallback counts, and writes everything to
+//! 4k / 8k, sweeping thread counts (1 / 2 / 8) and both extraction
+//! modes (level-cell cached vs legacy per-window), checks that
+//! cached-mode detections are bit-identical at every thread count,
+//! reports cache hit/fallback counts, benchmarks the bundling and
+//! classification kernels in isolation, and writes everything to
 //! `BENCH_detector.json`.
 //!
 //! ```sh
 //! cargo run --release -p hdface-bench --bin bench_detector [-- --full | --smoke]
 //! ```
 //!
-//! `--smoke` is the CI gate: one small dim, a tiny scene, and a hard
-//! assertion that cached extraction is at least as fast as per-window
-//! (exit 1 otherwise, no JSON written).
+//! `--smoke` is the CI gate: one small dim, a tiny scene, and hard
+//! assertions that cached extraction is at least as fast as
+//! per-window, that the fused bundling and batched classification
+//! kernels are no slower than their scalar references, and that the
+//! blocked and per-window scan modes detect bit-identically (exit 1
+//! otherwise, no JSON written).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hdface::datasets::face2_spec;
-use hdface::detector::{Detection, DetectorConfig, ExtractionMode, FaceDetector, ScanStats};
+use hdface::detector::{
+    Detection, DetectorConfig, ExtractionMode, FaceDetector, ScanMode, ScanStats,
+};
 use hdface::engine::Engine;
 use hdface::imaging::{GrayImage, ImagePyramid, SlidingWindows};
 use hdface::learn::TrainConfig;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
-use hdface_bench::{bench_bundling, RunConfig, Table};
+use hdface_bench::{bench_bundling, bench_classify, RunConfig, Table};
 
 const WINDOW: usize = 32;
 const STRIDE_FRACTION: f64 = 0.25;
@@ -49,17 +55,15 @@ fn count_windows(scene: &GrayImage, config: &DetectorConfig) -> usize {
         .sum()
 }
 
-/// The thread counts to sweep: 1 / 2 / 4 / all cores, deduplicated
-/// and capped at the machine's parallelism.
+/// The thread counts to sweep, unconditionally: [`Engine`] is
+/// deliberately uncapped (oversubscription is harmless — workers just
+/// time-slice), so the sweep must not be clamped to the machine's
+/// core count. An earlier revision filtered by
+/// `Engine::from_env().threads()`, which collapsed the sweep to
+/// `[1]` on single-core CI runners and left `BENCH_detector.json`
+/// with no scaling data at all.
 fn thread_sweep() -> Vec<usize> {
-    let max = Engine::from_env().threads();
-    let mut counts: Vec<usize> = [1usize, 2, 4, max]
-        .into_iter()
-        .filter(|&n| n <= max)
-        .collect();
-    counts.sort_unstable();
-    counts.dedup();
-    counts
+    vec![1, 2, 8]
 }
 
 /// Best-of-`reps` throughput in windows/second, plus the detections
@@ -151,7 +155,16 @@ fn main() -> ExitCode {
             cached_scans.push(dets);
             stats = s;
         }
-        let identical = cached_scans.windows(2).all(|pair| pair[0] == pair[1]);
+        let mut identical = cached_scans.windows(2).all(|pair| pair[0] == pair[1]);
+
+        // The blocked scan (the default above) must detect exactly
+        // what per-window scheduling does — one cross-check per dim.
+        det.set_scan(ScanMode::PerWindow);
+        let (per_window_scan, _) = det
+            .detect_with_stats(&scene, &Engine::new(threads[0]))
+            .expect("per-window scan succeeds");
+        det.set_scan(ScanMode::Blocked);
+        identical &= per_window_scan == cached_scans[0];
 
         let mut pw_wps = Vec::new();
         det.set_extraction(ExtractionMode::PerWindow);
@@ -164,7 +177,7 @@ fn main() -> ExitCode {
         // throughput across the sweep.
         let best = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
         let speedup = best(&cached_wps) / best(&pw_wps);
-        smoke_ok &= speedup >= 1.0;
+        smoke_ok &= speedup >= 1.0 && identical;
 
         for (i, &n) in threads.iter().enumerate() {
             table.row(&[
@@ -242,18 +255,88 @@ fn main() -> ExitCode {
     }
     btable.print();
 
+    // Classification-kernel microbenchmark: the top-2 Hamming search
+    // of window scoring in isolation — per-window scalar kernel vs
+    // the runtime-dispatched per-window SIMD kernel vs one blocked
+    // batch call, over the detector's 2-class workload.
+    let classify_windows = if cfg.smoke {
+        2_000
+    } else {
+        cfg.pick(20_000, 50_000)
+    };
+    let mut classify_backend = "";
+    println!("\n== classification kernels (2 classes, {classify_windows} windows/path) ==\n");
+    let mut ctable = Table::new(&[
+        "D",
+        "scalar win/s",
+        "simd win/s",
+        "batch win/s",
+        "simd speedup",
+        "batch speedup",
+        "identical",
+    ]);
+    let mut classify_entries = String::new();
+    let mut classify_ok = true;
+    for &dim in dims {
+        let c = bench_classify(dim, 2, classify_windows, cfg.seed);
+        classify_backend = c.backend;
+        classify_ok &= c.bit_identical && c.batch_speedup() >= 1.0;
+        ctable.row(&[
+            &dim,
+            &format!("{:.1}", c.scalar_windows_per_sec),
+            &format!("{:.1}", c.simd_windows_per_sec),
+            &format!("{:.1}", c.batch_windows_per_sec),
+            &format!("{:.2}x", c.simd_speedup()),
+            &format!("{:.2}x", c.batch_speedup()),
+            &c.bit_identical,
+        ]);
+        if !classify_entries.is_empty() {
+            classify_entries.push(',');
+        }
+        write!(
+            classify_entries,
+            "\n    {{\"dim\": {dim}, \"classes\": {}, \
+             \"scalar_windows_per_sec\": {:.2}, \
+             \"simd_windows_per_sec\": {:.2}, \
+             \"batch_windows_per_sec\": {:.2}, \
+             \"simd_speedup\": {:.3}, \"batch_speedup\": {:.3}, \
+             \"bit_identical\": {}}}",
+            c.classes,
+            c.scalar_windows_per_sec,
+            c.simd_windows_per_sec,
+            c.batch_windows_per_sec,
+            c.simd_speedup(),
+            c.batch_speedup(),
+            c.bit_identical,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    ctable.print();
+    println!("\ndispatched SIMD backend: {classify_backend}");
+
     if cfg.smoke {
         let mut ok = true;
         if smoke_ok {
-            println!("\nsmoke: cached extraction >= per-window throughput — OK");
+            println!(
+                "\nsmoke: cached extraction >= per-window throughput, scans bit-identical — OK"
+            );
         } else {
-            eprintln!("\nsmoke FAILED: cached extraction slower than per-window");
+            eprintln!("\nsmoke FAILED: cached extraction slower than per-window or scans diverged");
             ok = false;
         }
         if bundling_ok {
             println!("smoke: bit-sliced bundling >= scalar, bit-identical — OK");
         } else {
             eprintln!("smoke FAILED: bit-sliced bundling slower than scalar or not bit-identical");
+            ok = false;
+        }
+        if classify_ok {
+            println!("smoke: batched classification >= per-window scalar, bit-identical — OK");
+        } else {
+            eprintln!(
+                "smoke FAILED: batched classification slower than per-window scalar \
+                 or not bit-identical"
+            );
             ok = false;
         }
         return if ok {
@@ -266,8 +349,10 @@ fn main() -> ExitCode {
     let threads_json: Vec<String> = threads.iter().map(ToString::to_string).collect();
     let json = format!(
         "{{\n  \"bench\": \"detector\",\n  \"scene\": {{\"width\": {}, \"height\": {}, \
-         \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \"results\": [{entries}\n  ],\n  \
-         \"bundling\": [{bundling_entries}\n  ]\n}}\n",
+         \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \
+         \"simd_backend\": \"{classify_backend}\",\n  \"results\": [{entries}\n  ],\n  \
+         \"bundling\": [{bundling_entries}\n  ],\n  \
+         \"classify\": [{classify_entries}\n  ]\n}}\n",
         scene.width(),
         scene.height(),
         threads_json.join(", "),

@@ -285,6 +285,115 @@ pub fn bench_bundling(dim: usize, slots: usize, windows: usize, seed: u64) -> Bu
     }
 }
 
+/// One classification-kernel measurement at a fixed dimensionality,
+/// produced by [`bench_classify`] and reported in
+/// `BENCH_detector.json`'s `classify` section: the same top-2 Hamming
+/// search through the scalar kernel per window, the runtime-dispatched
+/// SIMD kernel per window, and the blocked batch kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifyBench {
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Class hypervectors searched per window.
+    pub classes: usize,
+    /// Windows classified per timed pass.
+    pub windows: usize,
+    /// The SIMD backend the dispatcher picked (what "simd" below ran
+    /// on; equals `"scalar"` when the CPU offers nothing better).
+    pub backend: &'static str,
+    /// Windows/sec, one `hamming_top2` call per window on the scalar
+    /// kernel.
+    pub scalar_windows_per_sec: f64,
+    /// Windows/sec, one `hamming_top2` call per window on the
+    /// dispatched SIMD kernel.
+    pub simd_windows_per_sec: f64,
+    /// Windows/sec through one blocked `hamming_top2_block` call over
+    /// the whole batch on the dispatched SIMD kernel.
+    pub batch_windows_per_sec: f64,
+    /// Whether all three paths returned identical top-2 results (must
+    /// always be `true`; the smoke gate asserts it).
+    pub bit_identical: bool,
+}
+
+impl ClassifyBench {
+    /// Batched-SIMD speedup over the per-window scalar kernel (>1 is
+    /// faster) — the headline ratio of the classify section.
+    #[must_use]
+    pub fn batch_speedup(&self) -> f64 {
+        self.batch_windows_per_sec / self.scalar_windows_per_sec
+    }
+
+    /// Per-window SIMD speedup over the per-window scalar kernel.
+    #[must_use]
+    pub fn simd_speedup(&self) -> f64 {
+        self.simd_windows_per_sec / self.scalar_windows_per_sec
+    }
+}
+
+/// Measures classification-kernel throughput — the top-2
+/// Hamming-distance search at the heart of window scoring — through
+/// three paths over identical inputs: per-window scalar, per-window
+/// dispatched SIMD, and the blocked batch kernel. Cross-checks that
+/// all three report identical winners and distances (they must: every
+/// path sums the same integer popcounts). One untimed warm-up pass
+/// per path.
+#[must_use]
+pub fn bench_classify(dim: usize, classes: usize, windows: usize, seed: u64) -> ClassifyBench {
+    use hdface::hdc::{
+        detected_backend, hamming_top2_block_with, hamming_top2_with, BitVector, HammingTop2,
+        SimdBackend,
+    };
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let mut rng = HdcRng::seed_from_u64(seed);
+    let cands: Vec<BitVector> = (0..classes)
+        .map(|_| BitVector::random(dim, &mut rng))
+        .collect();
+    let queries: Vec<BitVector> = (0..windows)
+        .map(|_| BitVector::random(dim, &mut rng))
+        .collect();
+    let query_refs: Vec<&BitVector> = queries.iter().collect();
+    let backend = detected_backend();
+
+    let per_window = |b: SimdBackend| -> Vec<Option<HammingTop2>> {
+        queries
+            .iter()
+            .map(|q| hamming_top2_with(b, q, &cands).expect("dims equal"))
+            .collect()
+    };
+    let batched = || -> Vec<Option<HammingTop2>> {
+        hamming_top2_block_with(backend, &query_refs, &cands).expect("dims equal")
+    };
+
+    let scalar_out = per_window(SimdBackend::Scalar);
+    let bit_identical = scalar_out == per_window(backend) && scalar_out == batched();
+
+    // Best of three timed passes after one warm-up: single passes on
+    // a busy machine are noisy enough to flip speedup ratios.
+    let time = |f: &dyn Fn() -> Vec<Option<HammingTop2>>| -> f64 {
+        black_box(f());
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(f());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        windows as f64 / best.max(1e-12)
+    };
+
+    ClassifyBench {
+        dim,
+        classes,
+        windows,
+        backend: backend.name(),
+        scalar_windows_per_sec: time(&|| per_window(SimdBackend::Scalar)),
+        simd_windows_per_sec: time(&|| per_window(backend)),
+        batch_windows_per_sec: time(&batched),
+        bit_identical,
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 #[must_use]
 pub fn pct(x: f64) -> String {
@@ -349,6 +458,20 @@ mod tests {
         assert!(b.scalar_windows_per_sec > 0.0);
         assert!(b.bitsliced_windows_per_sec > 0.0);
         assert!(b.speedup() > 0.0);
+    }
+
+    #[test]
+    fn classify_bench_paths_agree_bit_for_bit() {
+        // Odd dim exercises the padding-word tail of every kernel;
+        // tiny sizes keep the test fast while still timing all paths.
+        let b = bench_classify(197, 5, 9, 7);
+        assert!(b.bit_identical);
+        assert_eq!((b.dim, b.classes, b.windows), (197, 5, 9));
+        assert!(!b.backend.is_empty());
+        assert!(b.scalar_windows_per_sec > 0.0);
+        assert!(b.simd_windows_per_sec > 0.0);
+        assert!(b.batch_windows_per_sec > 0.0);
+        assert!(b.batch_speedup() > 0.0 && b.simd_speedup() > 0.0);
     }
 
     #[test]

@@ -399,12 +399,10 @@ impl BitVector {
     /// differ.
     pub fn hamming(&self, other: &Self) -> Result<usize, DimensionMismatchError> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        // Runtime-dispatched XOR+popcount (AVX2/NEON/scalar); integer
+        // popcount sums are order-insensitive, so every backend is
+        // bit-identical.
+        Ok(crate::simd::hamming_words(&self.words, &other.words) as usize)
     }
 
     /// Bipolar dot product `Σᵢ aᵢ·bᵢ ∈ [-D, D]`, computed as

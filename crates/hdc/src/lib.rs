@@ -26,7 +26,10 @@
 //! assert_eq!(a.similarity(&a.negated()).unwrap(), -1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exemption is the `simd`
+// module, whose runtime-dispatched intrinsics require it and carry
+// per-call-site safety documentation.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accum;
@@ -38,16 +41,22 @@ mod memory;
 mod ops;
 mod sequence;
 mod serial;
+mod simd;
 
 pub use accum::Accumulator;
 pub use bitvec::{BitVector, Bits};
 pub use bundler::{BitSlicedBundler, CounterAccumulator};
 pub use error::{DimensionMismatchError, HdcError};
-pub use kernels::{hamming_top2, hamming_top2_batch, top2_scores, HammingTop2, ScoreTop2};
+pub use kernels::{
+    hamming_distances_block, hamming_distances_block_with, hamming_top2, hamming_top2_batch,
+    hamming_top2_block, hamming_top2_block_with, hamming_top2_with, top2_scores, HammingTop2,
+    ScoreTop2,
+};
 pub use memory::{ItemMemory, Recall};
 pub use ops::{majority, majority_weighted, weighted_select};
 pub use sequence::{encode_sequence, ngram};
 pub use serial::SerialError;
+pub use simd::{active_backend, detected_backend, SimdBackend};
 
 /// The random number generator used by every randomized routine in the
 /// HDFace workspace.

@@ -1,0 +1,486 @@
+//! Runtime-dispatched XOR+popcount word kernels.
+//!
+//! All Hamming-distance work in this crate bottoms out in one
+//! primitive: XOR two equal-length `u64` slices and count the set
+//! bits of the result. This module provides that primitive in three
+//! flavours — a portable scalar loop, an AVX2 path (x86_64) and a
+//! NEON path (aarch64) — and picks one **once per process** based on
+//! what the CPU reports at runtime.
+//!
+//! Dispatch policy:
+//!
+//! - `HDFACE_NO_SIMD=1` in the environment forces the scalar path,
+//!   regardless of what the CPU supports. Any other value (or an
+//!   unset variable) leaves detection in charge.
+//! - On x86_64 the AVX2 path additionally requires the `popcnt`
+//!   feature (used for the tail words); both are probed with
+//!   [`std::arch::is_x86_feature_detected!`].
+//! - On aarch64 the NEON path is used when `neon` is detected (it is
+//!   architecturally mandatory, so this is effectively always).
+//! - Everywhere else, or when detection fails, the scalar loop runs.
+//!
+//! Determinism: a Hamming distance is a sum of per-word popcounts —
+//! non-negative integers — so any grouping or vector lane order
+//! produces the same total. Every backend is therefore bit-identical
+//! by construction, and the differential proptests in
+//! `tests/kernels_proptest.rs` verify it on random inputs.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: the
+//! intrinsics require it, and each call site documents why it is
+//! sound (the target feature was runtime-detected before the function
+//! pointer was ever taken).
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Which word-kernel implementation services Hamming queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable word-at-a-time loop; always available.
+    Scalar,
+    /// 256-bit AVX2 nibble-LUT popcount (x86_64 only).
+    Avx2,
+    /// 128-bit NEON `vcnt`-based popcount (aarch64 only).
+    Neon,
+}
+
+impl SimdBackend {
+    /// Stable lowercase name, used in benchmark reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+        }
+    }
+}
+
+/// The backend the CPU supports, ignoring the `HDFACE_NO_SIMD`
+/// override. Probed fresh on every call (cheap: feature detection is
+/// cached by `std`).
+pub fn detected_backend() -> SimdBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return SimdBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdBackend::Neon;
+        }
+    }
+    SimdBackend::Scalar
+}
+
+/// The backend actually used by the dispatched kernels, decided once
+/// per process: [`detected_backend`] unless `HDFACE_NO_SIMD=1` forces
+/// the scalar path.
+pub fn active_backend() -> SimdBackend {
+    static ACTIVE: OnceLock<SimdBackend> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let disabled = std::env::var("HDFACE_NO_SIMD")
+            .map(|v| v.trim() == "1")
+            .unwrap_or(false);
+        if disabled {
+            SimdBackend::Scalar
+        } else {
+            detected_backend()
+        }
+    })
+}
+
+/// XOR+popcount over two equal-length word slices using an explicit
+/// backend. Falls back to scalar if the requested backend is not
+/// compiled for (or supported by) this machine, so callers may pass
+/// any variant safely.
+#[inline]
+pub(crate) fn hamming_words_with(backend: SimdBackend, a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt") =>
+        {
+            // SAFETY: avx2 and popcnt were just runtime-detected.
+            unsafe { hamming_words_avx2(a, b) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon if std::arch::is_aarch64_feature_detected!("neon") => {
+            // SAFETY: neon was just runtime-detected.
+            unsafe { hamming_words_neon(a, b) }
+        }
+        _ => hamming_words_scalar(a, b),
+    }
+}
+
+/// XOR+popcount over two equal-length word slices with the process-
+/// wide [`active_backend`].
+#[inline]
+pub(crate) fn hamming_words(a: &[u64], b: &[u64]) -> u64 {
+    hamming_words_with(active_backend(), a, b)
+}
+
+/// One tile of the blocked distance kernel: fills
+/// `out[j * cands.len() + ci]` with the Hamming distance between tile
+/// query `j` and candidate `ci`. On the SIMD backends the whole
+/// candidate × query loop nest runs inside a single
+/// `#[target_feature]` region, so the per-pair word kernel inlines
+/// instead of paying an uninlinable cross-feature call per pair —
+/// this is where the blocked kernels' throughput edge over per-pair
+/// dispatch comes from. Falls back to scalar exactly like
+/// [`hamming_words_with`].
+pub(crate) fn hamming_tile_into_with(
+    backend: SimdBackend,
+    queries: &[&[u64]],
+    cands: &[&[u64]],
+    out: &mut [u64],
+) {
+    debug_assert_eq!(out.len(), queries.len() * cands.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt") =>
+        {
+            // SAFETY: avx2 and popcnt were just runtime-detected.
+            unsafe { hamming_tile_avx2(queries, cands, out) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon if std::arch::is_aarch64_feature_detected!("neon") => {
+            // SAFETY: neon was just runtime-detected.
+            unsafe { hamming_tile_neon(queries, cands, out) }
+        }
+        _ => hamming_tile_scalar(queries, cands, out),
+    }
+}
+
+/// Portable tile loop: candidates outer so each candidate's words
+/// stay hot across the tile's queries — the loop order every backend
+/// shares (the output layout stays row-major by query regardless).
+fn hamming_tile_scalar(queries: &[&[u64]], cands: &[&[u64]], out: &mut [u64]) {
+    let ncand = cands.len();
+    for (ci, c) in cands.iter().enumerate() {
+        for (j, q) in queries.iter().enumerate() {
+            out[j * ncand + ci] = hamming_words_scalar(q, c);
+        }
+    }
+}
+
+/// AVX2 tile loop (see [`hamming_tile_into_with`]): queries outer,
+/// candidates walked in pairs through [`hamming_words_avx2_pair`],
+/// which shares each query load between both candidates and folds
+/// both horizontal reductions into one interleave-add — the per-pair
+/// reduction is what dominates the plain kernel at short dimensions.
+/// An odd trailing candidate falls back to the single-pair kernel.
+/// All inner calls inline because caller and callees share the same
+/// target features.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports `avx2` and `popcnt`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn hamming_tile_avx2(queries: &[&[u64]], cands: &[&[u64]], out: &mut [u64]) {
+    let ncand = cands.len();
+    for (j, q) in queries.iter().enumerate() {
+        let row = &mut out[j * ncand..][..ncand];
+        let mut ci = 0;
+        while ci + 2 <= ncand {
+            // SAFETY: this function's own contract guarantees avx2 +
+            // popcnt.
+            let (d0, d1) = unsafe { hamming_words_avx2_pair(q, cands[ci], cands[ci + 1]) };
+            row[ci] = d0;
+            row[ci + 1] = d1;
+            ci += 2;
+        }
+        if ci < ncand {
+            // SAFETY: as above.
+            row[ci] = unsafe { hamming_words_avx2(q, cands[ci]) };
+        }
+    }
+}
+
+/// Distances from one query to two candidates in a single pass: the
+/// query's words are loaded once per iteration and XORed against both
+/// candidates, two `psadbw` accumulators run in parallel (better port
+/// utilization than back-to-back single-pair calls), and one
+/// interleave-add folds both four-lane accumulators down to the two
+/// totals — halving the horizontal-reduction cost that dominates
+/// short vectors.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports `avx2` and `popcnt`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+#[inline]
+unsafe fn hamming_words_avx2_pair(q: &[u64], c0: &[u64], c1: &[u64]) -> (u64, u64) {
+    use std::arch::x86_64::*;
+
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    let mut acc0 = zero;
+    let mut acc1 = zero;
+
+    let chunks = q.len() / 4;
+    for i in 0..chunks {
+        // SAFETY: i * 4 + 3 < q.len() == c0.len() == c1.len(); loads
+        // are unaligned.
+        let vq = unsafe { _mm256_loadu_si256(q.as_ptr().add(i * 4).cast()) };
+        let v0 = unsafe { _mm256_loadu_si256(c0.as_ptr().add(i * 4).cast()) };
+        let v1 = unsafe { _mm256_loadu_si256(c1.as_ptr().add(i * 4).cast()) };
+        let x0 = _mm256_xor_si256(vq, v0);
+        let x1 = _mm256_xor_si256(vq, v1);
+        let n0 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(x0, low_mask)),
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(x0, 4), low_mask)),
+        );
+        let n1 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(x1, low_mask)),
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(x1, 4), low_mask)),
+        );
+        acc0 = _mm256_add_epi64(acc0, _mm256_sad_epu8(n0, zero));
+        acc1 = _mm256_add_epi64(acc1, _mm256_sad_epu8(n1, zero));
+    }
+
+    // Grouped reduction: interleave the two accumulators so one
+    // vector add folds lanes {0,1} and {2,3} of both at once, then
+    // collapse the two 128-bit halves — both totals emerge from a
+    // single 128-bit vector.
+    let lo = _mm256_unpacklo_epi64(acc0, acc1); // [a0, b0, a2, b2]
+    let hi = _mm256_unpackhi_epi64(acc0, acc1); // [a1, b1, a3, b3]
+    let sum = _mm256_add_epi64(lo, hi); // [a0+a1, b0+b1, a2+a3, b2+b3]
+    let folded = _mm_add_epi64(
+        _mm256_castsi256_si128(sum),
+        _mm256_extracti128_si256(sum, 1),
+    ); // [a_total, b_total]
+    let mut pair = [0u64; 2];
+    // SAFETY: `pair` is 16 bytes; store is unaligned.
+    unsafe { _mm_storeu_si128(pair.as_mut_ptr().cast(), folded) };
+    let (mut d0, mut d1) = (pair[0], pair[1]);
+
+    for i in chunks * 4..q.len() {
+        d0 += u64::from((q[i] ^ c0[i]).count_ones());
+        d1 += u64::from((q[i] ^ c1[i]).count_ones());
+    }
+    (d0, d1)
+}
+
+/// NEON tile loop (see [`hamming_tile_into_with`]).
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports `neon`.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn hamming_tile_neon(queries: &[&[u64]], cands: &[&[u64]], out: &mut [u64]) {
+    let ncand = cands.len();
+    for (ci, c) in cands.iter().enumerate() {
+        for (j, q) in queries.iter().enumerate() {
+            // SAFETY: this function's own contract guarantees neon.
+            out[j * ncand + ci] = unsafe { hamming_words_neon(q, c) };
+        }
+    }
+}
+
+/// Portable reference: one `count_ones` per word pair.
+#[inline]
+fn hamming_words_scalar(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Word count below which the AVX2 kernel runs on hardware `popcnt`
+/// instead of the vector LUT: for short slices (D = 1024 is 16
+/// words) the LUT's setup and horizontal `psadbw` reduction cost
+/// more than one `popcnt` per word, which issues every cycle.
+#[cfg(target_arch = "x86_64")]
+const AVX2_MIN_WORDS: usize = 32;
+
+/// AVX2 kernel. Short slices (< [`AVX2_MIN_WORDS`] words) XOR and
+/// hardware-`popcnt` word by word — under this function's target
+/// features `count_ones` lowers to the `popcnt` instruction. Longer
+/// slices XOR 4 words (256 bits) per iteration and popcount bytes
+/// via the classic nibble lookup (`pshufb`), widened with `psadbw`
+/// into four u64 lanes. Per-byte counts peak at 8 before the
+/// immediate `psadbw` widening, so no iteration count can overflow.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports `avx2` and `popcnt`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+#[inline]
+unsafe fn hamming_words_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+
+    if a.len() < AVX2_MIN_WORDS {
+        // Four independent accumulators so the popcnt results retire
+        // in parallel instead of serializing on one running sum.
+        let mut sums = [0u64; 4];
+        for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+            sums[0] += u64::from((ca[0] ^ cb[0]).count_ones());
+            sums[1] += u64::from((ca[1] ^ cb[1]).count_ones());
+            sums[2] += u64::from((ca[2] ^ cb[2]).count_ones());
+            sums[3] += u64::from((ca[3] ^ cb[3]).count_ones());
+        }
+        let mut total = sums[0] + sums[1] + sums[2] + sums[3];
+        let rem = a.len() - a.len() % 4;
+        for (x, y) in a[rem..].iter().zip(&b[rem..]) {
+            total += u64::from((x ^ y).count_ones());
+        }
+        return total;
+    }
+
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    let mut acc = zero;
+
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        // SAFETY: i * 4 + 3 < a.len() == b.len(); loads are unaligned.
+        let va = unsafe { _mm256_loadu_si256(a.as_ptr().add(i * 4).cast()) };
+        let vb = unsafe { _mm256_loadu_si256(b.as_ptr().add(i * 4).cast()) };
+        let x = _mm256_xor_si256(va, vb);
+        let lo = _mm256_and_si256(x, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+        let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, zero));
+    }
+
+    let mut lanes = [0u64; 4];
+    // SAFETY: `lanes` is 32 bytes; store is unaligned.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc) };
+    let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+
+    for i in chunks * 4..a.len() {
+        total += u64::from((a[i] ^ b[i]).count_ones());
+    }
+    total
+}
+
+/// NEON kernel: XOR 2 words (128 bits) per iteration, byte popcount
+/// with `vcnt`, pairwise-widen to a u64 accumulator pair.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports `neon` (architecturally
+/// mandatory on aarch64, but detected anyway).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+#[inline]
+unsafe fn hamming_words_neon(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::aarch64::*;
+
+    let mut acc = vdupq_n_u64(0);
+    let chunks = a.len() / 2;
+    for i in 0..chunks {
+        // SAFETY: i * 2 + 1 < a.len() == b.len().
+        let va = unsafe { vld1q_u64(a.as_ptr().add(i * 2)) };
+        let vb = unsafe { vld1q_u64(b.as_ptr().add(i * 2)) };
+        let x = veorq_u64(va, vb);
+        let counts = vcntq_u8(vreinterpretq_u8_u64(x));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(counts))));
+    }
+    let mut total = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+
+    for i in chunks * 2..a.len() {
+        total += u64::from((a[i] ^ b[i]).count_ones());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(len: usize, salt: u64) -> Vec<u64> {
+        (0..len)
+            .map(|i| {
+                let mut x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+                x ^= x >> 31;
+                x.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_on_all_lengths() {
+        // Lengths straddle the 4-word AVX2 and 2-word NEON chunk
+        // sizes so every tail shape is hit.
+        for len in 0..=17 {
+            let a = patterned(len, 1);
+            let b = patterned(len, 2);
+            let want = hamming_words_scalar(&a, &b);
+            for backend in [SimdBackend::Scalar, SimdBackend::Avx2, SimdBackend::Neon] {
+                assert_eq!(
+                    hamming_words_with(backend, &a, &b),
+                    want,
+                    "len {len} backend {}",
+                    backend.name()
+                );
+            }
+            assert_eq!(hamming_words(&a, &b), want, "len {len} active");
+        }
+    }
+
+    #[test]
+    fn tile_kernel_matches_per_pair_on_every_backend() {
+        // Ragged word lengths and a 3×2 tile: out[j * ncand + ci]
+        // must equal the per-pair kernel for every backend.
+        for len in [0usize, 1, 3, 4, 7, 8, 9] {
+            let queries: Vec<Vec<u64>> = (0..3).map(|s| patterned(len, 10 + s)).collect();
+            let cands: Vec<Vec<u64>> = (0..2).map(|s| patterned(len, 20 + s)).collect();
+            let qrefs: Vec<&[u64]> = queries.iter().map(Vec::as_slice).collect();
+            let crefs: Vec<&[u64]> = cands.iter().map(Vec::as_slice).collect();
+            for backend in [SimdBackend::Scalar, SimdBackend::Avx2, SimdBackend::Neon] {
+                let mut out = vec![0u64; qrefs.len() * crefs.len()];
+                hamming_tile_into_with(backend, &qrefs, &crefs, &mut out);
+                for (j, q) in qrefs.iter().enumerate() {
+                    for (ci, c) in crefs.iter().enumerate() {
+                        assert_eq!(
+                            out[j * crefs.len() + ci],
+                            hamming_words_scalar(q, c),
+                            "len {len} backend {} pair ({j},{ci})",
+                            backend.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_backends_fall_back_to_scalar() {
+        // Requesting the other architecture's backend must not panic.
+        let a = patterned(9, 3);
+        let b = patterned(9, 4);
+        let want = hamming_words_scalar(&a, &b);
+        assert_eq!(hamming_words_with(SimdBackend::Neon, &a, &b), want);
+        assert_eq!(hamming_words_with(SimdBackend::Avx2, &a, &b), want);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(SimdBackend::Scalar.name(), "scalar");
+        assert_eq!(SimdBackend::Avx2.name(), "avx2");
+        assert_eq!(SimdBackend::Neon.name(), "neon");
+    }
+}

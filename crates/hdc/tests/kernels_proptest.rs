@@ -1,0 +1,135 @@
+//! Differential property tests: every SIMD Hamming backend and the
+//! blocked batch kernels must be bit-identical to the scalar
+//! reference on any input — same distances, same top-2 winners, same
+//! first-wins tie-breaks.
+//!
+//! These are the randomized counterpart to the directed tests inside
+//! `simd.rs` and `kernels.rs`: dimensions land on and off both 64-bit
+//! word and 256-bit AVX2-lane boundaries so every kernel's tail path
+//! is exercised, class counts are arbitrary (including zero and one,
+//! where `second` must stay `None`), and query batches cross the
+//! 8-query tile width of the blocked kernel.
+
+use hdface_hdc::{
+    detected_backend, hamming_distances_block_with, hamming_top2, hamming_top2_block,
+    hamming_top2_block_with, hamming_top2_with, BitVector, SimdBackend,
+};
+use proptest::prelude::*;
+
+/// Strategy: a dimension biased toward 64-bit word and 256-bit
+/// AVX2-lane boundary edges, so most cases exercise a scalar tail, a
+/// partial word, or both.
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![
+        1usize, 2, 7, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 300, 511, 512, 513,
+    ])
+}
+
+/// The backends worth differencing on this machine: the scalar
+/// reference plus whatever the dispatcher detected (equal to Scalar on
+/// machines without SIMD — the comparisons turn trivially true there,
+/// which is fine: there is nothing else to diverge).
+fn backends() -> Vec<SimdBackend> {
+    vec![SimdBackend::Scalar, detected_backend()]
+}
+
+/// Strategy: `queries` query vectors and `classes` candidate vectors
+/// of one shared dimension. Candidate counts include 0 (every top-2 is
+/// `None`) and 1 (`second` must stay `None`); query counts cross the
+/// blocked kernel's 8-wide tile.
+fn arb_problem() -> impl Strategy<Value = (usize, Vec<BitVector>, Vec<BitVector>)> {
+    arb_dim().prop_flat_map(|dim| {
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), dim), 0..=11),
+            prop::collection::vec(prop::collection::vec(any::<bool>(), dim), 0..=5),
+        )
+            .prop_map(move |(qs, cs)| {
+                let to_vecs = |rows: Vec<Vec<bool>>| -> Vec<BitVector> {
+                    rows.iter().map(|r| BitVector::from_bools(r)).collect()
+                };
+                (dim, to_vecs(qs), to_vecs(cs))
+            })
+    })
+}
+
+/// Scalar reference distance: count positions that disagree, bit by
+/// bit — independent of every word-level kernel under test.
+fn reference_distance(a: &BitVector, b: &BitVector, dim: usize) -> usize {
+    (0..dim).filter(|&i| a.get(i) != b.get(i)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any backend, any dimension: `BitVector::hamming` (which runs on
+    /// the dispatched backend) equals the bit-by-bit reference, and
+    /// never exceeds `dim` — tail masking can neither drop nor invent
+    /// disagreeing positions.
+    #[test]
+    fn hamming_matches_bit_by_bit_reference((dim, qs, cs) in arb_problem()) {
+        for q in &qs {
+            for c in &cs {
+                let h = q.hamming(c).unwrap();
+                prop_assert_eq!(h, reference_distance(q, c, dim));
+                prop_assert!(h <= dim);
+            }
+        }
+    }
+
+    /// The single-query top-2 kernel returns the same winners,
+    /// distances, and first-wins ties on every backend.
+    #[test]
+    fn top2_agrees_across_backends((_dim, qs, cs) in arb_problem()) {
+        for q in &qs {
+            let reference = hamming_top2_with(SimdBackend::Scalar, q, &cs).unwrap();
+            for b in backends() {
+                prop_assert_eq!(hamming_top2_with(b, q, &cs).unwrap(), reference);
+            }
+            prop_assert_eq!(hamming_top2(q, &cs).unwrap(), reference);
+            if cs.len() < 2 {
+                prop_assert!(reference.is_none_or(|t| t.second.is_none()));
+            }
+        }
+    }
+
+    /// The blocked distance kernel's row-major matrix equals the
+    /// per-pair scalar distances on every backend, at every batch
+    /// shape (queries cross the 8-wide tile, candidates stay small).
+    #[test]
+    fn distance_block_agrees_across_backends((_dim, qs, cs) in arb_problem()) {
+        let refs: Vec<&BitVector> = qs.iter().collect();
+        for b in backends() {
+            let block = hamming_distances_block_with(b, &refs, &cs).unwrap();
+            prop_assert_eq!(block.len(), qs.len() * cs.len());
+            for (qi, q) in qs.iter().enumerate() {
+                for (ci, c) in cs.iter().enumerate() {
+                    prop_assert_eq!(block[qi * cs.len() + ci], q.hamming(c).unwrap());
+                }
+            }
+        }
+    }
+
+    /// The blocked top-2 kernel equals the single-query kernel row by
+    /// row on every backend — winners, distances, and ties; duplicated
+    /// candidates force exact-tie rows, pinning first-wins order.
+    #[test]
+    fn top2_block_agrees_with_single_query((_dim, qs, mut cs) in arb_problem()) {
+        // Duplicate the first candidate so ties are guaranteed
+        // whenever there are candidates at all.
+        if let Some(first) = cs.first().cloned() {
+            cs.push(first);
+        }
+        let refs: Vec<&BitVector> = qs.iter().collect();
+        for b in backends() {
+            let block = hamming_top2_block_with(b, &refs, &cs).unwrap();
+            prop_assert_eq!(block.len(), qs.len());
+            for (q, got) in qs.iter().zip(&block) {
+                prop_assert_eq!(*got, hamming_top2_with(SimdBackend::Scalar, q, &cs).unwrap());
+            }
+        }
+        prop_assert_eq!(
+            hamming_top2_block(&refs, &cs).unwrap(),
+            hamming_top2_block_with(SimdBackend::Scalar, &refs, &cs).unwrap()
+        );
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use hdface_hdc::{hamming_top2, top2_scores, Accumulator, BitVector, HdcRng, ScoreTop2};
+use hdface_hdc::{
+    hamming_distances_block, hamming_top2, top2_scores, Accumulator, BitVector, HdcRng, ScoreTop2,
+};
 use rand::Rng;
 
 use crate::error::LearnError;
@@ -79,6 +81,35 @@ pub struct TrainReport {
 pub struct HdClassifier {
     classes: Vec<Accumulator>,
     dim: usize,
+    /// When the accumulators are exactly the bipolar (±1) view of a
+    /// binary model (set by [`HdClassifier::from_binary`], cleared by
+    /// any accumulator mutation), this holds the underlying class bit
+    /// patterns so batched scoring can run on the blocked SIMD
+    /// Hamming kernel instead of per-class float walks. Cosine on a
+    /// ±1 accumulator is an exact function of the integer Hamming
+    /// distance (see [`cosine_from_distance`]), so the fast path is
+    /// bit-identical, not approximate.
+    bipolar: Option<Vec<BitVector>>,
+}
+
+/// Cosine similarity of a bipolar query against a **±1 accumulator**,
+/// reconstructed from the integer Hamming distance `dist` between the
+/// query and the accumulator's sign pattern.
+///
+/// Replicates [`Accumulator::cosine`] bit-for-bit for this input
+/// class: the per-bit `dot` accumulation sums ±1.0 terms — every
+/// partial sum is an integer below 2^53, so the final value is
+/// exactly `dim − 2·dist` — and `norm` sums `dim` ones, exactly
+/// `dim as f64`. The divisor is spelled the same way as the original
+/// (`norm.sqrt() * (dim as f64).sqrt()`, *not* `dim as f64`), because
+/// `sqrt(D)·sqrt(D)` need not round to `D` for non-square `D`.
+fn cosine_from_distance(dim: usize, dist: usize) -> f64 {
+    if dim == 0 {
+        return 0.0;
+    }
+    let dot = (dim as f64) - 2.0 * (dist as f64);
+    let norm = dim as f64;
+    dot / (norm.sqrt() * (dim as f64).sqrt())
 }
 
 impl HdClassifier {
@@ -88,7 +119,16 @@ impl HdClassifier {
         HdClassifier {
             classes: (0..num_classes).map(|_| Accumulator::new(dim)).collect(),
             dim,
+            bipolar: None,
         }
+    }
+
+    /// `true` when batched scoring will take the blocked Hamming
+    /// fast path (the accumulators are an unmodified bipolar view of
+    /// a binary model).
+    #[must_use]
+    pub fn is_bipolar(&self) -> bool {
+        self.bipolar.is_some()
     }
 
     /// Hypervector dimensionality.
@@ -209,6 +249,81 @@ impl HdClassifier {
         Ok(pos_score - rival)
     }
 
+    /// Batched [`HdClassifier::margin`]: scores every query against
+    /// every class in one blocked pass.
+    ///
+    /// When the classifier [`is_bipolar`](HdClassifier::is_bipolar),
+    /// per-class cosines are reconstructed from the blocked SIMD
+    /// Hamming kernel via [`cosine_from_distance`] and fed through the
+    /// same fused [`top2_scores`] logic as the scalar path — identical
+    /// floats, identical tie-breaking. Otherwise this falls back to
+    /// per-query [`HdClassifier::margin`] calls, still bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::LabelOutOfRange`] for a bad `positive`
+    /// index, [`LearnError::NoClasses`] when no rival class exists and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn margin_batch(
+        &self,
+        queries: &[&BitVector],
+        positive: usize,
+    ) -> Result<Vec<f64>, LearnError> {
+        if positive >= self.classes.len() {
+            return Err(LearnError::LabelOutOfRange {
+                label: positive,
+                num_classes: self.classes.len(),
+            });
+        }
+        let Some(bits) = &self.bipolar else {
+            return queries.iter().map(|q| self.margin(q, positive)).collect();
+        };
+        let ncand = bits.len();
+        let dists = hamming_distances_block(queries, bits)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for row in dists.chunks(ncand.max(1)).take(queries.len()) {
+            let mut pos_score = f64::NAN;
+            let top = top2_scores(row.iter().enumerate().map(|(i, &d)| {
+                let s = cosine_from_distance(self.dim, d);
+                if i == positive {
+                    pos_score = s;
+                }
+                s
+            }));
+            let top = top.ok_or(LearnError::NoClasses)?;
+            let rival = if top.best == positive {
+                top.second.map(|(_, s)| s)
+            } else {
+                Some(top.best_score)
+            };
+            out.push(pos_score - rival.ok_or(LearnError::NoClasses)?);
+        }
+        Ok(out)
+    }
+
+    /// Batched [`HdClassifier::predict`]: one blocked pass over all
+    /// queries, bit-identical to per-query prediction (cosines are
+    /// reconstructed from Hamming distances on the bipolar fast path
+    /// and ranked by the same last-wins [`top2_scores`] scan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoClasses`] on an empty model and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    pub fn predict_batch(&self, queries: &[&BitVector]) -> Result<Vec<usize>, LearnError> {
+        let Some(bits) = &self.bipolar else {
+            return queries.iter().map(|q| self.predict(q)).collect();
+        };
+        let ncand = bits.len();
+        let dists = hamming_distances_block(queries, bits)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for row in dists.chunks(ncand.max(1)).take(queries.len()) {
+            let top = top2_scores(row.iter().map(|&d| cosine_from_distance(self.dim, d)));
+            out.push(top.ok_or(LearnError::NoClasses)?.best);
+        }
+        Ok(out)
+    }
+
     /// One adaptive update with a single sample:
     /// `C_label += (1 − δ_label)·H`, and on misprediction
     /// `C_pred −= (1 − δ_pred)·H` (the OnlineHD-style rule the paper's
@@ -257,6 +372,10 @@ impl HdClassifier {
         let top = top.ok_or(LearnError::NoClasses)?;
         let predicted = top.best;
         let mispredicted = predicted != label;
+
+        // The accumulators are about to drift from any bipolar view:
+        // batched scoring must return to the float path.
+        self.bipolar = None;
 
         let lr_pos = if adaptive { 1.0 - label_sim } else { 1.0 };
         self.classes[label].add_weighted(sample, lr_pos)?;
@@ -334,6 +453,9 @@ impl HdClassifier {
         for (acc, bits) in clf.classes.iter_mut().zip(model.classes()) {
             acc.add(bits).expect("dims equal by construction");
         }
+        // Remember the sign patterns: batched scoring can now run on
+        // the blocked Hamming kernel (invalidated by any `update`).
+        clf.bipolar = Some(model.classes().to_vec());
         clf
     }
 
@@ -612,6 +734,66 @@ mod tests {
                 "cosine-on-bipolar must agree with Hamming"
             );
         }
+    }
+
+    #[test]
+    fn batch_margins_bit_identical_on_both_paths() {
+        let mut rng = HdcRng::seed_from_u64(40);
+        let (_, train) = toy(3, 10, 0.2, &mut rng);
+        let mut trained = HdClassifier::new(3, D);
+        trained
+            .fit(&train, &TrainConfig::default(), &mut rng)
+            .unwrap();
+        assert!(!trained.is_bipolar());
+        let bipolar = HdClassifier::from_binary(&trained.to_binary(&mut rng));
+        assert!(bipolar.is_bipolar());
+        let queries: Vec<&BitVector> = train.iter().map(|(s, _)| s).collect();
+        for clf in [&trained, &bipolar] {
+            let batch = clf.margin_batch(&queries, 1).unwrap();
+            let preds = clf.predict_batch(&queries).unwrap();
+            for (q, (m, p)) in queries.iter().zip(batch.iter().zip(&preds)) {
+                assert_eq!(m.to_bits(), clf.margin(q, 1).unwrap().to_bits());
+                assert_eq!(*p, clf.predict(q).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn update_invalidates_the_bipolar_fast_path() {
+        let mut rng = HdcRng::seed_from_u64(41);
+        let (_, train) = toy(2, 6, 0.2, &mut rng);
+        let mut clf = HdClassifier::new(2, D);
+        clf.fit(&train, &TrainConfig::default(), &mut rng).unwrap();
+        let mut bipolar = HdClassifier::from_binary(&clf.to_binary(&mut rng));
+        assert!(bipolar.is_bipolar());
+        bipolar.update(&train[0].0, train[0].1, true).unwrap();
+        assert!(!bipolar.is_bipolar());
+        // Post-update batch margins must still match the scalar path.
+        let queries: Vec<&BitVector> = train.iter().map(|(s, _)| s).collect();
+        let batch = bipolar.margin_batch(&queries, 1).unwrap();
+        for (q, m) in queries.iter().zip(batch) {
+            assert_eq!(m.to_bits(), bipolar.margin(q, 1).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_inputs_like_scalar() {
+        let clf = HdClassifier::new(2, 64);
+        let alien = BitVector::zeros(65);
+        assert!(matches!(
+            clf.margin_batch(&[&alien], 7),
+            Err(LearnError::LabelOutOfRange { .. })
+        ));
+        assert!(clf.margin_batch(&[&alien], 1).is_err());
+        assert!(clf.predict_batch(&[&alien]).is_err());
+        let empty = HdClassifier::new(0, 64);
+        let v = BitVector::zeros(64);
+        assert!(matches!(
+            empty.predict_batch(&[&v]),
+            Err(LearnError::NoClasses)
+        ));
+        assert!(clf.margin_batch(&[], 1).unwrap().is_empty());
+        assert!(clf.predict_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -92,9 +92,12 @@ step online ./scripts/cargo-offline.sh test -q --test online
 
 # Bench smoke: one tiny detection benchmark asserting (a) the
 # level-cell cache is at least as fast as per-window extraction and
+# the blocked scan detects bit-identically to per-window scheduling,
 # (b) the bit-sliced bundling kernel is at least as fast as the scalar
-# Accumulator and bit-identical to it (exit 1 on regression; writes no
-# report files).
+# Accumulator and bit-identical to it, and (c) batched SIMD
+# classification is at least as fast as the per-window scalar kernel
+# and bit-identical to it (exit 1 on regression; writes no report
+# files).
 step bench ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
 
 summary

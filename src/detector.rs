@@ -21,6 +21,14 @@ const DETECT_STREAM_SALT: u64 = 0xdef0_1c7e_55ca_4b1d;
 /// per-window scan streams.
 const LEVEL_CACHE_SALT: u64 = 0x9c4e_6a2b_11d7_3f8d;
 
+/// Windows per engine task in [`ScanMode::Blocked`]: large enough
+/// that task-scheduling overhead and per-call classification setup
+/// amortize away, small enough that a pyramid level's tail still
+/// load-balances across workers. Chunking never affects results —
+/// every window keeps its global flattened index (and therefore its
+/// derived stream) regardless of grouping.
+const WINDOWS_PER_TASK: usize = 32;
+
 /// One detection in original-image coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
@@ -109,6 +117,46 @@ impl std::fmt::Display for ExtractionMode {
     }
 }
 
+/// How the scan schedules windows through encode and classify.
+///
+/// Both modes produce bit-identical detections — every window keeps
+/// its global flattened index and derived stream either way, and the
+/// blocked classifier kernels reproduce the per-window floats exactly
+/// — so this is purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Level-blocked batching (the default): windows are encoded in
+    /// chunks of `WINDOWS_PER_TASK` per engine task, then each chunk
+    /// is classified through one blocked SIMD kernel call
+    /// (quarantine-aware via [`IntegrityGuard::margin_batch`]).
+    #[default]
+    Blocked,
+    /// One window per engine task, classified individually — the
+    /// pre-batching behaviour, kept for comparison and bisection.
+    PerWindow,
+}
+
+impl ScanMode {
+    /// Parses a CLI flag value (`blocked` | `per-window`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ScanMode> {
+        match s {
+            "blocked" => Some(ScanMode::Blocked),
+            "per-window" | "per_window" => Some(ScanMode::PerWindow),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScanMode::Blocked => "blocked",
+            ScanMode::PerWindow => "per-window",
+        })
+    }
+}
+
 /// Per-scan extraction statistics, reported by
 /// [`FaceDetector::detect_with_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -131,6 +179,12 @@ pub struct ScanStats {
     /// level-cache builds; timing, so *not* deterministic across
     /// runs.
     pub encode_ns: u64,
+    /// Nanoseconds spent classifying window features (the Hamming /
+    /// cosine margin phase the SIMD kernels accelerate), summed
+    /// across workers — so with several threads this can exceed the
+    /// wall-clock `encode_ns` it is a component of. Timing, so *not*
+    /// deterministic across runs.
+    pub classify_ns: u64,
 }
 
 /// Configuration of the multi-scale detector.
@@ -150,6 +204,8 @@ pub struct DetectorConfig {
     pub iou_threshold: f64,
     /// Extraction strategy for the scan.
     pub extraction: ExtractionMode,
+    /// Scheduling strategy for the scan (batched vs per-window).
+    pub scan: ScanMode,
 }
 
 impl Default for DetectorConfig {
@@ -161,6 +217,7 @@ impl Default for DetectorConfig {
             score_threshold: 0.0,
             iou_threshold: 0.3,
             extraction: ExtractionMode::Cached,
+            scan: ScanMode::Blocked,
         }
     }
 }
@@ -283,6 +340,12 @@ impl FaceDetector {
         self.config.extraction = mode;
     }
 
+    /// Switches the scan scheduling strategy (batched vs per-window);
+    /// detections are bit-identical either way.
+    pub fn set_scan(&mut self, mode: ScanMode) {
+        self.config.scan = mode;
+    }
+
     /// Scores one feature hypervector: `δ(face) − δ(best other
     /// class)`. With an integrity guard attached the margin comes
     /// from the guard's quarantine-aware scorer; `None` means no
@@ -306,11 +369,31 @@ impl FaceDetector {
         Ok(Some(clf.margin(feature, 1).map_err(PipelineError::from)?))
     }
 
-    /// Scores one window crop through the full per-window pipeline,
-    /// with the crop's stochastic masks drawn from `stream`.
-    fn score_window(&self, crop: &GrayImage, stream: u64) -> Result<Option<f64>, DetectorError> {
-        let feature = self.pipeline.extract_seeded(crop, stream)?;
-        self.margin_of(&feature)
+    /// Batched [`margin_of`](Self::margin_of): one blocked
+    /// classification call for a whole chunk of window features,
+    /// routed through [`IntegrityGuard::margin_batch`] when a guard
+    /// is attached. Bit-identical to scoring each feature alone.
+    fn margin_of_batch(&self, features: &[&BitVector]) -> Result<Vec<Option<f64>>, DetectorError> {
+        if let Some(guard) = &self.integrity {
+            return guard
+                .margin_batch(features)
+                .map_err(|e| DetectorError::Pipeline(PipelineError::from(e)));
+        }
+        let clf = self
+            .pipeline
+            .classifier()
+            .ok_or(DetectorError::Pipeline(PipelineError::NotTrained))?;
+        if clf.num_classes() != 2 {
+            return Err(DetectorError::NotBinary {
+                classes: clf.num_classes(),
+            });
+        }
+        Ok(clf
+            .margin_batch(features, 1)
+            .map_err(PipelineError::from)?
+            .into_iter()
+            .map(Some)
+            .collect())
     }
 
     /// Runs the full multi-scale scan on the default [`Engine`] and
@@ -491,48 +574,107 @@ impl FaceDetector {
         };
 
         let base = derive_seed(self.pipeline.seed(), DETECT_STREAM_SALT);
+        // Cumulative classification nanoseconds across workers (the
+        // phase the SIMD kernels accelerate), separate from the
+        // wall-clock encode-and-score span below.
+        let classify_ns = std::sync::atomic::AtomicU64::new(0);
+
+        // Encodes window `i` into its feature hypervector. The stream
+        // is derived from the window's *global* flattened index, so
+        // scheduling (per-window or chunked, any thread count) can
+        // never change a window's stochastic masks. Returns the
+        // feature and whether the level cache served it.
+        let encode_window = |i: usize| -> Result<(BitVector, bool), DetectorError> {
+            let (li, w) = tasks[i];
+            let stream = derive_seed(base, i as u64);
+            if let (Some(h), Some(caches)) = (hyper, &caches) {
+                let cache = &caches[li];
+                let cell = h.config().hog.cell_size;
+                // Cache-assembled path for cell-aligned geometry (the
+                // default stride is cell-aligned, so this is the
+                // common case). Unaligned windows fall back below.
+                if win.is_multiple_of(cell)
+                    && w.x.is_multiple_of(cell)
+                    && w.y.is_multiple_of(cell)
+                    && w.x / cell + win / cell <= cache.cells_x()
+                    && w.y / cell + win / cell <= cache.cells_y()
+                {
+                    let mut scratch = h.scratch_for_stream(stream);
+                    let feature = h
+                        .extract_from_cache(
+                            cache,
+                            w.x / cell,
+                            w.y / cell,
+                            win / cell,
+                            win / cell,
+                            &mut scratch,
+                        )
+                        .map_err(PipelineError::from)?;
+                    return Ok((feature, true));
+                }
+            }
+            let crop = levels[li]
+                .image
+                .crop(w.x, w.y, w.width, w.height)
+                .expect("window within level bounds");
+            Ok((self.pipeline.extract_seeded(&crop, stream)?, false))
+        };
+
         let encode_start = std::time::Instant::now();
-        let scored = engine.run(
-            tasks.len(),
-            |i| -> Result<(Option<f64>, bool), DetectorError> {
-                let (li, w) = tasks[i];
-                let stream = derive_seed(base, i as u64);
-                if let (Some(h), Some(caches)) = (hyper, &caches) {
-                    let cache = &caches[li];
-                    let cell = h.config().hog.cell_size;
-                    // Cache-assembled path for cell-aligned geometry (the
-                    // default stride is cell-aligned, so this is the
-                    // common case). Unaligned windows fall back below.
-                    if win.is_multiple_of(cell)
-                        && w.x.is_multiple_of(cell)
-                        && w.y.is_multiple_of(cell)
-                        && w.x / cell + win / cell <= cache.cells_x()
-                        && w.y / cell + win / cell <= cache.cells_y()
-                    {
-                        let mut scratch = h.scratch_for_stream(stream);
-                        let feature = h
-                            .extract_from_cache(
-                                cache,
-                                w.x / cell,
-                                w.y / cell,
-                                win / cell,
-                                win / cell,
-                                &mut scratch,
-                            )
-                            .map_err(PipelineError::from)?;
-                        return Ok((self.margin_of(&feature)?, true));
+        let scored: Vec<Result<(Option<f64>, bool), DetectorError>> = match self.config.scan {
+            ScanMode::PerWindow => engine.run(tasks.len(), |i| {
+                let (feature, cached) = encode_window(i)?;
+                let t0 = std::time::Instant::now();
+                let margin = self.margin_of(&feature)?;
+                classify_ns.fetch_add(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                Ok((margin, cached))
+            }),
+            ScanMode::Blocked => engine.run_chunked(tasks.len(), WINDOWS_PER_TASK, |range| {
+                // Encode the whole chunk first, then classify it
+                // through one blocked kernel call. Windows whose
+                // encoding failed keep their error slot; a (rare)
+                // batch-level classification error lands on the first
+                // encoded window, which is where the per-window path
+                // would have reported it too.
+                let mut out: Vec<Result<(Option<f64>, bool), DetectorError>> =
+                    Vec::with_capacity(range.len());
+                let mut features: Vec<(usize, BitVector, bool)> = Vec::with_capacity(range.len());
+                for i in range {
+                    match encode_window(i) {
+                        Ok((feature, cached)) => {
+                            features.push((out.len(), feature, cached));
+                            out.push(Ok((None, cached)));
+                        }
+                        Err(e) => out.push(Err(e)),
                     }
                 }
-                let crop = levels[li]
-                    .image
-                    .crop(w.x, w.y, w.width, w.height)
-                    .expect("window within level bounds");
-                Ok((self.score_window(&crop, stream)?, false))
-            },
-        );
+                if features.is_empty() {
+                    return out;
+                }
+                let t0 = std::time::Instant::now();
+                let refs: Vec<&BitVector> = features.iter().map(|(_, f, _)| f).collect();
+                match self.margin_of_batch(&refs) {
+                    Ok(margins) => {
+                        for ((slot, _, cached), margin) in features.iter().zip(margins) {
+                            out[*slot] = Ok((margin, *cached));
+                        }
+                    }
+                    Err(e) => out[features[0].0] = Err(e),
+                }
+                classify_ns.fetch_add(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                out
+            }),
+        };
 
         let mut stats = ScanStats {
             encode_ns: u64::try_from(encode_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            classify_ns: classify_ns.load(std::sync::atomic::Ordering::Relaxed),
             ..ScanStats::default()
         };
         let mut detections = Vec::new();
@@ -661,6 +803,63 @@ mod tests {
         let best = hits[0];
         let overlap = iou(best.window, win(16, 16, 32));
         assert!(overlap > 0.2, "best hit {best:?} misses the face");
+    }
+
+    #[test]
+    fn blocked_and_per_window_scans_are_bit_identical() {
+        let data = face2_spec().at_size(32).scaled(80).generate(5);
+        let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(2048), 3);
+        pipeline.train(&data, &TrainConfig::default()).unwrap();
+        let mut det = FaceDetector::new(pipeline, DetectorConfig::default());
+
+        let mut rng = HdcRng::seed_from_u64(8);
+        let face = render_face(32, &FaceParams::centered(32, Emotion::Happy), &mut rng);
+        let mut scene = GrayImage::filled(96, 96, 0.35);
+        for y in 0..32 {
+            for x in 0..32 {
+                scene.set(32 + x, 16 + y, face.get(x, y));
+            }
+        }
+        // Blocked vs per-window scheduling, serial vs parallel: every
+        // combination must yield identical detections (per extraction
+        // mode — the two extraction modes normalize differently by
+        // design).
+        for extraction in [ExtractionMode::Cached, ExtractionMode::PerWindow] {
+            det.set_extraction(extraction);
+            let mut reference: Option<Vec<Detection>> = None;
+            for scan in [ScanMode::Blocked, ScanMode::PerWindow] {
+                det.set_scan(scan);
+                for engine in [Engine::serial(), Engine::new(8)] {
+                    let (hits, stats) = det.detect_with_stats(&scene, &engine).unwrap();
+                    match &reference {
+                        None => reference = Some(hits),
+                        Some(want) => {
+                            assert_eq!(want.len(), hits.len(), "{extraction} {scan}");
+                            for (a, b) in want.iter().zip(&hits) {
+                                assert_eq!(a.window, b.window, "{extraction} {scan}");
+                                assert_eq!(
+                                    a.score.to_bits(),
+                                    b.score.to_bits(),
+                                    "{extraction} {scan}"
+                                );
+                            }
+                        }
+                    }
+                    assert!(stats.classify_ns > 0, "classify phase must be timed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_mode_parses_and_displays() {
+        assert_eq!(ScanMode::parse("blocked"), Some(ScanMode::Blocked));
+        assert_eq!(ScanMode::parse("per-window"), Some(ScanMode::PerWindow));
+        assert_eq!(ScanMode::parse("per_window"), Some(ScanMode::PerWindow));
+        assert_eq!(ScanMode::parse("nope"), None);
+        assert_eq!(ScanMode::Blocked.to_string(), "blocked");
+        assert_eq!(ScanMode::PerWindow.to_string(), "per-window");
+        assert_eq!(ScanMode::default(), ScanMode::Blocked);
     }
 
     #[test]

@@ -137,6 +137,46 @@ impl Engine {
             .map(|s| s.expect("every task index yields exactly one result"))
             .collect()
     }
+
+    /// Runs `tasks` independent jobs in contiguous chunks of up to
+    /// `chunk` indices per steal, calling `f(range)` once per chunk
+    /// and returning the concatenated per-index results **in index
+    /// order**.
+    ///
+    /// This is the batch-friendly sibling of [`Engine::run`]: a chunk
+    /// is one scheduling unit (one counter increment instead of
+    /// `chunk`), and `f` sees the whole index range at once so it can
+    /// amortize work across it — e.g. encode a block of windows, then
+    /// classify them through one blocked kernel call. Chunking only
+    /// changes *grouping*, never which indices run or their result
+    /// order, so anything deterministic under [`Engine::run`] stays
+    /// bit-identical here at any thread count and any chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a vector whose length differs from its
+    /// range, and propagates panics from `f`.
+    pub fn run_chunked<T, F>(&self, tasks: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    {
+        let chunk = chunk.max(1);
+        let nchunks = tasks.div_ceil(chunk);
+        let run_one = |c: usize| {
+            let range = c * chunk..((c + 1) * chunk).min(tasks);
+            let len = range.len();
+            let out = f(range);
+            assert_eq!(
+                out.len(),
+                len,
+                "chunk closure must yield one result per index"
+            );
+            out
+        };
+        let per_chunk = self.run(nchunks, run_one);
+        per_chunk.into_iter().flatten().collect()
+    }
 }
 
 impl Default for Engine {
@@ -196,6 +236,38 @@ mod tests {
         let engine = Engine::new(4);
         assert!(engine.run(0, |i| i).is_empty());
         assert_eq!(engine.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn chunked_matches_per_task_at_any_chunk_size_and_thread_count() {
+        let want: Vec<u64> = (0..97).map(|i| derive_seed(9, i)).collect();
+        for threads in [1, 2, 8] {
+            for chunk in [1, 7, 32, 97, 1000] {
+                let got = Engine::new(threads).run_chunked(97, chunk, |range| {
+                    range.map(|i| derive_seed(9, i as u64)).collect()
+                });
+                assert_eq!(got, want, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_edge_cases() {
+        let engine = Engine::new(4);
+        assert!(engine
+            .run_chunked(0, 8, |r| r.collect::<Vec<_>>())
+            .is_empty());
+        // chunk=0 is clamped to 1 instead of dividing by zero.
+        assert_eq!(
+            engine.run_chunked(3, 0, |r| r.collect::<Vec<_>>()),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per index")]
+    fn chunked_panics_on_wrong_result_length() {
+        Engine::serial().run_chunked(4, 2, |_| vec![0usize]);
     }
 
     #[test]

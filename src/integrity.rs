@@ -289,6 +289,45 @@ impl IntegrityGuard {
             // unguarded pipeline.
             return state.scorer.margin(feature, 1).map(Some);
         }
+        Self::quarantined_margin(&state, feature)
+    }
+
+    /// Batched [`IntegrityGuard::margin`]: scores a whole chunk of
+    /// window features against **one** state snapshot. The clean path
+    /// delegates to the classifier's blocked SIMD kernel (identical
+    /// floats to per-feature calls); under quarantine each feature
+    /// runs the same exclusion scan [`IntegrityGuard::margin`] uses.
+    ///
+    /// Taking one snapshot per chunk rather than per window is the
+    /// point: a concurrent scrub swap lands between chunks, never
+    /// mid-chunk, and the no-swap case is trivially bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimensionality mismatches from scoring.
+    pub fn margin_batch(&self, features: &[&BitVector]) -> Result<Vec<Option<f64>>, LearnError> {
+        let state = self.read_state();
+        if !state.any_quarantined {
+            return Ok(state
+                .scorer
+                .margin_batch(features, 1)?
+                .into_iter()
+                .map(Some)
+                .collect());
+        }
+        features
+            .iter()
+            .map(|f| Self::quarantined_margin(&state, f))
+            .collect()
+    }
+
+    /// The quarantine-aware margin scan shared by the single and
+    /// batched entry points: `cos(face) − max cos(rival)` over
+    /// non-quarantined classes only.
+    fn quarantined_margin(
+        state: &ModelState,
+        feature: &BitVector,
+    ) -> Result<Option<f64>, LearnError> {
         if *state.quarantined.get(1).unwrap_or(&true) {
             return Ok(None);
         }
@@ -638,6 +677,44 @@ mod tests {
         // Classify reports null for the quarantined class.
         let (_, scores) = guard.classify(&q).unwrap().unwrap();
         assert!(scores[0].is_some() && scores[1].is_some() && scores[2].is_none());
+    }
+
+    #[test]
+    fn margin_batch_bit_identical_clean_and_quarantined() {
+        let cls = classes(3, 1024, 13);
+        let guard = IntegrityGuard::new(&cls, None, None, 1);
+        let mut rng = HdcRng::seed_from_u64(14);
+        let queries: Vec<BitVector> = (0..11)
+            .map(|_| BitVector::random_with_density(1024, 0.5, &mut rng).unwrap())
+            .collect();
+        let refs: Vec<&BitVector> = queries.iter().collect();
+        // Clean: batch must reproduce the per-feature floats exactly.
+        let batch = guard.margin_batch(&refs).unwrap();
+        for (q, m) in queries.iter().zip(&batch) {
+            assert_eq!(
+                m.unwrap().to_bits(),
+                guard.margin(q).unwrap().unwrap().to_bits()
+            );
+        }
+        // Quarantine rival class 2; batch must mirror the exclusion
+        // scan feature by feature.
+        {
+            let mut state = guard.state.write().unwrap();
+            let mut replicas = state.replicas.clone();
+            let golden = state.golden.clone();
+            replicas[0][2].flip(12);
+            *state = Arc::new(ModelState::build(replicas, golden, vec![false; 3]));
+        }
+        guard.scrub_once();
+        assert_eq!(guard.quarantined(), vec![false, false, true]);
+        let batch = guard.margin_batch(&refs).unwrap();
+        for (q, m) in queries.iter().zip(&batch) {
+            assert_eq!(*m, guard.margin(q).unwrap());
+            assert_eq!(
+                m.unwrap().to_bits(),
+                guard.margin(q).unwrap().unwrap().to_bits()
+            );
+        }
     }
 
     #[test]

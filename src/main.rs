@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use hdface::datasets::face2_spec;
-use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector};
+use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector, ScanMode};
 use hdface::engine::Engine;
 use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
 use hdface::integrity::IntegrityGuard;
@@ -81,9 +81,9 @@ impl Args {
 fn usage() -> String {
     "usage:\n  \
      hdface train  --out model.hdp [--dim 4096] [--seed 7] [--samples 160] [--mode hyper|encoded] [--threads N]\n  \
-     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--threads N]\n  \
+     hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--scan blocked|per-window] [--threads N]\n  \
      hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
-     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window] [--scrub-interval-ms 1000]\n  \
+     hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window] [--scan blocked|per-window] [--scrub-interval-ms 1000]\n  \
      hdface model  ls       --registry-dir DIR\n  \
      hdface model  publish  --registry-dir DIR --model model.hdp\n  \
      hdface model  rollback --registry-dir DIR --version N\n  \
@@ -111,6 +111,18 @@ fn extraction_from_args(args: &Args) -> Result<ExtractionMode, String> {
         None => Ok(ExtractionMode::default()),
         Some(v) => ExtractionMode::parse(v)
             .ok_or_else(|| format!("--extraction must be cached or per-window, got {v:?}")),
+    }
+}
+
+/// Parses `--scan blocked|per-window` (blocked is the default:
+/// windows are encoded in chunks and classified through one blocked
+/// SIMD kernel call per chunk; `per-window` restores one-task-per-
+/// window scheduling — detections are bit-identical either way).
+fn scan_from_args(args: &Args) -> Result<ScanMode, String> {
+    match args.get("scan") {
+        None => Ok(ScanMode::default()),
+        Some(v) => ScanMode::parse(v)
+            .ok_or_else(|| format!("--scan must be blocked or per-window, got {v:?}")),
     }
 }
 
@@ -220,6 +232,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
     let extraction = extraction_from_args(args)?;
+    let scan = scan_from_args(args)?;
     let engine = engine_from_args(args)?;
 
     let reader = BufReader::new(File::open(image_path).map_err(|e| format!("{image_path}: {e}"))?);
@@ -231,6 +244,7 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
             score_threshold: threshold,
             stride_fraction: stride,
             extraction,
+            scan,
             ..DetectorConfig::default()
         },
     )?;
@@ -317,6 +331,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let stride: f64 = args.get_or("stride", 0.25)?;
     let scrub_interval_ms: u64 = args.get_or("scrub-interval-ms", 1000)?;
     let extraction = extraction_from_args(args)?;
+    let scan = scan_from_args(args)?;
     let engine = engine_from_args(args)?;
     let online = match args.get("registry-dir") {
         None => None,
@@ -337,6 +352,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             score_threshold: threshold,
             stride_fraction: stride,
             extraction,
+            scan,
             ..DetectorConfig::default()
         },
     )?;

@@ -23,6 +23,13 @@ use crate::engine::{derive_seed, Engine};
 const EXTRACT_STREAM_SALT: u64 = 0x7d0f_66ae_f2c1_3b55;
 const EVAL_STREAM_SALT: u64 = 0x3ac9_55e1_90d7_421b;
 
+/// Samples grouped into one evaluation task: each chunk is encoded
+/// sample by sample and then classified through one
+/// [`HdClassifier::predict_batch`] call, which rides the blocked SIMD
+/// Hamming kernels on deployed binary models. Streams are keyed off
+/// the global sample index, so chunking never changes the verdicts.
+const EVAL_SAMPLES_PER_TASK: usize = 32;
+
 /// Errors raised by the end-to-end pipelines.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -509,6 +516,14 @@ impl HdPipeline {
 
     /// [`evaluate`](HdPipeline::evaluate) on an explicit engine.
     ///
+    /// Samples are scanned in chunks of [`EVAL_SAMPLES_PER_TASK`]:
+    /// each chunk is encoded one sample at a time (per-sample streams
+    /// derived from the global sample index, so the features never
+    /// depend on chunking) and classified through one
+    /// [`HdClassifier::predict_batch`] call — the blocked SIMD path on
+    /// deployed binary models, the per-sample scalar path otherwise.
+    /// Verdicts are bit-identical at any thread count either way.
+    ///
     /// # Errors
     ///
     /// Returns [`PipelineError::NotTrained`] before training;
@@ -518,9 +533,9 @@ impl HdPipeline {
         dataset: &Dataset,
         engine: &Engine,
     ) -> Result<f64, PipelineError> {
-        if self.classifier.is_none() {
+        let Some(clf) = self.classifier.as_ref() else {
             return Err(PipelineError::NotTrained);
-        }
+        };
         if dataset.is_empty() {
             return Ok(0.0);
         }
@@ -531,11 +546,36 @@ impl HdPipeline {
         let samples = dataset.samples();
         let this: &Self = self;
         let verdicts: Result<Vec<bool>, PipelineError> = engine
-            .run(samples.len(), |i| {
-                let s = &samples[i];
-                let feature = this.extract_seeded(&s.image, derive_seed(base, i as u64))?;
-                let clf = this.classifier.as_ref().ok_or(PipelineError::NotTrained)?;
-                Ok(clf.predict(&feature)? == s.label)
+            .run_chunked(samples.len(), EVAL_SAMPLES_PER_TASK, |range| {
+                let mut out: Vec<Result<bool, PipelineError>> = Vec::with_capacity(range.len());
+                // (slot in `out`, feature, expected label) per sample
+                // that encoded cleanly; failed slots keep their error.
+                let mut encoded: Vec<(usize, BitVector, usize)> = Vec::new();
+                for (slot, i) in range.enumerate() {
+                    let s = &samples[i];
+                    match this.extract_seeded(&s.image, derive_seed(base, i as u64)) {
+                        Ok(feature) => {
+                            out.push(Ok(false));
+                            encoded.push((slot, feature, s.label));
+                        }
+                        Err(e) => out.push(Err(e)),
+                    }
+                }
+                if encoded.is_empty() {
+                    return out;
+                }
+                let queries: Vec<&BitVector> = encoded.iter().map(|(_, f, _)| f).collect();
+                match clf.predict_batch(&queries) {
+                    Ok(preds) => {
+                        for ((slot, _, label), pred) in encoded.iter().zip(preds) {
+                            out[*slot] = Ok(pred == *label);
+                        }
+                    }
+                    // A batch-level failure surfaces where the
+                    // per-sample path would have reported it first.
+                    Err(e) => out[encoded[0].0] = Err(e.into()),
+                }
+                out
             })
             .into_iter()
             .collect();
@@ -839,6 +879,46 @@ mod tests {
         p.train(&train, &TrainConfig::default()).unwrap();
         let acc = p.evaluate(&test).unwrap();
         assert!(acc >= 0.6, "cross-path accuracy {acc}");
+    }
+
+    #[test]
+    fn batched_evaluation_matches_per_sample_prediction() {
+        // The chunked predict_batch scan must agree with a hand-rolled
+        // per-sample extract_seeded + predict loop, on the float
+        // classifier straight out of training AND on the deployed
+        // binary model (the bipolar fast path), at several thread
+        // counts.
+        let ds = tiny_dataset();
+        let (train, test) = ds.split(0.75);
+        let mut p = HdPipeline::new(HdFeatureMode::hyper_hog(1024), 11);
+        p.train(&train, &TrainConfig::default()).unwrap();
+
+        for make_binary in [false, true] {
+            if make_binary {
+                let model = p.quantized_model().unwrap();
+                p.install_binary_model(model);
+            }
+            let base = derive_seed(p.seed(), EVAL_STREAM_SALT);
+            let clf = p.classifier().unwrap();
+            let mut correct = 0usize;
+            for (i, s) in test.samples().iter().enumerate() {
+                let f = p
+                    .extract_seeded(&s.image, derive_seed(base, i as u64))
+                    .unwrap();
+                if clf.predict(&f).unwrap() == s.label {
+                    correct += 1;
+                }
+            }
+            let expected = correct as f64 / test.samples().len() as f64;
+            for engine in [Engine::serial(), Engine::new(8)] {
+                let acc = p.evaluate_with(&test, &engine).unwrap();
+                assert_eq!(
+                    acc.to_bits(),
+                    expected.to_bits(),
+                    "batched eval diverged (binary={make_binary})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -144,6 +144,15 @@ pub struct ServerMetrics {
     ///
     /// [`ScanStats::encode_ns`]: crate::detector::ScanStats
     pub encode_ns: LatencyHistogram,
+    /// Per-scan classification latency in **nanoseconds** (one
+    /// observation per successful `/detect` scan, from
+    /// [`ScanStats::classify_ns`]) — the Hamming/cosine margin phase
+    /// the runtime-dispatched SIMD kernels accelerate, broken out
+    /// from `encode_ns` (which spans the whole encode-and-score
+    /// pass) so deployments can see the classify win directly.
+    ///
+    /// [`ScanStats::classify_ns`]: crate::detector::ScanStats
+    pub classify_ns: LatencyHistogram,
 }
 
 impl ServerMetrics {
@@ -200,7 +209,8 @@ impl ServerMetrics {
             "{{\"requests_total\":{},\"rejected_total\":{},\"queue_depth\":{queue_depth},\
              \"queue_capacity\":{queue_capacity},\"workers\":{workers},\
              \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold},\
-             \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
+             \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}},\
+             \"classify_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
              \"integrity\":{},\"online\":{},\
              \"endpoints\":{{{},{},{},{},{},{},{}}}}}",
             self.total_requests(),
@@ -208,6 +218,9 @@ impl ServerMetrics {
             self.encode_ns.count(),
             fmt(self.encode_ns.quantile(0.50)),
             fmt(self.encode_ns.quantile(0.99)),
+            self.classify_ns.count(),
+            fmt(self.classify_ns.quantile(0.50)),
+            fmt(self.classify_ns.quantile(0.99)),
             integrity.unwrap_or("null"),
             online.unwrap_or("null"),
             self.detect.json("detect"),
@@ -282,6 +295,7 @@ mod tests {
         assert!(json.contains("\"extraction\":{\"key_warm\":120,\"key_cold\":5,"));
         // No scans recorded yet: count 0, null quantiles.
         assert!(json.contains("\"encode_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
+        assert!(json.contains("\"classify_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
         assert!(json.contains("\"integrity\":null"));
         assert!(json.contains("\"online\":null"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
@@ -304,7 +318,9 @@ mod tests {
         assert!(json.contains("\"online\":{\"samples_ingested\":7}"));
         // Recorded scan encode times surface as ns quantiles.
         m.encode_ns.record(1_500_000); // 1.5ms → bucket [2^20, 2^21)
+        m.classify_ns.record(200_000); // 200µs → bucket [2^17, 2^18)
         let json = m.to_json(3, 64, 4, 120, 5, None, None);
         assert!(json.contains("\"encode_ns\":{\"scans\":1,\"p50_ns\":2097152,\"p99_ns\":2097152}"));
+        assert!(json.contains("\"classify_ns\":{\"scans\":1,\"p50_ns\":262144,\"p99_ns\":262144}"));
     }
 }

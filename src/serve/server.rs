@@ -550,15 +550,19 @@ fn handle_detect(inner: &Inner, body: &[u8]) -> Response {
     match inner.detector.detect_with_stats(&scene, &inner.engine) {
         Ok((detections, stats)) => {
             let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
-            // Per-scan encode latency feeds the ns histogram behind
-            // `GET /metrics` (the phase the bundling kernels speed up).
+            // Per-scan encode and classify latencies feed the ns
+            // histograms behind `GET /metrics` (the phases the
+            // bundling and SIMD similarity kernels speed up).
             inner.metrics.encode_ns.record(stats.encode_ns);
+            inner.metrics.classify_ns.record(stats.classify_ns);
             Response::json(
                 200,
                 format!(
-                    "{{\"count\":{},\"scan_micros\":{micros},\"encode_ns\":{},\"detections\":{}}}",
+                    "{{\"count\":{},\"scan_micros\":{micros},\"encode_ns\":{},\
+                     \"classify_ns\":{},\"detections\":{}}}",
                     detections.len(),
                     stats.encode_ns,
+                    stats.classify_ns,
                     detections_to_json(&detections),
                 ),
             )
