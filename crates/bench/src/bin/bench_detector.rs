@@ -3,7 +3,9 @@
 //! modes (level-cell cached vs legacy per-window), checks that
 //! cached-mode detections are bit-identical at every thread count,
 //! reports cache hit/fallback counts, benchmarks the bundling and
-//! classification kernels in isolation, and writes everything to
+//! classification kernels in isolation, measures served `/classify`
+//! throughput keep-alive vs close-per-request through a live
+//! in-process server, and writes everything to
 //! `BENCH_detector.json`.
 //!
 //! ```sh
@@ -29,7 +31,7 @@ use hdface::engine::Engine;
 use hdface::imaging::{GrayImage, ImagePyramid, SlidingWindows};
 use hdface::learn::TrainConfig;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
-use hdface_bench::{bench_bundling, bench_classify, RunConfig, Table};
+use hdface_bench::{bench_bundling, bench_classify, bench_serve, RunConfig, Table};
 
 const WINDOW: usize = 32;
 const STRIDE_FRACTION: f64 = 0.25;
@@ -314,6 +316,61 @@ fn main() -> ExitCode {
     ctable.print();
     println!("\ndispatched SIMD backend: {classify_backend}");
 
+    // Serving-layer benchmark: `/classify` through a live in-process
+    // server, keep-alive connections vs close-per-request, measured
+    // by the same load generator CI's soak gate runs.
+    let serve_conns = 32;
+    let serve_secs = if cfg.smoke { 1.0 } else { cfg.pick(2.0, 4.0) };
+    println!(
+        "\n== serving layer ({serve_conns} connections, {serve_secs}s/mode, POST /classify) ==\n"
+    );
+    let sb = bench_serve(
+        serve_conns,
+        std::time::Duration::from_secs_f64(serve_secs),
+        cfg.seed,
+    );
+    let fmt_us = |v: Option<u64>| v.map_or("n/a".to_owned(), |u| format!("{u}us"));
+    let mut stable = Table::new(&["mode", "ok", "rps", "p50", "p99", "speedup", "clean"]);
+    stable.row(&[
+        &"keep-alive",
+        &sb.keepalive_ok,
+        &format!("{:.1}", sb.keepalive_rps),
+        &fmt_us(sb.keepalive_p50_micros),
+        &fmt_us(sb.keepalive_p99_micros),
+        &format!("{:.2}x", sb.speedup()),
+        &sb.clean,
+    ]);
+    stable.row(&[
+        &"close",
+        &sb.close_ok,
+        &format!("{:.1}", sb.close_rps),
+        &fmt_us(sb.close_p50_micros),
+        &fmt_us(sb.close_p99_micros),
+        &"1.00x",
+        &sb.clean,
+    ]);
+    stable.print();
+    // The full-run acceptance bar is 1.5×; smoke keeps a looser 1.0×
+    // floor because 1s samples on a loaded CI core are noisy.
+    let serve_ok = sb.clean && sb.speedup() >= if cfg.smoke { 1.0 } else { 1.5 };
+    let json_us = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
+    let serve_entry = format!(
+        "{{\"connections\": {serve_conns}, \"endpoint\": \"/classify\", \
+         \"keepalive_rps\": {:.2}, \"close_rps\": {:.2}, \
+         \"keepalive_speedup\": {:.3}, \
+         \"keepalive_p50_micros\": {}, \"keepalive_p99_micros\": {}, \
+         \"close_p50_micros\": {}, \"close_p99_micros\": {}, \
+         \"clean\": {}}}",
+        sb.keepalive_rps,
+        sb.close_rps,
+        sb.speedup(),
+        json_us(sb.keepalive_p50_micros),
+        json_us(sb.keepalive_p99_micros),
+        json_us(sb.close_p50_micros),
+        json_us(sb.close_p99_micros),
+        sb.clean,
+    );
+
     if cfg.smoke {
         let mut ok = true;
         if smoke_ok {
@@ -339,6 +396,15 @@ fn main() -> ExitCode {
             );
             ok = false;
         }
+        if serve_ok {
+            println!("smoke: keep-alive serving >= close-per-request, run clean — OK");
+        } else {
+            eprintln!(
+                "smoke FAILED: keep-alive serving slower than close-per-request, \
+                 or the run saw 5xx/framing errors"
+            );
+            ok = false;
+        }
         return if ok {
             ExitCode::SUCCESS
         } else {
@@ -352,7 +418,8 @@ fn main() -> ExitCode {
          \"windows\": {windows}}},\n  \"thread_counts\": [{}],\n  \
          \"simd_backend\": \"{classify_backend}\",\n  \"results\": [{entries}\n  ],\n  \
          \"bundling\": [{bundling_entries}\n  ],\n  \
-         \"classify\": [{classify_entries}\n  ]\n}}\n",
+         \"classify\": [{classify_entries}\n  ],\n  \
+         \"serve\": {serve_entry}\n}}\n",
         scene.width(),
         scene.height(),
         threads_json.join(", "),

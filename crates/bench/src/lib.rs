@@ -394,6 +394,139 @@ pub fn bench_classify(dim: usize, classes: usize, windows: usize, seed: u64) -> 
     }
 }
 
+/// One serving-layer measurement produced by [`bench_serve`] and
+/// reported in `BENCH_detector.json`'s `serve` section: the same
+/// `/classify` workload driven through `hdface loadgen` twice — once
+/// over keep-alive connections, once reconnecting per request — so
+/// the ratio isolates what connection reuse plus `/classify`
+/// micro-batching buy over close-per-request serving.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBench {
+    /// Concurrent connections driven in each run.
+    pub connections: usize,
+    /// Successful requests/sec with `Connection: keep-alive`.
+    pub keepalive_rps: f64,
+    /// Successful requests/sec with `Connection: close`.
+    pub close_rps: f64,
+    /// `2xx` responses in the keep-alive run.
+    pub keepalive_ok: u64,
+    /// `2xx` responses in the close-per-request run.
+    pub close_ok: u64,
+    /// Keep-alive run latency median (µs, bucket upper bound).
+    pub keepalive_p50_micros: Option<u64>,
+    /// Keep-alive run latency p99 (µs, bucket upper bound).
+    pub keepalive_p99_micros: Option<u64>,
+    /// Close-per-request run latency median (µs).
+    pub close_p50_micros: Option<u64>,
+    /// Close-per-request run latency p99 (µs).
+    pub close_p99_micros: Option<u64>,
+    /// Whether both runs were clean: zero non-shed `5xx` and zero
+    /// framing errors (the smoke gate asserts it).
+    pub clean: bool,
+}
+
+impl ServeBench {
+    /// Keep-alive RPS over close-per-request RPS (>1 is faster) —
+    /// the headline ratio of the serve section.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.keepalive_rps / self.close_rps.max(f64::EPSILON)
+    }
+}
+
+/// Measures served `/classify` throughput keep-alive vs
+/// close-per-request: trains a small fast pipeline (classic HOG +
+/// projection encoder), boots an in-process [`hdface::serve::Server`]
+/// on an ephemeral port with one worker per connection and
+/// micro-batching enabled, and drives it with
+/// [`hdface::loadgen::run`] for `duration` per mode after a short
+/// warm-up. Both runs share the server, the model and the request
+/// body; only the client's `Connection:` header differs.
+#[must_use]
+pub fn bench_serve(connections: usize, duration: std::time::Duration, seed: u64) -> ServeBench {
+    use hdface::detector::{DetectorConfig, FaceDetector};
+    use hdface::engine::Engine;
+    use hdface::imaging::{write_pgm, GrayImage};
+    use hdface::learn::TrainConfig;
+    use hdface::loadgen::{self, LoadgenConfig};
+    use hdface::pipeline::{HdFeatureMode, HdPipeline};
+    use hdface::serve::{ServeConfig, Server};
+
+    // A 16-pixel window keeps per-request HOG cost small enough that
+    // the serving layer (connection lifecycle, parsing, batching) is
+    // a meaningful share of each request rather than being buried
+    // under extraction cost.
+    const WIN: usize = 16;
+    let connections = connections.max(1);
+    let data = face2_spec().at_size(WIN).scaled(24).generate(seed);
+    let mut pipeline = HdPipeline::new(HdFeatureMode::encoded_classic(512), seed);
+    pipeline
+        .train(&data, &TrainConfig::single_pass())
+        .expect("training the serve-bench model");
+    let detector = FaceDetector::new(pipeline, DetectorConfig::default());
+    let handle = Server::start(
+        detector,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            // One worker per connection: a keep-alive connection pins
+            // its worker between requests, so fewer workers than
+            // connections would measure queueing, not the protocol.
+            workers: connections,
+            queue_depth: connections * 2,
+            engine: Engine::new(1),
+            max_batch: 1,
+            max_batch_delay_us: 200,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve-bench server starts");
+
+    // One window-sized crop: the smallest request that still runs the
+    // full extract + classify path.
+    let crop = GrayImage::from_fn(WIN, WIN, |x, y| {
+        0.5 + 0.4 * ((x as f32 * 0.43).sin() * (y as f32 * 0.29).cos())
+    });
+    let mut body = Vec::new();
+    write_pgm(&crop, &mut body).expect("serializing the bench crop");
+
+    let base = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        connections,
+        duration,
+        rate: None,
+        keep_alive: true,
+        method: "POST".into(),
+        path: "/classify".into(),
+        body,
+    };
+    // Warm-up: fault in code paths and slot keys so neither timed run
+    // pays first-request costs.
+    let _ = loadgen::run(&LoadgenConfig {
+        connections: connections.min(4),
+        duration: std::time::Duration::from_millis(250),
+        ..base.clone()
+    });
+    let keepalive = loadgen::run(&base);
+    let close = loadgen::run(&LoadgenConfig {
+        keep_alive: false,
+        ..base
+    });
+    handle.shutdown();
+
+    ServeBench {
+        connections,
+        keepalive_rps: keepalive.achieved_rps,
+        close_rps: close.achieved_rps,
+        keepalive_ok: keepalive.ok,
+        close_ok: close.ok,
+        keepalive_p50_micros: keepalive.p50_micros,
+        keepalive_p99_micros: keepalive.p99_micros,
+        close_p50_micros: close.p50_micros,
+        close_p99_micros: close.p99_micros,
+        clean: keepalive.clean() && close.clean(),
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 #[must_use]
 pub fn pct(x: f64) -> String {
@@ -472,6 +605,18 @@ mod tests {
         assert!(b.simd_windows_per_sec > 0.0);
         assert!(b.batch_windows_per_sec > 0.0);
         assert!(b.batch_speedup() > 0.0 && b.simd_speedup() > 0.0);
+    }
+
+    #[test]
+    fn serve_bench_measures_both_modes_cleanly() {
+        // Tiny run: 2 connections for 300ms per mode is enough to get
+        // nonzero throughput in both and prove the harness wiring.
+        let s = bench_serve(2, std::time::Duration::from_millis(300), 11);
+        assert_eq!(s.connections, 2);
+        assert!(s.clean, "serve bench saw 5xx or framing errors: {s:?}");
+        assert!(s.keepalive_ok > 0 && s.close_ok > 0, "{s:?}");
+        assert!(s.keepalive_rps > 0.0 && s.close_rps > 0.0, "{s:?}");
+        assert!(s.speedup() > 0.0);
     }
 
     #[test]

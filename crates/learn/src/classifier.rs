@@ -324,6 +324,50 @@ impl HdClassifier {
         Ok(out)
     }
 
+    /// Batched prediction *and* per-class similarity scores in one
+    /// blocked pass — the kernel behind the serving layer's
+    /// cross-request micro-batching of `/classify`.
+    ///
+    /// On the bipolar fast path one
+    /// [`hamming_distances_block`] call produces the full
+    /// query×class distance matrix; per-class cosines are
+    /// reconstructed exactly via [`cosine_from_distance`] and the
+    /// winner comes from the same last-wins [`top2_scores`] scan the
+    /// scalar [`predict`](HdClassifier::predict) uses, so every
+    /// `(class, scores)` pair is bit-identical to a per-query
+    /// [`predict`](HdClassifier::predict) +
+    /// [`similarities`](HdClassifier::similarities) call. Non-bipolar
+    /// classifiers fall back to exactly those per-query calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::NoClasses`] on an empty model and
+    /// [`LearnError::DimensionMismatch`] for foreign queries.
+    #[allow(clippy::type_complexity)]
+    pub fn classify_batch(
+        &self,
+        queries: &[&BitVector],
+    ) -> Result<Vec<(usize, Vec<f64>)>, LearnError> {
+        let Some(bits) = &self.bipolar else {
+            return queries
+                .iter()
+                .map(|q| Ok((self.predict(q)?, self.similarities(q)?)))
+                .collect();
+        };
+        let ncand = bits.len();
+        let dists = hamming_distances_block(queries, bits)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for row in dists.chunks(ncand.max(1)).take(queries.len()) {
+            let scores: Vec<f64> = row
+                .iter()
+                .map(|&d| cosine_from_distance(self.dim, d))
+                .collect();
+            let top = top2_scores(scores.iter().copied()).ok_or(LearnError::NoClasses)?;
+            out.push((top.best, scores));
+        }
+        Ok(out)
+    }
+
     /// One adaptive update with a single sample:
     /// `C_label += (1 − δ_label)·H`, and on misprediction
     /// `C_pred −= (1 − δ_pred)·H` (the OnlineHD-style rule the paper's
@@ -756,6 +800,36 @@ mod tests {
                 assert_eq!(*p, clf.predict(q).unwrap());
             }
         }
+    }
+
+    #[test]
+    fn classify_batch_bit_identical_on_both_paths() {
+        let mut rng = HdcRng::seed_from_u64(47);
+        let (_, train) = toy(3, 10, 0.2, &mut rng);
+        let mut trained = HdClassifier::new(3, D);
+        trained
+            .fit(&train, &TrainConfig::default(), &mut rng)
+            .unwrap();
+        let bipolar = HdClassifier::from_binary(&trained.to_binary(&mut rng));
+        let queries: Vec<&BitVector> = train.iter().map(|(s, _)| s).collect();
+        for clf in [&trained, &bipolar] {
+            let batch = clf.classify_batch(&queries).unwrap();
+            for (q, (class, scores)) in queries.iter().zip(&batch) {
+                assert_eq!(*class, clf.predict(q).unwrap());
+                let want = clf.similarities(q).unwrap();
+                assert_eq!(scores.len(), want.len());
+                for (got, want) in scores.iter().zip(&want) {
+                    assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        }
+        assert!(bipolar.classify_batch(&[]).unwrap().is_empty());
+        let empty = HdClassifier::new(0, 64);
+        let v = BitVector::zeros(64);
+        assert!(matches!(
+            empty.classify_batch(&[&v]),
+            Err(LearnError::NoClasses)
+        ));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare the speedup columns of a freshly
+# generated BENCH_detector.json against the committed BENCH_baseline.json.
+#
+#   ./scripts/bench_compare.sh [baseline.json] [current.json]
+#
+# Fails (exit 1) if any per-dim cached-extraction speedup or
+# batched-classify speedup drops more than BENCH_TOLERANCE (default
+# 0.15 = 15%) below the baseline. Raw windows/sec numbers are NOT
+# gated — they vary with CI hardware — but the speedup *ratios* are
+# machine-relative and stay comparable.
+set -eu
+
+BASELINE="${1:-BENCH_baseline.json}"
+CURRENT="${2:-BENCH_detector.json}"
+TOL="${BENCH_TOLERANCE:-0.15}"
+
+for f in "$BASELINE" "$CURRENT"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: missing $f" >&2
+        exit 1
+    fi
+done
+
+# Emit "metric:<dim> <value>" lines for the gated speedup columns.
+extract() {
+    awk '
+        match($0, /"dim": *[0-9]+/) {
+            dim = substr($0, RSTART, RLENGTH); gsub(/[^0-9]/, "", dim)
+            if (match($0, /"cached_speedup": *[0-9.]+/)) {
+                v = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", v)
+                printf "cached_speedup:%s %s\n", dim, v
+            }
+            if (match($0, /"batch_speedup": *[0-9.]+/)) {
+                v = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", v)
+                printf "batch_speedup:%s %s\n", dim, v
+            }
+        }
+        match($0, /"keepalive_speedup": *[0-9.]+/) {
+            v = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", v)
+            printf "keepalive_speedup:serve %s\n", v
+        }
+    ' "$1"
+}
+
+base_metrics="$(extract "$BASELINE")"
+cur_metrics="$(extract "$CURRENT")"
+
+if [ -z "$base_metrics" ]; then
+    echo "bench_compare: no gated metrics found in $BASELINE" >&2
+    exit 1
+fi
+
+fail=0
+printf '%-28s %10s %10s %10s  %s\n' "metric" "baseline" "current" "floor" "verdict"
+while read -r key base; do
+    cur="$(printf '%s\n' "$cur_metrics" | awk -v k="$key" '$1 == k { print $2; exit }')"
+    if [ -z "$cur" ]; then
+        printf '%-28s %10s %10s %10s  %s\n' "$key" "$base" "-" "-" "MISSING"
+        fail=1
+        continue
+    fi
+    verdict="$(awk -v b="$base" -v c="$cur" -v t="$TOL" \
+        'BEGIN { floor = b * (1 - t); printf "%.3f %s", floor, (c < floor ? "REGRESSED" : "ok") }')"
+    floor="${verdict% *}"
+    word="${verdict#* }"
+    printf '%-28s %10s %10s %10s  %s\n' "$key" "$base" "$cur" "$floor" "$word"
+    [ "$word" = "ok" ] || fail=1
+done <<EOF
+$base_metrics
+EOF
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: FAILED — speedup regressed >$(awk -v t="$TOL" 'BEGIN{printf "%.0f", t*100}')% below baseline" >&2
+    exit 1
+fi
+echo "bench_compare: all speedups within $(awk -v t="$TOL" 'BEGIN{printf "%.0f", t*100}')% of baseline"

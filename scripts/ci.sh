@@ -100,5 +100,11 @@ step online ./scripts/cargo-offline.sh test -q --test online
 # files).
 step bench ./scripts/cargo-offline.sh run --release -p hdface-bench --bin bench_detector -- --smoke
 
+# Short soak: loadgen against a live server over keep-alive
+# connections, asserting zero non-shed 5xx, zero framing errors, and a
+# clean drain on shutdown. CI runs the full 30s soak in its own job;
+# this bounded pass keeps the gate honest for local runs.
+step soak env SOAK_SECS="${CI_SOAK_SECS:-5}" ./scripts/soak.sh
+
 summary
 echo "==> ci green"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Soak test: run `hdface loadgen` against a live `hdface serve` for
+# SOAK_SECS (default 30) over keep-alive connections, then shut the
+# server down through POST /shutdown and assert a clean drain.
+#
+# Pass criteria (any failure exits non-zero):
+#   - loadgen --fail-on-errors: zero non-shed 5xx, zero framing errors
+#   - the server exits 0 after the drain (no panic, no hang)
+set -eu
+
+SOAK_SECS="${SOAK_SECS:-30}"
+SOAK_CONNS="${SOAK_CONNS:-16}"
+ADDR="${SOAK_ADDR:-127.0.0.1:18423}"
+HDFACE="${HDFACE:-target/release/hdface}"
+MODEL="${SOAK_MODEL:-out/soak-model.hdp}"
+
+if [ ! -x "$HDFACE" ]; then
+    echo "soak: building release binary…"
+    ./scripts/cargo-offline.sh build --release --bin hdface
+fi
+
+mkdir -p "$(dirname "$MODEL")"
+if [ ! -f "$MODEL" ]; then
+    echo "soak: training throwaway model…"
+    "$HDFACE" train --out "$MODEL" --dim 1024 --samples 48 --seed 17
+fi
+
+SERVER_PID=
+cleanup() {
+    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "soak: starting server on $ADDR…"
+"$HDFACE" serve --model "$MODEL" --addr "$ADDR" --workers 8 --max-batch 4 &
+SERVER_PID=$!
+
+# Readiness: probe /healthz until the listener answers.
+ready=0
+for _ in $(seq 1 50); do
+    if "$HDFACE" loadgen --addr "$ADDR" --path /healthz --connections 1 \
+        --duration-secs 0.2 2>/dev/null | grep -q '"ok": *[1-9]'; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "soak: server died before becoming ready" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ "$ready" -ne 1 ]; then
+    echo "soak: server never became ready on $ADDR" >&2
+    exit 1
+fi
+
+echo "soak: driving /classify for ${SOAK_SECS}s over $SOAK_CONNS keep-alive connections…"
+"$HDFACE" loadgen --addr "$ADDR" --path /classify \
+    --connections "$SOAK_CONNS" --duration-secs "$SOAK_SECS" \
+    --keep-alive true --fail-on-errors true --shutdown true
+
+echo "soak: waiting for the server to drain…"
+status=0
+wait "$SERVER_PID" || status=$?
+SERVER_PID=
+if [ "$status" -ne 0 ]; then
+    echo "soak: server exited with status $status after drain" >&2
+    exit 1
+fi
+echo "soak: PASSED (clean run, clean drain)"

@@ -372,6 +372,57 @@ impl IntegrityGuard {
             let scores = state.scorer.similarities(feature)?;
             return Ok(Some((class, scores.into_iter().map(Some).collect())));
         }
+        Self::quarantined_classify(&state, feature)
+    }
+
+    /// Batched [`IntegrityGuard::classify`] — the kernel behind the
+    /// serving layer's `/classify` micro-batching: scores a whole
+    /// batch of request features against **one** state snapshot. The
+    /// clean path delegates to the classifier's blocked
+    /// [`HdClassifier::classify_batch`] kernel, whose predictions and
+    /// per-class cosines are bit-identical to per-feature
+    /// [`IntegrityGuard::classify`] calls; under quarantine each
+    /// feature runs the same exclusion scan the single entry point
+    /// uses.
+    ///
+    /// One snapshot per batch mirrors [`margin_batch`]
+    /// (a concurrent scrub or hot-swap lands between batches, never
+    /// mid-batch), so a batch of size 1 is trivially bit-identical to
+    /// the unbatched path.
+    ///
+    /// [`margin_batch`]: IntegrityGuard::margin_batch
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring failures.
+    #[allow(clippy::type_complexity)]
+    pub fn classify_batch(
+        &self,
+        features: &[&BitVector],
+    ) -> Result<Vec<Option<(usize, Vec<Option<f64>>)>>, LearnError> {
+        let state = self.read_state();
+        if !state.any_quarantined {
+            return Ok(state
+                .scorer
+                .classify_batch(features)?
+                .into_iter()
+                .map(|(class, scores)| Some((class, scores.into_iter().map(Some).collect())))
+                .collect());
+        }
+        features
+            .iter()
+            .map(|f| Self::quarantined_classify(&state, f))
+            .collect()
+    }
+
+    /// The quarantine-aware classification scan shared by the single
+    /// and batched entry points: per-class cosines with `None` for
+    /// quarantined classes, last-wins argmax over the survivors.
+    #[allow(clippy::type_complexity)]
+    fn quarantined_classify(
+        state: &ModelState,
+        feature: &BitVector,
+    ) -> Result<Option<(usize, Vec<Option<f64>>)>, LearnError> {
         let mut scores = Vec::with_capacity(state.scorer.num_classes());
         let mut best: Option<(usize, f64)> = None;
         for c in 0..state.scorer.num_classes() {
@@ -715,6 +766,52 @@ mod tests {
                 guard.margin(q).unwrap().unwrap().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn classify_batch_bit_identical_clean_and_quarantined() {
+        let cls = classes(3, 1024, 17);
+        let guard = IntegrityGuard::new(&cls, None, None, 1);
+        let mut rng = HdcRng::seed_from_u64(18);
+        let queries: Vec<BitVector> = (0..9)
+            .map(|_| BitVector::random_with_density(1024, 0.5, &mut rng).unwrap())
+            .collect();
+        let refs: Vec<&BitVector> = queries.iter().collect();
+        let check = |guard: &IntegrityGuard| {
+            let batch = guard.classify_batch(&refs).unwrap();
+            for (q, got) in queries.iter().zip(&batch) {
+                let want = guard.classify(q).unwrap();
+                match (got, &want) {
+                    (None, None) => {}
+                    (Some((gc, gs)), Some((wc, ws))) => {
+                        assert_eq!(gc, wc);
+                        assert_eq!(gs.len(), ws.len());
+                        for (g, w) in gs.iter().zip(ws) {
+                            assert_eq!(
+                                g.map(f64::to_bits),
+                                w.map(f64::to_bits),
+                                "batched scores must be bit-identical"
+                            );
+                        }
+                    }
+                    _ => panic!("batched and single classify disagree on usability"),
+                }
+            }
+        };
+        check(&guard);
+        // Quarantine class 2; the batch must mirror the exclusion
+        // scan feature by feature.
+        {
+            let mut state = guard.state.write().unwrap();
+            let mut replicas = state.replicas.clone();
+            let golden = state.golden.clone();
+            replicas[0][2].flip(12);
+            *state = Arc::new(ModelState::build(replicas, golden, vec![false; 3]));
+        }
+        guard.scrub_once();
+        assert_eq!(guard.quarantined(), vec![false, false, true]);
+        check(&guard);
+        assert!(guard.classify_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //! `HDFACE_THREADS` to control the worker count). The [`serve`]
 //! module keeps a loaded model resident behind a std-only HTTP
 //! server (`hdface serve`) with bounded-queue backpressure, load
-//! shedding and live metrics. The [`integrity`] module carries the
+//! shedding, HTTP/1.1 keep-alive, cross-request `/classify`
+//! micro-batching and live metrics; the [`loadgen`] module is the
+//! matching client half (`hdface loadgen`), driving keep-alive
+//! connections at a target rate for CI soak gates and benchmarks. The [`integrity`] module carries the
 //! paper's bit-error study into that live path: deterministic runtime
 //! fault injection (`--inject-bits`), golden per-class checksums, a
 //! background scrubber with R-way replica repair, and quarantine of
@@ -58,6 +61,7 @@
 pub mod detector;
 pub mod engine;
 pub mod integrity;
+pub mod loadgen;
 pub mod online;
 pub mod persist;
 pub mod pipeline;

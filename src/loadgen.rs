@@ -1,0 +1,593 @@
+//! `hdface loadgen` — a keep-alive HTTP load generator for
+//! `hdface serve`.
+//!
+//! Drives N concurrent connections at an optional target rate,
+//! counts response classes (2xx, deliberate `503` sheds, other 5xx,
+//! framing violations) and reports achieved RPS plus latency
+//! quantiles. This is what CI's soak gate runs against a live
+//! server, and what the bench suite uses to measure the keep-alive +
+//! micro-batching win over close-per-request serving.
+//!
+//! The client half speaks the same minimal HTTP/1.1 dialect as the
+//! server: requests carry an explicit `Connection:` header, and
+//! responses are read strictly by their `Content-Length` framing
+//! ([`ResponseReader`]), so a keep-alive connection never relies on
+//! EOF to find a message boundary. Early closes (a shed connection,
+//! a request-cap close) surface as [`ResponseError::Closed`] and the
+//! worker reconnects — they are not framing errors.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::serve::LatencyHistogram;
+
+/// Socket timeout for loadgen connections: a wedged server must fail
+/// the run, not hang it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Load-generator run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent connections (client threads), clamped ≥ 1.
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Target rate in requests/second across all connections;
+    /// `None` runs closed-loop at full speed.
+    pub rate: Option<f64>,
+    /// Reuse connections (`Connection: keep-alive`) vs reconnect per
+    /// request (`Connection: close`).
+    pub keep_alive: bool,
+    /// Request method (`POST` for the inference endpoints).
+    pub method: String,
+    /// Request path (`/classify` by default from the CLI).
+    pub path: String,
+    /// Request body, sent verbatim on every request.
+    pub body: Vec<u8>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8080".into(),
+            connections: 4,
+            duration: Duration::from_secs(10),
+            rate: None,
+            keep_alive: true,
+            method: "POST".into(),
+            path: "/classify".into(),
+            body: Vec::new(),
+        }
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server will keep the connection open afterwards.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
+}
+
+/// Errors raised while reading one response.
+#[derive(Debug)]
+pub enum ResponseError {
+    /// Clean EOF at a response boundary (server closed the
+    /// connection) — reconnect, not a protocol violation.
+    Closed,
+    /// The response violated its framing (bad status line, missing
+    /// or wrong `Content-Length`, truncated body).
+    Framing(String),
+    /// The socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseError::Closed => write!(f, "connection closed"),
+            ResponseError::Framing(why) => write!(f, "response framing error: {why}"),
+            ResponseError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// Reads `Content-Length`-framed responses off one connection,
+/// carrying over any bytes past a response's end — the client-side
+/// mirror of the server's request reader.
+pub struct ResponseReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> ResponseReader<R> {
+    /// Wraps a stream with an empty carry-over buffer.
+    pub fn new(stream: R) -> Self {
+        ResponseReader {
+            stream,
+            buf: Vec::with_capacity(512),
+        }
+    }
+
+    /// Mutable access to the wrapped stream — e.g. to write the next
+    /// request on a kept-alive connection between reads.
+    pub fn stream_mut(&mut self) -> &mut R {
+        &mut self.stream
+    }
+
+    /// One `read` into the buffer; `Ok(0)` is EOF.
+    fn fill_once(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Reads and parses the next response.
+    ///
+    /// # Errors
+    ///
+    /// [`ResponseError::Closed`] on clean EOF at a boundary,
+    /// [`ResponseError::Framing`] for protocol violations (including
+    /// EOF inside a head or body — a truncated response IS a framing
+    /// error), [`ResponseError::Io`] for socket failures.
+    pub fn read_response(&mut self) -> Result<HttpResponse, ResponseError> {
+        let end = loop {
+            if let Some(end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            match self.fill_once() {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(ResponseError::Closed)
+                    } else {
+                        Err(ResponseError::Framing("EOF inside response head".into()))
+                    };
+                }
+                Ok(_) => {}
+                Err(e) => return Err(ResponseError::Io(e)),
+            }
+        };
+        let rest = self.buf.split_off(end + 4);
+        let head = std::mem::replace(&mut self.buf, rest);
+        let text = std::str::from_utf8(&head[..end])
+            .map_err(|_| ResponseError::Framing("head is not UTF-8".into()))?;
+        let mut lines = text.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.splitn(3, ' ');
+        let proto = parts.next().unwrap_or("");
+        if !proto.starts_with("HTTP/1.") {
+            return Err(ResponseError::Framing(format!(
+                "bad status line {status_line:?}"
+            )));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| ResponseError::Framing(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ResponseError::Framing(format!("bad header line {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let response = HttpResponse {
+            status,
+            headers,
+            body: Vec::new(),
+        };
+        let length = response
+            .header("content-length")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| ResponseError::Framing("missing content-length".into()))?;
+        let body = if self.buf.len() >= length {
+            let rest = self.buf.split_off(length);
+            std::mem::replace(&mut self.buf, rest)
+        } else {
+            let mut body = std::mem::take(&mut self.buf);
+            let start = body.len();
+            body.resize(length, 0);
+            match self.stream.read_exact(&mut body[start..]) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return Err(ResponseError::Framing("EOF inside response body".into()));
+                }
+                Err(e) => return Err(ResponseError::Io(e)),
+            }
+            body
+        };
+        Ok(HttpResponse { body, ..response })
+    }
+}
+
+/// Shared run counters, updated with relaxed atomics from every
+/// client thread.
+#[derive(Debug, Default)]
+struct Counters {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    shed_503: AtomicU64,
+    errors_5xx: AtomicU64,
+    errors_other: AtomicU64,
+    framing_errors: AtomicU64,
+    connect_errors: AtomicU64,
+}
+
+/// Outcome of one loadgen run.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Whether connections were reused.
+    pub keep_alive: bool,
+    /// Requests written to a socket.
+    pub sent: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// Deliberate load-shedding `503`s (excluded from error gates).
+    pub shed_503: u64,
+    /// Other `5xx` responses — a soak failure.
+    pub errors_5xx: u64,
+    /// Non-2xx, non-5xx responses (`4xx`: a client/config bug).
+    pub errors_other: u64,
+    /// Responses violating their `Content-Length` framing — a soak
+    /// failure.
+    pub framing_errors: u64,
+    /// Failed connection attempts.
+    pub connect_errors: u64,
+    /// Wall-clock the run actually took.
+    pub elapsed: Duration,
+    /// `ok / elapsed`, successful requests per second.
+    pub achieved_rps: f64,
+    /// Median request latency (µs, bucket upper bound).
+    pub p50_micros: Option<u64>,
+    /// p99 request latency (µs, bucket upper bound).
+    pub p99_micros: Option<u64>,
+}
+
+impl LoadgenReport {
+    /// Whether the run saw none of the failures the CI soak gate
+    /// rejects: non-shed 5xx responses or framing violations
+    /// (deliberate `503` sheds and reconnects are fine).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.errors_5xx == 0 && self.framing_errors == 0
+    }
+
+    /// The report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let fmt = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
+        format!(
+            "{{\"connections\":{},\"keep_alive\":{},\"elapsed_secs\":{:.3},\
+             \"sent\":{},\"ok\":{},\"shed_503\":{},\"errors_5xx\":{},\
+             \"errors_other\":{},\"framing_errors\":{},\"connect_errors\":{},\
+             \"achieved_rps\":{:.2},\"p50_micros\":{},\"p99_micros\":{}}}",
+            self.connections,
+            self.keep_alive,
+            self.elapsed.as_secs_f64(),
+            self.sent,
+            self.ok,
+            self.shed_503,
+            self.errors_5xx,
+            self.errors_other,
+            self.framing_errors,
+            self.connect_errors,
+            self.achieved_rps,
+            fmt(self.p50_micros),
+            fmt(self.p99_micros),
+        )
+    }
+}
+
+/// Serializes one request with explicit `Connection:` and
+/// `Content-Length` headers.
+fn request_bytes(config: &LoadgenConfig) -> Vec<u8> {
+    let conn = if config.keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    };
+    let mut out = format!(
+        "{} {} HTTP/1.1\r\nHost: {}\r\nConnection: {conn}\r\nContent-Length: {}\r\n\r\n",
+        config.method,
+        config.path,
+        config.addr,
+        config.body.len(),
+    )
+    .into_bytes();
+    out.extend_from_slice(&config.body);
+    out
+}
+
+/// One client thread: drives requests until the deadline.
+fn client_loop(
+    config: &LoadgenConfig,
+    request: &[u8],
+    counters: &Counters,
+    latency: &LatencyHistogram,
+    start: Instant,
+    deadline: Instant,
+    thread_index: usize,
+) {
+    // Per-thread pacing: the target rate splits evenly across
+    // connections, with thread starts staggered so the fleet doesn't
+    // fire in lockstep.
+    let interval = config
+        .rate
+        .filter(|r| *r > 0.0)
+        .map(|r| Duration::from_secs_f64(config.connections as f64 / r));
+    let mut next_send = interval.map_or(start, |iv| {
+        start
+            + Duration::from_secs_f64(
+                iv.as_secs_f64() * thread_index as f64 / config.connections as f64,
+            )
+    });
+    let mut conn: Option<ResponseReader<TcpStream>> = None;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        if let Some(iv) = interval {
+            if next_send > now {
+                std::thread::sleep((next_send - now).min(deadline - now));
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            next_send += iv;
+        }
+        let mut reader = match conn.take() {
+            Some(r) => r,
+            None => match TcpStream::connect(&config.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+                    let _ = stream.set_nodelay(true);
+                    ResponseReader::new(stream)
+                }
+                Err(_) => {
+                    counters.connect_errors.fetch_add(1, Ordering::Relaxed);
+                    // Back off briefly: a refused connect in a tight
+                    // loop would just spin the CPU.
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            },
+        };
+        let sent_at = Instant::now();
+        counters.sent.fetch_add(1, Ordering::Relaxed);
+        if reader.stream.write_all(request).is_err() {
+            // The server may have shed or closed the reused
+            // connection between requests; the next iteration
+            // reconnects. A response may still be waiting (shed 503
+            // written before close) — try to read it.
+            match reader.read_response() {
+                Ok(response) => count_response(counters, &response),
+                Err(_) => {
+                    counters.connect_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            continue;
+        }
+        match reader.read_response() {
+            Ok(response) => {
+                let micros = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                latency.record(micros);
+                count_response(counters, &response);
+                if config.keep_alive && response.keep_alive() {
+                    conn = Some(reader);
+                }
+            }
+            Err(ResponseError::Closed) => {
+                // Clean close before a response: treat as a dropped
+                // (shed) connection and reconnect.
+                counters.connect_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ResponseError::Framing(_)) => {
+                counters.framing_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ResponseError::Io(_)) => {
+                counters.connect_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Buckets one response into the run counters.
+fn count_response(counters: &Counters, response: &HttpResponse) {
+    match response.status {
+        200..=299 => {
+            counters.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        503 => {
+            counters.shed_503.fetch_add(1, Ordering::Relaxed);
+        }
+        500..=599 => {
+            counters.errors_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            counters.errors_other.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs the load generator to completion and reports.
+#[must_use]
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let connections = config.connections.max(1);
+    let counters = Arc::new(Counters::default());
+    let latency = Arc::new(LatencyHistogram::new());
+    let request = Arc::new(request_bytes(config));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let handles: Vec<_> = (0..connections)
+        .map(|i| {
+            let config = config.clone();
+            let counters = Arc::clone(&counters);
+            let latency = Arc::clone(&latency);
+            let request = Arc::clone(&request);
+            std::thread::Builder::new()
+                .name(format!("hdface-loadgen-{i}"))
+                .spawn(move || {
+                    client_loop(&config, &request, &counters, &latency, start, deadline, i);
+                })
+                .expect("spawning loadgen thread")
+        })
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed = start.elapsed();
+    let ok = counters.ok.load(Ordering::Relaxed);
+    LoadgenReport {
+        connections,
+        keep_alive: config.keep_alive,
+        sent: counters.sent.load(Ordering::Relaxed),
+        ok,
+        shed_503: counters.shed_503.load(Ordering::Relaxed),
+        errors_5xx: counters.errors_5xx.load(Ordering::Relaxed),
+        errors_other: counters.errors_other.load(Ordering::Relaxed),
+        framing_errors: counters.framing_errors.load(Ordering::Relaxed),
+        connect_errors: counters.connect_errors.load(Ordering::Relaxed),
+        elapsed,
+        achieved_rps: ok as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        p50_micros: latency.quantile_micros(0.50),
+        p99_micros: latency.quantile_micros(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_reader_parses_pipelined_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let mut stream = &raw[..];
+        let mut reader = ResponseReader::new(&mut stream);
+        let first = reader.read_response().unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, b"{}");
+        assert!(first.keep_alive());
+        let second = reader.read_response().unwrap();
+        assert_eq!(second.status, 503);
+        assert_eq!(second.header("retry-after"), Some("1"));
+        assert!(!second.keep_alive());
+        assert!(matches!(reader.read_response(), Err(ResponseError::Closed)));
+    }
+
+    #[test]
+    fn truncated_responses_are_framing_errors() {
+        // EOF inside the head.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Le";
+        let mut stream = &raw[..];
+        assert!(matches!(
+            ResponseReader::new(&mut stream).read_response(),
+            Err(ResponseError::Framing(_))
+        ));
+        // EOF inside the body.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        let mut stream = &raw[..];
+        assert!(matches!(
+            ResponseReader::new(&mut stream).read_response(),
+            Err(ResponseError::Framing(_))
+        ));
+        // Missing Content-Length entirely.
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n";
+        let mut stream = &raw[..];
+        assert!(matches!(
+            ResponseReader::new(&mut stream).read_response(),
+            Err(ResponseError::Framing(_))
+        ));
+    }
+
+    #[test]
+    fn request_bytes_carry_connection_and_length() {
+        let config = LoadgenConfig {
+            body: b"abc".to_vec(),
+            ..LoadgenConfig::default()
+        };
+        let text = String::from_utf8(request_bytes(&config)).unwrap();
+        assert!(text.starts_with("POST /classify HTTP/1.1\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nabc"));
+        let config = LoadgenConfig {
+            keep_alive: false,
+            ..config
+        };
+        assert!(String::from_utf8(request_bytes(&config))
+            .unwrap()
+            .contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn report_json_and_clean_gate() {
+        let report = LoadgenReport {
+            connections: 2,
+            keep_alive: true,
+            sent: 10,
+            ok: 8,
+            shed_503: 2,
+            errors_5xx: 0,
+            errors_other: 0,
+            framing_errors: 0,
+            connect_errors: 1,
+            elapsed: Duration::from_secs(2),
+            achieved_rps: 4.0,
+            p50_micros: Some(256),
+            p99_micros: None,
+        };
+        assert!(report.clean());
+        let json = report.to_json();
+        assert!(json.contains("\"connections\":2"));
+        assert!(json.contains("\"shed_503\":2"));
+        assert!(json.contains("\"achieved_rps\":4.00"));
+        assert!(json.contains("\"p50_micros\":256"));
+        assert!(json.contains("\"p99_micros\":null"));
+        let failing = LoadgenReport {
+            errors_5xx: 1,
+            ..report
+        };
+        assert!(!failing.clean());
+        let framing = LoadgenReport {
+            errors_5xx: 0,
+            framing_errors: 3,
+            ..failing
+        };
+        assert!(!framing.clean());
+    }
+}

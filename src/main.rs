@@ -27,9 +27,10 @@ use std::sync::Arc;
 use hdface::datasets::face2_spec;
 use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector, ScanMode};
 use hdface::engine::Engine;
-use hdface::imaging::{read_pgm, write_ppm_overlay, Rgb};
+use hdface::imaging::{read_pgm, write_pgm, write_ppm_overlay, GrayImage, Rgb};
 use hdface::integrity::IntegrityGuard;
 use hdface::learn::TrainConfig;
+use hdface::loadgen::{self, LoadgenConfig};
 use hdface::noise::{FaultPlan, FaultTargets};
 use hdface::online::{ModelRegistry, OnlineConfig, PublishMeta, VersionRecord, VersionStatus};
 use hdface::persist::{corrupt_model_payload, load_bytes_with_integrity, model_hash};
@@ -84,11 +85,23 @@ fn usage() -> String {
      hdface detect --model model.hdp --image scene.pgm --out overlay.ppm [--threshold 0.0] [--stride 0.25] [--extraction cached|per-window] [--scan blocked|per-window] [--threads N]\n  \
      hdface eval   --model model.hdp [--samples 80] [--seed 9] [--threads N]\n  \
      hdface serve  --model model.hdp [--addr 127.0.0.1:8080] [--threads N] [--workers 2] [--queue-depth 64] [--extraction cached|per-window] [--scan blocked|per-window] [--scrub-interval-ms 1000]\n  \
+     hdface loadgen [--addr 127.0.0.1:8080] [--connections 4] [--duration-secs 10] [--rate RPS] [--keep-alive true] [--path /classify] [--image scene.pgm] [--fail-on-errors false] [--shutdown false]\n  \
      hdface model  ls       --registry-dir DIR\n  \
      hdface model  publish  --registry-dir DIR --model model.hdp\n  \
      hdface model  rollback --registry-dir DIR --version N\n  \
      hdface model  promote  --registry-dir DIR --version N\n  \
      hdface demo\n\n\
+     keep-alive and micro-batching (serve):\n  \
+     [--keep-alive true] [--max-requests-per-conn 1024] [--idle-timeout-ms 5000] [--max-batch 1] [--max-batch-delay-us 250]\n  \
+     --keep-alive false forces Connection: close after every response; --max-batch N > 1\n  \
+     coalesces concurrent /classify requests into single blocked-kernel calls (responses\n  \
+     stay byte-identical), flushing at N requests or after --max-batch-delay-us\n\n\
+     load generation (loadgen):\n  \
+     drives N connections at an optional --rate (requests/s, split across connections)\n  \
+     against a running server and prints a JSON report (achieved RPS, p50/p99 latency,\n  \
+     2xx/503-shed/5xx/framing counts); --fail-on-errors true exits nonzero on any\n  \
+     non-shed 5xx or framing violation (the CI soak gate); --shutdown true POSTs\n  \
+     /shutdown afterwards; --path /classify posts a synthetic PGM unless --image is given\n\n\
      online learning (serve):\n  \
      [--registry-dir DIR] [--feedback-queue 256] [--snapshot-every 16] [--shadow-samples 48] [--shadow-seed 97]\n  \
      --registry-dir enables POST /feedback + the shadow trainer: every --snapshot-every\n  \
@@ -330,6 +343,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let threshold: f64 = args.get_or("threshold", 0.0)?;
     let stride: f64 = args.get_or("stride", 0.25)?;
     let scrub_interval_ms: u64 = args.get_or("scrub-interval-ms", 1000)?;
+    let defaults = ServeConfig::default();
+    let keep_alive: bool = args.get_or("keep-alive", defaults.keep_alive)?;
+    let max_requests_per_conn: usize =
+        args.get_or("max-requests-per-conn", defaults.max_requests_per_conn)?;
+    let idle_timeout_ms: u64 = args.get_or("idle-timeout-ms", defaults.idle_timeout_ms)?;
+    let max_batch: usize = args.get_or("max-batch", defaults.max_batch)?;
+    let max_batch_delay_us: u64 = args.get_or("max-batch-delay-us", defaults.max_batch_delay_us)?;
     let extraction = extraction_from_args(args)?;
     let scan = scan_from_args(args)?;
     let engine = engine_from_args(args)?;
@@ -365,14 +385,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             engine,
             scrub_interval_ms,
             online,
+            keep_alive,
+            max_requests_per_conn,
+            idle_timeout_ms,
+            max_batch,
+            max_batch_delay_us,
             ..ServeConfig::default()
         },
     )
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "serving on http://{} ({workers} workers, queue depth {queue_depth}, {} scan threads)",
+        "serving on http://{} ({workers} workers, queue depth {queue_depth}, {} scan threads, \
+         keep-alive {}, max-batch {max_batch})",
         handle.addr(),
         engine.threads(),
+        if keep_alive { "on" } else { "off" },
     );
     if online_enabled {
         eprintln!(
@@ -392,6 +419,112 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     handle.shutdown();
     eprintln!("drained, exiting");
     Ok(())
+}
+
+/// A deterministic synthetic scene for loadgen when `--image` is not
+/// given: a gradient with stripes, enough structure to make the
+/// extraction path do real work. `/classify` gets a window-sized crop
+/// (encoded models reject any other size); `/detect` gets a larger
+/// scene so the sliding-window scan has something to do.
+fn synthetic_scene_pgm(side: usize) -> Vec<u8> {
+    let image = GrayImage::from_fn(side, side, |x, y| {
+        let gradient = (x as f32 + y as f32) / (2 * side - 2).max(1) as f32;
+        let stripes = if (x / 6 + y / 6) % 2 == 0 { 0.2 } else { 0.0 };
+        (gradient * 0.8 + stripes).clamp(0.0, 1.0)
+    });
+    let mut out = Vec::new();
+    write_pgm(&image, &mut out).expect("in-memory PGM write cannot fail");
+    out
+}
+
+/// `hdface loadgen`: drive a running server with N concurrent
+/// connections and print a JSON report.
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_owned();
+    let connections: usize = args.get_or("connections", 4)?;
+    let duration_secs: f64 = args.get_or("duration-secs", 10.0)?;
+    if duration_secs <= 0.0 || !duration_secs.is_finite() {
+        return Err("--duration-secs must be positive".into());
+    }
+    let rate: Option<f64> = match args.get("rate") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--rate: cannot parse {v:?}"))?,
+        ),
+    };
+    let keep_alive: bool = args.get_or("keep-alive", true)?;
+    let path = args.get("path").unwrap_or("/classify").to_owned();
+    let method = match args.get("method") {
+        Some(m) => m.to_owned(),
+        None => match path.as_str() {
+            "/healthz" | "/metrics" | "/model" => "GET".to_owned(),
+            _ => "POST".to_owned(),
+        },
+    };
+    let body = match args.get("image") {
+        Some(p) => std::fs::read(p).map_err(|e| format!("{p}: {e}"))?,
+        None if method == "POST" && path == "/classify" => synthetic_scene_pgm(32),
+        None if method == "POST" && path == "/detect" => synthetic_scene_pgm(48),
+        None => Vec::new(),
+    };
+    let fail_on_errors: bool = args.get_or("fail-on-errors", false)?;
+    let shutdown_after: bool = args.get_or("shutdown", false)?;
+
+    let config = LoadgenConfig {
+        addr: addr.clone(),
+        connections,
+        duration: std::time::Duration::from_secs_f64(duration_secs),
+        rate,
+        keep_alive,
+        method,
+        path,
+        body,
+    };
+    eprintln!(
+        "loadgen: {} {} on {addr} for {duration_secs}s over {connections} {} connections{}…",
+        config.method,
+        config.path,
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "close-per-request"
+        },
+        rate.map_or(String::new(), |r| format!(" at {r} req/s")),
+    );
+    let report = loadgen::run(&config);
+    println!("{}", report.to_json());
+    if shutdown_after {
+        post_shutdown(&addr)?;
+    }
+    if fail_on_errors && !report.clean() {
+        return Err(format!(
+            "loadgen saw failures: {} non-shed 5xx, {} framing errors",
+            report.errors_5xx, report.framing_errors
+        ));
+    }
+    Ok(())
+}
+
+/// POSTs `/shutdown` so a scripted soak can drain the server it
+/// targeted (`loadgen --shutdown true`).
+fn post_shutdown(addr: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut conn = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    conn.write_all(
+        format!("POST /shutdown HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+            .as_bytes(),
+    )
+    .map_err(|e| e.to_string())?;
+    let response = hdface::loadgen::ResponseReader::new(&mut conn)
+        .read_response()
+        .map_err(|e| format!("shutdown response: {e}"))?;
+    if response.status == 200 {
+        eprintln!("shutdown requested; server draining");
+        Ok(())
+    } else {
+        Err(format!("shutdown returned status {}", response.status))
+    }
 }
 
 /// Renders one registry row for `hdface model ls`; `live` marks the
@@ -513,12 +646,13 @@ fn main() -> ExitCode {
                 Ok(args) => cmd_model(verb, &args),
             },
         },
-        "train" | "detect" | "eval" | "serve" => match Args::parse(rest) {
+        "train" | "detect" | "eval" | "serve" | "loadgen" => match Args::parse(rest) {
             Err(e) => Err(e),
             Ok(args) => match cmd {
                 "train" => cmd_train(&args),
                 "detect" => cmd_detect(&args),
                 "serve" => cmd_serve(&args),
+                "loadgen" => cmd_loadgen(&args),
                 _ => cmd_eval(&args),
             },
         },

@@ -1,0 +1,345 @@
+//! Cross-request micro-batching: coalesces concurrent jobs into one
+//! blocked kernel call.
+//!
+//! Workers handling `/classify` requests [`submit`] their extracted
+//! feature and block; a dedicated batcher thread ([`run`]) collects
+//! pending jobs and flushes them as one batch when either `max_batch`
+//! jobs are waiting or the oldest job's `max_batch_delay` deadline
+//! expires — whichever comes first. The executor closure sees the
+//! whole batch at once (and routes it through
+//! `IntegrityGuard::classify_batch`, which takes a single model
+//! snapshot), so model hot-swaps and scrub repairs land *between*
+//! batches, never inside one.
+//!
+//! Determinism: batching changes only *when* features are scored, not
+//! *how*. Each job's feature was extracted with the same per-request
+//! derived seed as the unbatched path, and the blocked classify
+//! kernels are bit-identical to the per-query scalar path (pinned by
+//! `classify_batch_bit_identical_on_both_paths` in `hdface-learn`),
+//! so responses are byte-identical at any batch composition.
+//!
+//! [`submit`]: BatchScheduler::submit
+//! [`run`]: BatchScheduler::run
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Flush policy for a [`BatchScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Flush as soon as this many jobs are pending (≥ 1).
+    pub max_batch: usize,
+    /// Flush when the *oldest* pending job has waited this long, even
+    /// if the batch is not full.
+    pub max_batch_delay: Duration,
+}
+
+/// One flushed batch handed to the executor closure.
+pub struct Flush<I> {
+    /// The coalesced job inputs, submission order.
+    pub items: Vec<I>,
+    /// Per-item wait between submission and this flush, parallel to
+    /// `items`.
+    pub waits: Vec<Duration>,
+    /// `true` when the flush was triggered by reaching `max_batch`,
+    /// `false` when the delay deadline fired (or the scheduler is
+    /// draining on close).
+    pub full: bool,
+}
+
+/// A waiting submitter's result cell.
+struct Slot<O> {
+    state: Mutex<(bool, Option<O>)>,
+    cv: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new((false, None)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, result: Option<O>) {
+        let mut state = self.state.lock().unwrap();
+        state.0 = true;
+        state.1 = result;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> Option<O> {
+        let mut state = self.state.lock().unwrap();
+        while !state.0 {
+            state = self.cv.wait(state).unwrap();
+        }
+        state.1.take()
+    }
+}
+
+struct Job<I, O> {
+    item: I,
+    enqueued: Instant,
+    slot: Arc<Slot<O>>,
+}
+
+struct Pending<I, O> {
+    jobs: Vec<Job<I, O>>,
+    closed: bool,
+}
+
+struct Shared<I, O> {
+    cfg: BatchConfig,
+    pending: Mutex<Pending<I, O>>,
+    cv: Condvar,
+}
+
+/// The micro-batch scheduler: many blocking submitters, one batcher.
+pub struct BatchScheduler<I, O> {
+    shared: Arc<Shared<I, O>>,
+}
+
+impl<I, O> Clone for BatchScheduler<I, O> {
+    fn clone(&self) -> Self {
+        BatchScheduler {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<I, O> BatchScheduler<I, O> {
+    /// A new scheduler; `max_batch` is clamped to ≥ 1.
+    #[must_use]
+    pub fn new(mut cfg: BatchConfig) -> Self {
+        cfg.max_batch = cfg.max_batch.max(1);
+        BatchScheduler {
+            shared: Arc::new(Shared {
+                cfg,
+                pending: Mutex::new(Pending {
+                    jobs: Vec::new(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueues one job and blocks until its batch has been executed.
+    ///
+    /// Returns `None` if the scheduler was closed before the job was
+    /// accepted, or if the executor produced no result for it.
+    pub fn submit(&self, item: I) -> Option<O> {
+        let slot = Arc::new(Slot::new());
+        {
+            let mut pending = self.shared.pending.lock().unwrap();
+            if pending.closed {
+                return None;
+            }
+            pending.jobs.push(Job {
+                item,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            self.shared.cv.notify_all();
+        }
+        slot.wait()
+    }
+
+    /// Marks the scheduler closed: future submits are refused, and
+    /// [`run`](Self::run) drains what's pending and returns.
+    pub fn close(&self) {
+        let mut pending = self.shared.pending.lock().unwrap();
+        pending.closed = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// The batcher thread body: loops collecting jobs and handing
+    /// [`Flush`]es to `exec` until [`close`](Self::close) and the
+    /// pending queue is drained. `exec` must return one output per
+    /// input, in order; jobs past a short `exec` output are woken
+    /// with `None`.
+    pub fn run<E>(&self, mut exec: E)
+    where
+        E: FnMut(&Flush<I>) -> Vec<O>,
+    {
+        loop {
+            let (batch, full) = {
+                let mut pending = self.shared.pending.lock().unwrap();
+                while pending.jobs.is_empty() && !pending.closed {
+                    pending = self.shared.cv.wait(pending).unwrap();
+                }
+                if pending.jobs.is_empty() && pending.closed {
+                    return;
+                }
+                // Jobs are FIFO, so index 0 stays the oldest while we
+                // top the batch up to max_batch or its deadline.
+                let deadline = pending.jobs[0].enqueued + self.shared.cfg.max_batch_delay;
+                while pending.jobs.len() < self.shared.cfg.max_batch && !pending.closed {
+                    let now = Instant::now();
+                    let left = deadline.saturating_duration_since(now);
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, timeout) = self.shared.cv.wait_timeout(pending, left).unwrap();
+                    pending = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                let take = pending.jobs.len().min(self.shared.cfg.max_batch);
+                let batch: Vec<Job<I, O>> = pending.jobs.drain(..take).collect();
+                (batch, take >= self.shared.cfg.max_batch)
+            };
+            let now = Instant::now();
+            let mut slots = Vec::with_capacity(batch.len());
+            let mut flush = Flush {
+                items: Vec::with_capacity(batch.len()),
+                waits: Vec::with_capacity(batch.len()),
+                full,
+            };
+            for job in batch {
+                flush
+                    .waits
+                    .push(now.saturating_duration_since(job.enqueued));
+                flush.items.push(job.item);
+                slots.push(job.slot);
+            }
+            let mut results = exec(&flush);
+            // Deliver in reverse so we can pop() without shifting;
+            // short executor output leaves trailing jobs with None.
+            while results.len() < slots.len() {
+                slots.pop().unwrap().deliver(None);
+            }
+            results.truncate(slots.len());
+            for (slot, result) in slots.into_iter().zip(results).rev() {
+                slot.deliver(Some(result));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn scheduler(max_batch: usize, delay_ms: u64) -> BatchScheduler<u32, u32> {
+        BatchScheduler::new(BatchConfig {
+            max_batch,
+            max_batch_delay: Duration::from_millis(delay_ms),
+        })
+    }
+
+    /// Spawns `n` submitters of `0..n` and returns their results.
+    fn submit_all(s: &BatchScheduler<u32, u32>, n: u32) -> Vec<Option<u32>> {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || s.submit(i))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn full_batch_flushes_before_deadline() {
+        let s = scheduler(4, 60_000);
+        let runner = {
+            let s = s.clone();
+            thread::spawn(move || {
+                let mut sizes = Vec::new();
+                s.run(|flush| {
+                    sizes.push((flush.items.len(), flush.full));
+                    assert_eq!(flush.waits.len(), flush.items.len());
+                    flush.items.iter().map(|&x| x * 10).collect()
+                });
+                sizes
+            })
+        };
+        let mut results = submit_all(&s, 4);
+        results.sort();
+        assert_eq!(results, vec![Some(0), Some(10), Some(20), Some(30)]);
+        s.close();
+        let sizes = runner.join().unwrap();
+        // With a 60s deadline the only way those submits completed is
+        // full-batch flushes.
+        assert!(sizes.iter().all(|&(_, full)| full));
+        assert_eq!(sizes.iter().map(|&(n, _)| n).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let s = scheduler(100, 5);
+        let runner = {
+            let s = s.clone();
+            thread::spawn(move || {
+                let mut flushes = Vec::new();
+                s.run(|flush| {
+                    flushes.push((flush.items.len(), flush.full));
+                    flush.items.iter().map(|&x| x + 1).collect()
+                });
+                flushes
+            })
+        };
+        let results = submit_all(&s, 2);
+        assert!(results.iter().all(Option::is_some));
+        s.close();
+        let flushes = runner.join().unwrap();
+        assert!(flushes.iter().map(|&(n, _)| n).sum::<usize>() >= 2);
+        // max_batch 100 was never reached, so no flush was "full".
+        assert!(flushes.iter().all(|&(_, full)| !full));
+    }
+
+    #[test]
+    fn close_drains_pending_jobs() {
+        // Batcher started *after* the submits are queued: close()
+        // must still let run() drain them rather than strand the
+        // submitters.
+        let s = scheduler(8, 60_000);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || s.submit(i))
+            })
+            .collect();
+        // Wait until all three jobs are actually enqueued.
+        loop {
+            let n = s.shared.pending.lock().unwrap().jobs.len();
+            if n == 3 {
+                break;
+            }
+            thread::yield_now();
+        }
+        s.close();
+        let runner = {
+            let s = s.clone();
+            thread::spawn(move || s.run(|flush| flush.items.clone()))
+        };
+        for h in handles {
+            assert!(h.join().unwrap().is_some());
+        }
+        runner.join().unwrap();
+        assert!(s.submit(9).is_none());
+    }
+
+    #[test]
+    fn short_executor_output_wakes_trailing_jobs_with_none() {
+        let s = scheduler(2, 60_000);
+        let runner = {
+            let s = s.clone();
+            // Executor drops the last result of every flush.
+            thread::spawn(move || {
+                s.run(|flush| {
+                    let mut out: Vec<u32> = flush.items.clone();
+                    out.pop();
+                    out
+                });
+            })
+        };
+        let results = submit_all(&s, 2);
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 1);
+        assert_eq!(results.iter().filter(|r| r.is_none()).count(), 1);
+        s.close();
+        runner.join().unwrap();
+    }
+}

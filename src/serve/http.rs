@@ -65,6 +65,8 @@ pub struct Request {
     pub method: String,
     /// Request target path, query string stripped.
     pub path: String,
+    /// HTTP/1.x minor version (`0` or `1`).
+    pub minor_version: u8,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
@@ -82,7 +84,27 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Reads and parses one request from a connection.
+    /// Whether the client allows the connection to be reused.
+    ///
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 requires an explicit `Connection: keep-alive`.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        if let Some(conn) = self.header("connection") {
+            let conn = conn.to_ascii_lowercase();
+            if conn.split(',').any(|t| t.trim() == "close") {
+                return false;
+            }
+            if conn.split(',').any(|t| t.trim() == "keep-alive") {
+                return true;
+            }
+        }
+        self.minor_version >= 1
+    }
+
+    /// Reads and parses one request from a connection, discarding any
+    /// bytes past the request's end. Connection loops should use
+    /// [`RequestReader`], which carries those bytes over instead.
     ///
     /// # Errors
     ///
@@ -90,115 +112,197 @@ impl Request {
     /// [`HttpError::Malformed`]/[`HttpError::TooLarge`] for protocol
     /// violations and [`HttpError::Io`] for socket failures.
     pub fn read_from<R: Read>(stream: &mut R) -> Result<Self, HttpError> {
-        let head = read_head(stream)?;
-        let text = std::str::from_utf8(&head.bytes)
-            .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
-        let mut lines = text.split("\r\n");
-        let request_line = lines.next().unwrap_or("");
-        let mut parts = request_line.split_whitespace();
-        let method = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
-            .to_owned();
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!(
-                "unsupported version {version}"
-            )));
-        }
-        let path = target.split('?').next().unwrap_or(target).to_owned();
+        RequestReader::new(stream).read_request()
+    }
+}
 
-        let mut headers = Vec::new();
-        for line in lines {
-            if line.is_empty() {
-                continue;
+/// Parses a request head (request line + headers, terminator stripped)
+/// and returns the body-less request plus its declared body length.
+fn parse_head(bytes: &[u8]) -> Result<(Request, usize), HttpError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    let minor_version = version
+        .strip_prefix("HTTP/1.")
+        .and_then(|m| m.parse::<u8>().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("unsupported version {version}")))?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        minor_version,
+        headers,
+        body: Vec::new(),
+    };
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: MAX_BODY_BYTES,
+        });
+    }
+    Ok((request, length))
+}
+
+/// Reads a sequence of requests off one connection.
+///
+/// Bytes that arrive past a request's end (the start of the next
+/// pipelined request) are carried over in an internal buffer instead
+/// of being dropped, so `read_request` can be called repeatedly on a
+/// keep-alive connection.
+pub struct RequestReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wraps a stream with an empty carry-over buffer.
+    pub fn new(stream: R) -> Self {
+        RequestReader {
+            stream,
+            buf: Vec::with_capacity(512),
+        }
+    }
+
+    /// Whether carried-over bytes are already buffered — i.e. the next
+    /// request has (partially) arrived without touching the socket.
+    #[must_use]
+    pub fn buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Performs exactly one `read` on the underlying stream and
+    /// appends the bytes to the carry-over buffer. Returns the number
+    /// of bytes read (`0` means EOF). Timeout-style errors
+    /// (`WouldBlock`/`TimedOut`) pass through untouched so callers
+    /// can poll in slices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket read failures.
+    pub fn fill_once(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 1024];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Parses the next request if its head **and** body are already
+    /// fully buffered, without touching the socket — the hot path on
+    /// a busy keep-alive connection, where one segment carries the
+    /// whole request and the connection loop can skip re-arming the
+    /// socket read timeout. `None` means more bytes are needed (fall
+    /// back to [`read_request`]); protocol violations detectable from
+    /// the buffered bytes alone are reported immediately.
+    pub fn try_read_buffered(&mut self) -> Option<Result<Request, HttpError>> {
+        let Some(end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Some(Err(HttpError::TooLarge {
+                    what: "head",
+                    limit: MAX_HEAD_BYTES,
+                }));
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+            return None;
+        };
+        // Peek-parse the head to learn the body length; the buffer is
+        // only consumed once the whole request is present, so a
+        // `None` return leaves `read_request` a clean slate.
+        let (mut request, length) = match parse_head(&self.buf[..end]) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.buf = self.buf.split_off(end + 4);
+                return Some(Err(e));
+            }
+        };
+        if self.buf.len() - (end + 4) < length {
+            return None;
         }
+        let mut body = self.buf.split_off(end + 4);
+        self.buf = body.split_off(length);
+        request.body = body;
+        Some(Ok(request))
+    }
 
-        let mut request = Request {
-            method,
-            path,
-            headers,
-            body: Vec::new(),
+    /// Reads and parses the next request, consuming buffered bytes
+    /// first and reading from the stream only for what's missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Closed`] on a clean EOF at a request
+    /// boundary, [`HttpError::Malformed`]/[`HttpError::TooLarge`] for
+    /// protocol violations and [`HttpError::Io`] for socket failures.
+    pub fn read_request(&mut self) -> Result<Request, HttpError> {
+        let end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge {
+                    what: "head",
+                    limit: MAX_HEAD_BYTES,
+                });
+            }
+            if self.fill_once()? == 0 {
+                return if self.buf.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Malformed("EOF inside request head".into()))
+                };
+            }
         };
-        let length = match request.header("content-length") {
-            None => 0,
-            Some(v) => v
-                .parse::<usize>()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
-        };
-        if length > MAX_BODY_BYTES {
-            return Err(HttpError::TooLarge {
-                what: "body",
-                limit: MAX_BODY_BYTES,
-            });
-        }
-        let mut body = head.overflow;
-        if body.len() > length {
-            return Err(HttpError::Malformed(
-                "body longer than content-length".into(),
-            ));
-        }
-        let missing = length - body.len();
-        if missing > 0 {
+        let rest = self.buf.split_off(end + 4);
+        let head = std::mem::replace(&mut self.buf, rest);
+        let (mut request, length) = parse_head(&head[..end])?;
+
+        let body = if self.buf.len() >= length {
+            // Entire body already buffered; the tail stays carried
+            // over as the start of the next pipelined request.
+            let rest = self.buf.split_off(length);
+            std::mem::replace(&mut self.buf, rest)
+        } else {
+            let mut body = std::mem::take(&mut self.buf);
             let start = body.len();
             body.resize(length, 0);
-            stream.read_exact(&mut body[start..]).map_err(|e| {
+            self.stream.read_exact(&mut body[start..]).map_err(|e| {
                 if e.kind() == std::io::ErrorKind::UnexpectedEof {
                     HttpError::Closed
                 } else {
                     HttpError::Io(e)
                 }
             })?;
-        }
+            body
+        };
         request.body = body;
         Ok(request)
-    }
-}
-
-/// The request head plus any body bytes that arrived in the same read.
-struct Head {
-    bytes: Vec<u8>,
-    overflow: Vec<u8>,
-}
-
-/// Reads until the `\r\n\r\n` head terminator (bounded).
-fn read_head<R: Read>(stream: &mut R) -> Result<Head, HttpError> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    loop {
-        if let Some(end) = find_head_end(&buf) {
-            let overflow = buf.split_off(end + 4);
-            buf.truncate(end);
-            return Ok(Head {
-                bytes: buf,
-                overflow,
-            });
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge {
-                what: "head",
-                limit: MAX_HEAD_BYTES,
-            });
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return if buf.is_empty() {
-                Err(HttpError::Closed)
-            } else {
-                Err(HttpError::Malformed("EOF inside request head".into()))
-            };
-        }
-        buf.extend_from_slice(&chunk[..n]);
     }
 }
 
@@ -213,7 +317,7 @@ pub struct Response {
     /// Status code.
     pub status: u16,
     /// Extra header `(name, value)` pairs (`Content-Length`,
-    /// `Content-Type` and `Connection: close` are always emitted).
+    /// `Content-Type` and a `Connection:` header are always emitted).
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
@@ -253,19 +357,39 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers and body onto a writer.
+    /// Serializes status line, headers and body onto a writer with
+    /// `Connection: close` — the one-shot framing.
     ///
     /// # Errors
     ///
     /// Propagates socket write failures.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        self.write_conn(w, false)
+    }
+
+    /// Serializes with an explicit connection disposition:
+    /// `Connection: keep-alive` when the socket stays open for the
+    /// next request, `Connection: close` otherwise. `Content-Length`
+    /// is always emitted, so keep-alive responses are self-framing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_conn<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        // Serialize head + body into one buffer and write it with a
+        // single call: a response split across small segments on a
+        // kept-alive socket can straddle Nagle + delayed-ACK and
+        // stall ~40ms per request.
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            write!(out, "{name}: {value}\r\n")?;
         }
-        write!(w, "Content-Length: {}\r\n", self.body.len())?;
-        write!(w, "Connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(out, "Connection: {conn}\r\n\r\n")?;
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -401,6 +525,82 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let parse = |raw: &[u8]| Request::read_from(&mut &raw[..]).unwrap();
+        // HTTP/1.1 defaults on; HTTP/1.0 defaults off.
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive());
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive());
+        // Explicit Connection: header wins either way, any case.
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").keep_alive());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").keep_alive());
+        // Token lists are scanned, close dominating.
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn try_read_buffered_only_consumes_complete_requests() {
+        let mut empty: &[u8] = b"";
+        let mut reader = RequestReader::new(&mut empty);
+        // Nothing buffered → None, nothing consumed.
+        assert!(reader.try_read_buffered().is_none());
+        // Head present but body incomplete → None, buffer untouched.
+        reader
+            .buf
+            .extend_from_slice(b"POST /classify HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+        assert!(reader.try_read_buffered().is_none());
+        assert!(reader.buffered());
+        // Body completes (plus pipelined tail) → parsed without any
+        // socket read; the tail stays buffered.
+        reader.buf.extend_from_slice(b"cdGET /healthz");
+        let req = reader.try_read_buffered().expect("complete").expect("ok");
+        assert_eq!((req.method.as_str(), &req.body[..]), ("POST", &b"abcd"[..]));
+        assert_eq!(reader.buf, b"GET /healthz");
+        // A malformed head is reported straight from the buffer.
+        let mut reader = RequestReader::new(&mut empty);
+        reader.buf.extend_from_slice(b"BLEEP\r\n\r\n");
+        assert!(matches!(
+            reader.try_read_buffered(),
+            Some(Err(HttpError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn request_reader_pipelines_sequential_requests() {
+        let raw =
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nxyGET /c HTTP/1.1\r\n\r\n";
+        let mut stream = &raw[..];
+        let mut reader = RequestReader::new(&mut stream);
+        let a = reader.read_request().unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"abc"[..]));
+        // The second request arrived in the same read; it must be
+        // served from the carry-over buffer, bit-exact.
+        assert!(reader.buffered());
+        let b = reader.read_request().unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"xy"[..]));
+        let c = reader.read_request().unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(c.body.is_empty());
+        // A clean EOF at a request boundary is Closed, not Malformed.
+        assert!(matches!(reader.read_request(), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn request_reader_leaves_partial_next_request_buffered() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 1\r\n\r\nzGET /nex";
+        let mut stream = &raw[..];
+        let mut reader = RequestReader::new(&mut stream);
+        let a = reader.read_request().unwrap();
+        assert_eq!(a.body, b"z");
+        assert!(reader.buffered());
+        // The tail is an incomplete head cut off by EOF.
+        assert!(matches!(
+            reader.read_request(),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn response_serializes_with_length_and_close() {
         let mut out = Vec::new();
         Response::json(200, "{}".into()).write_to(&mut out).unwrap();
@@ -410,6 +610,18 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn response_serializes_with_keep_alive_when_asked() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .write_conn(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

@@ -114,6 +114,70 @@ impl EndpointMetrics {
     }
 }
 
+/// Keep-alive connection accounting.
+#[derive(Debug, Default)]
+pub struct KeepAliveMetrics {
+    /// Connections currently being served (gauge: incremented when a
+    /// worker picks a connection up, decremented when it closes).
+    pub connections_open: AtomicU64,
+    /// Connections ever picked up by a worker.
+    pub connections_total: AtomicU64,
+    /// Requests served beyond the first on their connection — the
+    /// reuse the keep-alive path buys.
+    pub reused_requests: AtomicU64,
+    /// Connections closed because they sat idle past the timeout.
+    pub idle_closes: AtomicU64,
+    /// Connections closed for reaching the per-connection request cap.
+    pub cap_closes: AtomicU64,
+}
+
+impl KeepAliveMetrics {
+    fn json(&self) -> String {
+        format!(
+            "{{\"open\":{},\"total\":{},\"reused_requests\":{},\
+             \"idle_closes\":{},\"cap_closes\":{}}}",
+            self.connections_open.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed),
+            self.reused_requests.load(Ordering::Relaxed),
+            self.idle_closes.load(Ordering::Relaxed),
+            self.cap_closes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Micro-batch scheduler accounting.
+#[derive(Debug, Default)]
+pub struct BatchMetrics {
+    /// Windows per flushed batch (unit-agnostic power-of-two buckets:
+    /// a p50 of 8 means the median flush carried (4, 8] requests).
+    pub size: LatencyHistogram,
+    /// Microseconds each request waited between submission and its
+    /// batch flushing.
+    pub queue_delay: LatencyHistogram,
+    /// Flushes triggered by reaching `max_batch`.
+    pub flushes_full: AtomicU64,
+    /// Flushes triggered by the `max_batch_delay_us` deadline.
+    pub flushes_deadline: AtomicU64,
+}
+
+impl BatchMetrics {
+    fn json(&self) -> String {
+        let fmt = |v: Option<u64>| v.map_or("null".to_owned(), |u| u.to_string());
+        format!(
+            "{{\"batches\":{},\"size_p50\":{},\"size_p99\":{},\
+             \"delay_p50_micros\":{},\"delay_p99_micros\":{},\
+             \"flushes_full\":{},\"flushes_deadline\":{}}}",
+            self.size.count(),
+            fmt(self.size.quantile(0.50)),
+            fmt(self.size.quantile(0.99)),
+            fmt(self.queue_delay.quantile_micros(0.50)),
+            fmt(self.queue_delay.quantile_micros(0.99)),
+            self.flushes_full.load(Ordering::Relaxed),
+            self.flushes_deadline.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The full serving-metrics surface, shared across all workers.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -153,6 +217,10 @@ pub struct ServerMetrics {
     ///
     /// [`ScanStats::classify_ns`]: crate::detector::ScanStats
     pub classify_ns: LatencyHistogram,
+    /// Keep-alive connection gauges and close-reason counters.
+    pub keepalive: KeepAliveMetrics,
+    /// Micro-batch scheduler histograms (`/classify` coalescing).
+    pub batch: BatchMetrics,
 }
 
 impl ServerMetrics {
@@ -211,6 +279,7 @@ impl ServerMetrics {
              \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold},\
              \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}},\
              \"classify_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
+             \"keepalive\":{},\"batch\":{},\
              \"integrity\":{},\"online\":{},\
              \"endpoints\":{{{},{},{},{},{},{},{}}}}}",
             self.total_requests(),
@@ -221,6 +290,8 @@ impl ServerMetrics {
             self.classify_ns.count(),
             fmt(self.classify_ns.quantile(0.50)),
             fmt(self.classify_ns.quantile(0.99)),
+            self.keepalive.json(),
+            self.batch.json(),
             integrity.unwrap_or("null"),
             online.unwrap_or("null"),
             self.detect.json("detect"),
@@ -296,6 +367,15 @@ mod tests {
         // No scans recorded yet: count 0, null quantiles.
         assert!(json.contains("\"encode_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
         assert!(json.contains("\"classify_ns\":{\"scans\":0,\"p50_ns\":null,\"p99_ns\":null}"));
+        assert!(json.contains(
+            "\"keepalive\":{\"open\":0,\"total\":0,\"reused_requests\":0,\
+             \"idle_closes\":0,\"cap_closes\":0}"
+        ));
+        assert!(json.contains(
+            "\"batch\":{\"batches\":0,\"size_p50\":null,\"size_p99\":null,\
+             \"delay_p50_micros\":null,\"delay_p99_micros\":null,\
+             \"flushes_full\":0,\"flushes_deadline\":0}"
+        ));
         assert!(json.contains("\"integrity\":null"));
         assert!(json.contains("\"online\":null"));
         assert!(json.contains("\"detect\":{\"requests\":1"));
@@ -322,5 +402,25 @@ mod tests {
         let json = m.to_json(3, 64, 4, 120, 5, None, None);
         assert!(json.contains("\"encode_ns\":{\"scans\":1,\"p50_ns\":2097152,\"p99_ns\":2097152}"));
         assert!(json.contains("\"classify_ns\":{\"scans\":1,\"p50_ns\":262144,\"p99_ns\":262144}"));
+        // Keep-alive gauges and batch histograms surface once fed.
+        m.keepalive.connections_open.fetch_add(2, Ordering::Relaxed);
+        m.keepalive
+            .connections_total
+            .fetch_add(5, Ordering::Relaxed);
+        m.keepalive.reused_requests.fetch_add(9, Ordering::Relaxed);
+        m.keepalive.idle_closes.fetch_add(1, Ordering::Relaxed);
+        m.batch.size.record(6); // 6 windows → bucket (4, 8]
+        m.batch.queue_delay.record(90); // 90µs → bucket (64, 128]
+        m.batch.flushes_deadline.fetch_add(1, Ordering::Relaxed);
+        let json = m.to_json(3, 64, 4, 120, 5, None, None);
+        assert!(json.contains(
+            "\"keepalive\":{\"open\":2,\"total\":5,\"reused_requests\":9,\
+             \"idle_closes\":1,\"cap_closes\":0}"
+        ));
+        assert!(json.contains(
+            "\"batch\":{\"batches\":1,\"size_p50\":8,\"size_p99\":8,\
+             \"delay_p50_micros\":128,\"delay_p99_micros\":128,\
+             \"flushes_full\":0,\"flushes_deadline\":1}"
+        ));
     }
 }

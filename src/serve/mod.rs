@@ -27,6 +27,17 @@
 //!   bounded queue ([`queue::BoundedQueue`]); when it is full the
 //!   connection is shed immediately with `503` + `Retry-After`
 //!   instead of stacking unbounded work ([`server`]).
+//! * **Keep-alive** — workers loop over a connection's requests
+//!   ([`http::RequestReader`] carries pipelined bytes across
+//!   requests) until the client sends `Connection: close`, the
+//!   per-connection request cap is reached, or the idle timeout
+//!   expires; responses advertise the disposition explicitly and are
+//!   always `Content-Length`-framed.
+//! * **Micro-batching** — concurrent `/classify` requests coalesce
+//!   through a [`batch::BatchScheduler`] into single blocked-kernel
+//!   calls (`IntegrityGuard::classify_batch`), flushed on `max_batch`
+//!   or `max_batch_delay_us`, whichever first; responses stay
+//!   byte-identical to the unbatched path (see [`batch`]).
 //! * **Determinism** — `/detect` dispatches through
 //!   [`FaceDetector::detect_with`], whose per-window mask streams
 //!   depend only on the pipeline seed and the window index, so a
@@ -48,12 +59,14 @@
 //! [`FaceDetector`]: crate::detector::FaceDetector
 //! [`FaceDetector::detect_with`]: crate::detector::FaceDetector::detect_with
 
+pub mod batch;
 pub mod http;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use http::{HttpError, Request, Response};
+pub use batch::{BatchConfig, BatchScheduler};
+pub use http::{HttpError, Request, RequestReader, Response};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use queue::BoundedQueue;
 pub use server::{detections_to_json, ServeConfig, ServeError, Server, ServerHandle};

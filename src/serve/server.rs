@@ -2,12 +2,18 @@
 //! `hdface serve`.
 //!
 //! One acceptor thread pushes raw connections into a
-//! [`BoundedQueue`]; `workers` threads pop, parse, route and respond.
-//! The trained [`FaceDetector`] is shared read-only (window scoring
-//! needs only `&self`), and every scan dispatches through one
-//! configured [`Engine`], so a served `/detect` response carries
-//! exactly the bits an in-process [`FaceDetector::detect_with`] run
-//! would produce for the same model, image and seed.
+//! [`BoundedQueue`]; `workers` threads pop, parse, route and respond,
+//! looping over each connection's requests (HTTP/1.1 keep-alive)
+//! until the client asks to close, the per-connection request cap is
+//! hit, or the idle timeout expires. The trained [`FaceDetector`] is
+//! shared read-only (window scoring needs only `&self`), and every
+//! scan dispatches through one configured [`Engine`], so a served
+//! `/detect` response carries exactly the bits an in-process
+//! [`FaceDetector::detect_with`] run would produce for the same
+//! model, image and seed. With `max_batch > 1`, concurrent
+//! `/classify` requests coalesce through a
+//! [`BatchScheduler`](crate::serve::batch::BatchScheduler) into
+//! single blocked-kernel calls — byte-identical responses either way.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -15,6 +21,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use hdface_hdc::BitVector;
 use hdface_imaging::{read_pgm, GrayImage};
 
 use crate::detector::{Detection, FaceDetector};
@@ -26,7 +33,8 @@ use crate::online::{
     VersionStatus,
 };
 use crate::persist::{encode_model, load_bytes_with_integrity, model_hash};
-use crate::serve::http::{json_string, HttpError, Request, Response};
+use crate::serve::batch::{BatchConfig, BatchScheduler, Flush};
+use crate::serve::http::{json_string, HttpError, Request, RequestReader, Response};
 use crate::serve::metrics::{EndpointMetrics, ServerMetrics};
 use crate::serve::queue::{BoundedQueue, PushError};
 
@@ -38,6 +46,15 @@ const CLASSIFY_STREAM_SALT: u64 = 0x5e7c_1a55_1f1e_d001;
 /// Per-connection socket read/write timeout: a stalled client must
 /// not pin a worker forever.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Slice length for the between-requests idle wait: short enough
+/// that a drain (`stopping`) is noticed promptly, long enough that
+/// polling costs nothing.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// What a `/classify` evaluation produced: `Ok(None)` means every
+/// class is quarantined, `Err` carries the 500 message.
+type ClassifyOutcome = Result<Option<(usize, Vec<Option<f64>>)>, String>;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +82,28 @@ pub struct ServeConfig {
     /// trainer with atomic hot-swap promotion. `None` serves a
     /// static model.
     pub online: Option<OnlineConfig>,
+    /// Honor HTTP/1.1 keep-alive: workers loop over a connection's
+    /// requests. `false` forces `Connection: close` after every
+    /// response regardless of what the client asked for.
+    pub keep_alive: bool,
+    /// Requests served on one connection before it is closed with
+    /// `Connection: close` (clamped ≥ 1) — bounds how long one
+    /// client can pin a worker.
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit with no request
+    /// bytes before the server closes it, milliseconds (clamped
+    /// ≥ 1; also bounds the wait for a fresh connection's first
+    /// request).
+    pub idle_timeout_ms: u64,
+    /// `/classify` micro-batch size cap. `1` (the default) bypasses
+    /// the scheduler entirely — each request classifies inline,
+    /// exactly the pre-batching path. `> 1` coalesces concurrent
+    /// requests into single blocked-kernel calls.
+    pub max_batch: usize,
+    /// Deadline for a non-full batch, microseconds: the scheduler
+    /// flushes when the *oldest* queued request has waited this
+    /// long. Only meaningful with `max_batch > 1`.
+    pub max_batch_delay_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +116,11 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             scrub_interval_ms: 1000,
             online: None,
+            keep_alive: true,
+            max_requests_per_conn: 1024,
+            idle_timeout_ms: 5_000,
+            max_batch: 1,
+            max_batch_delay_us: 250,
         }
     }
 }
@@ -135,6 +179,15 @@ struct Inner {
     /// `scrub_cv` so shutdown interrupts the inter-pass sleep.
     scrub_stop: Mutex<bool>,
     scrub_cv: Condvar,
+    /// Whether responses may advertise `Connection: keep-alive`.
+    keep_alive: bool,
+    /// Per-connection request cap (≥ 1).
+    max_requests_per_conn: usize,
+    /// Idle wait for the next request on a connection.
+    idle_timeout: Duration,
+    /// `/classify` micro-batch scheduler; `None` runs the inline
+    /// (batch-of-one) path.
+    batch: Option<BatchScheduler<BitVector, ClassifyOutcome>>,
     /// Online-learning state (feedback queue, registry, active-model
     /// gauge); `None` when serving a static model.
     online: Option<OnlineState>,
@@ -155,6 +208,7 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
     scrubber: Option<JoinHandle<()>>,
     trainer: Option<JoinHandle<()>>,
 }
@@ -191,6 +245,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
         let workers_configured = config.workers.max(1);
+        let batch = (config.max_batch > 1).then(|| {
+            BatchScheduler::new(BatchConfig {
+                max_batch: config.max_batch,
+                max_batch_delay: Duration::from_micros(config.max_batch_delay_us),
+            })
+        });
 
         let inner = Arc::new(Inner {
             detector,
@@ -205,6 +265,10 @@ impl Server {
             shutdown_cv: Condvar::new(),
             scrub_stop: Mutex::new(false),
             scrub_cv: Condvar::new(),
+            keep_alive: config.keep_alive,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+            batch,
             online,
             boot_hash,
         });
@@ -225,6 +289,18 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &inner))
                 .expect("spawning acceptor thread")
         };
+        // The batcher thread only exists with max_batch > 1; at 1 the
+        // workers classify inline and pay no cross-thread hop.
+        let batcher = inner.batch.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hdface-batcher".into())
+                .spawn(move || {
+                    let scheduler = inner.batch.as_ref().expect("spawned with a scheduler");
+                    scheduler.run(|flush| classify_flush(&inner, flush));
+                })
+                .expect("spawning batcher thread")
+        });
         // The scrubber only exists when the detector carries an
         // integrity guard; a guard-free server pays nothing.
         let scrubber = inner.detector.integrity().is_some().then(|| {
@@ -252,6 +328,7 @@ impl Server {
             inner,
             acceptor: Some(acceptor),
             workers,
+            batcher,
             scrubber,
             trainer,
         })
@@ -381,10 +458,21 @@ impl ServerHandle {
             let _ = acceptor.join();
         }
         // With the acceptor gone, closing the queue lets the workers
-        // finish the backlog and exit.
+        // finish the backlog and exit. Keep-alive workers notice
+        // `stopping` within one idle-poll slice and close their
+        // connections after the in-flight response.
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // The batcher outlives the workers (a worker blocked on a
+        // submitted batch must get its result); with them joined
+        // there are no more producers, so closing drains and stops.
+        if let Some(batcher) = self.batcher.take() {
+            if let Some(scheduler) = self.inner.batch.as_ref() {
+                scheduler.close();
+            }
+            let _ = batcher.join();
         }
         // Workers were the only feedback producers; closing the
         // feedback queue now lets the trainer drain the backlog
@@ -424,6 +512,10 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             Ok(c) => c,
             Err(_) => continue,
         };
+        // Responses leave in one write; without TCP_NODELAY a reused
+        // keep-alive socket would still park them behind Nagle until
+        // the client's delayed ACK (~40ms per request).
+        let _ = conn.set_nodelay(true);
         match inner.queue.try_push(conn) {
             Ok(()) => {}
             Err(PushError::Full(conn) | PushError::Closed(conn)) => {
@@ -487,28 +579,178 @@ fn endpoint_of<'a>(inner: &'a Inner, method: &str, path: &str) -> &'a EndpointMe
     }
 }
 
-/// Reads one request, routes it, writes the response, records
-/// metrics.
-fn handle_connection(inner: &Inner, mut conn: TcpStream) {
-    let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let start = Instant::now();
-    let (response, endpoint) = match Request::read_from(&mut conn) {
-        // The client connected and went away: nothing to answer.
-        Err(HttpError::Closed) => return,
-        Err(e @ HttpError::TooLarge { .. }) => {
-            (Response::error(413, &e.to_string()), &inner.metrics.other)
+/// Memoizes the socket read timeout so the per-connection request
+/// loop only pays a `setsockopt` when the value actually changes —
+/// on the hot keep-alive path (whole request arrives in one segment)
+/// that means zero timeout syscalls per request.
+#[derive(Default)]
+struct TimeoutShadow(Option<Duration>);
+
+impl TimeoutShadow {
+    /// Applies `value` unless it is already in effect; `false` means
+    /// the socket refused it (treat the connection as failed).
+    fn set(&mut self, conn: &TcpStream, value: Duration) -> bool {
+        if self.0 == Some(value) {
+            return true;
         }
-        Err(e) => (Response::error(400, &e.to_string()), &inner.metrics.other),
-        Ok(req) => (
-            route(inner, &req),
-            endpoint_of(inner, &req.method, &req.path),
-        ),
-    };
-    let status = response.status;
-    let _ = response.write_to(&mut conn);
-    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    endpoint.record(status, micros);
+        if conn.set_read_timeout(Some(value)).is_err() {
+            return false;
+        }
+        self.0 = Some(value);
+        true
+    }
+}
+
+/// Why the idle wait for a connection's next request ended.
+enum Wait {
+    /// Request bytes are available (or already buffered).
+    Ready,
+    /// Nothing arrived within the idle timeout.
+    Idle,
+    /// The client closed cleanly at a request boundary.
+    Closed,
+    /// The socket failed.
+    Failed,
+    /// The server is draining.
+    Stopping,
+}
+
+/// Waits for the next request's first bytes in short poll slices so
+/// a drain (`stopping`) interrupts the wait promptly. Once bytes have
+/// started arriving, the caller switches to the full
+/// [`SOCKET_TIMEOUT`] for the rest of the request.
+fn wait_for_request(
+    inner: &Inner,
+    conn: &TcpStream,
+    reader: &mut RequestReader<&TcpStream>,
+    timeout: &mut TimeoutShadow,
+) -> Wait {
+    if reader.buffered() {
+        return Wait::Ready;
+    }
+    let deadline = Instant::now() + inner.idle_timeout;
+    loop {
+        if inner.stopping.load(Ordering::SeqCst) {
+            return Wait::Stopping;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Wait::Idle;
+        }
+        if !timeout.set(conn, left.min(IDLE_POLL)) {
+            return Wait::Failed;
+        }
+        match reader.fill_once() {
+            Ok(0) => return Wait::Closed,
+            Ok(_) => return Wait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return Wait::Failed,
+        }
+    }
+}
+
+/// Serves a connection's requests until it closes: parse, route,
+/// respond, record metrics — looping while keep-alive holds.
+fn handle_connection(inner: &Inner, conn: TcpStream) {
+    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let ka = &inner.metrics.keepalive;
+    ka.connections_total.fetch_add(1, Ordering::Relaxed);
+    ka.connections_open.fetch_add(1, Ordering::Relaxed);
+    serve_connection(inner, &conn);
+    ka.connections_open.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// The per-connection request loop behind [`handle_connection`].
+fn serve_connection(inner: &Inner, conn: &TcpStream) {
+    let mut reader = RequestReader::new(conn);
+    let mut timeout = TimeoutShadow::default();
+    let mut served = 0usize;
+    loop {
+        match wait_for_request(inner, conn, &mut reader, &mut timeout) {
+            Wait::Ready => {}
+            Wait::Idle => {
+                inner
+                    .metrics
+                    .keepalive
+                    .idle_closes
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Wait::Closed | Wait::Failed | Wait::Stopping => return,
+        }
+        let start = Instant::now();
+        // Hot path: the whole request is already buffered, so no
+        // socket IO (and no timeout re-arm) is needed at all. Only a
+        // partial request switches the socket to the full per-request
+        // timeout and reads the remainder.
+        let read_result = match reader.try_read_buffered() {
+            Some(result) => result,
+            None => {
+                if !timeout.set(conn, SOCKET_TIMEOUT) {
+                    return;
+                }
+                reader.read_request()
+            }
+        };
+        let (response, endpoint, client_keep) = match read_result {
+            // A clean close at a request boundary: nothing to answer.
+            Err(HttpError::Closed) => return,
+            // Mid-request socket failure: no reliable way to respond.
+            Err(HttpError::Io(_)) => return,
+            // Protocol violations get an answer, then the connection
+            // closes — framing can no longer be trusted, but the
+            // responses already written stay intact.
+            Err(e @ HttpError::TooLarge { .. }) => (
+                Response::error(413, &e.to_string()),
+                &inner.metrics.other,
+                false,
+            ),
+            Err(e) => (
+                Response::error(400, &e.to_string()),
+                &inner.metrics.other,
+                false,
+            ),
+            Ok(req) => {
+                let keep = req.keep_alive();
+                (
+                    route(inner, &req),
+                    endpoint_of(inner, &req.method, &req.path),
+                    keep,
+                )
+            }
+        };
+        if served > 0 {
+            inner
+                .metrics
+                .keepalive
+                .reused_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        served += 1;
+        let at_cap = served >= inner.max_requests_per_conn;
+        let keep =
+            inner.keep_alive && client_keep && !at_cap && !inner.stopping.load(Ordering::SeqCst);
+        // Record before writing: once the client holds the response
+        // it must be able to observe the request in `/metrics`.
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        endpoint.record(response.status, micros);
+        let mut writer = conn;
+        let write_ok = response.write_conn(&mut writer, keep).is_ok();
+        if !keep || !write_ok {
+            if at_cap && client_keep && inner.keep_alive {
+                inner
+                    .metrics
+                    .keepalive
+                    .cap_closes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    }
 }
 
 /// Dispatches a parsed request to its handler.
@@ -571,9 +813,69 @@ fn handle_detect(inner: &Inner, body: &[u8]) -> Response {
     }
 }
 
+/// Evaluates a batch of extracted features against the live model —
+/// the one place both the inline (batch-of-one) and the scheduled
+/// micro-batch paths converge, so their scores are computed by the
+/// same kernels and stay bit-identical.
+///
+/// With an integrity guard resident, classification flows through it
+/// so quarantined classes are excluded (their scores render as null)
+/// under one model snapshot for the whole batch; a fully-quarantined
+/// model degrades to `Ok(None)` (a 503), not a wrong answer.
+fn classify_many(inner: &Inner, features: &[&BitVector]) -> Vec<ClassifyOutcome> {
+    if let Some(guard) = inner.detector.integrity() {
+        match guard.classify_batch(features) {
+            Ok(results) => results.into_iter().map(Ok).collect(),
+            Err(e) => {
+                let msg = format!("classification failed: {e}");
+                features.iter().map(|_| Err(msg.clone())).collect()
+            }
+        }
+    } else {
+        let Some(clf) = inner.detector.pipeline().classifier() else {
+            return features
+                .iter()
+                .map(|_| Err("model has no classifier".to_owned()))
+                .collect();
+        };
+        match clf.classify_batch(features) {
+            Ok(results) => results
+                .into_iter()
+                .map(|(c, s)| Ok(Some((c, s.into_iter().map(Some).collect()))))
+                .collect(),
+            Err(e) => {
+                let msg = format!("classification failed: {e}");
+                features.iter().map(|_| Err(msg.clone())).collect()
+            }
+        }
+    }
+}
+
+/// The batcher thread's executor: records flush metrics, then scores
+/// the coalesced features in one [`classify_many`] call.
+fn classify_flush(inner: &Inner, flush: &Flush<BitVector>) -> Vec<ClassifyOutcome> {
+    let batch = &inner.metrics.batch;
+    batch.size.record(flush.items.len() as u64);
+    for wait in &flush.waits {
+        batch
+            .queue_delay
+            .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+    }
+    if flush.full {
+        batch.flushes_full.fetch_add(1, Ordering::Relaxed);
+    } else {
+        batch.flushes_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+    let features: Vec<&BitVector> = flush.items.iter().collect();
+    classify_many(inner, &features)
+}
+
 /// `POST /classify`: PGM in, predicted class + per-class similarity
 /// scores out. Masks come from a dedicated fixed stream, so the same
-/// image always yields the same scores.
+/// image always yields the same scores. Extraction happens on the
+/// worker; with `max_batch > 1` the feature is then submitted to the
+/// micro-batch scheduler, otherwise scored inline — byte-identical
+/// responses either way.
 fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
     let image = match parse_scene(body) {
         Ok(s) => s,
@@ -586,26 +888,18 @@ fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
         Ok(f) => f,
         Err(e) => return Response::error(500, &format!("extraction failed: {e}")),
     };
-    // With an integrity guard resident, classification flows through
-    // it so quarantined classes are excluded (their scores render as
-    // null); a fully-quarantined model degrades to 503, not a wrong
-    // answer.
-    let (class, scores) = if let Some(guard) = inner.detector.integrity() {
-        match guard.classify(&feature) {
-            Ok(Some((c, s))) => (c, s),
-            Ok(None) => return Response::error(503, "every class is quarantined; model unusable"),
-            Err(e) => return Response::error(500, &format!("classification failed: {e}")),
-        }
-    } else {
-        let Some(clf) = pipeline.classifier() else {
-            return Response::error(500, "model has no classifier");
-        };
-        match (clf.predict(&feature), clf.similarities(&feature)) {
-            (Ok(c), Ok(s)) => (c, s.into_iter().map(Some).collect()),
-            (Err(e), _) | (_, Err(e)) => {
-                return Response::error(500, &format!("classification failed: {e}"))
-            }
-        }
+    let outcome = match inner.batch.as_ref() {
+        Some(scheduler) => scheduler
+            .submit(feature)
+            .unwrap_or_else(|| Err("server draining; classify not executed".to_owned())),
+        None => classify_many(inner, &[&feature])
+            .pop()
+            .expect("one outcome per feature"),
+    };
+    let (class, scores) = match outcome {
+        Ok(Some((c, s))) => (c, s),
+        Ok(None) => return Response::error(503, "every class is quarantined; model unusable"),
+        Err(msg) => return Response::error(500, &msg),
     };
     let micros = u64::try_from(scan.elapsed().as_micros()).unwrap_or(u64::MAX);
     let scores = scores

@@ -4,7 +4,7 @@
 //! bit-identity with in-process detection, `503` load shedding with
 //! `Retry-After`, live metrics, and graceful drain on shutdown.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -14,6 +14,7 @@ use hdface::detector::{DetectorConfig, ExtractionMode, FaceDetector};
 use hdface::engine::Engine;
 use hdface::imaging::{write_pgm, GrayImage};
 use hdface::learn::TrainConfig;
+use hdface::loadgen::ResponseReader;
 use hdface::pipeline::{HdFeatureMode, HdPipeline};
 use hdface::serve::{detections_to_json, ServeConfig, Server, ServerHandle};
 
@@ -73,6 +74,15 @@ fn test_scene(n: usize) -> GrayImage {
     })
 }
 
+/// A family of distinct window-sized scenes: the projection-encoded
+/// classic model accepts exactly 32×32 crops, so tests that need
+/// several different inputs vary the pattern phase, not the size.
+fn varied_crop(k: usize) -> GrayImage {
+    GrayImage::from_fn(32, 32, |x, y| {
+        0.5 + 0.4 * (((x + 7 * k) as f32 * 0.43).sin() * ((y + 3 * k) as f32 * 0.29).cos())
+    })
+}
+
 fn pgm_bytes(image: &GrayImage) -> Vec<u8> {
     let mut out = Vec::new();
     write_pgm(image, &mut out).unwrap();
@@ -120,18 +130,21 @@ fn send_request_tolerant(conn: &mut TcpStream, method: &str, path: &str, body: &
 
 type HttpResponse = (u16, Vec<(String, String)>, Vec<u8>);
 
+/// Reads one `Content-Length`-framed response. With keep-alive the
+/// server no longer closes after responding, so EOF cannot mark the
+/// message boundary; framing-based reads also make the client
+/// tolerate early closes (a shed connection, a request cap) and
+/// connection reuse uniformly — any read failure is `None`, never a
+/// hang or a panic.
 fn read_response(conn: &mut TcpStream) -> Option<HttpResponse> {
-    let mut raw = Vec::new();
-    conn.read_to_end(&mut raw).ok()?;
-    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
-    let mut lines = head.split("\r\n");
-    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
-        .collect();
-    Some((status, headers, raw[head_end + 4..].to_vec()))
+    read_next_response(&mut ResponseReader::new(conn))
+}
+
+/// Like [`read_response`] but on a shared reader, for tests that read
+/// several sequential responses off one keep-alive connection.
+fn read_next_response<R: std::io::Read>(reader: &mut ResponseReader<R>) -> Option<HttpResponse> {
+    let response = reader.read_response().ok()?;
+    Some((response.status, response.headers, response.body))
 }
 
 fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -397,11 +410,16 @@ fn full_queue_sheds_with_503_and_retry_after() {
     );
 
     // The occupied connections still complete successfully — shedding
-    // never cancels admitted work.
+    // never cancels admitted work. Dropping `busy` right after its
+    // response matters under keep-alive: the single worker would
+    // otherwise idle on the open connection instead of popping the
+    // queued one.
     let (status, _, _) = read_response(&mut busy).expect("busy response");
     assert_eq!(status, 200);
+    drop(busy);
     let (status, _, _) = read_response(&mut queued).expect("queued response");
     assert_eq!(status, 200);
+    drop(queued);
 
     // The rejections are visible in the metrics.
     let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
@@ -458,6 +476,244 @@ fn shutdown_drains_in_flight_requests() {
                 "server answered after shutdown"
             );
         }
+    }
+}
+
+/// Strips the timing field so response bodies can be compared across
+/// runs: everything before `"scan_micros"` is deterministic.
+fn stable_body(body: &[u8]) -> String {
+    body_text(body)
+        .split("\"scan_micros\"")
+        .next()
+        .unwrap()
+        .to_owned()
+}
+
+#[test]
+fn keepalive_sequential_requests_bit_identical_to_fresh_connections() {
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
+    let addr = handle.addr();
+    let crops: Vec<Vec<u8>> = (0..3).map(|k| pgm_bytes(&varied_crop(k))).collect();
+
+    // Three sequential requests on ONE connection…
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reused = Vec::new();
+    {
+        let mut reader = ResponseReader::new(&mut conn);
+        for crop in &crops {
+            reader
+                .stream_mut()
+                .write_all(&classify_request_bytes(crop))
+                .expect("write on reused connection");
+            let (status, headers, body) =
+                read_next_response(&mut reader).expect("response on reused connection");
+            assert_eq!(status, 200, "{}", body_text(&body));
+            assert_eq!(
+                header(&headers, "connection"),
+                Some("keep-alive"),
+                "server must advertise the kept connection"
+            );
+            reused.push(stable_body(&body));
+        }
+    }
+    drop(conn);
+
+    // …must score byte-identically to one fresh connection each.
+    for (crop, reused_body) in crops.iter().zip(&reused) {
+        let (status, _, body) = http(addr, "POST", "/classify", crop);
+        assert_eq!(status, 200);
+        assert_eq!(
+            &stable_body(&body),
+            reused_body,
+            "keep-alive reuse changed a classification"
+        );
+    }
+
+    // The reuse is visible in the metrics.
+    let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
+    let text = body_text(&metrics);
+    assert!(gauge(&text, "reused_requests") >= 2, "{text}");
+    handle.shutdown();
+}
+
+/// Serializes one classify request the way `send_request` does, for
+/// tests that hand-manage a single connection.
+fn classify_request_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "POST /classify HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_timeout() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig {
+            idle_timeout_ms: 150,
+            ..ServeConfig::default()
+        }),
+    );
+    let addr = handle.addr();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = ResponseReader::new(&mut conn);
+    reader
+        .stream_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_next_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+
+    // Send nothing more: the server must close the connection on its
+    // own once the idle timeout expires (EOF, not a client timeout).
+    assert!(
+        read_next_response(&mut reader).is_none(),
+        "idle connection was not closed"
+    );
+    drop(conn);
+
+    let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
+    let text = body_text(&metrics);
+    assert!(gauge(&text, "idle_closes") >= 1, "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn request_cap_closes_the_connection_after_n_requests() {
+    let handle = start_server(
+        encoded_model_bytes(),
+        0.5,
+        local(ServeConfig {
+            max_requests_per_conn: 2,
+            ..ServeConfig::default()
+        }),
+    );
+    let addr = handle.addr();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = ResponseReader::new(&mut conn);
+    let request = b"GET /healthz HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n";
+
+    reader.stream_mut().write_all(request).unwrap();
+    let (status, headers, _) = read_next_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+
+    // The capped request is answered in full, but with an explicit
+    // `Connection: close`, and then the socket really closes.
+    reader.stream_mut().write_all(request).unwrap();
+    let (status, headers, _) = read_next_response(&mut reader).expect("second response");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert!(
+        read_next_response(&mut reader).is_none(),
+        "cap not enforced"
+    );
+    drop(conn);
+
+    let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
+    let text = body_text(&metrics);
+    assert!(gauge(&text, "cap_closes") >= 1, "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_second_request_does_not_poison_the_first_response() {
+    let handle = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
+    let addr = handle.addr();
+    let crop = pgm_bytes(&test_scene(32));
+
+    // Reference: the same classify on its own connection.
+    let (_, _, reference) = http(addr, "POST", "/classify", &crop);
+
+    // One write carrying a valid request AND pipelined garbage.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut bytes = classify_request_bytes(&crop);
+    bytes.extend_from_slice(b"BLEEP GARBAGE\r\n\r\n");
+    let mut reader = ResponseReader::new(&mut conn);
+    reader.stream_mut().write_all(&bytes).unwrap();
+
+    // The first response is complete and correct…
+    let (status, _, body) = read_next_response(&mut reader).expect("first response");
+    assert_eq!(status, 200);
+    assert_eq!(stable_body(&body), stable_body(&reference));
+
+    // …the garbage gets its own 400, and then the connection closes
+    // (framing can no longer be trusted).
+    let (status, headers, _) = read_next_response(&mut reader).expect("error response");
+    assert_eq!(status, 400);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert!(read_next_response(&mut reader).is_none());
+    handle.shutdown();
+}
+
+#[test]
+fn micro_batched_classify_is_byte_identical_to_unbatched() {
+    let crops: Vec<Vec<u8>> = (0..4).map(|k| pgm_bytes(&varied_crop(k))).collect();
+
+    // Reference responses from a max_batch=1 server (the inline,
+    // pre-batching path).
+    let unbatched = start_server(encoded_model_bytes(), 0.5, local(ServeConfig::default()));
+    let reference: Vec<String> = crops
+        .iter()
+        .map(|crop| {
+            let (status, _, body) = http(unbatched.addr(), "POST", "/classify", crop);
+            assert_eq!(status, 200, "{}", body_text(&body));
+            stable_body(&body)
+        })
+        .collect();
+    unbatched.shutdown();
+
+    // The batched server gets the same crops CONCURRENTLY so flushes
+    // really coalesce several requests, at several batch shapes.
+    for max_batch in [2usize, 4] {
+        let batched = start_server(
+            encoded_model_bytes(),
+            0.5,
+            local(ServeConfig {
+                workers: 4,
+                max_batch,
+                max_batch_delay_us: 2_000,
+                ..ServeConfig::default()
+            }),
+        );
+        let addr = batched.addr();
+        for _round in 0..2 {
+            let clients: Vec<_> = crops
+                .iter()
+                .map(|crop| {
+                    let crop = crop.clone();
+                    std::thread::spawn(move || {
+                        let (status, _, body) = http(addr, "POST", "/classify", &crop);
+                        assert_eq!(status, 200, "{}", body_text(&body));
+                        stable_body(&body)
+                    })
+                })
+                .collect();
+            for (client, expected) in clients.into_iter().zip(&reference) {
+                let got = client.join().expect("client thread");
+                assert_eq!(
+                    &got, expected,
+                    "micro-batching (max_batch={max_batch}) changed a classification"
+                );
+            }
+        }
+        // The scheduler actually ran: batch flushes are visible.
+        let (_, _, metrics) = http(addr, "GET", "/metrics", b"");
+        let text = body_text(&metrics);
+        assert!(gauge(&text, "batches") >= 1, "{text}");
+        batched.shutdown();
     }
 }
 
