@@ -6,6 +6,13 @@
 # Pass criteria (any failure exits non-zero):
 #   - loadgen --fail-on-errors: zero non-shed 5xx, zero framing errors
 #   - the server exits 0 after the drain (no panic, no hang)
+#
+# Chaos mode: set HDFACE_PANIC_INJECT=<rate> (e.g. 0.01) to run the
+# same soak with deterministic panics injected into the handler path.
+# Injected panics answer 500s, so --fail-on-errors is relaxed; the
+# pass criteria become: zero framing errors (every connection keeps
+# its HTTP framing through its neighbours' panics), at least one
+# successful request, and the same clean server drain.
 set -eu
 
 SOAK_SECS="${SOAK_SECS:-30}"
@@ -57,10 +64,26 @@ if [ "$ready" -ne 1 ]; then
     exit 1
 fi
 
-echo "soak: driving /classify for ${SOAK_SECS}s over $SOAK_CONNS keep-alive connections…"
-"$HDFACE" loadgen --addr "$ADDR" --path /classify \
-    --connections "$SOAK_CONNS" --duration-secs "$SOAK_SECS" \
-    --keep-alive true --fail-on-errors true --shutdown true
+if [ -n "${HDFACE_PANIC_INJECT:-}" ]; then
+    echo "soak: CHAOS driving /classify for ${SOAK_SECS}s at panic rate ${HDFACE_PANIC_INJECT}…"
+    report=$("$HDFACE" loadgen --addr "$ADDR" --path /classify \
+        --connections "$SOAK_CONNS" --duration-secs "$SOAK_SECS" \
+        --keep-alive true --fail-on-errors false --shutdown true)
+    echo "$report"
+    if ! echo "$report" | grep -q '"framing_errors": *0'; then
+        echo "soak: chaos run corrupted HTTP framing" >&2
+        exit 1
+    fi
+    if ! echo "$report" | grep -q '"ok": *[1-9]'; then
+        echo "soak: chaos run served no successful requests" >&2
+        exit 1
+    fi
+else
+    echo "soak: driving /classify for ${SOAK_SECS}s over $SOAK_CONNS keep-alive connections…"
+    "$HDFACE" loadgen --addr "$ADDR" --path /classify \
+        --connections "$SOAK_CONNS" --duration-secs "$SOAK_SECS" \
+        --keep-alive true --fail-on-errors true --shutdown true
+fi
 
 echo "soak: waiting for the server to drain…"
 status=0

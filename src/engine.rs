@@ -17,7 +17,10 @@
 //! variable when set (any value ≥ 1, no upper cap), otherwise from
 //! [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::sync::{panic_message, PoisonFreeMutex};
 
 /// Derives a per-task seed from a base seed and a task index with a
 /// splitmix64-style finalizer, so neighbouring indices land in
@@ -95,38 +98,64 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `f` (a panicking task aborts the scan).
+    /// Propagates the **first** panic from `f` exactly once, labelled
+    /// with the panicking task's index; remaining workers stop stealing
+    /// and exit cleanly instead of double-panicking during unwind.
     pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         if self.threads == 1 || tasks <= 1 {
+            // Inline path: a task panic unwinds straight to the caller
+            // with its original payload and location.
             return (0..tasks).map(f).collect();
         }
         let workers = self.threads.min(tasks);
         let next = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        // The first observed task panic: (task index, payload). Tasks
+        // carry no shared mutable state, so discarding the partial
+        // results after a panic is unwind-safe by construction.
+        let first_panic: PoisonFreeMutex<Option<(usize, Box<dyn std::any::Any + Send>)>> =
+            PoisonFreeMutex::new(None);
         let gathered: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
+                            if aborted.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks {
                                 break;
                             }
-                            local.push((i, f(i)));
+                            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                Ok(value) => local.push((i, value)),
+                                Err(payload) => {
+                                    aborted.store(true, Ordering::Relaxed);
+                                    let mut slot = first_panic.lock();
+                                    if slot.is_none() {
+                                        *slot = Some((i, payload));
+                                    }
+                                    break;
+                                }
+                            }
                         }
                         local
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
-                .collect()
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
+        if let Some((index, payload)) = first_panic.into_inner() {
+            panic!(
+                "engine task {index} of {tasks} panicked: {}",
+                panic_message(payload.as_ref())
+            );
+        }
         let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
         slots.resize_with(tasks, || None);
         for (i, value) in gathered.into_iter().flatten() {
@@ -268,6 +297,38 @@ mod tests {
     #[should_panic(expected = "one result per index")]
     fn chunked_panics_on_wrong_result_length() {
         Engine::serial().run_chunked(4, 2, |_| vec![0usize]);
+    }
+
+    #[test]
+    fn parallel_task_panic_propagates_once_with_task_index() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(4).run(64, |i| {
+                if i == 13 {
+                    panic!("task exploded");
+                }
+                i
+            })
+        });
+        let payload = result.unwrap_err();
+        let msg = crate::sync::panic_message(payload.as_ref());
+        assert!(
+            msg.contains("engine task 13 of 64") && msg.contains("task exploded"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn inline_task_panic_keeps_its_original_payload() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::serial().run(4, |i| {
+                if i == 2 {
+                    panic!("inline boom");
+                }
+                i
+            })
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(crate::sync::panic_message(payload.as_ref()), "inline boom");
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! serving stack behaves bit-identically to an unguarded build.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use crate::sync::PoisonFreeRwLock;
 
 use hdface_hdc::BitVector;
 use hdface_learn::{BinaryHdModel, HdClassifier, LearnError};
@@ -139,7 +141,7 @@ impl IntegritySnapshot {
 /// golden checksums, optional fault injection, scrub/repair and
 /// quarantine-aware scoring. See the module docs for the life cycle.
 pub struct IntegrityGuard {
-    state: RwLock<Arc<ModelState>>,
+    state: PoisonFreeRwLock<Arc<ModelState>>,
     plan: Option<FaultPlan>,
     replication: usize,
     counters: IntegrityCounters,
@@ -186,7 +188,11 @@ impl IntegrityGuard {
         }
         let quarantined = vec![false; classes.len()];
         IntegrityGuard {
-            state: RwLock::new(Arc::new(ModelState::build(replicas, golden, quarantined))),
+            state: PoisonFreeRwLock::new(Arc::new(ModelState::build(
+                replicas,
+                golden,
+                quarantined,
+            ))),
             plan,
             replication,
             counters,
@@ -211,7 +217,7 @@ impl IntegrityGuard {
             (0..self.replication).map(|_| classes.to_vec()).collect();
         let quarantined = vec![false; classes.len()];
         let fresh = Arc::new(ModelState::build(replicas, golden, quarantined));
-        *self.state.write().expect("integrity lock poisoned") = fresh;
+        *self.state.write() = fresh;
     }
 
     /// The configured fault plan, if any.
@@ -268,7 +274,7 @@ impl IntegrityGuard {
     }
 
     fn read_state(&self) -> Arc<ModelState> {
-        Arc::clone(&self.state.read().expect("integrity lock poisoned"))
+        Arc::clone(&self.state.read())
     }
 
     /// Quarantine-aware face margin: `cos(face) − max cos(rival)`
@@ -522,7 +528,7 @@ impl IntegrityGuard {
                 current.golden.clone(),
                 quarantined,
             ));
-            *self.state.write().expect("integrity lock poisoned") = fresh;
+            *self.state.write() = fresh;
         }
         left
     }
@@ -686,7 +692,7 @@ mod tests {
         // Corrupt all three replicas at *different* positions by
         // reaching into the state like a common-mode upset would.
         {
-            let mut state = guard.state.write().unwrap();
+            let mut state = guard.state.write();
             let mut replicas = state.replicas.clone();
             let golden = state.golden.clone();
             replicas[0][0].flip(3);
@@ -708,7 +714,7 @@ mod tests {
         let guard = IntegrityGuard::new(&cls, None, None, 1);
         // Quarantine class 2 by corrupting its only replica.
         {
-            let mut state = guard.state.write().unwrap();
+            let mut state = guard.state.write();
             let mut replicas = state.replicas.clone();
             let golden = state.golden.clone();
             replicas[0][2].flip(12);
@@ -750,7 +756,7 @@ mod tests {
         // Quarantine rival class 2; batch must mirror the exclusion
         // scan feature by feature.
         {
-            let mut state = guard.state.write().unwrap();
+            let mut state = guard.state.write();
             let mut replicas = state.replicas.clone();
             let golden = state.golden.clone();
             replicas[0][2].flip(12);
@@ -802,7 +808,7 @@ mod tests {
         // Quarantine class 2; the batch must mirror the exclusion
         // scan feature by feature.
         {
-            let mut state = guard.state.write().unwrap();
+            let mut state = guard.state.write();
             let mut replicas = state.replicas.clone();
             let golden = state.golden.clone();
             replicas[0][2].flip(12);

@@ -66,6 +66,7 @@ pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod serve;
+pub mod sync;
 
 pub use hdface_baselines as baselines;
 pub use hdface_datasets as datasets;

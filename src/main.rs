@@ -111,7 +111,13 @@ fn usage() -> String {
      [--inject-bits RATE] [--inject-seed S] [--inject-targets class,cells,bytes|all] [--replicas R]\n  \
      --inject-bits flips each targeted bit with probability RATE (deterministic in S);\n  \
      --replicas R keeps R copies of every class vector so the integrity scrubber can\n  \
-     repair corruption by clean-copy or majority vote (R=1 disables repair)"
+     repair corruption by clean-copy or majority vote (R=1 disables repair)\n\n\
+     panic chaos (serve):\n  \
+     HDFACE_PANIC_INJECT=RATE panics ~RATE of handler requests (POST /detect, /classify,\n  \
+     /feedback), deterministically over the request sequence; each injected panic is\n  \
+     caught and answered 500 with a request id while the worker keeps serving — counters\n  \
+     under \"panics\" in GET /metrics (caught, injected, worker_restarts, join_panics,\n  \
+     poison_recoveries); see scripts/soak.sh and DESIGN.md s15 for the chaos soak"
         .to_owned()
 }
 

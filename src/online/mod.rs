@@ -45,6 +45,11 @@
 //!
 //! [`IntegrityGuard`]: crate::integrity::IntegrityGuard
 
+// The online subsystem runs on live-serving threads: no unwraps that
+// could turn a recoverable condition into a thread death (see
+// `crate::sync` and DESIGN.md §15).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod registry;
 pub mod swap;
 pub mod trainer;

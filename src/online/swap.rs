@@ -12,8 +12,8 @@
 //! `GET /healthz` and `GET /metrics` report, and a nanosecond
 //! histogram of how long installs take.
 
+use crate::sync::PoisonFreeRwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
 use std::time::Instant;
 
 use hdface_hdc::BitVector;
@@ -36,7 +36,7 @@ pub struct ActiveModel {
 /// between the trainer (writer) and the request handlers (readers).
 #[derive(Debug)]
 pub struct ModelSwitch {
-    active: RwLock<ActiveModel>,
+    active: PoisonFreeRwLock<ActiveModel>,
     /// Install latency in **nanoseconds** (same power-of-two buckets
     /// as every serving histogram).
     pub swap_ns: LatencyHistogram,
@@ -48,7 +48,7 @@ impl ModelSwitch {
     #[must_use]
     pub fn new(initial: ActiveModel) -> Self {
         ModelSwitch {
-            active: RwLock::new(initial),
+            active: PoisonFreeRwLock::new(initial),
             swap_ns: LatencyHistogram::new(),
             swaps: AtomicU64::new(0),
         }
@@ -57,7 +57,7 @@ impl ModelSwitch {
     /// The currently active model.
     #[must_use]
     pub fn active(&self) -> ActiveModel {
-        *self.active.read().expect("switch lock poisoned")
+        *self.active.read()
     }
 
     /// Completed hot-swaps (the initial install does not count).
@@ -79,7 +79,7 @@ impl ModelSwitch {
         let start = Instant::now();
         guard.install(classes, golden);
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        *self.active.write().expect("switch lock poisoned") = next;
+        *self.active.write() = next;
         self.swap_ns.record(ns);
         self.swaps.fetch_add(1, Ordering::Relaxed);
     }

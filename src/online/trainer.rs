@@ -35,9 +35,9 @@
 //!
 //! [`IntegrityGuard`]: crate::integrity::IntegrityGuard
 
+use crate::sync::PoisonFreeMutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use hdface_datasets::face2_spec;
 use hdface_hdc::{BitVector, HdcRng, SeedableRng};
@@ -138,7 +138,7 @@ pub struct OnlineState {
     pub switch: ModelSwitch,
     /// The registry, serialized behind a mutex (trainer + CLI-style
     /// maintenance share it).
-    pub registry: Mutex<ModelRegistry>,
+    pub registry: PoisonFreeMutex<ModelRegistry>,
     /// Current manifest generation (mirrored out of the registry so
     /// metrics never block on a registry fsync).
     pub generation: AtomicU64,
@@ -161,7 +161,7 @@ impl OnlineState {
             queue: BoundedQueue::new(config.feedback_queue),
             counters: OnlineCounters::default(),
             switch: ModelSwitch::new(initial),
-            registry: Mutex::new(registry),
+            registry: PoisonFreeMutex::new(registry),
             generation,
             num_classes,
             config,
@@ -289,7 +289,7 @@ pub fn run(detector: &FaceDetector, state: &OnlineState) {
             },
         };
         let published = {
-            let mut registry = state.registry.lock().expect("registry lock poisoned");
+            let mut registry = state.registry.lock();
             let r = registry.publish(&bytes, meta);
             if r.is_ok() {
                 state

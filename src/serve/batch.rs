@@ -18,11 +18,25 @@
 //! `classify_batch_bit_identical_on_both_paths` in `hdface-learn`),
 //! so responses are byte-identical at any batch composition.
 //!
+//! Fault containment: the batcher thread runs application code (the
+//! executor closure), so it can panic. [`run`] catches an executor
+//! panic, wakes every submitter of the in-flight flush with `None`,
+//! and re-raises so the server's supervisor can count the death and
+//! restart the batcher; jobs still pending (not yet flushed) survive
+//! for the restarted batcher. [`abort`] is the no-batcher-will-ever-
+//! run-again path: it closes the scheduler and fails all pending
+//! submitters with `None` so no client blocks forever. All locks are
+//! poison-free ([`crate::sync`]) — every critical section is a single
+//! `Vec` push/drain or flag flip, consistent at any panic point.
+//!
 //! [`submit`]: BatchScheduler::submit
 //! [`run`]: BatchScheduler::run
+//! [`abort`]: BatchScheduler::abort
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{PoisonFreeCondvar, PoisonFreeMutex};
 
 /// Flush policy for a [`BatchScheduler`].
 #[derive(Debug, Clone, Copy)]
@@ -49,29 +63,29 @@ pub struct Flush<I> {
 
 /// A waiting submitter's result cell.
 struct Slot<O> {
-    state: Mutex<(bool, Option<O>)>,
-    cv: Condvar,
+    state: PoisonFreeMutex<(bool, Option<O>)>,
+    cv: PoisonFreeCondvar,
 }
 
 impl<O> Slot<O> {
     fn new() -> Self {
         Slot {
-            state: Mutex::new((false, None)),
-            cv: Condvar::new(),
+            state: PoisonFreeMutex::new((false, None)),
+            cv: PoisonFreeCondvar::new(),
         }
     }
 
     fn deliver(&self, result: Option<O>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock();
         state.0 = true;
         state.1 = result;
         self.cv.notify_one();
     }
 
     fn wait(&self) -> Option<O> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock();
         while !state.0 {
-            state = self.cv.wait(state).unwrap();
+            state = self.cv.wait(state);
         }
         state.1.take()
     }
@@ -90,8 +104,8 @@ struct Pending<I, O> {
 
 struct Shared<I, O> {
     cfg: BatchConfig,
-    pending: Mutex<Pending<I, O>>,
-    cv: Condvar,
+    pending: PoisonFreeMutex<Pending<I, O>>,
+    cv: PoisonFreeCondvar,
 }
 
 /// The micro-batch scheduler: many blocking submitters, one batcher.
@@ -115,11 +129,11 @@ impl<I, O> BatchScheduler<I, O> {
         BatchScheduler {
             shared: Arc::new(Shared {
                 cfg,
-                pending: Mutex::new(Pending {
+                pending: PoisonFreeMutex::new(Pending {
                     jobs: Vec::new(),
                     closed: false,
                 }),
-                cv: Condvar::new(),
+                cv: PoisonFreeCondvar::new(),
             }),
         }
     }
@@ -131,7 +145,7 @@ impl<I, O> BatchScheduler<I, O> {
     pub fn submit(&self, item: I) -> Option<O> {
         let slot = Arc::new(Slot::new());
         {
-            let mut pending = self.shared.pending.lock().unwrap();
+            let mut pending = self.shared.pending.lock();
             if pending.closed {
                 return None;
             }
@@ -148,9 +162,29 @@ impl<I, O> BatchScheduler<I, O> {
     /// Marks the scheduler closed: future submits are refused, and
     /// [`run`](Self::run) drains what's pending and returns.
     pub fn close(&self) {
-        let mut pending = self.shared.pending.lock().unwrap();
+        let mut pending = self.shared.pending.lock();
         pending.closed = true;
         self.shared.cv.notify_all();
+    }
+
+    /// Closes the scheduler **and** fails every still-pending job with
+    /// `None`, waking its submitter.
+    ///
+    /// [`close`](Self::close) assumes a live batcher will drain the
+    /// backlog; `abort` is for when no batcher will ever run again —
+    /// the supervisor calls it after the batcher thread dies for good
+    /// (restart cap hit, or a panic during shutdown), so no client
+    /// blocks forever on a result cell nobody will fill.
+    pub fn abort(&self) {
+        let jobs = {
+            let mut pending = self.shared.pending.lock();
+            pending.closed = true;
+            std::mem::take(&mut pending.jobs)
+        };
+        self.shared.cv.notify_all();
+        for job in jobs {
+            job.slot.deliver(None);
+        }
     }
 
     /// The batcher thread body: loops collecting jobs and handing
@@ -158,15 +192,22 @@ impl<I, O> BatchScheduler<I, O> {
     /// pending queue is drained. `exec` must return one output per
     /// input, in order; jobs past a short `exec` output are woken
     /// with `None`.
+    ///
+    /// # Panics
+    ///
+    /// If `exec` panics, every submitter of the in-flight flush is
+    /// woken with `None` first, then the payload is re-raised so a
+    /// supervisor can observe the death and call `run` again (the
+    /// not-yet-flushed backlog survives) or [`abort`](Self::abort).
     pub fn run<E>(&self, mut exec: E)
     where
         E: FnMut(&Flush<I>) -> Vec<O>,
     {
         loop {
             let (batch, full) = {
-                let mut pending = self.shared.pending.lock().unwrap();
+                let mut pending = self.shared.pending.lock();
                 while pending.jobs.is_empty() && !pending.closed {
-                    pending = self.shared.cv.wait(pending).unwrap();
+                    pending = self.shared.cv.wait(pending);
                 }
                 if pending.jobs.is_empty() && pending.closed {
                     return;
@@ -180,7 +221,7 @@ impl<I, O> BatchScheduler<I, O> {
                     if left.is_zero() {
                         break;
                     }
-                    let (guard, timeout) = self.shared.cv.wait_timeout(pending, left).unwrap();
+                    let (guard, timeout) = self.shared.cv.wait_timeout(pending, left);
                     pending = guard;
                     if timeout.timed_out() {
                         break;
@@ -204,13 +245,28 @@ impl<I, O> BatchScheduler<I, O> {
                 flush.items.push(job.item);
                 slots.push(job.slot);
             }
-            let mut results = exec(&flush);
+            // The executor is application code (model classify): if it
+            // panics mid-batch, wake this flush's submitters with None
+            // before re-raising — their jobs were consumed from the
+            // queue and would otherwise never be delivered.
+            let mut results =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(&flush))) {
+                    Ok(results) => results,
+                    Err(payload) => {
+                        for slot in &slots {
+                            slot.deliver(None);
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                };
             // Deliver in reverse so we can pop() without shifting;
             // short executor output leaves trailing jobs with None.
-            while results.len() < slots.len() {
-                slots.pop().unwrap().deliver(None);
-            }
             results.truncate(slots.len());
+            while slots.len() > results.len() {
+                if let Some(slot) = slots.pop() {
+                    slot.deliver(None);
+                }
+            }
             for (slot, result) in slots.into_iter().zip(results).rev() {
                 slot.deliver(Some(result));
             }
@@ -304,7 +360,7 @@ mod tests {
             .collect();
         // Wait until all three jobs are actually enqueued.
         loop {
-            let n = s.shared.pending.lock().unwrap().jobs.len();
+            let n = s.shared.pending.lock().jobs.len();
             if n == 3 {
                 break;
             }
@@ -320,6 +376,119 @@ mod tests {
         }
         runner.join().unwrap();
         assert!(s.submit(9).is_none());
+    }
+
+    #[test]
+    fn panicking_executor_wakes_its_flush_with_none_and_keeps_backlog() {
+        let s = scheduler(2, 60_000);
+        // Two submitters form the first (panicking) flush.
+        let first: Vec<_> = (0..2)
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || s.submit(i))
+            })
+            .collect();
+        let batcher = {
+            let s = s.clone();
+            thread::spawn(move || s.run(|_flush| panic!("executor died mid-batch")))
+        };
+        // The panicking flush must wake both submitters with None —
+        // not strand them — before the batcher thread dies.
+        for h in first {
+            assert_eq!(h.join().unwrap(), None);
+        }
+        assert!(batcher.join().is_err(), "run() must re-raise the panic");
+        // Backlog submitted after the death survives for a restarted
+        // batcher, mirroring what the server supervisor does. Two
+        // submitters so the max_batch=2 flush fills immediately.
+        let late: Vec<_> = [7u32, 8]
+            .into_iter()
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || s.submit(i))
+            })
+            .collect();
+        loop {
+            if s.shared.pending.lock().jobs.len() == 2 {
+                break;
+            }
+            thread::yield_now();
+        }
+        let restarted = {
+            let s = s.clone();
+            thread::spawn(move || s.run(|flush| flush.items.iter().map(|&x| x * 10).collect()))
+        };
+        let mut results: Vec<_> = late.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort();
+        assert_eq!(results, vec![Some(70), Some(80)]);
+        s.close();
+        restarted.join().unwrap();
+    }
+
+    #[test]
+    fn close_racing_a_panicking_batcher_strands_nobody_after_abort() {
+        // The death-during-drain race: submitters are queued, the
+        // batcher panics on its first flush, and close() lands
+        // concurrently. abort() (what the supervisor calls when the
+        // batcher is gone for good) must wake every remaining
+        // submitter with None.
+        for _ in 0..20 {
+            let s = scheduler(4, 60_000);
+            let submitters: Vec<_> = (0..6)
+                .map(|i| {
+                    let s = s.clone();
+                    thread::spawn(move || s.submit(i))
+                })
+                .collect();
+            // At least one job must be queued before the batcher
+            // starts, so its first iteration flushes (and panics)
+            // rather than observing empty+closed and exiting cleanly.
+            loop {
+                if !s.shared.pending.lock().jobs.is_empty() {
+                    break;
+                }
+                thread::yield_now();
+            }
+            let batcher = {
+                let s = s.clone();
+                thread::spawn(move || s.run(|_flush| panic!("boom")))
+            };
+            let closer = {
+                let s = s.clone();
+                thread::spawn(move || s.close())
+            };
+            closer.join().unwrap();
+            assert!(batcher.join().is_err());
+            s.abort();
+            // Every submitter observes None: either its flush died, it
+            // was aborted while pending, or it was refused at submit.
+            for h in submitters {
+                assert_eq!(h.join().unwrap(), None);
+            }
+            assert!(s.submit(99).is_none());
+        }
+    }
+
+    #[test]
+    fn abort_without_batcher_fails_pending_and_future_submits() {
+        let s = scheduler(8, 60_000);
+        let pending: Vec<_> = (0..3)
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || s.submit(i))
+            })
+            .collect();
+        loop {
+            if s.shared.pending.lock().jobs.len() == 3 {
+                break;
+            }
+            thread::yield_now();
+        }
+        s.abort();
+        for h in pending {
+            assert_eq!(h.join().unwrap(), None);
+        }
+        assert!(s.submit(4).is_none());
     }
 
     #[test]

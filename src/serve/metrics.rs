@@ -178,6 +178,39 @@ impl BatchMetrics {
     }
 }
 
+/// Panic-containment accounting: how often application code panicked
+/// and how the containment layer absorbed it.
+#[derive(Debug, Default)]
+pub struct PanicMetrics {
+    /// Request-handler panics caught by the per-request
+    /// `catch_unwind` (each answered with a 500 + request id).
+    pub caught: AtomicU64,
+    /// Panics raised on purpose by the `HDFACE_PANIC_INJECT` chaos
+    /// hook — a subset of `caught` when injection targets the handler
+    /// path.
+    pub injected: AtomicU64,
+    /// Times the supervisor restarted a dead worker/batcher/
+    /// scrubber/trainer thread.
+    pub worker_restarts: AtomicU64,
+    /// Panicking thread results observed at join during drain (a
+    /// thread that died *without* being restarted, e.g. mid-shutdown).
+    pub join_panics: AtomicU64,
+}
+
+impl PanicMetrics {
+    fn json(&self) -> String {
+        format!(
+            "{{\"caught\":{},\"injected\":{},\"worker_restarts\":{},\
+             \"join_panics\":{},\"poison_recoveries\":{}}}",
+            self.caught.load(Ordering::Relaxed),
+            self.injected.load(Ordering::Relaxed),
+            self.worker_restarts.load(Ordering::Relaxed),
+            self.join_panics.load(Ordering::Relaxed),
+            crate::sync::poison_recoveries(),
+        )
+    }
+}
+
 /// The full serving-metrics surface, shared across all workers.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -221,6 +254,9 @@ pub struct ServerMetrics {
     pub keepalive: KeepAliveMetrics,
     /// Micro-batch scheduler histograms (`/classify` coalescing).
     pub batch: BatchMetrics,
+    /// Panic-containment counters (caught/injected/restarts/joins;
+    /// `poison_recoveries` is spliced in from [`crate::sync`]).
+    pub panics: PanicMetrics,
 }
 
 impl ServerMetrics {
@@ -279,7 +315,7 @@ impl ServerMetrics {
              \"extraction\":{{\"key_warm\":{key_warm},\"key_cold\":{key_cold},\
              \"encode_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}},\
              \"classify_ns\":{{\"scans\":{},\"p50_ns\":{},\"p99_ns\":{}}}}},\
-             \"keepalive\":{},\"batch\":{},\
+             \"keepalive\":{},\"batch\":{},\"panics\":{},\
              \"integrity\":{},\"online\":{},\
              \"endpoints\":{{{},{},{},{},{},{},{}}}}}",
             self.total_requests(),
@@ -292,6 +328,7 @@ impl ServerMetrics {
             fmt(self.classify_ns.quantile(0.99)),
             self.keepalive.json(),
             self.batch.json(),
+            self.panics.json(),
             integrity.unwrap_or("null"),
             online.unwrap_or("null"),
             self.detect.json("detect"),
@@ -375,6 +412,13 @@ mod tests {
             "\"batch\":{\"batches\":0,\"size_p50\":null,\"size_p99\":null,\
              \"delay_p50_micros\":null,\"delay_p99_micros\":null,\
              \"flushes_full\":0,\"flushes_deadline\":0}"
+        ));
+        // poison_recoveries is process-global (other tests in this
+        // binary may poison locks on purpose), so only pin the
+        // per-server counters and the key's presence.
+        assert!(json.contains(
+            "\"panics\":{\"caught\":0,\"injected\":0,\"worker_restarts\":0,\
+             \"join_panics\":0,\"poison_recoveries\":"
         ));
         assert!(json.contains("\"integrity\":null"));
         assert!(json.contains("\"online\":null"));

@@ -55,9 +55,21 @@
 //!   queue closes and the trainer drains. `POST /shutdown` triggers
 //!   the same drain remotely (std cannot install a SIGTERM handler
 //!   without new dependencies; see DESIGN.md §8).
+//! * **Panic containment** — every request routes under
+//!   `catch_unwind`: a panicking handler answers a 500 with a request
+//!   id and the worker survives; a supervisor restarts any background
+//!   thread that dies (exponential backoff, restart cap), all locks
+//!   are poison-free ([`crate::sync`]), and `/metrics` carries a
+//!   `panics` section. `HDFACE_PANIC_INJECT=<rate>` injects
+//!   deterministic chaos panics into the handler path (see
+//!   DESIGN.md §15).
 //!
 //! [`FaceDetector`]: crate::detector::FaceDetector
 //! [`FaceDetector::detect_with`]: crate::detector::FaceDetector::detect_with
+
+// Lock/Option unwraps in the serving stack were exactly the cascade
+// the panic-containment layer removes; keep them from creeping back.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod batch;
 pub mod http;

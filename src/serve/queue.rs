@@ -7,9 +7,16 @@
 //! closed *and* drained, which is exactly the worker-side contract
 //! graceful shutdown needs: close the queue, and every worker
 //! finishes the backlog before seeing `None`.
+//!
+//! Locking goes through [`crate::sync`]'s poison-free wrappers: a
+//! worker that panics while touching the queue must not take the
+//! whole pool down with a poisoned lock. Every critical section here
+//! is a single `VecDeque` operation or a bool flip, so recovered
+//! guards always observe consistent state.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+use crate::sync::{PoisonFreeCondvar, PoisonFreeMutex};
 
 /// Why a [`BoundedQueue::try_push`] was refused; carries the item back.
 #[derive(Debug, PartialEq, Eq)]
@@ -35,8 +42,8 @@ struct State<T> {
 /// one-or-more blocking consumers.
 pub struct BoundedQueue<T> {
     capacity: usize,
-    state: Mutex<State<T>>,
-    available: Condvar,
+    state: PoisonFreeMutex<State<T>>,
+    available: PoisonFreeCondvar,
 }
 
 impl<T> BoundedQueue<T> {
@@ -45,11 +52,11 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
             capacity: capacity.max(1),
-            state: Mutex::new(State {
+            state: PoisonFreeMutex::new(State {
                 items: VecDeque::new(),
                 closed: false,
             }),
-            available: Condvar::new(),
+            available: PoisonFreeCondvar::new(),
         }
     }
 
@@ -62,7 +69,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued (a snapshot; staleness is inherent).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.state.lock().items.len()
     }
 
     /// `true` when no items are queued.
@@ -78,7 +85,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back inside [`PushError::Full`] when at
     /// capacity or [`PushError::Closed`] after [`close`](Self::close).
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -94,7 +101,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available and returns it, or returns
     /// `None` once the queue is closed **and** fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -102,14 +109,14 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock poisoned");
+            state = self.available.wait(state);
         }
     }
 
     /// Closes the queue: future pushes fail, and consumers drain the
     /// backlog then observe `None`.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock();
         state.closed = true;
         drop(state);
         self.available.notify_all();

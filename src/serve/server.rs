@@ -16,8 +16,9 @@
 //! single blocked-kernel calls — byte-identical responses either way.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,6 +38,7 @@ use crate::serve::batch::{BatchConfig, BatchScheduler, Flush};
 use crate::serve::http::{json_string, HttpError, Request, RequestReader, Response};
 use crate::serve::metrics::{EndpointMetrics, ServerMetrics};
 use crate::serve::queue::{BoundedQueue, PushError};
+use crate::sync::{panic_message, PoisonFreeCondvar, PoisonFreeMutex};
 
 /// Salt separating `/classify` mask streams from every other use of
 /// the pipeline seed (the detect path reuses the detector's own
@@ -51,6 +53,23 @@ const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 /// that a drain (`stopping`) is noticed promptly, long enough that
 /// polling costs nothing.
 const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Salt for the deterministic `HDFACE_PANIC_INJECT` decision stream:
+/// request `n` panics iff `derive_seed(PANIC_INJECT_SALT, n)` falls
+/// under the configured rate's threshold, so a chaos run injects the
+/// same panic pattern every time. Public so socket-level chaos tests
+/// can predict exactly which requests will be injected.
+pub const PANIC_INJECT_SALT: u64 = 0xc4a0_5f0d_7e11_ab1e;
+
+/// First supervisor restart backoff; doubles per consecutive death.
+const RESTART_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Ceiling for the supervisor's exponential backoff.
+const RESTART_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Consecutive restarts before the supervisor gives a thread up for
+/// dead (a crash-looping thread must not spin forever).
+const RESTART_CAP: u32 = 32;
 
 /// What a `/classify` evaluation produced: `Ok(None)` means every
 /// class is quarantined, `Err` carries the 500 message.
@@ -104,6 +123,41 @@ pub struct ServeConfig {
     /// flushes when the *oldest* queued request has waited this
     /// long. Only meaningful with `max_batch > 1`.
     pub max_batch_delay_us: u64,
+    /// Chaos-testing hook: probability (`0.0..=1.0`) that a
+    /// model-serving request (`POST /detect`, `/classify`,
+    /// `/feedback`) panics inside the handler before running. The
+    /// decision is deterministic per request sequence number (see
+    /// [`PANIC_INJECT_SALT`]); injected panics are caught by the
+    /// per-request containment and answered with a 500, and counted
+    /// under `panics.injected` in `/metrics`. [`Default`] reads the
+    /// `HDFACE_PANIC_INJECT` environment variable (absent/invalid →
+    /// `0.0`, i.e. off).
+    pub panic_inject: f64,
+}
+
+/// Parses an `HDFACE_PANIC_INJECT`-style rate; `0.0` (off) for
+/// absent, invalid or non-finite values, clamped to `0.0..=1.0`.
+fn parse_panic_inject(value: Option<&str>) -> f64 {
+    value
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|r| r.is_finite())
+        .map_or(0.0, |r| r.clamp(0.0, 1.0))
+}
+
+/// Maps an injection rate to the inclusive `derive_seed` threshold a
+/// request's decision value is compared against; `None` disables the
+/// hook entirely (the hot path pays one branch).
+fn panic_inject_threshold(rate: f64) -> Option<u64> {
+    let rate = rate.clamp(0.0, 1.0);
+    if rate <= 0.0 {
+        return None;
+    }
+    if rate >= 1.0 {
+        return Some(u64::MAX);
+    }
+    // Truncation keeps the threshold strictly under u64::MAX so a
+    // sub-1.0 rate can never inject on every request.
+    Some((rate * u64::MAX as f64) as u64)
 }
 
 impl Default for ServeConfig {
@@ -121,6 +175,7 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             max_batch: 1,
             max_batch_delay_us: 250,
+            panic_inject: parse_panic_inject(std::env::var("HDFACE_PANIC_INJECT").ok().as_deref()),
         }
     }
 }
@@ -173,12 +228,21 @@ struct Inner {
     workers_configured: usize,
     retry_after_secs: u64,
     /// `POST /shutdown` arrival flag, for [`ServerHandle::wait`].
-    shutdown_requested: Mutex<bool>,
-    shutdown_cv: Condvar,
+    shutdown_requested: PoisonFreeMutex<bool>,
+    shutdown_cv: PoisonFreeCondvar,
     /// Stop flag for the background integrity scrubber; paired with
     /// `scrub_cv` so shutdown interrupts the inter-pass sleep.
-    scrub_stop: Mutex<bool>,
-    scrub_cv: Condvar,
+    scrub_stop: PoisonFreeMutex<bool>,
+    scrub_cv: PoisonFreeCondvar,
+    /// `HDFACE_PANIC_INJECT` threshold: a request whose derived
+    /// decision value falls at-or-under this panics. `None` = off.
+    panic_threshold: Option<u64>,
+    /// Sequence number feeding the deterministic injection decision —
+    /// one increment per model-serving request.
+    panic_seq: AtomicU64,
+    /// Request ids stamped into panic 500s and their stderr context
+    /// lines, so a client-held error correlates with the server log.
+    request_ids: AtomicU64,
     /// Whether responses may advertise `Connection: keep-alive`.
     keep_alive: bool,
     /// Per-connection request cap (≥ 1).
@@ -261,10 +325,13 @@ impl Server {
             workers_alive: AtomicUsize::new(0),
             workers_configured,
             retry_after_secs: config.retry_after_secs,
-            shutdown_requested: Mutex::new(false),
-            shutdown_cv: Condvar::new(),
-            scrub_stop: Mutex::new(false),
-            scrub_cv: Condvar::new(),
+            shutdown_requested: PoisonFreeMutex::new(false),
+            shutdown_cv: PoisonFreeCondvar::new(),
+            scrub_stop: PoisonFreeMutex::new(false),
+            scrub_cv: PoisonFreeCondvar::new(),
+            panic_threshold: panic_inject_threshold(config.panic_inject),
+            panic_seq: AtomicU64::new(0),
+            request_ids: AtomicU64::new(0),
             keep_alive: config.keep_alive,
             max_requests_per_conn: config.max_requests_per_conn.max(1),
             idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
@@ -273,12 +340,23 @@ impl Server {
             boot_hash,
         });
 
+        // Every background thread runs under `supervise`: a panic that
+        // escapes the per-request containment (or hits a background
+        // loop directly) restarts the thread body with exponential
+        // backoff instead of silently shrinking the pool.
         let workers = (0..workers_configured)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("hdface-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || {
+                        supervise(
+                            &inner,
+                            &format!("worker-{i}"),
+                            || worker_loop(&inner),
+                            || {},
+                        );
+                    })
                     .expect("spawning worker thread")
             })
             .collect();
@@ -286,7 +364,9 @@ impl Server {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("hdface-acceptor".into())
-                .spawn(move || accept_loop(&listener, &inner))
+                .spawn(move || {
+                    supervise(&inner, "acceptor", || accept_loop(&listener, &inner), || {});
+                })
                 .expect("spawning acceptor thread")
         };
         // The batcher thread only exists with max_batch > 1; at 1 the
@@ -296,8 +376,18 @@ impl Server {
             std::thread::Builder::new()
                 .name("hdface-batcher".into())
                 .spawn(move || {
-                    let scheduler = inner.batch.as_ref().expect("spawned with a scheduler");
-                    scheduler.run(|flush| classify_flush(&inner, flush));
+                    let Some(scheduler) = inner.batch.as_ref() else {
+                        return;
+                    };
+                    // If the batcher dies for good, abort() wakes every
+                    // pending submitter with None (a 503 at the socket)
+                    // so no client blocks on a cell nobody will fill.
+                    supervise(
+                        &inner,
+                        "batcher",
+                        || scheduler.run(|flush| classify_flush(&inner, flush)),
+                        || scheduler.abort(),
+                    );
                 })
                 .expect("spawning batcher thread")
         });
@@ -308,7 +398,9 @@ impl Server {
             let interval = Duration::from_millis(config.scrub_interval_ms.max(1));
             std::thread::Builder::new()
                 .name("hdface-scrubber".into())
-                .spawn(move || scrub_loop(&inner, interval))
+                .spawn(move || {
+                    supervise(&inner, "scrubber", || scrub_loop(&inner, interval), || {});
+                })
                 .expect("spawning scrubber thread")
         });
         let trainer = inner.online.is_some().then(|| {
@@ -316,9 +408,16 @@ impl Server {
             std::thread::Builder::new()
                 .name("hdface-trainer".into())
                 .spawn(move || {
-                    if let Some(state) = inner.online.as_ref() {
-                        trainer::run(&inner.detector, state);
-                    }
+                    supervise(
+                        &inner,
+                        "trainer",
+                        || {
+                            if let Some(state) = inner.online.as_ref() {
+                                trainer::run(&inner.detector, state);
+                            }
+                        },
+                        || {},
+                    );
                 })
                 .expect("spawning trainer thread")
         });
@@ -433,37 +532,32 @@ impl ServerHandle {
     /// Blocks until a `POST /shutdown` arrives (the CLI's foreground
     /// wait; pair with [`shutdown`](ServerHandle::shutdown)).
     pub fn wait(&self) {
-        let mut requested = self
-            .inner
-            .shutdown_requested
-            .lock()
-            .expect("shutdown lock poisoned");
+        let mut requested = self.inner.shutdown_requested.lock();
         while !*requested {
-            requested = self
-                .inner
-                .shutdown_cv
-                .wait(requested)
-                .expect("shutdown lock poisoned");
+            requested = self.inner.shutdown_cv.wait(requested);
         }
     }
 
     /// Graceful shutdown: stops admitting connections, drains every
-    /// already-accepted request, then joins all threads.
+    /// already-accepted request, then joins all threads. Threads found
+    /// dead-by-panic at join are logged and counted
+    /// (`panics.join_panics`) instead of silently swallowed, and the
+    /// final panic-containment snapshot goes to stderr.
     pub fn shutdown(mut self) {
         self.inner.stopping.store(true, Ordering::SeqCst);
         // Unblock the acceptor's blocking accept() with a throwaway
         // connection to ourselves.
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+            log_join(&self.inner, "acceptor", acceptor.join());
         }
         // With the acceptor gone, closing the queue lets the workers
         // finish the backlog and exit. Keep-alive workers notice
         // `stopping` within one idle-poll slice and close their
         // connections after the in-flight response.
         self.inner.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for (i, worker) in self.workers.drain(..).enumerate() {
+            log_join(&self.inner, &format!("worker-{i}"), worker.join());
         }
         // The batcher outlives the workers (a worker blocked on a
         // submitted batch must get its result); with them joined
@@ -472,7 +566,13 @@ impl ServerHandle {
             if let Some(scheduler) = self.inner.batch.as_ref() {
                 scheduler.close();
             }
-            let _ = batcher.join();
+            log_join(&self.inner, "batcher", batcher.join());
+            // Belt-and-braces: if the batcher died without running its
+            // on-death cleanup (e.g. killed while draining), fail any
+            // jobs it left behind rather than strand their submitters.
+            if let Some(scheduler) = self.inner.batch.as_ref() {
+                scheduler.abort();
+            }
         }
         // Workers were the only feedback producers; closing the
         // feedback queue now lets the trainer drain the backlog
@@ -481,13 +581,40 @@ impl ServerHandle {
             if let Some(state) = self.inner.online.as_ref() {
                 state.queue.close();
             }
-            let _ = trainer.join();
+            log_join(&self.inner, "trainer", trainer.join());
         }
         if let Some(scrubber) = self.scrubber.take() {
-            *self.inner.scrub_stop.lock().expect("scrub lock poisoned") = true;
+            *self.inner.scrub_stop.lock() = true;
             self.inner.scrub_cv.notify_all();
-            let _ = scrubber.join();
+            log_join(&self.inner, "scrubber", scrubber.join());
         }
+        let panics = &self.inner.metrics.panics;
+        eprintln!(
+            "hdface: drain complete (panics caught={}, injected={}, worker_restarts={}, \
+             join_panics={}, poison_recoveries={})",
+            panics.caught.load(Ordering::Relaxed),
+            panics.injected.load(Ordering::Relaxed),
+            panics.worker_restarts.load(Ordering::Relaxed),
+            panics.join_panics.load(Ordering::Relaxed),
+            crate::sync::poison_recoveries(),
+        );
+    }
+}
+
+/// Inspects a joined thread's result: a panic payload (a thread that
+/// died *without* the supervisor restarting it, e.g. one last panic
+/// mid-drain) is logged and counted instead of discarded.
+fn log_join(inner: &Inner, name: &str, result: std::thread::Result<()>) {
+    if let Err(payload) = result {
+        inner
+            .metrics
+            .panics
+            .join_panics
+            .fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "hdface: {name} thread was dead at join: {}",
+            panic_message(payload.as_ref())
+        );
     }
 }
 
@@ -543,27 +670,75 @@ fn scrub_loop(inner: &Inner, interval: Duration) {
     let Some(guard) = inner.detector.integrity() else {
         return;
     };
-    let mut stopped = inner.scrub_stop.lock().expect("scrub lock poisoned");
+    let mut stopped = inner.scrub_stop.lock();
     loop {
         if *stopped {
             return;
         }
         guard.scrub_once();
-        let (next, _timeout) = inner
-            .scrub_cv
-            .wait_timeout(stopped, interval)
-            .expect("scrub lock poisoned");
+        let (next, _timeout) = inner.scrub_cv.wait_timeout(stopped, interval);
         stopped = next;
+    }
+}
+
+/// Runs `body` under panic containment: a panic is logged and counted
+/// (`panics.worker_restarts`), then `body` is re-entered after an
+/// exponentially growing backoff, up to [`RESTART_CAP`] consecutive
+/// deaths. A normal return ends supervision. When the thread is given
+/// up for dead — cap reached, or it panicked while the server is
+/// already draining — `on_death` runs so the thread's clients can be
+/// failed over (the batcher aborts its pending submitters there).
+fn supervise(inner: &Inner, name: &str, body: impl Fn(), on_death: impl FnOnce()) {
+    let mut restarts: u32 = 0;
+    loop {
+        match catch_unwind(AssertUnwindSafe(&body)) {
+            Ok(()) => return,
+            Err(payload) => {
+                restarts += 1;
+                inner
+                    .metrics
+                    .panics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "hdface: {name} thread panicked ({}); death {restarts}/{RESTART_CAP}",
+                    panic_message(payload.as_ref())
+                );
+                if inner.stopping.load(Ordering::SeqCst) || restarts >= RESTART_CAP {
+                    eprintln!("hdface: {name} thread not restarted (draining or cap reached)");
+                    on_death();
+                    return;
+                }
+                let exp = 1u32 << (restarts - 1).min(16);
+                std::thread::sleep(RESTART_BACKOFF.saturating_mul(exp).min(RESTART_BACKOFF_CAP));
+            }
+        }
+    }
+}
+
+/// Panic-safe `workers_alive` accounting: the gauge decrements even
+/// when a worker unwinds out of its loop mid-connection.
+struct AliveToken<'a>(&'a AtomicUsize);
+
+impl<'a> AliveToken<'a> {
+    fn acquire(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        AliveToken(gauge)
+    }
+}
+
+impl Drop for AliveToken<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// Pops connections until the queue closes and drains.
 fn worker_loop(inner: &Inner) {
-    inner.workers_alive.fetch_add(1, Ordering::SeqCst);
+    let _alive = AliveToken::acquire(&inner.workers_alive);
     while let Some(conn) = inner.queue.pop() {
         handle_connection(inner, conn);
     }
-    inner.workers_alive.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Which metrics bucket a request lands in.
@@ -717,7 +892,7 @@ fn serve_connection(inner: &Inner, conn: &TcpStream) {
             Ok(req) => {
                 let keep = req.keep_alive();
                 (
-                    route(inner, &req),
+                    route_contained(inner, &req),
                     endpoint_of(inner, &req.method, &req.path),
                     keep,
                 )
@@ -749,6 +924,76 @@ fn serve_connection(inner: &Inner, conn: &TcpStream) {
                     .fetch_add(1, Ordering::Relaxed);
             }
             return;
+        }
+    }
+}
+
+/// `true` for the routes whose handlers run model code on the request
+/// body — the paths the `HDFACE_PANIC_INJECT` chaos hook targets.
+/// Probe/control routes (`/healthz`, `/metrics`, `/shutdown`,
+/// `/model`) stay injection-free so a chaos run remains observable
+/// and drainable.
+fn on_handler_path(method: &str, path: &str) -> bool {
+    method == "POST" && matches!(path, "/detect" | "/classify" | "/feedback")
+}
+
+/// Panics deterministically when the chaos hook selects this request:
+/// decision `n` (a process-lifetime sequence number) injects iff
+/// `derive_seed(PANIC_INJECT_SALT, n)` is at-or-under the rate
+/// threshold. Runs *inside* the per-request `catch_unwind`.
+fn maybe_inject_panic(inner: &Inner, method: &str, path: &str) {
+    let Some(threshold) = inner.panic_threshold else {
+        return;
+    };
+    if !on_handler_path(method, path) {
+        return;
+    }
+    let n = inner.panic_seq.fetch_add(1, Ordering::Relaxed);
+    if derive_seed(PANIC_INJECT_SALT, n) <= threshold {
+        inner
+            .metrics
+            .panics
+            .injected
+            .fetch_add(1, Ordering::Relaxed);
+        // resume_unwind skips the global panic hook: injected panics
+        // are expected and already accounted, so they must not spam
+        // stderr with backtraces the way a real handler bug would.
+        resume_unwind(Box::new(format!(
+            "injected panic (HDFACE_PANIC_INJECT), decision {n}"
+        )));
+    }
+}
+
+/// Routes a request under panic containment: a panicking handler
+/// (real or injected) is caught, logged with its endpoint and payload
+/// size, and answered with a 500 carrying a request id — the worker
+/// thread survives untouched.
+///
+/// Unwind safety: handlers share state only through swap-on-write
+/// `Arc`s, relaxed atomics and poison-free locks whose critical
+/// sections are single consistent operations, so observing that state
+/// after an unwind is safe by construction.
+fn route_contained(inner: &Inner, req: &Request) -> Response {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        maybe_inject_panic(inner, &req.method, &req.path);
+        route(inner, req)
+    }));
+    match outcome {
+        Ok(response) => response,
+        Err(payload) => {
+            inner.metrics.panics.caught.fetch_add(1, Ordering::Relaxed);
+            let id = inner.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "hdface: request panic req-{id:06}: {} {} body={}B: {}",
+                req.method,
+                req.path,
+                req.body.len(),
+                panic_message(payload.as_ref())
+            );
+            Response::json(
+                500,
+                format!("{{\"error\":\"internal panic\",\"request_id\":\"req-{id:06}\"}}"),
+            )
         }
     }
 }
@@ -889,9 +1134,19 @@ fn handle_classify(inner: &Inner, body: &[u8]) -> Response {
         Err(e) => return Response::error(500, &format!("extraction failed: {e}")),
     };
     let outcome = match inner.batch.as_ref() {
-        Some(scheduler) => scheduler
-            .submit(feature)
-            .unwrap_or_else(|| Err("server draining; classify not executed".to_owned())),
+        Some(scheduler) => match scheduler.submit(feature) {
+            Some(outcome) => outcome,
+            // The scheduler answered None: the batcher is dead (its
+            // supervisor aborted the queue) or the server is draining.
+            // Either way the request was not executed — a retryable
+            // 503, not a handler failure.
+            None => {
+                let mut resp = Response::error(503, "classify batch scheduler unavailable; retry");
+                resp.headers
+                    .push(("Retry-After".into(), inner.retry_after_secs.to_string()));
+                return resp;
+            }
+        },
         None => classify_many(inner, &[&feature])
             .pop()
             .expect("one outcome per feature"),
@@ -1062,10 +1317,7 @@ fn handle_metrics(inner: &Inner) -> Response {
 /// [`ServerHandle::wait`]); the in-flight response still goes out
 /// because draining happens in [`ServerHandle::shutdown`].
 fn handle_shutdown(inner: &Inner) -> Response {
-    let mut requested = inner
-        .shutdown_requested
-        .lock()
-        .expect("shutdown lock poisoned");
+    let mut requested = inner.shutdown_requested.lock();
     *requested = true;
     inner.shutdown_cv.notify_all();
     Response::json(200, "{\"status\":\"draining\"}".into())
@@ -1136,6 +1388,46 @@ mod tests {
         assert!(c.queue_depth >= 1);
         assert!(c.retry_after_secs >= 1);
         assert_eq!(c.addr, "127.0.0.1:8080");
+    }
+
+    #[test]
+    fn panic_inject_rate_parsing() {
+        assert_eq!(parse_panic_inject(None), 0.0);
+        assert_eq!(parse_panic_inject(Some("")), 0.0);
+        assert_eq!(parse_panic_inject(Some("nope")), 0.0);
+        assert_eq!(parse_panic_inject(Some("NaN")), 0.0);
+        assert_eq!(parse_panic_inject(Some("0.01")), 0.01);
+        assert_eq!(parse_panic_inject(Some(" 0.5 ")), 0.5);
+        assert_eq!(parse_panic_inject(Some("7")), 1.0);
+        assert_eq!(parse_panic_inject(Some("-2")), 0.0);
+    }
+
+    #[test]
+    fn panic_inject_threshold_maps_rate_edges() {
+        assert_eq!(panic_inject_threshold(0.0), None);
+        assert_eq!(panic_inject_threshold(-1.0), None);
+        assert_eq!(panic_inject_threshold(1.0), Some(u64::MAX));
+        assert_eq!(panic_inject_threshold(2.0), Some(u64::MAX));
+        let t = panic_inject_threshold(0.01).expect("1% is on");
+        // ~1% of the u64 space, and deterministic: the same rate
+        // always selects the same request sequence numbers.
+        let frac = t as f64 / u64::MAX as f64;
+        assert!((frac - 0.01).abs() < 1e-9, "threshold fraction {frac}");
+        let hits = (0..10_000u64)
+            .filter(|&n| derive_seed(PANIC_INJECT_SALT, n) <= t)
+            .count();
+        assert!((50..=200).contains(&hits), "1% of 10k ≈ 100, got {hits}");
+    }
+
+    #[test]
+    fn handler_path_gating_for_injection() {
+        assert!(on_handler_path("POST", "/detect"));
+        assert!(on_handler_path("POST", "/classify"));
+        assert!(on_handler_path("POST", "/feedback"));
+        assert!(!on_handler_path("GET", "/metrics"));
+        assert!(!on_handler_path("GET", "/healthz"));
+        assert!(!on_handler_path("POST", "/shutdown"));
+        assert!(!on_handler_path("GET", "/model"));
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Poison-free synchronization primitives for the serving stack.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while
+//! holding the guard, and every subsequent `lock().unwrap()` then
+//! panics too — one fault cascades through the worker pool until the
+//! listener is accepting connections nobody will answer. The wrappers
+//! here recover the guard from [`PoisonError`] instead, which is sound
+//! for every structure they guard in this crate because each critical
+//! section either
+//!
+//! 1. performs a single in-place container operation that cannot be
+//!    observed half-done (`VecDeque::push_back`, `Vec::push`,
+//!    `Option::take`, a bool flip), or
+//! 2. swaps a whole value at once (`Arc<ModelState>` swap-on-write,
+//!    registry row replacement after a crash-atomic on-disk rename),
+//!
+//! so a panic *between* lock acquisitions never leaves torn state
+//! behind the lock — the panic unwound out of application code, not
+//! out of a half-applied mutation. DESIGN.md §15 walks through the
+//! argument per guarded structure.
+//!
+//! Every recovery increments a process-wide counter surfaced as
+//! `panics.poison_recoveries` in `GET /metrics`, so silent poison
+//! events remain observable even though they no longer kill threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Process-wide count of guards recovered from a [`PoisonError`].
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times any poison-free primitive in this process recovered
+/// a guard from a poisoned lock. Monotonic; process-global on purpose:
+/// poisoning is a process-level event and the serving metrics snapshot
+/// reports it as such.
+#[must_use]
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
+
+/// Unwraps a lock result, recovering (and counting) poisoned guards.
+fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// A [`Mutex`] whose `lock` never fails: poisoned guards are recovered
+/// via [`PoisonError::into_inner`] and counted.
+#[derive(Debug, Default)]
+pub struct PoisonFreeMutex<T>(Mutex<T>);
+
+impl<T> PoisonFreeMutex<T> {
+    /// Wraps `value` in a poison-free mutex.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        PoisonFreeMutex(Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering the guard if a previous holder
+    /// panicked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        recover(self.0.lock())
+    }
+
+    /// Consumes the mutex and returns the inner value, recovering it
+    /// if the lock was poisoned.
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+/// A [`Condvar`] companion to [`PoisonFreeMutex`]: waits return the
+/// recovered guard instead of failing on poison.
+#[derive(Debug, Default)]
+pub struct PoisonFreeCondvar(Condvar);
+
+impl PoisonFreeCondvar {
+    /// A new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        PoisonFreeCondvar(Condvar::new())
+    }
+
+    /// Blocks until notified; like [`Condvar::wait`] but recovers the
+    /// guard from poison.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        recover(self.0.wait(guard))
+    }
+
+    /// Blocks until notified or `timeout` elapses; recovers from
+    /// poison.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        recover(self.0.wait_timeout(guard, timeout))
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// An [`RwLock`] whose `read`/`write` never fail: poisoned guards are
+/// recovered and counted. Used for the swap-on-write model state in
+/// `integrity` and the online `ModelSwitch`.
+#[derive(Debug, Default)]
+pub struct PoisonFreeRwLock<T>(RwLock<T>);
+
+impl<T> PoisonFreeRwLock<T> {
+    /// Wraps `value` in a poison-free reader-writer lock.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        PoisonFreeRwLock(RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard, recovering from poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        recover(self.0.read())
+    }
+
+    /// Acquires the exclusive write guard, recovering from poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        recover(self.0.write())
+    }
+}
+
+/// Renders a panic payload for logs: the `&str` / `String` message
+/// when the payload carries one, a placeholder otherwise.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_recovers_after_holder_panics() {
+        let before = poison_recoveries();
+        let m = Arc::new(PoisonFreeMutex::new(vec![1u32, 2]));
+        let poisoner = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let mut guard = m.lock();
+                guard.push(3);
+                panic!("poison the lock while holding the guard");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // The push completed before the panic, so the recovered state
+        // holds all three elements.
+        let guard = m.lock();
+        assert_eq!(*guard, vec![1, 2, 3]);
+        assert!(poison_recoveries() > before);
+    }
+
+    #[test]
+    fn condvar_wait_recovers_from_poisoned_wakeup() {
+        let pair = Arc::new((PoisonFreeMutex::new(false), PoisonFreeCondvar::new()));
+        let notifier = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let mut ready = pair.0.lock();
+                *ready = true;
+                pair.1.notify_all();
+                panic!("poison while a waiter is blocked");
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            let (guard, _) = cv.wait_timeout(ready, Duration::from_millis(50));
+            ready = guard;
+        }
+        assert!(*ready);
+        drop(ready);
+        assert!(notifier.join().is_err());
+        // The lock keeps working after the poisoning thread is gone.
+        assert!(*lock.lock());
+    }
+
+    #[test]
+    fn rwlock_recovers_after_writer_panics() {
+        let l = Arc::new(PoisonFreeRwLock::new(7u64));
+        let writer = {
+            let l = Arc::clone(&l);
+            thread::spawn(move || {
+                let mut guard = l.write();
+                *guard = 8;
+                panic!("poison the rwlock");
+            })
+        };
+        assert!(writer.join().is_err());
+        assert_eq!(*l.read(), 8);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let payload = catch_unwind(|| panic!("literal message")).unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "literal message");
+        let n = 42;
+        let payload = catch_unwind(AssertUnwindSafe(|| panic!("formatted {n}"))).unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "formatted 42");
+        let payload = catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(
+            panic_message(payload.as_ref()),
+            "<non-string panic payload>"
+        );
+    }
+
+    #[test]
+    fn into_inner_recovers_poisoned_value() {
+        let m = PoisonFreeMutex::new(5u8);
+        // Poison via a scoped panic while holding the guard.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("poison");
+        }));
+        assert_eq!(m.into_inner(), 5);
+    }
+}

@@ -1,0 +1,409 @@
+//! Chaos tests for the panic-containment layer: drive a live server
+//! with `panic_inject` enabled over real sockets and pin the
+//! containment contract — injected handler panics surface as 500s
+//! with request ids while every non-injected response stays
+//! bit-identical to a clean run, the worker pool never shrinks, the
+//! `/metrics` panic counters reconcile exactly, and shutdown still
+//! drains cleanly. Property tests at the bottom pin the poison-free
+//! primitives the layer is built on.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use hdface::datasets::face2_spec;
+use hdface::detector::{DetectorConfig, FaceDetector};
+use hdface::engine::derive_seed;
+use hdface::imaging::{write_pgm, GrayImage};
+use hdface::learn::TrainConfig;
+use hdface::loadgen::ResponseReader;
+use hdface::pipeline::{HdFeatureMode, HdPipeline};
+use hdface::serve::server::PANIC_INJECT_SALT;
+use hdface::serve::{BatchScheduler, BoundedQueue, ServeConfig, Server, ServerHandle};
+use hdface::sync::{PoisonFreeCondvar, PoisonFreeMutex};
+use proptest::prelude::*;
+
+/// Serialized fast binary model, trained once and shared.
+fn encoded_model_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = face2_spec().at_size(32).scaled(64).generate(17);
+        let mut p = HdPipeline::new(HdFeatureMode::encoded_classic(1024), 17);
+        p.train(&data, &TrainConfig::default()).unwrap();
+        p.save_bytes().unwrap()
+    })
+}
+
+fn start_server(config: ServeConfig) -> ServerHandle {
+    let pipeline = HdPipeline::load_bytes(encoded_model_bytes()).unwrap();
+    let detector = FaceDetector::new(pipeline, DetectorConfig::default());
+    Server::start(detector, config).unwrap()
+}
+
+fn local(config: ServeConfig) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    }
+}
+
+/// A family of distinct window-sized scenes (the encoded classic
+/// model accepts exactly 32×32 crops).
+fn varied_crop(k: usize) -> Vec<u8> {
+    let image = GrayImage::from_fn(32, 32, |x, y| {
+        0.5 + 0.4 * (((x + 7 * k) as f32 * 0.43).sin() * ((y + 3 * k) as f32 * 0.29).cos())
+    });
+    let mut out = Vec::new();
+    write_pgm(&image, &mut out).unwrap();
+    out
+}
+
+fn send_request(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write head");
+    conn.write_all(body).expect("write body");
+    conn.flush().unwrap();
+}
+
+/// One blocking exchange on a fresh connection; (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    send_request(&mut conn, method, path, body);
+    let response = ResponseReader::new(&mut conn)
+        .read_response()
+        .expect("well-formed response");
+    (response.status, String::from_utf8(response.body).unwrap())
+}
+
+/// The deterministic part of a `/classify` body: everything before
+/// the timing field (same convention as the serve tests).
+fn stable(body: &str) -> String {
+    body.split("\"scan_micros\"").next().unwrap().to_owned()
+}
+
+/// Extracts an integer field from hand-rolled metrics JSON.
+fn metric(json: &str, key: &str) -> u64 {
+    json.split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|t| t.split(&[',', '}'][..]).next())
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("metric {key} missing in {json}"))
+}
+
+/// The same threshold mapping the server derives from a 1% rate.
+fn threshold(rate: f64) -> u64 {
+    (rate * u64::MAX as f64) as u64
+}
+
+/// The acceptance-criteria chaos run: 32 keep-alive connections, 1%
+/// injected panic rate, 250 `/classify` requests each. Injection is
+/// deterministic (`derive_seed(PANIC_INJECT_SALT, n)` over the
+/// request sequence), so the exact panic count is predictable: 76
+/// injected over the 8000 requests. Every non-injected response must
+/// be bit-identical to a clean server's, every injected one a 500
+/// with a request id, the pool must never shrink, and the counters
+/// must reconcile: 500s == `panics.injected` == `panics.caught`.
+#[test]
+fn chaos_one_percent_inject_serves_bit_identical_and_drains_clean() {
+    const CONNS: usize = 32;
+    const PER_CONN: usize = 250;
+    const CROPS: usize = 8;
+    const RATE: f64 = 0.01;
+    let total = CONNS * PER_CONN;
+    let expected_injected = (0..total as u64)
+        .filter(|&n| derive_seed(PANIC_INJECT_SALT, n) <= threshold(RATE))
+        .count();
+    assert!(
+        expected_injected > 50,
+        "the acceptance run needs >50 injected panics, predicted {expected_injected}"
+    );
+
+    // Reference bodies from a clean (no-injection) server.
+    let clean = start_server(local(ServeConfig {
+        workers: 2,
+        panic_inject: 0.0,
+        ..ServeConfig::default()
+    }));
+    let reference: Vec<String> = (0..CROPS)
+        .map(|k| {
+            let (status, body) = http(clean.addr(), "POST", "/classify", &varied_crop(k));
+            assert_eq!(status, 200, "clean run must succeed: {body}");
+            stable(&body)
+        })
+        .collect();
+    clean.shutdown();
+
+    let handle = start_server(local(ServeConfig {
+        workers: CONNS,
+        queue_depth: 2 * CONNS,
+        panic_inject: RATE,
+        ..ServeConfig::default()
+    }));
+    let addr = handle.addr();
+    let reference = Arc::new(reference);
+
+    let clients: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                conn.set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                let body = varied_crop(c % CROPS);
+                let mut reader = ResponseReader::new(conn.try_clone().expect("clone socket"));
+                let mut oks = 0usize;
+                let mut panics = 0usize;
+                for i in 0..PER_CONN {
+                    send_request(&mut conn, "POST", "/classify", &body);
+                    let response = reader
+                        .read_response()
+                        .unwrap_or_else(|e| panic!("conn {c} request {i}: {e}"));
+                    let text = String::from_utf8(response.body).unwrap();
+                    match response.status {
+                        200 => {
+                            assert_eq!(
+                                stable(&text),
+                                reference[c % CROPS],
+                                "conn {c} request {i}: non-injected response drifted"
+                            );
+                            oks += 1;
+                        }
+                        500 => {
+                            assert!(
+                                text.contains("\"error\":\"internal panic\"")
+                                    && text.contains("\"request_id\":\"req-"),
+                                "conn {c} request {i}: malformed panic 500: {text}"
+                            );
+                            panics += 1;
+                        }
+                        other => panic!("conn {c} request {i}: unexpected status {other}: {text}"),
+                    }
+                }
+                (oks, panics)
+            })
+        })
+        .collect();
+
+    let mut oks = 0usize;
+    let mut panics = 0usize;
+    for client in clients {
+        let (o, p) = client.join().expect("client thread");
+        oks += o;
+        panics += p;
+    }
+    // Every request was answered — no hung submitter, no dead worker
+    // eating its connection — and the 500 count matches the
+    // deterministic injection schedule exactly.
+    assert_eq!(oks + panics, total);
+    assert_eq!(panics, expected_injected);
+
+    // The pool survived >50 panics and keeps serving: the served
+    // count still increases after the storm.
+    let (status, health) = http(addr, "GET", "/healthz", &[]);
+    assert_eq!(status, 200, "server unhealthy after chaos: {health}");
+    assert_eq!(metric(&health, "workers_alive") as usize, CONNS);
+    let (status, body) = http(addr, "POST", "/classify", &varied_crop(0));
+    assert!(
+        status == 200 || status == 500,
+        "post-storm request failed oddly: {status} {body}"
+    );
+
+    let (_, metrics) = http(addr, "GET", "/metrics", &[]);
+    let caught = metric(&metrics, "caught");
+    let injected = metric(&metrics, "injected");
+    assert_eq!(
+        caught, injected,
+        "every caught panic must be an injected one: {metrics}"
+    );
+    // The post-storm probe consumed one more decision; account for it
+    // either way.
+    assert!(
+        injected == expected_injected as u64 || injected == expected_injected as u64 + 1,
+        "injected {injected} vs predicted {expected_injected}"
+    );
+    assert!(metric(&metrics, "requests_total") as usize > total);
+
+    // Clean drain: shutdown joins every thread without hanging.
+    handle.shutdown();
+}
+
+/// A 100% injection burst: every handler request panics, yet the
+/// workers survive, probe endpoints stay injection-free, and the
+/// counters reconcile.
+#[test]
+fn full_rate_burst_answers_500s_and_pool_survives() {
+    let handle = start_server(local(ServeConfig {
+        workers: 2,
+        panic_inject: 1.0,
+        ..ServeConfig::default()
+    }));
+    let addr = handle.addr();
+    for i in 0..10 {
+        let (status, body) = http(addr, "POST", "/classify", &varied_crop(i));
+        assert_eq!(status, 500, "request {i} must be injected: {body}");
+        assert!(body.contains("\"request_id\":\"req-"), "{body}");
+    }
+    // Probe endpoints are exempt from injection and still healthy.
+    let (status, health) = http(addr, "GET", "/healthz", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(metric(&health, "workers_alive"), 2);
+    let (status, metrics) = http(addr, "GET", "/metrics", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(metric(&metrics, "caught"), 10);
+    assert_eq!(metric(&metrics, "injected"), 10);
+    handle.shutdown();
+}
+
+proptest! {
+    /// PoisonFreeMutex recovery observes consistent state: a thread
+    /// that pushes a prefix and then panics while holding the guard
+    /// poisons the std mutex underneath, but the recovered guard sees
+    /// exactly the prefix — and the lock keeps working for pushes of
+    /// the suffix.
+    #[test]
+    fn poisoned_mutex_recovery_preserves_prefix(
+        values in prop::collection::vec(any::<u64>(), 1..40),
+        split in any::<u64>(),
+    ) {
+        let split = (split as usize) % values.len();
+        let m = Arc::new(PoisonFreeMutex::new(Vec::<u64>::new()));
+        let prefix = values[..split].to_vec();
+        let poisoner = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut guard = m.lock();
+                guard.extend_from_slice(&prefix);
+                panic!("poison while holding the guard");
+            })
+        };
+        prop_assert!(poisoner.join().is_err());
+        {
+            let mut guard = m.lock();
+            prop_assert_eq!(&guard[..], &values[..split]);
+            guard.extend_from_slice(&values[split..]);
+        }
+        prop_assert_eq!(&m.lock()[..], &values[..]);
+    }
+
+    /// The queue's poison-free internals survive panicking producers:
+    /// items pushed before each panic are all delivered, in FIFO
+    /// order, and close still wakes the consumer.
+    #[test]
+    fn queue_delivers_everything_pushed_before_producer_panics(
+        batches in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..8), 1..6),
+    ) {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let mut want = Vec::new();
+        for batch in &batches {
+            let q = Arc::clone(&q);
+            let items = batch.clone();
+            let producer = std::thread::spawn(move || {
+                for &v in &items {
+                    q.try_push(v).unwrap();
+                }
+                panic!("producer dies after its pushes");
+            });
+            prop_assert!(producer.join().is_err());
+            want.extend_from_slice(batch);
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Condvar waits recover from a poisoned wake-up: the notifier
+    /// panics while holding the lock, and the waiter still observes
+    /// the flag it set.
+    #[test]
+    fn poisoned_condvar_wakeup_still_delivers(value in any::<u64>()) {
+        let pair = Arc::new((PoisonFreeMutex::new(None::<u64>), PoisonFreeCondvar::new()));
+        let notifier = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let mut slot = pair.0.lock();
+                *slot = Some(value);
+                pair.1.notify_all();
+                panic!("poison while the waiter is blocked");
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut slot = lock.lock();
+        while slot.is_none() {
+            let (guard, _) = cv.wait_timeout(slot, Duration::from_millis(100));
+            slot = guard;
+        }
+        prop_assert_eq!(*slot, Some(value));
+        drop(slot);
+        prop_assert!(notifier.join().is_err());
+        prop_assert_eq!(*lock.lock(), Some(value));
+    }
+
+    /// Scheduler invariant under a panicking executor with
+    /// supervisor-style restarts: no submitter hangs, and every
+    /// submitter that gets `Some` gets the *correct* value — panics
+    /// only ever turn answers into `None`, never into wrong results.
+    #[test]
+    fn scheduler_survives_panicking_executor_without_wrong_results(
+        jobs in prop::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let s: BatchScheduler<u32, u32> =
+            BatchScheduler::new(hdface::serve::BatchConfig {
+                max_batch: 3,
+                max_batch_delay: Duration::from_millis(1),
+            });
+        // Odd inputs make the executor panic (taking their whole
+        // flush down); even inputs map to x*10.
+        let submitters: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &poison)| {
+                let s = s.clone();
+                let item = (2 * i as u32) + u32::from(poison);
+                std::thread::spawn(move || (item, s.submit(item)))
+            })
+            .collect();
+        let batcher = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                // Supervisor in miniature: restart run() until it
+                // returns normally (close + drained).
+                while std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    s.run(|flush| {
+                        assert!(
+                            !flush.items.iter().any(|&x| x % 2 == 1),
+                            "injected executor panic"
+                        );
+                        flush.items.iter().map(|&x| x * 10).collect()
+                    });
+                }))
+                .is_err()
+                {}
+            })
+        };
+        for h in submitters {
+            let (item, result) = h.join().unwrap();
+            if let Some(v) = result {
+                prop_assert_eq!(v, item * 10);
+                prop_assert_eq!(item % 2, 0);
+            }
+        }
+        s.close();
+        batcher.join().unwrap();
+    }
+}
